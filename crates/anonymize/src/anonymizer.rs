@@ -1,0 +1,257 @@
+//! The record-level anonymizer.
+
+use crate::names::NameAnonymizer;
+use crate::tables::IdTable;
+use nfstrace_core::record::{FileId, TraceRecord};
+use serde::{Deserialize, Serialize};
+
+/// What to anonymize and what to omit.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AnonymizerConfig {
+    /// Secret seed; keep it out of published traces.
+    pub seed: u64,
+    /// UIDs that pass through (root, daemon by default).
+    pub passthrough_uids: Vec<u32>,
+    /// GIDs that pass through.
+    pub passthrough_gids: Vec<u32>,
+    /// "It is also possible to configure the anonymizer to omit all
+    /// filename, UID, GID, and IP information entirely."
+    pub omit_names: bool,
+    /// Omit identities (uid/gid/client) instead of mapping them.
+    pub omit_identities: bool,
+}
+
+impl Default for AnonymizerConfig {
+    fn default() -> Self {
+        AnonymizerConfig {
+            seed: 0x6e66_7374,
+            passthrough_uids: vec![0, 1],
+            passthrough_gids: vec![0, 1],
+            omit_names: false,
+            omit_identities: false,
+        }
+    }
+}
+
+/// Anonymizes trace records with arbitrary-but-consistent mappings.
+///
+/// # Examples
+///
+/// ```
+/// use nfstrace_anonymize::{Anonymizer, AnonymizerConfig};
+/// use nfstrace_core::record::{FileId, Op, TraceRecord};
+///
+/// let mut anon = Anonymizer::new(AnonymizerConfig::default());
+/// let rec = TraceRecord::new(0, Op::Lookup, FileId(7)).with_name("secret.txt");
+/// let out = anon.anonymize(&rec);
+/// assert_ne!(out.name.as_deref(), Some("secret.txt"));
+/// // Consistency: anonymizing again gives the same output.
+/// assert_eq!(anon.anonymize(&rec), out);
+/// ```
+#[derive(Debug, Serialize, Deserialize)]
+pub struct Anonymizer {
+    config: AnonymizerConfig,
+    uids: IdTable,
+    gids: IdTable,
+    ips: IdTable,
+    fhs: IdTable,
+    names: NameAnonymizer,
+}
+
+impl Anonymizer {
+    /// Creates an anonymizer from a configuration.
+    pub fn new(config: AnonymizerConfig) -> Self {
+        Anonymizer {
+            uids: IdTable::new(config.seed ^ 0x1, &config.passthrough_uids),
+            gids: IdTable::new(config.seed ^ 0x2, &config.passthrough_gids),
+            ips: IdTable::new(config.seed ^ 0x3, &[]),
+            fhs: IdTable::new(config.seed ^ 0x4, &[]),
+            names: NameAnonymizer::new(config.seed ^ 0x5),
+            config,
+        }
+    }
+
+    /// Access to the name anonymizer, to extend passthrough sets.
+    pub fn names_mut(&mut self) -> &mut NameAnonymizer {
+        &mut self.names
+    }
+
+    /// Anonymizes one record.
+    pub fn anonymize(&mut self, r: &TraceRecord) -> TraceRecord {
+        let mut out = r.clone();
+        if self.config.omit_identities {
+            out.uid = 0;
+            out.gid = 0;
+            out.client = 0;
+            out.server = 0;
+        } else {
+            out.uid = self.uids.map(r.uid);
+            out.gid = self.gids.map(r.gid);
+            out.client = self.ips.map(r.client);
+            out.server = self.ips.map(r.server);
+        }
+        // File handles are opaque server tokens but can still leak
+        // inode numbers; remap them consistently.
+        out.fh = self.map_fh(r.fh);
+        out.fh2 = r.fh2.map(|f| self.map_fh(f));
+        out.new_fh = r.new_fh.map(|f| self.map_fh(f));
+        if self.config.omit_names {
+            out.name = None;
+            out.name2 = None;
+        } else {
+            out.name = r.name.as_deref().map(|n| self.names.map(n));
+            out.name2 = r.name2.as_deref().map(|n| self.names.map(n));
+        }
+        out
+    }
+
+    fn map_fh(&mut self, fh: FileId) -> FileId {
+        let lo = self.fhs.map(fh.0 as u32);
+        let hi = self.fhs.map((fh.0 >> 32) as u32);
+        FileId((u64::from(hi) << 32) | u64::from(lo))
+    }
+
+    /// Anonymizes a whole trace.
+    pub fn anonymize_trace(&mut self, records: &[TraceRecord]) -> Vec<TraceRecord> {
+        records.iter().map(|r| self.anonymize(r)).collect()
+    }
+
+    /// Serializes the mapping state to JSON (to be stored under access
+    /// control at the traced site).
+    ///
+    /// # Errors
+    ///
+    /// Any `serde_json` serialization error.
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string(self)
+    }
+
+    /// Restores an anonymizer (with its mappings) from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Any `serde_json` deserialization error.
+    pub fn from_json(json: &str) -> serde_json::Result<Self> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfstrace_core::record::Op;
+
+    fn rec(uid: u32, name: &str) -> TraceRecord {
+        let mut r = TraceRecord::new(5, Op::Lookup, FileId(1234)).with_name(name);
+        r.uid = uid;
+        r.gid = 100;
+        r.client = 0x0a000001;
+        r.new_fh = Some(FileId(5678));
+        r
+    }
+
+    #[test]
+    fn identities_mapped_consistently() {
+        let mut a = Anonymizer::new(AnonymizerConfig::default());
+        let o1 = a.anonymize(&rec(1001, "x.c"));
+        let o2 = a.anonymize(&rec(1001, "y.c"));
+        assert_eq!(o1.uid, o2.uid);
+        assert_ne!(o1.uid, 1001);
+        assert_eq!(o1.client, o2.client);
+        assert_ne!(o1.client, 0x0a000001);
+    }
+
+    #[test]
+    fn root_uid_passes_through() {
+        let mut a = Anonymizer::new(AnonymizerConfig::default());
+        assert_eq!(a.anonymize(&rec(0, "f")).uid, 0);
+    }
+
+    #[test]
+    fn fh_identity_preserved_across_fields() {
+        let mut a = Anonymizer::new(AnonymizerConfig::default());
+        let mut r1 = rec(5, "f");
+        r1.fh = FileId(42);
+        let mut r2 = rec(5, "g");
+        r2.fh = FileId(9);
+        r2.new_fh = Some(FileId(42)); // same file seen as a lookup result
+        let o1 = a.anonymize(&r1);
+        let o2 = a.anonymize(&r2);
+        assert_eq!(Some(o1.fh), o2.new_fh);
+        assert_ne!(o1.fh, FileId(42));
+    }
+
+    #[test]
+    fn timing_and_op_fields_untouched() {
+        let mut a = Anonymizer::new(AnonymizerConfig::default());
+        let mut r = rec(5, "f");
+        r.offset = 8192;
+        r.count = 4096;
+        r.eof = true;
+        let o = a.anonymize(&r);
+        assert_eq!(o.micros, r.micros);
+        assert_eq!(o.op, r.op);
+        assert_eq!(o.offset, 8192);
+        assert_eq!(o.count, 4096);
+        assert!(o.eof);
+    }
+
+    #[test]
+    fn omit_modes() {
+        let mut a = Anonymizer::new(AnonymizerConfig {
+            omit_names: true,
+            omit_identities: true,
+            ..AnonymizerConfig::default()
+        });
+        let o = a.anonymize(&rec(1001, "secret"));
+        assert_eq!(o.name, None);
+        assert_eq!(o.uid, 0);
+        assert_eq!(o.client, 0);
+    }
+
+    #[test]
+    fn two_sites_cannot_be_joined() {
+        // Different seeds: the same filename maps differently, so traces
+        // from different sites cannot be compared name-by-name (§2).
+        let mut site_a = Anonymizer::new(AnonymizerConfig {
+            seed: 111,
+            ..AnonymizerConfig::default()
+        });
+        let mut site_b = Anonymizer::new(AnonymizerConfig {
+            seed: 222,
+            ..AnonymizerConfig::default()
+        });
+        let r = rec(1001, "grant-proposal.tex");
+        assert_ne!(site_a.anonymize(&r).name, site_b.anonymize(&r).name);
+    }
+
+    #[test]
+    fn state_roundtrips_through_json() {
+        let mut a = Anonymizer::new(AnonymizerConfig::default());
+        let before = a.anonymize(&rec(1001, "keep.dat"));
+        let json = a.to_json().unwrap();
+        let mut b = Anonymizer::from_json(&json).unwrap();
+        let after = b.anonymize(&rec(1001, "keep.dat"));
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn analyses_agree_on_raw_and_anonymized_traces() {
+        // The paper's promise: anonymization preserves "the information
+        // necessary for almost any analysis".
+        use nfstrace_core::summary::SummaryStats;
+        let mut records = Vec::new();
+        for i in 0..50u64 {
+            let mut r = TraceRecord::new(i * 1000, Op::Read, FileId(i % 5)).with_range(i * 8192, 8192);
+            r.uid = 1000 + (i % 3) as u32;
+            records.push(r);
+        }
+        let mut a = Anonymizer::new(AnonymizerConfig::default());
+        let anon = a.anonymize_trace(&records);
+        let s1 = SummaryStats::from_records(records.iter());
+        let s2 = SummaryStats::from_records(anon.iter());
+        assert_eq!(s1.total_ops, s2.total_ops);
+        assert_eq!(s1.bytes_read, s2.bytes_read);
+        assert_eq!(s1.rw_bytes_ratio(), s2.rw_bytes_ratio());
+    }
+}

@@ -1,0 +1,199 @@
+//! Consistent random-assignment tables.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// Maps 32-bit identities (UIDs, GIDs, IPs) to arbitrary-but-consistent
+/// replacement values.
+///
+/// Assignments are random draws (never hashes), collision-free, and
+/// remembered for the table's lifetime. The whole table serializes so a
+/// site can keep its mapping under access control.
+///
+/// # Examples
+///
+/// ```
+/// use nfstrace_anonymize::IdTable;
+///
+/// let mut t = IdTable::new(7, &[0]);
+/// let a = t.map(1001);
+/// assert_eq!(t.map(1001), a);   // consistent
+/// assert_eq!(t.map(0), 0);      // passthrough
+/// ```
+#[derive(Debug, Serialize, Deserialize)]
+pub struct IdTable {
+    seed: u64,
+    assigned: HashMap<u32, u32>,
+    used: HashSet<u32>,
+    passthrough: HashSet<u32>,
+    #[serde(skip, default = "default_rng")]
+    rng: Option<StdRng>,
+}
+
+fn default_rng() -> Option<StdRng> {
+    None
+}
+
+impl IdTable {
+    /// Creates a table with a secret `seed` and identities that must
+    /// never be rewritten (e.g. uid 0 and 1, per the paper's treatment
+    /// of root and daemon).
+    pub fn new(seed: u64, passthrough: &[u32]) -> Self {
+        let passthrough: HashSet<u32> = passthrough.iter().copied().collect();
+        IdTable {
+            seed,
+            assigned: HashMap::new(),
+            used: passthrough.clone(),
+            passthrough,
+            rng: Some(StdRng::seed_from_u64(seed)),
+        }
+    }
+
+    /// Maps an identity, assigning a fresh random token on first sight.
+    pub fn map(&mut self, id: u32) -> u32 {
+        if self.passthrough.contains(&id) {
+            return id;
+        }
+        if let Some(&v) = self.assigned.get(&id) {
+            return v;
+        }
+        let rng = self.rng.get_or_insert_with(|| {
+            // After deserialization the RNG resumes from a state salted
+            // by how many assignments already exist.
+            StdRng::seed_from_u64(self.seed ^ (self.assigned.len() as u64) << 13)
+        });
+        let mut candidate = rng.gen::<u32>();
+        while self.used.contains(&candidate) {
+            candidate = rng.gen::<u32>();
+        }
+        self.assigned.insert(id, candidate);
+        self.used.insert(candidate);
+        candidate
+    }
+
+    /// Number of assignments made.
+    pub fn len(&self) -> usize {
+        self.assigned.len()
+    }
+
+    /// Whether no assignment has been made.
+    pub fn is_empty(&self) -> bool {
+        self.assigned.is_empty()
+    }
+}
+
+/// Maps strings (name stems, suffixes) to consistent random tokens.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct StringTable {
+    seed: u64,
+    prefix: String,
+    assigned: HashMap<String, String>,
+    used: HashSet<String>,
+    #[serde(skip, default = "default_rng")]
+    rng: Option<StdRng>,
+}
+
+impl StringTable {
+    /// Creates a table whose tokens start with `prefix` (e.g. `"n"` for
+    /// name stems, `"s"` for suffixes).
+    pub fn new(seed: u64, prefix: &str) -> Self {
+        StringTable {
+            seed,
+            prefix: prefix.to_string(),
+            assigned: HashMap::new(),
+            used: HashSet::new(),
+            rng: Some(StdRng::seed_from_u64(seed)),
+        }
+    }
+
+    /// Maps a string, assigning a fresh random token on first sight.
+    pub fn map(&mut self, s: &str) -> String {
+        if let Some(v) = self.assigned.get(s) {
+            return v.clone();
+        }
+        let prefix = self.prefix.clone();
+        let rng = self.rng.get_or_insert_with(|| {
+            StdRng::seed_from_u64(self.seed ^ (self.assigned.len() as u64) << 17)
+        });
+        let mut token = format!("{prefix}{:06x}", rng.gen::<u32>() & 0xff_ffff);
+        while self.used.contains(&token) {
+            token = format!("{prefix}{:06x}", rng.gen::<u32>() & 0xff_ffff);
+        }
+        self.assigned.insert(s.to_string(), token.clone());
+        self.used.insert(token.clone());
+        token
+    }
+
+    /// Number of assignments made.
+    pub fn len(&self) -> usize {
+        self.assigned.len()
+    }
+
+    /// Whether no assignment has been made.
+    pub fn is_empty(&self) -> bool {
+        self.assigned.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_table_consistent_and_collision_free() {
+        let mut t = IdTable::new(1, &[]);
+        let vals: Vec<u32> = (0..500).map(|i| t.map(i)).collect();
+        for (i, &v) in vals.iter().enumerate() {
+            assert_eq!(t.map(i as u32), v);
+        }
+        let distinct: HashSet<u32> = vals.iter().copied().collect();
+        assert_eq!(distinct.len(), vals.len());
+    }
+
+    #[test]
+    fn id_table_seeds_differ() {
+        let mut a = IdTable::new(1, &[]);
+        let mut b = IdTable::new(2, &[]);
+        let same = (0..100).filter(|&i| a.map(i) == b.map(i)).count();
+        assert!(same < 5, "seeds should give different mappings ({same})");
+    }
+
+    #[test]
+    fn id_table_passthrough() {
+        let mut t = IdTable::new(3, &[0, 1]);
+        assert_eq!(t.map(0), 0);
+        assert_eq!(t.map(1), 1);
+        assert_ne!(t.map(2), 2); // overwhelmingly likely
+    }
+
+    #[test]
+    fn id_table_serde_roundtrip_keeps_assignments() {
+        let mut t = IdTable::new(4, &[]);
+        let a = t.map(77);
+        let json = serde_json::to_string(&t).unwrap();
+        let mut t2: IdTable = serde_json::from_str(&json).unwrap();
+        assert_eq!(t2.map(77), a);
+        // New assignments still work after deserialization.
+        let b = t2.map(88);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn string_table_consistent() {
+        let mut t = StringTable::new(5, "n");
+        let a = t.map("inbox-stem");
+        assert_eq!(t.map("inbox-stem"), a);
+        assert!(a.starts_with('n'));
+        assert_ne!(t.map("other"), a);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn string_table_no_collisions_small_space() {
+        let mut t = StringTable::new(6, "s");
+        let tokens: HashSet<String> = (0..2000).map(|i| t.map(&format!("k{i}"))).collect();
+        assert_eq!(tokens.len(), 2000);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property tests on the anonymizer's §2 guarantees.
+
+use nfstrace_anonymize::{Anonymizer, AnonymizerConfig, NameAnonymizer};
+use nfstrace_core::record::{FileId, Op, TraceRecord};
+use proptest::prelude::*;
+
+proptest! {
+    /// Consistency: the same name always maps to the same token within
+    /// one anonymizer instance, and distinct names stay distinct.
+    #[test]
+    fn names_consistent_and_injective(
+        names in proptest::collection::hash_set("[a-zA-Z0-9._#~,-]{1,24}", 1..40),
+        seed in any::<u64>(),
+    ) {
+        let mut anon = NameAnonymizer::new(seed);
+        let names: Vec<String> = names.into_iter().collect();
+        let first: Vec<String> = names.iter().map(|n| anon.map(n)).collect();
+        let second: Vec<String> = names.iter().map(|n| anon.map(n)).collect();
+        prop_assert_eq!(&first, &second);
+        let distinct: std::collections::HashSet<&String> = first.iter().collect();
+        prop_assert_eq!(distinct.len(), first.len());
+    }
+
+    /// Suffix equivalence classes survive: names with the same suffix
+    /// map to names with the same (anonymized) suffix.
+    #[test]
+    fn suffix_classes_survive(
+        stems in proptest::collection::hash_set("[a-z]{3,12}", 2..10),
+        suffix in "[a-z]{2,5}",
+        seed in any::<u64>(),
+    ) {
+        let mut anon = NameAnonymizer::new(seed);
+        let mapped: Vec<String> = stems
+            .iter()
+            .map(|stem| anon.map(&format!("{stem}.{suffix}")))
+            .collect();
+        let suffixes: std::collections::HashSet<&str> = mapped
+            .iter()
+            .map(|m| m.rsplit('.').next().unwrap())
+            .collect();
+        prop_assert_eq!(suffixes.len(), 1, "{:?}", mapped);
+    }
+
+    /// Special forms wrap the inner mapping: #x#, x~, x,v.
+    #[test]
+    fn special_forms_wrap(inner in "[a-z]{2,12}\\.[a-z]{1,4}", seed in any::<u64>()) {
+        let mut anon = NameAnonymizer::new(seed);
+        let plain = anon.map(&inner);
+        prop_assert_eq!(anon.map(&format!("#{inner}#")), format!("#{plain}#"));
+        prop_assert_eq!(anon.map(&format!("{inner}~")), format!("{plain}~"));
+        prop_assert_eq!(anon.map(&format!("{inner},v")), format!("{plain},v"));
+    }
+
+    /// Record anonymization preserves every analysis-relevant field and
+    /// the identity structure (equal inputs ↦ equal outputs).
+    #[test]
+    fn record_structure_preserved(
+        uids in proptest::collection::vec(1000u32..2000, 2..30),
+        fhs in proptest::collection::vec(1u64..50, 2..30),
+    ) {
+        let mut anon = Anonymizer::new(AnonymizerConfig::default());
+        let records: Vec<TraceRecord> = uids
+            .iter()
+            .zip(&fhs)
+            .enumerate()
+            .map(|(i, (&uid, &fh))| {
+                let mut r = TraceRecord::new(i as u64, Op::Read, FileId(fh))
+                    .with_range(i as u64 * 8192, 8192);
+                r.uid = uid;
+                r
+            })
+            .collect();
+        let out = anon.anonymize_trace(&records);
+        for (a, b) in records.iter().zip(&out) {
+            prop_assert_eq!(a.micros, b.micros);
+            prop_assert_eq!(a.op, b.op);
+            prop_assert_eq!(a.offset, b.offset);
+            prop_assert_eq!(a.count, b.count);
+        }
+        // Identity structure: equal uids/fhs map equal, distinct map
+        // distinct.
+        for i in 0..records.len() {
+            for j in 0..records.len() {
+                prop_assert_eq!(
+                    records[i].uid == records[j].uid,
+                    out[i].uid == out[j].uid
+                );
+                prop_assert_eq!(
+                    records[i].fh == records[j].fh,
+                    out[i].fh == out[j].fh
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Benchmarks of the analysis suite over a synthetic day.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use nfstrace_bench::tables;
+use nfstrace_core::lifetime::{analyze, LifetimeConfig};
+use nfstrace_core::reorder;
+use nfstrace_core::runs::{runs_for_trace, RunOptions};
+use nfstrace_core::summary::SummaryStats;
+use nfstrace_workload::{CampusConfig, CampusWorkload};
+
+fn day_trace() -> Vec<nfstrace_core::record::TraceRecord> {
+    CampusWorkload::new(CampusConfig {
+        users: 10,
+        duration_micros: nfstrace_core::time::DAY,
+        seed: 5,
+        ..CampusConfig::default()
+    })
+    .generate()
+}
+
+fn bench_analyses(c: &mut Criterion) {
+    let records = day_trace();
+    let n = records.len() as u64;
+    let mut g = c.benchmark_group("analysis");
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("summary", |b| {
+        b.iter(|| SummaryStats::from_records(records.iter()))
+    });
+    g.bench_function("runs_processed", |b| {
+        b.iter(|| {
+            let per_file = tables::sorted_accesses(&records, 10);
+            runs_for_trace(&per_file, RunOptions::default())
+        })
+    });
+    g.bench_function("reorder_sweep", |b| {
+        b.iter(|| {
+            let per_file = reorder::accesses_by_file(records.iter());
+            reorder::swap_fraction_sweep(&per_file, &[0, 5, 10, 20, 50])
+        })
+    });
+    g.bench_function("block_lifetime", |b| {
+        b.iter(|| {
+            analyze(
+                records.iter(),
+                LifetimeConfig {
+                    phase1_start: 0,
+                    phase1_len: nfstrace_core::time::DAY / 2,
+                    phase2_len: nfstrace_core::time::DAY / 2,
+                },
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_analyses);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Microbenchmarks of the wire codecs: XDR, RPC, NFS, and full frames.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use nfstrace_nfs::fh::FileHandle;
+use nfstrace_nfs::v3::{Call3, Proc3, Read3Args, Write3Args};
+use nfstrace_rpc::auth::{AuthUnix, OpaqueAuth};
+use nfstrace_rpc::RpcMessage;
+use nfstrace_xdr::{Pack, Unpack};
+
+fn bench_xdr(c: &mut Criterion) {
+    let mut g = c.benchmark_group("xdr");
+    let payload = vec![0u8; 8192];
+    g.throughput(Throughput::Bytes(8192));
+    g.bench_function("opaque_roundtrip_8k", |b| {
+        b.iter(|| {
+            let bytes = payload.to_xdr_bytes();
+            Vec::<u8>::from_xdr_bytes(&bytes).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_nfs_calls(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nfs");
+    let read = Call3::Read(Read3Args {
+        file: FileHandle::from_u64(42),
+        offset: 1 << 20,
+        count: 8192,
+    });
+    g.bench_function("encode_decode_read_call", |b| {
+        b.iter(|| {
+            let bytes = read.encode_args();
+            Call3::decode(Proc3::Read, &bytes).unwrap()
+        })
+    });
+    let write = Call3::Write(Write3Args {
+        file: FileHandle::from_u64(42),
+        offset: 0,
+        count: 8192,
+        stable: Default::default(),
+        data: vec![0; 8192],
+    });
+    g.throughput(Throughput::Bytes(8192));
+    g.bench_function("encode_decode_write_call_8k", |b| {
+        b.iter(|| {
+            let bytes = write.encode_args();
+            Call3::decode(Proc3::Write, &bytes).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_rpc(c: &mut Criterion) {
+    let cred = OpaqueAuth::unix(&AuthUnix::new("bench-client", 1000, 100));
+    let msg = RpcMessage::call(7, nfstrace_rpc::PROG_NFS, 3, 6, cred, vec![0u8; 128]);
+    c.bench_function("rpc/message_roundtrip", |b| {
+        b.iter(|| {
+            let bytes = msg.to_xdr_bytes();
+            RpcMessage::from_xdr_bytes(&bytes).unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_xdr, bench_nfs_calls, bench_rpc);
+criterion_main!(benches);

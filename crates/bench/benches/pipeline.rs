@@ -1,0 +1,90 @@
+//! End-to-end pipeline benchmarks: workload generation, wire encoding,
+//! sniffing, and anonymization throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use nfstrace_anonymize::{Anonymizer, AnonymizerConfig};
+use nfstrace_sniffer::{Sniffer, WireEncoder};
+use nfstrace_workload::{CampusConfig, CampusWorkload, EecsConfig, EecsWorkload};
+
+fn bench_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("generate");
+    g.sample_size(10);
+    g.bench_function("campus_hour_10users", |b| {
+        b.iter(|| {
+            CampusWorkload::new(CampusConfig {
+                users: 10,
+                duration_micros: nfstrace_core::time::HOUR * 12,
+                seed: 5,
+                ..CampusConfig::default()
+            })
+            .generate()
+        })
+    });
+    g.bench_function("eecs_hour_10users", |b| {
+        b.iter(|| {
+            EecsWorkload::new(EecsConfig {
+                users: 10,
+                duration_micros: nfstrace_core::time::HOUR * 12,
+                seed: 5,
+                ..EecsConfig::default()
+            })
+            .generate()
+        })
+    });
+    g.finish();
+}
+
+fn bench_sniffer(c: &mut Criterion) {
+    // Pre-encode a packet batch from a small trace.
+    use nfstrace_client::{ClientConfig, ClientMachine};
+    use nfstrace_fssim::NfsServer;
+    let mut server = NfsServer::new(2);
+    let root = server.root_fh();
+    let mut client = ClientMachine::new(ClientConfig {
+        nfsiods: 1,
+        ..ClientConfig::default()
+    });
+    let (fh, t) = client.create(&mut server, 0, &root, "f");
+    let fh = fh.unwrap();
+    server.fs_mut().write(fh.as_u64().unwrap(), 0, 8 << 20, t).unwrap();
+    client.read_file(&mut server, t + 40_000_000, &fh);
+    let events = client.take_events();
+    let mut enc = WireEncoder::tcp_jumbo();
+    let packets: Vec<_> = events.iter().flat_map(|e| enc.encode_event(e)).collect();
+    let bytes: u64 = packets.iter().map(|p| p.data.len() as u64).sum();
+
+    let mut g = c.benchmark_group("sniffer");
+    g.throughput(Throughput::Bytes(bytes));
+    g.bench_function("tcp_decode_8mb_read", |b| {
+        b.iter(|| {
+            let mut s = Sniffer::new();
+            for p in &packets {
+                s.observe(p);
+            }
+            s.finish()
+        })
+    });
+    g.finish();
+}
+
+fn bench_anonymize(c: &mut Criterion) {
+    let records = CampusWorkload::new(CampusConfig {
+        users: 6,
+        duration_micros: nfstrace_core::time::HOUR * 6,
+        seed: 5,
+        ..CampusConfig::default()
+    })
+    .generate();
+    let mut g = c.benchmark_group("anonymize");
+    g.throughput(Throughput::Elements(records.len() as u64));
+    g.bench_function("trace", |b| {
+        b.iter(|| {
+            let mut a = Anonymizer::new(AnonymizerConfig::default());
+            a.anonymize_trace(&records)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_sniffer, bench_anonymize);
+criterion_main!(benches);

@@ -1,0 +1,11 @@
+//! Regenerates Figure 1: swapped accesses vs reorder window size.
+
+use nfstrace_bench::{scale, scenarios, tables};
+
+fn main() {
+    let s = scale();
+    // Only Wednesday morning is analyzed; four days suffice.
+    let campus = scenarios::campus(4, s, 42);
+    let eecs = scenarios::eecs(4, s, 1789);
+    print!("{}", tables::fig1(&campus, &eecs).text);
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 2: bytes accessed vs file size, per pattern.
+
+use nfstrace_bench::{scale, scenarios, tables};
+
+fn main() {
+    let (campus, eecs) = scenarios::week_pair(scale());
+    print!("{}", tables::fig2(&campus, &eecs).text);
+}

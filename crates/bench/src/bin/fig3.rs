@@ -1,0 +1,10 @@
+//! Regenerates Figure 3: cumulative distribution of block lifetimes.
+
+use nfstrace_bench::{scale, scenarios, tables};
+
+fn main() {
+    let s = scale();
+    let campus = scenarios::campus(8, s, 42);
+    let eecs = scenarios::eecs(8, s, 1789);
+    print!("{}", tables::fig3(&campus, &eecs).text);
+}

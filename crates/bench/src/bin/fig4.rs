@@ -1,0 +1,8 @@
+//! Regenerates Figure 4: hourly operation counts and R/W ratios.
+
+use nfstrace_bench::{scale, scenarios, tables};
+
+fn main() {
+    let (campus, eecs) = scenarios::week_pair(scale());
+    print!("{}", tables::fig4(&campus, &eecs).text);
+}

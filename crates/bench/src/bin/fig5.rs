@@ -1,0 +1,8 @@
+//! Regenerates Figure 5: sequentiality metric vs run size.
+
+use nfstrace_bench::{scale, scenarios, tables};
+
+fn main() {
+    let (campus, eecs) = scenarios::week_pair(scale());
+    print!("{}", tables::fig5(&campus, &eecs).text);
+}

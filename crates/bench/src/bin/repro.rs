@@ -1,0 +1,33 @@
+//! Runs the full reproduction suite and prints every table and figure.
+//!
+//! `NFSTRACE_SCALE` scales the simulated populations; 1.0 runs in a few
+//! minutes, 0.25 in well under one.
+
+use nfstrace_bench::{scale, scenarios, tables};
+
+fn main() {
+    let s = scale();
+    eprintln!("generating week-long traces at scale {s} ...");
+    let (campus_week, eecs_week) = scenarios::week_pair(s);
+    eprintln!(
+        "  CAMPUS: {} records, EECS: {} records",
+        campus_week.len(),
+        eecs_week.len()
+    );
+    eprintln!("generating 8-day traces for lifetime analyses ...");
+    let campus8 = scenarios::campus(8, s, 42);
+    let eecs8 = scenarios::eecs(8, s, 1789);
+
+    println!("{}", tables::table1(&campus_week, &eecs_week).text);
+    println!("{}", tables::table2(&campus_week, &eecs_week).text);
+    println!("{}", tables::table3(&campus_week, &eecs_week).text);
+    println!("{}", tables::table4(&campus8, &eecs8).text);
+    println!("{}", tables::table5(&campus_week, &eecs_week).text);
+    println!("{}", tables::fig1(&campus_week, &eecs_week).text);
+    println!("{}", tables::fig2(&campus_week, &eecs_week).text);
+    println!("{}", tables::fig3(&campus8, &eecs8).text);
+    println!("{}", tables::fig4(&campus_week, &eecs_week).text);
+    println!("{}", tables::fig5(&campus_week, &eecs_week).text);
+    println!("{}", tables::names_report(&campus_week));
+    println!("{}", tables::hierarchy_coverage(&campus_week));
+}

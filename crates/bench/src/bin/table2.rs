@@ -1,0 +1,8 @@
+//! Regenerates Table 2: summary of average daily activity.
+
+use nfstrace_bench::{scale, scenarios, tables};
+
+fn main() {
+    let (campus, eecs) = scenarios::week_pair(scale());
+    print!("{}", tables::table2(&campus, &eecs).text);
+}

@@ -1,0 +1,8 @@
+//! Regenerates Table 3: file access patterns, raw vs processed.
+
+use nfstrace_bench::{scale, scenarios, tables};
+
+fn main() {
+    let (campus, eecs) = scenarios::week_pair(scale());
+    print!("{}", tables::table3(&campus, &eecs).text);
+}

@@ -1,0 +1,13 @@
+//! Regenerates Table 4: daily block life statistics.
+//!
+//! Needs 8 simulated days so the Friday window keeps its full 24-hour
+//! end margin.
+
+use nfstrace_bench::{scale, scenarios, tables};
+
+fn main() {
+    let s = scale();
+    let campus = scenarios::campus(8, s, 42);
+    let eecs = scenarios::eecs(8, s, 1789);
+    print!("{}", tables::table4(&campus, &eecs).text);
+}

@@ -1,0 +1,8 @@
+//! Regenerates Table 5: hourly activity, all hours vs peak hours.
+
+use nfstrace_bench::{scale, scenarios, tables};
+
+fn main() {
+    let (campus, eecs) = scenarios::week_pair(scale());
+    print!("{}", tables::table5(&campus, &eecs).text);
+}

@@ -1,0 +1,49 @@
+//! The benchmark harness: regenerates every table and figure of the
+//! FAST 2003 paper from simulated CAMPUS and EECS workloads.
+//!
+//! Each `src/bin/` binary regenerates one artifact (`table1`…`table5`,
+//! `fig1`…`fig5`, `expt_nfsiod`, `expt_readahead`, `expt_loss`), and
+//! `repro` runs the full suite. Scale is controlled by the
+//! `NFSTRACE_SCALE` environment variable (default 1.0): user counts and
+//! thus run time grow linearly with it. Absolute numbers scale with the
+//! simulated population; the *shapes* — who wins, by what factor, where
+//! the knees fall — are what reproduce the paper.
+
+pub mod scenarios;
+pub mod tables;
+
+/// Reads the scale factor from `NFSTRACE_SCALE` (default 1.0, clamped
+/// to a sane range).
+pub fn scale() -> f64 {
+    std::env::var("NFSTRACE_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(1.0)
+        .clamp(0.05, 50.0)
+}
+
+/// Formats a row of right-aligned cells under a fixed width.
+pub fn row(cells: &[String], width: usize) -> String {
+    cells
+        .iter()
+        .map(|c| format!("{c:>width$}"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scale_defaults_to_one() {
+        // The env var is unset in the test environment.
+        if std::env::var("NFSTRACE_SCALE").is_err() {
+            assert_eq!(super::scale(), 1.0);
+        }
+    }
+
+    #[test]
+    fn row_aligns() {
+        let r = super::row(&["a".into(), "bb".into()], 4);
+        assert_eq!(r, "   a   bb");
+    }
+}

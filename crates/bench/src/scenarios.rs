@@ -1,0 +1,54 @@
+//! Standard simulated scenarios used by every table/figure binary.
+
+use nfstrace_core::record::TraceRecord;
+use nfstrace_core::time::DAY;
+use nfstrace_workload::{CampusConfig, CampusWorkload, EecsConfig, EecsWorkload};
+
+/// Base CAMPUS population at scale 1.0.
+pub const CAMPUS_BASE_USERS: usize = 40;
+/// Base EECS population at scale 1.0.
+pub const EECS_BASE_USERS: usize = 24;
+
+/// The canonical analysis week: Sunday through Saturday (the paper used
+/// 10/21–10/27/2001), expressed in simulation days.
+pub const WEEK_DAYS: u64 = 7;
+
+/// Generates a CAMPUS trace of `days` days at the given scale.
+pub fn campus(days: u64, scale: f64, seed: u64) -> Vec<TraceRecord> {
+    CampusWorkload::new(CampusConfig {
+        users: ((CAMPUS_BASE_USERS as f64 * scale) as usize).max(4),
+        duration_micros: days * DAY,
+        seed,
+        ..CampusConfig::default()
+    })
+    .generate()
+}
+
+/// Generates an EECS trace of `days` days at the given scale.
+pub fn eecs(days: u64, scale: f64, seed: u64) -> Vec<TraceRecord> {
+    EecsWorkload::new(EecsConfig {
+        users: ((EECS_BASE_USERS as f64 * scale) as usize).max(3),
+        duration_micros: days * DAY,
+        seed,
+        ..EecsConfig::default()
+    })
+    .generate()
+}
+
+/// A full analysis week for both systems.
+pub fn week_pair(scale: f64) -> (Vec<TraceRecord>, Vec<TraceRecord>) {
+    (campus(WEEK_DAYS, scale, 42), eecs(WEEK_DAYS, scale, 1789))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_scale_still_generates() {
+        let c = campus(1, 0.1, 1);
+        let e = eecs(1, 0.1, 1);
+        assert!(c.len() > 100);
+        assert!(e.len() > 100);
+    }
+}

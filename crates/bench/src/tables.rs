@@ -1,0 +1,783 @@
+//! One function per paper artifact, producing printable text plus the
+//! structured numbers the integration tests assert on.
+
+use nfstrace_core::hierarchy;
+use nfstrace_core::hourly::HourlySeries;
+use nfstrace_core::lifetime::{self, LifetimeConfig, LifetimeReport};
+use nfstrace_core::names::{FileCategory, NamePredictionReport};
+use nfstrace_core::record::{Op, TraceRecord};
+use nfstrace_core::reorder::{self, swap_fraction_sweep};
+use nfstrace_core::runs::{runs_for_trace, PatternTable, Run, RunOptions, SizeProfile};
+use nfstrace_core::seqmetric::{cumulative_runs_by_size, metric_by_run_size, MetricPoint};
+use nfstrace_core::summary::SummaryStats;
+use nfstrace_core::time::{DAY, HOUR};
+use nfstrace_core::{historical, FileId};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// The paper's reorder windows: 5 ms for EECS, 10 ms for CAMPUS (§4.2).
+pub const WINDOW_CAMPUS_MS: u64 = 10;
+/// See [`WINDOW_CAMPUS_MS`].
+pub const WINDOW_EECS_MS: u64 = 5;
+
+/// Sorted per-file accesses after the reorder-window correction.
+pub fn sorted_accesses(
+    records: &[TraceRecord],
+    window_ms: u64,
+) -> HashMap<FileId, Vec<reorder::Access>> {
+    let mut per_file = reorder::accesses_by_file(records.iter());
+    for list in per_file.values_mut() {
+        reorder::sort_within_window(list, window_ms * 1000);
+    }
+    per_file
+}
+
+/// Table 1: qualitative characterization, computed.
+#[derive(Debug, Clone)]
+pub struct Table1 {
+    /// Fraction of calls that move data, CAMPUS then EECS.
+    pub data_fraction: [f64; 2],
+    /// Read/write byte ratios.
+    pub rw_bytes: [f64; 2],
+    /// Fraction of created+deleted files that are locks.
+    pub lock_churn_fraction: [f64; 2],
+    /// Median block lifetimes in seconds (None when no deaths).
+    pub median_block_life_s: [Option<f64>; 2],
+    /// Fraction of block deaths due to overwriting.
+    pub overwrite_death_fraction: [f64; 2],
+    /// Rendered text.
+    pub text: String,
+}
+
+/// Computes Table 1 from one day of each system.
+pub fn table1(campus: &[TraceRecord], eecs: &[TraceRecord]) -> Table1 {
+    let mut data_fraction = [0.0; 2];
+    let mut rw_bytes = [0.0; 2];
+    let mut lock_churn = [0.0; 2];
+    let mut median_life = [None, None];
+    let mut ow_frac = [0.0; 2];
+    for (i, recs) in [campus, eecs].into_iter().enumerate() {
+        let s = SummaryStats::from_records(recs.iter());
+        data_fraction[i] = s.data_fraction();
+        rw_bytes[i] = s.rw_bytes_ratio();
+        let names = NamePredictionReport::from_records(recs.iter());
+        lock_churn[i] = names.lock_fraction_of_churn();
+        let span_days = ((s.last_micros - s.first_micros) / DAY).max(1);
+        let rep = lifetime::analyze(
+            recs.iter(),
+            LifetimeConfig {
+                phase1_start: 0,
+                phase1_len: span_days / 2 * DAY + DAY / 2,
+                phase2_len: span_days / 2 * DAY + DAY / 2,
+            },
+        );
+        median_life[i] = rep.median_lifespan().map(|m| m as f64 / 1e6);
+        let deaths = rep.deaths_total().max(1);
+        ow_frac[i] = rep.deaths_overwrite as f64 / deaths as f64;
+    }
+    let mut text = String::new();
+    let _ = writeln!(text, "Table 1: Characteristics of CAMPUS and EECS (measured)");
+    let _ = writeln!(text, "{:<46} {:>10} {:>10}", "", "CAMPUS", "EECS");
+    let _ = writeln!(
+        text,
+        "{:<46} {:>9.0}% {:>9.0}%",
+        "NFS calls that move data", 100.0 * data_fraction[0], 100.0 * data_fraction[1]
+    );
+    let _ = writeln!(
+        text,
+        "{:<46} {:>10.2} {:>10.2}",
+        "Read/write ratio (bytes)", rw_bytes[0], rw_bytes[1]
+    );
+    let _ = writeln!(
+        text,
+        "{:<46} {:>9.0}% {:>9.0}%",
+        "Created+deleted files that are locks",
+        100.0 * lock_churn[0],
+        100.0 * lock_churn[1]
+    );
+    let _ = writeln!(
+        text,
+        "{:<46} {:>10} {:>10}",
+        "Median block lifetime",
+        median_life[0].map_or("-".into(), |m| format!("{m:.0} s")),
+        median_life[1].map_or("-".into(), |m| format!("{m:.2} s")),
+    );
+    let _ = writeln!(
+        text,
+        "{:<46} {:>9.0}% {:>9.0}%",
+        "Block deaths due to overwriting", 100.0 * ow_frac[0], 100.0 * ow_frac[1]
+    );
+    Table1 {
+        data_fraction,
+        rw_bytes,
+        lock_churn_fraction: lock_churn,
+        median_block_life_s: median_life,
+        overwrite_death_fraction: ow_frac,
+        text,
+    }
+}
+
+/// Table 2: average daily activity, with the historical columns.
+#[derive(Debug, Clone)]
+pub struct Table2 {
+    /// Measured CAMPUS daily activity.
+    pub campus: nfstrace_core::summary::DailyActivity,
+    /// Measured EECS daily activity.
+    pub eecs: nfstrace_core::summary::DailyActivity,
+    /// Rendered text.
+    pub text: String,
+}
+
+/// Computes Table 2 from week-long traces.
+pub fn table2(campus: &[TraceRecord], eecs: &[TraceRecord]) -> Table2 {
+    let sc = SummaryStats::from_records(campus.iter()).daily();
+    let se = SummaryStats::from_records(eecs.iter()).daily();
+    let mut text = String::new();
+    let _ = writeln!(text, "Table 2: summary of average daily activity");
+    let _ = writeln!(
+        text,
+        "{:<24} {:>10} {:>10} {:>8} {:>8} {:>8} {:>8}",
+        "", "CAMPUS", "EECS", "INS", "RES", "NT", "Sprite"
+    );
+    let hist = &historical::TABLE2_HISTORICAL;
+    let line = |label: &str, c: f64, e: f64, h: [f64; 4], prec: usize| {
+        format!(
+            "{label:<24} {c:>10.prec$} {e:>10.prec$} {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
+            h[0], h[1], h[2], h[3]
+        )
+    };
+    let hcol = |f: fn(&historical::DailyActivityRow) -> f64| {
+        [f(&hist[0]), f(&hist[1]), f(&hist[2]), f(&hist[3])]
+    };
+    let _ = writeln!(
+        text,
+        "{}",
+        line(
+            "Total ops (millions)",
+            sc.total_ops_millions,
+            se.total_ops_millions,
+            hcol(|h| h.total_ops_millions),
+            3,
+        )
+    );
+    let _ = writeln!(
+        text,
+        "{}",
+        line("Data read (GB)", sc.data_read_gb, se.data_read_gb, hcol(|h| h.data_read_gb), 3)
+    );
+    let _ = writeln!(
+        text,
+        "{}",
+        line(
+            "Read ops (millions)",
+            sc.read_ops_millions,
+            se.read_ops_millions,
+            hcol(|h| h.read_ops_millions),
+            4,
+        )
+    );
+    let _ = writeln!(
+        text,
+        "{}",
+        line(
+            "Data written (GB)",
+            sc.data_written_gb,
+            se.data_written_gb,
+            hcol(|h| h.data_written_gb),
+            3,
+        )
+    );
+    let _ = writeln!(
+        text,
+        "{}",
+        line(
+            "Write ops (millions)",
+            sc.write_ops_millions,
+            se.write_ops_millions,
+            hcol(|h| h.write_ops_millions),
+            4,
+        )
+    );
+    let _ = writeln!(
+        text,
+        "{}",
+        line("R/W bytes ratio", sc.rw_bytes_ratio, se.rw_bytes_ratio, hcol(|h| h.rw_bytes_ratio), 2)
+    );
+    let _ = writeln!(
+        text,
+        "{}",
+        line("R/W ops ratio", sc.rw_ops_ratio, se.rw_ops_ratio, hcol(|h| h.rw_ops_ratio), 2)
+    );
+    let _ = writeln!(
+        text,
+        "(paper: CAMPUS R/W bytes {:.2}, EECS {:.2})",
+        historical::TABLE2_PAPER[0].rw_bytes_ratio,
+        historical::TABLE2_PAPER[1].rw_bytes_ratio
+    );
+    Table2 {
+        campus: sc,
+        eecs: se,
+        text,
+    }
+}
+
+/// Table 3: run patterns, raw and processed.
+#[derive(Debug, Clone)]
+pub struct Table3 {
+    /// Raw (unsorted, no jump forgiveness) CAMPUS and EECS columns.
+    pub raw: [PatternTable; 2],
+    /// Processed (reorder window + small jumps) columns.
+    pub processed: [PatternTable; 2],
+    /// Rendered text.
+    pub text: String,
+}
+
+/// Computes the runs of a trace under raw or processed methodology.
+pub fn trace_runs(records: &[TraceRecord], window_ms: u64, opts: RunOptions) -> Vec<Run> {
+    let per_file = if window_ms == 0 {
+        reorder::accesses_by_file(records.iter())
+    } else {
+        sorted_accesses(records, window_ms)
+    };
+    runs_for_trace(&per_file, opts)
+}
+
+/// Computes Table 3 from week-long traces.
+pub fn table3(campus: &[TraceRecord], eecs: &[TraceRecord]) -> Table3 {
+    let raw = [
+        PatternTable::from_runs(&trace_runs(campus, WINDOW_CAMPUS_MS, RunOptions::raw())),
+        PatternTable::from_runs(&trace_runs(eecs, WINDOW_EECS_MS, RunOptions::raw())),
+    ];
+    let processed = [
+        PatternTable::from_runs(&trace_runs(campus, WINDOW_CAMPUS_MS, RunOptions::default())),
+        PatternTable::from_runs(&trace_runs(eecs, WINDOW_EECS_MS, RunOptions::default())),
+    ];
+    let mut text = String::new();
+    let _ = writeln!(text, "Table 3: file access patterns (entire/sequential/random)");
+    let _ = writeln!(
+        text,
+        "{:<22} {:>8} {:>8} | {:>8} {:>8} | {:>7} {:>7} {:>7}",
+        "", "CAMPUS", "EECS", "CAMPUS", "EECS", "NT", "Sprite", "BSD"
+    );
+    let _ = writeln!(
+        text,
+        "{:<22} {:>8} {:>8} | {:>8} {:>8} |",
+        "", "raw", "raw", "proc", "proc"
+    );
+    let hist = &historical::TABLE3_HISTORICAL;
+    let mut push = |label: &str, get: &dyn Fn(&PatternTable) -> f64, h: [f64; 3]| {
+        let _ = writeln!(
+            text,
+            "{label:<22} {:>8.1} {:>8.1} | {:>8.1} {:>8.1} | {:>7.1} {:>7.1} {:>7.1}",
+            get(&raw[0]),
+            get(&raw[1]),
+            get(&processed[0]),
+            get(&processed[1]),
+            h[0],
+            h[1],
+            h[2]
+        );
+    };
+    push("Reads (% total)", &|t| t.reads_pct, [hist[0].reads[0], hist[1].reads[0], hist[2].reads[0]]);
+    push("  Entire (% read)", &|t| t.read_entire_pct, [hist[0].reads[1], hist[1].reads[1], hist[2].reads[1]]);
+    push("  Sequential (% read)", &|t| t.read_sequential_pct, [hist[0].reads[2], hist[1].reads[2], hist[2].reads[2]]);
+    push("  Random (% read)", &|t| t.read_random_pct, [hist[0].reads[3], hist[1].reads[3], hist[2].reads[3]]);
+    push("Writes (% total)", &|t| t.writes_pct, [hist[0].writes[0], hist[1].writes[0], hist[2].writes[0]]);
+    push("  Entire (% write)", &|t| t.write_entire_pct, [hist[0].writes[1], hist[1].writes[1], hist[2].writes[1]]);
+    push("  Sequential (% write)", &|t| t.write_sequential_pct, [hist[0].writes[2], hist[1].writes[2], hist[2].writes[2]]);
+    push("  Random (% write)", &|t| t.write_random_pct, [hist[0].writes[3], hist[1].writes[3], hist[2].writes[3]]);
+    push("Read-Write (% total)", &|t| t.rw_pct, [hist[0].read_writes[0], hist[1].read_writes[0], hist[2].read_writes[0]]);
+    push("  Random (% r-w)", &|t| t.rw_random_pct, [hist[0].read_writes[3], hist[1].read_writes[3], hist[2].read_writes[3]]);
+    Table3 {
+        raw,
+        processed,
+        text,
+    }
+}
+
+/// Table 4: block births and deaths over the five weekday windows.
+#[derive(Debug, Clone)]
+pub struct Table4 {
+    /// Merged CAMPUS report.
+    pub campus: LifetimeReport,
+    /// Merged EECS report.
+    pub eecs: LifetimeReport,
+    /// Rendered text.
+    pub text: String,
+}
+
+/// Runs the paper's five weekday 9am-start daily analyses and merges.
+pub fn weekday_lifetime(records: &[TraceRecord]) -> LifetimeReport {
+    let mut merged = LifetimeReport::default();
+    for d in 1..=5u64 {
+        let cfg = LifetimeConfig {
+            phase1_start: d * DAY + 9 * HOUR,
+            phase1_len: DAY,
+            phase2_len: DAY,
+        };
+        merged.merge(&lifetime::analyze(records.iter(), cfg));
+    }
+    merged
+}
+
+/// Computes Table 4 (requires ≥ 8 days of trace for full margins).
+pub fn table4(campus: &[TraceRecord], eecs: &[TraceRecord]) -> Table4 {
+    let rc = weekday_lifetime(campus);
+    let re = weekday_lifetime(eecs);
+    let pct = |n: u64, d: u64| if d == 0 { 0.0 } else { 100.0 * n as f64 / d as f64 };
+    let mut text = String::new();
+    let _ = writeln!(text, "Table 4: daily block life statistics (five weekday windows)");
+    let _ = writeln!(text, "{:<28} {:>12} {:>12}", "", "CAMPUS", "EECS");
+    let _ = writeln!(
+        text,
+        "{:<28} {:>12} {:>12}",
+        "Total births", rc.births_total(), re.births_total()
+    );
+    let _ = writeln!(
+        text,
+        "{:<28} {:>11.1}% {:>11.1}%",
+        "  due to writes",
+        pct(rc.births_write, rc.births_total()),
+        pct(re.births_write, re.births_total())
+    );
+    let _ = writeln!(
+        text,
+        "{:<28} {:>11.1}% {:>11.1}%",
+        "  due to extension",
+        pct(rc.births_extension, rc.births_total()),
+        pct(re.births_extension, re.births_total())
+    );
+    let _ = writeln!(
+        text,
+        "{:<28} {:>12} {:>12}",
+        "Total deaths", rc.deaths_total(), re.deaths_total()
+    );
+    let _ = writeln!(
+        text,
+        "{:<28} {:>11.1}% {:>11.1}%",
+        "  due to overwrites",
+        pct(rc.deaths_overwrite, rc.deaths_total()),
+        pct(re.deaths_overwrite, re.deaths_total())
+    );
+    let _ = writeln!(
+        text,
+        "{:<28} {:>11.1}% {:>11.1}%",
+        "  due to truncates",
+        pct(rc.deaths_truncate, rc.deaths_total()),
+        pct(re.deaths_truncate, re.deaths_total())
+    );
+    let _ = writeln!(
+        text,
+        "{:<28} {:>11.1}% {:>11.1}%",
+        "  due to file deletion",
+        pct(rc.deaths_delete, rc.deaths_total()),
+        pct(re.deaths_delete, re.deaths_total())
+    );
+    let _ = writeln!(
+        text,
+        "{:<28} {:>11.1}% {:>11.1}%",
+        "End surplus / births",
+        100.0 * rc.end_surplus_fraction(),
+        100.0 * re.end_surplus_fraction()
+    );
+    let _ = writeln!(
+        text,
+        "(paper: CAMPUS overwrites 99.1%, EECS deletes 51.8%)"
+    );
+    Table4 {
+        campus: rc,
+        eecs: re,
+        text,
+    }
+}
+
+/// Table 5: hourly averages, all hours vs peak hours.
+#[derive(Debug, Clone)]
+pub struct Table5 {
+    /// All-hours rows (CAMPUS, EECS).
+    pub all: [nfstrace_core::hourly::Table5Row; 2],
+    /// Peak-hours rows.
+    pub peak: [nfstrace_core::hourly::Table5Row; 2],
+    /// Rendered text.
+    pub text: String,
+}
+
+/// Computes Table 5 from week-long traces.
+pub fn table5(campus: &[TraceRecord], eecs: &[TraceRecord]) -> Table5 {
+    let sc = HourlySeries::from_records(campus.iter());
+    let se = HourlySeries::from_records(eecs.iter());
+    let all = [sc.table5(false), se.table5(false)];
+    let peak = [sc.table5(true), se.table5(true)];
+    let mut text = String::new();
+    let _ = writeln!(text, "Table 5: average hourly activity (std dev as % of mean)");
+    for (label, rows) in [("All hours", &all), ("Peak hours (9am-6pm M-F)", &peak)] {
+        let _ = writeln!(text, "-- {label}");
+        let _ = writeln!(text, "{:<24} {:>18} {:>18}", "", "CAMPUS", "EECS");
+        let mut push = |name: &str, f: &dyn Fn(&nfstrace_core::hourly::Table5Row) -> nfstrace_core::hourly::MeanStd| {
+            let c = f(&rows[0]);
+            let e = f(&rows[1]);
+            let _ = writeln!(
+                text,
+                "{name:<24} {:>9.1} ({:>4.0}%) {:>9.1} ({:>4.0}%)",
+                c.mean,
+                c.std_pct(),
+                e.mean,
+                e.std_pct()
+            );
+        };
+        push("Total ops (1000s)", &|r| scale_row(r.total_ops, 1e3));
+        push("Data read (MB)", &|r| r.data_read_mb);
+        push("Read ops (1000s)", &|r| scale_row(r.read_ops, 1e3));
+        push("Data written (MB)", &|r| r.data_written_mb);
+        push("Write ops (1000s)", &|r| scale_row(r.write_ops, 1e3));
+        push("R/W op ratio", &|r| r.rw_op_ratio);
+    }
+    Table5 {
+        all,
+        peak,
+        text,
+    }
+}
+
+fn scale_row(ms: nfstrace_core::hourly::MeanStd, div: f64) -> nfstrace_core::hourly::MeanStd {
+    nfstrace_core::hourly::MeanStd {
+        mean: ms.mean / div,
+        std: ms.std / div,
+    }
+}
+
+/// Figure 1: swapped-access fraction vs reorder window.
+#[derive(Debug, Clone)]
+pub struct Fig1 {
+    /// (window ms, swapped %) for CAMPUS.
+    pub campus: Vec<(u64, f64)>,
+    /// (window ms, swapped %) for EECS.
+    pub eecs: Vec<(u64, f64)>,
+    /// Rendered text.
+    pub text: String,
+}
+
+/// Computes Figure 1 from the Wednesday 9am–12pm subset, as the paper
+/// does.
+pub fn fig1(campus: &[TraceRecord], eecs: &[TraceRecord]) -> Fig1 {
+    let windows: Vec<u64> = (0..=50).step_by(2).collect();
+    let wednesday = |r: &&TraceRecord| {
+        let t = r.micros;
+        t >= 3 * DAY + 9 * HOUR && t < 3 * DAY + 12 * HOUR
+    };
+    let subset = |records: &[TraceRecord]| -> Vec<TraceRecord> {
+        records.iter().filter(wednesday).cloned().collect()
+    };
+    let sweep = |records: &[TraceRecord]| -> Vec<(u64, f64)> {
+        let per_file = reorder::accesses_by_file(records.iter());
+        swap_fraction_sweep(&per_file, &windows)
+            .into_iter()
+            .map(|p| (p.window_ms, 100.0 * p.swapped_fraction))
+            .collect()
+    };
+    let c = sweep(&subset(campus));
+    let e = sweep(&subset(eecs));
+    let mut text = String::new();
+    let _ = writeln!(text, "Figure 1: percent of accesses swapped vs reorder window (Wed 9am-12pm)");
+    let _ = writeln!(text, "{:>10} {:>10} {:>10}", "window ms", "CAMPUS %", "EECS %");
+    for (i, &(w, cv)) in c.iter().enumerate() {
+        let _ = writeln!(text, "{w:>10} {cv:>10.2} {:>10.2}", e[i].1);
+    }
+    Fig1 {
+        campus: c,
+        eecs: e,
+        text,
+    }
+}
+
+/// Figure 2: cumulative % of bytes by file size, per pattern.
+#[derive(Debug, Clone)]
+pub struct Fig2 {
+    /// CAMPUS profile.
+    pub campus: SizeProfile,
+    /// EECS profile.
+    pub eecs: SizeProfile,
+    /// Rendered text.
+    pub text: String,
+}
+
+/// Computes Figure 2.
+pub fn fig2(campus: &[TraceRecord], eecs: &[TraceRecord]) -> Fig2 {
+    let rc = trace_runs(campus, WINDOW_CAMPUS_MS, RunOptions::default());
+    let re = trace_runs(eecs, WINDOW_EECS_MS, RunOptions::default());
+    let pc = SizeProfile::from_runs(&rc);
+    let pe = SizeProfile::from_runs(&re);
+    let mut text = String::new();
+    let _ = writeln!(text, "Figure 2: cumulative % of bytes accessed vs file size");
+    for (label, p) in [("CAMPUS", &pc), ("EECS", &pe)] {
+        let total = p.grand_total();
+        let _ = writeln!(text, "-- {label}");
+        let _ = writeln!(
+            text,
+            "{:>10} {:>8} {:>8} {:>8} {:>8}",
+            "file size", "total%", "entire%", "seq%", "random%"
+        );
+        let cum_t = SizeProfile::cumulative_pct(&p.total, total);
+        let cum_e = SizeProfile::cumulative_pct(&p.entire, total);
+        let cum_s = SizeProfile::cumulative_pct(&p.sequential, total);
+        let cum_r = SizeProfile::cumulative_pct(&p.random, total);
+        for i in 0..cum_t.len() {
+            if cum_t[i].1 == 0.0 && i + 1 < cum_t.len() && cum_t[i + 1].1 == 0.0 {
+                continue; // skip empty leading buckets
+            }
+            let _ = writeln!(
+                text,
+                "{:>10} {:>8.1} {:>8.1} {:>8.1} {:>8.1}",
+                human(cum_t[i].0),
+                cum_t[i].1,
+                cum_e[i].1,
+                cum_s[i].1,
+                cum_r[i].1
+            );
+        }
+    }
+    Fig2 {
+        campus: pc,
+        eecs: pe,
+        text,
+    }
+}
+
+fn human(bytes: u64) -> String {
+    if bytes >= 1 << 30 {
+        format!("{}G", bytes >> 30)
+    } else if bytes >= 1 << 20 {
+        format!("{}M", bytes >> 20)
+    } else {
+        format!("{}k", bytes >> 10)
+    }
+}
+
+/// Figure 3: block lifetime CDFs.
+#[derive(Debug, Clone)]
+pub struct Fig3 {
+    /// (probe µs, cumulative fraction) for CAMPUS.
+    pub campus: Vec<(u64, f64)>,
+    /// For EECS.
+    pub eecs: Vec<(u64, f64)>,
+    /// Rendered text.
+    pub text: String,
+}
+
+/// Computes Figure 3 from the weekday lifetime windows.
+pub fn fig3(campus: &[TraceRecord], eecs: &[TraceRecord]) -> Fig3 {
+    let probes = lifetime::figure3_probes();
+    let rc = weekday_lifetime(campus);
+    let re = weekday_lifetime(eecs);
+    let c = rc.cdf(&probes);
+    let e = re.cdf(&probes);
+    let mut text = String::new();
+    let _ = writeln!(text, "Figure 3: cumulative distribution of block lifetimes");
+    let _ = writeln!(text, "{:>10} {:>10} {:>10}", "lifetime", "CAMPUS", "EECS");
+    for (i, &(p, cv)) in c.iter().enumerate() {
+        let label = if p >= DAY {
+            "1 day".to_string()
+        } else if p >= HOUR {
+            format!("{} hr", p / HOUR)
+        } else if p >= 60_000_000 {
+            format!("{} min", p / 60_000_000)
+        } else {
+            format!("{} sec", p / 1_000_000)
+        };
+        let _ = writeln!(text, "{label:>10} {:>9.1}% {:>9.1}%", 100.0 * cv, 100.0 * e[i].1);
+    }
+    Fig3 {
+        campus: c,
+        eecs: e,
+        text,
+    }
+}
+
+/// Figure 4: hourly ops and R/W ratios across the week.
+#[derive(Debug, Clone)]
+pub struct Fig4 {
+    /// CAMPUS hourly series.
+    pub campus: HourlySeries,
+    /// EECS hourly series.
+    pub eecs: HourlySeries,
+    /// Rendered text (compact: one line per 3 hours).
+    pub text: String,
+}
+
+/// Computes Figure 4.
+pub fn fig4(campus: &[TraceRecord], eecs: &[TraceRecord]) -> Fig4 {
+    let sc = HourlySeries::from_records(campus.iter());
+    let se = HourlySeries::from_records(eecs.iter());
+    let mut text = String::new();
+    let _ = writeln!(text, "Figure 4: hourly operation counts and R/W ratios");
+    let _ = writeln!(
+        text,
+        "{:>14} {:>10} {:>10} {:>8} {:>8}",
+        "hour", "CAMPUS ops", "EECS ops", "C r/w", "E r/w"
+    );
+    let ce: HashMap<u64, _> = se.iter().map(|(t, b)| (t, *b)).collect();
+    for (t, b) in sc.iter() {
+        if (t / HOUR) % 3 != 0 {
+            continue;
+        }
+        let e = ce.get(&t).copied().unwrap_or_default();
+        let _ = writeln!(
+            text,
+            "{:>14} {:>10} {:>10} {:>8} {:>8}",
+            nfstrace_core::time::format_micros(t),
+            b.ops,
+            e.ops,
+            b.rw_ratio().map_or("-".into(), |r| format!("{r:.1}")),
+            e.rw_ratio().map_or("-".into(), |r| format!("{r:.1}")),
+        );
+    }
+    Fig4 {
+        campus: sc,
+        eecs: se,
+        text,
+    }
+}
+
+/// Figure 5: sequentiality metric vs run size.
+#[derive(Debug, Clone)]
+pub struct Fig5 {
+    /// CAMPUS reads: (k=10 allowed, k=1 not allowed).
+    pub campus_reads: (Vec<MetricPoint>, Vec<MetricPoint>),
+    /// CAMPUS writes.
+    pub campus_writes: (Vec<MetricPoint>, Vec<MetricPoint>),
+    /// EECS reads.
+    pub eecs_reads: (Vec<MetricPoint>, Vec<MetricPoint>),
+    /// EECS writes.
+    pub eecs_writes: (Vec<MetricPoint>, Vec<MetricPoint>),
+    /// Rendered text.
+    pub text: String,
+}
+
+/// Computes Figure 5.
+pub fn fig5(campus: &[TraceRecord], eecs: &[TraceRecord]) -> Fig5 {
+    use nfstrace_core::runs::RunKind;
+    let rc = trace_runs(campus, WINDOW_CAMPUS_MS, RunOptions::default());
+    let re = trace_runs(eecs, WINDOW_EECS_MS, RunOptions::default());
+    let f = |runs: &[Run], kind: RunKind| {
+        (
+            metric_by_run_size(runs, kind, 10),
+            metric_by_run_size(runs, kind, 1),
+        )
+    };
+    let campus_reads = f(&rc, RunKind::Read);
+    let campus_writes = f(&rc, RunKind::Write);
+    let eecs_reads = f(&re, RunKind::Read);
+    let eecs_writes = f(&re, RunKind::Write);
+    let mut text = String::new();
+    let _ = writeln!(text, "Figure 5: mean sequentiality metric vs bytes accessed in run");
+    for (label, (k10, k1)) in [
+        ("CAMPUS reads", &campus_reads),
+        ("CAMPUS writes", &campus_writes),
+        ("EECS reads", &eecs_reads),
+        ("EECS writes", &eecs_writes),
+    ] {
+        let _ = writeln!(text, "-- {label}");
+        let _ = writeln!(
+            text,
+            "{:>10} {:>8} {:>14} {:>18}",
+            "run bytes", "runs", "jumps allowed", "jumps not allowed"
+        );
+        for (a, b) in k10.iter().zip(k1) {
+            if a.runs == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                text,
+                "{:>10} {:>8} {:>14.2} {:>18.2}",
+                human(a.bucket),
+                a.runs,
+                a.mean_metric,
+                b.mean_metric
+            );
+        }
+    }
+    let _ = writeln!(text, "-- cumulative % of runs by size (CAMPUS)");
+    for (b, t, r, w) in cumulative_runs_by_size(&rc) {
+        let _ = writeln!(
+            text,
+            "{:>10} total {t:>6.1}% read {r:>6.1}% write {w:>6.1}%",
+            human(b)
+        );
+    }
+    Fig5 {
+        campus_reads,
+        campus_writes,
+        eecs_reads,
+        eecs_writes,
+        text,
+    }
+}
+
+/// §4.1.1: hierarchy-reconstruction coverage over time.
+pub fn hierarchy_coverage(records: &[TraceRecord]) -> String {
+    let pts = hierarchy::coverage_over_time(records.iter(), 30 * 60 * 1_000_000);
+    let mut text = String::new();
+    let _ = writeln!(text, "Hierarchy reconstruction coverage (30-minute buckets)");
+    for p in pts.iter().take(16) {
+        let _ = writeln!(
+            text,
+            "{:>14} {:>6.1}%",
+            nfstrace_core::time::format_micros(p.micros),
+            100.0 * p.known_fraction
+        );
+    }
+    text
+}
+
+/// §6.3: name-based prediction summary.
+pub fn names_report(records: &[TraceRecord]) -> String {
+    let rep = NamePredictionReport::from_records(records.iter());
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "Name prediction: {} files created, {} created+deleted, {:.1}% of churn is locks, {} renames",
+        rep.total_created,
+        rep.total_created_and_deleted,
+        100.0 * rep.lock_fraction_of_churn(),
+        rep.renames
+    );
+    let _ = writeln!(
+        text,
+        "{:<14} {:>7} {:>9} {:>9} {:>10} {:>10}",
+        "category", "files", "size-acc", "life-acc", "p50 life", "p99 life"
+    );
+    let mut cats: Vec<(&FileCategory, &nfstrace_core::names::CategoryStats)> =
+        rep.by_category.iter().collect();
+    cats.sort_by_key(|(_, s)| std::cmp::Reverse(s.files));
+    for (cat, s) in cats {
+        let fmt_life = |p: Option<u64>| {
+            p.map_or("-".to_string(), |v| format!("{:.2}s", v as f64 / 1e6))
+        };
+        let _ = writeln!(
+            text,
+            "{:<14} {:>7} {:>8.0}% {:>8.0}% {:>10} {:>10}",
+            cat.label(),
+            s.files,
+            100.0 * s.size_accuracy(),
+            100.0 * s.lifetime_accuracy(),
+            fmt_life(s.lifetime_percentile(50.0)),
+            fmt_life(s.lifetime_percentile(99.0)),
+        );
+    }
+    text
+}
+
+/// Marks records as read or write ops for quick tests.
+pub fn op_mix(records: &[TraceRecord]) -> (u64, u64, u64) {
+    let mut r = 0;
+    let mut w = 0;
+    let mut m = 0;
+    for rec in records {
+        match rec.op {
+            Op::Read => r += 1,
+            Op::Write => w += 1,
+            _ => m += 1,
+        }
+    }
+    (r, w, m)
+}

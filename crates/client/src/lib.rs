@@ -1,0 +1,27 @@
+//! NFS client model: caches, nfsiods, and a POSIX-ish file API.
+//!
+//! The paper's analyses exist because of two client-side artifacts this
+//! crate reproduces mechanistically:
+//!
+//! - **Call reordering** ([`nfsiod`]): asynchronous reads and writes are
+//!   issued by a pool of `nfsiod` processes; the process scheduler
+//!   determines which hits the wire first. One nfsiod → no reordering;
+//!   more → up to ~10% of calls reordered and delays up to a second
+//!   (§4.1.5).
+//! - **Client-side caching** ([`cache`]): NFS caches data per *file*,
+//!   validated by attribute checks. Metadata traffic (getattr/access/
+//!   lookup) dominates EECS because clients mostly revalidate; mailbox
+//!   delivery invalidates whole multi-megabyte inboxes on CAMPUS,
+//!   causing the enormous read volume (§6.1.2).
+//!
+//! [`machine::ClientMachine`] combines both over a shared
+//! [`nfstrace_fssim::NfsServer`], emitting [`machine::EmittedCall`]
+//! events that downstream crates turn into trace records or packets.
+
+pub mod cache;
+pub mod machine;
+pub mod nfsiod;
+
+pub use cache::{CacheConfig, ClientCache};
+pub use machine::{ClientConfig, ClientMachine, EmittedCall};
+pub use nfsiod::{NfsiodPool, ReorderStats};

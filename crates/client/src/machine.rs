@@ -1,0 +1,780 @@
+//! A simulated NFS client machine.
+//!
+//! [`ClientMachine`] exposes a POSIX-ish API (lookup, read, write,
+//! create, remove, ...) and turns it into NFS calls against a
+//! [`NfsServer`], going through the client cache (absorbing reads,
+//! generating revalidation getattrs) and the nfsiod pool (adding wire
+//! reordering for async data calls). Every call/reply pair is emitted as
+//! an [`EmittedCall`] for downstream conversion to trace records or
+//! packets.
+
+use crate::cache::{CacheConfig, ClientCache};
+use crate::nfsiod::NfsiodPool;
+use nfstrace_fssim::NfsServer;
+use nfstrace_nfs::fh::FileHandle;
+use nfstrace_nfs::v3::{
+    Access3Args, Call3, Commit3Args, Create3Args, CreateHow, DirOpArgs, FhArgs, Mkdir3Args,
+    Read3Args, Readdir3Args, Rename3Args, Reply3, Reply3Body, Setattr3Args, StableHow,
+    Symlink3Args, Write3Args,
+};
+use nfstrace_nfs::Sattr3;
+
+/// 8 KB, the block size used throughout the paper.
+const BLOCK: u64 = 8192;
+
+/// CPU time between successive async chunk dispatches: the kernel does a
+/// little work (page allocation, bookkeeping) before handing the next
+/// chunk to a biod.
+const DISPATCH_GAP_MICROS: u64 = 80;
+
+/// Client configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClientConfig {
+    /// Client IP identity.
+    pub ip: u32,
+    /// Credential uid.
+    pub uid: u32,
+    /// Credential gid.
+    pub gid: u32,
+    /// NFS protocol version this client reports (2 or 3). The machine
+    /// always computes with v3 semantics; version-2 clients are tagged so
+    /// the wire layer and analyses see the mix the paper describes.
+    pub vers: u8,
+    /// Number of nfsiod daemons (1 = no reordering).
+    pub nfsiods: usize,
+    /// Read transfer size per READ call.
+    pub rsize: u32,
+    /// Write transfer size per WRITE call.
+    pub wsize: u32,
+    /// Cache behaviour.
+    pub cache: CacheConfig,
+    /// Base one-way latency for synchronous (metadata) calls, µs.
+    pub meta_latency_micros: u64,
+    /// Server processing latency, µs.
+    pub server_latency_micros: u64,
+    /// RNG seed for the nfsiod pool.
+    pub seed: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            ip: 0x0a00_0001,
+            uid: 1000,
+            gid: 100,
+            vers: 3,
+            nfsiods: 4,
+            rsize: 32 * 1024,
+            wsize: 32 * 1024,
+            cache: CacheConfig::default(),
+            meta_latency_micros: 120,
+            server_latency_micros: 250,
+            seed: 1,
+        }
+    }
+}
+
+/// One call/reply pair as seen on the wire.
+#[derive(Debug, Clone)]
+pub struct EmittedCall {
+    /// Time the call reached the wire (capture timestamp), µs.
+    pub wire_micros: u64,
+    /// Time the reply was captured, µs.
+    pub reply_micros: u64,
+    /// RPC transaction id.
+    pub xid: u32,
+    /// Client IP.
+    pub client_ip: u32,
+    /// Server IP.
+    pub server_ip: u32,
+    /// Credential uid.
+    pub uid: u32,
+    /// Credential gid.
+    pub gid: u32,
+    /// Protocol version tag (2 or 3).
+    pub vers: u8,
+    /// The call.
+    pub call: Call3,
+    /// The reply.
+    pub reply: Reply3,
+}
+
+/// A simulated client machine bound to one server.
+#[derive(Debug)]
+pub struct ClientMachine {
+    /// The configuration.
+    pub config: ClientConfig,
+    cache: ClientCache,
+    pool: NfsiodPool,
+    next_xid: u32,
+    events: Vec<EmittedCall>,
+}
+
+impl ClientMachine {
+    /// Creates a client.
+    pub fn new(config: ClientConfig) -> Self {
+        ClientMachine {
+            cache: ClientCache::new(config.cache),
+            pool: NfsiodPool::new(config.nfsiods, config.seed),
+            next_xid: 1,
+            events: Vec::new(),
+            config,
+        }
+    }
+
+    /// Drains the emitted call/reply events accumulated so far.
+    pub fn take_events(&mut self) -> Vec<EmittedCall> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// The client cache (for inspecting hit/invalidation counters).
+    pub fn cache(&self) -> &ClientCache {
+        &self.cache
+    }
+
+    /// nfsiod reordering statistics.
+    pub fn reorder_stats(&self) -> crate::nfsiod::ReorderStats {
+        self.pool.stats()
+    }
+
+    fn xid(&mut self) -> u32 {
+        let x = self.next_xid;
+        self.next_xid = self.next_xid.wrapping_add(1);
+        x
+    }
+
+    /// Issues a synchronous (metadata) call; returns the reply and its
+    /// capture time.
+    fn sync_call(&mut self, server: &mut NfsServer, now: u64, call: Call3) -> (Reply3, u64) {
+        let wire = now + self.config.meta_latency_micros;
+        let reply_t = wire + self.config.server_latency_micros;
+        let reply = server.handle_v3(&call, wire);
+        let xid = self.xid();
+        self.events.push(EmittedCall {
+            wire_micros: wire,
+            reply_micros: reply_t,
+            xid,
+            client_ip: self.config.ip,
+            server_ip: server.server_ip,
+            uid: self.config.uid,
+            gid: self.config.gid,
+            vers: self.config.vers,
+            call,
+            reply: reply.clone(),
+        });
+        (reply, reply_t)
+    }
+
+    /// Issues an asynchronous (data) call through the nfsiod pool. The
+    /// daemon blocks until the reply returns, as real nfsiods do.
+    fn async_call(&mut self, server: &mut NfsServer, now: u64, call: Call3) -> (Reply3, u64) {
+        let transfer = match &call {
+            Call3::Read(a) => u64::from(a.count) / 50,
+            Call3::Write(a) => u64::from(a.count) / 50,
+            _ => 0,
+        };
+        let hold = self.config.server_latency_micros + transfer;
+        let wire = self.pool.dispatch_held(now, hold);
+        let reply_t = wire + self.config.server_latency_micros + transfer;
+        let reply = server.handle_v3(&call, wire);
+        let xid = self.xid();
+        self.events.push(EmittedCall {
+            wire_micros: wire,
+            reply_micros: reply_t,
+            xid,
+            client_ip: self.config.ip,
+            server_ip: server.server_ip,
+            uid: self.config.uid,
+            gid: self.config.gid,
+            vers: self.config.vers,
+            call,
+            reply: reply.clone(),
+        });
+        (reply, reply_t)
+    }
+
+    /// LOOKUP `name` in `dir`; returns the child handle if found, and
+    /// the completion time.
+    pub fn lookup(
+        &mut self,
+        server: &mut NfsServer,
+        now: u64,
+        dir: &FileHandle,
+        name: &str,
+    ) -> (Option<FileHandle>, u64) {
+        let (reply, t) = self.sync_call(
+            server,
+            now,
+            Call3::Lookup(DirOpArgs {
+                dir: dir.clone(),
+                name: name.to_string(),
+            }),
+        );
+        let fh = match &reply.body {
+            Reply3Body::Lookup(res) => {
+                if let (Some(obj), Some(attrs)) = (&res.object, &res.obj_attributes) {
+                    if let Some(id) = obj.as_u64() {
+                        self.cache
+                            .update_attrs(id, attrs.size, attrs.mtime.to_micros(), t);
+                    }
+                    Some(obj.clone())
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        };
+        (fh, t)
+    }
+
+    /// GETATTR on `file`, updating the attribute cache. Returns the size
+    /// and completion time.
+    pub fn getattr(
+        &mut self,
+        server: &mut NfsServer,
+        now: u64,
+        file: &FileHandle,
+    ) -> (Option<u64>, u64) {
+        let (reply, t) = self.sync_call(
+            server,
+            now,
+            Call3::Getattr(FhArgs {
+                object: file.clone(),
+            }),
+        );
+        let size = match &reply.body {
+            Reply3Body::Getattr(res) => res.attributes.map(|a| {
+                if let Some(id) = file.as_u64() {
+                    self.cache.update_attrs(id, a.size, a.mtime.to_micros(), t);
+                }
+                a.size
+            }),
+            _ => None,
+        };
+        (size, t)
+    }
+
+    /// ACCESS check (v3 clients issue these alongside getattrs).
+    pub fn access(&mut self, server: &mut NfsServer, now: u64, file: &FileHandle) -> u64 {
+        let (_, t) = self.sync_call(
+            server,
+            now,
+            Call3::Access(Access3Args {
+                object: file.clone(),
+                access: 0x1f,
+            }),
+        );
+        t
+    }
+
+    /// Revalidates the attribute cache for `file` if stale, issuing a
+    /// GETATTR when needed. Returns the completion time.
+    pub fn validate(&mut self, server: &mut NfsServer, now: u64, file: &FileHandle) -> u64 {
+        let Some(id) = file.as_u64() else { return now };
+        if self.cache.attrs_fresh(id, now) {
+            return now;
+        }
+        let (_, t) = self.getattr(server, now, file);
+        t
+    }
+
+    /// Reads `len` bytes at `offset`, using the cache: fresh cached
+    /// blocks are absorbed; the rest go to the wire in `rsize` chunks
+    /// through the nfsiod pool. Returns the completion time.
+    pub fn read(
+        &mut self,
+        server: &mut NfsServer,
+        now: u64,
+        file: &FileHandle,
+        offset: u64,
+        len: u64,
+    ) -> u64 {
+        let Some(id) = file.as_u64() else { return now };
+        let t0 = self.validate(server, now, file);
+        let mtime = self.cache.attrs(id).map_or(0, |a| a.mtime);
+
+        // Plan the uncached chunks up front: real clients issue the
+        // whole read-ahead window through their nfsiods concurrently,
+        // which is exactly where §4.1.5's call reordering comes from.
+        let end = offset + len;
+        let mut chunks: Vec<(u64, u32)> = Vec::new();
+        let mut cursor = offset;
+        while cursor < end {
+            let block = cursor / BLOCK;
+            if self.cache.block_cached(id, block) {
+                cursor = (block + 1) * BLOCK;
+                continue;
+            }
+            let chunk_start = block * BLOCK;
+            let max_here =
+                (u64::from(self.config.rsize)).min(end.saturating_sub(chunk_start).max(BLOCK));
+            let mut chunk_len = 0u64;
+            while chunk_len < max_here
+                && chunk_start + chunk_len < end
+                && !self.cache.block_cached(id, (chunk_start + chunk_len) / BLOCK)
+            {
+                chunk_len += BLOCK;
+            }
+            let count = chunk_len.min(u64::from(self.config.rsize)) as u32;
+            chunks.push((chunk_start, count));
+            cursor = chunk_start + u64::from(count);
+        }
+
+        let mut done = t0;
+        for (i, (chunk_start, count)) in chunks.into_iter().enumerate() {
+            // The kernel pages through the file, dispatching the next
+            // chunk to a biod after a little CPU work.
+            let issue = t0 + i as u64 * DISPATCH_GAP_MICROS;
+            let (reply, rt) = self.async_call(
+                server,
+                issue,
+                Call3::Read(Read3Args {
+                    file: file.clone(),
+                    offset: chunk_start,
+                    count,
+                }),
+            );
+            done = done.max(rt);
+            if let Reply3Body::Read(res) = &reply.body {
+                let got = u64::from(res.count);
+                let new_mtime = res
+                    .file_attributes
+                    .map(|a| a.mtime.to_micros())
+                    .unwrap_or(mtime);
+                for b in chunk_start / BLOCK..(chunk_start + got.max(1)).div_ceil(BLOCK) {
+                    self.cache.insert_block(id, b, new_mtime);
+                }
+                if res.eof {
+                    break;
+                }
+            }
+        }
+        done
+    }
+
+    /// Reads the whole file (validating first), as a mail client scans
+    /// an inbox. Returns the completion time.
+    pub fn read_file(&mut self, server: &mut NfsServer, now: u64, file: &FileHandle) -> u64 {
+        let Some(id) = file.as_u64() else { return now };
+        let t = self.validate(server, now, file);
+        let size = self.cache.attrs(id).map_or(0, |a| a.size);
+        if size == 0 {
+            return t;
+        }
+        self.read(server, t, file, 0, size)
+    }
+
+    /// Writes `len` bytes at `offset` in `wsize` chunks through the
+    /// nfsiod pool. The cache tracks our own mtime so self-writes do not
+    /// self-invalidate. Returns the completion time.
+    pub fn write(
+        &mut self,
+        server: &mut NfsServer,
+        now: u64,
+        file: &FileHandle,
+        offset: u64,
+        len: u64,
+    ) -> u64 {
+        let Some(id) = file.as_u64() else { return now };
+        let mut done = now;
+        let mut written = 0u64;
+        let mut chunk_index = 0u64;
+        while written < len {
+            // Chunks end on wsize boundaries: the client's page cache
+            // flushes aligned pages, so one logical write never touches
+            // the same block from two wire writes.
+            let pos = offset + written;
+            let to_boundary = u64::from(self.config.wsize) - (pos % u64::from(self.config.wsize));
+            let count = (len - written).min(to_boundary) as u32;
+            let issue = now + chunk_index * DISPATCH_GAP_MICROS;
+            chunk_index += 1;
+            let (reply, rt) = self.async_call(
+                server,
+                issue,
+                Call3::Write(Write3Args {
+                    file: file.clone(),
+                    offset: offset + written,
+                    count,
+                    stable: StableHow::Unstable,
+                    data: vec![0u8; count as usize],
+                }),
+            );
+            done = done.max(rt);
+            if let Reply3Body::Write(res) = &reply.body {
+                if let Some(after) = res.wcc.after {
+                    let mtime = after.mtime.to_micros();
+                    self.cache.note_own_write(id, after.size, mtime, rt);
+                    for b in (offset + written) / BLOCK
+                        ..(offset + written + u64::from(count)).div_ceil(BLOCK)
+                    {
+                        self.cache.insert_block(id, b, mtime);
+                    }
+                }
+            }
+            written += u64::from(count);
+        }
+        done
+    }
+
+    /// COMMIT after unstable writes.
+    pub fn commit(&mut self, server: &mut NfsServer, now: u64, file: &FileHandle) -> u64 {
+        let (_, t) = self.sync_call(
+            server,
+            now,
+            Call3::Commit(Commit3Args {
+                file: file.clone(),
+                offset: 0,
+                count: 0,
+            }),
+        );
+        t
+    }
+
+    /// CREATE a file; returns its handle and the completion time.
+    pub fn create(
+        &mut self,
+        server: &mut NfsServer,
+        now: u64,
+        dir: &FileHandle,
+        name: &str,
+    ) -> (Option<FileHandle>, u64) {
+        let (reply, t) = self.sync_call(
+            server,
+            now,
+            Call3::Create(Create3Args {
+                where_: DirOpArgs {
+                    dir: dir.clone(),
+                    name: name.to_string(),
+                },
+                how: CreateHow::Unchecked,
+                attributes: Sattr3::default(),
+            }),
+        );
+        let fh = match &reply.body {
+            Reply3Body::Create(res) => {
+                if let (Some(obj), Some(attrs)) = (&res.obj, &res.obj_attributes) {
+                    if let Some(id) = obj.as_u64() {
+                        self.cache
+                            .update_attrs(id, attrs.size, attrs.mtime.to_micros(), t);
+                    }
+                }
+                res.obj.clone()
+            }
+            _ => None,
+        };
+        (fh, t)
+    }
+
+    /// MKDIR; returns the new directory handle.
+    pub fn mkdir(
+        &mut self,
+        server: &mut NfsServer,
+        now: u64,
+        dir: &FileHandle,
+        name: &str,
+    ) -> (Option<FileHandle>, u64) {
+        let (reply, t) = self.sync_call(
+            server,
+            now,
+            Call3::Mkdir(Mkdir3Args {
+                where_: DirOpArgs {
+                    dir: dir.clone(),
+                    name: name.to_string(),
+                },
+                attributes: Sattr3::default(),
+            }),
+        );
+        let fh = match reply.body {
+            Reply3Body::Mkdir(res) => res.obj,
+            _ => None,
+        };
+        (fh, t)
+    }
+
+    /// SYMLINK.
+    pub fn symlink(
+        &mut self,
+        server: &mut NfsServer,
+        now: u64,
+        dir: &FileHandle,
+        name: &str,
+        target: &str,
+    ) -> u64 {
+        let (_, t) = self.sync_call(
+            server,
+            now,
+            Call3::Symlink(Symlink3Args {
+                where_: DirOpArgs {
+                    dir: dir.clone(),
+                    name: name.to_string(),
+                },
+                attributes: Sattr3::default(),
+                target: target.to_string(),
+            }),
+        );
+        t
+    }
+
+    /// REMOVE `name` from `dir`, dropping any cached state for it.
+    pub fn remove(&mut self, server: &mut NfsServer, now: u64, dir: &FileHandle, name: &str) -> u64 {
+        // Know which file dies so the cache can forget it.
+        if let Ok(id) = server.fs().lookup(dir.as_u64().unwrap_or(0), name) {
+            self.cache.forget(id);
+        }
+        let (_, t) = self.sync_call(
+            server,
+            now,
+            Call3::Remove(DirOpArgs {
+                dir: dir.clone(),
+                name: name.to_string(),
+            }),
+        );
+        t
+    }
+
+    /// RENAME within or across directories.
+    pub fn rename(
+        &mut self,
+        server: &mut NfsServer,
+        now: u64,
+        from_dir: &FileHandle,
+        from: &str,
+        to_dir: &FileHandle,
+        to: &str,
+    ) -> u64 {
+        let (_, t) = self.sync_call(
+            server,
+            now,
+            Call3::Rename(Rename3Args {
+                from: DirOpArgs {
+                    dir: from_dir.clone(),
+                    name: from.to_string(),
+                },
+                to: DirOpArgs {
+                    dir: to_dir.clone(),
+                    name: to.to_string(),
+                },
+            }),
+        );
+        t
+    }
+
+    /// SETATTR truncating (or extending) `file` to `size`.
+    pub fn truncate(
+        &mut self,
+        server: &mut NfsServer,
+        now: u64,
+        file: &FileHandle,
+        size: u64,
+    ) -> u64 {
+        let (reply, t) = self.sync_call(
+            server,
+            now,
+            Call3::Setattr(Setattr3Args {
+                object: file.clone(),
+                new_attributes: Sattr3 {
+                    size: Some(size),
+                    set_mtime_to_server: true,
+                    ..Sattr3::default()
+                },
+                guard_ctime: None,
+            }),
+        );
+        if let (Some(id), Reply3Body::Setattr(res)) = (file.as_u64(), &reply.body) {
+            if let Some(after) = res.wcc.after {
+                self.cache
+                    .update_attrs(id, after.size, after.mtime.to_micros(), t);
+            }
+        }
+        t
+    }
+
+    /// READDIR one page of `dir`.
+    pub fn readdir(&mut self, server: &mut NfsServer, now: u64, dir: &FileHandle) -> u64 {
+        let (_, t) = self.sync_call(
+            server,
+            now,
+            Call3::Readdir(Readdir3Args {
+                dir: dir.clone(),
+                cookie: 0,
+                cookieverf: [0; 8],
+                count: 8192,
+            }),
+        );
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (NfsServer, ClientMachine, FileHandle) {
+        let server = NfsServer::new(0x0a00_0064);
+        let root = server.root_fh();
+        let client = ClientMachine::new(ClientConfig {
+            nfsiods: 1, // deterministic ordering for tests
+            ..ClientConfig::default()
+        });
+        (server, client, root)
+    }
+
+    #[test]
+    fn create_write_read_emits_calls() {
+        let (mut server, mut client, root) = setup();
+        let (fh, t) = client.create(&mut server, 0, &root, "inbox");
+        let fh = fh.expect("created");
+        let t = client.write(&mut server, t, &fh, 0, 100_000);
+        let _ = client.read_file(&mut server, t, &fh);
+        let events = client.take_events();
+        let ops: Vec<&str> = events.iter().map(|e| e.call.proc().name()).collect();
+        assert!(ops.contains(&"CREATE"));
+        assert!(ops.contains(&"WRITE"));
+        // Reads were absorbed: our own writes populated the cache.
+        assert!(!ops.contains(&"READ"), "ops = {ops:?}");
+    }
+
+    #[test]
+    fn foreign_write_invalidates_and_rereads() {
+        let (mut server, mut client, root) = setup();
+        let (fh, t) = client.create(&mut server, 0, &root, "inbox");
+        let fh = fh.expect("created");
+        let t = client.write(&mut server, t, &fh, 0, 64 * 1024);
+        let t = client.read_file(&mut server, t, &fh);
+        client.take_events();
+
+        // Another writer (mail delivery) appends server-side.
+        let id = fh.as_u64().unwrap();
+        server.fs_mut().write(id, 64 * 1024, 4096, t + 1000).unwrap();
+
+        // After the attribute timeout, the next scan re-reads everything.
+        let later = t + 60 * 1_000_000;
+        client.read_file(&mut server, later, &fh);
+        let events = client.take_events();
+        let reads: u64 = events
+            .iter()
+            .filter(|e| matches!(e.call, Call3::Read(_)))
+            .map(|e| match &e.reply.body {
+                Reply3Body::Read(r) => u64::from(r.count),
+                _ => 0,
+            })
+            .sum();
+        assert!(
+            reads >= 64 * 1024,
+            "whole file should be re-read, got {reads}"
+        );
+        assert!(client.cache().invalidations >= 1);
+    }
+
+    #[test]
+    fn fresh_attrs_absorb_repeated_scans() {
+        let (mut server, mut client, root) = setup();
+        let (fh, t) = client.create(&mut server, 0, &root, "mbox");
+        let fh = fh.expect("created");
+        let t = client.write(&mut server, t, &fh, 0, 32 * 1024);
+        let t = client.read_file(&mut server, t, &fh);
+        client.take_events();
+        // Rescan within the attribute timeout: no wire traffic at all.
+        client.read_file(&mut server, t + 1_000_000, &fh);
+        let events = client.take_events();
+        assert!(events.is_empty(), "events = {:?}", events.len());
+    }
+
+    #[test]
+    fn stale_attrs_cause_getattr_only_when_unchanged() {
+        let (mut server, mut client, root) = setup();
+        let (fh, t) = client.create(&mut server, 0, &root, "doc");
+        let fh = fh.expect("created");
+        let t = client.write(&mut server, t, &fh, 0, 8192);
+        let t = client.read_file(&mut server, t, &fh);
+        client.take_events();
+        // Well past the timeout, nothing changed: one GETATTR, no READs.
+        client.read_file(&mut server, t + 120 * 1_000_000, &fh);
+        let events = client.take_events();
+        let ops: Vec<&str> = events.iter().map(|e| e.call.proc().name()).collect();
+        assert_eq!(ops, vec!["GETATTR"]);
+    }
+
+    #[test]
+    fn remove_emits_and_forgets() {
+        let (mut server, mut client, root) = setup();
+        let (fh, t) = client.create(&mut server, 0, &root, "x.lock");
+        let fh = fh.expect("created");
+        let t = client.remove(&mut server, t, &root, "x.lock");
+        let events = client.take_events();
+        assert_eq!(events.last().unwrap().call.proc().name(), "REMOVE");
+        let _ = (fh, t);
+    }
+
+    #[test]
+    fn lookup_miss_returns_none() {
+        let (mut server, mut client, root) = setup();
+        let (fh, _) = client.lookup(&mut server, 0, &root, "absent");
+        assert!(fh.is_none());
+    }
+
+    #[test]
+    fn reads_chunked_by_rsize() {
+        let (mut server, mut client, root) = setup();
+        let (fh, t) = client.create(&mut server, 0, &root, "big");
+        let fh = fh.expect("created");
+        // Write 256 KB server-side so the client cache is cold.
+        server
+            .fs_mut()
+            .write(fh.as_u64().unwrap(), 0, 256 * 1024, t)
+            .unwrap();
+        client.read_file(&mut server, t + 40_000_000, &fh);
+        let events = client.take_events();
+        let read_counts: Vec<u32> = events
+            .iter()
+            .filter_map(|e| match &e.call {
+                Call3::Read(a) => Some(a.count),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(read_counts.len(), 8); // 256 KB / 32 KB
+        assert!(read_counts.iter().all(|&c| c == 32 * 1024));
+    }
+
+    #[test]
+    fn writes_chunked_by_wsize() {
+        let (mut server, mut client, root) = setup();
+        let (fh, t) = client.create(&mut server, 0, &root, "w");
+        let fh = fh.expect("created");
+        client.write(&mut server, t, &fh, 0, 100 * 1024);
+        let events = client.take_events();
+        let writes: Vec<u32> = events
+            .iter()
+            .filter_map(|e| match &e.call {
+                Call3::Write(a) => Some(a.count),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(writes.len(), 4); // 3 x 32 KB + 1 x 4 KB
+        assert_eq!(writes.iter().map(|&c| u64::from(c)).sum::<u64>(), 100 * 1024);
+    }
+
+    #[test]
+    fn multiple_nfsiods_reorder_reads() {
+        let mut server = NfsServer::new(1);
+        let root = server.root_fh();
+        let mut client = ClientMachine::new(ClientConfig {
+            nfsiods: 8,
+            seed: 5,
+            ..ClientConfig::default()
+        });
+        let (fh, t) = client.create(&mut server, 0, &root, "big");
+        let fh = fh.expect("created");
+        server
+            .fs_mut()
+            .write(fh.as_u64().unwrap(), 0, 64 * 1024 * 1024, t)
+            .unwrap();
+        let mut now = t + 40_000_000;
+        // Issue many single-block reads in a tight loop.
+        for i in 0..2000u64 {
+            client.read(&mut server, now, &fh, (i % 8192) * BLOCK, BLOCK);
+            now += 300;
+        }
+        assert!(client.reorder_stats().reordered > 0);
+    }
+}

@@ -1,0 +1,207 @@
+//! Comparison numbers quoted from earlier trace studies.
+//!
+//! Tables 2 and 3 of the paper place CAMPUS and EECS beside the Roselli
+//! INS/RES/NT traces (2000), the Sprite traces (1991), and the BSD study.
+//! These constants are transcriptions of the published rows so the bench
+//! binaries can print the full comparative tables; they are *inputs*, not
+//! measurements.
+
+/// A Table 2 column: average daily activity of a historical trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DailyActivityRow {
+    /// Trace label.
+    pub name: &'static str,
+    /// Year the trace was gathered.
+    pub year: u32,
+    /// Days of data.
+    pub days: u32,
+    /// Total ops per day, millions.
+    pub total_ops_millions: f64,
+    /// Data read per day, GB.
+    pub data_read_gb: f64,
+    /// Read ops per day, millions.
+    pub read_ops_millions: f64,
+    /// Data written per day, GB.
+    pub data_written_gb: f64,
+    /// Write ops per day, millions.
+    pub write_ops_millions: f64,
+    /// Read/write bytes ratio.
+    pub rw_bytes_ratio: f64,
+    /// Read/write ops ratio.
+    pub rw_ops_ratio: f64,
+}
+
+/// The INS (instructional), RES (research), NT (desktop), and Sprite
+/// columns of Table 2.
+pub const TABLE2_HISTORICAL: [DailyActivityRow; 4] = [
+    DailyActivityRow {
+        name: "INS",
+        year: 2000,
+        days: 31,
+        total_ops_millions: 8.30,
+        data_read_gb: 3.05,
+        read_ops_millions: 2.32,
+        data_written_gb: 0.542,
+        write_ops_millions: 0.15,
+        rw_bytes_ratio: 5.6,
+        rw_ops_ratio: 15.4,
+    },
+    DailyActivityRow {
+        name: "RES",
+        year: 2000,
+        days: 31,
+        total_ops_millions: 3.20,
+        data_read_gb: 1.70,
+        read_ops_millions: 0.303,
+        data_written_gb: 0.455,
+        write_ops_millions: 0.071,
+        rw_bytes_ratio: 3.7,
+        rw_ops_ratio: 4.27,
+    },
+    DailyActivityRow {
+        name: "NT",
+        year: 2000,
+        days: 31,
+        total_ops_millions: 3.87,
+        data_read_gb: 4.04,
+        read_ops_millions: 1.27,
+        data_written_gb: 0.639,
+        write_ops_millions: 0.231,
+        rw_bytes_ratio: 6.3,
+        rw_ops_ratio: 4.49,
+    },
+    DailyActivityRow {
+        name: "Sprite",
+        year: 1991,
+        days: 8,
+        total_ops_millions: 0.432,
+        data_read_gb: 5.36,
+        read_ops_millions: 0.207,
+        data_written_gb: 1.16,
+        write_ops_millions: 0.057,
+        rw_bytes_ratio: 4.6,
+        rw_ops_ratio: 3.61,
+    },
+];
+
+/// The paper's own Table 2 rows (the published CAMPUS/EECS numbers), for
+/// shape comparison against regenerated results.
+pub const TABLE2_PAPER: [DailyActivityRow; 2] = [
+    DailyActivityRow {
+        name: "CAMPUS(wk)",
+        year: 2001,
+        days: 7,
+        total_ops_millions: 26.7,
+        data_read_gb: 119.6,
+        read_ops_millions: 17.29,
+        data_written_gb: 44.57,
+        write_ops_millions: 5.73,
+        rw_bytes_ratio: 2.68,
+        rw_ops_ratio: 3.01,
+    },
+    DailyActivityRow {
+        name: "EECS(wk)",
+        year: 2001,
+        days: 7,
+        total_ops_millions: 4.44,
+        data_read_gb: 5.10,
+        read_ops_millions: 0.461,
+        data_written_gb: 9.086,
+        write_ops_millions: 0.667,
+        rw_bytes_ratio: 0.56,
+        rw_ops_ratio: 0.69,
+    },
+];
+
+/// A Table 3 column: run-pattern percentages of a historical study.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PatternRow {
+    /// Study label.
+    pub name: &'static str,
+    /// Reads as % of runs, then entire/seq/random as % of reads.
+    pub reads: [f64; 4],
+    /// Writes as % of runs, then entire/seq/random as % of writes.
+    pub writes: [f64; 4],
+    /// Read-write as % of runs, then entire/seq/random as % of r-w.
+    pub read_writes: [f64; 4],
+}
+
+/// The NT, Sprite, and BSD columns of Table 3.
+pub const TABLE3_HISTORICAL: [PatternRow; 3] = [
+    PatternRow {
+        name: "NT",
+        reads: [73.8, 64.6, 7.1, 28.3],
+        writes: [23.5, 41.6, 57.1, 1.3],
+        read_writes: [2.7, 15.9, 0.3, 83.8],
+    },
+    PatternRow {
+        name: "Sprite",
+        reads: [83.5, 72.5, 25.4, 2.1],
+        writes: [15.4, 67.0, 28.9, 4.0],
+        read_writes: [1.1, 0.1, 0.0, 99.9],
+    },
+    PatternRow {
+        name: "BSD",
+        reads: [64.5, 67.1, 24.0, 8.9],
+        writes: [27.5, 82.5, 17.2, 0.3],
+        read_writes: [7.9, f64::NAN, f64::NAN, 75.1],
+    },
+];
+
+/// The paper's processed CAMPUS and EECS Table 3 columns.
+pub const TABLE3_PAPER: [PatternRow; 2] = [
+    PatternRow {
+        name: "CAMPUS",
+        reads: [53.1, 57.6, 33.9, 8.6],
+        writes: [43.9, 37.8, 53.2, 9.0],
+        read_writes: [3.0, 3.5, 2.1, 94.3],
+    },
+    PatternRow {
+        name: "EECS",
+        reads: [16.5, 57.2, 39.0, 3.8],
+        writes: [82.3, 19.6, 78.3, 2.1],
+        read_writes: [1.1, 5.8, 7.3, 86.8],
+    },
+];
+
+/// Table 4 as published, for shape comparison: (write-birth %,
+/// extension-birth %, overwrite-death %, truncate-death %,
+/// delete-death %).
+pub const TABLE4_PAPER_CAMPUS: [f64; 5] = [99.9, 0.1, 99.1, 0.6, 0.3];
+/// See [`TABLE4_PAPER_CAMPUS`].
+pub const TABLE4_PAPER_EECS: [f64; 5] = [75.5, 24.5, 42.4, 5.8, 51.8];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_percent_shapes() {
+        // Historical traces all read more than they write; the paper's
+        // EECS inverts that. These sanity checks guard transcription.
+        for row in TABLE2_HISTORICAL {
+            assert!(row.rw_bytes_ratio > 1.0, "{}", row.name);
+            assert!(row.rw_ops_ratio > 1.0, "{}", row.name);
+        }
+        assert!(TABLE2_PAPER[0].rw_bytes_ratio > 1.0); // CAMPUS reads dominate
+        assert!(TABLE2_PAPER[1].rw_bytes_ratio < 1.0); // EECS writes dominate
+    }
+
+    #[test]
+    fn table3_breakdowns_sum_to_about_100() {
+        for row in TABLE3_PAPER {
+            let total = row.reads[0] + row.writes[0] + row.read_writes[0];
+            assert!((total - 100.0).abs() < 1.0, "{}: {total}", row.name);
+            let read_sum: f64 = row.reads[1..].iter().sum();
+            assert!((read_sum - 100.0).abs() < 1.0, "{}: {read_sum}", row.name);
+        }
+    }
+
+    #[test]
+    fn table4_death_causes_sum_to_100() {
+        let c: f64 = TABLE4_PAPER_CAMPUS[2..].iter().sum();
+        let e: f64 = TABLE4_PAPER_EECS[2..].iter().sum();
+        assert!((c - 100.0).abs() < 0.5);
+        assert!((e - 100.0).abs() < 0.5);
+    }
+}

@@ -1,0 +1,43 @@
+//! Trace record model and the FAST 2003 analysis suite.
+//!
+//! This crate is the paper's analytical contribution, reimplemented as a
+//! library. It consumes streams of [`TraceRecord`]s — version-independent
+//! NFS call/reply pairs, as produced by `nfstrace-sniffer` or directly by
+//! `nfstrace-workload` — and computes every analysis in the paper:
+//!
+//! - [`summary`]: daily activity totals (Table 2) and the data/metadata
+//!   and read/write characterizations (Table 1).
+//! - [`reorder`]: the reorder-window partial sort that undoes nfsiod
+//!   call reordering, and the swapped-access measurement (Figure 1).
+//! - [`runs`]: run splitting and the entire/sequential/random taxonomy
+//!   (Table 3), plus the file-size access profile (Figure 2).
+//! - [`seqmetric`]: the sequentiality metric with k-consecutive block
+//!   tolerance (Figure 5).
+//! - [`lifetime`]: create-based block lifetime analysis (Table 4,
+//!   Figure 3).
+//! - [`hourly`]: time-of-day variance and peak-hour statistics
+//!   (Figure 4, Table 5).
+//! - [`names`]: filename → attribute prediction (§6.3).
+//! - [`hierarchy`]: on-the-fly reconstruction of the active directory
+//!   tree from lookup traffic (§4.1.1).
+//! - [`historical`]: the comparison numbers the paper quotes from the
+//!   Sprite, BSD, INS/RES, and NT studies.
+//! - [`text`]: the anonymizable on-disk trace format.
+//! - [`time`]: simulation-time helpers (the trace epoch is a Sunday
+//!   midnight, matching the paper's 10/21/2001 week).
+
+pub mod hierarchy;
+pub mod historical;
+pub mod hourly;
+pub mod lifetime;
+pub mod names;
+pub mod record;
+pub mod reorder;
+pub mod runs;
+pub mod seqmetric;
+pub mod summary;
+pub mod text;
+pub mod time;
+
+pub use record::{FileId, Op, TraceRecord};
+pub use summary::SummaryStats;

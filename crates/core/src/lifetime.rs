@@ -1,0 +1,581 @@
+//! Create-based block lifetime analysis (§5.2, Table 4, Figure 3).
+//!
+//! Following Roselli's create-based method, the trace is processed in two
+//! phases. During Phase 1 both block *births* (data writes or file
+//! extensions) and *deaths* (overwrites, truncates, file deletions) are
+//! recorded; during Phase 2 (the *end margin*) only deaths are recorded.
+//! Death records whose lifespan exceeds the Phase 2 length are discarded
+//! to remove sampling bias, and every Phase-1-born block without a
+//! counted death is *end surplus*.
+//!
+//! The paper ran five 24-hour Phase 1 windows (weekday 9am starts) each
+//! with a 24-hour end margin.
+
+use crate::record::{FileId, Op, TraceRecord};
+use crate::runs::BLOCK;
+use std::collections::HashMap;
+
+/// Why a block came into existence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BirthCause {
+    /// An actual data write.
+    Write,
+    /// File extension: blocks between the old end-of-file and the write
+    /// (or truncate-up target) that were never explicitly written.
+    Extension,
+}
+
+/// Why a block died.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeathCause {
+    /// Overwritten by a later write.
+    Overwrite,
+    /// Discarded by a truncating SETATTR (or truncating CREATE).
+    Truncate,
+    /// The file was removed.
+    Delete,
+}
+
+/// Phase configuration for one analysis window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LifetimeConfig {
+    /// Start of Phase 1 (births + deaths recorded).
+    pub phase1_start: u64,
+    /// Length of Phase 1 in microseconds.
+    pub phase1_len: u64,
+    /// Length of Phase 2, the end margin (deaths only).
+    pub phase2_len: u64,
+}
+
+impl LifetimeConfig {
+    /// The paper's daily configuration: 24 h phase starting at
+    /// `start`, with a 24 h end margin.
+    pub fn daily(start: u64) -> Self {
+        Self {
+            phase1_start: start,
+            phase1_len: crate::time::DAY,
+            phase2_len: crate::time::DAY,
+        }
+    }
+
+    fn phase1_end(&self) -> u64 {
+        self.phase1_start + self.phase1_len
+    }
+
+    fn phase2_end(&self) -> u64 {
+        self.phase1_end() + self.phase2_len
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LiveBlock {
+    birth_micros: u64,
+    /// Whether the birth fell inside Phase 1 (countable).
+    countable: bool,
+}
+
+#[derive(Debug, Default)]
+struct FileState {
+    size: u64,
+    live: HashMap<u64, LiveBlock>,
+}
+
+/// The outcome of one lifetime analysis window.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LifetimeReport {
+    /// Countable births from data writes.
+    pub births_write: u64,
+    /// Countable births from file extension.
+    pub births_extension: u64,
+    /// Counted deaths by overwrite.
+    pub deaths_overwrite: u64,
+    /// Counted deaths by truncation.
+    pub deaths_truncate: u64,
+    /// Counted deaths by file deletion.
+    pub deaths_delete: u64,
+    /// Deaths discarded because the lifespan exceeded Phase 2.
+    pub deaths_discarded: u64,
+    /// Phase-1 births with no counted death.
+    pub end_surplus: u64,
+    /// Lifespans (µs) of counted deaths, unsorted.
+    pub lifespans: Vec<u64>,
+}
+
+impl LifetimeReport {
+    /// Total countable births.
+    pub fn births_total(&self) -> u64 {
+        self.births_write + self.births_extension
+    }
+
+    /// Total counted deaths.
+    pub fn deaths_total(&self) -> u64 {
+        self.deaths_overwrite + self.deaths_truncate + self.deaths_delete
+    }
+
+    /// End surplus as a fraction of births (the paper reports 2.1–5.9%
+    /// for CAMPUS, 3.5–9.5% for EECS).
+    pub fn end_surplus_fraction(&self) -> f64 {
+        let b = self.births_total();
+        if b == 0 {
+            0.0
+        } else {
+            self.end_surplus as f64 / b as f64
+        }
+    }
+
+    /// Merges another window's report into this one (the paper sums five
+    /// weekday windows for Table 4).
+    pub fn merge(&mut self, other: &LifetimeReport) {
+        self.births_write += other.births_write;
+        self.births_extension += other.births_extension;
+        self.deaths_overwrite += other.deaths_overwrite;
+        self.deaths_truncate += other.deaths_truncate;
+        self.deaths_delete += other.deaths_delete;
+        self.deaths_discarded += other.deaths_discarded;
+        self.end_surplus += other.end_surplus;
+        self.lifespans.extend_from_slice(&other.lifespans);
+    }
+
+    /// Cumulative fraction of counted deaths with lifespan ≤ each probe
+    /// point (Figure 3's x-axis: 1 s, 30 s, 5 min, 1 h, 1 day).
+    pub fn cdf(&self, probes_micros: &[u64]) -> Vec<(u64, f64)> {
+        let n = self.lifespans.len() as f64;
+        probes_micros
+            .iter()
+            .map(|&p| {
+                let c = self.lifespans.iter().filter(|&&l| l <= p).count() as f64;
+                (p, if n == 0.0 { 0.0 } else { c / n })
+            })
+            .collect()
+    }
+
+    /// Median lifespan of counted deaths, if any.
+    pub fn median_lifespan(&self) -> Option<u64> {
+        if self.lifespans.is_empty() {
+            return None;
+        }
+        let mut v = self.lifespans.clone();
+        v.sort_unstable();
+        Some(v[v.len() / 2])
+    }
+}
+
+/// Standard Figure 3 probe points.
+pub fn figure3_probes() -> Vec<u64> {
+    use crate::time::{DAY, HOUR, MINUTE, SECOND};
+    vec![
+        SECOND,
+        30 * SECOND,
+        5 * MINUTE,
+        30 * MINUTE,
+        HOUR,
+        6 * HOUR,
+        18 * HOUR,
+        DAY,
+    ]
+}
+
+/// The streaming analyzer. Feed time-ordered records with
+/// [`BlockLifetimeAnalyzer::observe`], then call
+/// [`BlockLifetimeAnalyzer::finish`].
+#[derive(Debug)]
+pub struct BlockLifetimeAnalyzer {
+    config: LifetimeConfig,
+    files: HashMap<FileId, FileState>,
+    /// (directory, name) → file, learned from lookups and creates so
+    /// REMOVE calls (which carry only the directory and name) can be
+    /// attributed to a file.
+    names: HashMap<(FileId, String), FileId>,
+    report: LifetimeReport,
+}
+
+impl BlockLifetimeAnalyzer {
+    /// Creates an analyzer for one window.
+    pub fn new(config: LifetimeConfig) -> Self {
+        Self {
+            config,
+            files: HashMap::new(),
+            names: HashMap::new(),
+            report: LifetimeReport::default(),
+        }
+    }
+
+    /// Processes one record. Records outside the two phases are ignored
+    /// except for name learning (which has no timing sensitivity).
+    pub fn observe(&mut self, r: &TraceRecord) {
+        // Name learning happens regardless of phase.
+        match r.op {
+            Op::Lookup | Op::Create | Op::Mkdir | Op::Symlink | Op::Mknod => {
+                if let (Some(name), Some(child)) = (&r.name, r.new_fh) {
+                    self.names.insert((r.fh, name.clone()), child);
+                }
+            }
+            Op::Rename => {
+                if let (Some(from), Some(to)) = (&r.name, &r.name2) {
+                    if let Some(child) = self.names.remove(&(r.fh, from.clone())) {
+                        let to_dir = r.fh2.unwrap_or(r.fh);
+                        // A rename over an existing file deletes it.
+                        if let Some(old) = self.names.insert((to_dir, to.clone()), child) {
+                            if old != child {
+                                self.kill_file(old, r.micros, DeathCause::Delete);
+                            }
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+
+        if r.micros < self.config.phase1_start || r.micros >= self.config.phase2_end() {
+            return;
+        }
+
+        match r.op {
+            Op::Write => self.on_write(r),
+            Op::Setattr => {
+                if let Some(target) = r.truncate_to {
+                    self.on_truncate(r.fh, target, r.micros);
+                }
+            }
+            Op::Create => {
+                // CREATE (unchecked) over an existing name truncates it.
+                if let Some(name) = &r.name {
+                    if let Some(&existing) = self.names.get(&(r.fh, name.clone())) {
+                        if Some(existing) != r.new_fh {
+                            self.kill_file(existing, r.micros, DeathCause::Delete);
+                        } else {
+                            self.on_truncate(existing, 0, r.micros);
+                        }
+                    }
+                }
+                if let Some(new) = r.new_fh {
+                    self.files.entry(new).or_default().size = 0;
+                }
+            }
+            Op::Remove => {
+                if let Some(name) = &r.name {
+                    if let Some(child) = self.names.remove(&(r.fh, name.clone())) {
+                        self.kill_file(child, r.micros, DeathCause::Delete);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_write(&mut self, r: &TraceRecord) {
+        let now = r.micros;
+        let count = r.ret_count.max(r.count);
+        let state = self.files.entry(r.fh).or_default();
+        // Seed size from WCC pre-op attributes when this is the first
+        // sighting of the file.
+        if state.size == 0 && state.live.is_empty() {
+            if let Some(pre) = r.pre_size {
+                state.size = pre;
+            }
+        }
+        let in_phase1 = now < self.config.phase1_end();
+
+        // Extension births: blocks between old EOF and the write start.
+        if r.offset > state.size {
+            let first = (state.size + BLOCK - 1) / BLOCK;
+            let last = r.offset / BLOCK;
+            for b in first..last {
+                state.live.insert(
+                    b,
+                    LiveBlock {
+                        birth_micros: now,
+                        countable: in_phase1,
+                    },
+                );
+                if in_phase1 {
+                    self.report.births_extension += 1;
+                }
+            }
+        }
+
+        // Written blocks: overwrite deaths then births.
+        let start = r.offset / BLOCK;
+        let end = (r.offset + u64::from(count) + BLOCK - 1) / BLOCK;
+        for b in start..end.max(start + 1) {
+            if let Some(old) = state.live.remove(&b) {
+                record_death(
+                    &mut self.report,
+                    &self.config,
+                    old,
+                    now,
+                    DeathCause::Overwrite,
+                );
+            }
+            state.live.insert(
+                b,
+                LiveBlock {
+                    birth_micros: now,
+                    countable: in_phase1,
+                },
+            );
+            if in_phase1 {
+                self.report.births_write += 1;
+            }
+        }
+        state.size = state.size.max(r.offset + u64::from(count));
+    }
+
+    fn on_truncate(&mut self, fh: FileId, target: u64, now: u64) {
+        let Some(state) = self.files.get_mut(&fh) else {
+            return;
+        };
+        if target < state.size {
+            let first_dead = (target + BLOCK - 1) / BLOCK;
+            let dead: Vec<u64> = state
+                .live
+                .keys()
+                .copied()
+                .filter(|&b| b >= first_dead)
+                .collect();
+            for b in dead {
+                if let Some(old) = state.live.remove(&b) {
+                    record_death(&mut self.report, &self.config, old, now, DeathCause::Truncate);
+                }
+            }
+        }
+        state.size = target;
+    }
+
+    fn kill_file(&mut self, fh: FileId, now: u64, cause: DeathCause) {
+        if let Some(state) = self.files.remove(&fh) {
+            for (_, old) in state.live {
+                record_death(&mut self.report, &self.config, old, now, cause);
+            }
+        }
+    }
+
+    /// Ends the analysis: every still-live countable block becomes end
+    /// surplus. Returns the report.
+    pub fn finish(mut self) -> LifetimeReport {
+        for state in self.files.values() {
+            self.report.end_surplus += state.live.values().filter(|b| b.countable).count() as u64;
+        }
+        self.report
+    }
+}
+
+fn record_death(
+    report: &mut LifetimeReport,
+    config: &LifetimeConfig,
+    block: LiveBlock,
+    now: u64,
+    cause: DeathCause,
+) {
+    if !block.countable || now >= config.phase2_end() {
+        return;
+    }
+    let lifespan = now.saturating_sub(block.birth_micros);
+    if lifespan > config.phase2_len {
+        // Sampling-bias removal: counted as end surplus instead.
+        report.deaths_discarded += 1;
+        report.end_surplus += 1;
+        return;
+    }
+    match cause {
+        DeathCause::Overwrite => report.deaths_overwrite += 1,
+        DeathCause::Truncate => report.deaths_truncate += 1,
+        DeathCause::Delete => report.deaths_delete += 1,
+    }
+    report.lifespans.push(lifespan);
+}
+
+/// Runs a full windowed analysis over time-ordered records.
+pub fn analyze<'a, I>(records: I, config: LifetimeConfig) -> LifetimeReport
+where
+    I: IntoIterator<Item = &'a TraceRecord>,
+{
+    let mut a = BlockLifetimeAnalyzer::new(config);
+    for r in records {
+        a.observe(r);
+    }
+    a.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::{DAY, HOUR, SECOND};
+
+    fn cfg() -> LifetimeConfig {
+        LifetimeConfig {
+            phase1_start: 0,
+            phase1_len: DAY,
+            phase2_len: DAY,
+        }
+    }
+
+    fn write(t: u64, fh: u64, off: u64, cnt: u32) -> TraceRecord {
+        TraceRecord::new(t, Op::Write, FileId(fh)).with_range(off, cnt)
+    }
+
+    fn create(t: u64, dir: u64, name: &str, child: u64) -> TraceRecord {
+        let mut r = TraceRecord::new(t, Op::Create, FileId(dir)).with_name(name);
+        r.new_fh = Some(FileId(child));
+        r
+    }
+
+    fn remove(t: u64, dir: u64, name: &str) -> TraceRecord {
+        TraceRecord::new(t, Op::Remove, FileId(dir)).with_name(name)
+    }
+
+    #[test]
+    fn overwrite_death_and_lifespan() {
+        let recs = vec![
+            write(0, 1, 0, BLOCK as u32),
+            write(10 * SECOND, 1, 0, BLOCK as u32),
+        ];
+        let rep = analyze(recs.iter(), cfg());
+        assert_eq!(rep.births_write, 2);
+        assert_eq!(rep.deaths_overwrite, 1);
+        assert_eq!(rep.lifespans, vec![10 * SECOND]);
+        // The overwriting block itself survives.
+        assert_eq!(rep.end_surplus, 1);
+    }
+
+    #[test]
+    fn extension_births_counted() {
+        // Write at offset 4 blocks into an empty file: blocks 0-3 born by
+        // extension, block 4 by write.
+        let recs = vec![write(0, 1, 4 * BLOCK, BLOCK as u32)];
+        let rep = analyze(recs.iter(), cfg());
+        assert_eq!(rep.births_extension, 4);
+        assert_eq!(rep.births_write, 1);
+    }
+
+    #[test]
+    fn truncate_deaths() {
+        let recs = vec![
+            write(0, 1, 0, (4 * BLOCK) as u32),
+            {
+                let mut r = TraceRecord::new(HOUR, Op::Setattr, FileId(1));
+                r.truncate_to = Some(0);
+                r
+            },
+        ];
+        let rep = analyze(recs.iter(), cfg());
+        assert_eq!(rep.deaths_truncate, 4);
+        assert_eq!(rep.end_surplus, 0);
+    }
+
+    #[test]
+    fn delete_deaths_via_name_resolution() {
+        let recs = vec![
+            create(0, 99, "scratch", 7),
+            write(1, 7, 0, (2 * BLOCK) as u32),
+            remove(2 * SECOND, 99, "scratch"),
+        ];
+        let rep = analyze(recs.iter(), cfg());
+        assert_eq!(rep.deaths_delete, 2);
+        assert_eq!(rep.births_write, 2);
+        assert_eq!(rep.end_surplus, 0);
+    }
+
+    #[test]
+    fn phase2_births_not_counted_but_deaths_are() {
+        let recs = vec![
+            write(DAY - SECOND, 1, 0, BLOCK as u32), // phase-1 birth
+            write(DAY + HOUR, 1, 0, BLOCK as u32),   // phase-2: kills it
+        ];
+        let rep = analyze(recs.iter(), cfg());
+        assert_eq!(rep.births_write, 1);
+        assert_eq!(rep.deaths_overwrite, 1);
+        // The phase-2-born block is not surplus (not countable).
+        assert_eq!(rep.end_surplus, 0);
+    }
+
+    #[test]
+    fn long_lifespan_discarded_as_surplus() {
+        let mut c = cfg();
+        c.phase2_len = HOUR; // short end margin
+        let recs = vec![
+            write(0, 1, 0, BLOCK as u32),
+            // Death at phase1_end + 30min, lifespan ≈ 24.5h > 1h margin.
+            write(DAY + HOUR / 2, 1, 0, BLOCK as u32),
+        ];
+        let rep = analyze(recs.iter(), c);
+        assert_eq!(rep.deaths_overwrite, 0);
+        assert_eq!(rep.deaths_discarded, 1);
+        assert_eq!(rep.end_surplus, 1);
+    }
+
+    #[test]
+    fn events_after_phase2_ignored() {
+        let recs = vec![
+            write(0, 1, 0, BLOCK as u32),
+            write(3 * DAY, 1, 0, BLOCK as u32),
+        ];
+        let rep = analyze(recs.iter(), cfg());
+        assert_eq!(rep.deaths_total(), 0);
+        assert_eq!(rep.end_surplus, 1);
+    }
+
+    #[test]
+    fn rename_over_existing_deletes_target() {
+        let recs = vec![
+            create(0, 99, "mbox", 7),
+            write(1, 7, 0, BLOCK as u32),
+            create(2, 99, "mbox.tmp", 8),
+            write(3, 8, 0, BLOCK as u32),
+            {
+                let mut r = TraceRecord::new(SECOND, Op::Rename, FileId(99))
+                    .with_name("mbox.tmp");
+                r.name2 = Some("mbox".into());
+                r.fh2 = Some(FileId(99));
+                r
+            },
+        ];
+        let rep = analyze(recs.iter(), cfg());
+        assert_eq!(rep.deaths_delete, 1); // old mbox block
+        assert_eq!(rep.end_surplus, 1); // the renamed file's block lives
+    }
+
+    #[test]
+    fn cdf_monotone_and_bounded() {
+        let recs = vec![
+            write(0, 1, 0, BLOCK as u32),
+            write(SECOND / 2, 1, 0, BLOCK as u32),
+            write(10 * SECOND, 1, 0, BLOCK as u32),
+            write(20 * crate::time::MINUTE, 1, 0, BLOCK as u32),
+        ];
+        let rep = analyze(recs.iter(), cfg());
+        let cdf = rep.cdf(&figure3_probes());
+        for w in cdf.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-9);
+        // Lifespans: 0.5 s, 9.5 s, ~20 min; the median is the middle one.
+        assert_eq!(rep.median_lifespan(), Some(9_500_000));
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = analyze(
+            vec![write(0, 1, 0, BLOCK as u32), write(1000, 1, 0, BLOCK as u32)].iter(),
+            cfg(),
+        );
+        let b = analyze(
+            vec![write(0, 2, 0, BLOCK as u32), write(1000, 2, 0, BLOCK as u32)].iter(),
+            cfg(),
+        );
+        a.merge(&b);
+        assert_eq!(a.births_write, 4);
+        assert_eq!(a.deaths_overwrite, 2);
+        assert_eq!(a.lifespans.len(), 2);
+    }
+
+    #[test]
+    fn pre_size_seeds_extension_accounting() {
+        // WCC says the file was 2 blocks; a write at block 5 extends by 3.
+        let mut w = write(0, 1, 5 * BLOCK, BLOCK as u32);
+        w.pre_size = Some(2 * BLOCK);
+        let rep = analyze(std::iter::once(&w), cfg());
+        assert_eq!(rep.births_extension, 3);
+        assert_eq!(rep.births_write, 1);
+    }
+}

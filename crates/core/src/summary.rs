@@ -1,0 +1,244 @@
+//! Daily activity summaries (Table 2) and workload characterization
+//! (Table 1).
+
+use crate::record::{Op, TraceRecord};
+use crate::time::DAY;
+use std::collections::HashMap;
+
+/// Aggregate operation and byte counts over a trace interval.
+///
+/// # Examples
+///
+/// ```
+/// use nfstrace_core::record::{FileId, Op, TraceRecord};
+/// use nfstrace_core::summary::SummaryStats;
+///
+/// let recs = vec![
+///     TraceRecord::new(0, Op::Read, FileId(1)).with_range(0, 8192),
+///     TraceRecord::new(1, Op::Write, FileId(1)).with_range(0, 4096),
+///     TraceRecord::new(2, Op::Getattr, FileId(1)),
+/// ];
+/// let s = SummaryStats::from_records(recs.iter());
+/// assert_eq!(s.total_ops, 3);
+/// assert_eq!(s.bytes_read, 8192);
+/// assert_eq!(s.bytes_written, 4096);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SummaryStats {
+    /// All operations observed.
+    pub total_ops: u64,
+    /// READ operations.
+    pub read_ops: u64,
+    /// WRITE operations.
+    pub write_ops: u64,
+    /// Bytes transferred by READ replies.
+    pub bytes_read: u64,
+    /// Bytes accepted by WRITE replies.
+    pub bytes_written: u64,
+    /// Operations classified as data (READ/WRITE/COMMIT).
+    pub data_ops: u64,
+    /// Operations classified as metadata.
+    pub metadata_ops: u64,
+    /// The attribute calls (lookup/getattr/access) of §6.1.1.
+    pub attribute_ops: u64,
+    /// Per-op counts.
+    pub op_counts: HashMap<Op, u64>,
+    /// First timestamp seen.
+    pub first_micros: u64,
+    /// Last timestamp seen.
+    pub last_micros: u64,
+}
+
+impl SummaryStats {
+    /// Computes statistics over records.
+    pub fn from_records<'a, I>(records: I) -> Self
+    where
+        I: IntoIterator<Item = &'a TraceRecord>,
+    {
+        let mut s = SummaryStats {
+            first_micros: u64::MAX,
+            ..SummaryStats::default()
+        };
+        for r in records {
+            s.add(r);
+        }
+        if s.total_ops == 0 {
+            s.first_micros = 0;
+        }
+        s
+    }
+
+    /// Folds one record into the totals.
+    pub fn add(&mut self, r: &TraceRecord) {
+        self.total_ops += 1;
+        *self.op_counts.entry(r.op).or_insert(0) += 1;
+        if r.op.is_read() {
+            self.read_ops += 1;
+            self.bytes_read += u64::from(r.ret_count);
+        } else if r.op.is_write() {
+            self.write_ops += 1;
+            self.bytes_written += u64::from(r.ret_count);
+        }
+        if r.op.is_data() {
+            self.data_ops += 1;
+        } else {
+            self.metadata_ops += 1;
+        }
+        if r.op.is_attribute_call() {
+            self.attribute_ops += 1;
+        }
+        self.first_micros = self.first_micros.min(r.micros);
+        self.last_micros = self.last_micros.max(r.micros);
+    }
+
+    /// Trace duration in days (at least one microsecond's worth).
+    pub fn duration_days(&self) -> f64 {
+        if self.total_ops == 0 {
+            return 0.0;
+        }
+        ((self.last_micros - self.first_micros).max(1)) as f64 / DAY as f64
+    }
+
+    /// Read/write ratio by bytes, the paper's headline CAMPUS-vs-EECS
+    /// discriminator (3.0 vs 0.77 over the three-month trace).
+    pub fn rw_bytes_ratio(&self) -> f64 {
+        ratio(self.bytes_read as f64, self.bytes_written as f64)
+    }
+
+    /// Read/write ratio by operation count.
+    pub fn rw_ops_ratio(&self) -> f64 {
+        ratio(self.read_ops as f64, self.write_ops as f64)
+    }
+
+    /// Fraction of calls that are data calls.
+    pub fn data_fraction(&self) -> f64 {
+        if self.total_ops == 0 {
+            0.0
+        } else {
+            self.data_ops as f64 / self.total_ops as f64
+        }
+    }
+
+    /// The Table 2 row: per-day averages.
+    pub fn daily(&self) -> DailyActivity {
+        let days = self.duration_days().max(f64::MIN_POSITIVE);
+        DailyActivity {
+            total_ops_millions: self.total_ops as f64 / days / 1e6,
+            data_read_gb: self.bytes_read as f64 / days / 1e9,
+            read_ops_millions: self.read_ops as f64 / days / 1e6,
+            data_written_gb: self.bytes_written as f64 / days / 1e9,
+            write_ops_millions: self.write_ops as f64 / days / 1e6,
+            rw_bytes_ratio: self.rw_bytes_ratio(),
+            rw_ops_ratio: self.rw_ops_ratio(),
+        }
+    }
+}
+
+fn ratio(num: f64, den: f64) -> f64 {
+    if den == 0.0 {
+        if num == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        num / den
+    }
+}
+
+/// One row of Table 2: average daily activity.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DailyActivity {
+    /// Total ops per day, in millions.
+    pub total_ops_millions: f64,
+    /// Data read per day, in GB.
+    pub data_read_gb: f64,
+    /// Read ops per day, in millions.
+    pub read_ops_millions: f64,
+    /// Data written per day, in GB.
+    pub data_written_gb: f64,
+    /// Write ops per day, in millions.
+    pub write_ops_millions: f64,
+    /// Read/write bytes ratio.
+    pub rw_bytes_ratio: f64,
+    /// Read/write ops ratio.
+    pub rw_ops_ratio: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::FileId;
+
+    fn read(t: u64, n: u32) -> TraceRecord {
+        TraceRecord::new(t, Op::Read, FileId(1)).with_range(0, n)
+    }
+
+    fn write(t: u64, n: u32) -> TraceRecord {
+        TraceRecord::new(t, Op::Write, FileId(1)).with_range(0, n)
+    }
+
+    #[test]
+    fn empty_trace_is_all_zero() {
+        let s = SummaryStats::from_records(std::iter::empty());
+        assert_eq!(s.total_ops, 0);
+        assert_eq!(s.duration_days(), 0.0);
+        assert_eq!(s.rw_bytes_ratio(), 0.0);
+    }
+
+    #[test]
+    fn ratios() {
+        let recs = vec![read(0, 3000), read(1, 3000), write(2, 2000)];
+        let s = SummaryStats::from_records(recs.iter());
+        assert!((s.rw_bytes_ratio() - 3.0).abs() < 1e-9);
+        assert!((s.rw_ops_ratio() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn write_only_trace_has_infinite_inverse() {
+        let recs = vec![read(0, 10)];
+        let s = SummaryStats::from_records(recs.iter());
+        assert!(s.rw_bytes_ratio().is_infinite());
+    }
+
+    #[test]
+    fn data_metadata_fractions() {
+        let recs = vec![
+            read(0, 1),
+            write(1, 1),
+            TraceRecord::new(2, Op::Getattr, FileId(1)),
+            TraceRecord::new(3, Op::Lookup, FileId(1)),
+            TraceRecord::new(4, Op::Access, FileId(1)),
+            TraceRecord::new(5, Op::Commit, FileId(1)),
+        ];
+        let s = SummaryStats::from_records(recs.iter());
+        assert_eq!(s.data_ops, 3);
+        assert_eq!(s.metadata_ops, 3);
+        assert_eq!(s.attribute_ops, 3);
+        assert!((s.data_fraction() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn daily_normalizes_by_duration() {
+        // 2 million reads of 1000 bytes over exactly 2 days.
+        let mut s = SummaryStats::from_records(std::iter::empty());
+        s.first_micros = 0;
+        for i in 0..20u64 {
+            let mut r = read(i * (2 * DAY / 20), 1000);
+            r.micros = (i * 2 * DAY) / 19; // span exactly 2 days
+            s.add(&r);
+        }
+        let d = s.daily();
+        assert!((d.read_ops_millions - 10.0 / 1e6).abs() < 1e-9);
+        assert!(d.data_read_gb > 0.0);
+    }
+
+    #[test]
+    fn op_counts_track_each_op() {
+        let recs = vec![read(0, 1), read(1, 1), write(2, 1)];
+        let s = SummaryStats::from_records(recs.iter());
+        assert_eq!(s.op_counts[&Op::Read], 2);
+        assert_eq!(s.op_counts[&Op::Write], 1);
+        assert!(!s.op_counts.contains_key(&Op::Getattr));
+    }
+}

@@ -1,0 +1,103 @@
+//! Simulation-time helpers.
+//!
+//! The trace epoch (time 0) is **Sunday 00:00**, matching the paper's
+//! analysis week of Sunday 10/21/2001 through Saturday 10/27/2001. Peak
+//! hours are 9am–6pm Monday through Friday (§6.2).
+
+/// Microseconds per second.
+pub const SECOND: u64 = 1_000_000;
+/// Microseconds per minute.
+pub const MINUTE: u64 = 60 * SECOND;
+/// Microseconds per hour.
+pub const HOUR: u64 = 60 * MINUTE;
+/// Microseconds per day.
+pub const DAY: u64 = 24 * HOUR;
+/// Microseconds per week.
+pub const WEEK: u64 = 7 * DAY;
+
+/// Day-of-week names starting from the trace epoch (a Sunday).
+pub const DAY_NAMES: [&str; 7] = ["Sun", "Mon", "Tue", "Wed", "Thu", "Fri", "Sat"];
+
+/// Hour-of-day (0-23) of a trace timestamp.
+pub fn hour_of_day(micros: u64) -> u32 {
+    ((micros % DAY) / HOUR) as u32
+}
+
+/// Day-of-week (0 = Sunday) of a trace timestamp.
+pub fn day_of_week(micros: u64) -> u32 {
+    ((micros % WEEK) / DAY) as u32
+}
+
+/// Absolute hour index since the epoch.
+pub fn hour_index(micros: u64) -> u64 {
+    micros / HOUR
+}
+
+/// Whether a timestamp falls in the paper's peak hours: 9am–6pm on a
+/// weekday (Monday=1 … Friday=5).
+pub fn is_peak(micros: u64) -> bool {
+    let dow = day_of_week(micros);
+    let hod = hour_of_day(micros);
+    (1..=5).contains(&dow) && (9..18).contains(&hod)
+}
+
+/// Formats a trace timestamp as `Day HH:MM:SS`.
+pub fn format_micros(micros: u64) -> String {
+    let dow = day_of_week(micros) as usize;
+    let h = hour_of_day(micros);
+    let m = (micros % HOUR) / MINUTE;
+    let s = (micros % MINUTE) / SECOND;
+    format!("{} {:02}:{:02}:{:02}", DAY_NAMES[dow], h, m, s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_sunday_midnight() {
+        assert_eq!(day_of_week(0), 0);
+        assert_eq!(hour_of_day(0), 0);
+        assert!(!is_peak(0));
+    }
+
+    #[test]
+    fn monday_ten_am_is_peak() {
+        let t = DAY + 10 * HOUR;
+        assert_eq!(day_of_week(t), 1);
+        assert_eq!(hour_of_day(t), 10);
+        assert!(is_peak(t));
+    }
+
+    #[test]
+    fn peak_boundaries() {
+        let mon = DAY;
+        assert!(!is_peak(mon + 8 * HOUR + 59 * MINUTE));
+        assert!(is_peak(mon + 9 * HOUR));
+        assert!(is_peak(mon + 17 * HOUR + 59 * MINUTE));
+        assert!(!is_peak(mon + 18 * HOUR));
+    }
+
+    #[test]
+    fn weekend_is_never_peak() {
+        for h in 0..24u64 {
+            assert!(!is_peak(h * HOUR)); // Sunday
+            assert!(!is_peak(6 * DAY + h * HOUR)); // Saturday
+        }
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(format_micros(0), "Sun 00:00:00");
+        assert_eq!(
+            format_micros(3 * DAY + 9 * HOUR + 30 * MINUTE + 5 * SECOND),
+            "Wed 09:30:05"
+        );
+    }
+
+    #[test]
+    fn second_week_wraps() {
+        assert_eq!(day_of_week(WEEK + DAY), 1);
+        assert!(is_peak(WEEK + DAY + 12 * HOUR));
+    }
+}

@@ -1,0 +1,24 @@
+//! Simulated NFS server: in-memory filesystem, disk model, and
+//! read-ahead policies.
+//!
+//! Three roles in the reproduction:
+//!
+//! 1. [`fs::SimFs`] + [`server::NfsServer`] are the server side that the
+//!    synthetic CAMPUS/EECS clients talk to, so the generated NFS
+//!    traffic has honest semantics (handles, attributes, WCC data,
+//!    errors).
+//! 2. [`disk::DiskModel`] prices accesses with seek/rotation/transfer
+//!    costs, standing in for the FreeBSD server testbed of §6.4.
+//! 3. [`readahead`] implements the two prefetch heuristics the paper
+//!    compares: a fragile strictly-sequential detector and one driven by
+//!    the sequentiality metric, which tolerates the ~10% reordered
+//!    requests a loaded NFS server actually sees.
+
+pub mod disk;
+pub mod fs;
+pub mod readahead;
+pub mod server;
+
+pub use disk::{DiskModel, DiskParams};
+pub use fs::{FsError, SimFs};
+pub use server::NfsServer;

@@ -1,0 +1,86 @@
+//! Error type for packet parsing and pcap I/O.
+
+use std::fmt;
+
+/// Convenient alias for results of packet operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// An error from parsing packets or reading/writing capture files.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// A frame, header, or file was shorter than its format requires.
+    Truncated {
+        /// What was being parsed.
+        what: &'static str,
+        /// Bytes needed.
+        needed: usize,
+        /// Bytes available.
+        got: usize,
+    },
+    /// A header field held an unsupported value.
+    Unsupported {
+        /// What was being parsed.
+        what: &'static str,
+        /// The offending value.
+        value: u32,
+    },
+    /// A pcap file had an unrecognized magic number.
+    BadMagic(u32),
+    /// An underlying I/O error.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Truncated { what, needed, got } => {
+                write!(f, "truncated {what}: needed {needed} bytes, got {got}")
+            }
+            Error::Unsupported { what, value } => {
+                write!(f, "unsupported {what} value {value:#x}")
+            }
+            Error::BadMagic(m) => write!(f, "unrecognized pcap magic {m:#010x}"),
+            Error::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = Error::Truncated {
+            what: "ethernet frame",
+            needed: 14,
+            got: 6,
+        };
+        assert!(e.to_string().contains("ethernet frame"));
+        let e = Error::BadMagic(0xdeadbeef);
+        assert!(e.to_string().contains("0xdeadbeef"));
+    }
+
+    #[test]
+    fn io_source_is_preserved() {
+        use std::error::Error as _;
+        let e = Error::from(std::io::Error::new(std::io::ErrorKind::Other, "x"));
+        assert!(e.source().is_some());
+    }
+}

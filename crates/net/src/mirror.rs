@@ -1,0 +1,214 @@
+//! Mirror-port capture model.
+//!
+//! On CAMPUS the monitor was "a single gigabit Ethernet port on a
+//! fully-switched gigabit network", so during bursts "the monitor port
+//! simply did not have the bandwidth to forward all of the network
+//! traffic" and up to 10% of packets were lost (paper §4.1.4). On EECS the
+//! monitor port matched the server port speed and nothing was lost.
+//!
+//! [`MirrorPort`] models this as a leaky-bucket queue: packets arrive with
+//! timestamps and sizes, drain at the port's line rate into a bounded
+//! buffer, and overflow packets are dropped. Feeding the same traffic
+//! through a port provisioned at aggregate speed reproduces the EECS
+//! (lossless) condition; an oversubscribed port reproduces CAMPUS bursts.
+
+/// Configuration of a mirror port.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MirrorConfig {
+    /// Drain rate of the monitor port, in bytes per second.
+    pub rate_bytes_per_sec: f64,
+    /// Buffer capacity in bytes before packets are dropped.
+    pub buffer_bytes: u64,
+}
+
+impl MirrorConfig {
+    /// A gigabit port with a 256 KiB buffer, as on the CAMPUS monitor.
+    pub fn gigabit() -> Self {
+        Self {
+            rate_bytes_per_sec: 125_000_000.0,
+            buffer_bytes: 256 * 1024,
+        }
+    }
+
+    /// An effectively infinite port: nothing is ever dropped (EECS).
+    pub fn lossless() -> Self {
+        Self {
+            rate_bytes_per_sec: f64::INFINITY,
+            buffer_bytes: u64::MAX,
+        }
+    }
+}
+
+/// Whether the port forwarded or dropped a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MirrorVerdict {
+    /// The packet fit in the buffer and reaches the tracer.
+    Forwarded,
+    /// The buffer was full; the tracer never sees this packet.
+    Dropped,
+}
+
+/// A leaky-bucket model of a switch mirror port.
+///
+/// # Examples
+///
+/// ```
+/// use nfstrace_net::mirror::{MirrorConfig, MirrorPort, MirrorVerdict};
+///
+/// let mut port = MirrorPort::new(MirrorConfig::lossless());
+/// assert_eq!(port.offer(0, 1500), MirrorVerdict::Forwarded);
+/// assert_eq!(port.stats().dropped, 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MirrorPort {
+    config: MirrorConfig,
+    /// Bytes currently queued in the buffer.
+    queued_bytes: f64,
+    /// Timestamp (µs) of the last offer, for drain accounting.
+    last_micros: u64,
+    offered: u64,
+    dropped: u64,
+    offered_bytes: u64,
+    dropped_bytes: u64,
+}
+
+impl MirrorPort {
+    /// Creates a port with the given configuration.
+    pub fn new(config: MirrorConfig) -> Self {
+        Self {
+            config,
+            queued_bytes: 0.0,
+            last_micros: 0,
+            offered: 0,
+            dropped: 0,
+            offered_bytes: 0,
+            dropped_bytes: 0,
+        }
+    }
+
+    /// Offers a packet of `size` bytes at `timestamp_micros`.
+    ///
+    /// Timestamps must be non-decreasing; earlier timestamps are treated
+    /// as equal to the latest seen.
+    pub fn offer(&mut self, timestamp_micros: u64, size: usize) -> MirrorVerdict {
+        // Drain the buffer for the time elapsed since the last packet.
+        let now = timestamp_micros.max(self.last_micros);
+        if self.config.rate_bytes_per_sec.is_finite() {
+            let elapsed_s = (now - self.last_micros) as f64 / 1e6;
+            self.queued_bytes =
+                (self.queued_bytes - elapsed_s * self.config.rate_bytes_per_sec).max(0.0);
+        } else {
+            self.queued_bytes = 0.0;
+        }
+        self.last_micros = now;
+
+        self.offered += 1;
+        self.offered_bytes += size as u64;
+        if self.queued_bytes + size as f64 > self.config.buffer_bytes as f64 {
+            self.dropped += 1;
+            self.dropped_bytes += size as u64;
+            MirrorVerdict::Dropped
+        } else {
+            self.queued_bytes += size as f64;
+            MirrorVerdict::Forwarded
+        }
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> MirrorStats {
+        MirrorStats {
+            offered: self.offered,
+            dropped: self.dropped,
+            offered_bytes: self.offered_bytes,
+            dropped_bytes: self.dropped_bytes,
+        }
+    }
+}
+
+/// Counters for a mirror port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MirrorStats {
+    /// Packets offered to the port.
+    pub offered: u64,
+    /// Packets dropped for lack of buffer space.
+    pub dropped: u64,
+    /// Bytes offered.
+    pub offered_bytes: u64,
+    /// Bytes dropped.
+    pub dropped_bytes: u64,
+}
+
+impl MirrorStats {
+    /// Fraction of offered packets that were dropped.
+    pub fn drop_rate(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / self.offered as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lossless_port_never_drops() {
+        let mut p = MirrorPort::new(MirrorConfig::lossless());
+        for t in 0..10_000u64 {
+            assert_eq!(p.offer(t, 9000), MirrorVerdict::Forwarded);
+        }
+        assert_eq!(p.stats().dropped, 0);
+    }
+
+    #[test]
+    fn oversubscribed_burst_drops() {
+        // 1 MB buffer-less-ish port at 1 MB/s; offer 100 x 9000B packets
+        // in the same microsecond: only ~11 fit in a 100 KB buffer.
+        let mut p = MirrorPort::new(MirrorConfig {
+            rate_bytes_per_sec: 1_000_000.0,
+            buffer_bytes: 100_000,
+        });
+        let mut fwd = 0;
+        for _ in 0..100 {
+            if p.offer(0, 9000) == MirrorVerdict::Forwarded {
+                fwd += 1;
+            }
+        }
+        assert_eq!(fwd, 11);
+        assert!(p.stats().drop_rate() > 0.8);
+    }
+
+    #[test]
+    fn buffer_drains_over_time() {
+        let mut p = MirrorPort::new(MirrorConfig {
+            rate_bytes_per_sec: 1_000_000.0, // 1 byte/µs
+            buffer_bytes: 10_000,
+        });
+        // Fill the buffer.
+        assert_eq!(p.offer(0, 10_000), MirrorVerdict::Forwarded);
+        assert_eq!(p.offer(0, 1), MirrorVerdict::Dropped);
+        // 5 ms later, 5000 bytes have drained.
+        assert_eq!(p.offer(5_000, 5_000), MirrorVerdict::Forwarded);
+        assert_eq!(p.offer(5_000, 1), MirrorVerdict::Dropped);
+    }
+
+    #[test]
+    fn spaced_traffic_is_lossless_on_gigabit() {
+        // 1500-byte packets every 100 µs = 15 MB/s, far below 125 MB/s.
+        let mut p = MirrorPort::new(MirrorConfig::gigabit());
+        for i in 0..10_000u64 {
+            assert_eq!(p.offer(i * 100, 1500), MirrorVerdict::Forwarded);
+        }
+    }
+
+    #[test]
+    fn non_monotonic_timestamps_tolerated() {
+        let mut p = MirrorPort::new(MirrorConfig::gigabit());
+        p.offer(1000, 100);
+        // Earlier timestamp: treated as "now", no panic, no negative drain.
+        p.offer(500, 100);
+        assert_eq!(p.stats().offered, 2);
+    }
+}

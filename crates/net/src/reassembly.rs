@@ -1,0 +1,287 @@
+//! TCP byte-stream reassembly.
+//!
+//! The paper's tracer had to handle "some forms of TCP packet coalescing"
+//! (§2): RPC messages on CAMPUS arrived packed into a TCP stream, split
+//! and merged arbitrarily by the sender, and the mirror port could deliver
+//! segments out of order or drop them outright. [`StreamReassembler`]
+//! reconstructs the in-order byte stream from segments identified by
+//! sequence number, tolerating duplication, overlap, and reordering, and
+//! reports gaps (from drops) so the RPC layer can resynchronize.
+
+use std::collections::BTreeMap;
+
+/// Reassembles one direction of one TCP connection.
+///
+/// Segments are fed in with their 32-bit sequence numbers; in-order bytes
+/// are drained with [`StreamReassembler::read_available`]. If a gap
+/// persists (a dropped segment), [`StreamReassembler::skip_gap`] jumps
+/// over it and counts the lost bytes.
+///
+/// # Examples
+///
+/// ```
+/// use nfstrace_net::reassembly::StreamReassembler;
+///
+/// let mut r = StreamReassembler::new(1000);
+/// r.push(1004, b"world");   // arrives first, out of order
+/// r.push(1000, b"hell");
+/// assert_eq!(r.read_available(), b"hellworld");
+/// ```
+#[derive(Debug)]
+pub struct StreamReassembler {
+    /// Next expected sequence number (start of the contiguous frontier).
+    next_seq: u32,
+    /// Out-of-order segments keyed by relative offset from `next_seq`'s
+    /// original position. Using u64 relative offsets sidesteps sequence
+    /// wraparound for streams under 2^32 bytes either side of the origin.
+    pending: BTreeMap<u64, Vec<u8>>,
+    /// Origin sequence number, fixed at creation.
+    origin: u32,
+    /// Relative offset of `next_seq` from the origin.
+    frontier: u64,
+    /// Total payload bytes accepted.
+    bytes_in: u64,
+    /// Bytes skipped over unrecoverable gaps.
+    bytes_lost: u64,
+    /// Count of segments that arrived out of order.
+    out_of_order: u64,
+    /// Count of duplicate/overlapping bytes discarded.
+    dup_bytes: u64,
+}
+
+impl StreamReassembler {
+    /// Creates a reassembler whose first expected byte is `initial_seq`.
+    pub fn new(initial_seq: u32) -> Self {
+        Self {
+            next_seq: initial_seq,
+            pending: BTreeMap::new(),
+            origin: initial_seq,
+            frontier: 0,
+            bytes_in: 0,
+            bytes_lost: 0,
+            out_of_order: 0,
+            dup_bytes: 0,
+        }
+    }
+
+    /// Relative stream offset of a sequence number (wrap-aware).
+    fn rel(&self, seq: u32) -> u64 {
+        u64::from(seq.wrapping_sub(self.origin))
+    }
+
+    /// Feeds one segment's payload at `seq`.
+    ///
+    /// Duplicate and already-delivered bytes are discarded; overlapping
+    /// prefixes are trimmed.
+    pub fn push(&mut self, seq: u32, payload: &[u8]) {
+        if payload.is_empty() {
+            return;
+        }
+        self.bytes_in += payload.len() as u64;
+        let mut off = self.rel(seq);
+        let mut data = payload;
+
+        // Trim any prefix already delivered.
+        if off < self.frontier {
+            let overlap = (self.frontier - off).min(data.len() as u64) as usize;
+            self.dup_bytes += overlap as u64;
+            data = &data[overlap..];
+            off = self.frontier;
+            if data.is_empty() {
+                return;
+            }
+        }
+        if off > self.frontier {
+            self.out_of_order += 1;
+        }
+        // Insert, trimming against an existing segment at the same offset.
+        match self.pending.get(&off) {
+            Some(existing) if existing.len() >= data.len() => {
+                self.dup_bytes += data.len() as u64;
+            }
+            _ => {
+                self.pending.insert(off, data.to_vec());
+            }
+        }
+    }
+
+    /// Drains all bytes that are now contiguous at the frontier.
+    pub fn read_available(&mut self) -> Vec<u8> {
+        let mut out = Vec::new();
+        loop {
+            let Some((&off, _)) = self.pending.range(..=self.frontier).next_back() else {
+                break;
+            };
+            let seg = self.pending.remove(&off).expect("key just observed");
+            let seg_end = off + seg.len() as u64;
+            if seg_end <= self.frontier {
+                // Entirely stale.
+                self.dup_bytes += seg.len() as u64;
+                continue;
+            }
+            let skip = (self.frontier - off) as usize;
+            self.dup_bytes += skip as u64;
+            out.extend_from_slice(&seg[skip..]);
+            self.frontier = seg_end;
+            self.next_seq = self.origin.wrapping_add(self.frontier as u32);
+        }
+        out
+    }
+
+    /// Whether out-of-order data is waiting beyond a gap.
+    pub fn has_gap(&self) -> bool {
+        self.pending
+            .keys()
+            .next()
+            .is_some_and(|&off| off > self.frontier)
+    }
+
+    /// Total bytes parked out-of-order beyond the frontier, waiting for
+    /// a gap to fill. A large value means the gap is real (packet loss),
+    /// not mere reordering.
+    pub fn pending_bytes(&self) -> u64 {
+        self.pending.values().map(|v| v.len() as u64).sum()
+    }
+
+    /// Size in bytes of the gap in front of the oldest pending segment,
+    /// or 0 when there is no gap.
+    pub fn gap_len(&self) -> u64 {
+        match self.pending.keys().next() {
+            Some(&off) if off > self.frontier => off - self.frontier,
+            _ => 0,
+        }
+    }
+
+    /// Abandons the current gap: advances the frontier to the oldest
+    /// pending segment, recording the skipped bytes as lost. Returns the
+    /// number of bytes skipped.
+    ///
+    /// The sniffer calls this when a gap has aged out, then
+    /// resynchronizes on RPC record marks.
+    pub fn skip_gap(&mut self) -> u64 {
+        let skipped = self.gap_len();
+        if skipped > 0 {
+            self.frontier += skipped;
+            self.next_seq = self.origin.wrapping_add(self.frontier as u32);
+            self.bytes_lost += skipped;
+        }
+        skipped
+    }
+
+    /// Next expected sequence number.
+    pub fn next_seq(&self) -> u32 {
+        self.next_seq
+    }
+
+    /// Statistics counters: (bytes in, bytes lost, out-of-order segments,
+    /// duplicate bytes).
+    pub fn stats(&self) -> ReassemblyStats {
+        ReassemblyStats {
+            bytes_in: self.bytes_in,
+            bytes_lost: self.bytes_lost,
+            out_of_order_segments: self.out_of_order,
+            duplicate_bytes: self.dup_bytes,
+        }
+    }
+}
+
+/// Counters describing one reassembled stream direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReassemblyStats {
+    /// Total payload bytes pushed in.
+    pub bytes_in: u64,
+    /// Bytes skipped over gaps.
+    pub bytes_lost: u64,
+    /// Segments that arrived ahead of the frontier.
+    pub out_of_order_segments: u64,
+    /// Bytes discarded as duplicates or overlaps.
+    pub duplicate_bytes: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_stream() {
+        let mut r = StreamReassembler::new(0);
+        r.push(0, b"abc");
+        r.push(3, b"def");
+        assert_eq!(r.read_available(), b"abcdef");
+        assert!(!r.has_gap());
+    }
+
+    #[test]
+    fn out_of_order_two_segments() {
+        let mut r = StreamReassembler::new(100);
+        r.push(103, b"def");
+        assert!(r.has_gap());
+        assert_eq!(r.gap_len(), 3);
+        assert!(r.read_available().is_empty());
+        r.push(100, b"abc");
+        assert_eq!(r.read_available(), b"abcdef");
+        assert_eq!(r.stats().out_of_order_segments, 1);
+    }
+
+    #[test]
+    fn duplicate_segment_discarded() {
+        let mut r = StreamReassembler::new(0);
+        r.push(0, b"abcd");
+        assert_eq!(r.read_available(), b"abcd");
+        r.push(0, b"abcd");
+        assert!(r.read_available().is_empty());
+        assert_eq!(r.stats().duplicate_bytes, 4);
+    }
+
+    #[test]
+    fn overlapping_retransmit_trimmed() {
+        let mut r = StreamReassembler::new(0);
+        r.push(0, b"abcd");
+        assert_eq!(r.read_available(), b"abcd");
+        // Retransmit covering old+new bytes.
+        r.push(2, b"cdEF");
+        assert_eq!(r.read_available(), b"EF");
+    }
+
+    #[test]
+    fn gap_skip_counts_lost_bytes() {
+        let mut r = StreamReassembler::new(0);
+        r.push(0, b"ab");
+        r.push(10, b"xy");
+        assert_eq!(r.read_available(), b"ab");
+        assert_eq!(r.gap_len(), 8);
+        assert_eq!(r.skip_gap(), 8);
+        assert_eq!(r.read_available(), b"xy");
+        assert_eq!(r.stats().bytes_lost, 8);
+    }
+
+    #[test]
+    fn sequence_wraparound() {
+        let start = u32::MAX - 1;
+        let mut r = StreamReassembler::new(start);
+        r.push(start, b"ab"); // bytes at 0xFFFFFFFE, 0xFFFFFFFF
+        r.push(0, b"cd"); // wraps
+        assert_eq!(r.read_available(), b"abcd");
+        assert_eq!(r.next_seq(), 2);
+    }
+
+    #[test]
+    fn empty_push_is_noop() {
+        let mut r = StreamReassembler::new(5);
+        r.push(5, b"");
+        assert!(r.read_available().is_empty());
+        assert_eq!(r.stats().bytes_in, 0);
+    }
+
+    #[test]
+    fn interleaved_many_segments() {
+        let data: Vec<u8> = (0..=255).collect();
+        let mut r = StreamReassembler::new(0);
+        // Push in a scrambled but deterministic order of 16-byte chunks.
+        let order = [3usize, 0, 7, 1, 15, 2, 9, 4, 5, 12, 6, 8, 10, 11, 13, 14];
+        for &i in &order {
+            r.push((i * 16) as u32, &data[i * 16..(i + 1) * 16]);
+        }
+        assert_eq!(r.read_available(), data);
+    }
+}

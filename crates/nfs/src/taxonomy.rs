@@ -1,0 +1,143 @@
+//! The paper's operation taxonomy.
+//!
+//! Table 1 contrasts the two systems as "Most NFS calls are for data"
+//! (CAMPUS) versus "Most NFS calls are for metadata" (EECS), and §6.1.1
+//! names `lookup`, `getattr`, and `access` as the attribute calls that
+//! dominate EECS. This module gives every procedure of both protocol
+//! versions a [`OpKind`] (read/write/other) and an [`OpClass`]
+//! (data/metadata) so analyses can compute those ratios uniformly.
+
+use crate::v2::Proc2;
+use crate::v3::Proc3;
+
+/// Read/write/other classification, used for read:write op ratios.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Transfers file data to the client (READ).
+    Read,
+    /// Transfers file data to the server (WRITE).
+    Write,
+    /// Everything else.
+    Other,
+}
+
+/// Data/metadata classification, used for the Table 1 characterization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Moves file contents (READ, WRITE, COMMIT).
+    Data,
+    /// Queries or updates names and attributes.
+    Metadata,
+}
+
+/// Classifies an NFSv3 procedure as read/write/other.
+pub fn kind_v3(proc: Proc3) -> OpKind {
+    match proc {
+        Proc3::Read => OpKind::Read,
+        Proc3::Write => OpKind::Write,
+        _ => OpKind::Other,
+    }
+}
+
+/// Classifies an NFSv3 procedure as data or metadata.
+pub fn class_v3(proc: Proc3) -> OpClass {
+    match proc {
+        Proc3::Read | Proc3::Write | Proc3::Commit => OpClass::Data,
+        _ => OpClass::Metadata,
+    }
+}
+
+/// Classifies an NFSv2 procedure as read/write/other.
+pub fn kind_v2(proc: Proc2) -> OpKind {
+    match proc {
+        Proc2::Read => OpKind::Read,
+        Proc2::Write => OpKind::Write,
+        _ => OpKind::Other,
+    }
+}
+
+/// Classifies an NFSv2 procedure as data or metadata.
+pub fn class_v2(proc: Proc2) -> OpClass {
+    match proc {
+        Proc2::Read | Proc2::Write => OpClass::Data,
+        _ => OpClass::Metadata,
+    }
+}
+
+/// Whether an NFSv3 procedure is one of the "attribute calls" the paper
+/// says dominate EECS: `lookup`, `getattr`, and `access` (§6.1.1).
+pub fn is_attribute_call_v3(proc: Proc3) -> bool {
+    matches!(proc, Proc3::Lookup | Proc3::Getattr | Proc3::Access)
+}
+
+/// NFSv2 analogue of [`is_attribute_call_v3`] (v2 has no ACCESS).
+pub fn is_attribute_call_v2(proc: Proc2) -> bool {
+    matches!(proc, Proc2::Lookup | Proc2::Getattr)
+}
+
+/// Whether an NFSv3 procedure modifies namespace or file state (used to
+/// distinguish cache-validation traffic from mutation).
+pub fn is_mutation_v3(proc: Proc3) -> bool {
+    matches!(
+        proc,
+        Proc3::Setattr
+            | Proc3::Write
+            | Proc3::Create
+            | Proc3::Mkdir
+            | Proc3::Symlink
+            | Proc3::Mknod
+            | Proc3::Remove
+            | Proc3::Rmdir
+            | Proc3::Rename
+            | Proc3::Link
+            | Proc3::Commit
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v3_read_write_kinds() {
+        assert_eq!(kind_v3(Proc3::Read), OpKind::Read);
+        assert_eq!(kind_v3(Proc3::Write), OpKind::Write);
+        assert_eq!(kind_v3(Proc3::Getattr), OpKind::Other);
+    }
+
+    #[test]
+    fn v3_data_class_is_exactly_read_write_commit() {
+        let data: Vec<Proc3> = Proc3::ALL
+            .into_iter()
+            .filter(|p| class_v3(*p) == OpClass::Data)
+            .collect();
+        assert_eq!(data, vec![Proc3::Read, Proc3::Write, Proc3::Commit]);
+    }
+
+    #[test]
+    fn v2_data_class_is_exactly_read_write() {
+        let data: Vec<Proc2> = Proc2::ALL
+            .into_iter()
+            .filter(|p| class_v2(*p) == OpClass::Data)
+            .collect();
+        assert_eq!(data, vec![Proc2::Read, Proc2::Write]);
+    }
+
+    #[test]
+    fn attribute_calls_match_paper() {
+        assert!(is_attribute_call_v3(Proc3::Lookup));
+        assert!(is_attribute_call_v3(Proc3::Getattr));
+        assert!(is_attribute_call_v3(Proc3::Access));
+        assert!(!is_attribute_call_v3(Proc3::Read));
+        assert!(is_attribute_call_v2(Proc2::Getattr));
+        assert!(!is_attribute_call_v2(Proc2::Read));
+    }
+
+    #[test]
+    fn mutations_exclude_reads() {
+        assert!(is_mutation_v3(Proc3::Write));
+        assert!(is_mutation_v3(Proc3::Remove));
+        assert!(!is_mutation_v3(Proc3::Read));
+        assert!(!is_mutation_v3(Proc3::Getattr));
+    }
+}

@@ -1,0 +1,504 @@
+//! Shared NFS wire types: attributes, times, and status codes.
+
+use nfstrace_xdr::{Decoder, Encoder, Error, Pack, Result, Unpack};
+
+/// NFSv3 file type (`ftype3`, RFC 1813 §2.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Ftype3 {
+    /// Regular file.
+    #[default]
+    Regular,
+    /// Directory.
+    Directory,
+    /// Block special device.
+    BlockDevice,
+    /// Character special device.
+    CharDevice,
+    /// Symbolic link.
+    Symlink,
+    /// Socket.
+    Socket,
+    /// Named pipe.
+    Fifo,
+}
+
+impl Ftype3 {
+    /// The wire discriminant.
+    pub fn as_u32(self) -> u32 {
+        match self {
+            Ftype3::Regular => 1,
+            Ftype3::Directory => 2,
+            Ftype3::BlockDevice => 3,
+            Ftype3::CharDevice => 4,
+            Ftype3::Symlink => 5,
+            Ftype3::Socket => 6,
+            Ftype3::Fifo => 7,
+        }
+    }
+
+    /// Parses the wire discriminant.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidDiscriminant`] for unknown values.
+    pub fn from_u32(v: u32) -> Result<Self> {
+        Ok(match v {
+            1 => Ftype3::Regular,
+            2 => Ftype3::Directory,
+            3 => Ftype3::BlockDevice,
+            4 => Ftype3::CharDevice,
+            5 => Ftype3::Symlink,
+            6 => Ftype3::Socket,
+            7 => Ftype3::Fifo,
+            other => {
+                return Err(Error::InvalidDiscriminant {
+                    what: "ftype3",
+                    value: other,
+                })
+            }
+        })
+    }
+}
+
+impl Pack for Ftype3 {
+    fn pack(&self, enc: &mut Encoder) {
+        enc.put_u32(self.as_u32());
+    }
+}
+
+impl Unpack for Ftype3 {
+    fn unpack(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ftype3::from_u32(dec.get_u32()?)
+    }
+}
+
+/// NFSv3 timestamp: seconds and nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct NfsTime3 {
+    /// Seconds since the epoch.
+    pub seconds: u32,
+    /// Nanoseconds within the second.
+    pub nseconds: u32,
+}
+
+impl NfsTime3 {
+    /// Builds a timestamp from simulation microseconds.
+    pub fn from_micros(micros: u64) -> Self {
+        Self {
+            seconds: (micros / 1_000_000) as u32,
+            nseconds: ((micros % 1_000_000) * 1000) as u32,
+        }
+    }
+
+    /// Converts back to microseconds.
+    pub fn to_micros(self) -> u64 {
+        u64::from(self.seconds) * 1_000_000 + u64::from(self.nseconds) / 1000
+    }
+}
+
+impl Pack for NfsTime3 {
+    fn pack(&self, enc: &mut Encoder) {
+        enc.put_u32(self.seconds);
+        enc.put_u32(self.nseconds);
+    }
+}
+
+impl Unpack for NfsTime3 {
+    fn unpack(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(NfsTime3 {
+            seconds: dec.get_u32()?,
+            nseconds: dec.get_u32()?,
+        })
+    }
+}
+
+/// NFSv3 file attributes (`fattr3`, RFC 1813 §2.6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Fattr3 {
+    /// File type.
+    pub ftype: Ftype3,
+    /// Protection mode bits.
+    pub mode: u32,
+    /// Hard link count.
+    pub nlink: u32,
+    /// Owner.
+    pub uid: u32,
+    /// Group.
+    pub gid: u32,
+    /// File size in bytes.
+    pub size: u64,
+    /// Bytes actually used on disk.
+    pub used: u64,
+    /// Device numbers (specdata), meaningful for devices only.
+    pub rdev: (u32, u32),
+    /// File system id.
+    pub fsid: u64,
+    /// File id (inode number).
+    pub fileid: u64,
+    /// Last access time.
+    pub atime: NfsTime3,
+    /// Last modification time.
+    pub mtime: NfsTime3,
+    /// Last attribute-change time.
+    pub ctime: NfsTime3,
+}
+
+impl Pack for Fattr3 {
+    fn pack(&self, enc: &mut Encoder) {
+        self.ftype.pack(enc);
+        enc.put_u32(self.mode);
+        enc.put_u32(self.nlink);
+        enc.put_u32(self.uid);
+        enc.put_u32(self.gid);
+        enc.put_u64(self.size);
+        enc.put_u64(self.used);
+        enc.put_u32(self.rdev.0);
+        enc.put_u32(self.rdev.1);
+        enc.put_u64(self.fsid);
+        enc.put_u64(self.fileid);
+        self.atime.pack(enc);
+        self.mtime.pack(enc);
+        self.ctime.pack(enc);
+    }
+}
+
+impl Unpack for Fattr3 {
+    fn unpack(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(Fattr3 {
+            ftype: Ftype3::unpack(dec)?,
+            mode: dec.get_u32()?,
+            nlink: dec.get_u32()?,
+            uid: dec.get_u32()?,
+            gid: dec.get_u32()?,
+            size: dec.get_u64()?,
+            used: dec.get_u64()?,
+            rdev: (dec.get_u32()?, dec.get_u32()?),
+            fsid: dec.get_u64()?,
+            fileid: dec.get_u64()?,
+            atime: NfsTime3::unpack(dec)?,
+            mtime: NfsTime3::unpack(dec)?,
+            ctime: NfsTime3::unpack(dec)?,
+        })
+    }
+}
+
+/// The size/mtime subset of attributes carried in `wcc_attr`
+/// (pre-operation attributes, RFC 1813 §2.6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WccAttr {
+    /// File size before the operation.
+    pub size: u64,
+    /// Modification time before the operation.
+    pub mtime: NfsTime3,
+    /// Change time before the operation.
+    pub ctime: NfsTime3,
+}
+
+impl Pack for WccAttr {
+    fn pack(&self, enc: &mut Encoder) {
+        enc.put_u64(self.size);
+        self.mtime.pack(enc);
+        self.ctime.pack(enc);
+    }
+}
+
+impl Unpack for WccAttr {
+    fn unpack(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(WccAttr {
+            size: dec.get_u64()?,
+            mtime: NfsTime3::unpack(dec)?,
+            ctime: NfsTime3::unpack(dec)?,
+        })
+    }
+}
+
+/// Weak cache consistency data: before/after attributes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WccData {
+    /// Attributes before the operation, if the server kept them.
+    pub before: Option<WccAttr>,
+    /// Attributes after the operation, if available.
+    pub after: Option<Fattr3>,
+}
+
+impl Pack for WccData {
+    fn pack(&self, enc: &mut Encoder) {
+        self.before.pack(enc);
+        self.after.pack(enc);
+    }
+}
+
+impl Unpack for WccData {
+    fn unpack(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(WccData {
+            before: Option::<WccAttr>::unpack(dec)?,
+            after: Option::<Fattr3>::unpack(dec)?,
+        })
+    }
+}
+
+/// Settable attributes (`sattr3`): each field is optionally set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Sattr3 {
+    /// New mode bits.
+    pub mode: Option<u32>,
+    /// New owner.
+    pub uid: Option<u32>,
+    /// New group.
+    pub gid: Option<u32>,
+    /// New size (a set size is a truncate or extend).
+    pub size: Option<u64>,
+    /// Set atime to server time (`true`) or leave (`false`); explicit
+    /// client times are folded to server time in this implementation.
+    pub set_atime_to_server: bool,
+    /// Like `set_atime_to_server`, for mtime.
+    pub set_mtime_to_server: bool,
+}
+
+impl Pack for Sattr3 {
+    fn pack(&self, enc: &mut Encoder) {
+        self.mode.pack(enc);
+        self.uid.pack(enc);
+        self.gid.pack(enc);
+        self.size.pack(enc);
+        // time_how: 0 = don't change, 1 = set to server time.
+        enc.put_u32(u32::from(self.set_atime_to_server));
+        enc.put_u32(u32::from(self.set_mtime_to_server));
+    }
+}
+
+impl Unpack for Sattr3 {
+    fn unpack(dec: &mut Decoder<'_>) -> Result<Self> {
+        let mode = Option::<u32>::unpack(dec)?;
+        let uid = Option::<u32>::unpack(dec)?;
+        let gid = Option::<u32>::unpack(dec)?;
+        let size = Option::<u64>::unpack(dec)?;
+        let atime_how = dec.get_u32()?;
+        if atime_how == 2 {
+            // SET_TO_CLIENT_TIME carries an nfstime3.
+            let _ = NfsTime3::unpack(dec)?;
+        }
+        let mtime_how = dec.get_u32()?;
+        if mtime_how == 2 {
+            let _ = NfsTime3::unpack(dec)?;
+        }
+        Ok(Sattr3 {
+            mode,
+            uid,
+            gid,
+            size,
+            set_atime_to_server: atime_how != 0,
+            set_mtime_to_server: mtime_how != 0,
+        })
+    }
+}
+
+/// NFSv3 status codes (`nfsstat3`), shared with v2 where the codes agree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum NfsStat3 {
+    /// Success.
+    #[default]
+    Ok,
+    /// Not owner.
+    Perm,
+    /// No such file or directory.
+    NoEnt,
+    /// I/O error.
+    Io,
+    /// Permission denied.
+    Access,
+    /// File exists.
+    Exist,
+    /// No such device.
+    NoDev,
+    /// Not a directory.
+    NotDir,
+    /// Is a directory.
+    IsDir,
+    /// Invalid argument.
+    Inval,
+    /// File too large.
+    FBig,
+    /// No space left.
+    NoSpc,
+    /// Read-only file system.
+    Rofs,
+    /// Name too long.
+    NameTooLong,
+    /// Directory not empty.
+    NotEmpty,
+    /// Quota exceeded.
+    Dquot,
+    /// Stale file handle.
+    Stale,
+    /// Operation not supported.
+    NotSupp,
+    /// Server fault.
+    ServerFault,
+}
+
+impl NfsStat3 {
+    /// The wire value.
+    pub fn as_u32(self) -> u32 {
+        match self {
+            NfsStat3::Ok => 0,
+            NfsStat3::Perm => 1,
+            NfsStat3::NoEnt => 2,
+            NfsStat3::Io => 5,
+            NfsStat3::Access => 13,
+            NfsStat3::Exist => 17,
+            NfsStat3::NoDev => 19,
+            NfsStat3::NotDir => 20,
+            NfsStat3::IsDir => 21,
+            NfsStat3::Inval => 22,
+            NfsStat3::FBig => 27,
+            NfsStat3::NoSpc => 28,
+            NfsStat3::Rofs => 30,
+            NfsStat3::NameTooLong => 63,
+            NfsStat3::NotEmpty => 66,
+            NfsStat3::Dquot => 69,
+            NfsStat3::Stale => 70,
+            NfsStat3::NotSupp => 10004,
+            NfsStat3::ServerFault => 10006,
+        }
+    }
+
+    /// Parses a wire value.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidDiscriminant`] for unknown codes.
+    pub fn from_u32(v: u32) -> Result<Self> {
+        Ok(match v {
+            0 => NfsStat3::Ok,
+            1 => NfsStat3::Perm,
+            2 => NfsStat3::NoEnt,
+            5 => NfsStat3::Io,
+            13 => NfsStat3::Access,
+            17 => NfsStat3::Exist,
+            19 => NfsStat3::NoDev,
+            20 => NfsStat3::NotDir,
+            21 => NfsStat3::IsDir,
+            22 => NfsStat3::Inval,
+            27 => NfsStat3::FBig,
+            28 => NfsStat3::NoSpc,
+            30 => NfsStat3::Rofs,
+            63 => NfsStat3::NameTooLong,
+            66 => NfsStat3::NotEmpty,
+            69 => NfsStat3::Dquot,
+            70 => NfsStat3::Stale,
+            10004 => NfsStat3::NotSupp,
+            10006 => NfsStat3::ServerFault,
+            other => {
+                return Err(Error::InvalidDiscriminant {
+                    what: "nfsstat3",
+                    value: other,
+                })
+            }
+        })
+    }
+
+    /// Whether this is `NFS3_OK`.
+    pub fn is_ok(self) -> bool {
+        self == NfsStat3::Ok
+    }
+}
+
+impl Pack for NfsStat3 {
+    fn pack(&self, enc: &mut Encoder) {
+        enc.put_u32(self.as_u32());
+    }
+}
+
+impl Unpack for NfsStat3 {
+    fn unpack(dec: &mut Decoder<'_>) -> Result<Self> {
+        NfsStat3::from_u32(dec.get_u32()?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ftype_roundtrip_all() {
+        for t in [
+            Ftype3::Regular,
+            Ftype3::Directory,
+            Ftype3::BlockDevice,
+            Ftype3::CharDevice,
+            Ftype3::Symlink,
+            Ftype3::Socket,
+            Ftype3::Fifo,
+        ] {
+            assert_eq!(Ftype3::from_u32(t.as_u32()).unwrap(), t);
+        }
+        assert!(Ftype3::from_u32(0).is_err());
+        assert!(Ftype3::from_u32(8).is_err());
+    }
+
+    #[test]
+    fn time_micros_roundtrip() {
+        let t = NfsTime3::from_micros(1_003_500_123_456);
+        assert_eq!(t.to_micros(), 1_003_500_123_456);
+    }
+
+    #[test]
+    fn fattr_roundtrip() {
+        let a = Fattr3 {
+            ftype: Ftype3::Regular,
+            mode: 0o644,
+            nlink: 1,
+            uid: 1000,
+            gid: 100,
+            size: 2 * 1024 * 1024,
+            used: 2 * 1024 * 1024,
+            rdev: (0, 0),
+            fsid: 7,
+            fileid: 12345,
+            atime: NfsTime3::from_micros(1_000_000),
+            mtime: NfsTime3::from_micros(2_000_000),
+            ctime: NfsTime3::from_micros(3_000_000),
+        };
+        assert_eq!(Fattr3::from_xdr_bytes(&a.to_xdr_bytes()).unwrap(), a);
+    }
+
+    #[test]
+    fn wcc_data_roundtrip() {
+        let w = WccData {
+            before: Some(WccAttr {
+                size: 100,
+                mtime: NfsTime3::from_micros(5),
+                ctime: NfsTime3::from_micros(6),
+            }),
+            after: Some(Fattr3::default()),
+        };
+        assert_eq!(WccData::from_xdr_bytes(&w.to_xdr_bytes()).unwrap(), w);
+        let empty = WccData::default();
+        assert_eq!(
+            WccData::from_xdr_bytes(&empty.to_xdr_bytes()).unwrap(),
+            empty
+        );
+    }
+
+    #[test]
+    fn sattr_truncate_roundtrip() {
+        let s = Sattr3 {
+            size: Some(0),
+            set_mtime_to_server: true,
+            ..Sattr3::default()
+        };
+        assert_eq!(Sattr3::from_xdr_bytes(&s.to_xdr_bytes()).unwrap(), s);
+    }
+
+    #[test]
+    fn nfsstat_roundtrip() {
+        for code in [0u32, 1, 2, 5, 13, 17, 19, 20, 21, 22, 27, 28, 30, 63, 66, 69, 70] {
+            let s = NfsStat3::from_u32(code).unwrap();
+            assert_eq!(s.as_u32(), code);
+        }
+        assert!(NfsStat3::Ok.is_ok());
+        assert!(!NfsStat3::Stale.is_ok());
+        assert!(NfsStat3::from_u32(12345).is_err());
+    }
+}

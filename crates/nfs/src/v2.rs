@@ -1,0 +1,1037 @@
+//! NFS version 2 (RFC 1094): procedures, arguments, and results.
+//!
+//! "Most of the EECS clients use NFSv3, but many use NFSv2" (paper §3.1),
+//! so the tracer decodes both. NFSv2 uses fixed 32-byte handles, 32-bit
+//! sizes and offsets, and `timeval` (seconds/microseconds) timestamps.
+
+use crate::fh::FileHandle;
+use crate::types::{Ftype3, NfsStat3};
+use nfstrace_xdr::{Decoder, Encoder, Error, Pack, Result, Unpack};
+
+/// NFSv2 procedure numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u32)]
+pub enum Proc2 {
+    /// Do nothing.
+    Null = 0,
+    /// Get file attributes.
+    Getattr = 1,
+    /// Set file attributes.
+    Setattr = 2,
+    /// Obsolete (was: get filesystem root).
+    Root = 3,
+    /// Look up a name.
+    Lookup = 4,
+    /// Read a symlink.
+    Readlink = 5,
+    /// Read from a file.
+    Read = 6,
+    /// Never used on the wire.
+    Writecache = 7,
+    /// Write to a file.
+    Write = 8,
+    /// Create a file.
+    Create = 9,
+    /// Remove a file.
+    Remove = 10,
+    /// Rename.
+    Rename = 11,
+    /// Hard link.
+    Link = 12,
+    /// Create a symlink.
+    Symlink = 13,
+    /// Create a directory.
+    Mkdir = 14,
+    /// Remove a directory.
+    Rmdir = 15,
+    /// Read a directory.
+    Readdir = 16,
+    /// Filesystem statistics.
+    Statfs = 17,
+}
+
+impl Proc2 {
+    /// All procedures in numeric order.
+    pub const ALL: [Proc2; 18] = [
+        Proc2::Null,
+        Proc2::Getattr,
+        Proc2::Setattr,
+        Proc2::Root,
+        Proc2::Lookup,
+        Proc2::Readlink,
+        Proc2::Read,
+        Proc2::Writecache,
+        Proc2::Write,
+        Proc2::Create,
+        Proc2::Remove,
+        Proc2::Rename,
+        Proc2::Link,
+        Proc2::Symlink,
+        Proc2::Mkdir,
+        Proc2::Rmdir,
+        Proc2::Readdir,
+        Proc2::Statfs,
+    ];
+
+    /// The wire procedure number.
+    pub fn as_u32(self) -> u32 {
+        self as u32
+    }
+
+    /// Parses a wire procedure number.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidDiscriminant`] above 17.
+    pub fn from_u32(v: u32) -> Result<Self> {
+        Proc2::ALL
+            .get(v as usize)
+            .copied()
+            .ok_or(Error::InvalidDiscriminant {
+                what: "nfsv2 procedure",
+                value: v,
+            })
+    }
+
+    /// Conventional upper-case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Proc2::Null => "NULL",
+            Proc2::Getattr => "GETATTR",
+            Proc2::Setattr => "SETATTR",
+            Proc2::Root => "ROOT",
+            Proc2::Lookup => "LOOKUP",
+            Proc2::Readlink => "READLINK",
+            Proc2::Read => "READ",
+            Proc2::Writecache => "WRITECACHE",
+            Proc2::Write => "WRITE",
+            Proc2::Create => "CREATE",
+            Proc2::Remove => "REMOVE",
+            Proc2::Rename => "RENAME",
+            Proc2::Link => "LINK",
+            Proc2::Symlink => "SYMLINK",
+            Proc2::Mkdir => "MKDIR",
+            Proc2::Rmdir => "RMDIR",
+            Proc2::Readdir => "READDIR",
+            Proc2::Statfs => "STATFS",
+        }
+    }
+}
+
+/// NFSv2 `timeval`: seconds and microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TimeVal2 {
+    /// Seconds.
+    pub seconds: u32,
+    /// Microseconds.
+    pub useconds: u32,
+}
+
+impl Pack for TimeVal2 {
+    fn pack(&self, enc: &mut Encoder) {
+        enc.put_u32(self.seconds);
+        enc.put_u32(self.useconds);
+    }
+}
+
+impl Unpack for TimeVal2 {
+    fn unpack(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(TimeVal2 {
+            seconds: dec.get_u32()?,
+            useconds: dec.get_u32()?,
+        })
+    }
+}
+
+/// NFSv2 file attributes (`fattr`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Fattr2 {
+    /// File type (shares the v3 enumeration; v2's NON type maps to error).
+    pub ftype: Ftype3,
+    /// Mode bits.
+    pub mode: u32,
+    /// Link count.
+    pub nlink: u32,
+    /// Owner.
+    pub uid: u32,
+    /// Group.
+    pub gid: u32,
+    /// Size in bytes (32-bit in v2).
+    pub size: u32,
+    /// Filesystem block size.
+    pub blocksize: u32,
+    /// Device number.
+    pub rdev: u32,
+    /// Blocks used.
+    pub blocks: u32,
+    /// Filesystem id.
+    pub fsid: u32,
+    /// File id (inode).
+    pub fileid: u32,
+    /// Access time.
+    pub atime: TimeVal2,
+    /// Modification time.
+    pub mtime: TimeVal2,
+    /// Change time.
+    pub ctime: TimeVal2,
+}
+
+impl Pack for Fattr2 {
+    fn pack(&self, enc: &mut Encoder) {
+        // v2 ftype wire values: NFNON=0, NFREG=1, NFDIR=2, NFBLK=3,
+        // NFCHR=4, NFLNK=5 — the same numbering as v3 for 1..=5.
+        enc.put_u32(self.ftype.as_u32());
+        enc.put_u32(self.mode);
+        enc.put_u32(self.nlink);
+        enc.put_u32(self.uid);
+        enc.put_u32(self.gid);
+        enc.put_u32(self.size);
+        enc.put_u32(self.blocksize);
+        enc.put_u32(self.rdev);
+        enc.put_u32(self.blocks);
+        enc.put_u32(self.fsid);
+        enc.put_u32(self.fileid);
+        self.atime.pack(enc);
+        self.mtime.pack(enc);
+        self.ctime.pack(enc);
+    }
+}
+
+impl Unpack for Fattr2 {
+    fn unpack(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(Fattr2 {
+            ftype: Ftype3::from_u32(dec.get_u32()?)?,
+            mode: dec.get_u32()?,
+            nlink: dec.get_u32()?,
+            uid: dec.get_u32()?,
+            gid: dec.get_u32()?,
+            size: dec.get_u32()?,
+            blocksize: dec.get_u32()?,
+            rdev: dec.get_u32()?,
+            blocks: dec.get_u32()?,
+            fsid: dec.get_u32()?,
+            fileid: dec.get_u32()?,
+            atime: TimeVal2::unpack(dec)?,
+            mtime: TimeVal2::unpack(dec)?,
+            ctime: TimeVal2::unpack(dec)?,
+        })
+    }
+}
+
+impl From<crate::types::Fattr3> for Fattr2 {
+    fn from(a: crate::types::Fattr3) -> Self {
+        Fattr2 {
+            ftype: a.ftype,
+            mode: a.mode,
+            nlink: a.nlink,
+            uid: a.uid,
+            gid: a.gid,
+            size: a.size.min(u64::from(u32::MAX)) as u32,
+            blocksize: 8192,
+            rdev: a.rdev.0,
+            blocks: (a.used / 512) as u32,
+            fsid: a.fsid as u32,
+            fileid: a.fileid as u32,
+            atime: TimeVal2 {
+                seconds: a.atime.seconds,
+                useconds: a.atime.nseconds / 1000,
+            },
+            mtime: TimeVal2 {
+                seconds: a.mtime.seconds,
+                useconds: a.mtime.nseconds / 1000,
+            },
+            ctime: TimeVal2 {
+                seconds: a.ctime.seconds,
+                useconds: a.ctime.nseconds / 1000,
+            },
+        }
+    }
+}
+
+/// NFSv2 settable attributes; `u32::MAX` (-1) means "do not set".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sattr2 {
+    /// Mode, or -1.
+    pub mode: u32,
+    /// Uid, or -1.
+    pub uid: u32,
+    /// Gid, or -1.
+    pub gid: u32,
+    /// Size, or -1 (a non-negative size is a truncate/extend).
+    pub size: u32,
+    /// Atime, or (-1,-1).
+    pub atime: TimeVal2,
+    /// Mtime, or (-1,-1).
+    pub mtime: TimeVal2,
+}
+
+impl Default for Sattr2 {
+    fn default() -> Self {
+        let unset = TimeVal2 {
+            seconds: u32::MAX,
+            useconds: u32::MAX,
+        };
+        Sattr2 {
+            mode: u32::MAX,
+            uid: u32::MAX,
+            gid: u32::MAX,
+            size: u32::MAX,
+            atime: unset,
+            mtime: unset,
+        }
+    }
+}
+
+impl Sattr2 {
+    /// The size field as an option.
+    pub fn size_opt(&self) -> Option<u32> {
+        (self.size != u32::MAX).then_some(self.size)
+    }
+}
+
+impl Pack for Sattr2 {
+    fn pack(&self, enc: &mut Encoder) {
+        enc.put_u32(self.mode);
+        enc.put_u32(self.uid);
+        enc.put_u32(self.gid);
+        enc.put_u32(self.size);
+        self.atime.pack(enc);
+        self.mtime.pack(enc);
+    }
+}
+
+impl Unpack for Sattr2 {
+    fn unpack(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(Sattr2 {
+            mode: dec.get_u32()?,
+            uid: dec.get_u32()?,
+            gid: dec.get_u32()?,
+            size: dec.get_u32()?,
+            atime: TimeVal2::unpack(dec)?,
+            mtime: TimeVal2::unpack(dec)?,
+        })
+    }
+}
+
+/// Directory + name arguments (`diropargs`).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DirOpArgs2 {
+    /// The directory handle.
+    pub dir: FileHandle,
+    /// The name.
+    pub name: String,
+}
+
+fn pack_dirop(a: &DirOpArgs2, enc: &mut Encoder) {
+    a.dir.pack_v2(enc);
+    enc.put_string(&a.name);
+}
+
+fn unpack_dirop(dec: &mut Decoder<'_>) -> Result<DirOpArgs2> {
+    Ok(DirOpArgs2 {
+        dir: FileHandle::unpack_v2(dec)?,
+        name: dec.get_string()?,
+    })
+}
+
+/// A decoded NFSv2 call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Call2 {
+    /// NULL ping.
+    Null,
+    /// Get attributes.
+    Getattr(FileHandle),
+    /// Set attributes.
+    Setattr {
+        /// The file.
+        file: FileHandle,
+        /// Attributes to set.
+        attributes: Sattr2,
+    },
+    /// Obsolete ROOT (void).
+    Root,
+    /// Name lookup.
+    Lookup(DirOpArgs2),
+    /// Read symlink.
+    Readlink(FileHandle),
+    /// Read data.
+    Read {
+        /// The file.
+        file: FileHandle,
+        /// Byte offset (32-bit).
+        offset: u32,
+        /// Bytes requested.
+        count: u32,
+        /// Unused by servers; carried for fidelity.
+        totalcount: u32,
+    },
+    /// Unused WRITECACHE (void).
+    Writecache,
+    /// Write data.
+    Write {
+        /// The file.
+        file: FileHandle,
+        /// Unused "beginoffset".
+        beginoffset: u32,
+        /// Byte offset.
+        offset: u32,
+        /// Unused "totalcount".
+        totalcount: u32,
+        /// The data.
+        data: Vec<u8>,
+    },
+    /// Create a file.
+    Create {
+        /// Where to create.
+        where_: DirOpArgs2,
+        /// Initial attributes.
+        attributes: Sattr2,
+    },
+    /// Remove a file.
+    Remove(DirOpArgs2),
+    /// Rename.
+    Rename {
+        /// Source.
+        from: DirOpArgs2,
+        /// Destination.
+        to: DirOpArgs2,
+    },
+    /// Hard link.
+    Link {
+        /// Existing file.
+        from: FileHandle,
+        /// New entry.
+        to: DirOpArgs2,
+    },
+    /// Create a symlink.
+    Symlink {
+        /// Where to create.
+        where_: DirOpArgs2,
+        /// Target path.
+        target: String,
+        /// Attributes.
+        attributes: Sattr2,
+    },
+    /// Create a directory.
+    Mkdir {
+        /// Where to create.
+        where_: DirOpArgs2,
+        /// Attributes.
+        attributes: Sattr2,
+    },
+    /// Remove a directory.
+    Rmdir(DirOpArgs2),
+    /// List a directory.
+    Readdir {
+        /// The directory.
+        dir: FileHandle,
+        /// Opaque 4-byte resume cookie.
+        cookie: u32,
+        /// Maximum reply bytes.
+        count: u32,
+    },
+    /// Filesystem statistics.
+    Statfs(FileHandle),
+}
+
+impl Call2 {
+    /// The procedure this call invokes.
+    pub fn proc(&self) -> Proc2 {
+        match self {
+            Call2::Null => Proc2::Null,
+            Call2::Getattr(_) => Proc2::Getattr,
+            Call2::Setattr { .. } => Proc2::Setattr,
+            Call2::Root => Proc2::Root,
+            Call2::Lookup(_) => Proc2::Lookup,
+            Call2::Readlink(_) => Proc2::Readlink,
+            Call2::Read { .. } => Proc2::Read,
+            Call2::Writecache => Proc2::Writecache,
+            Call2::Write { .. } => Proc2::Write,
+            Call2::Create { .. } => Proc2::Create,
+            Call2::Remove(_) => Proc2::Remove,
+            Call2::Rename { .. } => Proc2::Rename,
+            Call2::Link { .. } => Proc2::Link,
+            Call2::Symlink { .. } => Proc2::Symlink,
+            Call2::Mkdir { .. } => Proc2::Mkdir,
+            Call2::Rmdir(_) => Proc2::Rmdir,
+            Call2::Readdir { .. } => Proc2::Readdir,
+            Call2::Statfs(_) => Proc2::Statfs,
+        }
+    }
+
+    /// Encodes the call arguments.
+    pub fn encode_args(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        match self {
+            Call2::Null | Call2::Root | Call2::Writecache => {}
+            Call2::Getattr(fh) | Call2::Readlink(fh) | Call2::Statfs(fh) => fh.pack_v2(&mut enc),
+            Call2::Setattr { file, attributes } => {
+                file.pack_v2(&mut enc);
+                attributes.pack(&mut enc);
+            }
+            Call2::Lookup(a) | Call2::Remove(a) | Call2::Rmdir(a) => pack_dirop(a, &mut enc),
+            Call2::Read {
+                file,
+                offset,
+                count,
+                totalcount,
+            } => {
+                file.pack_v2(&mut enc);
+                enc.put_u32(*offset);
+                enc.put_u32(*count);
+                enc.put_u32(*totalcount);
+            }
+            Call2::Write {
+                file,
+                beginoffset,
+                offset,
+                totalcount,
+                data,
+            } => {
+                file.pack_v2(&mut enc);
+                enc.put_u32(*beginoffset);
+                enc.put_u32(*offset);
+                enc.put_u32(*totalcount);
+                enc.put_opaque_var(data);
+            }
+            Call2::Create { where_, attributes } | Call2::Mkdir { where_, attributes } => {
+                pack_dirop(where_, &mut enc);
+                attributes.pack(&mut enc);
+            }
+            Call2::Rename { from, to } => {
+                pack_dirop(from, &mut enc);
+                pack_dirop(to, &mut enc);
+            }
+            Call2::Link { from, to } => {
+                from.pack_v2(&mut enc);
+                pack_dirop(to, &mut enc);
+            }
+            Call2::Symlink {
+                where_,
+                target,
+                attributes,
+            } => {
+                pack_dirop(where_, &mut enc);
+                enc.put_string(target);
+                attributes.pack(&mut enc);
+            }
+            Call2::Readdir { dir, cookie, count } => {
+                dir.pack_v2(&mut enc);
+                enc.put_u32(*cookie);
+                enc.put_u32(*count);
+            }
+        }
+        enc.into_bytes()
+    }
+
+    /// Decodes call arguments for `proc`.
+    ///
+    /// # Errors
+    ///
+    /// Any XDR error for malformed arguments.
+    pub fn decode(proc: Proc2, args: &[u8]) -> Result<Self> {
+        let mut dec = Decoder::new(args);
+        let call = match proc {
+            Proc2::Null => Call2::Null,
+            Proc2::Root => Call2::Root,
+            Proc2::Writecache => Call2::Writecache,
+            Proc2::Getattr => Call2::Getattr(FileHandle::unpack_v2(&mut dec)?),
+            Proc2::Setattr => Call2::Setattr {
+                file: FileHandle::unpack_v2(&mut dec)?,
+                attributes: Sattr2::unpack(&mut dec)?,
+            },
+            Proc2::Lookup => Call2::Lookup(unpack_dirop(&mut dec)?),
+            Proc2::Readlink => Call2::Readlink(FileHandle::unpack_v2(&mut dec)?),
+            Proc2::Read => Call2::Read {
+                file: FileHandle::unpack_v2(&mut dec)?,
+                offset: dec.get_u32()?,
+                count: dec.get_u32()?,
+                totalcount: dec.get_u32()?,
+            },
+            Proc2::Write => Call2::Write {
+                file: FileHandle::unpack_v2(&mut dec)?,
+                beginoffset: dec.get_u32()?,
+                offset: dec.get_u32()?,
+                totalcount: dec.get_u32()?,
+                data: dec.get_opaque_var()?,
+            },
+            Proc2::Create => Call2::Create {
+                where_: unpack_dirop(&mut dec)?,
+                attributes: Sattr2::unpack(&mut dec)?,
+            },
+            Proc2::Remove => Call2::Remove(unpack_dirop(&mut dec)?),
+            Proc2::Rename => Call2::Rename {
+                from: unpack_dirop(&mut dec)?,
+                to: unpack_dirop(&mut dec)?,
+            },
+            Proc2::Link => Call2::Link {
+                from: FileHandle::unpack_v2(&mut dec)?,
+                to: unpack_dirop(&mut dec)?,
+            },
+            Proc2::Symlink => Call2::Symlink {
+                where_: unpack_dirop(&mut dec)?,
+                target: dec.get_string()?,
+                attributes: Sattr2::unpack(&mut dec)?,
+            },
+            Proc2::Mkdir => Call2::Mkdir {
+                where_: unpack_dirop(&mut dec)?,
+                attributes: Sattr2::unpack(&mut dec)?,
+            },
+            Proc2::Rmdir => Call2::Rmdir(unpack_dirop(&mut dec)?),
+            Proc2::Readdir => Call2::Readdir {
+                dir: FileHandle::unpack_v2(&mut dec)?,
+                cookie: dec.get_u32()?,
+                count: dec.get_u32()?,
+            },
+            Proc2::Statfs => Call2::Statfs(FileHandle::unpack_v2(&mut dec)?),
+        };
+        Ok(call)
+    }
+}
+
+/// One NFSv2 `READDIR` entry.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DirEntry2 {
+    /// File id.
+    pub fileid: u32,
+    /// Name.
+    pub name: String,
+    /// Resume cookie.
+    pub cookie: u32,
+}
+
+/// A decoded NFSv2 reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply2 {
+    /// NULL, ROOT, WRITECACHE: void.
+    Void,
+    /// `attrstat`: GETATTR, SETATTR, WRITE.
+    AttrStat {
+        /// Status.
+        status: NfsStat3,
+        /// Attributes on success.
+        attributes: Option<Fattr2>,
+    },
+    /// `diropres`: LOOKUP, CREATE, MKDIR.
+    DirOpRes {
+        /// Status.
+        status: NfsStat3,
+        /// New/found handle on success.
+        file: Option<FileHandle>,
+        /// Attributes on success.
+        attributes: Option<Fattr2>,
+    },
+    /// READLINK result.
+    Readlink {
+        /// Status.
+        status: NfsStat3,
+        /// Target path on success.
+        target: String,
+    },
+    /// READ result.
+    Read {
+        /// Status.
+        status: NfsStat3,
+        /// Attributes on success.
+        attributes: Option<Fattr2>,
+        /// Data on success.
+        data: Vec<u8>,
+    },
+    /// Bare status: REMOVE, RENAME, LINK, SYMLINK, RMDIR.
+    Stat(NfsStat3),
+    /// READDIR result.
+    Readdir {
+        /// Status.
+        status: NfsStat3,
+        /// Entries on success.
+        entries: Vec<DirEntry2>,
+        /// Whether the listing completed.
+        eof: bool,
+    },
+    /// STATFS result.
+    Statfs {
+        /// Status.
+        status: NfsStat3,
+        /// Transfer size, block size, total/free/available blocks.
+        info: [u32; 5],
+    },
+}
+
+impl Reply2 {
+    /// The status of this reply (`Ok` for void replies).
+    pub fn status(&self) -> NfsStat3 {
+        match self {
+            Reply2::Void => NfsStat3::Ok,
+            Reply2::AttrStat { status, .. }
+            | Reply2::DirOpRes { status, .. }
+            | Reply2::Readlink { status, .. }
+            | Reply2::Read { status, .. }
+            | Reply2::Readdir { status, .. }
+            | Reply2::Statfs { status, .. } => *status,
+            Reply2::Stat(status) => *status,
+        }
+    }
+
+    /// Encodes the reply results.
+    pub fn encode_results(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        match self {
+            Reply2::Void => {}
+            Reply2::AttrStat { status, attributes } => {
+                status.pack(&mut enc);
+                if status.is_ok() {
+                    attributes.unwrap_or_default().pack(&mut enc);
+                }
+            }
+            Reply2::DirOpRes {
+                status,
+                file,
+                attributes,
+            } => {
+                status.pack(&mut enc);
+                if status.is_ok() {
+                    file.clone().unwrap_or_default().pack_v2(&mut enc);
+                    attributes.unwrap_or_default().pack(&mut enc);
+                }
+            }
+            Reply2::Readlink { status, target } => {
+                status.pack(&mut enc);
+                if status.is_ok() {
+                    enc.put_string(target);
+                }
+            }
+            Reply2::Read {
+                status,
+                attributes,
+                data,
+            } => {
+                status.pack(&mut enc);
+                if status.is_ok() {
+                    attributes.unwrap_or_default().pack(&mut enc);
+                    enc.put_opaque_var(data);
+                }
+            }
+            Reply2::Stat(status) => status.pack(&mut enc),
+            Reply2::Readdir {
+                status,
+                entries,
+                eof,
+            } => {
+                status.pack(&mut enc);
+                if status.is_ok() {
+                    for e in entries {
+                        enc.put_bool(true);
+                        enc.put_u32(e.fileid);
+                        enc.put_string(&e.name);
+                        enc.put_u32(e.cookie);
+                    }
+                    enc.put_bool(false);
+                    enc.put_bool(*eof);
+                }
+            }
+            Reply2::Statfs { status, info } => {
+                status.pack(&mut enc);
+                if status.is_ok() {
+                    for v in info {
+                        enc.put_u32(*v);
+                    }
+                }
+            }
+        }
+        enc.into_bytes()
+    }
+
+    /// Decodes reply results for `proc`.
+    ///
+    /// # Errors
+    ///
+    /// Any XDR error for malformed results.
+    pub fn decode(proc: Proc2, results: &[u8]) -> Result<Self> {
+        let mut dec = Decoder::new(results);
+        let reply = match proc {
+            Proc2::Null | Proc2::Root | Proc2::Writecache => Reply2::Void,
+            Proc2::Getattr | Proc2::Setattr | Proc2::Write => {
+                let status = NfsStat3::unpack(&mut dec)?;
+                let attributes = if status.is_ok() {
+                    Some(Fattr2::unpack(&mut dec)?)
+                } else {
+                    None
+                };
+                Reply2::AttrStat { status, attributes }
+            }
+            Proc2::Lookup | Proc2::Create | Proc2::Mkdir => {
+                let status = NfsStat3::unpack(&mut dec)?;
+                if status.is_ok() {
+                    Reply2::DirOpRes {
+                        status,
+                        file: Some(FileHandle::unpack_v2(&mut dec)?),
+                        attributes: Some(Fattr2::unpack(&mut dec)?),
+                    }
+                } else {
+                    Reply2::DirOpRes {
+                        status,
+                        file: None,
+                        attributes: None,
+                    }
+                }
+            }
+            Proc2::Readlink => {
+                let status = NfsStat3::unpack(&mut dec)?;
+                let target = if status.is_ok() {
+                    dec.get_string()?
+                } else {
+                    String::new()
+                };
+                Reply2::Readlink { status, target }
+            }
+            Proc2::Read => {
+                let status = NfsStat3::unpack(&mut dec)?;
+                if status.is_ok() {
+                    Reply2::Read {
+                        status,
+                        attributes: Some(Fattr2::unpack(&mut dec)?),
+                        data: dec.get_opaque_var()?,
+                    }
+                } else {
+                    Reply2::Read {
+                        status,
+                        attributes: None,
+                        data: Vec::new(),
+                    }
+                }
+            }
+            Proc2::Remove | Proc2::Rename | Proc2::Link | Proc2::Symlink | Proc2::Rmdir => {
+                Reply2::Stat(NfsStat3::unpack(&mut dec)?)
+            }
+            Proc2::Readdir => {
+                let status = NfsStat3::unpack(&mut dec)?;
+                if status.is_ok() {
+                    let mut entries = Vec::new();
+                    while dec.get_bool()? {
+                        entries.push(DirEntry2 {
+                            fileid: dec.get_u32()?,
+                            name: dec.get_string()?,
+                            cookie: dec.get_u32()?,
+                        });
+                    }
+                    Reply2::Readdir {
+                        status,
+                        entries,
+                        eof: dec.get_bool()?,
+                    }
+                } else {
+                    Reply2::Readdir {
+                        status,
+                        entries: Vec::new(),
+                        eof: false,
+                    }
+                }
+            }
+            Proc2::Statfs => {
+                let status = NfsStat3::unpack(&mut dec)?;
+                if status.is_ok() {
+                    let mut info = [0u32; 5];
+                    for v in &mut info {
+                        *v = dec.get_u32()?;
+                    }
+                    Reply2::Statfs { status, info }
+                } else {
+                    Reply2::Statfs {
+                        status,
+                        info: [0; 5],
+                    }
+                }
+            }
+        };
+        Ok(reply)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_call(call: Call2) {
+        let bytes = call.encode_args();
+        assert_eq!(Call2::decode(call.proc(), &bytes).unwrap(), call);
+    }
+
+    fn roundtrip_reply(proc: Proc2, reply: Reply2) {
+        let bytes = reply.encode_results();
+        assert_eq!(Reply2::decode(proc, &bytes).unwrap(), reply);
+    }
+
+    #[test]
+    fn proc_numbers_match_rfc() {
+        assert_eq!(Proc2::Read.as_u32(), 6);
+        assert_eq!(Proc2::Write.as_u32(), 8);
+        assert_eq!(Proc2::Statfs.as_u32(), 17);
+        for p in Proc2::ALL {
+            assert_eq!(Proc2::from_u32(p.as_u32()).unwrap(), p);
+        }
+        assert!(Proc2::from_u32(18).is_err());
+    }
+
+    #[test]
+    fn calls_roundtrip() {
+        roundtrip_call(Call2::Null);
+        roundtrip_call(Call2::Getattr(FileHandle::from_u64(1)));
+        roundtrip_call(Call2::Setattr {
+            file: FileHandle::from_u64(2),
+            attributes: Sattr2 {
+                size: 0,
+                ..Sattr2::default()
+            },
+        });
+        roundtrip_call(Call2::Lookup(DirOpArgs2 {
+            dir: FileHandle::from_u64(3),
+            name: ".cshrc".into(),
+        }));
+        roundtrip_call(Call2::Read {
+            file: FileHandle::from_u64(4),
+            offset: 8192,
+            count: 8192,
+            totalcount: 0,
+        });
+        roundtrip_call(Call2::Write {
+            file: FileHandle::from_u64(5),
+            beginoffset: 0,
+            offset: 16384,
+            totalcount: 0,
+            data: vec![7; 100],
+        });
+        roundtrip_call(Call2::Create {
+            where_: DirOpArgs2 {
+                dir: FileHandle::from_u64(6),
+                name: "core.12345".into(),
+            },
+            attributes: Sattr2::default(),
+        });
+        roundtrip_call(Call2::Rename {
+            from: DirOpArgs2 {
+                dir: FileHandle::from_u64(7),
+                name: "a".into(),
+            },
+            to: DirOpArgs2 {
+                dir: FileHandle::from_u64(7),
+                name: "b".into(),
+            },
+        });
+        roundtrip_call(Call2::Link {
+            from: FileHandle::from_u64(8),
+            to: DirOpArgs2 {
+                dir: FileHandle::from_u64(9),
+                name: "ln".into(),
+            },
+        });
+        roundtrip_call(Call2::Symlink {
+            where_: DirOpArgs2 {
+                dir: FileHandle::from_u64(10),
+                name: "sl".into(),
+            },
+            target: "/tmp/x".into(),
+            attributes: Sattr2::default(),
+        });
+        roundtrip_call(Call2::Readdir {
+            dir: FileHandle::from_u64(11),
+            cookie: 0,
+            count: 4096,
+        });
+        roundtrip_call(Call2::Statfs(FileHandle::from_u64(12)));
+        roundtrip_call(Call2::Remove(DirOpArgs2 {
+            dir: FileHandle::from_u64(13),
+            name: "#tmp#".into(),
+        }));
+        roundtrip_call(Call2::Rmdir(DirOpArgs2 {
+            dir: FileHandle::from_u64(14),
+            name: "dir".into(),
+        }));
+        roundtrip_call(Call2::Mkdir {
+            where_: DirOpArgs2 {
+                dir: FileHandle::from_u64(15),
+                name: "CVS".into(),
+            },
+            attributes: Sattr2::default(),
+        });
+        roundtrip_call(Call2::Readlink(FileHandle::from_u64(16)));
+    }
+
+    #[test]
+    fn replies_roundtrip() {
+        roundtrip_reply(Proc2::Null, Reply2::Void);
+        roundtrip_reply(
+            Proc2::Getattr,
+            Reply2::AttrStat {
+                status: NfsStat3::Ok,
+                attributes: Some(Fattr2 {
+                    size: 100,
+                    fileid: 5,
+                    ..Fattr2::default()
+                }),
+            },
+        );
+        roundtrip_reply(
+            Proc2::Getattr,
+            Reply2::AttrStat {
+                status: NfsStat3::Stale,
+                attributes: None,
+            },
+        );
+        roundtrip_reply(
+            Proc2::Lookup,
+            Reply2::DirOpRes {
+                status: NfsStat3::Ok,
+                file: Some(FileHandle::from_u64(44)),
+                attributes: Some(Fattr2::default()),
+            },
+        );
+        roundtrip_reply(
+            Proc2::Read,
+            Reply2::Read {
+                status: NfsStat3::Ok,
+                attributes: Some(Fattr2::default()),
+                data: vec![0; 1024],
+            },
+        );
+        roundtrip_reply(Proc2::Remove, Reply2::Stat(NfsStat3::Ok));
+        roundtrip_reply(
+            Proc2::Readdir,
+            Reply2::Readdir {
+                status: NfsStat3::Ok,
+                entries: vec![DirEntry2 {
+                    fileid: 1,
+                    name: "inbox".into(),
+                    cookie: 1,
+                }],
+                eof: true,
+            },
+        );
+        roundtrip_reply(
+            Proc2::Statfs,
+            Reply2::Statfs {
+                status: NfsStat3::Ok,
+                info: [8192, 8192, 1000000, 500000, 500000],
+            },
+        );
+    }
+
+    #[test]
+    fn fattr2_from_fattr3_clamps_size() {
+        let big = crate::types::Fattr3 {
+            size: u64::from(u32::MAX) + 10,
+            ..crate::types::Fattr3::default()
+        };
+        let v2: Fattr2 = big.into();
+        assert_eq!(v2.size, u32::MAX);
+    }
+
+    #[test]
+    fn sattr2_size_option() {
+        assert_eq!(Sattr2::default().size_opt(), None);
+        let s = Sattr2 {
+            size: 0,
+            ..Sattr2::default()
+        };
+        assert_eq!(s.size_opt(), Some(0));
+    }
+}

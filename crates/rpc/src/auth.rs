@@ -1,0 +1,172 @@
+//! RPC authentication flavors.
+//!
+//! NFSv2/v3 traffic on both traced systems used `AUTH_UNIX` (called
+//! `AUTH_SYS` in later specs): a plaintext credential carrying the
+//! client's hostname, UID, GID, and supplementary GIDs. These are exactly
+//! the fields the paper's anonymizer replaces with "arbitrary but
+//! consistent values" (§2).
+
+use nfstrace_xdr::{Decoder, Encoder, Error, Pack, Result, Unpack};
+
+/// Authentication flavor numbers from RFC 1831.
+pub mod flavor {
+    /// No authentication.
+    pub const AUTH_NONE: u32 = 0;
+    /// Unix-style uid/gid credential.
+    pub const AUTH_UNIX: u32 = 1;
+}
+
+/// An `AUTH_UNIX` credential body.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AuthUnix {
+    /// Arbitrary stamp chosen by the client.
+    pub stamp: u32,
+    /// Client machine name.
+    pub machine_name: String,
+    /// Effective user id.
+    pub uid: u32,
+    /// Effective group id.
+    pub gid: u32,
+    /// Supplementary group ids (at most 16 per the RFC).
+    pub gids: Vec<u32>,
+}
+
+impl AuthUnix {
+    /// A credential for `uid`/`gid` from `machine_name`.
+    pub fn new(machine_name: impl Into<String>, uid: u32, gid: u32) -> Self {
+        Self {
+            stamp: 0,
+            machine_name: machine_name.into(),
+            uid,
+            gid,
+            gids: vec![gid],
+        }
+    }
+}
+
+impl Pack for AuthUnix {
+    fn pack(&self, enc: &mut Encoder) {
+        enc.put_u32(self.stamp);
+        enc.put_string(&self.machine_name);
+        enc.put_u32(self.uid);
+        enc.put_u32(self.gid);
+        enc.put_array(&self.gids, |e, g| e.put_u32(*g));
+    }
+}
+
+impl Unpack for AuthUnix {
+    fn unpack(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(AuthUnix {
+            stamp: dec.get_u32()?,
+            machine_name: dec.get_string()?,
+            uid: dec.get_u32()?,
+            gid: dec.get_u32()?,
+            gids: dec.get_array(|d| d.get_u32())?,
+        })
+    }
+}
+
+/// An opaque authenticator: flavor plus uninterpreted body bytes, with
+/// typed access to `AUTH_UNIX` bodies.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct OpaqueAuth {
+    /// Flavor number (see [`flavor`]).
+    pub flavor: u32,
+    /// The raw body (itself XDR-encoded for known flavors).
+    pub body: Vec<u8>,
+}
+
+impl OpaqueAuth {
+    /// The `AUTH_NONE` authenticator.
+    pub fn none() -> Self {
+        Self {
+            flavor: flavor::AUTH_NONE,
+            body: Vec::new(),
+        }
+    }
+
+    /// Wraps an [`AuthUnix`] credential.
+    pub fn unix(cred: &AuthUnix) -> Self {
+        Self {
+            flavor: flavor::AUTH_UNIX,
+            body: cred.to_xdr_bytes(),
+        }
+    }
+
+    /// Decodes the body as `AUTH_UNIX`, if that is the flavor.
+    ///
+    /// # Errors
+    ///
+    /// XDR errors if the body is malformed.
+    pub fn as_unix(&self) -> Option<Result<AuthUnix>> {
+        if self.flavor == flavor::AUTH_UNIX {
+            Some(AuthUnix::from_xdr_bytes(&self.body))
+        } else {
+            None
+        }
+    }
+}
+
+impl Pack for OpaqueAuth {
+    fn pack(&self, enc: &mut Encoder) {
+        enc.put_u32(self.flavor);
+        enc.put_opaque_var(&self.body);
+    }
+}
+
+impl Unpack for OpaqueAuth {
+    fn unpack(dec: &mut Decoder<'_>) -> Result<Self> {
+        let flavor = dec.get_u32()?;
+        let body = dec.get_opaque_var()?;
+        if body.len() > 400 {
+            // RFC 1831 caps authenticator bodies at 400 bytes.
+            return Err(Error::LengthTooLarge {
+                declared: body.len(),
+                limit: 400,
+            });
+        }
+        Ok(OpaqueAuth { flavor, body })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auth_unix_roundtrip() {
+        let cred = AuthUnix {
+            stamp: 77,
+            machine_name: "client12".to_string(),
+            uid: 1002,
+            gid: 100,
+            gids: vec![100, 200, 300],
+        };
+        let got = AuthUnix::from_xdr_bytes(&cred.to_xdr_bytes()).unwrap();
+        assert_eq!(got, cred);
+    }
+
+    #[test]
+    fn opaque_auth_unix_roundtrip() {
+        let cred = AuthUnix::new("wks", 5, 6);
+        let auth = OpaqueAuth::unix(&cred);
+        let got = OpaqueAuth::from_xdr_bytes(&auth.to_xdr_bytes()).unwrap();
+        assert_eq!(got, auth);
+        assert_eq!(got.as_unix().unwrap().unwrap(), cred);
+    }
+
+    #[test]
+    fn auth_none_has_empty_body() {
+        let a = OpaqueAuth::none();
+        assert_eq!(a.to_xdr_bytes(), vec![0, 0, 0, 0, 0, 0, 0, 0]);
+        assert!(a.as_unix().is_none());
+    }
+
+    #[test]
+    fn oversized_auth_body_rejected() {
+        let mut enc = Encoder::new();
+        enc.put_u32(flavor::AUTH_UNIX);
+        enc.put_opaque_var(&vec![0u8; 500]);
+        assert!(OpaqueAuth::from_xdr_bytes(&enc.into_bytes()).is_err());
+    }
+}

@@ -1,0 +1,324 @@
+//! RPC call and reply messages (RFC 1831 §8).
+
+use crate::auth::OpaqueAuth;
+use nfstrace_xdr::{Decoder, Encoder, Error, Pack, Result, Unpack};
+
+/// RPC protocol version; always 2.
+pub const RPC_VERSION: u32 = 2;
+
+const MSG_CALL: u32 = 0;
+const MSG_REPLY: u32 = 1;
+
+/// The body of a call message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallBody {
+    /// RPC version (must be 2).
+    pub rpcvers: u32,
+    /// Remote program, e.g. [`crate::PROG_NFS`].
+    pub prog: u32,
+    /// Program version (2 or 3 for NFS).
+    pub vers: u32,
+    /// Procedure number within the program.
+    pub proc: u32,
+    /// Credential.
+    pub cred: OpaqueAuth,
+    /// Verifier.
+    pub verf: OpaqueAuth,
+    /// Procedure arguments, left as raw XDR for the NFS layer.
+    pub args: Vec<u8>,
+}
+
+/// Reply disposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplyStat {
+    /// The call was accepted and executed (body carries a status).
+    Accepted,
+    /// The call was rejected (auth failure or version mismatch).
+    Denied,
+}
+
+/// Accept status for accepted replies (RFC 1831 `accept_stat`).
+pub mod accept_stat {
+    /// Procedure executed successfully.
+    pub const SUCCESS: u32 = 0;
+    /// Program not exported here.
+    pub const PROG_UNAVAIL: u32 = 1;
+    /// Program version out of range.
+    pub const PROG_MISMATCH: u32 = 2;
+    /// Unsupported procedure.
+    pub const PROC_UNAVAIL: u32 = 3;
+    /// Arguments undecodable.
+    pub const GARBAGE_ARGS: u32 = 4;
+    /// Server-side memory or similar failure.
+    pub const SYSTEM_ERR: u32 = 5;
+}
+
+/// The body of a reply message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplyBody {
+    /// Accepted or denied.
+    pub stat: ReplyStat,
+    /// Verifier (accepted replies only; zeroed otherwise).
+    pub verf: OpaqueAuth,
+    /// `accept_stat` for accepted replies; rejection code for denials.
+    pub accept_stat: u32,
+    /// Procedure results, raw XDR for the NFS layer (accepted+success).
+    pub results: Vec<u8>,
+}
+
+/// Either body variant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MsgBody {
+    /// A call.
+    Call(CallBody),
+    /// A reply.
+    Reply(ReplyBody),
+}
+
+/// A complete RPC message: XID plus body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RpcMessage {
+    /// Transaction id linking a reply to its call.
+    pub xid: u32,
+    /// Call or reply body.
+    pub body: MsgBody,
+}
+
+impl RpcMessage {
+    /// Builds a call message.
+    pub fn call(xid: u32, prog: u32, vers: u32, proc: u32, cred: OpaqueAuth, args: Vec<u8>) -> Self {
+        RpcMessage {
+            xid,
+            body: MsgBody::Call(CallBody {
+                rpcvers: RPC_VERSION,
+                prog,
+                vers,
+                proc,
+                cred,
+                verf: OpaqueAuth::none(),
+                args,
+            }),
+        }
+    }
+
+    /// Builds a successful accepted reply carrying `results`.
+    pub fn reply_success(xid: u32, results: Vec<u8>) -> Self {
+        RpcMessage {
+            xid,
+            body: MsgBody::Reply(ReplyBody {
+                stat: ReplyStat::Accepted,
+                verf: OpaqueAuth::none(),
+                accept_stat: accept_stat::SUCCESS,
+                results,
+            }),
+        }
+    }
+
+    /// Whether this is a call.
+    pub fn is_call(&self) -> bool {
+        matches!(self.body, MsgBody::Call(_))
+    }
+
+    /// The call body, if this is a call.
+    pub fn as_call(&self) -> Option<&CallBody> {
+        match &self.body {
+            MsgBody::Call(c) => Some(c),
+            MsgBody::Reply(_) => None,
+        }
+    }
+
+    /// The reply body, if this is a reply.
+    pub fn as_reply(&self) -> Option<&ReplyBody> {
+        match &self.body {
+            MsgBody::Reply(r) => Some(r),
+            MsgBody::Call(_) => None,
+        }
+    }
+}
+
+impl Pack for RpcMessage {
+    fn pack(&self, enc: &mut Encoder) {
+        enc.put_u32(self.xid);
+        match &self.body {
+            MsgBody::Call(c) => {
+                enc.put_u32(MSG_CALL);
+                enc.put_u32(c.rpcvers);
+                enc.put_u32(c.prog);
+                enc.put_u32(c.vers);
+                enc.put_u32(c.proc);
+                c.cred.pack(enc);
+                c.verf.pack(enc);
+                enc.put_opaque_fixed(&c.args); // args are already XDR
+            }
+            MsgBody::Reply(r) => {
+                enc.put_u32(MSG_REPLY);
+                match r.stat {
+                    ReplyStat::Accepted => {
+                        enc.put_u32(0); // MSG_ACCEPTED
+                        r.verf.pack(enc);
+                        enc.put_u32(r.accept_stat);
+                        enc.put_opaque_fixed(&r.results);
+                    }
+                    ReplyStat::Denied => {
+                        enc.put_u32(1); // MSG_DENIED
+                        enc.put_u32(r.accept_stat);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Unpack for RpcMessage {
+    fn unpack(dec: &mut Decoder<'_>) -> Result<Self> {
+        let xid = dec.get_u32()?;
+        let mtype = dec.get_u32()?;
+        match mtype {
+            MSG_CALL => {
+                let rpcvers = dec.get_u32()?;
+                if rpcvers != RPC_VERSION {
+                    return Err(Error::InvalidDiscriminant {
+                        what: "rpc version",
+                        value: rpcvers,
+                    });
+                }
+                let prog = dec.get_u32()?;
+                let vers = dec.get_u32()?;
+                let proc = dec.get_u32()?;
+                let cred = OpaqueAuth::unpack(dec)?;
+                let verf = OpaqueAuth::unpack(dec)?;
+                let args = dec.get_opaque_fixed(dec.remaining())?;
+                Ok(RpcMessage {
+                    xid,
+                    body: MsgBody::Call(CallBody {
+                        rpcvers,
+                        prog,
+                        vers,
+                        proc,
+                        cred,
+                        verf,
+                        args,
+                    }),
+                })
+            }
+            MSG_REPLY => {
+                let reply_stat = dec.get_u32()?;
+                match reply_stat {
+                    0 => {
+                        let verf = OpaqueAuth::unpack(dec)?;
+                        let accept_stat = dec.get_u32()?;
+                        let results = dec.get_opaque_fixed(dec.remaining())?;
+                        Ok(RpcMessage {
+                            xid,
+                            body: MsgBody::Reply(ReplyBody {
+                                stat: ReplyStat::Accepted,
+                                verf,
+                                accept_stat,
+                                results,
+                            }),
+                        })
+                    }
+                    1 => {
+                        let reject = dec.get_u32()?;
+                        // Consume any remaining detail (mismatch info /
+                        // auth stat) without interpreting it.
+                        let _ = dec.skip(dec.remaining());
+                        Ok(RpcMessage {
+                            xid,
+                            body: MsgBody::Reply(ReplyBody {
+                                stat: ReplyStat::Denied,
+                                verf: OpaqueAuth::none(),
+                                accept_stat: reject,
+                                results: Vec::new(),
+                            }),
+                        })
+                    }
+                    other => Err(Error::InvalidDiscriminant {
+                        what: "reply_stat",
+                        value: other,
+                    }),
+                }
+            }
+            other => Err(Error::InvalidDiscriminant {
+                what: "msg_type",
+                value: other,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::auth::AuthUnix;
+    use crate::PROG_NFS;
+
+    #[test]
+    fn call_roundtrip() {
+        let cred = OpaqueAuth::unix(&AuthUnix::new("host1", 10, 20));
+        let msg = RpcMessage::call(0xabcd, PROG_NFS, 3, 6, cred, vec![1, 2, 3, 4]);
+        let got = RpcMessage::from_xdr_bytes(&msg.to_xdr_bytes()).unwrap();
+        assert_eq!(got, msg);
+        assert!(got.is_call());
+        let call = got.as_call().unwrap();
+        assert_eq!(call.prog, PROG_NFS);
+        assert_eq!(call.vers, 3);
+        assert_eq!(call.proc, 6);
+        assert_eq!(call.args, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn reply_roundtrip() {
+        let msg = RpcMessage::reply_success(0xabcd, vec![9, 9, 9, 9]);
+        let got = RpcMessage::from_xdr_bytes(&msg.to_xdr_bytes()).unwrap();
+        assert_eq!(got, msg);
+        let r = got.as_reply().unwrap();
+        assert_eq!(r.accept_stat, accept_stat::SUCCESS);
+        assert_eq!(r.results, vec![9, 9, 9, 9]);
+    }
+
+    #[test]
+    fn denied_reply_roundtrip() {
+        let msg = RpcMessage {
+            xid: 5,
+            body: MsgBody::Reply(ReplyBody {
+                stat: ReplyStat::Denied,
+                verf: OpaqueAuth::none(),
+                accept_stat: 1,
+                results: Vec::new(),
+            }),
+        };
+        let got = RpcMessage::from_xdr_bytes(&msg.to_xdr_bytes()).unwrap();
+        assert_eq!(got.as_reply().unwrap().stat, ReplyStat::Denied);
+    }
+
+    #[test]
+    fn bad_msg_type_rejected() {
+        let mut enc = Encoder::new();
+        enc.put_u32(1);
+        enc.put_u32(7); // neither call nor reply
+        assert!(matches!(
+            RpcMessage::from_xdr_bytes(&enc.into_bytes()),
+            Err(Error::InvalidDiscriminant { what: "msg_type", .. })
+        ));
+    }
+
+    #[test]
+    fn bad_rpc_version_rejected() {
+        let cred = OpaqueAuth::none();
+        let mut msg = RpcMessage::call(1, PROG_NFS, 3, 0, cred, Vec::new());
+        if let MsgBody::Call(ref mut c) = msg.body {
+            c.rpcvers = 3;
+        }
+        assert!(RpcMessage::from_xdr_bytes(&msg.to_xdr_bytes()).is_err());
+    }
+
+    #[test]
+    fn args_not_multiple_of_four_are_padded() {
+        // Args should always be XDR already (multiple of 4); if not, the
+        // encoder pads and decode returns the padded form. Document that.
+        let msg = RpcMessage::call(1, PROG_NFS, 2, 1, OpaqueAuth::none(), vec![1, 2, 3]);
+        let got = RpcMessage::from_xdr_bytes(&msg.to_xdr_bytes()).unwrap();
+        assert_eq!(got.as_call().unwrap().args, vec![1, 2, 3, 0]);
+    }
+}

@@ -1,0 +1,241 @@
+//! RPC record marking over TCP (RFC 1831 §10).
+//!
+//! A TCP byte stream carries RPC messages as *records*, each split into
+//! fragments headed by a 4-byte marker: the top bit flags the last
+//! fragment, the low 31 bits give the fragment length. The paper's tracer
+//! supported "some forms of TCP packet coalescing" (§2) — i.e. multiple
+//! records and partial records per segment — which is exactly what
+//! [`RecordReader`] handles.
+
+use nfstrace_xdr::{Error, Result};
+
+/// Flag bit marking the final fragment of a record.
+const LAST_FRAGMENT: u32 = 0x8000_0000;
+
+/// Sane ceiling on a single record, to resynchronize after stream
+/// corruption rather than buffering unboundedly.
+pub const MAX_RECORD_LEN: usize = 16 * 1024 * 1024;
+
+/// Encodes one RPC message as a single-fragment record.
+pub fn mark_record(msg: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + msg.len());
+    let header = LAST_FRAGMENT | (msg.len() as u32);
+    out.extend_from_slice(&header.to_be_bytes());
+    out.extend_from_slice(msg);
+    out
+}
+
+/// Encodes one RPC message split into fragments of at most `frag_len`
+/// bytes, exercising multi-fragment reassembly.
+///
+/// # Panics
+///
+/// Panics if `frag_len` is zero.
+pub fn mark_record_fragmented(msg: &[u8], frag_len: usize) -> Vec<u8> {
+    assert!(frag_len > 0, "fragment length must be positive");
+    let mut out = Vec::with_capacity(msg.len() + 8);
+    let mut chunks = msg.chunks(frag_len).peekable();
+    if msg.is_empty() {
+        out.extend_from_slice(&LAST_FRAGMENT.to_be_bytes());
+        return out;
+    }
+    while let Some(chunk) = chunks.next() {
+        let mut header = chunk.len() as u32;
+        if chunks.peek().is_none() {
+            header |= LAST_FRAGMENT;
+        }
+        out.extend_from_slice(&header.to_be_bytes());
+        out.extend_from_slice(chunk);
+    }
+    out
+}
+
+/// Incrementally extracts RPC records from a reassembled TCP stream.
+///
+/// Feed stream bytes with [`RecordReader::push`]; complete messages pop
+/// out of [`RecordReader::next_record`]. Partial input is buffered.
+///
+/// # Examples
+///
+/// ```
+/// use nfstrace_rpc::record::{mark_record, RecordReader};
+///
+/// let mut r = RecordReader::new();
+/// let wire = mark_record(b"hello rpc");
+/// r.push(&wire[..3]);           // partial header
+/// assert!(r.next_record().unwrap().is_none());
+/// r.push(&wire[3..]);
+/// assert_eq!(r.next_record().unwrap().unwrap(), b"hello rpc");
+/// ```
+#[derive(Debug, Default)]
+pub struct RecordReader {
+    buf: Vec<u8>,
+    /// Offset of unconsumed data in `buf` (compacted periodically).
+    start: usize,
+    /// Bytes of the record assembled so far (across fragments).
+    record: Vec<u8>,
+    /// Remaining bytes of the current fragment, if mid-fragment.
+    frag_remaining: usize,
+    /// Whether the current fragment is the record's last.
+    frag_is_last: bool,
+    /// Whether we are mid-fragment (frag_remaining may be 0 legally only
+    /// between fragments).
+    in_fragment: bool,
+}
+
+impl RecordReader {
+    /// Creates an empty reader.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends reassembled stream bytes.
+    pub fn push(&mut self, data: &[u8]) {
+        if self.start > 0 && self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Discards all buffered state; used to resynchronize after a stream
+    /// gap (the caller realigns on the next record boundary heuristically).
+    pub fn reset(&mut self) {
+        self.buf.clear();
+        self.start = 0;
+        self.record.clear();
+        self.frag_remaining = 0;
+        self.frag_is_last = false;
+        self.in_fragment = false;
+    }
+
+    /// Bytes buffered but not yet returned.
+    pub fn buffered(&self) -> usize {
+        (self.buf.len() - self.start) + self.record.len()
+    }
+
+    /// Attempts to extract the next complete record.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::LengthTooLarge`] if a fragment header declares a length
+    /// beyond [`MAX_RECORD_LEN`] — the stream is corrupt and the caller
+    /// should [`RecordReader::reset`].
+    pub fn next_record(&mut self) -> Result<Option<Vec<u8>>> {
+        loop {
+            if self.in_fragment {
+                let avail = self.buf.len() - self.start;
+                let take = avail.min(self.frag_remaining);
+                self.record
+                    .extend_from_slice(&self.buf[self.start..self.start + take]);
+                self.start += take;
+                self.frag_remaining -= take;
+                if self.frag_remaining > 0 {
+                    return Ok(None); // need more stream data
+                }
+                self.in_fragment = false;
+                if self.frag_is_last {
+                    let complete = std::mem::take(&mut self.record);
+                    return Ok(Some(complete));
+                }
+                // Fall through to read the next fragment header.
+            }
+            let avail = self.buf.len() - self.start;
+            if avail < 4 {
+                return Ok(None);
+            }
+            let h = &self.buf[self.start..self.start + 4];
+            let header = u32::from_be_bytes([h[0], h[1], h[2], h[3]]);
+            let len = (header & !LAST_FRAGMENT) as usize;
+            if len > MAX_RECORD_LEN || self.record.len() + len > MAX_RECORD_LEN {
+                return Err(Error::LengthTooLarge {
+                    declared: len,
+                    limit: MAX_RECORD_LEN,
+                });
+            }
+            self.start += 4;
+            self.frag_remaining = len;
+            self.frag_is_last = header & LAST_FRAGMENT != 0;
+            self.in_fragment = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_record() {
+        let mut r = RecordReader::new();
+        r.push(&mark_record(b"abcd"));
+        assert_eq!(r.next_record().unwrap().unwrap(), b"abcd");
+        assert!(r.next_record().unwrap().is_none());
+    }
+
+    #[test]
+    fn coalesced_records_in_one_push() {
+        let mut r = RecordReader::new();
+        let mut wire = mark_record(b"first");
+        wire.extend_from_slice(&mark_record(b"second"));
+        r.push(&wire);
+        assert_eq!(r.next_record().unwrap().unwrap(), b"first");
+        assert_eq!(r.next_record().unwrap().unwrap(), b"second");
+        assert!(r.next_record().unwrap().is_none());
+    }
+
+    #[test]
+    fn record_split_across_pushes_byte_by_byte() {
+        let wire = mark_record(b"slow trickle");
+        let mut r = RecordReader::new();
+        let mut out = Vec::new();
+        for b in wire {
+            r.push(&[b]);
+            if let Some(rec) = r.next_record().unwrap() {
+                out = rec;
+            }
+        }
+        assert_eq!(out, b"slow trickle");
+    }
+
+    #[test]
+    fn multi_fragment_record() {
+        let msg: Vec<u8> = (0..100).collect();
+        let wire = mark_record_fragmented(&msg, 7);
+        let mut r = RecordReader::new();
+        r.push(&wire);
+        assert_eq!(r.next_record().unwrap().unwrap(), msg);
+    }
+
+    #[test]
+    fn empty_record() {
+        let mut r = RecordReader::new();
+        r.push(&mark_record(b""));
+        assert_eq!(r.next_record().unwrap().unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn oversized_header_is_error() {
+        let mut r = RecordReader::new();
+        let header = (MAX_RECORD_LEN as u32 + 1) | 0x8000_0000;
+        r.push(&header.to_be_bytes());
+        assert!(r.next_record().is_err());
+        r.reset();
+        assert_eq!(r.buffered(), 0);
+    }
+
+    #[test]
+    fn interleaved_fragment_and_next_record() {
+        let a = mark_record_fragmented(b"AAAA", 2);
+        let b = mark_record(b"BB");
+        let mut wire = a;
+        wire.extend_from_slice(&b);
+        let mut r = RecordReader::new();
+        // Push in awkward chunks.
+        for chunk in wire.chunks(3) {
+            r.push(chunk);
+        }
+        assert_eq!(r.next_record().unwrap().unwrap(), b"AAAA");
+        assert_eq!(r.next_record().unwrap().unwrap(), b"BB");
+    }
+}

@@ -1,0 +1,272 @@
+//! Pairing RPC replies with their calls by XID.
+//!
+//! The tracer estimates packet loss "by counting the number of call and
+//! response messages that had no corresponding response or call"
+//! (paper §4.1.4). [`XidMatcher`] keeps a table of outstanding calls per
+//! (client, server, xid) key, pairs each reply with its call, expires
+//! calls that never see a reply, and counts orphan replies whose call was
+//! lost by the mirror port.
+
+use std::collections::HashMap;
+
+/// Key identifying an outstanding call: the flow plus the XID.
+///
+/// Addresses are 32-bit IPv4 values; ports disambiguate multiple mounts
+/// from one client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowXid {
+    /// Client IP (the caller).
+    pub client_ip: u32,
+    /// Server IP.
+    pub server_ip: u32,
+    /// Client source port.
+    pub client_port: u16,
+    /// RPC transaction id.
+    pub xid: u32,
+}
+
+/// A call held while awaiting its reply.
+#[derive(Debug, Clone)]
+pub struct PendingCall<T> {
+    /// Capture timestamp of the call, in microseconds.
+    pub call_micros: u64,
+    /// Caller-supplied payload (decoded call info).
+    pub data: T,
+}
+
+/// Statistics from matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct XidStats {
+    /// Calls inserted.
+    pub calls: u64,
+    /// Replies paired with a call.
+    pub matched: u64,
+    /// Replies with no outstanding call (the call was lost).
+    pub orphan_replies: u64,
+    /// Calls expired without a reply (the reply was lost).
+    pub expired_calls: u64,
+    /// Retransmitted calls (same key while one is outstanding).
+    pub retransmits: u64,
+}
+
+impl XidStats {
+    /// Estimated fraction of messages lost, from the orphan counters:
+    /// a lost call surfaces as an orphan reply, a lost reply as an
+    /// expired call.
+    pub fn estimated_loss_rate(&self) -> f64 {
+        let total = self.calls + self.matched + self.orphan_replies;
+        if total == 0 {
+            0.0
+        } else {
+            (self.orphan_replies + self.expired_calls) as f64 / total as f64
+        }
+    }
+}
+
+/// Matches replies to calls with timeout-based expiry.
+///
+/// `T` is whatever the caller wants carried from call to reply time
+/// (the sniffer stores the decoded call body).
+///
+/// # Examples
+///
+/// ```
+/// use nfstrace_rpc::xid::{FlowXid, XidMatcher};
+///
+/// let mut m: XidMatcher<&'static str> = XidMatcher::new(2_000_000);
+/// let key = FlowXid { client_ip: 1, server_ip: 2, client_port: 900, xid: 7 };
+/// m.insert_call(key, 1_000, "read call");
+/// let hit = m.match_reply(key, 2_500).expect("paired");
+/// assert_eq!(hit.data, "read call");
+/// ```
+#[derive(Debug)]
+pub struct XidMatcher<T> {
+    pending: HashMap<FlowXid, PendingCall<T>>,
+    timeout_micros: u64,
+    stats: XidStats,
+    /// Most recent timestamp observed, for expiry sweeps.
+    now_micros: u64,
+}
+
+impl<T> XidMatcher<T> {
+    /// Creates a matcher that expires unanswered calls after
+    /// `timeout_micros`.
+    pub fn new(timeout_micros: u64) -> Self {
+        Self {
+            pending: HashMap::new(),
+            timeout_micros,
+            stats: XidStats::default(),
+            now_micros: 0,
+        }
+    }
+
+    /// Records an outgoing call observed at `call_micros`.
+    ///
+    /// A duplicate key counts as a retransmit and replaces the stored
+    /// call (the reply will match the retransmission).
+    pub fn insert_call(&mut self, key: FlowXid, call_micros: u64, data: T) {
+        self.now_micros = self.now_micros.max(call_micros);
+        self.stats.calls += 1;
+        if self
+            .pending
+            .insert(
+                key,
+                PendingCall {
+                    call_micros,
+                    data,
+                },
+            )
+            .is_some()
+        {
+            self.stats.retransmits += 1;
+        }
+    }
+
+    /// Attempts to pair a reply observed at `reply_micros` with its call.
+    ///
+    /// Returns the pending call on success; `None` means the call was
+    /// never captured (counted as an orphan reply).
+    pub fn match_reply(&mut self, key: FlowXid, reply_micros: u64) -> Option<PendingCall<T>> {
+        self.now_micros = self.now_micros.max(reply_micros);
+        match self.pending.remove(&key) {
+            Some(call) => {
+                self.stats.matched += 1;
+                Some(call)
+            }
+            None => {
+                self.stats.orphan_replies += 1;
+                None
+            }
+        }
+    }
+
+    /// Expires calls older than the timeout relative to the most recent
+    /// observed timestamp. Returns the expired calls.
+    pub fn expire(&mut self) -> Vec<(FlowXid, PendingCall<T>)> {
+        let cutoff = self.now_micros.saturating_sub(self.timeout_micros);
+        let expired_keys: Vec<FlowXid> = self
+            .pending
+            .iter()
+            .filter(|(_, c)| c.call_micros < cutoff)
+            .map(|(k, _)| *k)
+            .collect();
+        let mut out = Vec::with_capacity(expired_keys.len());
+        for k in expired_keys {
+            if let Some(c) = self.pending.remove(&k) {
+                self.stats.expired_calls += 1;
+                out.push((k, c));
+            }
+        }
+        out
+    }
+
+    /// Drains every outstanding call (end of capture), counting each as
+    /// expired.
+    pub fn drain(&mut self) -> Vec<(FlowXid, PendingCall<T>)> {
+        let out: Vec<_> = self.pending.drain().collect();
+        self.stats.expired_calls += out.len() as u64;
+        out
+    }
+
+    /// Number of calls currently awaiting replies.
+    pub fn outstanding(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Matching statistics so far.
+    pub fn stats(&self) -> XidStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(xid: u32) -> FlowXid {
+        FlowXid {
+            client_ip: 0x0a000001,
+            server_ip: 0x0a000002,
+            client_port: 1001,
+            xid,
+        }
+    }
+
+    #[test]
+    fn call_then_reply_pairs() {
+        let mut m = XidMatcher::new(1_000_000);
+        m.insert_call(key(1), 100, ());
+        assert_eq!(m.outstanding(), 1);
+        assert!(m.match_reply(key(1), 200).is_some());
+        assert_eq!(m.outstanding(), 0);
+        assert_eq!(m.stats().matched, 1);
+    }
+
+    #[test]
+    fn orphan_reply_counted() {
+        let mut m: XidMatcher<()> = XidMatcher::new(1_000_000);
+        assert!(m.match_reply(key(9), 50).is_none());
+        assert_eq!(m.stats().orphan_replies, 1);
+    }
+
+    #[test]
+    fn expiry_removes_old_calls_only() {
+        let mut m = XidMatcher::new(1_000);
+        m.insert_call(key(1), 0, ());
+        m.insert_call(key(2), 5_000, ());
+        let expired = m.expire();
+        assert_eq!(expired.len(), 1);
+        assert_eq!(expired[0].0.xid, 1);
+        assert_eq!(m.outstanding(), 1);
+        assert_eq!(m.stats().expired_calls, 1);
+    }
+
+    #[test]
+    fn retransmit_detected() {
+        let mut m = XidMatcher::new(1_000_000);
+        m.insert_call(key(1), 100, "first");
+        m.insert_call(key(1), 300, "retry");
+        assert_eq!(m.stats().retransmits, 1);
+        assert_eq!(m.match_reply(key(1), 400).unwrap().data, "retry");
+    }
+
+    #[test]
+    fn distinct_flows_do_not_collide() {
+        let mut m = XidMatcher::new(1_000_000);
+        let k1 = FlowXid {
+            client_ip: 1,
+            server_ip: 2,
+            client_port: 10,
+            xid: 42,
+        };
+        let k2 = FlowXid { client_port: 11, ..k1 };
+        m.insert_call(k1, 0, "a");
+        m.insert_call(k2, 0, "b");
+        assert_eq!(m.match_reply(k2, 1).unwrap().data, "b");
+        assert_eq!(m.match_reply(k1, 1).unwrap().data, "a");
+    }
+
+    #[test]
+    fn loss_rate_estimate() {
+        let mut m: XidMatcher<()> = XidMatcher::new(1_000);
+        for i in 0..90 {
+            m.insert_call(key(i), 0, ());
+            m.match_reply(key(i), 1);
+        }
+        for i in 100..110 {
+            m.match_reply(key(i), 1); // orphans: their calls were dropped
+        }
+        let rate = m.stats().estimated_loss_rate();
+        assert!(rate > 0.04 && rate < 0.06, "rate = {rate}");
+    }
+
+    #[test]
+    fn drain_counts_expired() {
+        let mut m = XidMatcher::new(1_000);
+        m.insert_call(key(1), 0, ());
+        m.insert_call(key(2), 0, ());
+        let drained = m.drain();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(m.stats().expired_calls, 2);
+    }
+}

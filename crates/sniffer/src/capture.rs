@@ -1,0 +1,485 @@
+//! The sniffer: packets in, paired trace records out.
+//!
+//! Mirrors the paper's tool: parse each frame down to its transport
+//! payload; for UDP every datagram is one RPC message; for TCP,
+//! reassemble the byte stream per directed flow and split RPC records
+//! out of it (tolerating coalescing and out-of-order segments); decode
+//! the RPC envelope; decode NFS call arguments by program/version/
+//! procedure; hold calls in an XID table; and on each reply, pair and
+//! flatten into a [`TraceRecord`]. Packet loss surfaces as unmatched
+//! calls and orphan replies, which are counted exactly as §4.1.4
+//! describes.
+
+use crate::convert::{v2_to_record, v3_to_record, CallMeta};
+use nfstrace_core::record::TraceRecord;
+use nfstrace_net::packet::{DecodedPacket, Transport};
+use nfstrace_net::pcap::CapturedPacket;
+use nfstrace_net::reassembly::StreamReassembler;
+use nfstrace_rpc::record::RecordReader;
+use nfstrace_rpc::xid::{FlowXid, PendingCall, XidMatcher};
+use nfstrace_rpc::{MsgBody, RpcMessage, PROG_NFS};
+use nfstrace_nfs::v2::{Call2, Proc2, Reply2};
+use nfstrace_nfs::v3::{Call3, Proc3, Reply3};
+use nfstrace_xdr::Unpack;
+use std::collections::HashMap;
+
+/// How long a call waits for its reply before being counted lost.
+const CALL_TIMEOUT_MICROS: u64 = 120 * 1_000_000;
+
+/// Bytes parked behind a TCP gap before the gap is declared a real
+/// loss and abandoned.
+const GAP_SKIP_THRESHOLD: u64 = 32 * 1024;
+
+/// Finds the first plausible RPC record boundary in post-gap stream
+/// bytes: a record mark (last-fragment bit set, sane length) followed by
+/// an RPC header whose message type is CALL or REPLY. The paper's tools
+/// resynchronize the same way after losing packets through the mirror
+/// port.
+fn resync_offset(bytes: &[u8]) -> usize {
+    let take4 = |at: usize| -> Option<u32> {
+        bytes
+            .get(at..at + 4)
+            .map(|b| u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    };
+    let mut at = 0;
+    while at + 16 <= bytes.len() {
+        if let (Some(mark), Some(mtype)) = (take4(at), take4(at + 8)) {
+            let len = (mark & 0x7fff_ffff) as usize;
+            if mark & 0x8000_0000 != 0 && len >= 16 && len < 1 << 20 && mtype <= 1 {
+                return at;
+            }
+        }
+        at += 4; // records are XDR-aligned in our streams
+    }
+    bytes.len()
+}
+
+/// Counters describing a capture session.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SnifferStats {
+    /// Frames observed.
+    pub frames: u64,
+    /// Frames that failed to parse (non-IP, truncated, non-NFS port).
+    pub ignored_frames: u64,
+    /// RPC messages decoded.
+    pub rpc_messages: u64,
+    /// RPC decode failures (corrupt or partial messages).
+    pub decode_errors: u64,
+    /// NFS calls seen.
+    pub calls: u64,
+    /// Replies paired with calls.
+    pub matched_replies: u64,
+    /// Replies whose call was never captured (call lost).
+    pub orphan_replies: u64,
+    /// Calls that never saw a reply (reply lost).
+    pub lost_replies: u64,
+    /// Bytes skipped over TCP stream gaps.
+    pub tcp_bytes_lost: u64,
+}
+
+impl SnifferStats {
+    /// The §4.1.4 loss estimate: unmatched messages over all messages.
+    pub fn estimated_loss_rate(&self) -> f64 {
+        let total = self.calls + self.matched_replies + self.orphan_replies;
+        if total == 0 {
+            0.0
+        } else {
+            (self.orphan_replies + self.lost_replies) as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+enum CallKind {
+    V3(Call3),
+    V2(Call2),
+}
+
+#[derive(Debug)]
+struct Pending {
+    kind: CallKind,
+    uid: u32,
+    gid: u32,
+}
+
+type FlowKey = (u32, u32, u16, u16);
+
+/// The passive tracer.
+#[derive(Debug)]
+pub struct Sniffer {
+    streams: HashMap<FlowKey, (StreamReassembler, RecordReader)>,
+    matcher: XidMatcher<Pending>,
+    records: Vec<TraceRecord>,
+    stats: SnifferStats,
+}
+
+impl Default for Sniffer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sniffer {
+    /// Creates a sniffer.
+    pub fn new() -> Self {
+        Sniffer {
+            streams: HashMap::new(),
+            matcher: XidMatcher::new(CALL_TIMEOUT_MICROS),
+            records: Vec::new(),
+            stats: SnifferStats::default(),
+        }
+    }
+
+    /// Observes one captured packet.
+    pub fn observe(&mut self, pkt: &CapturedPacket) {
+        self.observe_frame(pkt.timestamp_micros, &pkt.data);
+    }
+
+    /// Observes one raw frame at `ts` microseconds.
+    pub fn observe_frame(&mut self, ts: u64, frame: &[u8]) {
+        self.stats.frames += 1;
+        let Ok(decoded) = DecodedPacket::parse(frame) else {
+            self.stats.ignored_frames += 1;
+            return;
+        };
+        // Only NFS traffic is interesting.
+        if decoded.src_port != 2049 && decoded.dst_port != 2049 {
+            self.stats.ignored_frames += 1;
+            return;
+        }
+        match decoded.transport {
+            Transport::Udp => {
+                let payload = decoded.payload.clone();
+                self.on_rpc_bytes(ts, &decoded, &payload);
+            }
+            Transport::Tcp { seq, .. } => {
+                let key: FlowKey = (
+                    decoded.src_ip.as_u32(),
+                    decoded.dst_ip.as_u32(),
+                    decoded.src_port,
+                    decoded.dst_port,
+                );
+                let (reasm, reader) = self
+                    .streams
+                    .entry(key)
+                    .or_insert_with(|| (StreamReassembler::new(seq), RecordReader::new()));
+                reasm.push(seq, &decoded.payload);
+                let available = reasm.read_available();
+                reader.push(&available);
+                let mut messages = Vec::new();
+                loop {
+                    // Drain every complete record first.
+                    loop {
+                        match reader.next_record() {
+                            Ok(Some(msg)) => messages.push(msg),
+                            Ok(None) => break,
+                            Err(_) => {
+                                self.stats.decode_errors += 1;
+                                reader.reset();
+                                break;
+                            }
+                        }
+                    }
+                    // A gap with substantial data parked behind it means
+                    // the mirror port really dropped segments: abandon
+                    // the gap (losing the record that spanned it) and
+                    // resynchronize on the next plausible record mark.
+                    if reasm.has_gap() && reasm.pending_bytes() > GAP_SKIP_THRESHOLD {
+                        self.stats.tcp_bytes_lost += reasm.skip_gap();
+                        reader.reset();
+                        let more = reasm.read_available();
+                        let at = resync_offset(&more);
+                        self.stats.tcp_bytes_lost += at as u64;
+                        reader.push(&more[at..]);
+                        continue;
+                    }
+                    break;
+                }
+                for msg in messages {
+                    self.on_rpc_bytes(ts, &decoded, &msg);
+                }
+            }
+        }
+    }
+
+    fn on_rpc_bytes(&mut self, ts: u64, pkt: &DecodedPacket, bytes: &[u8]) {
+        let Ok(msg) = RpcMessage::from_xdr_bytes(bytes) else {
+            self.stats.decode_errors += 1;
+            return;
+        };
+        self.stats.rpc_messages += 1;
+        match msg.body {
+            MsgBody::Call(call) => {
+                if call.prog != PROG_NFS {
+                    return;
+                }
+                let (uid, gid) = call
+                    .cred
+                    .as_unix()
+                    .and_then(|r| r.ok())
+                    .map(|a| (a.uid, a.gid))
+                    .unwrap_or((0, 0));
+                let kind = match call.vers {
+                    3 => match Proc3::from_u32(call.proc)
+                        .and_then(|p| Call3::decode(p, &call.args))
+                    {
+                        Ok(c) => CallKind::V3(c),
+                        Err(_) => {
+                            self.stats.decode_errors += 1;
+                            return;
+                        }
+                    },
+                    2 => match Proc2::from_u32(call.proc)
+                        .and_then(|p| Call2::decode(p, &call.args))
+                    {
+                        Ok(c) => CallKind::V2(c),
+                        Err(_) => {
+                            self.stats.decode_errors += 1;
+                            return;
+                        }
+                    },
+                    _ => return,
+                };
+                self.stats.calls += 1;
+                let key = FlowXid {
+                    client_ip: pkt.src_ip.as_u32(),
+                    server_ip: pkt.dst_ip.as_u32(),
+                    client_port: pkt.src_port,
+                    xid: msg.xid,
+                };
+                self.matcher.insert_call(key, ts, Pending { kind, uid, gid });
+            }
+            MsgBody::Reply(reply) => {
+                let key = FlowXid {
+                    client_ip: pkt.dst_ip.as_u32(),
+                    server_ip: pkt.src_ip.as_u32(),
+                    client_port: pkt.dst_port,
+                    xid: msg.xid,
+                };
+                let Some(pending) = self.matcher.match_reply(key, ts) else {
+                    // "It is impossible to decode an NFS response without
+                    // seeing the call."
+                    self.stats.orphan_replies += 1;
+                    return;
+                };
+                self.stats.matched_replies += 1;
+                self.flatten(key, ts, pending, &reply.results);
+            }
+        }
+    }
+
+    fn flatten(
+        &mut self,
+        key: FlowXid,
+        reply_ts: u64,
+        pending: PendingCall<Pending>,
+        results: &[u8],
+    ) {
+        let meta = CallMeta {
+            wire_micros: pending.call_micros,
+            reply_micros: reply_ts,
+            xid: key.xid,
+            client: key.client_ip,
+            server: key.server_ip,
+            uid: pending.data.uid,
+            gid: pending.data.gid,
+            vers: match pending.data.kind {
+                CallKind::V3(_) => 3,
+                CallKind::V2(_) => 2,
+            },
+        };
+        match pending.data.kind {
+            CallKind::V3(call) => match Reply3::decode(call.proc(), results) {
+                Ok(reply) => self.records.push(v3_to_record(&meta, &call, &reply)),
+                Err(_) => self.stats.decode_errors += 1,
+            },
+            CallKind::V2(call) => match Reply2::decode(call.proc(), results) {
+                Ok(reply) => self.records.push(v2_to_record(&meta, &call, &reply)),
+                Err(_) => self.stats.decode_errors += 1,
+            },
+        }
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> SnifferStats {
+        self.stats
+    }
+
+    /// Ends the capture: expires outstanding calls (counted as lost
+    /// replies) and returns the time-sorted records plus statistics.
+    pub fn finish(mut self) -> (Vec<TraceRecord>, SnifferStats) {
+        let lost = self.matcher.drain();
+        self.stats.lost_replies += lost.len() as u64;
+        self.records.sort_by_key(|r| r.micros);
+        (self.records, self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::WireEncoder;
+    use nfstrace_client::{ClientConfig, ClientMachine, EmittedCall};
+    use nfstrace_fssim::NfsServer;
+
+    /// A short client session's events.
+    fn session_events(vers: u8) -> Vec<EmittedCall> {
+        let mut server = NfsServer::new(0x0a000002);
+        let root = server.root_fh();
+        let mut client = ClientMachine::new(ClientConfig {
+            nfsiods: 1,
+            vers,
+            ..ClientConfig::default()
+        });
+        let (fh, t) = client.create(&mut server, 0, &root, "inbox");
+        let fh = fh.unwrap();
+        let t = client.write(&mut server, t, &fh, 0, 100_000);
+        server
+            .fs_mut()
+            .write(fh.as_u64().unwrap(), 100_000, 5_000, t + 1)
+            .unwrap();
+        let t = client.read_file(&mut server, t + 40_000_000, &fh);
+        client.remove(&mut server, t, &root, "inbox");
+        client.take_events()
+    }
+
+    fn sniff(packets: &[CapturedPacket]) -> (Vec<TraceRecord>, SnifferStats) {
+        let mut s = Sniffer::new();
+        for p in packets {
+            s.observe(p);
+        }
+        s.finish()
+    }
+
+    #[test]
+    fn udp_pipeline_reproduces_direct_records() {
+        let events = session_events(3);
+        let mut enc = WireEncoder::udp();
+        let mut packets = Vec::new();
+        for e in &events {
+            packets.extend(enc.encode_event(e));
+        }
+        let (records, stats) = sniff(&packets);
+        assert_eq!(stats.calls, events.len() as u64);
+        assert_eq!(stats.matched_replies, events.len() as u64);
+        assert_eq!(stats.orphan_replies, 0);
+        assert_eq!(records.len(), events.len());
+
+        // Compare against the direct (fast-path) conversion.
+        let direct: Vec<TraceRecord> = {
+            let mut v: Vec<TraceRecord> = events
+                .iter()
+                .map(|e| {
+                    let meta = CallMeta {
+                        wire_micros: e.wire_micros,
+                        reply_micros: e.reply_micros,
+                        xid: e.xid,
+                        client: e.client_ip,
+                        server: e.server_ip,
+                        uid: e.uid,
+                        gid: e.gid,
+                        vers: e.vers,
+                    };
+                    v3_to_record(&meta, &e.call, &e.reply)
+                })
+                .collect();
+            v.sort_by_key(|r| r.micros);
+            v
+        };
+        assert_eq!(records, direct);
+    }
+
+    #[test]
+    fn tcp_pipeline_with_coalescing_and_reordering() {
+        let events = session_events(3);
+        let mut enc = WireEncoder::tcp_jumbo();
+        let mut packets = Vec::new();
+        for e in &events {
+            packets.extend(enc.encode_event(e));
+        }
+        // Swap adjacent same-direction segments to exercise reassembly
+        // (a reply can never precede its call at a single capture point,
+        // so only like-direction swaps are physical).
+        let mut i = 2;
+        while i + 1 < packets.len() {
+            let a = DecodedPacket::parse(&packets[i].data).unwrap().src_port;
+            let b = DecodedPacket::parse(&packets[i + 1].data).unwrap().src_port;
+            if i % 5 == 0 && a == b {
+                packets.swap(i, i + 1);
+            }
+            i += 1;
+        }
+        let (records, stats) = sniff(&packets);
+        assert_eq!(records.len(), events.len());
+        assert_eq!(stats.orphan_replies, 0);
+        assert_eq!(stats.decode_errors, 0);
+    }
+
+    #[test]
+    fn v2_pipeline_produces_v2_records() {
+        let events = session_events(2);
+        let mut enc = WireEncoder::udp();
+        let mut packets = Vec::new();
+        for e in &events {
+            packets.extend(enc.encode_event(e));
+        }
+        let (records, stats) = sniff(&packets);
+        assert!(stats.decode_errors == 0);
+        assert!(!records.is_empty());
+        assert!(records.iter().all(|r| r.vers == 2));
+        // The write and read still carry their byte ranges.
+        assert!(records.iter().any(|r| r.op.is_write() && r.count > 0));
+    }
+
+    #[test]
+    fn dropped_call_counts_orphan_reply() {
+        let events = session_events(3);
+        let mut enc = WireEncoder::udp();
+        let mut packets = Vec::new();
+        for e in &events {
+            packets.extend(enc.encode_event(e));
+        }
+        // Drop the first call packet (even index = call in UDP mode).
+        packets.remove(0);
+        let (records, stats) = sniff(&packets);
+        assert_eq!(stats.orphan_replies, 1);
+        assert_eq!(records.len(), events.len() - 1);
+        assert!(stats.estimated_loss_rate() > 0.0);
+    }
+
+    #[test]
+    fn dropped_reply_counts_lost_reply() {
+        let events = session_events(3);
+        let mut enc = WireEncoder::udp();
+        let mut packets = Vec::new();
+        for e in &events {
+            packets.extend(enc.encode_event(e));
+        }
+        packets.remove(1); // first reply
+        let (records, stats) = sniff(&packets);
+        assert_eq!(stats.lost_replies, 1);
+        assert_eq!(records.len(), events.len() - 1);
+    }
+
+    #[test]
+    fn non_nfs_traffic_ignored() {
+        use nfstrace_net::ethernet::MacAddr;
+        use nfstrace_net::ipv4::Ipv4Addr4;
+        use nfstrace_net::packet::PacketBuilder;
+        let frame = PacketBuilder::udp(
+            MacAddr::new([0; 6]),
+            MacAddr::new([1; 6]),
+            Ipv4Addr4::new(1, 1, 1, 1),
+            Ipv4Addr4::new(2, 2, 2, 2),
+            53,
+            53,
+            b"dns".to_vec(),
+        );
+        let mut s = Sniffer::new();
+        s.observe_frame(0, &frame);
+        s.observe_frame(1, b"garbage");
+        let (records, stats) = s.finish();
+        assert!(records.is_empty());
+        assert_eq!(stats.ignored_frames, 2);
+    }
+}

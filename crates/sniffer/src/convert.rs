@@ -1,0 +1,399 @@
+//! Canonical flattening of paired NFS calls/replies into trace records.
+//!
+//! Used by both the packet-decoding sniffer and (via `nfstrace-workload`)
+//! the fast in-memory simulation path, so the two paths cannot drift.
+
+use nfstrace_core::record::{FileId, Op, TraceRecord};
+use nfstrace_nfs::v2::{Call2, Proc2, Reply2};
+use nfstrace_nfs::v3::{Call3, Proc3, Reply3, Reply3Body};
+
+/// Timing and identity context for one paired call/reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallMeta {
+    /// Capture time of the call.
+    pub wire_micros: u64,
+    /// Capture time of the reply (0 if lost).
+    pub reply_micros: u64,
+    /// RPC XID.
+    pub xid: u32,
+    /// Client IP.
+    pub client: u32,
+    /// Server IP.
+    pub server: u32,
+    /// Credential uid.
+    pub uid: u32,
+    /// Credential gid.
+    pub gid: u32,
+    /// Protocol version (2 or 3).
+    pub vers: u8,
+}
+
+fn base_record(meta: &CallMeta, op: Op) -> TraceRecord {
+    let mut r = TraceRecord::new(meta.wire_micros, op, FileId(0));
+    r.reply_micros = meta.reply_micros;
+    r.client = meta.client;
+    r.server = meta.server;
+    r.uid = meta.uid;
+    r.gid = meta.gid;
+    r.xid = meta.xid;
+    r.vers = meta.vers;
+    r
+}
+
+/// Maps an NFSv3 procedure to the version-independent op.
+pub fn op_of_proc3(proc: Proc3) -> Op {
+    match proc {
+        Proc3::Null => Op::Null,
+        Proc3::Getattr => Op::Getattr,
+        Proc3::Setattr => Op::Setattr,
+        Proc3::Lookup => Op::Lookup,
+        Proc3::Access => Op::Access,
+        Proc3::Readlink => Op::Readlink,
+        Proc3::Read => Op::Read,
+        Proc3::Write => Op::Write,
+        Proc3::Create => Op::Create,
+        Proc3::Mkdir => Op::Mkdir,
+        Proc3::Symlink => Op::Symlink,
+        Proc3::Mknod => Op::Mknod,
+        Proc3::Remove => Op::Remove,
+        Proc3::Rmdir => Op::Rmdir,
+        Proc3::Rename => Op::Rename,
+        Proc3::Link => Op::Link,
+        Proc3::Readdir => Op::Readdir,
+        Proc3::Readdirplus => Op::Readdirplus,
+        Proc3::Fsstat => Op::Fsstat,
+        Proc3::Fsinfo => Op::Fsinfo,
+        Proc3::Pathconf => Op::Pathconf,
+        Proc3::Commit => Op::Commit,
+    }
+}
+
+/// Maps an NFSv2 procedure to the version-independent op.
+pub fn op_of_proc2(proc: Proc2) -> Op {
+    match proc {
+        Proc2::Null | Proc2::Root | Proc2::Writecache => Op::Null,
+        Proc2::Getattr => Op::Getattr,
+        Proc2::Setattr => Op::Setattr,
+        Proc2::Lookup => Op::Lookup,
+        Proc2::Readlink => Op::Readlink,
+        Proc2::Read => Op::Read,
+        Proc2::Write => Op::Write,
+        Proc2::Create => Op::Create,
+        Proc2::Remove => Op::Remove,
+        Proc2::Rename => Op::Rename,
+        Proc2::Link => Op::Link,
+        Proc2::Symlink => Op::Symlink,
+        Proc2::Mkdir => Op::Mkdir,
+        Proc2::Rmdir => Op::Rmdir,
+        Proc2::Readdir => Op::Readdir,
+        Proc2::Statfs => Op::Statfs,
+    }
+}
+
+fn fid(fh: &nfstrace_nfs::fh::FileHandle) -> FileId {
+    FileId(fh.as_u64().unwrap_or(0))
+}
+
+/// Flattens an NFSv3 call/reply pair.
+pub fn v3_to_record(meta: &CallMeta, call: &Call3, reply: &Reply3) -> TraceRecord {
+    let mut r = base_record(meta, op_of_proc3(call.proc()));
+    r.status = reply.status.as_u32();
+
+    match call {
+        Call3::Null => {}
+        Call3::Getattr(a) | Call3::Readlink(a) | Call3::Fsstat(a) | Call3::Fsinfo(a)
+        | Call3::Pathconf(a) => r.fh = fid(&a.object),
+        Call3::Setattr(a) => {
+            r.fh = fid(&a.object);
+            r.truncate_to = a.new_attributes.size;
+        }
+        Call3::Lookup(a) | Call3::Remove(a) | Call3::Rmdir(a) => {
+            r.fh = fid(&a.dir);
+            r.name = Some(a.name.clone());
+        }
+        Call3::Access(a) => r.fh = fid(&a.object),
+        Call3::Read(a) => {
+            r.fh = fid(&a.file);
+            r.offset = a.offset;
+            r.count = a.count;
+        }
+        Call3::Write(a) => {
+            r.fh = fid(&a.file);
+            r.offset = a.offset;
+            r.count = a.count;
+        }
+        Call3::Create(a) => {
+            r.fh = fid(&a.where_.dir);
+            r.name = Some(a.where_.name.clone());
+        }
+        Call3::Mkdir(a) => {
+            r.fh = fid(&a.where_.dir);
+            r.name = Some(a.where_.name.clone());
+        }
+        Call3::Symlink(a) => {
+            r.fh = fid(&a.where_.dir);
+            r.name = Some(a.where_.name.clone());
+        }
+        Call3::Mknod(a) => {
+            r.fh = fid(&a.where_.dir);
+            r.name = Some(a.where_.name.clone());
+        }
+        Call3::Rename(a) => {
+            r.fh = fid(&a.from.dir);
+            r.name = Some(a.from.name.clone());
+            r.fh2 = Some(fid(&a.to.dir));
+            r.name2 = Some(a.to.name.clone());
+        }
+        Call3::Link(a) => {
+            r.fh = fid(&a.file);
+            r.fh2 = Some(fid(&a.link.dir));
+            r.name = Some(a.link.name.clone());
+        }
+        Call3::Readdir(a) => r.fh = fid(&a.dir),
+        Call3::Readdirplus(a) => r.fh = fid(&a.dir),
+        Call3::Commit(a) => {
+            r.fh = fid(&a.file);
+            r.offset = a.offset;
+            r.count = a.count;
+        }
+    }
+
+    match &reply.body {
+        Reply3Body::Getattr(res) => {
+            if let Some(a) = res.attributes {
+                r.post_size = Some(a.size);
+                r.ftype = Some(a.ftype.as_u32() as u8);
+            }
+        }
+        Reply3Body::Setattr(res) => {
+            r.pre_size = res.wcc.before.map(|b| b.size);
+            r.post_size = res.wcc.after.map(|a| a.size);
+        }
+        Reply3Body::Lookup(res) => {
+            if let Some(obj) = &res.object {
+                r.new_fh = Some(fid(obj));
+            }
+            if let Some(a) = res.obj_attributes {
+                r.post_size = Some(a.size);
+                r.ftype = Some(a.ftype.as_u32() as u8);
+            }
+        }
+        Reply3Body::Read(res) => {
+            r.ret_count = res.count;
+            r.eof = res.eof;
+            if let Some(a) = res.file_attributes {
+                r.post_size = Some(a.size);
+                r.ftype = Some(a.ftype.as_u32() as u8);
+            }
+        }
+        Reply3Body::Write(res) => {
+            r.ret_count = res.count;
+            r.pre_size = res.wcc.before.map(|b| b.size);
+            r.post_size = res.wcc.after.map(|a| a.size);
+        }
+        Reply3Body::Create(res) | Reply3Body::Mkdir(res) | Reply3Body::Symlink(res)
+        | Reply3Body::Mknod(res) => {
+            if let Some(obj) = &res.obj {
+                r.new_fh = Some(fid(obj));
+            }
+            if let Some(a) = res.obj_attributes {
+                r.post_size = Some(a.size);
+                r.ftype = Some(a.ftype.as_u32() as u8);
+            }
+        }
+        _ => {}
+    }
+    r
+}
+
+/// Flattens an NFSv2 call/reply pair.
+pub fn v2_to_record(meta: &CallMeta, call: &Call2, reply: &Reply2) -> TraceRecord {
+    let mut r = base_record(meta, op_of_proc2(call.proc()));
+    r.vers = 2;
+    r.status = reply.status().as_u32();
+
+    match call {
+        Call2::Null | Call2::Root | Call2::Writecache => {}
+        Call2::Getattr(fh) | Call2::Readlink(fh) | Call2::Statfs(fh) => r.fh = fid(fh),
+        Call2::Setattr { file, attributes } => {
+            r.fh = fid(file);
+            r.truncate_to = attributes.size_opt().map(u64::from);
+        }
+        Call2::Lookup(a) | Call2::Remove(a) | Call2::Rmdir(a) => {
+            r.fh = fid(&a.dir);
+            r.name = Some(a.name.clone());
+        }
+        Call2::Read {
+            file,
+            offset,
+            count,
+            ..
+        } => {
+            r.fh = fid(file);
+            r.offset = u64::from(*offset);
+            r.count = *count;
+        }
+        Call2::Write {
+            file, offset, data, ..
+        } => {
+            r.fh = fid(file);
+            r.offset = u64::from(*offset);
+            r.count = data.len() as u32;
+        }
+        Call2::Create { where_, .. } | Call2::Mkdir { where_, .. } => {
+            r.fh = fid(&where_.dir);
+            r.name = Some(where_.name.clone());
+        }
+        Call2::Rename { from, to } => {
+            r.fh = fid(&from.dir);
+            r.name = Some(from.name.clone());
+            r.fh2 = Some(fid(&to.dir));
+            r.name2 = Some(to.name.clone());
+        }
+        Call2::Link { from, to } => {
+            r.fh = fid(from);
+            r.fh2 = Some(fid(&to.dir));
+            r.name = Some(to.name.clone());
+        }
+        Call2::Symlink { where_, .. } => {
+            r.fh = fid(&where_.dir);
+            r.name = Some(where_.name.clone());
+        }
+        Call2::Readdir { dir, .. } => r.fh = fid(dir),
+    }
+
+    match reply {
+        Reply2::AttrStat {
+            attributes: Some(a),
+            ..
+        } => {
+            r.post_size = Some(u64::from(a.size));
+            r.ftype = Some(a.ftype.as_u32() as u8);
+            if r.op == Op::Write {
+                r.ret_count = r.count;
+            }
+        }
+        Reply2::DirOpRes {
+            file: Some(fh),
+            attributes,
+            ..
+        } => {
+            r.new_fh = Some(fid(fh));
+            if let Some(a) = attributes {
+                r.post_size = Some(u64::from(a.size));
+                r.ftype = Some(a.ftype.as_u32() as u8);
+            }
+        }
+        Reply2::Read {
+            attributes, data, ..
+        } => {
+            r.ret_count = data.len() as u32;
+            if let Some(a) = attributes {
+                r.post_size = Some(u64::from(a.size));
+                r.ftype = Some(a.ftype.as_u32() as u8);
+                // v2 READ has no eof flag; infer it from the size.
+                r.eof = r.offset + u64::from(r.ret_count) >= u64::from(a.size);
+            }
+        }
+        _ => {}
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfstrace_nfs::fh::FileHandle;
+    use nfstrace_nfs::types::{Fattr3, NfsStat3};
+    use nfstrace_nfs::v2::Fattr2;
+    use nfstrace_nfs::v3::{Read3Args, Read3Res};
+
+    fn meta() -> CallMeta {
+        CallMeta {
+            wire_micros: 100,
+            reply_micros: 400,
+            xid: 7,
+            client: 1,
+            server: 2,
+            uid: 3,
+            gid: 4,
+            vers: 3,
+        }
+    }
+
+    #[test]
+    fn v3_read_mapping() {
+        let call = Call3::Read(Read3Args {
+            file: FileHandle::from_u64(9),
+            offset: 8192,
+            count: 8192,
+        });
+        let reply = Reply3::ok(Reply3Body::Read(Read3Res {
+            file_attributes: Some(Fattr3 {
+                size: 16384,
+                ..Fattr3::default()
+            }),
+            count: 8192,
+            eof: true,
+            data: vec![0; 8192],
+        }));
+        let r = v3_to_record(&meta(), &call, &reply);
+        assert_eq!(r.op, Op::Read);
+        assert_eq!(r.fh, FileId(9));
+        assert_eq!(r.offset, 8192);
+        assert_eq!(r.ret_count, 8192);
+        assert!(r.eof);
+        assert_eq!(r.post_size, Some(16384));
+        assert_eq!(r.latency_micros(), Some(300));
+    }
+
+    #[test]
+    fn v2_read_infers_eof() {
+        let call = Call2::Read {
+            file: FileHandle::from_u64(5),
+            offset: 4096,
+            count: 4096,
+            totalcount: 0,
+        };
+        let reply = Reply2::Read {
+            status: NfsStat3::Ok,
+            attributes: Some(Fattr2 {
+                size: 8192,
+                ..Fattr2::default()
+            }),
+            data: vec![0; 4096],
+        };
+        let r = v2_to_record(&meta(), &call, &reply);
+        assert_eq!(r.vers, 2);
+        assert!(r.eof);
+        assert_eq!(r.post_size, Some(8192));
+    }
+
+    #[test]
+    fn v2_lookup_maps_new_fh() {
+        let call = Call2::Lookup(nfstrace_nfs::v2::DirOpArgs2 {
+            dir: FileHandle::from_u64(1),
+            name: ".cshrc".into(),
+        });
+        let reply = Reply2::DirOpRes {
+            status: NfsStat3::Ok,
+            file: Some(FileHandle::from_u64(33)),
+            attributes: Some(Fattr2::default()),
+        };
+        let r = v2_to_record(&meta(), &call, &reply);
+        assert_eq!(r.op, Op::Lookup);
+        assert_eq!(r.new_fh, Some(FileId(33)));
+        assert_eq!(r.name.as_deref(), Some(".cshrc"));
+    }
+
+    #[test]
+    fn error_status_propagates() {
+        let call = Call3::Getattr(nfstrace_nfs::v3::FhArgs {
+            object: FileHandle::from_u64(1),
+        });
+        let reply = Reply3::error(Proc3::Getattr, NfsStat3::Stale);
+        let r = v3_to_record(&meta(), &call, &reply);
+        assert!(!r.is_ok());
+        assert_eq!(r.status, NfsStat3::Stale.as_u32());
+    }
+}

@@ -1,0 +1,604 @@
+//! The CAMPUS email workload (§3.2, §6.1.2).
+//!
+//! One simulated 53 GB disk array (the paper's `home02`) holds home
+//! directories whose dominant content is flat-file inboxes. Three
+//! infrastructure hosts generate all NFS traffic:
+//!
+//! - an **SMTP server** delivering mail: lock, append, unlock;
+//! - a **POP server** polled by users' PCs: validate the inbox
+//!   (getattr), re-read it entirely when delivery moved its mtime (the
+//!   file-grain caching pathology of §6.1.2), and — for users who
+//!   delete retrieved mail — rewrite some or all of the mailbox;
+//! - a **login server** running pine-style sessions: dot files, a lock,
+//!   full scans, periodic rescans, composer temporaries, and a quit-time
+//!   mailbox rewrite.
+//!
+//! Every quantitative lever is a [`CampusConfig`] field with defaults
+//! tuned so the generated week reproduces the paper's shape: read/write
+//! byte ratio ≈ 3, data calls dominating, ~50% of accessed files being
+//! locks, >99% of block deaths by overwrite, block half-life of tens of
+//! minutes.
+
+use crate::convert::events_to_records;
+use crate::driver::{exp_gap, flip, lognormal, pick, EventQueue};
+use crate::rate::DiurnalRate;
+use nfstrace_client::{CacheConfig, ClientConfig, ClientMachine};
+use nfstrace_core::record::TraceRecord;
+use nfstrace_fssim::NfsServer;
+use nfstrace_nfs::fh::FileHandle;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Tunable parameters of the CAMPUS model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampusConfig {
+    /// Active user accounts on the simulated array.
+    pub users: usize,
+    /// Simulated duration in microseconds.
+    pub duration_micros: u64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Median characteristic inbox size in bytes (lognormal across
+    /// users; the paper's typical inbox caches >2 MB).
+    pub inbox_median_bytes: f64,
+    /// Mail deliveries per user per day (before diurnal shaping).
+    pub deliveries_per_user_day: f64,
+    /// POP polls per user per day.
+    pub polls_per_user_day: f64,
+    /// Interactive (pine) sessions per user per day.
+    pub sessions_per_user_day: f64,
+    /// Median delivered message size in bytes.
+    pub message_median_bytes: f64,
+    /// Probability a changed POP poll retrieves-and-deletes (rewriting
+    /// part of the mailbox).
+    pub pop_delete_prob: f64,
+    /// Fraction of users who hoard mail (no POP delete; purge at quota).
+    pub hoarder_fraction: f64,
+    /// Purge threshold for hoarders, bytes (the 50 MB quota, derated).
+    pub purge_bytes: u64,
+    /// Diurnal shape.
+    pub rate: DiurnalRate,
+}
+
+impl Default for CampusConfig {
+    fn default() -> Self {
+        CampusConfig {
+            users: 40,
+            duration_micros: nfstrace_core::time::DAY,
+            seed: 42,
+            inbox_median_bytes: 1_500_000.0,
+            deliveries_per_user_day: 25.0,
+            polls_per_user_day: 96.0,
+            sessions_per_user_day: 2.0,
+            message_median_bytes: 4_000.0,
+            pop_delete_prob: 0.8,
+            hoarder_fraction: 0.1,
+            purge_bytes: 20_000_000,
+            rate: DiurnalRate::default(),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct User {
+    dir: FileHandle,
+    inbox: FileHandle,
+    pinerc: FileHandle,
+    cshrc: FileHandle,
+    /// Characteristic size the mailbox returns to after deletes.
+    base_size: u64,
+    hoarder: bool,
+    /// Composer temp counter for unique names.
+    tmp_seq: u32,
+    in_session: bool,
+    /// Mailbox size at the last poll, for new-messages-only reads.
+    last_poll_size: u64,
+}
+
+#[derive(Debug)]
+enum Ev {
+    Delivery(usize),
+    Poll(usize),
+    SessionStart(usize),
+    SessionRescan { user: usize, end: u64 },
+    SessionEnd(usize),
+    ComposerRemove { user: usize, name: String },
+}
+
+/// The CAMPUS generator.
+#[derive(Debug)]
+pub struct CampusWorkload {
+    /// The configuration used.
+    pub config: CampusConfig,
+}
+
+impl CampusWorkload {
+    /// Creates a generator.
+    pub fn new(config: CampusConfig) -> Self {
+        Self { config }
+    }
+
+    /// Runs the simulation and returns time-sorted trace records.
+    pub fn generate(&self) -> Vec<TraceRecord> {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut server = NfsServer::new(0x0a01_0002);
+
+        // CAMPUS transfers ride 8 KB NFS requests (jumbo frames carried
+        // 9000-byte packets; the observed mean read was ~7 KB).
+        let client_cfg = |ip: u32, seed: u64| ClientConfig {
+            ip,
+            uid: 0,
+            gid: 0,
+            vers: 3,
+            nfsiods: 6,
+            rsize: 8192,
+            wsize: 8192,
+            cache: CacheConfig {
+                attr_timeout_micros: 30_000_000,
+                capacity_blocks: 64 * 1024, // POP server caches many inboxes
+            },
+            meta_latency_micros: 120,
+            server_latency_micros: 200,
+            seed,
+        };
+        let mut smtp = ClientMachine::new(client_cfg(0x0a01_0010, cfg.seed ^ 0x1));
+        let mut pop = ClientMachine::new(client_cfg(0x0a01_0011, cfg.seed ^ 0x2));
+        let mut login = ClientMachine::new(client_cfg(0x0a01_0012, cfg.seed ^ 0x3));
+
+        // Pre-populate home directories server-side: this state predates
+        // the trace, so no records are emitted for it.
+        let root = server.fs_mut().root();
+        let mut users = Vec::with_capacity(cfg.users);
+        for u in 0..cfg.users {
+            let uname = format!("user{u:04}");
+            let dir = server.fs_mut().mkdir(root, &uname, u as u32, 100, 0).unwrap();
+            let (inbox, _) = server.fs_mut().create(dir, "inbox", u as u32, 100, 0).unwrap();
+            let base = (lognormal(&mut rng, cfg.inbox_median_bytes, 0.7) as u64)
+                .clamp(50_000, 8_000_000);
+            server.fs_mut().write(inbox, 0, base as u32, 0).unwrap();
+            let (pinerc, _) = server.fs_mut().create(dir, ".pinerc", u as u32, 100, 0).unwrap();
+            server
+                .fs_mut()
+                .write(pinerc, 0, pick(&mut rng, 11_000, 26_000) as u32, 0)
+                .unwrap();
+            let (cshrc, _) = server.fs_mut().create(dir, ".cshrc", u as u32, 100, 0).unwrap();
+            server.fs_mut().write(cshrc, 0, 900, 0).unwrap();
+            users.push(User {
+                dir: FileHandle::from_u64(dir),
+                inbox: FileHandle::from_u64(inbox),
+                pinerc: FileHandle::from_u64(pinerc),
+                cshrc: FileHandle::from_u64(cshrc),
+                base_size: base,
+                hoarder: flip(&mut rng, cfg.hoarder_fraction),
+                tmp_seq: 0,
+                in_session: false,
+                last_poll_size: base,
+            });
+        }
+
+        // Seed the event streams.
+        let mut q: EventQueue<Ev> = EventQueue::new();
+        let day = nfstrace_core::time::DAY as f64;
+        for u in 0..cfg.users {
+            q.push(exp_gap(&mut rng, day / cfg.deliveries_per_user_day), Ev::Delivery(u));
+            q.push(exp_gap(&mut rng, day / cfg.polls_per_user_day), Ev::Poll(u));
+            q.push(
+                exp_gap(&mut rng, day / cfg.sessions_per_user_day),
+                Ev::SessionStart(u),
+            );
+        }
+
+        let mut out: Vec<TraceRecord> = Vec::new();
+        let drain = |m: &mut ClientMachine, out: &mut Vec<TraceRecord>| {
+            let events = m.take_events();
+            out.extend(events_to_records(&events));
+        };
+
+        while let Some((t, ev)) = q.pop() {
+            if t >= cfg.duration_micros {
+                break;
+            }
+            match ev {
+                Ev::Delivery(u) => {
+                    // Thin to the diurnal rate.
+                    if flip(&mut rng, cfg.rate.at(t)) {
+                        self.deliver(&mut server, &mut smtp, &mut rng, &mut users[u], t);
+                        drain(&mut smtp, &mut out);
+                    }
+                    q.push(
+                        t + exp_gap(&mut rng, day / cfg.deliveries_per_user_day),
+                        Ev::Delivery(u),
+                    );
+                }
+                Ev::Poll(u) => {
+                    if flip(&mut rng, cfg.rate.at(t)) {
+                        self.poll(&mut server, &mut pop, &mut rng, &mut users[u], t);
+                        drain(&mut pop, &mut out);
+                    }
+                    q.push(t + exp_gap(&mut rng, day / cfg.polls_per_user_day), Ev::Poll(u));
+                }
+                Ev::SessionStart(u) => {
+                    if !users[u].in_session && flip(&mut rng, cfg.rate.at(t)) {
+                        users[u].in_session = true;
+                        let end = t
+                            + (lognormal(&mut rng, 25.0, 0.5) * 60.0 * 1e6) as u64; // 15–60 min
+                        self.session_open(&mut server, &mut login, &mut rng, &mut users[u], t);
+                        drain(&mut login, &mut out);
+                        let rescan = t + 60_000_000 + exp_gap(&mut rng, 180.0 * 1e6);
+                        if rescan < end {
+                            q.push(rescan, Ev::SessionRescan { user: u, end });
+                        }
+                        q.push(end, Ev::SessionEnd(u));
+                        // Compose a message or two during the session.
+                        if flip(&mut rng, 0.5) {
+                            let name = format!("snd.{}", users[u].tmp_seq);
+                            users[u].tmp_seq += 1;
+                            let at = t + exp_gap(&mut rng, 300.0 * 1e6).min(end - t);
+                            q.push(at, Ev::ComposerRemove { user: u, name });
+                        }
+                    }
+                    q.push(
+                        t + exp_gap(&mut rng, day / cfg.sessions_per_user_day),
+                        Ev::SessionStart(u),
+                    );
+                }
+                Ev::SessionRescan { user: u, end } => {
+                    self.scan_inbox(&mut server, &mut login, &mut users[u], t);
+                    // Reading messages updates their status flags.
+                    if flip(&mut rng, 0.4) {
+                        self.update_flags(&mut server, &mut login, &mut rng, &mut users[u], t + 500_000);
+                    }
+                    drain(&mut login, &mut out);
+                    let next = t + 60_000_000 + exp_gap(&mut rng, 180.0 * 1e6);
+                    if next < end {
+                        q.push(next, Ev::SessionRescan { user: u, end });
+                    }
+                }
+                Ev::SessionEnd(u) => {
+                    self.session_close(&mut server, &mut login, &mut rng, &mut users[u], t);
+                    users[u].in_session = false;
+                    drain(&mut login, &mut out);
+                }
+                Ev::ComposerRemove { user: u, name } => {
+                    // Create, fill, and shortly afterwards remove a
+                    // composer temporary (98% under 8 KB, §6.3).
+                    let user = &mut users[u];
+                    let (fh, t1) = login.create(&mut server, t, &user.dir, &name);
+                    if let Some(fh) = fh {
+                        let sz = (lognormal(&mut rng, 2_500.0, 0.8) as u64).clamp(200, 39_000);
+                        let t2 = login.write(&mut server, t1, &fh, 0, sz);
+                        let hold = pick(&mut rng, 2_000_000, 50_000_000);
+                        login.remove(&mut server, t2 + hold, &user.dir, &name);
+                    }
+                    drain(&mut login, &mut out);
+                }
+            }
+        }
+        out.sort_by_key(|r| r.micros);
+        out
+    }
+
+    /// SMTP delivery: lock, append, unlock.
+    fn deliver(
+        &self,
+        server: &mut NfsServer,
+        smtp: &mut ClientMachine,
+        rng: &mut StdRng,
+        user: &mut User,
+        t: u64,
+    ) {
+        let (_, t1) = smtp.create(server, t, &user.dir, "inbox.lock");
+        // The delivery agent knows the spool size via getattr.
+        let (size, t2) = smtp.getattr(server, t1, &user.inbox);
+        let size = size.unwrap_or(0);
+        let msg = (lognormal(rng, self.config.message_median_bytes, 1.4) as u64)
+            .clamp(400, 2_000_000);
+        let t3 = smtp.write(server, t2, &user.inbox, size, msg);
+        // Lock lifetimes: overwhelmingly under 0.4 s.
+        let t4 = t3 + pick(rng, 20_000, 220_000);
+        smtp.remove(server, t4, &user.dir, "inbox.lock");
+    }
+
+    /// POP poll: validate; on change re-read; maybe retrieve-and-delete.
+    fn poll(
+        &self,
+        server: &mut NfsServer,
+        pop: &mut ClientMachine,
+        rng: &mut StdRng,
+        user: &mut User,
+        t: u64,
+    ) {
+        // Name-cache entries expire: some polls re-lookup the inbox.
+        let mut t = t;
+        if flip(rng, 0.15) {
+            let (_, tl) = pop.lookup(server, t, &user.dir, "inbox");
+            t = tl;
+        }
+        let (_, t1) = pop.create(server, t, &user.dir, "inbox.lock");
+        // Force a revalidation getattr: polls are minutes apart, beyond
+        // the attribute timeout, so read_file will getattr + re-read if
+        // the mailbox changed.
+        let pre_size = server
+            .fs()
+            .inode(user.inbox.as_u64().unwrap_or(0))
+            .map(|i| i.size)
+            .unwrap_or(0);
+        let t2 = if pre_size > user.last_poll_size && flip(rng, 0.35) {
+            // An efficient client fetches only the new messages: a
+            // sequential (not entire) read run from the old end-of-file.
+            let from = user.last_poll_size & !8191; // page-aligned start
+            pop.read(server, t1, &user.inbox, from, pre_size - from)
+        } else {
+            pop.read_file(server, t1, &user.inbox)
+        };
+        user.last_poll_size = pre_size;
+        pop.remove(server, t2 + pick(rng, 20_000, 200_000), &user.dir, "inbox.lock");
+        let cur_size = server
+            .fs()
+            .inode(user.inbox.as_u64().unwrap_or(0))
+            .map(|i| i.size)
+            .unwrap_or(0);
+        let retrieved_delete = !user.hoarder && flip(rng, self.config.pop_delete_prob);
+        // The PC drains the messages over its own link before the POP
+        // server deletes them: the expunge happens seconds later, under
+        // a fresh (again sub-second) lock.
+        let think = pick(rng, 1_500_000, 5_000_000);
+        let needs_rewrite = (retrieved_delete && cur_size > user.base_size)
+            || (user.hoarder && cur_size > self.config.purge_bytes);
+        if needs_rewrite {
+            let (_, t3) = pop.create(server, t2 + think, &user.dir, "inbox.lock");
+            let t4 = self.rewrite_inbox(server, pop, rng, user, t3, user.base_size);
+            pop.remove(server, t4 + pick(rng, 20_000, 200_000), &user.dir, "inbox.lock");
+        }
+    }
+
+    /// Rewrites the tail (or all) of the mailbox down to `new_size`.
+    ///
+    /// "Quitting the mail client causes some or all of the mailbox file
+    /// to be rewritten": the client rewrites from some interior offset
+    /// through the new end, then truncates.
+    fn rewrite_inbox(
+        &self,
+        server: &mut NfsServer,
+        m: &mut ClientMachine,
+        rng: &mut StdRng,
+        user: &mut User,
+        t: u64,
+        new_size: u64,
+    ) -> u64 {
+        // "Some or all of the mailbox file": often the whole file is
+        // rewritten from offset zero (an entire write run), otherwise a
+        // tail portion.
+        let frac = if flip(rng, 0.4) {
+            1.0
+        } else {
+            0.5 + 0.45 * (pick(rng, 0, 1000) as f64 / 1000.0)
+        };
+        let start = (new_size as f64 * (1.0 - frac)) as u64;
+        let t1 = m.write(server, t, &user.inbox, start, new_size - start);
+        m.truncate(server, t1, &user.inbox, new_size)
+    }
+
+    /// Login-session open: dot files, lock, full scan.
+    fn session_open(
+        &self,
+        server: &mut NfsServer,
+        login: &mut ClientMachine,
+        rng: &mut StdRng,
+        user: &mut User,
+        t: u64,
+    ) {
+        // .cshrc at login, .pinerc at client start: small whole-file
+        // reads (often getattr-validated only).
+        let (_, tl) = login.lookup(server, t, &user.dir, ".cshrc");
+        let t1 = login.read_file(server, tl, &user.cshrc);
+        // The user starts pine a little after the shell comes up.
+        let (_, tl2) = login.lookup(server, t1 + pick(rng, 2_000_000, 20_000_000), &user.dir, ".pinerc");
+        let t2 = login.read_file(server, tl2, &user.pinerc);
+        let (_, t3) = login.create(server, t2 + pick(rng, 500_000, 2_000_000), &user.dir, "inbox.lock");
+        let t4 = self.scan_inbox_inner(server, login, user, t3);
+        login.remove(server, t4 + 150_000, &user.dir, "inbox.lock");
+    }
+
+    fn scan_inbox(&self, server: &mut NfsServer, login: &mut ClientMachine, user: &mut User, t: u64) {
+        let (_, t1) = login.create(server, t, &user.dir, "inbox.lock");
+        let t2 = self.scan_inbox_inner(server, login, user, t1);
+        login.remove(server, t2 + 100_000, &user.dir, "inbox.lock");
+    }
+
+    fn scan_inbox_inner(
+        &self,
+        server: &mut NfsServer,
+        login: &mut ClientMachine,
+        user: &mut User,
+        t: u64,
+    ) -> u64 {
+        login.read_file(server, t, &user.inbox)
+    }
+
+    /// Status-flag update pass: the mail client rewrites each message's
+    /// `Status:` header in place — short writes at ascending offsets
+    /// separated by message-sized gaps. This is the paper's long seeky
+    /// write run: "long CAMPUS writes tend to touch several sequential
+    /// blocks and then seek to a new location" (§6.4), scoring ~0.6 on
+    /// the sequentiality metric.
+    fn update_flags(
+        &self,
+        server: &mut NfsServer,
+        m: &mut ClientMachine,
+        rng: &mut StdRng,
+        user: &mut User,
+        t: u64,
+    ) -> u64 {
+        let size = server
+            .fs()
+            .inode(user.inbox.as_u64().unwrap_or(0))
+            .map(|i| i.size)
+            .unwrap_or(0);
+        let mut now = t;
+        if size < 16_384 {
+            return now;
+        }
+        // Users work through messages in UI order, not file order: a few
+        // adjacent messages get their flags rewritten (sequential
+        // blocks), then the client seeks to wherever the next-read
+        // message lives — forward or backward.
+        let mut remaining = (size / 12_000).clamp(4, 300);
+        while remaining > 0 {
+            let cluster = pick(rng, 2, 6).min(remaining);
+            let mut offset = pick(rng, 0, size.saturating_sub(cluster * 9_000).max(1));
+            for _ in 0..cluster {
+                let n = pick(rng, 80, 400);
+                now = m.write(server, now, &user.inbox, offset, n);
+                // The next message's header lies a message-length away.
+                offset += n + (lognormal(rng, self.config.message_median_bytes, 1.0) as u64)
+                    .clamp(600, 16_000);
+                now += pick(rng, 1_000, 10_000);
+            }
+            remaining -= cluster;
+        }
+        now
+    }
+
+    /// Session close: maybe rewrite the mailbox, drop the lock.
+    fn session_close(
+        &self,
+        server: &mut NfsServer,
+        login: &mut ClientMachine,
+        rng: &mut StdRng,
+        user: &mut User,
+        t: u64,
+    ) {
+        let mut t = t;
+        // Quitting pine updates the status flags of read messages.
+        if flip(rng, 0.7) {
+            t = self.update_flags(server, login, rng, user, t);
+        }
+        if flip(rng, 0.6) {
+            let cur = server
+                .fs()
+                .inode(user.inbox.as_u64().unwrap_or(0))
+                .map(|i| i.size)
+                .unwrap_or(0);
+            let keep = if user.hoarder {
+                cur // hoarders keep everything
+            } else {
+                user.base_size.min(cur)
+            };
+            if keep < cur || !user.hoarder {
+                self.rewrite_inbox(server, login, rng, user, t + 200_000, keep.max(10_000));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfstrace_core::names::{classify, FileCategory};
+    use nfstrace_core::record::Op;
+    use nfstrace_core::summary::SummaryStats;
+
+    fn small_day() -> Vec<TraceRecord> {
+        CampusWorkload::new(CampusConfig {
+            users: 8,
+            duration_micros: nfstrace_core::time::DAY,
+            seed: 7,
+            ..CampusConfig::default()
+        })
+        .generate()
+    }
+
+    #[test]
+    fn generates_sorted_nonempty_trace() {
+        let recs = small_day();
+        assert!(recs.len() > 1000, "records = {}", recs.len());
+        for w in recs.windows(2) {
+            assert!(w[0].micros <= w[1].micros);
+        }
+    }
+
+    #[test]
+    fn reads_dominate_writes_by_bytes() {
+        let recs = small_day();
+        let s = SummaryStats::from_records(recs.iter());
+        let ratio = s.rw_bytes_ratio();
+        assert!(
+            (1.5..6.0).contains(&ratio),
+            "read/write byte ratio = {ratio}"
+        );
+    }
+
+    #[test]
+    fn data_calls_dominate() {
+        let recs = small_day();
+        let s = SummaryStats::from_records(recs.iter());
+        assert!(
+            s.data_fraction() > 0.5,
+            "data fraction = {}",
+            s.data_fraction()
+        );
+    }
+
+    #[test]
+    fn lock_files_dominate_create_delete_churn() {
+        let recs = small_day();
+        let created: Vec<&str> = recs
+            .iter()
+            .filter(|r| r.op == Op::Create)
+            .filter_map(|r| r.name.as_deref())
+            .collect();
+        assert!(!created.is_empty());
+        let locks = created
+            .iter()
+            .filter(|n| classify(n) == FileCategory::Lock)
+            .count();
+        let frac = locks as f64 / created.len() as f64;
+        assert!(frac > 0.7, "lock fraction of creates = {frac}");
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = small_day();
+        let b = small_day();
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.first(), b.first());
+        assert_eq!(a.last(), b.last());
+    }
+
+    #[test]
+    fn diurnal_shape_visible() {
+        let recs = CampusWorkload::new(CampusConfig {
+            users: 10,
+            duration_micros: 2 * nfstrace_core::time::DAY,
+            seed: 11,
+            ..CampusConfig::default()
+        })
+        .generate();
+        use nfstrace_core::time::HOUR;
+        // Compare Monday 3am hour against Monday 1pm hour.
+        let day = nfstrace_core::time::DAY;
+        let night: usize = recs
+            .iter()
+            .filter(|r| r.micros >= day + 3 * HOUR && r.micros < day + 4 * HOUR)
+            .count();
+        let noon: usize = recs
+            .iter()
+            .filter(|r| r.micros >= day + 13 * HOUR && r.micros < day + 14 * HOUR)
+            .count();
+        assert!(noon > night, "noon={noon} night={night}");
+    }
+
+    #[test]
+    fn mailboxes_never_removed() {
+        let recs = small_day();
+        let removed_mailbox = recs.iter().any(|r| {
+            r.op == Op::Remove
+                && r.name
+                    .as_deref()
+                    .is_some_and(|n| classify(n) == FileCategory::Mailbox)
+        });
+        assert!(!removed_mailbox);
+    }
+}

@@ -1,0 +1,166 @@
+//! Discrete-event scaffolding and random samplers shared by the two
+//! workload generators.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A time-ordered event queue over an arbitrary event payload.
+///
+/// Ties break on insertion order, keeping runs deterministic.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<(u64, u64, EventSlot<E>)>>,
+    seq: u64,
+}
+
+/// Wrapper giving every payload a total order without requiring `Ord`.
+#[derive(Debug)]
+struct EventSlot<E>(E);
+
+impl<E> PartialEq for EventSlot<E> {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+impl<E> Eq for EventSlot<E> {}
+impl<E> PartialOrd for EventSlot<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for EventSlot<E> {
+    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `event` at `micros`.
+    pub fn push(&mut self, micros: u64, event: E) {
+        self.heap.push(Reverse((micros, self.seq, EventSlot(event))));
+        self.seq += 1;
+    }
+
+    /// Pops the earliest event.
+    pub fn pop(&mut self) -> Option<(u64, E)> {
+        self.heap.pop().map(|Reverse((t, _, EventSlot(e)))| (t, e))
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Samples an exponential interarrival gap with the given mean (µs).
+pub fn exp_gap(rng: &mut StdRng, mean_micros: f64) -> u64 {
+    let u: f64 = 1.0 - rng.gen::<f64>();
+    (-mean_micros * u.ln()).max(1.0) as u64
+}
+
+/// Samples a lognormal value given the median and a shape factor
+/// (sigma of the underlying normal).
+pub fn lognormal(rng: &mut StdRng, median: f64, sigma: f64) -> f64 {
+    // Box-Muller.
+    let u1: f64 = rng.gen::<f64>().max(1e-12);
+    let u2: f64 = rng.gen();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    median * (sigma * z).exp()
+}
+
+/// Samples true with probability `p`.
+pub fn flip(rng: &mut StdRng, p: f64) -> bool {
+    rng.gen::<f64>() < p
+}
+
+/// Picks a uniform integer in `[lo, hi)`.
+pub fn pick(rng: &mut StdRng, lo: u64, hi: u64) -> u64 {
+    if hi <= lo {
+        lo
+    } else {
+        rng.gen_range(lo..hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn queue_orders_by_time_then_insertion() {
+        let mut q = EventQueue::new();
+        q.push(30, "c");
+        q.push(10, "a1");
+        q.push(10, "a2");
+        q.push(20, "b");
+        let order: Vec<(u64, &str)> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(order, vec![(10, "a1"), (10, "a2"), (20, "b"), (30, "c")]);
+    }
+
+    #[test]
+    fn queue_len_and_empty() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(1, 0);
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn exp_gap_mean_roughly_right() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let sum: u64 = (0..n).map(|_| exp_gap(&mut rng, 1000.0)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((800.0..1200.0).contains(&mean), "mean = {mean}");
+    }
+
+    #[test]
+    fn lognormal_median_roughly_right() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut v: Vec<f64> = (0..10_001).map(|_| lognormal(&mut rng, 100.0, 1.0)).collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = v[v.len() / 2];
+        assert!((80.0..125.0).contains(&median), "median = {median}");
+    }
+
+    #[test]
+    fn flip_probability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| flip(&mut rng, 0.25)).count();
+        assert!((2200..2800).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn pick_bounds() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            let v = pick(&mut rng, 5, 10);
+            assert!((5..10).contains(&v));
+        }
+        assert_eq!(pick(&mut rng, 7, 7), 7);
+    }
+}

@@ -1,0 +1,31 @@
+//! Synthetic generation of the CAMPUS and EECS NFS workloads.
+//!
+//! The paper's traces are proprietary (privacy-gated, per its §4), so
+//! this crate substitutes generative models parameterized from every
+//! quantitative statement in the paper:
+//!
+//! - [`campus`]: the email system. ~10,000 accounts across 14 arrays;
+//!   mail delivery appends to flat-file inboxes under lock files,
+//!   POP/login sessions scan and rewrite mailboxes, composer temporaries
+//!   come and go, and file-grain client caching turns every delivery
+//!   into a multi-megabyte re-read (§3.2, §6.1.2).
+//! - [`eecs`]: the research system. Home directories served to
+//!   single-user workstations; traffic dominated by cache-revalidation
+//!   metadata, with writes from builds, logs, browser caches, and
+//!   window-manager Applet churn (§3.1, §6.1.1).
+//! - [`rate`]: the diurnal/weekly activity rhythm both models share
+//!   (§6.2).
+//! - [`convert`]: turning client wire events into analysis-ready
+//!   [`nfstrace_core::TraceRecord`]s.
+//! - [`driver`]: the discrete-event scaffolding and deterministic
+//!   random samplers.
+
+pub mod campus;
+pub mod convert;
+pub mod driver;
+pub mod eecs;
+pub mod rate;
+
+pub use campus::{CampusConfig, CampusWorkload};
+pub use convert::emitted_to_record;
+pub use eecs::{EecsConfig, EecsWorkload};

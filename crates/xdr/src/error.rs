@@ -1,0 +1,109 @@
+//! Error type for XDR decoding.
+
+use std::fmt;
+
+/// Convenient alias for results of XDR operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// An error produced while decoding XDR data.
+///
+/// Encoding is infallible (it only appends to a growable buffer), so this
+/// type only describes decode failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The input ended before the requested item could be read.
+    UnexpectedEof {
+        /// Bytes needed to decode the item.
+        needed: usize,
+        /// Bytes actually remaining.
+        remaining: usize,
+    },
+    /// A boolean field held a value other than 0 or 1.
+    InvalidBool(u32),
+    /// A variable-length item declared a length beyond the decoder limit.
+    LengthTooLarge {
+        /// Declared length.
+        declared: usize,
+        /// Maximum the decoder permits.
+        limit: usize,
+    },
+    /// A string was not valid UTF-8.
+    InvalidUtf8,
+    /// An enum discriminant was not one of the known values.
+    InvalidDiscriminant {
+        /// Name of the enum being decoded.
+        what: &'static str,
+        /// The offending value.
+        value: u32,
+    },
+    /// Decoding finished but input bytes remain.
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        remaining: usize,
+    },
+    /// Non-zero padding bytes where XDR requires zeros.
+    NonZeroPadding,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnexpectedEof { needed, remaining } => write!(
+                f,
+                "unexpected end of XDR input: needed {needed} bytes, {remaining} remain"
+            ),
+            Error::InvalidBool(v) => write!(f, "invalid XDR boolean value {v}"),
+            Error::LengthTooLarge { declared, limit } => write!(
+                f,
+                "declared XDR length {declared} exceeds limit {limit}"
+            ),
+            Error::InvalidUtf8 => write!(f, "XDR string is not valid UTF-8"),
+            Error::InvalidDiscriminant { what, value } => {
+                write!(f, "invalid discriminant {value} for {what}")
+            }
+            Error::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after XDR decode")
+            }
+            Error::NonZeroPadding => write!(f, "non-zero XDR padding bytes"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        let errs: Vec<Error> = vec![
+            Error::UnexpectedEof {
+                needed: 4,
+                remaining: 1,
+            },
+            Error::InvalidBool(3),
+            Error::LengthTooLarge {
+                declared: 10,
+                limit: 5,
+            },
+            Error::InvalidUtf8,
+            Error::InvalidDiscriminant {
+                what: "ftype3",
+                value: 99,
+            },
+            Error::TrailingBytes { remaining: 2 },
+            Error::NonZeroPadding,
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

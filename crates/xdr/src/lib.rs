@@ -1,0 +1,263 @@
+//! External Data Representation (XDR, RFC 4506) encoding and decoding.
+//!
+//! XDR is the serialization format underneath ONC RPC and therefore
+//! underneath every NFS message. All quantities are big-endian and every
+//! item is padded to a multiple of four bytes.
+//!
+//! This crate provides a byte-oriented [`Encoder`] and [`Decoder`] plus the
+//! [`Pack`] and `Unpack` traits implemented for the XDR primitive types.
+//! Higher layers (`nfstrace-rpc`, `nfstrace-nfs`) build protocol messages
+//! out of these primitives.
+//!
+//! # Examples
+//!
+//! ```
+//! use nfstrace_xdr::{Decoder, Encoder};
+//!
+//! # fn main() -> Result<(), nfstrace_xdr::Error> {
+//! let mut enc = Encoder::new();
+//! enc.put_u32(7);
+//! enc.put_string("inbox");
+//! enc.put_opaque_var(&[1, 2, 3]);
+//! let bytes = enc.into_bytes();
+//!
+//! let mut dec = Decoder::new(&bytes);
+//! assert_eq!(dec.get_u32()?, 7);
+//! assert_eq!(dec.get_string()?, "inbox");
+//! assert_eq!(dec.get_opaque_var()?, vec![1, 2, 3]);
+//! assert!(dec.is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+mod decode;
+mod encode;
+mod error;
+
+pub use decode::Decoder;
+pub use encode::Encoder;
+pub use error::{Error, Result};
+
+/// Rounds `n` up to the next multiple of four, the XDR alignment unit.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(nfstrace_xdr::pad4(5), 8);
+/// assert_eq!(nfstrace_xdr::pad4(8), 8);
+/// assert_eq!(nfstrace_xdr::pad4(0), 0);
+/// ```
+#[inline]
+pub const fn pad4(n: usize) -> usize {
+    (n + 3) & !3
+}
+
+/// A value that can be serialized into an XDR [`Encoder`].
+///
+/// Implemented for the XDR primitives; protocol crates implement it for
+/// their composite message types.
+///
+/// # Examples
+///
+/// ```
+/// use nfstrace_xdr::{Encoder, Pack};
+///
+/// let mut enc = Encoder::new();
+/// 42u32.pack(&mut enc);
+/// assert_eq!(enc.into_bytes(), vec![0, 0, 0, 42]);
+/// ```
+pub trait Pack {
+    /// Appends the XDR representation of `self` to `enc`.
+    fn pack(&self, enc: &mut Encoder);
+
+    /// Convenience: serializes `self` into a fresh byte vector.
+    fn to_xdr_bytes(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        self.pack(&mut enc);
+        enc.into_bytes()
+    }
+}
+
+/// A value that can be deserialized from an XDR [`Decoder`].
+///
+/// # Errors
+///
+/// Implementations return [`Error`] when the input is truncated or
+/// contains values outside the type's domain (for example a boolean that
+/// is neither 0 nor 1).
+pub trait Unpack: Sized {
+    /// Reads one `Self` from the front of `dec`.
+    fn unpack(dec: &mut Decoder<'_>) -> Result<Self>;
+
+    /// Convenience: deserializes a `Self` from `bytes`, requiring that the
+    /// whole input is consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::TrailingBytes`] if input remains after decoding.
+    fn from_xdr_bytes(bytes: &[u8]) -> Result<Self> {
+        let mut dec = Decoder::new(bytes);
+        let v = Self::unpack(&mut dec)?;
+        if dec.is_empty() {
+            Ok(v)
+        } else {
+            Err(Error::TrailingBytes {
+                remaining: dec.remaining(),
+            })
+        }
+    }
+}
+
+impl Pack for u32 {
+    fn pack(&self, enc: &mut Encoder) {
+        enc.put_u32(*self);
+    }
+}
+
+impl Unpack for u32 {
+    fn unpack(dec: &mut Decoder<'_>) -> Result<Self> {
+        dec.get_u32()
+    }
+}
+
+impl Pack for i32 {
+    fn pack(&self, enc: &mut Encoder) {
+        enc.put_i32(*self);
+    }
+}
+
+impl Unpack for i32 {
+    fn unpack(dec: &mut Decoder<'_>) -> Result<Self> {
+        dec.get_i32()
+    }
+}
+
+impl Pack for u64 {
+    fn pack(&self, enc: &mut Encoder) {
+        enc.put_u64(*self);
+    }
+}
+
+impl Unpack for u64 {
+    fn unpack(dec: &mut Decoder<'_>) -> Result<Self> {
+        dec.get_u64()
+    }
+}
+
+impl Pack for i64 {
+    fn pack(&self, enc: &mut Encoder) {
+        enc.put_i64(*self);
+    }
+}
+
+impl Unpack for i64 {
+    fn unpack(dec: &mut Decoder<'_>) -> Result<Self> {
+        dec.get_i64()
+    }
+}
+
+impl Pack for bool {
+    fn pack(&self, enc: &mut Encoder) {
+        enc.put_bool(*self);
+    }
+}
+
+impl Unpack for bool {
+    fn unpack(dec: &mut Decoder<'_>) -> Result<Self> {
+        dec.get_bool()
+    }
+}
+
+impl Pack for String {
+    fn pack(&self, enc: &mut Encoder) {
+        enc.put_string(self);
+    }
+}
+
+impl Unpack for String {
+    fn unpack(dec: &mut Decoder<'_>) -> Result<Self> {
+        dec.get_string()
+    }
+}
+
+impl Pack for Vec<u8> {
+    fn pack(&self, enc: &mut Encoder) {
+        enc.put_opaque_var(self);
+    }
+}
+
+impl Unpack for Vec<u8> {
+    fn unpack(dec: &mut Decoder<'_>) -> Result<Self> {
+        dec.get_opaque_var()
+    }
+}
+
+impl<T: Pack> Pack for Option<T> {
+    fn pack(&self, enc: &mut Encoder) {
+        match self {
+            Some(v) => {
+                enc.put_bool(true);
+                v.pack(enc);
+            }
+            None => enc.put_bool(false),
+        }
+    }
+}
+
+impl<T: Unpack> Unpack for Option<T> {
+    fn unpack(dec: &mut Decoder<'_>) -> Result<Self> {
+        if dec.get_bool()? {
+            Ok(Some(T::unpack(dec)?))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pad4_covers_all_residues() {
+        assert_eq!(pad4(0), 0);
+        assert_eq!(pad4(1), 4);
+        assert_eq!(pad4(2), 4);
+        assert_eq!(pad4(3), 4);
+        assert_eq!(pad4(4), 4);
+        assert_eq!(pad4(5), 8);
+    }
+
+    #[test]
+    fn option_roundtrip() {
+        let some: Option<u32> = Some(9);
+        let none: Option<u32> = None;
+        assert_eq!(
+            Option::<u32>::from_xdr_bytes(&some.to_xdr_bytes()).unwrap(),
+            some
+        );
+        assert_eq!(
+            Option::<u32>::from_xdr_bytes(&none.to_xdr_bytes()).unwrap(),
+            none
+        );
+    }
+
+    #[test]
+    fn from_xdr_bytes_rejects_trailing() {
+        let mut enc = Encoder::new();
+        enc.put_u32(1);
+        enc.put_u32(2);
+        let err = u32::from_xdr_bytes(&enc.into_bytes()).unwrap_err();
+        assert!(matches!(err, Error::TrailingBytes { remaining: 4 }));
+    }
+
+    #[test]
+    fn signed_extremes_roundtrip() {
+        for v in [i32::MIN, -1, 0, 1, i32::MAX] {
+            assert_eq!(i32::from_xdr_bytes(&v.to_xdr_bytes()).unwrap(), v);
+        }
+        for v in [i64::MIN, -1, 0, 1, i64::MAX] {
+            assert_eq!(i64::from_xdr_bytes(&v.to_xdr_bytes()).unwrap(), v);
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests: every XDR primitive round-trips through encode/decode,
+//! and encoded lengths are always 4-byte aligned.
+
+use nfstrace_xdr::{pad4, Decoder, Encoder, Pack, Unpack};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn u32_roundtrip(v in any::<u32>()) {
+        prop_assert_eq!(u32::from_xdr_bytes(&v.to_xdr_bytes()).unwrap(), v);
+    }
+
+    #[test]
+    fn i32_roundtrip(v in any::<i32>()) {
+        prop_assert_eq!(i32::from_xdr_bytes(&v.to_xdr_bytes()).unwrap(), v);
+    }
+
+    #[test]
+    fn u64_roundtrip(v in any::<u64>()) {
+        prop_assert_eq!(u64::from_xdr_bytes(&v.to_xdr_bytes()).unwrap(), v);
+    }
+
+    #[test]
+    fn i64_roundtrip(v in any::<i64>()) {
+        prop_assert_eq!(i64::from_xdr_bytes(&v.to_xdr_bytes()).unwrap(), v);
+    }
+
+    #[test]
+    fn opaque_roundtrip(v in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        prop_assert_eq!(Vec::<u8>::from_xdr_bytes(&v.to_xdr_bytes()).unwrap(), v);
+    }
+
+    #[test]
+    fn opaque_encoded_len_is_aligned(v in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let bytes = v.to_xdr_bytes();
+        prop_assert_eq!(bytes.len() % 4, 0);
+        prop_assert_eq!(bytes.len(), 4 + pad4(v.len()));
+    }
+
+    #[test]
+    fn string_roundtrip(s in "\\PC{0,256}") {
+        let owned = s.to_string();
+        prop_assert_eq!(String::from_xdr_bytes(&owned.to_xdr_bytes()).unwrap(), owned);
+    }
+
+    #[test]
+    fn mixed_sequence_roundtrip(
+        a in any::<u32>(),
+        b in any::<u64>(),
+        c in proptest::collection::vec(any::<u8>(), 0..128),
+        d in any::<bool>(),
+        s in "[a-zA-Z0-9._-]{0,64}",
+    ) {
+        let mut enc = Encoder::new();
+        enc.put_u32(a);
+        enc.put_u64(b);
+        enc.put_opaque_var(&c);
+        enc.put_bool(d);
+        enc.put_string(&s);
+        let bytes = enc.into_bytes();
+
+        let mut dec = Decoder::new(&bytes);
+        prop_assert_eq!(dec.get_u32().unwrap(), a);
+        prop_assert_eq!(dec.get_u64().unwrap(), b);
+        prop_assert_eq!(dec.get_opaque_var().unwrap(), c);
+        prop_assert_eq!(dec.get_bool().unwrap(), d);
+        prop_assert_eq!(dec.get_string().unwrap(), s);
+        prop_assert!(dec.is_empty());
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        // Interleave every getter over arbitrary bytes; all failures must
+        // surface as Err, never as panics.
+        let mut dec = Decoder::new(&data);
+        loop {
+            if dec.get_u32().is_err() { break; }
+            if dec.get_opaque_var().is_err() { break; }
+            if dec.get_bool().is_err() { break; }
+        }
+    }
+
+    #[test]
+    fn padding_bytes_are_zero(v in proptest::collection::vec(any::<u8>(), 1..64)) {
+        let bytes = v.to_xdr_bytes();
+        for &b in &bytes[4 + v.len()..] {
+            prop_assert_eq!(b, 0);
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! # nfstrace
+//!
+//! A faithful reimplementation of the system behind *"Passive NFS
+//! Tracing of Email and Research Workloads"* (Ellard, Ledlie, Malkani,
+//! Seltzer — FAST 2003): passive NFS packet tracing, trace
+//! anonymization, the paper's complete analysis suite, and generative
+//! models of the two traced systems (the CAMPUS email servers and the
+//! EECS research filer).
+//!
+//! This crate is a facade re-exporting the workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`xdr`] | `nfstrace-xdr` | XDR (RFC 4506) encoding |
+//! | [`net`] | `nfstrace-net` | Ethernet/IPv4/UDP/TCP, pcap, TCP reassembly, mirror-port model |
+//! | [`rpc`] | `nfstrace-rpc` | ONC RPC messages, record marking, XID matching |
+//! | [`nfs`] | `nfstrace-nfs` | complete NFSv2 + NFSv3 protocol |
+//! | [`fssim`] | `nfstrace-fssim` | simulated NFS server, disk model, read-ahead policies |
+//! | [`client`] | `nfstrace-client` | client caches and the nfsiod reordering model |
+//! | [`workload`] | `nfstrace-workload` | CAMPUS and EECS workload generators |
+//! | [`sniffer`] | `nfstrace-sniffer` | the passive tracer |
+//! | [`anonymize`] | `nfstrace-anonymize` | consistent, non-deterministic anonymization |
+//! | [`core`] | `nfstrace-core` | trace records and the FAST 2003 analyses |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use nfstrace::workload::{CampusConfig, CampusWorkload};
+//! use nfstrace::core::summary::SummaryStats;
+//!
+//! // Simulate one hour of a small email system and characterize it.
+//! let records = CampusWorkload::new(CampusConfig {
+//!     users: 4,
+//!     duration_micros: nfstrace::core::time::HOUR,
+//!     ..CampusConfig::default()
+//! })
+//! .generate();
+//! let stats = SummaryStats::from_records(records.iter());
+//! assert!(stats.total_ops > 0);
+//! ```
+
+pub use nfstrace_anonymize as anonymize;
+pub use nfstrace_client as client;
+pub use nfstrace_core as core;
+pub use nfstrace_fssim as fssim;
+pub use nfstrace_net as net;
+pub use nfstrace_nfs as nfs;
+pub use nfstrace_rpc as rpc;
+pub use nfstrace_sniffer as sniffer;
+pub use nfstrace_workload as workload;
+pub use nfstrace_xdr as xdr;

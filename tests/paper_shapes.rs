@@ -1,0 +1,173 @@
+//! Shape assertions: the qualitative relations each paper artifact
+//! reports must hold on small regenerated traces.
+
+use nfstrace::core::lifetime;
+use nfstrace::core::reorder;
+use nfstrace::core::runs::{RunKind, RunOptions};
+use nfstrace::core::seqmetric::metric_by_run_size;
+use nfstrace::core::summary::SummaryStats;
+use nfstrace::core::time::DAY;
+use nfstrace_bench::tables;
+use std::sync::OnceLock;
+
+fn campus() -> &'static Vec<nfstrace::core::TraceRecord> {
+    static TRACE: OnceLock<Vec<nfstrace::core::TraceRecord>> = OnceLock::new();
+    TRACE.get_or_init(|| nfstrace_bench::scenarios::campus(3, 0.25, 42))
+}
+
+fn eecs() -> &'static Vec<nfstrace::core::TraceRecord> {
+    static TRACE: OnceLock<Vec<nfstrace::core::TraceRecord>> = OnceLock::new();
+    TRACE.get_or_init(|| nfstrace_bench::scenarios::eecs(3, 0.25, 1789))
+}
+
+#[test]
+fn table1_shape_campus_reads_eecs_writes() {
+    let sc = SummaryStats::from_records(campus().iter());
+    let se = SummaryStats::from_records(eecs().iter());
+    // CAMPUS: reading dominates; EECS: writing dominates (Table 1).
+    assert!(sc.rw_bytes_ratio() > 1.5, "campus {}", sc.rw_bytes_ratio());
+    assert!(se.rw_bytes_ratio() < 1.0, "eecs {}", se.rw_bytes_ratio());
+    // CAMPUS: most calls are data; EECS: most are metadata.
+    assert!(sc.data_fraction() > 0.5);
+    assert!(se.data_fraction() < 0.5);
+}
+
+#[test]
+fn table2_shape_campus_busier() {
+    let sc = SummaryStats::from_records(campus().iter());
+    let se = SummaryStats::from_records(eecs().iter());
+    // "CAMPUS is an order of magnitude busier than any of the other
+    // systems" — per capita it far out-traffics EECS here.
+    assert!(sc.bytes_read > 4 * se.bytes_read);
+}
+
+#[test]
+fn table3_processing_recovers_sequentiality() {
+    for (recs, win) in [(campus(), 10u64), (eecs(), 5u64)] {
+        let raw = tables::trace_runs(recs, 0, RunOptions::raw());
+        let processed = tables::trace_runs(recs, win, RunOptions::default());
+        let random_frac = |runs: &[nfstrace::core::runs::Run]| {
+            let total = runs.len().max(1) as f64;
+            runs.iter()
+                .filter(|r| r.pattern == nfstrace::core::runs::RunPattern::Random)
+                .count() as f64
+                / total
+        };
+        // The paper's point: raw analysis overstates randomness.
+        assert!(
+            random_frac(&processed) <= random_frac(&raw) + 1e-9,
+            "window {win}: processed {} vs raw {}",
+            random_frac(&processed),
+            random_frac(&raw)
+        );
+    }
+}
+
+#[test]
+fn fig1_swapped_fraction_monotone_with_knee() {
+    let per_file = reorder::accesses_by_file(campus().iter());
+    let pts = reorder::swap_fraction_sweep(&per_file, &[0, 2, 5, 10, 20, 50]);
+    assert_eq!(pts[0].swapped_fraction, 0.0);
+    for w in pts.windows(2) {
+        assert!(w[1].swapped_fraction >= w[0].swapped_fraction - 1e-12);
+    }
+    // The knee: most of the gain arrives by 20 ms.
+    let at20 = pts[4].swapped_fraction;
+    let at50 = pts[5].swapped_fraction;
+    assert!(at50 - at20 < 0.05, "at20={at20} at50={at50}");
+}
+
+#[test]
+fn table4_death_causes_differ_by_system() {
+    let rc = lifetime::analyze(
+        campus().iter(),
+        lifetime::LifetimeConfig {
+            phase1_start: DAY,
+            phase1_len: DAY,
+            phase2_len: DAY,
+        },
+    );
+    let re = lifetime::analyze(
+        eecs().iter(),
+        lifetime::LifetimeConfig {
+            phase1_start: DAY,
+            phase1_len: DAY,
+            phase2_len: DAY,
+        },
+    );
+    // CAMPUS deaths are overwhelmingly overwrites; EECS has a large
+    // delete share (Table 4).
+    let c_ow = rc.deaths_overwrite as f64 / rc.deaths_total().max(1) as f64;
+    let e_del = re.deaths_delete as f64 / re.deaths_total().max(1) as f64;
+    assert!(c_ow > 0.8, "campus overwrite fraction {c_ow}");
+    assert!(e_del > 0.2, "eecs delete fraction {e_del}");
+}
+
+#[test]
+fn fig3_eecs_blocks_die_much_faster() {
+    let cfg = lifetime::LifetimeConfig {
+        phase1_start: DAY,
+        phase1_len: DAY,
+        phase2_len: DAY,
+    };
+    let rc = lifetime::analyze(campus().iter(), cfg);
+    let re = lifetime::analyze(eecs().iter(), cfg);
+    // The lifetime mixes are bimodal, so compare the CDF at one second:
+    // EECS has a large sub-second population (paper: ~50%), CAMPUS has
+    // almost none ("few blocks live for less than a second").
+    let sub_second = |rep: &lifetime::LifetimeReport| {
+        rep.lifespans.iter().filter(|&&l| l < 1_000_000).count() as f64
+            / rep.lifespans.len().max(1) as f64
+    };
+    assert!(sub_second(&re) > 0.3, "eecs sub-second {}", sub_second(&re));
+    assert!(sub_second(&rc) < 0.15, "campus sub-second {}", sub_second(&rc));
+    // And CAMPUS's median block lives minutes (mail-session timescales).
+    let mc = rc.median_lifespan().unwrap();
+    assert!(mc > 60_000_000, "campus median {mc}");
+}
+
+#[test]
+fn table5_peak_hours_cut_variance() {
+    let series = nfstrace::core::hourly::HourlySeries::from_records(campus().iter());
+    let all = series.table5(false);
+    let peak = series.table5(true);
+    assert!(
+        peak.total_ops.std_pct() < all.total_ops.std_pct(),
+        "peak {} vs all {}",
+        peak.total_ops.std_pct(),
+        all.total_ops.std_pct()
+    );
+}
+
+#[test]
+fn fig5_long_reads_more_sequential_than_writes() {
+    let runs = tables::trace_runs(campus(), 10, RunOptions::default());
+    let reads = metric_by_run_size(&runs, RunKind::Read, 10);
+    // Long reads (1 MB+) are nearly fully sequential with jumps allowed.
+    let long_reads: Vec<_> = reads
+        .iter()
+        .filter(|p| p.bucket >= 1 << 20 && p.runs > 0)
+        .collect();
+    assert!(!long_reads.is_empty());
+    for p in long_reads {
+        assert!(p.mean_metric > 0.8, "bucket {} metric {}", p.bucket, p.mean_metric);
+    }
+}
+
+#[test]
+fn names_predict_attributes() {
+    let rep = nfstrace::core::names::NamePredictionReport::from_records(campus().iter());
+    // Locks dominate churn (paper: 96% on CAMPUS).
+    assert!(rep.lock_fraction_of_churn() > 0.5, "{}", rep.lock_fraction_of_churn());
+    let locks = &rep.by_category[&nfstrace::core::names::FileCategory::Lock];
+    assert!(locks.size_accuracy() > 0.95);
+    assert!(locks.lifetime_accuracy() > 0.95);
+}
+
+#[test]
+fn hierarchy_coverage_climbs_within_minutes() {
+    let pts = nfstrace::core::hierarchy::coverage_over_time(campus().iter(), 10 * 60 * 1_000_000);
+    assert!(pts.len() > 3);
+    let late: f64 = pts[pts.len() - 3..].iter().map(|p| p.known_fraction).sum::<f64>() / 3.0;
+    assert!(late > 0.5, "late coverage {late}");
+}

@@ -1,0 +1,124 @@
+//! End-to-end integration: workload -> wire bytes -> sniffer -> records,
+//! with and without mirror-port loss.
+
+use nfstrace::client::{ClientConfig, ClientMachine};
+use nfstrace::fssim::NfsServer;
+use nfstrace::net::mirror::{MirrorConfig, MirrorPort, MirrorVerdict};
+use nfstrace::sniffer::{CallMeta, Sniffer, WireEncoder, v3_to_record};
+use nfstrace::workload::emitted_to_record;
+
+fn session() -> Vec<nfstrace::client::EmittedCall> {
+    let mut server = NfsServer::new(0x0a010002);
+    let root = server.root_fh();
+    let mut client = ClientMachine::new(ClientConfig {
+        nfsiods: 2,
+        seed: 9,
+        ..ClientConfig::default()
+    });
+    let mut t = 0;
+    for i in 0..5 {
+        let name = format!("file{i}");
+        let (fh, t1) = client.create(&mut server, t, &root, &name);
+        let fh = fh.unwrap();
+        let t2 = client.write(&mut server, t1, &fh, 0, 50_000 + i * 9_000);
+        server
+            .fs_mut()
+            .write(fh.as_u64().unwrap(), 0, 1, t2 + 1)
+            .unwrap();
+        t = client.read_file(&mut server, t2 + 40_000_000, &fh);
+    }
+    client.take_events()
+}
+
+#[test]
+fn wire_path_and_fast_path_agree_udp() {
+    let events = session();
+    let mut enc = WireEncoder::udp();
+    let mut sniffer = Sniffer::new();
+    for e in &events {
+        for pkt in enc.encode_event(e) {
+            sniffer.observe(&pkt);
+        }
+    }
+    let (wire_records, stats) = sniffer.finish();
+    assert_eq!(stats.decode_errors, 0);
+    assert_eq!(stats.orphan_replies, 0);
+
+    let mut fast: Vec<_> = events.iter().map(emitted_to_record).collect();
+    fast.sort_by_key(|r| r.micros);
+    assert_eq!(wire_records, fast);
+}
+
+#[test]
+fn wire_path_and_fast_path_agree_tcp_jumbo() {
+    let events = session();
+    let mut enc = WireEncoder::tcp_jumbo();
+    let mut sniffer = Sniffer::new();
+    for e in &events {
+        for pkt in enc.encode_event(e) {
+            sniffer.observe(&pkt);
+        }
+    }
+    let (wire_records, stats) = sniffer.finish();
+    assert_eq!(stats.decode_errors, 0);
+    let mut fast: Vec<_> = events.iter().map(emitted_to_record).collect();
+    fast.sort_by_key(|r| r.micros);
+    assert_eq!(wire_records.len(), fast.len());
+    // A record is captured when its *last* TCP segment arrives, so the
+    // wire path's timestamps trail the fast path by one microsecond per
+    // extra segment. Everything else must match exactly.
+    for (w, f) in wire_records.iter().zip(&fast) {
+        assert!(w.micros.abs_diff(f.micros) <= 8, "{} vs {}", w.micros, f.micros);
+        assert!(w.reply_micros.abs_diff(f.reply_micros) <= 8);
+        let mut w2 = w.clone();
+        w2.micros = f.micros;
+        w2.reply_micros = f.reply_micros;
+        assert_eq!(&w2, f);
+    }
+}
+
+#[test]
+fn oversubscribed_mirror_port_loses_packets_and_sniffer_counts_them() {
+    let events = session();
+    let mut enc = WireEncoder::udp();
+    let mut port = MirrorPort::new(MirrorConfig {
+        rate_bytes_per_sec: 2_000_000.0,
+        buffer_bytes: 32 * 1024,
+    });
+    let mut sniffer = Sniffer::new();
+    let mut dropped = 0u64;
+    for e in &events {
+        for pkt in enc.encode_event(e) {
+            if port.offer(pkt.timestamp_micros, pkt.data.len()) == MirrorVerdict::Forwarded {
+                sniffer.observe(&pkt);
+            } else {
+                dropped += 1;
+            }
+        }
+    }
+    let (records, stats) = sniffer.finish();
+    assert!(dropped > 0, "the tap should have been oversubscribed");
+    assert!(records.len() < events.len());
+    assert!(stats.orphan_replies + stats.lost_replies > 0);
+    assert!(stats.estimated_loss_rate() > 0.0);
+}
+
+#[test]
+fn sniffer_meta_matches_event_identity() {
+    let events = session();
+    let e = &events[0];
+    let meta = CallMeta {
+        wire_micros: e.wire_micros,
+        reply_micros: e.reply_micros,
+        xid: e.xid,
+        client: e.client_ip,
+        server: e.server_ip,
+        uid: e.uid,
+        gid: e.gid,
+        vers: e.vers,
+    };
+    let r = v3_to_record(&meta, &e.call, &e.reply);
+    assert_eq!(r.client, e.client_ip);
+    assert_eq!(r.uid, e.uid);
+    assert_eq!(r.xid, e.xid);
+}

@@ -1,0 +1,93 @@
+//! The on-disk trace format and the anonymizer compose: a trace can be
+//! written, anonymized, re-read, and analyzed identically.
+
+use nfstrace::anonymize::{Anonymizer, AnonymizerConfig};
+use nfstrace::core::summary::SummaryStats;
+use nfstrace::core::text;
+use nfstrace::core::time::HOUR;
+use nfstrace::workload::{CampusConfig, CampusWorkload, EecsConfig, EecsWorkload};
+
+#[test]
+fn campus_trace_text_roundtrip() {
+    let records = CampusWorkload::new(CampusConfig {
+        users: 4,
+        duration_micros: 2 * HOUR,
+        seed: 5,
+        ..CampusConfig::default()
+    })
+    .generate();
+    let mut buf = Vec::new();
+    text::write_trace(&mut buf, records.iter()).unwrap();
+    let reread = text::read_trace(&buf[..]).unwrap();
+    assert_eq!(records, reread);
+}
+
+#[test]
+fn eecs_trace_text_roundtrip() {
+    let records = EecsWorkload::new(EecsConfig {
+        users: 3,
+        duration_micros: 2 * HOUR,
+        seed: 5,
+        ..EecsConfig::default()
+    })
+    .generate();
+    let mut buf = Vec::new();
+    text::write_trace(&mut buf, records.iter()).unwrap();
+    let reread = text::read_trace(&buf[..]).unwrap();
+    assert_eq!(records, reread);
+}
+
+#[test]
+fn anonymized_trace_roundtrips_and_analyzes_identically() {
+    let records = CampusWorkload::new(CampusConfig {
+        users: 4,
+        duration_micros: 2 * HOUR,
+        seed: 6,
+        ..CampusConfig::default()
+    })
+    .generate();
+    let mut anon = Anonymizer::new(AnonymizerConfig::default());
+    let anonymized = anon.anonymize_trace(&records);
+
+    // No raw user name survives.
+    for r in &anonymized {
+        if let Some(n) = &r.name {
+            assert!(!n.starts_with("user0"), "leaked {n}");
+        }
+    }
+
+    let mut buf = Vec::new();
+    text::write_trace(&mut buf, anonymized.iter()).unwrap();
+    let reread = text::read_trace(&buf[..]).unwrap();
+    assert_eq!(anonymized, reread);
+
+    let s_raw = SummaryStats::from_records(records.iter());
+    let s_anon = SummaryStats::from_records(reread.iter());
+    assert_eq!(s_raw.total_ops, s_anon.total_ops);
+    assert_eq!(s_raw.bytes_read, s_anon.bytes_read);
+    assert_eq!(s_raw.bytes_written, s_anon.bytes_written);
+    assert_eq!(s_raw.op_counts, s_anon.op_counts);
+}
+
+#[test]
+fn anonymization_is_consistent_within_a_trace() {
+    let records = CampusWorkload::new(CampusConfig {
+        users: 3,
+        duration_micros: HOUR,
+        seed: 8,
+        ..CampusConfig::default()
+    })
+    .generate();
+    let mut anon = Anonymizer::new(AnonymizerConfig::default());
+    let a = anon.anonymize_trace(&records);
+    // Same input name -> same output name everywhere.
+    use std::collections::HashMap;
+    let mut seen: HashMap<&str, &str> = HashMap::new();
+    for (raw, out) in records.iter().zip(&a) {
+        if let (Some(rn), Some(on)) = (raw.name.as_deref(), out.name.as_deref()) {
+            if let Some(prev) = seen.insert(rn, on) {
+                assert_eq!(prev, on, "inconsistent mapping for {rn}");
+            }
+        }
+    }
+}
