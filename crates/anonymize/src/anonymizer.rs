@@ -242,7 +242,8 @@ mod tests {
         use nfstrace_core::summary::SummaryStats;
         let mut records = Vec::new();
         for i in 0..50u64 {
-            let mut r = TraceRecord::new(i * 1000, Op::Read, FileId(i % 5)).with_range(i * 8192, 8192);
+            let mut r =
+                TraceRecord::new(i * 1000, Op::Read, FileId(i % 5)).with_range(i * 8192, 8192);
             r.uid = 1000 + (i % 3) as u32;
             records.push(r);
         }

@@ -28,14 +28,27 @@ impl NameAnonymizer {
     /// passthrough sets.
     pub fn new(seed: u64) -> Self {
         let passthrough_names: HashSet<String> = [
-            "CVS", ".inbox", ".pinerc", ".cshrc", ".login", ".profile", "inbox", "mbox",
-            "core", "lock", "received", "sent-mail", "saved-messages",
+            "CVS",
+            ".inbox",
+            ".pinerc",
+            ".cshrc",
+            ".login",
+            ".profile",
+            "inbox",
+            "mbox",
+            "core",
+            "lock",
+            "received",
+            "sent-mail",
+            "saved-messages",
         ]
         .into_iter()
         .map(str::to_string)
         .collect();
-        let passthrough_suffixes: HashSet<String> =
-            ["lock", "log", "o", "c", "h", "tmp"].into_iter().map(str::to_string).collect();
+        let passthrough_suffixes: HashSet<String> = ["lock", "log", "o", "c", "h", "tmp"]
+            .into_iter()
+            .map(str::to_string)
+            .collect();
         NameAnonymizer {
             stems: StringTable::new(seed ^ 0x5335_0001, "f"),
             suffixes: StringTable::new(seed ^ 0x5335_0002, "x"),

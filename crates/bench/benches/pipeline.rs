@@ -46,7 +46,10 @@ fn bench_sniffer(c: &mut Criterion) {
     });
     let (fh, t) = client.create(&mut server, 0, &root, "f");
     let fh = fh.unwrap();
-    server.fs_mut().write(fh.as_u64().unwrap(), 0, 8 << 20, t).unwrap();
+    server
+        .fs_mut()
+        .write(fh.as_u64().unwrap(), 0, 8 << 20, t)
+        .unwrap();
     client.read_file(&mut server, t + 40_000_000, &fh);
     let events = client.take_events();
     let mut enc = WireEncoder::tcp_jumbo();

@@ -10,18 +10,27 @@ use nfstrace_sniffer::{Sniffer, WireEncoder};
 fn main() {
     let s = (scale() * 0.25).max(0.1);
     let records = scenarios::campus(1, s, 42);
-    println!("mirror-port loss experiment: {} records re-encoded to the wire", records.len());
+    println!(
+        "mirror-port loss experiment: {} records re-encoded to the wire",
+        records.len()
+    );
 
     // Re-encode trace records to packets through a synthetic event; the
     // workload's wire data is regenerated per record for the experiment.
     let events = to_events(&records);
-    println!("  ({} of those are data/getattr calls carried on the wire)", events.len());
+    println!(
+        "  ({} of those are data/getattr calls carried on the wire)",
+        events.len()
+    );
     for (label, config) in [
         ("lossless (EECS monitor)", MirrorConfig::lossless()),
-        ("oversubscribed 500 Mb/s tap (CAMPUS bursts)", MirrorConfig {
-            rate_bytes_per_sec: 62_000_000.0,
-            buffer_bytes: 160 * 1024,
-        }),
+        (
+            "oversubscribed 500 Mb/s tap (CAMPUS bursts)",
+            MirrorConfig {
+                rate_bytes_per_sec: 62_000_000.0,
+                buffer_bytes: 160 * 1024,
+            },
+        ),
     ] {
         let mut enc = WireEncoder::tcp_jumbo();
         let mut port = MirrorPort::new(config);

@@ -15,7 +15,10 @@ use nfstrace_client::NfsiodPool;
 fn main() {
     println!("nfsiod reordering experiment (isolated client/server)");
     println!("-- paced closed loop (40 us CPU gap, 400 us RPC hold)");
-    println!("{:>8} {:>12} {:>14}", "nfsiods", "reordered %", "max delay ms");
+    println!(
+        "{:>8} {:>12} {:>14}",
+        "nfsiods", "reordered %", "max delay ms"
+    );
     for n in [1usize, 2, 3, 4, 6, 8] {
         let mut pool = NfsiodPool::new(n, 7);
         let mut now = 0u64;

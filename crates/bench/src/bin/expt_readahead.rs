@@ -48,8 +48,8 @@ fn main() {
             MetricReadAhead::new(),
             DiskModel::new(DiskParams::default()),
         );
-        let speedup = (strict.total_micros as f64 - metric.total_micros as f64)
-            / strict.total_micros as f64;
+        let speedup =
+            (strict.total_micros as f64 - metric.total_micros as f64) / strict.total_micros as f64;
         println!(
             "{pct:>11} {:>13.1} {:>13.1} {:>8.1}%",
             strict.total_micros as f64 / 1000.0,

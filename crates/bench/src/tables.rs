@@ -76,12 +76,17 @@ pub fn table1(campus: &[TraceRecord], eecs: &[TraceRecord]) -> Table1 {
         ow_frac[i] = rep.deaths_overwrite as f64 / deaths as f64;
     }
     let mut text = String::new();
-    let _ = writeln!(text, "Table 1: Characteristics of CAMPUS and EECS (measured)");
+    let _ = writeln!(
+        text,
+        "Table 1: Characteristics of CAMPUS and EECS (measured)"
+    );
     let _ = writeln!(text, "{:<46} {:>10} {:>10}", "", "CAMPUS", "EECS");
     let _ = writeln!(
         text,
         "{:<46} {:>9.0}% {:>9.0}%",
-        "NFS calls that move data", 100.0 * data_fraction[0], 100.0 * data_fraction[1]
+        "NFS calls that move data",
+        100.0 * data_fraction[0],
+        100.0 * data_fraction[1]
     );
     let _ = writeln!(
         text,
@@ -105,7 +110,9 @@ pub fn table1(campus: &[TraceRecord], eecs: &[TraceRecord]) -> Table1 {
     let _ = writeln!(
         text,
         "{:<46} {:>9.0}% {:>9.0}%",
-        "Block deaths due to overwriting", 100.0 * ow_frac[0], 100.0 * ow_frac[1]
+        "Block deaths due to overwriting",
+        100.0 * ow_frac[0],
+        100.0 * ow_frac[1]
     );
     Table1 {
         data_fraction,
@@ -163,7 +170,13 @@ pub fn table2(campus: &[TraceRecord], eecs: &[TraceRecord]) -> Table2 {
     let _ = writeln!(
         text,
         "{}",
-        line("Data read (GB)", sc.data_read_gb, se.data_read_gb, hcol(|h| h.data_read_gb), 3)
+        line(
+            "Data read (GB)",
+            sc.data_read_gb,
+            se.data_read_gb,
+            hcol(|h| h.data_read_gb),
+            3
+        )
     );
     let _ = writeln!(
         text,
@@ -201,12 +214,24 @@ pub fn table2(campus: &[TraceRecord], eecs: &[TraceRecord]) -> Table2 {
     let _ = writeln!(
         text,
         "{}",
-        line("R/W bytes ratio", sc.rw_bytes_ratio, se.rw_bytes_ratio, hcol(|h| h.rw_bytes_ratio), 2)
+        line(
+            "R/W bytes ratio",
+            sc.rw_bytes_ratio,
+            se.rw_bytes_ratio,
+            hcol(|h| h.rw_bytes_ratio),
+            2
+        )
     );
     let _ = writeln!(
         text,
         "{}",
-        line("R/W ops ratio", sc.rw_ops_ratio, se.rw_ops_ratio, hcol(|h| h.rw_ops_ratio), 2)
+        line(
+            "R/W ops ratio",
+            sc.rw_ops_ratio,
+            se.rw_ops_ratio,
+            hcol(|h| h.rw_ops_ratio),
+            2
+        )
     );
     let _ = writeln!(
         text,
@@ -253,7 +278,10 @@ pub fn table3(campus: &[TraceRecord], eecs: &[TraceRecord]) -> Table3 {
         PatternTable::from_runs(&trace_runs(eecs, WINDOW_EECS_MS, RunOptions::default())),
     ];
     let mut text = String::new();
-    let _ = writeln!(text, "Table 3: file access patterns (entire/sequential/random)");
+    let _ = writeln!(
+        text,
+        "Table 3: file access patterns (entire/sequential/random)"
+    );
     let _ = writeln!(
         text,
         "{:<22} {:>8} {:>8} | {:>8} {:>8} | {:>7} {:>7} {:>7}",
@@ -278,16 +306,64 @@ pub fn table3(campus: &[TraceRecord], eecs: &[TraceRecord]) -> Table3 {
             h[2]
         );
     };
-    push("Reads (% total)", &|t| t.reads_pct, [hist[0].reads[0], hist[1].reads[0], hist[2].reads[0]]);
-    push("  Entire (% read)", &|t| t.read_entire_pct, [hist[0].reads[1], hist[1].reads[1], hist[2].reads[1]]);
-    push("  Sequential (% read)", &|t| t.read_sequential_pct, [hist[0].reads[2], hist[1].reads[2], hist[2].reads[2]]);
-    push("  Random (% read)", &|t| t.read_random_pct, [hist[0].reads[3], hist[1].reads[3], hist[2].reads[3]]);
-    push("Writes (% total)", &|t| t.writes_pct, [hist[0].writes[0], hist[1].writes[0], hist[2].writes[0]]);
-    push("  Entire (% write)", &|t| t.write_entire_pct, [hist[0].writes[1], hist[1].writes[1], hist[2].writes[1]]);
-    push("  Sequential (% write)", &|t| t.write_sequential_pct, [hist[0].writes[2], hist[1].writes[2], hist[2].writes[2]]);
-    push("  Random (% write)", &|t| t.write_random_pct, [hist[0].writes[3], hist[1].writes[3], hist[2].writes[3]]);
-    push("Read-Write (% total)", &|t| t.rw_pct, [hist[0].read_writes[0], hist[1].read_writes[0], hist[2].read_writes[0]]);
-    push("  Random (% r-w)", &|t| t.rw_random_pct, [hist[0].read_writes[3], hist[1].read_writes[3], hist[2].read_writes[3]]);
+    push(
+        "Reads (% total)",
+        &|t| t.reads_pct,
+        [hist[0].reads[0], hist[1].reads[0], hist[2].reads[0]],
+    );
+    push(
+        "  Entire (% read)",
+        &|t| t.read_entire_pct,
+        [hist[0].reads[1], hist[1].reads[1], hist[2].reads[1]],
+    );
+    push(
+        "  Sequential (% read)",
+        &|t| t.read_sequential_pct,
+        [hist[0].reads[2], hist[1].reads[2], hist[2].reads[2]],
+    );
+    push(
+        "  Random (% read)",
+        &|t| t.read_random_pct,
+        [hist[0].reads[3], hist[1].reads[3], hist[2].reads[3]],
+    );
+    push(
+        "Writes (% total)",
+        &|t| t.writes_pct,
+        [hist[0].writes[0], hist[1].writes[0], hist[2].writes[0]],
+    );
+    push(
+        "  Entire (% write)",
+        &|t| t.write_entire_pct,
+        [hist[0].writes[1], hist[1].writes[1], hist[2].writes[1]],
+    );
+    push(
+        "  Sequential (% write)",
+        &|t| t.write_sequential_pct,
+        [hist[0].writes[2], hist[1].writes[2], hist[2].writes[2]],
+    );
+    push(
+        "  Random (% write)",
+        &|t| t.write_random_pct,
+        [hist[0].writes[3], hist[1].writes[3], hist[2].writes[3]],
+    );
+    push(
+        "Read-Write (% total)",
+        &|t| t.rw_pct,
+        [
+            hist[0].read_writes[0],
+            hist[1].read_writes[0],
+            hist[2].read_writes[0],
+        ],
+    );
+    push(
+        "  Random (% r-w)",
+        &|t| t.rw_random_pct,
+        [
+            hist[0].read_writes[3],
+            hist[1].read_writes[3],
+            hist[2].read_writes[3],
+        ],
+    );
     Table3 {
         raw,
         processed,
@@ -324,14 +400,25 @@ pub fn weekday_lifetime(records: &[TraceRecord]) -> LifetimeReport {
 pub fn table4(campus: &[TraceRecord], eecs: &[TraceRecord]) -> Table4 {
     let rc = weekday_lifetime(campus);
     let re = weekday_lifetime(eecs);
-    let pct = |n: u64, d: u64| if d == 0 { 0.0 } else { 100.0 * n as f64 / d as f64 };
+    let pct = |n: u64, d: u64| {
+        if d == 0 {
+            0.0
+        } else {
+            100.0 * n as f64 / d as f64
+        }
+    };
     let mut text = String::new();
-    let _ = writeln!(text, "Table 4: daily block life statistics (five weekday windows)");
+    let _ = writeln!(
+        text,
+        "Table 4: daily block life statistics (five weekday windows)"
+    );
     let _ = writeln!(text, "{:<28} {:>12} {:>12}", "", "CAMPUS", "EECS");
     let _ = writeln!(
         text,
         "{:<28} {:>12} {:>12}",
-        "Total births", rc.births_total(), re.births_total()
+        "Total births",
+        rc.births_total(),
+        re.births_total()
     );
     let _ = writeln!(
         text,
@@ -350,7 +437,9 @@ pub fn table4(campus: &[TraceRecord], eecs: &[TraceRecord]) -> Table4 {
     let _ = writeln!(
         text,
         "{:<28} {:>12} {:>12}",
-        "Total deaths", rc.deaths_total(), re.deaths_total()
+        "Total deaths",
+        rc.deaths_total(),
+        re.deaths_total()
     );
     let _ = writeln!(
         text,
@@ -380,10 +469,7 @@ pub fn table4(campus: &[TraceRecord], eecs: &[TraceRecord]) -> Table4 {
         100.0 * rc.end_surplus_fraction(),
         100.0 * re.end_surplus_fraction()
     );
-    let _ = writeln!(
-        text,
-        "(paper: CAMPUS overwrites 99.1%, EECS deletes 51.8%)"
-    );
+    let _ = writeln!(text, "(paper: CAMPUS overwrites 99.1%, EECS deletes 51.8%)");
     Table4 {
         campus: rc,
         eecs: re,
@@ -409,11 +495,17 @@ pub fn table5(campus: &[TraceRecord], eecs: &[TraceRecord]) -> Table5 {
     let all = [sc.table5(false), se.table5(false)];
     let peak = [sc.table5(true), se.table5(true)];
     let mut text = String::new();
-    let _ = writeln!(text, "Table 5: average hourly activity (std dev as % of mean)");
+    let _ = writeln!(
+        text,
+        "Table 5: average hourly activity (std dev as % of mean)"
+    );
     for (label, rows) in [("All hours", &all), ("Peak hours (9am-6pm M-F)", &peak)] {
         let _ = writeln!(text, "-- {label}");
         let _ = writeln!(text, "{:<24} {:>18} {:>18}", "", "CAMPUS", "EECS");
-        let mut push = |name: &str, f: &dyn Fn(&nfstrace_core::hourly::Table5Row) -> nfstrace_core::hourly::MeanStd| {
+        let mut push = |name: &str,
+                        f: &dyn Fn(
+            &nfstrace_core::hourly::Table5Row,
+        ) -> nfstrace_core::hourly::MeanStd| {
             let c = f(&rows[0]);
             let e = f(&rows[1]);
             let _ = writeln!(
@@ -432,11 +524,7 @@ pub fn table5(campus: &[TraceRecord], eecs: &[TraceRecord]) -> Table5 {
         push("Write ops (1000s)", &|r| scale_row(r.write_ops, 1e3));
         push("R/W op ratio", &|r| r.rw_op_ratio);
     }
-    Table5 {
-        all,
-        peak,
-        text,
-    }
+    Table5 { all, peak, text }
 }
 
 fn scale_row(ms: nfstrace_core::hourly::MeanStd, div: f64) -> nfstrace_core::hourly::MeanStd {
@@ -463,7 +551,7 @@ pub fn fig1(campus: &[TraceRecord], eecs: &[TraceRecord]) -> Fig1 {
     let windows: Vec<u64> = (0..=50).step_by(2).collect();
     let wednesday = |r: &&TraceRecord| {
         let t = r.micros;
-        t >= 3 * DAY + 9 * HOUR && t < 3 * DAY + 12 * HOUR
+        (3 * DAY + 9 * HOUR..3 * DAY + 12 * HOUR).contains(&t)
     };
     let subset = |records: &[TraceRecord]| -> Vec<TraceRecord> {
         records.iter().filter(wednesday).cloned().collect()
@@ -478,8 +566,15 @@ pub fn fig1(campus: &[TraceRecord], eecs: &[TraceRecord]) -> Fig1 {
     let c = sweep(&subset(campus));
     let e = sweep(&subset(eecs));
     let mut text = String::new();
-    let _ = writeln!(text, "Figure 1: percent of accesses swapped vs reorder window (Wed 9am-12pm)");
-    let _ = writeln!(text, "{:>10} {:>10} {:>10}", "window ms", "CAMPUS %", "EECS %");
+    let _ = writeln!(
+        text,
+        "Figure 1: percent of accesses swapped vs reorder window (Wed 9am-12pm)"
+    );
+    let _ = writeln!(
+        text,
+        "{:>10} {:>10} {:>10}",
+        "window ms", "CAMPUS %", "EECS %"
+    );
     for (i, &(w, cv)) in c.iter().enumerate() {
         let _ = writeln!(text, "{w:>10} {cv:>10.2} {:>10.2}", e[i].1);
     }
@@ -508,7 +603,10 @@ pub fn fig2(campus: &[TraceRecord], eecs: &[TraceRecord]) -> Fig2 {
     let pc = SizeProfile::from_runs(&rc);
     let pe = SizeProfile::from_runs(&re);
     let mut text = String::new();
-    let _ = writeln!(text, "Figure 2: cumulative % of bytes accessed vs file size");
+    let _ = writeln!(
+        text,
+        "Figure 2: cumulative % of bytes accessed vs file size"
+    );
     for (label, p) in [("CAMPUS", &pc), ("EECS", &pe)] {
         let total = p.grand_total();
         let _ = writeln!(text, "-- {label}");
@@ -584,7 +682,12 @@ pub fn fig3(campus: &[TraceRecord], eecs: &[TraceRecord]) -> Fig3 {
         } else {
             format!("{} sec", p / 1_000_000)
         };
-        let _ = writeln!(text, "{label:>10} {:>9.1}% {:>9.1}%", 100.0 * cv, 100.0 * e[i].1);
+        let _ = writeln!(
+            text,
+            "{label:>10} {:>9.1}% {:>9.1}%",
+            100.0 * cv,
+            100.0 * e[i].1
+        );
     }
     Fig3 {
         campus: c,
@@ -617,7 +720,7 @@ pub fn fig4(campus: &[TraceRecord], eecs: &[TraceRecord]) -> Fig4 {
     );
     let ce: HashMap<u64, _> = se.iter().map(|(t, b)| (t, *b)).collect();
     for (t, b) in sc.iter() {
-        if (t / HOUR) % 3 != 0 {
+        if !(t / HOUR).is_multiple_of(3) {
             continue;
         }
         let e = ce.get(&t).copied().unwrap_or_default();
@@ -669,7 +772,10 @@ pub fn fig5(campus: &[TraceRecord], eecs: &[TraceRecord]) -> Fig5 {
     let eecs_reads = f(&re, RunKind::Read);
     let eecs_writes = f(&re, RunKind::Write);
     let mut text = String::new();
-    let _ = writeln!(text, "Figure 5: mean sequentiality metric vs bytes accessed in run");
+    let _ = writeln!(
+        text,
+        "Figure 5: mean sequentiality metric vs bytes accessed in run"
+    );
     for (label, (k10, k1)) in [
         ("CAMPUS reads", &campus_reads),
         ("CAMPUS writes", &campus_writes),
@@ -717,7 +823,10 @@ pub fn fig5(campus: &[TraceRecord], eecs: &[TraceRecord]) -> Fig5 {
 pub fn hierarchy_coverage(records: &[TraceRecord]) -> String {
     let pts = hierarchy::coverage_over_time(records.iter(), 30 * 60 * 1_000_000);
     let mut text = String::new();
-    let _ = writeln!(text, "Hierarchy reconstruction coverage (30-minute buckets)");
+    let _ = writeln!(
+        text,
+        "Hierarchy reconstruction coverage (30-minute buckets)"
+    );
     for p in pts.iter().take(16) {
         let _ = writeln!(
             text,
@@ -750,9 +859,8 @@ pub fn names_report(records: &[TraceRecord]) -> String {
         rep.by_category.iter().collect();
     cats.sort_by_key(|(_, s)| std::cmp::Reverse(s.files));
     for (cat, s) in cats {
-        let fmt_life = |p: Option<u64>| {
-            p.map_or("-".to_string(), |v| format!("{:.2}s", v as f64 / 1e6))
-        };
+        let fmt_life =
+            |p: Option<u64>| p.map_or("-".to_string(), |v| format!("{:.2}s", v as f64 / 1e6));
         let _ = writeln!(
             text,
             "{:<14} {:>7} {:>8.0}% {:>8.0}% {:>10} {:>10}",

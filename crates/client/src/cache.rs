@@ -128,7 +128,9 @@ impl ClientCache {
 
     /// Whether `block` of `file` is cached.
     pub fn block_cached(&self, file: u64, block: u64) -> bool {
-        self.data.get(&file).is_some_and(|d| d.blocks.contains(&block))
+        self.data
+            .get(&file)
+            .is_some_and(|d| d.blocks.contains(&block))
     }
 
     /// Marks a block as cached, with the mtime it was read under.

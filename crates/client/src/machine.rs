@@ -311,7 +311,9 @@ impl ClientMachine {
             let mut chunk_len = 0u64;
             while chunk_len < max_here
                 && chunk_start + chunk_len < end
-                && !self.cache.block_cached(id, (chunk_start + chunk_len) / BLOCK)
+                && !self
+                    .cache
+                    .block_cached(id, (chunk_start + chunk_len) / BLOCK)
             {
                 chunk_len += BLOCK;
             }
@@ -516,7 +518,13 @@ impl ClientMachine {
     }
 
     /// REMOVE `name` from `dir`, dropping any cached state for it.
-    pub fn remove(&mut self, server: &mut NfsServer, now: u64, dir: &FileHandle, name: &str) -> u64 {
+    pub fn remove(
+        &mut self,
+        server: &mut NfsServer,
+        now: u64,
+        dir: &FileHandle,
+        name: &str,
+    ) -> u64 {
         // Know which file dies so the cache can forget it.
         if let Ok(id) = server.fs().lookup(dir.as_u64().unwrap_or(0), name) {
             self.cache.forget(id);
@@ -645,7 +653,10 @@ mod tests {
 
         // Another writer (mail delivery) appends server-side.
         let id = fh.as_u64().unwrap();
-        server.fs_mut().write(id, 64 * 1024, 4096, t + 1000).unwrap();
+        server
+            .fs_mut()
+            .write(id, 64 * 1024, 4096, t + 1000)
+            .unwrap();
 
         // After the attribute timeout, the next scan re-reads everything.
         let later = t + 60 * 1_000_000;
@@ -751,7 +762,10 @@ mod tests {
             })
             .collect();
         assert_eq!(writes.len(), 4); // 3 x 32 KB + 1 x 4 KB
-        assert_eq!(writes.iter().map(|&c| u64::from(c)).sum::<u64>(), 100 * 1024);
+        assert_eq!(
+            writes.iter().map(|&c| u64::from(c)).sum::<u64>(),
+            100 * 1024
+        );
     }
 
     #[test]

@@ -197,7 +197,11 @@ mod tests {
         // The paper's control: one nfsiod, zero reorderings, regardless
         // of load.
         for seed in 0..5 {
-            assert_eq!(run_paced(1, 10_000, 40, 400, seed).reordered, 0, "seed {seed}");
+            assert_eq!(
+                run_paced(1, 10_000, 40, 400, seed).reordered,
+                0,
+                "seed {seed}"
+            );
             assert_eq!(run_burst(1, 10_000, seed).reordered, 0, "seed {seed}");
         }
     }

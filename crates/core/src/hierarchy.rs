@@ -225,7 +225,11 @@ mod tests {
             recs.push(lookup(i * 1000, 1, &format!("f{i}"), 100 + i));
         }
         for i in 0..50u64 {
-            recs.push(TraceRecord::new(100_000 + i * 1000, Op::Read, FileId(100 + i)));
+            recs.push(TraceRecord::new(
+                100_000 + i * 1000,
+                Op::Read,
+                FileId(100 + i),
+            ));
         }
         let pts = coverage_over_time(recs.iter(), 50_000);
         // The late buckets (reads of known files) must have full coverage.

@@ -49,7 +49,8 @@ impl HourlySeries {
     where
         I: IntoIterator<Item = &'a TraceRecord>,
     {
-        let mut map: std::collections::BTreeMap<u64, HourBucket> = std::collections::BTreeMap::new();
+        let mut map: std::collections::BTreeMap<u64, HourBucket> =
+            std::collections::BTreeMap::new();
         for r in records {
             let b = map.entry(hour_index(r.micros)).or_default();
             b.ops += 1;
@@ -103,16 +104,15 @@ impl HourlySeries {
             .filter(|(t, _)| !peak_only || is_peak(*t))
             .map(|(_, b)| b)
             .collect();
-        let stat = |f: &dyn Fn(&HourBucket) -> f64| MeanStd::from_samples(selected.iter().map(|b| f(b)));
+        let stat =
+            |f: &dyn Fn(&HourBucket) -> f64| MeanStd::from_samples(selected.iter().map(|b| f(b)));
         Table5Row {
             total_ops: stat(&|b| b.ops as f64),
             data_read_mb: stat(&|b| b.bytes_read as f64 / 1e6),
             read_ops: stat(&|b| b.read_ops as f64),
             data_written_mb: stat(&|b| b.bytes_written as f64 / 1e6),
             write_ops: stat(&|b| b.write_ops as f64),
-            rw_op_ratio: MeanStd::from_samples(
-                selected.iter().filter_map(|b| b.rw_ratio()),
-            ),
+            rw_op_ratio: MeanStd::from_samples(selected.iter().filter_map(|b| b.rw_ratio())),
             hours: selected.len(),
         }
     }
@@ -192,7 +192,10 @@ mod tests {
 
     #[test]
     fn buckets_are_contiguous() {
-        let recs = vec![rec(HOUR / 2, Op::Read, 10), rec(3 * HOUR + 1, Op::Write, 20)];
+        let recs = [
+            rec(HOUR / 2, Op::Read, 10),
+            rec(3 * HOUR + 1, Op::Write, 20),
+        ];
         let s = HourlySeries::from_records(recs.iter());
         assert_eq!(s.first_hour, 0);
         assert_eq!(s.buckets.len(), 4);
@@ -204,7 +207,7 @@ mod tests {
 
     #[test]
     fn ratio_series_skips_zero_write_hours() {
-        let recs = vec![
+        let recs = [
             rec(0, Op::Read, 1),
             rec(HOUR, Op::Read, 1),
             rec(HOUR + 1, Op::Write, 1),
@@ -246,7 +249,7 @@ mod tests {
 
     #[test]
     fn multi_day_series_length() {
-        let recs = vec![rec(0, Op::Read, 1), rec(2 * DAY, Op::Read, 1)];
+        let recs = [rec(0, Op::Read, 1), rec(2 * DAY, Op::Read, 1)];
         let s = HourlySeries::from_records(recs.iter());
         assert_eq!(s.buckets.len(), 49);
     }

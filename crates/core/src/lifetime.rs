@@ -278,7 +278,7 @@ impl BlockLifetimeAnalyzer {
 
         // Extension births: blocks between old EOF and the write start.
         if r.offset > state.size {
-            let first = (state.size + BLOCK - 1) / BLOCK;
+            let first = state.size.div_ceil(BLOCK);
             let last = r.offset / BLOCK;
             for b in first..last {
                 state.live.insert(
@@ -296,7 +296,7 @@ impl BlockLifetimeAnalyzer {
 
         // Written blocks: overwrite deaths then births.
         let start = r.offset / BLOCK;
-        let end = (r.offset + u64::from(count) + BLOCK - 1) / BLOCK;
+        let end = (r.offset + u64::from(count)).div_ceil(BLOCK);
         for b in start..end.max(start + 1) {
             if let Some(old) = state.live.remove(&b) {
                 record_death(
@@ -326,7 +326,7 @@ impl BlockLifetimeAnalyzer {
             return;
         };
         if target < state.size {
-            let first_dead = (target + BLOCK - 1) / BLOCK;
+            let first_dead = target.div_ceil(BLOCK);
             let dead: Vec<u64> = state
                 .live
                 .keys()
@@ -335,7 +335,13 @@ impl BlockLifetimeAnalyzer {
                 .collect();
             for b in dead {
                 if let Some(old) = state.live.remove(&b) {
-                    record_death(&mut self.report, &self.config, old, now, DeathCause::Truncate);
+                    record_death(
+                        &mut self.report,
+                        &self.config,
+                        old,
+                        now,
+                        DeathCause::Truncate,
+                    );
                 }
             }
         }
@@ -426,7 +432,7 @@ mod tests {
 
     #[test]
     fn overwrite_death_and_lifespan() {
-        let recs = vec![
+        let recs = [
             write(0, 1, 0, BLOCK as u32),
             write(10 * SECOND, 1, 0, BLOCK as u32),
         ];
@@ -442,7 +448,7 @@ mod tests {
     fn extension_births_counted() {
         // Write at offset 4 blocks into an empty file: blocks 0-3 born by
         // extension, block 4 by write.
-        let recs = vec![write(0, 1, 4 * BLOCK, BLOCK as u32)];
+        let recs = [write(0, 1, 4 * BLOCK, BLOCK as u32)];
         let rep = analyze(recs.iter(), cfg());
         assert_eq!(rep.births_extension, 4);
         assert_eq!(rep.births_write, 1);
@@ -450,14 +456,11 @@ mod tests {
 
     #[test]
     fn truncate_deaths() {
-        let recs = vec![
-            write(0, 1, 0, (4 * BLOCK) as u32),
-            {
-                let mut r = TraceRecord::new(HOUR, Op::Setattr, FileId(1));
-                r.truncate_to = Some(0);
-                r
-            },
-        ];
+        let recs = [write(0, 1, 0, (4 * BLOCK) as u32), {
+            let mut r = TraceRecord::new(HOUR, Op::Setattr, FileId(1));
+            r.truncate_to = Some(0);
+            r
+        }];
         let rep = analyze(recs.iter(), cfg());
         assert_eq!(rep.deaths_truncate, 4);
         assert_eq!(rep.end_surplus, 0);
@@ -465,7 +468,7 @@ mod tests {
 
     #[test]
     fn delete_deaths_via_name_resolution() {
-        let recs = vec![
+        let recs = [
             create(0, 99, "scratch", 7),
             write(1, 7, 0, (2 * BLOCK) as u32),
             remove(2 * SECOND, 99, "scratch"),
@@ -478,7 +481,7 @@ mod tests {
 
     #[test]
     fn phase2_births_not_counted_but_deaths_are() {
-        let recs = vec![
+        let recs = [
             write(DAY - SECOND, 1, 0, BLOCK as u32), // phase-1 birth
             write(DAY + HOUR, 1, 0, BLOCK as u32),   // phase-2: kills it
         ];
@@ -493,7 +496,7 @@ mod tests {
     fn long_lifespan_discarded_as_surplus() {
         let mut c = cfg();
         c.phase2_len = HOUR; // short end margin
-        let recs = vec![
+        let recs = [
             write(0, 1, 0, BLOCK as u32),
             // Death at phase1_end + 30min, lifespan ≈ 24.5h > 1h margin.
             write(DAY + HOUR / 2, 1, 0, BLOCK as u32),
@@ -506,7 +509,7 @@ mod tests {
 
     #[test]
     fn events_after_phase2_ignored() {
-        let recs = vec![
+        let recs = [
             write(0, 1, 0, BLOCK as u32),
             write(3 * DAY, 1, 0, BLOCK as u32),
         ];
@@ -517,14 +520,13 @@ mod tests {
 
     #[test]
     fn rename_over_existing_deletes_target() {
-        let recs = vec![
+        let recs = [
             create(0, 99, "mbox", 7),
             write(1, 7, 0, BLOCK as u32),
             create(2, 99, "mbox.tmp", 8),
             write(3, 8, 0, BLOCK as u32),
             {
-                let mut r = TraceRecord::new(SECOND, Op::Rename, FileId(99))
-                    .with_name("mbox.tmp");
+                let mut r = TraceRecord::new(SECOND, Op::Rename, FileId(99)).with_name("mbox.tmp");
                 r.name2 = Some("mbox".into());
                 r.fh2 = Some(FileId(99));
                 r
@@ -537,7 +539,7 @@ mod tests {
 
     #[test]
     fn cdf_monotone_and_bounded() {
-        let recs = vec![
+        let recs = [
             write(0, 1, 0, BLOCK as u32),
             write(SECOND / 2, 1, 0, BLOCK as u32),
             write(10 * SECOND, 1, 0, BLOCK as u32),
@@ -556,11 +558,19 @@ mod tests {
     #[test]
     fn merge_accumulates() {
         let mut a = analyze(
-            vec![write(0, 1, 0, BLOCK as u32), write(1000, 1, 0, BLOCK as u32)].iter(),
+            [
+                write(0, 1, 0, BLOCK as u32),
+                write(1000, 1, 0, BLOCK as u32),
+            ]
+            .iter(),
             cfg(),
         );
         let b = analyze(
-            vec![write(0, 2, 0, BLOCK as u32), write(1000, 2, 0, BLOCK as u32)].iter(),
+            [
+                write(0, 2, 0, BLOCK as u32),
+                write(1000, 2, 0, BLOCK as u32),
+            ]
+            .iter(),
             cfg(),
         );
         a.merge(&b);

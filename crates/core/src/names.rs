@@ -101,8 +101,12 @@ pub fn classify(name: &str) -> FileCategory {
     if name.starts_with('.') {
         return FileCategory::Dot;
     }
-    if name == "inbox" || name == "mbox" || name == "received" || name.starts_with("mbox.")
-        || name == "sent-mail" || name == "saved-messages"
+    if name == "inbox"
+        || name == "mbox"
+        || name == "received"
+        || name.starts_with("mbox.")
+        || name == "sent-mail"
+        || name == "saved-messages"
     {
         return FileCategory::Mailbox;
     }
@@ -435,7 +439,7 @@ mod tests {
 
     #[test]
     fn lock_lifecycle_is_predicted() {
-        let recs = vec![
+        let recs = [
             create(0, "inbox.lock", 10),
             remove(SECOND / 4, "inbox.lock"),
         ];
@@ -450,7 +454,7 @@ mod tests {
 
     #[test]
     fn oversized_mail_tmp_fails_size_prediction() {
-        let recs = vec![
+        let recs = [
             create(0, "snd.1", 10),
             write(1, 10, 100 * 1024), // 100 KB: beyond the 40 KB bound
             remove(2 * SECOND, "snd.1"),
@@ -466,7 +470,7 @@ mod tests {
     fn renames_counted_and_tracked() {
         let mut rn = TraceRecord::new(5, Op::Rename, FileId(1)).with_name("a.lock");
         rn.name2 = Some("b.lock".into());
-        let recs = vec![create(0, "a.lock", 10), rn, remove(10, "b.lock")];
+        let recs = [create(0, "a.lock", 10), rn, remove(10, "b.lock")];
         let rep = NamePredictionReport::from_records(recs.iter());
         assert_eq!(rep.renames, 1);
         // The delete still reaches the file through the rename.
@@ -490,7 +494,7 @@ mod tests {
 
     #[test]
     fn mailbox_never_deleted_prediction() {
-        let recs = vec![create(0, "inbox", 10), write(1, 10, 8192)];
+        let recs = [create(0, "inbox", 10), write(1, 10, 8192)];
         let rep = NamePredictionReport::from_records(recs.iter());
         let mbox = &rep.by_category[&FileCategory::Mailbox];
         assert_eq!(mbox.files, 1);

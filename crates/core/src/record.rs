@@ -104,7 +104,10 @@ impl Op {
 
     /// Whether this op creates a directory entry.
     pub fn is_create_like(self) -> bool {
-        matches!(self, Op::Create | Op::Mkdir | Op::Symlink | Op::Mknod | Op::Link)
+        matches!(
+            self,
+            Op::Create | Op::Mkdir | Op::Symlink | Op::Mknod | Op::Link
+        )
     }
 
     /// Whether this op removes a directory entry.
@@ -317,7 +320,10 @@ mod tests {
 
     #[test]
     fn attribute_calls_match_paper() {
-        let attrs: Vec<Op> = Op::ALL.into_iter().filter(|o| o.is_attribute_call()).collect();
+        let attrs: Vec<Op> = Op::ALL
+            .into_iter()
+            .filter(|o| o.is_attribute_call())
+            .collect();
         assert_eq!(attrs, vec![Op::Getattr, Op::Lookup, Op::Access]);
     }
 

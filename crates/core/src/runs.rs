@@ -109,7 +109,7 @@ pub fn block_of(offset: u64) -> u64 {
 
 /// Rounds a byte range up to its end block (exclusive).
 pub fn end_block(offset: u64, count: u32) -> u64 {
-    (offset + u64::from(count) + BLOCK - 1) / BLOCK
+    (offset + u64::from(count)).div_ceil(BLOCK)
 }
 
 /// Splits one file's (reorder-sorted) accesses into runs (§4.2 rules).
@@ -209,10 +209,7 @@ fn run_covers_file(items: &[Access]) -> bool {
 }
 
 /// Splits and categorizes runs for every file in a trace.
-pub fn runs_for_trace(
-    per_file: &HashMap<FileId, Vec<Access>>,
-    opts: RunOptions,
-) -> Vec<Run> {
+pub fn runs_for_trace(per_file: &HashMap<FileId, Vec<Access>>, opts: RunOptions) -> Vec<Run> {
     let mut out = Vec::new();
     // Deterministic iteration order for reproducible statistics.
     let mut files: Vec<_> = per_file.keys().copied().collect();
@@ -387,7 +384,9 @@ mod tests {
 
     #[test]
     fn sequential_run_detected() {
-        let items: Vec<Access> = (0..5).map(|i| acc(i * 1000, i * BLOCK, BLOCK as u32)).collect();
+        let items: Vec<Access> = (0..5)
+            .map(|i| acc(i * 1000, i * BLOCK, BLOCK as u32))
+            .collect();
         let runs = split_runs(FileId(1), &items, RunOptions::default());
         assert_eq!(runs.len(), 1);
         assert_eq!(runs[0].pattern, RunPattern::Sequential);
@@ -397,8 +396,9 @@ mod tests {
 
     #[test]
     fn entire_run_detected() {
-        let mut items: Vec<Access> =
-            (0..10).map(|i| acc(i * 1000, i * BLOCK, BLOCK as u32)).collect();
+        let mut items: Vec<Access> = (0..10)
+            .map(|i| acc(i * 1000, i * BLOCK, BLOCK as u32))
+            .collect();
         items[9].eof = true;
         let runs = split_runs(FileId(1), &items, RunOptions::default());
         assert_eq!(runs.len(), 1);
@@ -419,10 +419,7 @@ mod tests {
     #[test]
     fn small_jump_forgiven_in_processed_mode() {
         // Jump of 4 blocks: random in raw mode, sequential in processed.
-        let items = vec![
-            acc(0, 0, BLOCK as u32),
-            acc(1000, 5 * BLOCK, BLOCK as u32),
-        ];
+        let items = vec![acc(0, 0, BLOCK as u32), acc(1000, 5 * BLOCK, BLOCK as u32)];
         let raw = split_runs(FileId(1), &items, RunOptions::raw());
         assert_eq!(raw[0].pattern, RunPattern::Random);
         let proc = split_runs(FileId(1), &items, RunOptions::default());
@@ -431,10 +428,7 @@ mod tests {
 
     #[test]
     fn large_jump_random_even_processed() {
-        let items = vec![
-            acc(0, 0, BLOCK as u32),
-            acc(1000, 50 * BLOCK, BLOCK as u32),
-        ];
+        let items = vec![acc(0, 0, BLOCK as u32), acc(1000, 50 * BLOCK, BLOCK as u32)];
         let runs = split_runs(FileId(1), &items, RunOptions::default());
         assert_eq!(runs[0].pattern, RunPattern::Random);
     }
@@ -450,11 +444,17 @@ mod tests {
 
     #[test]
     fn staleness_splits_runs() {
-        let items = vec![acc(0, 0, BLOCK as u32), acc(31_000_000, BLOCK, BLOCK as u32)];
+        let items = vec![
+            acc(0, 0, BLOCK as u32),
+            acc(31_000_000, BLOCK, BLOCK as u32),
+        ];
         let runs = split_runs(FileId(1), &items, RunOptions::default());
         assert_eq!(runs.len(), 2);
         // Within the bound: one run.
-        let items = vec![acc(0, 0, BLOCK as u32), acc(29_000_000, BLOCK, BLOCK as u32)];
+        let items = vec![
+            acc(0, 0, BLOCK as u32),
+            acc(29_000_000, BLOCK, BLOCK as u32),
+        ];
         let runs = split_runs(FileId(1), &items, RunOptions::default());
         assert_eq!(runs.len(), 1);
     }
@@ -499,8 +499,9 @@ mod tests {
     fn pattern_table_percentages_sum() {
         let mut runs = Vec::new();
         for i in 0..10u64 {
-            let items: Vec<Access> =
-                (0..3).map(|j| acc(i * 100 + j, j * BLOCK, BLOCK as u32)).collect();
+            let items: Vec<Access> = (0..3)
+                .map(|j| acc(i * 100 + j, j * BLOCK, BLOCK as u32))
+                .collect();
             runs.extend(split_runs(FileId(i), &items, RunOptions::default()));
         }
         let t = PatternTable::from_runs(&runs);

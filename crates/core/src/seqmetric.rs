@@ -109,7 +109,11 @@ pub fn metric_by_run_size(runs: &[Run], kind: RunKind, k: u64) -> Vec<MetricPoin
         .enumerate()
         .map(|(i, &bucket)| MetricPoint {
             bucket,
-            mean_metric: if counts[i] == 0 { 0.0 } else { sums[i] / counts[i] as f64 },
+            mean_metric: if counts[i] == 0 {
+                0.0
+            } else {
+                sums[i] / counts[i] as f64
+            },
             runs: counts[i],
         })
         .collect()
@@ -127,8 +131,7 @@ pub fn cumulative_runs_by_size(runs: &[Run]) -> Vec<(u64, f64, f64, f64)> {
     for (i, &bucket) in RUN_SIZE_BUCKETS.iter().enumerate() {
         let lower = if i == 0 { 0 } else { RUN_SIZE_BUCKETS[i - 1] };
         for r in runs {
-            let in_bucket = r.bytes > lower && r.bytes <= bucket
-                || (i == 0 && r.bytes <= bucket)
+            let in_bucket = ((i == 0 || r.bytes > lower) && r.bytes <= bucket)
                 || (i == RUN_SIZE_BUCKETS.len() - 1 && r.bytes > bucket);
             if in_bucket {
                 cum_all += 1;
@@ -139,7 +142,13 @@ pub fn cumulative_runs_by_size(runs: &[Run]) -> Vec<(u64, f64, f64, f64)> {
                 }
             }
         }
-        let pct = |n: usize| if total == 0.0 { 0.0 } else { 100.0 * n as f64 / total };
+        let pct = |n: usize| {
+            if total == 0.0 {
+                0.0
+            } else {
+                100.0 * n as f64 / total
+            }
+        };
         out.push((bucket, pct(cum_all), pct(cum_read), pct(cum_write)));
     }
     out
@@ -213,7 +222,9 @@ mod tests {
 
     #[test]
     fn fully_sequential_run_scores_one() {
-        let run: Vec<Access> = (0..8).map(|i| acc(i * BLOCK, BLOCK as u32, false)).collect();
+        let run: Vec<Access> = (0..8)
+            .map(|i| acc(i * BLOCK, BLOCK as u32, false))
+            .collect();
         assert_eq!(sequentiality_metric(&run, 1), 1.0);
         assert_eq!(sequentiality_metric(&run, 10), 1.0);
     }
@@ -262,7 +273,9 @@ mod tests {
         let mut runs = Vec::new();
         // A 16 KB sequential read run (bucket 0) and a 128 KB seeky write
         // run (the 256 KB bucket).
-        let seq: Vec<Access> = (0..2).map(|i| acc(i * BLOCK, BLOCK as u32, false)).collect();
+        let seq: Vec<Access> = (0..2)
+            .map(|i| acc(i * BLOCK, BLOCK as u32, false))
+            .collect();
         runs.extend(split_runs(FileId(1), &seq, RunOptions::default()));
         let seeky: Vec<Access> = (0..16)
             .map(|i| acc(i * 100 * BLOCK, BLOCK as u32, true))
@@ -280,7 +293,9 @@ mod tests {
 
     #[test]
     fn cumulative_reaches_100() {
-        let seq: Vec<Access> = (0..4).map(|i| acc(i * BLOCK, BLOCK as u32, false)).collect();
+        let seq: Vec<Access> = (0..4)
+            .map(|i| acc(i * BLOCK, BLOCK as u32, false))
+            .collect();
         let runs = split_runs(FileId(1), &seq, RunOptions::default());
         let cum = cumulative_runs_by_size(&runs);
         assert!((cum.last().unwrap().1 - 100.0).abs() < 1e-9);

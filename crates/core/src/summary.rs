@@ -188,7 +188,7 @@ mod tests {
 
     #[test]
     fn ratios() {
-        let recs = vec![read(0, 3000), read(1, 3000), write(2, 2000)];
+        let recs = [read(0, 3000), read(1, 3000), write(2, 2000)];
         let s = SummaryStats::from_records(recs.iter());
         assert!((s.rw_bytes_ratio() - 3.0).abs() < 1e-9);
         assert!((s.rw_ops_ratio() - 2.0).abs() < 1e-9);
@@ -196,14 +196,14 @@ mod tests {
 
     #[test]
     fn write_only_trace_has_infinite_inverse() {
-        let recs = vec![read(0, 10)];
+        let recs = [read(0, 10)];
         let s = SummaryStats::from_records(recs.iter());
         assert!(s.rw_bytes_ratio().is_infinite());
     }
 
     #[test]
     fn data_metadata_fractions() {
-        let recs = vec![
+        let recs = [
             read(0, 1),
             write(1, 1),
             TraceRecord::new(2, Op::Getattr, FileId(1)),
@@ -235,7 +235,7 @@ mod tests {
 
     #[test]
     fn op_counts_track_each_op() {
-        let recs = vec![read(0, 1), read(1, 1), write(2, 1)];
+        let recs = [read(0, 1), read(1, 1), write(2, 1)];
         let s = SummaryStats::from_records(recs.iter());
         assert_eq!(s.op_counts[&Op::Read], 2);
         assert_eq!(s.op_counts[&Op::Write], 1);

@@ -27,7 +27,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "trace parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -87,7 +91,10 @@ pub fn format_record(r: &TraceRecord) -> String {
         r.status,
     );
     if r.offset != 0 || r.count != 0 || r.ret_count != 0 {
-        line.push_str(&format!(" off={} cnt={} ret={}", r.offset, r.count, r.ret_count));
+        line.push_str(&format!(
+            " off={} cnt={} ret={}",
+            r.offset, r.count, r.ret_count
+        ));
     }
     if r.eof {
         line.push_str(" eof=1");
@@ -182,7 +189,11 @@ pub fn parse_record(line: &str, line_no: usize) -> Result<TraceRecord, ParseErro
             "eof" => r.eof = v == "1",
             "name" => r.name = Some(unescape_name(v).ok_or_else(|| err("bad name escape"))?),
             "name2" => r.name2 = Some(unescape_name(v).ok_or_else(|| err("bad name2 escape"))?),
-            "fh2" => r.fh2 = Some(FileId(u64::from_str_radix(v, 16).map_err(|_| err("bad fh2"))?)),
+            "fh2" => {
+                r.fh2 = Some(FileId(
+                    u64::from_str_radix(v, 16).map_err(|_| err("bad fh2"))?,
+                ))
+            }
             "pre" => r.pre_size = Some(v.parse().map_err(|_| err("bad pre"))?),
             "post" => r.post_size = Some(v.parse().map_err(|_| err("bad post"))?),
             "trunc" => r.truncate_to = Some(v.parse().map_err(|_| err("bad trunc"))?),

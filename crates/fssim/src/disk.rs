@@ -87,8 +87,7 @@ impl DiskModel {
             let frac =
                 (distance as f64 / self.params.capacity_blocks.max(1) as f64).clamp(0.0, 1.0);
             let seek = self.params.min_seek_micros as f64
-                + (self.params.max_seek_micros - self.params.min_seek_micros) as f64
-                    * frac.sqrt();
+                + (self.params.max_seek_micros - self.params.min_seek_micros) as f64 * frac.sqrt();
             cost += seek as u64 + self.params.half_rotation_micros;
         }
         let bytes = nblocks.max(1) * 8192;

@@ -230,7 +230,14 @@ impl SimFs {
     /// # Errors
     ///
     /// [`FsError::Exist`] if the name exists; directory errors otherwise.
-    pub fn mkdir(&mut self, dir: u64, name: &str, uid: u32, gid: u32, now: u64) -> Result<u64, FsError> {
+    pub fn mkdir(
+        &mut self,
+        dir: u64,
+        name: &str,
+        uid: u32,
+        gid: u32,
+        now: u64,
+    ) -> Result<u64, FsError> {
         if self.lookup(dir, name).is_ok() {
             return Err(FsError::Exist);
         }
@@ -333,7 +340,10 @@ impl SimFs {
         let replaced = self.lookup(to_dir, to_name).ok();
         if let Some(old) = replaced {
             if old != id {
-                self.dirs.get_mut(&to_dir).ok_or(FsError::NotDir)?.remove(to_name);
+                self.dirs
+                    .get_mut(&to_dir)
+                    .ok_or(FsError::NotDir)?
+                    .remove(to_name);
                 let nlink = {
                     let inode = self.inode_mut(old)?;
                     inode.nlink = inode.nlink.saturating_sub(1);
@@ -382,7 +392,13 @@ impl SimFs {
     /// # Errors
     ///
     /// [`FsError::IsDir`] when the target is a directory.
-    pub fn write(&mut self, file: u64, offset: u64, count: u32, now: u64) -> Result<(u64, u64), FsError> {
+    pub fn write(
+        &mut self,
+        file: u64,
+        offset: u64,
+        count: u32,
+        now: u64,
+    ) -> Result<(u64, u64), FsError> {
         let inode = self.inode_mut(file)?;
         if inode.ftype == Ftype3::Directory {
             return Err(FsError::IsDir);
@@ -400,7 +416,13 @@ impl SimFs {
     /// # Errors
     ///
     /// [`FsError::IsDir`] when the target is a directory.
-    pub fn read(&mut self, file: u64, offset: u64, count: u32, now: u64) -> Result<(u32, bool, u64), FsError> {
+    pub fn read(
+        &mut self,
+        file: u64,
+        offset: u64,
+        count: u32,
+        now: u64,
+    ) -> Result<(u32, bool, u64), FsError> {
         let inode = self.inode_mut(file)?;
         if inode.ftype == Ftype3::Directory {
             return Err(FsError::IsDir);
@@ -456,7 +478,11 @@ impl SimFs {
                 id,
                 ftype,
                 size: 0,
-                mode: if ftype == Ftype3::Directory { 0o755 } else { 0o644 },
+                mode: if ftype == Ftype3::Directory {
+                    0o755
+                } else {
+                    0o644
+                },
                 uid,
                 gid,
                 nlink: if ftype == Ftype3::Directory { 2 } else { 1 },

@@ -266,8 +266,16 @@ mod tests {
     #[test]
     fn clean_stream_policies_equivalent() {
         let stream = sequential_stream(500);
-        let strict = replay(&stream, StrictSequential::new(), DiskModel::new(DiskParams::default()));
-        let metric = replay(&stream, MetricReadAhead::new(), DiskModel::new(DiskParams::default()));
+        let strict = replay(
+            &stream,
+            StrictSequential::new(),
+            DiskModel::new(DiskParams::default()),
+        );
+        let metric = replay(
+            &stream,
+            MetricReadAhead::new(),
+            DiskModel::new(DiskParams::default()),
+        );
         // Within a few percent of each other on a pristine stream.
         let ratio = strict.total_micros as f64 / metric.total_micros as f64;
         assert!((0.9..1.1).contains(&ratio), "ratio = {ratio}");
@@ -277,8 +285,16 @@ mod tests {
     fn metric_beats_strict_under_reordering() {
         // ~10% of requests reordered, as in the paper's loaded server.
         let stream = reorder(&sequential_stream(2000), 10);
-        let strict = replay(&stream, StrictSequential::new(), DiskModel::new(DiskParams::default()));
-        let metric = replay(&stream, MetricReadAhead::new(), DiskModel::new(DiskParams::default()));
+        let strict = replay(
+            &stream,
+            StrictSequential::new(),
+            DiskModel::new(DiskParams::default()),
+        );
+        let metric = replay(
+            &stream,
+            MetricReadAhead::new(),
+            DiskModel::new(DiskParams::default()),
+        );
         let speedup =
             (strict.total_micros as f64 - metric.total_micros as f64) / strict.total_micros as f64;
         assert!(
@@ -295,9 +311,12 @@ mod tests {
     fn random_stream_disables_both() {
         // A genuinely random stream: neither policy should prefetch much
         // (prefetched blocks would be wasted disk work).
-        let stream: Vec<(u64, u64)> =
-            (0..500u64).map(|i| ((i * 7919) % 1_000_000, 1)).collect();
-        let metric = replay(&stream, MetricReadAhead::new(), DiskModel::new(DiskParams::default()));
+        let stream: Vec<(u64, u64)> = (0..500u64).map(|i| ((i * 7919) % 1_000_000, 1)).collect();
+        let metric = replay(
+            &stream,
+            MetricReadAhead::new(),
+            DiskModel::new(DiskParams::default()),
+        );
         // Virtually every request misses.
         assert!(metric.cache_hits < 25);
     }

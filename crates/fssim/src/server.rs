@@ -513,10 +513,7 @@ impl NfsServer {
                 }
             }
             Call2::Write {
-                file,
-                offset,
-                data,
-                ..
+                file, offset, data, ..
             } => {
                 let id = match self.fh_id(file) {
                     Ok(id) => id,
@@ -527,7 +524,10 @@ impl NfsServer {
                         }
                     }
                 };
-                match self.fs.write(id, u64::from(*offset), data.len() as u32, now) {
+                match self
+                    .fs
+                    .write(id, u64::from(*offset), data.len() as u32, now)
+                {
                     Ok(_) => Reply2::AttrStat {
                         status: NfsStat3::Ok,
                         attributes: attr2(self, id),
@@ -604,9 +604,7 @@ impl NfsServer {
                 let d = to.dir.as_u64().ok_or(FsError::Stale)?;
                 fs.link(f, d, &to.name, now)
             }),
-            Call2::Symlink {
-                where_, target, ..
-            } => self.stat_op(|fs| {
+            Call2::Symlink { where_, target, .. } => self.stat_op(|fs| {
                 let d = where_.dir.as_u64().ok_or(FsError::Stale)?;
                 fs.symlink(d, &where_.name, target, 0, 0, now).map(|_| ())
             }),
@@ -885,7 +883,9 @@ mod tests {
         );
         let fh = match r {
             Reply2::DirOpRes {
-                status, file: Some(fh), ..
+                status,
+                file: Some(fh),
+                ..
             } => {
                 assert!(status.is_ok());
                 fh

@@ -80,7 +80,7 @@ mod tests {
     #[test]
     fn io_source_is_preserved() {
         use std::error::Error as _;
-        let e = Error::from(std::io::Error::new(std::io::ErrorKind::Other, "x"));
+        let e = Error::from(std::io::Error::other("x"));
         assert!(e.source().is_some());
     }
 }

@@ -119,12 +119,8 @@ impl<'a> Ipv4Packet<'a> {
             });
         }
         Ok(Ipv4Packet {
-            src: Ipv4Addr4::from_u32(u32::from_be_bytes([
-                data[12], data[13], data[14], data[15],
-            ])),
-            dst: Ipv4Addr4::from_u32(u32::from_be_bytes([
-                data[16], data[17], data[18], data[19],
-            ])),
+            src: Ipv4Addr4::from_u32(u32::from_be_bytes([data[12], data[13], data[14], data[15]])),
+            dst: Ipv4Addr4::from_u32(u32::from_be_bytes([data[16], data[17], data[18], data[19]])),
             protocol: data[9],
             ttl: data[8],
             ident: u16::from_be_bytes([data[4], data[5]]),

@@ -258,7 +258,8 @@ mod tests {
                 },
             )
             .unwrap();
-            w.write_packet(&CapturedPacket::new(0, vec![7; 100])).unwrap();
+            w.write_packet(&CapturedPacket::new(0, vec![7; 100]))
+                .unwrap();
         }
         let mut r = PcapReader::new(&buf[..]).unwrap();
         let p = r.read_packet().unwrap().unwrap();
@@ -268,12 +269,9 @@ mod tests {
 
     #[test]
     fn bad_magic_rejected() {
-        let mut buf = vec![0u8; 24];
+        let mut buf = [0u8; 24];
         buf[0] = 0x11;
-        assert!(matches!(
-            PcapReader::new(&buf[..]),
-            Err(Error::BadMagic(_))
-        ));
+        assert!(matches!(PcapReader::new(&buf[..]), Err(Error::BadMagic(_))));
     }
 
     #[test]

@@ -108,10 +108,7 @@ impl StreamReassembler {
     /// Drains all bytes that are now contiguous at the frontier.
     pub fn read_available(&mut self) -> Vec<u8> {
         let mut out = Vec::new();
-        loop {
-            let Some((&off, _)) = self.pending.range(..=self.frontier).next_back() else {
-                break;
-            };
+        while let Some((&off, _)) = self.pending.range(..=self.frontier).next_back() {
             let seg = self.pending.remove(&off).expect("key just observed");
             let seg_end = off + seg.len() as u64;
             if seg_end <= self.frontier {

@@ -493,7 +493,9 @@ mod tests {
 
     #[test]
     fn nfsstat_roundtrip() {
-        for code in [0u32, 1, 2, 5, 13, 17, 19, 20, 21, 22, 27, 28, 30, 63, 66, 69, 70] {
+        for code in [
+            0u32, 1, 2, 5, 13, 17, 19, 20, 21, 22, 27, 28, 30, 63, 66, 69, 70,
+        ] {
             let s = NfsStat3::from_u32(code).unwrap();
             assert_eq!(s.as_u32(), code);
         }

@@ -299,7 +299,10 @@ impl Call3 {
         let mut enc = Encoder::new();
         match self {
             Call3::Null => {}
-            Call3::Getattr(a) | Call3::Readlink(a) | Call3::Fsstat(a) | Call3::Fsinfo(a)
+            Call3::Getattr(a)
+            | Call3::Readlink(a)
+            | Call3::Fsstat(a)
+            | Call3::Fsinfo(a)
             | Call3::Pathconf(a) => a.object.pack(&mut enc),
             Call3::Setattr(a) => {
                 a.object.pack(&mut enc);

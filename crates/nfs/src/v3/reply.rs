@@ -367,7 +367,9 @@ impl Reply3 {
                     enc.put_opaque_fixed(&r.verf);
                 }
             }
-            Reply3Body::Create(r) | Reply3Body::Mkdir(r) | Reply3Body::Symlink(r)
+            Reply3Body::Create(r)
+            | Reply3Body::Mkdir(r)
+            | Reply3Body::Symlink(r)
             | Reply3Body::Mknod(r) => {
                 if ok {
                     r.obj.pack(&mut enc);
@@ -477,7 +479,11 @@ impl Reply3 {
         let body = match proc {
             Proc3::Null => unreachable!("handled above"),
             Proc3::Getattr => Reply3Body::Getattr(Getattr3Res {
-                attributes: if ok { Some(Fattr3::unpack(&mut dec)?) } else { None },
+                attributes: if ok {
+                    Some(Fattr3::unpack(&mut dec)?)
+                } else {
+                    None
+                },
             }),
             Proc3::Setattr => Reply3Body::Setattr(Setattr3Res {
                 wcc: WccData::unpack(&mut dec)?,
@@ -778,7 +784,10 @@ mod tests {
 
     #[test]
     fn getattr_err_roundtrip() {
-        roundtrip(Proc3::Getattr, Reply3::error(Proc3::Getattr, NfsStat3::Stale));
+        roundtrip(
+            Proc3::Getattr,
+            Reply3::error(Proc3::Getattr, NfsStat3::Stale),
+        );
     }
 
     #[test]

@@ -86,7 +86,14 @@ pub struct RpcMessage {
 
 impl RpcMessage {
     /// Builds a call message.
-    pub fn call(xid: u32, prog: u32, vers: u32, proc: u32, cred: OpaqueAuth, args: Vec<u8>) -> Self {
+    pub fn call(
+        xid: u32,
+        prog: u32,
+        vers: u32,
+        proc: u32,
+        cred: OpaqueAuth,
+        args: Vec<u8>,
+    ) -> Self {
         RpcMessage {
             xid,
             body: MsgBody::Call(CallBody {
@@ -299,7 +306,10 @@ mod tests {
         enc.put_u32(7); // neither call nor reply
         assert!(matches!(
             RpcMessage::from_xdr_bytes(&enc.into_bytes()),
-            Err(Error::InvalidDiscriminant { what: "msg_type", .. })
+            Err(Error::InvalidDiscriminant {
+                what: "msg_type",
+                ..
+            })
         ));
     }
 

@@ -109,13 +109,7 @@ impl<T> XidMatcher<T> {
         self.stats.calls += 1;
         if self
             .pending
-            .insert(
-                key,
-                PendingCall {
-                    call_micros,
-                    data,
-                },
-            )
+            .insert(key, PendingCall { call_micros, data })
             .is_some()
         {
             self.stats.retransmits += 1;
@@ -239,7 +233,10 @@ mod tests {
             client_port: 10,
             xid: 42,
         };
-        let k2 = FlowXid { client_port: 11, ..k1 };
+        let k2 = FlowXid {
+            client_port: 11,
+            ..k1
+        };
         m.insert_call(k1, 0, "a");
         m.insert_call(k2, 0, "b");
         assert_eq!(m.match_reply(k2, 1).unwrap().data, "b");

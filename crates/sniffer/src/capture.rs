@@ -15,11 +15,11 @@ use nfstrace_core::record::TraceRecord;
 use nfstrace_net::packet::{DecodedPacket, Transport};
 use nfstrace_net::pcap::CapturedPacket;
 use nfstrace_net::reassembly::StreamReassembler;
+use nfstrace_nfs::v2::{Call2, Proc2, Reply2};
+use nfstrace_nfs::v3::{Call3, Proc3, Reply3};
 use nfstrace_rpc::record::RecordReader;
 use nfstrace_rpc::xid::{FlowXid, PendingCall, XidMatcher};
 use nfstrace_rpc::{MsgBody, RpcMessage, PROG_NFS};
-use nfstrace_nfs::v2::{Call2, Proc2, Reply2};
-use nfstrace_nfs::v3::{Call3, Proc3, Reply3};
 use nfstrace_xdr::Unpack;
 use std::collections::HashMap;
 
@@ -45,7 +45,7 @@ fn resync_offset(bytes: &[u8]) -> usize {
     while at + 16 <= bytes.len() {
         if let (Some(mark), Some(mtype)) = (take4(at), take4(at + 8)) {
             let len = (mark & 0x7fff_ffff) as usize;
-            if mark & 0x8000_0000 != 0 && len >= 16 && len < 1 << 20 && mtype <= 1 {
+            if mark & 0x8000_0000 != 0 && (16..1 << 20).contains(&len) && mtype <= 1 {
                 return at;
             }
         }
@@ -219,27 +219,28 @@ impl Sniffer {
                     .and_then(|r| r.ok())
                     .map(|a| (a.uid, a.gid))
                     .unwrap_or((0, 0));
-                let kind = match call.vers {
-                    3 => match Proc3::from_u32(call.proc)
-                        .and_then(|p| Call3::decode(p, &call.args))
-                    {
-                        Ok(c) => CallKind::V3(c),
-                        Err(_) => {
-                            self.stats.decode_errors += 1;
-                            return;
-                        }
-                    },
-                    2 => match Proc2::from_u32(call.proc)
-                        .and_then(|p| Call2::decode(p, &call.args))
-                    {
-                        Ok(c) => CallKind::V2(c),
-                        Err(_) => {
-                            self.stats.decode_errors += 1;
-                            return;
-                        }
-                    },
-                    _ => return,
-                };
+                let kind =
+                    match call.vers {
+                        3 => match Proc3::from_u32(call.proc)
+                            .and_then(|p| Call3::decode(p, &call.args))
+                        {
+                            Ok(c) => CallKind::V3(c),
+                            Err(_) => {
+                                self.stats.decode_errors += 1;
+                                return;
+                            }
+                        },
+                        2 => match Proc2::from_u32(call.proc)
+                            .and_then(|p| Call2::decode(p, &call.args))
+                        {
+                            Ok(c) => CallKind::V2(c),
+                            Err(_) => {
+                                self.stats.decode_errors += 1;
+                                return;
+                            }
+                        },
+                        _ => return,
+                    };
                 self.stats.calls += 1;
                 let key = FlowXid {
                     client_ip: pkt.src_ip.as_u32(),
@@ -247,7 +248,8 @@ impl Sniffer {
                     client_port: pkt.src_port,
                     xid: msg.xid,
                 };
-                self.matcher.insert_call(key, ts, Pending { kind, uid, gid });
+                self.matcher
+                    .insert_call(key, ts, Pending { kind, uid, gid });
             }
             MsgBody::Reply(reply) => {
                 let key = FlowXid {

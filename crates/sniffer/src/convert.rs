@@ -101,7 +101,10 @@ pub fn v3_to_record(meta: &CallMeta, call: &Call3, reply: &Reply3) -> TraceRecor
 
     match call {
         Call3::Null => {}
-        Call3::Getattr(a) | Call3::Readlink(a) | Call3::Fsstat(a) | Call3::Fsinfo(a)
+        Call3::Getattr(a)
+        | Call3::Readlink(a)
+        | Call3::Fsstat(a)
+        | Call3::Fsinfo(a)
         | Call3::Pathconf(a) => r.fh = fid(&a.object),
         Call3::Setattr(a) => {
             r.fh = fid(&a.object);
@@ -191,7 +194,9 @@ pub fn v3_to_record(meta: &CallMeta, call: &Call3, reply: &Reply3) -> TraceRecor
             r.pre_size = res.wcc.before.map(|b| b.size);
             r.post_size = res.wcc.after.map(|a| a.size);
         }
-        Reply3Body::Create(res) | Reply3Body::Mkdir(res) | Reply3Body::Symlink(res)
+        Reply3Body::Create(res)
+        | Reply3Body::Mkdir(res)
+        | Reply3Body::Symlink(res)
         | Reply3Body::Mknod(res) => {
             if let Some(obj) = &res.obj {
                 r.new_fh = Some(fid(obj));

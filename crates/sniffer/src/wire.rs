@@ -14,12 +14,12 @@ use nfstrace_net::ethernet::MacAddr;
 use nfstrace_net::ipv4::Ipv4Addr4;
 use nfstrace_net::packet::PacketBuilder;
 use nfstrace_net::pcap::CapturedPacket;
+use nfstrace_nfs::v2::{Call2, DirOpArgs2, Reply2, Sattr2};
+use nfstrace_nfs::v3::{Call3, Reply3, Reply3Body};
 use nfstrace_rpc::auth::{AuthUnix, OpaqueAuth};
 use nfstrace_rpc::record::mark_record;
 use nfstrace_rpc::{RpcMessage, PROG_NFS};
 use nfstrace_xdr::Pack;
-use nfstrace_nfs::v2::{Call2, DirOpArgs2, Reply2, Sattr2};
-use nfstrace_nfs::v3::{Call3, Reply3, Reply3Body};
 use std::collections::HashMap;
 
 /// Which transport a flow uses.
@@ -192,9 +192,7 @@ pub fn call3_to_v2(call: &Call3) -> Call2 {
         Call3::Getattr(a) | Call3::Readlink(a) => Call2::Getattr(a.object.clone()),
         // v2 has no ACCESS: clients issued GETATTR instead.
         Call3::Access(a) => Call2::Getattr(a.object.clone()),
-        Call3::Fsstat(a) | Call3::Fsinfo(a) | Call3::Pathconf(a) => {
-            Call2::Statfs(a.object.clone())
-        }
+        Call3::Fsstat(a) | Call3::Fsinfo(a) | Call3::Pathconf(a) => Call2::Statfs(a.object.clone()),
         Call3::Setattr(a) => Call2::Setattr {
             file: a.object.clone(),
             attributes: Sattr2 {
@@ -312,7 +310,9 @@ pub fn reply3_to_v2(call: &Call3, reply: &Reply3) -> Reply2 {
             attributes: res.file_attributes.map(Into::into),
             data: res.data.clone(),
         },
-        (Reply3Body::Remove(_), _) | (Reply3Body::Rmdir(_), _) | (Reply3Body::Rename(_), _)
+        (Reply3Body::Remove(_), _)
+        | (Reply3Body::Rmdir(_), _)
+        | (Reply3Body::Rename(_), _)
         | (Reply3Body::Link(_), _) => Reply2::Stat(status),
         (Reply3Body::Readdir(res), _) => Reply2::Readdir {
             status,
@@ -397,8 +397,11 @@ mod tests {
         let body = msg.as_call().unwrap();
         assert_eq!(body.prog, PROG_NFS);
         assert_eq!(body.vers, 3);
-        let call = Call3::decode(nfstrace_nfs::v3::Proc3::from_u32(body.proc).unwrap(), &body.args)
-            .unwrap();
+        let call = Call3::decode(
+            nfstrace_nfs::v3::Proc3::from_u32(body.proc).unwrap(),
+            &body.args,
+        )
+        .unwrap();
         assert!(matches!(call, Call3::Read(_)));
         // Credential carries uid/gid.
         let auth = body.cred.as_unix().unwrap().unwrap();
@@ -429,9 +432,11 @@ mod tests {
         let msg = RpcMessage::from_xdr_bytes(&call_pkt.payload).unwrap();
         let body = msg.as_call().unwrap();
         assert_eq!(body.vers, 2);
-        let call =
-            Call2::decode(nfstrace_nfs::v2::Proc2::from_u32(body.proc).unwrap(), &body.args)
-                .unwrap();
+        let call = Call2::decode(
+            nfstrace_nfs::v2::Proc2::from_u32(body.proc).unwrap(),
+            &body.args,
+        )
+        .unwrap();
         assert!(matches!(call, Call2::Read { .. }));
     }
 

@@ -152,17 +152,29 @@ impl CampusWorkload {
         let mut users = Vec::with_capacity(cfg.users);
         for u in 0..cfg.users {
             let uname = format!("user{u:04}");
-            let dir = server.fs_mut().mkdir(root, &uname, u as u32, 100, 0).unwrap();
-            let (inbox, _) = server.fs_mut().create(dir, "inbox", u as u32, 100, 0).unwrap();
-            let base = (lognormal(&mut rng, cfg.inbox_median_bytes, 0.7) as u64)
-                .clamp(50_000, 8_000_000);
+            let dir = server
+                .fs_mut()
+                .mkdir(root, &uname, u as u32, 100, 0)
+                .unwrap();
+            let (inbox, _) = server
+                .fs_mut()
+                .create(dir, "inbox", u as u32, 100, 0)
+                .unwrap();
+            let base =
+                (lognormal(&mut rng, cfg.inbox_median_bytes, 0.7) as u64).clamp(50_000, 8_000_000);
             server.fs_mut().write(inbox, 0, base as u32, 0).unwrap();
-            let (pinerc, _) = server.fs_mut().create(dir, ".pinerc", u as u32, 100, 0).unwrap();
+            let (pinerc, _) = server
+                .fs_mut()
+                .create(dir, ".pinerc", u as u32, 100, 0)
+                .unwrap();
             server
                 .fs_mut()
                 .write(pinerc, 0, pick(&mut rng, 11_000, 26_000) as u32, 0)
                 .unwrap();
-            let (cshrc, _) = server.fs_mut().create(dir, ".cshrc", u as u32, 100, 0).unwrap();
+            let (cshrc, _) = server
+                .fs_mut()
+                .create(dir, ".cshrc", u as u32, 100, 0)
+                .unwrap();
             server.fs_mut().write(cshrc, 0, 900, 0).unwrap();
             users.push(User {
                 dir: FileHandle::from_u64(dir),
@@ -181,7 +193,10 @@ impl CampusWorkload {
         let mut q: EventQueue<Ev> = EventQueue::new();
         let day = nfstrace_core::time::DAY as f64;
         for u in 0..cfg.users {
-            q.push(exp_gap(&mut rng, day / cfg.deliveries_per_user_day), Ev::Delivery(u));
+            q.push(
+                exp_gap(&mut rng, day / cfg.deliveries_per_user_day),
+                Ev::Delivery(u),
+            );
             q.push(exp_gap(&mut rng, day / cfg.polls_per_user_day), Ev::Poll(u));
             q.push(
                 exp_gap(&mut rng, day / cfg.sessions_per_user_day),
@@ -216,13 +231,15 @@ impl CampusWorkload {
                         self.poll(&mut server, &mut pop, &mut rng, &mut users[u], t);
                         drain(&mut pop, &mut out);
                     }
-                    q.push(t + exp_gap(&mut rng, day / cfg.polls_per_user_day), Ev::Poll(u));
+                    q.push(
+                        t + exp_gap(&mut rng, day / cfg.polls_per_user_day),
+                        Ev::Poll(u),
+                    );
                 }
                 Ev::SessionStart(u) => {
                     if !users[u].in_session && flip(&mut rng, cfg.rate.at(t)) {
                         users[u].in_session = true;
-                        let end = t
-                            + (lognormal(&mut rng, 25.0, 0.5) * 60.0 * 1e6) as u64; // 15–60 min
+                        let end = t + (lognormal(&mut rng, 25.0, 0.5) * 60.0 * 1e6) as u64; // 15–60 min
                         self.session_open(&mut server, &mut login, &mut rng, &mut users[u], t);
                         drain(&mut login, &mut out);
                         let rescan = t + 60_000_000 + exp_gap(&mut rng, 180.0 * 1e6);
@@ -247,7 +264,13 @@ impl CampusWorkload {
                     self.scan_inbox(&mut server, &mut login, &mut users[u], t);
                     // Reading messages updates their status flags.
                     if flip(&mut rng, 0.4) {
-                        self.update_flags(&mut server, &mut login, &mut rng, &mut users[u], t + 500_000);
+                        self.update_flags(
+                            &mut server,
+                            &mut login,
+                            &mut rng,
+                            &mut users[u],
+                            t + 500_000,
+                        );
                     }
                     drain(&mut login, &mut out);
                     let next = t + 60_000_000 + exp_gap(&mut rng, 180.0 * 1e6);
@@ -292,8 +315,8 @@ impl CampusWorkload {
         // The delivery agent knows the spool size via getattr.
         let (size, t2) = smtp.getattr(server, t1, &user.inbox);
         let size = size.unwrap_or(0);
-        let msg = (lognormal(rng, self.config.message_median_bytes, 1.4) as u64)
-            .clamp(400, 2_000_000);
+        let msg =
+            (lognormal(rng, self.config.message_median_bytes, 1.4) as u64).clamp(400, 2_000_000);
         let t3 = smtp.write(server, t2, &user.inbox, size, msg);
         // Lock lifetimes: overwhelmingly under 0.4 s.
         let t4 = t3 + pick(rng, 20_000, 220_000);
@@ -333,7 +356,12 @@ impl CampusWorkload {
             pop.read_file(server, t1, &user.inbox)
         };
         user.last_poll_size = pre_size;
-        pop.remove(server, t2 + pick(rng, 20_000, 200_000), &user.dir, "inbox.lock");
+        pop.remove(
+            server,
+            t2 + pick(rng, 20_000, 200_000),
+            &user.dir,
+            "inbox.lock",
+        );
         let cur_size = server
             .fs()
             .inode(user.inbox.as_u64().unwrap_or(0))
@@ -349,7 +377,12 @@ impl CampusWorkload {
         if needs_rewrite {
             let (_, t3) = pop.create(server, t2 + think, &user.dir, "inbox.lock");
             let t4 = self.rewrite_inbox(server, pop, rng, user, t3, user.base_size);
-            pop.remove(server, t4 + pick(rng, 20_000, 200_000), &user.dir, "inbox.lock");
+            pop.remove(
+                server,
+                t4 + pick(rng, 20_000, 200_000),
+                &user.dir,
+                "inbox.lock",
+            );
         }
     }
 
@@ -394,14 +427,30 @@ impl CampusWorkload {
         let (_, tl) = login.lookup(server, t, &user.dir, ".cshrc");
         let t1 = login.read_file(server, tl, &user.cshrc);
         // The user starts pine a little after the shell comes up.
-        let (_, tl2) = login.lookup(server, t1 + pick(rng, 2_000_000, 20_000_000), &user.dir, ".pinerc");
+        let (_, tl2) = login.lookup(
+            server,
+            t1 + pick(rng, 2_000_000, 20_000_000),
+            &user.dir,
+            ".pinerc",
+        );
         let t2 = login.read_file(server, tl2, &user.pinerc);
-        let (_, t3) = login.create(server, t2 + pick(rng, 500_000, 2_000_000), &user.dir, "inbox.lock");
+        let (_, t3) = login.create(
+            server,
+            t2 + pick(rng, 500_000, 2_000_000),
+            &user.dir,
+            "inbox.lock",
+        );
         let t4 = self.scan_inbox_inner(server, login, user, t3);
         login.remove(server, t4 + 150_000, &user.dir, "inbox.lock");
     }
 
-    fn scan_inbox(&self, server: &mut NfsServer, login: &mut ClientMachine, user: &mut User, t: u64) {
+    fn scan_inbox(
+        &self,
+        server: &mut NfsServer,
+        login: &mut ClientMachine,
+        user: &mut User,
+        t: u64,
+    ) {
         let (_, t1) = login.create(server, t, &user.dir, "inbox.lock");
         let t2 = self.scan_inbox_inner(server, login, user, t1);
         login.remove(server, t2 + 100_000, &user.dir, "inbox.lock");
@@ -452,8 +501,9 @@ impl CampusWorkload {
                 let n = pick(rng, 80, 400);
                 now = m.write(server, now, &user.inbox, offset, n);
                 // The next message's header lies a message-length away.
-                offset += n + (lognormal(rng, self.config.message_median_bytes, 1.0) as u64)
-                    .clamp(600, 16_000);
+                offset += n
+                    + (lognormal(rng, self.config.message_median_bytes, 1.0) as u64)
+                        .clamp(600, 16_000);
                 now += pick(rng, 1_000, 10_000);
             }
             remaining -= cluster;

@@ -52,7 +52,10 @@ mod tests {
         let fh = fh.unwrap();
         let t = client.write(&mut server, t, &fh, 0, 10_000);
         // A foreign append moves the mtime so the next scan re-reads.
-        server.fs_mut().write(fh.as_u64().unwrap(), 10_000, 2_000, t + 1).unwrap();
+        server
+            .fs_mut()
+            .write(fh.as_u64().unwrap(), 10_000, 2_000, t + 1)
+            .unwrap();
         client.read_file(&mut server, t + 60_000_000, &fh);
         let records = events_to_records(&client.take_events());
         assert!(records.iter().any(|r| r.op == Op::Read && r.eof));
@@ -82,7 +85,10 @@ mod tests {
         });
         let (fh, t) = client.create(&mut server, 0, &root, "big");
         let fh = fh.unwrap();
-        server.fs_mut().write(fh.as_u64().unwrap(), 0, 8 << 20, t).unwrap();
+        server
+            .fs_mut()
+            .write(fh.as_u64().unwrap(), 0, 8 << 20, t)
+            .unwrap();
         let mut now = t + 60_000_000;
         for i in 0..200u64 {
             client.read(&mut server, now, &fh, i * 8192, 8192);

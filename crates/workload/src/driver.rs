@@ -47,7 +47,8 @@ impl<E> EventQueue<E> {
 
     /// Schedules `event` at `micros`.
     pub fn push(&mut self, micros: u64, event: E) {
-        self.heap.push(Reverse((micros, self.seq, EventSlot(event))));
+        self.heap
+            .push(Reverse((micros, self.seq, EventSlot(event))));
         self.seq += 1;
     }
 
@@ -141,7 +142,9 @@ mod tests {
     #[test]
     fn lognormal_median_roughly_right() {
         let mut rng = StdRng::seed_from_u64(2);
-        let mut v: Vec<f64> = (0..10_001).map(|_| lognormal(&mut rng, 100.0, 1.0)).collect();
+        let mut v: Vec<f64> = (0..10_001)
+            .map(|_| lognormal(&mut rng, 100.0, 1.0))
+            .collect();
         v.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = v[v.len() / 2];
         assert!((80.0..125.0).contains(&median), "median = {median}");

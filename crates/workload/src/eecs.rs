@@ -64,7 +64,7 @@ impl Default for EecsConfig {
             users: 24,
             duration_micros: nfstrace_core::time::DAY,
             seed: 1789,
-            ticks_per_user_day: 1200.0,
+            ticks_per_user_day: 1600.0,
             builds_per_user_day: 8.0,
             browse_per_user_day: 6.0,
             saves_per_user_day: 40.0,
@@ -146,7 +146,7 @@ impl EecsWorkload {
                 .fs_mut()
                 .create(shared_dir, &format!("dataset{i:02}.dat"), 0, 200, 0)
                 .unwrap();
-            let sz = (lognormal(&mut rng, 500_000.0, 0.8) as u32).clamp(60_000, 3_000_000);
+            let sz = (lognormal(&mut rng, 250_000.0, 0.8) as u32).clamp(40_000, 1_000_000);
             server.fs_mut().write(fh, 0, sz, 0).unwrap();
             shared.push(FileHandle::from_u64(fh));
         }
@@ -157,32 +157,64 @@ impl EecsWorkload {
                 .fs_mut()
                 .mkdir(root, &format!("res{u:03}"), u as u32, 200, 0)
                 .unwrap();
-            let project = server.fs_mut().mkdir(home, "project", u as u32, 200, 0).unwrap();
-            let cache_dir = server.fs_mut().mkdir(home, ".browser-cache", u as u32, 200, 0).unwrap();
+            let project = server
+                .fs_mut()
+                .mkdir(home, "project", u as u32, 200, 0)
+                .unwrap();
+            let cache_dir = server
+                .fs_mut()
+                .mkdir(home, ".browser-cache", u as u32, 200, 0)
+                .unwrap();
             let mut sources = Vec::new();
             for s in 0..pick(&mut rng, 12, 30) {
                 let name = format!("mod{s:02}.c");
-                let (fh, _) = server.fs_mut().create(project, &name, u as u32, 200, 0).unwrap();
+                let (fh, _) = server
+                    .fs_mut()
+                    .create(project, &name, u as u32, 200, 0)
+                    .unwrap();
                 server
                     .fs_mut()
-                    .write(fh, 0, (lognormal(&mut rng, 6_000.0, 0.9) as u32).clamp(500, 80_000), 0)
+                    .write(
+                        fh,
+                        0,
+                        (lognormal(&mut rng, 6_000.0, 0.9) as u32).clamp(500, 80_000),
+                        0,
+                    )
                     .unwrap();
                 sources.push((name, FileHandle::from_u64(fh)));
             }
             let mut dotfiles = Vec::new();
             for d in [".cshrc", ".xsession", ".emacs", ".netscape-prefs"] {
                 let (fh, _) = server.fs_mut().create(home, d, u as u32, 200, 0).unwrap();
-                server.fs_mut().write(fh, 0, pick(&mut rng, 400, 8_000) as u32, 0).unwrap();
+                server
+                    .fs_mut()
+                    .write(fh, 0, pick(&mut rng, 400, 8_000) as u32, 0)
+                    .unwrap();
                 dotfiles.push(FileHandle::from_u64(fh));
             }
-            let (log, _) = server.fs_mut().create(project, "build.log", u as u32, 200, 0).unwrap();
-            let (data_file, _) = server.fs_mut().create(home, "results.dat", u as u32, 200, 0).unwrap();
+            let (log, _) = server
+                .fs_mut()
+                .create(project, "build.log", u as u32, 200, 0)
+                .unwrap();
+            let (data_file, _) = server
+                .fs_mut()
+                .create(home, "results.dat", u as u32, 200, 0)
+                .unwrap();
             server
                 .fs_mut()
-                .write(data_file, 0, (lognormal(&mut rng, 8_000_000.0, 0.8) as u32).clamp(1 << 20, 60 << 20), 0)
+                .write(
+                    data_file,
+                    0,
+                    (lognormal(&mut rng, 1_500_000.0, 0.8) as u32).clamp(384 << 10, 6 << 20),
+                    0,
+                )
                 .unwrap();
 
-            let vers = if flip(&mut rng, cfg.v2_fraction) { 2 } else { 3 };
+            let vers = if flip(&mut rng, cfg.v2_fraction) {
+                2
+            } else {
+                3
+            };
             let machine = ClientMachine::new(ClientConfig {
                 ip: 0x0a02_0100 + u as u32,
                 uid: u as u32,
@@ -224,8 +256,14 @@ impl EecsWorkload {
         let mut q: EventQueue<Ev> = EventQueue::new();
         for u in 0..cfg.users {
             q.push(exp_gap(&mut rng, day / cfg.ticks_per_user_day), Ev::Tick(u));
-            q.push(exp_gap(&mut rng, day / cfg.builds_per_user_day), Ev::Build(u));
-            q.push(exp_gap(&mut rng, day / cfg.browse_per_user_day), Ev::Browse(u));
+            q.push(
+                exp_gap(&mut rng, day / cfg.builds_per_user_day),
+                Ev::Build(u),
+            );
+            q.push(
+                exp_gap(&mut rng, day / cfg.browse_per_user_day),
+                Ev::Browse(u),
+            );
             q.push(exp_gap(&mut rng, day / cfg.saves_per_user_day), Ev::Save(u));
             q.push(self.next_cron(&mut rng, 0), Ev::Cron(u));
             q.push(
@@ -245,28 +283,40 @@ impl EecsWorkload {
                         Self::desktop_tick(&mut server, &mut stations[u], &mut rng, t);
                         out.extend(events_to_records(&stations[u].machine.take_events()));
                     }
-                    q.push(t + exp_gap(&mut rng, day / cfg.ticks_per_user_day), Ev::Tick(u));
+                    q.push(
+                        t + exp_gap(&mut rng, day / cfg.ticks_per_user_day),
+                        Ev::Tick(u),
+                    );
                 }
                 Ev::Build(u) => {
                     if flip(&mut rng, cfg.rate.at(t)) {
                         Self::build(&mut server, &mut stations[u], &mut rng, t);
                         out.extend(events_to_records(&stations[u].machine.take_events()));
                     }
-                    q.push(t + exp_gap(&mut rng, day / cfg.builds_per_user_day), Ev::Build(u));
+                    q.push(
+                        t + exp_gap(&mut rng, day / cfg.builds_per_user_day),
+                        Ev::Build(u),
+                    );
                 }
                 Ev::Browse(u) => {
                     if flip(&mut rng, cfg.rate.at(t)) {
                         Self::browse(&mut server, &mut stations[u], &mut rng, t);
                         out.extend(events_to_records(&stations[u].machine.take_events()));
                     }
-                    q.push(t + exp_gap(&mut rng, day / cfg.browse_per_user_day), Ev::Browse(u));
+                    q.push(
+                        t + exp_gap(&mut rng, day / cfg.browse_per_user_day),
+                        Ev::Browse(u),
+                    );
                 }
                 Ev::Save(u) => {
                     if flip(&mut rng, cfg.rate.at(t)) {
                         Self::editor_save(&mut server, &mut stations[u], &mut rng, t);
                         out.extend(events_to_records(&stations[u].machine.take_events()));
                     }
-                    q.push(t + exp_gap(&mut rng, day / cfg.saves_per_user_day), Ev::Save(u));
+                    q.push(
+                        t + exp_gap(&mut rng, day / cfg.saves_per_user_day),
+                        Ev::Save(u),
+                    );
                 }
                 Ev::Cron(u) => {
                     Self::cron_job(&mut server, &mut stations[u], &mut rng, t);
@@ -276,7 +326,8 @@ impl EecsWorkload {
                 Ev::SharedRead(u) => {
                     if flip(&mut rng, cfg.rate.at(t)) {
                         let w = &mut stations[u];
-                        let fh = w.shared[pick(&mut rng, 0, w.shared.len() as u64) as usize].clone();
+                        let fh =
+                            w.shared[pick(&mut rng, 0, w.shared.len() as u64) as usize].clone();
                         w.machine.read_file(&mut server, t, &fh);
                         out.extend(events_to_records(&w.machine.take_events()));
                     }
@@ -292,12 +343,22 @@ impl EecsWorkload {
     }
 
     /// Next cron firing: clustered in the small hours of the night.
+    /// The first night counts too — at the Sunday-midnight epoch the
+    /// coming 2–4am window is still ahead, so single-day simulations
+    /// see their nightly jobs.
     fn next_cron(&self, rng: &mut StdRng, now: u64) -> u64 {
         use nfstrace_core::time::{DAY, HOUR};
-        let tonight = (now / DAY) * DAY + DAY; // next midnight
         let jobs = self.config.cron_jobs_per_user_day.max(0.01);
         let skip_days = (exp_gap(rng, DAY as f64 / jobs) / DAY).min(6);
-        tonight + skip_days * DAY + 2 * HOUR + pick(rng, 0, 2 * HOUR)
+        // At most one firing per night per chain: once `now` has reached
+        // tonight's window start, the earliest candidate is tomorrow's.
+        let night_start = (now / DAY) * DAY + 2 * HOUR;
+        let base_night = if now < night_start {
+            night_start
+        } else {
+            night_start + DAY
+        };
+        base_night + skip_days * DAY + pick(rng, 0, 2 * HOUR)
     }
 
     /// A burst of cache-revalidation metadata, with occasional window-
@@ -374,7 +435,9 @@ impl EecsWorkload {
             // unbuffered manner", §5.2.3).
             for _ in 0..pick(rng, 10, 24) {
                 let n = pick(rng, 60, 400);
-                now = w.machine.write(server, now + pick(rng, 20_000, 120_000), &log, log_off, n);
+                now = w
+                    .machine
+                    .write(server, now + pick(rng, 20_000, 120_000), &log, log_off, n);
                 log_off += n;
             }
         }
@@ -419,7 +482,9 @@ impl EecsWorkload {
                     // later: the first block dies within a second.
                     let sz = (lognormal(rng, 8_000.0, 1.2) as u64).clamp(300, 500_000);
                     let t3 = w.machine.write(server, now, &fh, 0, pick(rng, 120, 500));
-                    now = w.machine.write(server, t3 + pick(rng, 20_000, 400_000), &fh, 0, sz);
+                    now = w
+                        .machine
+                        .write(server, t3 + pick(rng, 20_000, 400_000), &fh, 0, sz);
                 }
                 w.cache_files.push(name);
             }
@@ -469,7 +534,9 @@ impl EecsWorkload {
         }
         if flip(rng, 0.3) {
             // Save-by-rename: the temp file replaces the original.
-            now = w.machine.rename(server, now, &project, &tmp, &project, &name);
+            now = w
+                .machine
+                .rename(server, now, &project, &tmp, &project, &name);
             // The original identity changed; recreate the temp name's
             // slot for the next save.
             if let (Some(new_fh), tl) = w.machine.lookup(server, now, &project, &name) {
@@ -481,9 +548,16 @@ impl EecsWorkload {
         } else {
             now = w.machine.truncate(server, now, &src, 0);
             now = w.machine.write(server, now, &src, 0, new_size);
-            now = w.machine.remove(server, now + pick(rng, 100_000, 2_000_000), &project, &tmp);
+            now = w
+                .machine
+                .remove(server, now + pick(rng, 100_000, 2_000_000), &project, &tmp);
         }
-        now = w.machine.remove(server, now + pick(rng, 50_000, 300_000), &project, &lock_name);
+        now = w.machine.remove(
+            server,
+            now + pick(rng, 50_000, 300_000),
+            &project,
+            &lock_name,
+        );
         // Composer temporaries appear occasionally (mail lock and tmp
         // files exist on EECS too, per Table 1).
         if flip(rng, 0.1) {
@@ -495,7 +569,12 @@ impl EecsWorkload {
             if let Some(cfh) = cfh {
                 t4 = w.machine.write(server, t4, &cfh, 0, pick(rng, 500, 8_000));
             }
-            w.machine.remove(server, t4 + pick(rng, 1_000_000, 60_000_000), &home, &tmp_name);
+            w.machine.remove(
+                server,
+                t4 + pick(rng, 1_000_000, 60_000_000),
+                &home,
+                &tmp_name,
+            );
         }
     }
 
@@ -519,7 +598,9 @@ impl EecsWorkload {
                 .inode(data.as_u64().unwrap_or(0))
                 .map(|i| i.size)
                 .unwrap_or(1 << 20);
-            let out_size = (size as f64 * (0.5 + pick(rng, 0, 100) as f64 / 100.0)) as u64;
+            // "Write a bigger output": data manipulation expands its
+            // input (1–2x), which is what tips EECS write-heavy.
+            let out_size = (size as f64 * (1.0 + pick(rng, 0, 100) as f64 / 100.0)) as u64;
             now = w.machine.write(server, now, &ofh, 0, out_size);
         }
         w.cron_outputs.push(out_name);
@@ -602,8 +683,7 @@ mod tests {
         let applet_removes = recs
             .iter()
             .filter(|r| {
-                r.op == Op::Remove
-                    && r.name.as_deref().is_some_and(|n| n.starts_with("Applet_"))
+                r.op == Op::Remove && r.name.as_deref().is_some_and(|n| n.starts_with("Applet_"))
             })
             .count();
         assert!(applet_removes > 10, "applet removes = {applet_removes}");
@@ -630,11 +710,14 @@ mod tests {
     fn fast_block_death_shape() {
         use nfstrace_core::lifetime::{analyze, LifetimeConfig};
         let recs = small_day();
-        let rep = analyze(recs.iter(), LifetimeConfig {
-            phase1_start: 0,
-            phase1_len: nfstrace_core::time::DAY / 2,
-            phase2_len: nfstrace_core::time::DAY / 2,
-        });
+        let rep = analyze(
+            recs.iter(),
+            LifetimeConfig {
+                phase1_start: 0,
+                phase1_len: nfstrace_core::time::DAY / 2,
+                phase2_len: nfstrace_core::time::DAY / 2,
+            },
+        );
         assert!(rep.births_total() > 100);
         // A real mix of death causes, deletes prominent (the paper saw
         // 51.8% deletes, 42.4% overwrites on EECS).

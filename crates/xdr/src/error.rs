@@ -54,10 +54,9 @@ impl fmt::Display for Error {
                 "unexpected end of XDR input: needed {needed} bytes, {remaining} remain"
             ),
             Error::InvalidBool(v) => write!(f, "invalid XDR boolean value {v}"),
-            Error::LengthTooLarge { declared, limit } => write!(
-                f,
-                "declared XDR length {declared} exceeds limit {limit}"
-            ),
+            Error::LengthTooLarge { declared, limit } => {
+                write!(f, "declared XDR length {declared} exceeds limit {limit}")
+            }
             Error::InvalidUtf8 => write!(f, "XDR string is not valid UTF-8"),
             Error::InvalidDiscriminant { what, value } => {
                 write!(f, "invalid discriminant {value} for {what}")

@@ -38,7 +38,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     text::write_trace(&mut buf, anonymized.iter())?;
     let reread = text::read_trace(&buf[..])?;
     assert_eq!(reread, anonymized);
-    println!("\ntext round-trip: {} records, {} bytes", reread.len(), buf.len());
+    println!(
+        "\ntext round-trip: {} records, {} bytes",
+        reread.len(),
+        buf.len()
+    );
 
     // The analyses cannot tell the difference.
     let s_raw = SummaryStats::from_records(records.iter());
@@ -53,6 +57,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The mapping (kept private by the traced site) can be stored.
     let mapping = anonymizer.to_json()?;
-    println!("anonymization map: {} bytes of JSON (keep it secret)", mapping.len());
+    println!(
+        "anonymization map: {} bytes of JSON (keep it secret)",
+        mapping.len()
+    );
     Ok(())
 }

@@ -22,8 +22,14 @@ fn main() {
     .generate();
 
     let s = SummaryStats::from_records(records.iter());
-    println!("CAMPUS-style email workload: {} ops over 2 days", s.total_ops);
-    println!("  reads outnumber writes by {:.1}x (bytes)", s.rw_bytes_ratio());
+    println!(
+        "CAMPUS-style email workload: {} ops over 2 days",
+        s.total_ops
+    );
+    println!(
+        "  reads outnumber writes by {:.1}x (bytes)",
+        s.rw_bytes_ratio()
+    );
     println!("  {:.0}% of calls move data", 100.0 * s.data_fraction());
 
     // Where do the bytes go? Overwhelmingly mailboxes.

@@ -48,8 +48,16 @@ fn main() {
     let s = SummaryStats::from_records(records.iter());
     println!("\nworkload characterization:");
     println!("  total operations : {}", s.total_ops);
-    println!("  read ops         : {} ({} MB)", s.read_ops, s.bytes_read / 1_000_000);
-    println!("  write ops        : {} ({} MB)", s.write_ops, s.bytes_written / 1_000_000);
+    println!(
+        "  read ops         : {} ({} MB)",
+        s.read_ops,
+        s.bytes_read / 1_000_000
+    );
+    println!(
+        "  write ops        : {} ({} MB)",
+        s.write_ops,
+        s.bytes_written / 1_000_000
+    );
     println!("  read/write bytes : {:.2}", s.rw_bytes_ratio());
     println!("  data-call share  : {:.0}%", 100.0 * s.data_fraction());
 }

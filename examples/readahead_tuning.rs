@@ -47,6 +47,9 @@ fn main() {
             metric.disk_reads,
             metric.cache_hits
         );
-        println!("  speedup: {:.1}% (paper: >5% at ~10% reordering)\n", 100.0 * speedup);
+        println!(
+            "  speedup: {:.1}% (paper: >5% at ~10% reordering)\n",
+            100.0 * speedup
+        );
     }
 }

@@ -20,7 +20,10 @@ fn main() {
     .generate();
 
     let s = SummaryStats::from_records(records.iter());
-    println!("EECS-style research workload: {} ops over 2 days", s.total_ops);
+    println!(
+        "EECS-style research workload: {} ops over 2 days",
+        s.total_ops
+    );
     println!(
         "  metadata calls: {:.0}% of all calls (attribute calls alone: {:.0}%)",
         100.0 * (1.0 - s.data_fraction()),
@@ -49,11 +52,7 @@ fn main() {
             phase2_len: DAY,
         },
     );
-    let sub_second = rep
-        .lifespans
-        .iter()
-        .filter(|&&l| l < SECOND)
-        .count() as f64
+    let sub_second = rep.lifespans.iter().filter(|&&l| l < SECOND).count() as f64
         / rep.lifespans.len().max(1) as f64;
     println!(
         "  {:.0}% of dying blocks die within one second (paper: ~50%)",

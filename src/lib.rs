@@ -28,10 +28,12 @@
 //! use nfstrace::workload::{CampusConfig, CampusWorkload};
 //! use nfstrace::core::summary::SummaryStats;
 //!
-//! // Simulate one hour of a small email system and characterize it.
+//! // Simulate one day of a small email system and characterize it.
+//! // (A full day: the diurnal model makes the small hours so quiet
+//! // that a tiny population generates almost nothing before 9am.)
 //! let records = CampusWorkload::new(CampusConfig {
 //!     users: 4,
-//!     duration_micros: nfstrace::core::time::HOUR,
+//!     duration_micros: nfstrace::core::time::DAY,
 //!     ..CampusConfig::default()
 //! })
 //! .generate();

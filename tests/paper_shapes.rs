@@ -120,7 +120,11 @@ fn fig3_eecs_blocks_die_much_faster() {
             / rep.lifespans.len().max(1) as f64
     };
     assert!(sub_second(&re) > 0.3, "eecs sub-second {}", sub_second(&re));
-    assert!(sub_second(&rc) < 0.15, "campus sub-second {}", sub_second(&rc));
+    assert!(
+        sub_second(&rc) < 0.15,
+        "campus sub-second {}",
+        sub_second(&rc)
+    );
     // And CAMPUS's median block lives minutes (mail-session timescales).
     let mc = rc.median_lifespan().unwrap();
     assert!(mc > 60_000_000, "campus median {mc}");
@@ -150,7 +154,12 @@ fn fig5_long_reads_more_sequential_than_writes() {
         .collect();
     assert!(!long_reads.is_empty());
     for p in long_reads {
-        assert!(p.mean_metric > 0.8, "bucket {} metric {}", p.bucket, p.mean_metric);
+        assert!(
+            p.mean_metric > 0.8,
+            "bucket {} metric {}",
+            p.bucket,
+            p.mean_metric
+        );
     }
 }
 
@@ -158,7 +167,11 @@ fn fig5_long_reads_more_sequential_than_writes() {
 fn names_predict_attributes() {
     let rep = nfstrace::core::names::NamePredictionReport::from_records(campus().iter());
     // Locks dominate churn (paper: 96% on CAMPUS).
-    assert!(rep.lock_fraction_of_churn() > 0.5, "{}", rep.lock_fraction_of_churn());
+    assert!(
+        rep.lock_fraction_of_churn() > 0.5,
+        "{}",
+        rep.lock_fraction_of_churn()
+    );
     let locks = &rep.by_category[&nfstrace::core::names::FileCategory::Lock];
     assert!(locks.size_accuracy() > 0.95);
     assert!(locks.lifetime_accuracy() > 0.95);
@@ -168,6 +181,10 @@ fn names_predict_attributes() {
 fn hierarchy_coverage_climbs_within_minutes() {
     let pts = nfstrace::core::hierarchy::coverage_over_time(campus().iter(), 10 * 60 * 1_000_000);
     assert!(pts.len() > 3);
-    let late: f64 = pts[pts.len() - 3..].iter().map(|p| p.known_fraction).sum::<f64>() / 3.0;
+    let late: f64 = pts[pts.len() - 3..]
+        .iter()
+        .map(|p| p.known_fraction)
+        .sum::<f64>()
+        / 3.0;
     assert!(late > 0.5, "late coverage {late}");
 }

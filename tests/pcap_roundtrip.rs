@@ -20,7 +20,10 @@ fn pcap_file_pipeline() {
     let (fh, t) = client.create(&mut server, 0, &root, "inbox");
     let fh = fh.unwrap();
     let t = client.write(&mut server, t, &fh, 0, 200_000);
-    server.fs_mut().write(fh.as_u64().unwrap(), 0, 1, t + 1).unwrap();
+    server
+        .fs_mut()
+        .write(fh.as_u64().unwrap(), 0, 1, t + 1)
+        .unwrap();
     client.read_file(&mut server, t + 40_000_000, &fh);
     let events = client.take_events();
 

@@ -4,7 +4,7 @@
 use nfstrace::client::{ClientConfig, ClientMachine};
 use nfstrace::fssim::NfsServer;
 use nfstrace::net::mirror::{MirrorConfig, MirrorPort, MirrorVerdict};
-use nfstrace::sniffer::{CallMeta, Sniffer, WireEncoder, v3_to_record};
+use nfstrace::sniffer::{v3_to_record, CallMeta, Sniffer, WireEncoder};
 use nfstrace::workload::emitted_to_record;
 
 fn session() -> Vec<nfstrace::client::EmittedCall> {
@@ -68,7 +68,12 @@ fn wire_path_and_fast_path_agree_tcp_jumbo() {
     // wire path's timestamps trail the fast path by one microsecond per
     // extra segment. Everything else must match exactly.
     for (w, f) in wire_records.iter().zip(&fast) {
-        assert!(w.micros.abs_diff(f.micros) <= 8, "{} vs {}", w.micros, f.micros);
+        assert!(
+            w.micros.abs_diff(f.micros) <= 8,
+            "{} vs {}",
+            w.micros,
+            f.micros
+        );
         assert!(w.reply_micros.abs_diff(f.reply_micros) <= 8);
         let mut w2 = w.clone();
         w2.micros = f.micros;

@@ -1,0 +1,181 @@
+//! Offline, API-compatible subset of `criterion`.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the slice of criterion its benches use: [`Criterion`],
+//! [`BenchmarkGroup`] (with `throughput` / `sample_size` /
+//! `bench_function` / `finish`), [`Bencher::iter`], [`Throughput`],
+//! [`black_box`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros.
+//!
+//! Measurement is deliberately simple — warm up briefly, then time a
+//! fixed wall-clock window and report mean ns/iter (plus derived
+//! throughput) on stdout. No statistics, no HTML reports, no comparison
+//! to saved baselines. Good enough to rank hot paths and to keep
+//! `cargo bench` runnable offline.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque optimization barrier, re-exported from `std::hint`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Work-per-iteration declaration, used to derive throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// The timing driver handed to `bench_function` closures.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+    measure_window: Duration,
+}
+
+impl Bencher {
+    /// Times `f` repeatedly and records mean iteration cost.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup: a few iterations, untimed.
+        for _ in 0..3 {
+            black_box(f());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(f());
+            iters += 1;
+            let elapsed = start.elapsed();
+            if elapsed >= self.measure_window && iters >= 10 {
+                self.iters_done = iters;
+                self.elapsed = elapsed;
+                return;
+            }
+        }
+    }
+
+    fn ns_per_iter(&self) -> f64 {
+        self.elapsed.as_nanos() as f64 / self.iters_done.max(1) as f64
+    }
+}
+
+fn report(name: &str, bencher: &Bencher, throughput: Option<Throughput>) {
+    let ns = bencher.ns_per_iter();
+    let human = if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    };
+    let rate = match throughput {
+        Some(Throughput::Bytes(b)) => {
+            let gib = b as f64 / ns; // bytes per ns == GB/s
+            format!("  {gib:.3} GB/s")
+        }
+        Some(Throughput::Elements(n)) => {
+            let meps = n as f64 / ns * 1e3; // elements/ns -> M elem/s
+            format!("  {meps:.3} Melem/s")
+        }
+        None => String::new(),
+    };
+    println!(
+        "{name:<40} {human:>12}/iter  ({} iters){rate}",
+        bencher.iters_done
+    );
+}
+
+/// A named group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    measure_window: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares work-per-iteration for subsequent benches in the group.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; the stub keys measurement on wall
+    /// clock, not sample counts, so a smaller `n` shortens the window.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        if n <= 10 {
+            self.measure_window = Duration::from_millis(20);
+        }
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+            measure_window: self.measure_window,
+        };
+        f(&mut b);
+        report(&format!("{}/{id}", self.name), &b, self.throughput);
+        self
+    }
+
+    /// Ends the group (printing nothing extra; exists for API parity).
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            throughput: None,
+            measure_window: Duration::from_millis(60),
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+            measure_window: Duration::from_millis(60),
+        };
+        f(&mut b);
+        report(id, &b, None);
+        self
+    }
+}
+
+/// Declares a bench entry point (`harness = false` benches call this).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,358 @@
+//! Offline, API-compatible subset of `proptest`.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the slice of proptest its test suites use: the [`Strategy`] trait with
+//! `prop_map`, `any::<T>()`, integer-range strategies, string strategies
+//! from a regex subset (char classes, `\PC`, `{m,n}` repetition, literal
+//! atoms), tuple strategies, [`collection::vec`] / [`collection::hash_set`],
+//! [`option::of`], and the [`proptest!`] / `prop_assert*` macros.
+//!
+//! Differences from the real crate, deliberately accepted:
+//!
+//! - **No shrinking.** A failing case reports its seed and case index;
+//!   rerunning is deterministic (case seeds derive from the test name),
+//!   so failures reproduce without persistence files.
+//! - **Bounded, deterministic case counts.** `PROPTEST_CASES` overrides
+//!   the default of 64 cases per property, keeping `cargo test -q` fast
+//!   in CI.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub mod strategy;
+
+pub use strategy::Strategy;
+
+/// String-pattern compilation (regex subset), used by `&str` strategies.
+pub mod string_pattern;
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::collections::HashSet;
+    use std::hash::Hash;
+    use std::marker::PhantomData;
+    use std::ops::Range;
+
+    /// A size specification: any `Range<usize>`-like bound.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.lo..self.hi)
+        }
+    }
+
+    /// Strategy for `Vec<T>` with lengths from a [`SizeRange`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy for `HashSet<T>`.
+    #[derive(Debug, Clone)]
+    pub struct HashSetStrategy<S, T> {
+        element: S,
+        size: SizeRange,
+        _marker: PhantomData<fn() -> T>,
+    }
+
+    /// Generates hash sets whose elements come from `element`. Duplicate
+    /// draws are retried a bounded number of times, so tight value spaces
+    /// may yield sets smaller than requested (matching real proptest's
+    /// best-effort behavior).
+    pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S, S::Value>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        HashSetStrategy {
+            element,
+            size: size.into(),
+            _marker: PhantomData,
+        }
+    }
+
+    impl<S> Strategy for HashSetStrategy<S, S::Value>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        type Value = HashSet<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let target = self.size.sample(rng);
+            let mut out = HashSet::with_capacity(target);
+            let mut tries = 0usize;
+            while out.len() < target && tries < target * 10 + 100 {
+                out.insert(self.element.sample(rng));
+                tries += 1;
+            }
+            out
+        }
+    }
+}
+
+/// Option strategies.
+pub mod option {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy yielding `Some` three times out of four.
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Wraps `inner` in an optional strategy.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            if rng.gen_range(0u32..4) == 0 {
+                None
+            } else {
+                Some(self.inner.sample(rng))
+            }
+        }
+    }
+}
+
+/// Types with a canonical "anything" strategy.
+pub trait Arbitrary: Sized {
+    /// Samples an arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.gen::<$t>()
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, bool);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.gen::<f64>()
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        // Arbitrary scalar values, rejection-sampled out of surrogates.
+        loop {
+            if let Some(c) = char::from_u32(rng.gen_range(0u32..0x11_0000)) {
+                return c;
+            }
+        }
+    }
+}
+
+/// The `any::<T>()` strategy.
+#[derive(Debug, Clone)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+/// Returns the canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Number of cases per property: `PROPTEST_CASES` or 64.
+pub fn case_count() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64)
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs `f` once per case with a deterministic per-case RNG; panics with
+/// the case number and seed on the first failure. Used by [`proptest!`].
+pub fn run_cases<F>(test_name: &str, mut f: F)
+where
+    F: FnMut(&mut StdRng) -> Result<(), String>,
+{
+    let cases = case_count();
+    let base = fnv1a(test_name);
+    for case in 0..cases {
+        let seed = base ^ u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = StdRng::seed_from_u64(seed);
+        if let Err(msg) = f(&mut rng) {
+            panic!(
+                "proptest `{test_name}` failed at case {case}/{cases} (seed {seed:#018x}):\n{msg}"
+            );
+        }
+    }
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary};
+
+    /// Alias matching real proptest's `prop` prelude module.
+    pub mod prop {
+        pub use crate::{collection, option};
+    }
+}
+
+/// Defines property tests: `proptest! { #[test] fn name(x in strategy, ..) { body } }`.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            $crate::run_cases(stringify!($name), |rng| {
+                $(let $pat = $crate::Strategy::sample(&($strat), rng);)+
+                let result: ::std::result::Result<(), ::std::string::String> = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                result
+            });
+        }
+    )*};
+}
+
+/// Asserts a condition inside [`proptest!`], failing the case (not
+/// panicking) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!(
+                "prop_assert failed: {}", stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside [`proptest!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {
+        match (&$a, &$b) {
+            (a, b) => {
+                if !(*a == *b) {
+                    return ::std::result::Result::Err(::std::format!(
+                        "prop_assert_eq failed: {:?} != {:?}", a, b
+                    ));
+                }
+            }
+        }
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        match (&$a, &$b) {
+            (a, b) => {
+                if !(*a == *b) {
+                    return ::std::result::Result::Err(::std::format!(
+                        "prop_assert_eq failed: {:?} != {:?}: {}",
+                        a, b, ::std::format!($($fmt)+)
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Asserts inequality inside [`proptest!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {
+        match (&$a, &$b) {
+            (a, b) => {
+                if *a == *b {
+                    return ::std::result::Result::Err(::std::format!(
+                        "prop_assert_ne failed: both {:?}", a
+                    ));
+                }
+            }
+        }
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        match (&$a, &$b) {
+            (a, b) => {
+                if *a == *b {
+                    return ::std::result::Result::Err(::std::format!(
+                        "prop_assert_ne failed: both {:?}: {}",
+                        a, ::std::format!($($fmt)+)
+                    ));
+                }
+            }
+        }
+    };
+}

@@ -1,0 +1,250 @@
+//! Compiles the regex subset used by string strategies.
+//!
+//! Supported syntax, matching what the workspace's property tests write:
+//!
+//! - character classes `[a-zA-Z0-9._-]` (ranges and literals; a trailing
+//!   or leading `-` is literal);
+//! - `\PC` — "any printable char" (ASCII printable plus a sprinkling of
+//!   non-ASCII BMP chars, so UTF-8 handling gets exercised);
+//! - escaped literals `\.`, `\\`, …;
+//! - repetition `{n}` / `{m,n}` on the preceding atom (inclusive upper
+//!   bound, as in regex syntax);
+//! - plain literal characters.
+//!
+//! Alternation, groups, anchors, and `*`/`+`/`?` are not implemented;
+//! compiling them is an error so a test author notices immediately.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// A set of candidate chars, sampled uniformly.
+    Class(Vec<char>),
+    /// Any printable char.
+    Printable,
+    /// A fixed char.
+    Literal(char),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize, // inclusive
+}
+
+/// A compiled pattern.
+#[derive(Debug, Clone)]
+pub struct Pattern {
+    pieces: Vec<Piece>,
+}
+
+/// Chars `\PC` samples from: printable ASCII heavily, with some
+/// multi-byte chars mixed in to exercise UTF-8 paths.
+const EXTRA_PRINTABLE: &[char] = &['é', 'ß', 'λ', 'Д', '中', '文', '☃', '€', '🎉', '𝕏'];
+
+impl Pattern {
+    /// Compiles `pattern`, or explains why it is unsupported.
+    ///
+    /// # Errors
+    ///
+    /// On syntax outside the documented subset.
+    pub fn compile(pattern: &str) -> Result<Pattern, String> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0usize;
+        let mut pieces = Vec::new();
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '[' => {
+                    let close = chars[i + 1..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .ok_or_else(|| "unterminated character class".to_string())?
+                        + i
+                        + 1;
+                    let class = parse_class(&chars[i + 1..close])?;
+                    i = close + 1;
+                    Atom::Class(class)
+                }
+                '\\' => {
+                    let next = *chars
+                        .get(i + 1)
+                        .ok_or_else(|| "dangling backslash".to_string())?;
+                    i += 2;
+                    if next == 'P' || next == 'p' {
+                        // `\PC` / `\pC`: any (printable) char.
+                        if chars.get(i) == Some(&'C') {
+                            i += 1;
+                            Atom::Printable
+                        } else {
+                            return Err(format!(
+                                "unsupported \\{next} escape (only \\PC is known)"
+                            ));
+                        }
+                    } else {
+                        Atom::Literal(next)
+                    }
+                }
+                c @ ('*' | '+' | '?' | '(' | ')' | '|' | '^' | '$') => {
+                    return Err(format!("unsupported regex operator {c:?}"));
+                }
+                c => {
+                    i += 1;
+                    Atom::Literal(c)
+                }
+            };
+            // Optional {n} / {m,n} repetition.
+            let (min, max) = if chars.get(i) == Some(&'{') {
+                let close = chars[i + 1..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .ok_or_else(|| "unterminated repetition".to_string())?
+                    + i
+                    + 1;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((m, n)) => {
+                        let m = m.trim().parse::<usize>().map_err(|_| "bad repetition")?;
+                        let n = n.trim().parse::<usize>().map_err(|_| "bad repetition")?;
+                        if n < m {
+                            return Err(format!("repetition {{{m},{n}}} is inverted"));
+                        }
+                        (m, n)
+                    }
+                    None => {
+                        let n = body.trim().parse::<usize>().map_err(|_| "bad repetition")?;
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            pieces.push(Piece { atom, min, max });
+        }
+        Ok(Pattern { pieces })
+    }
+
+    /// Draws one string.
+    pub fn sample(&self, rng: &mut StdRng) -> String {
+        let mut out = String::new();
+        for piece in &self.pieces {
+            let n = rng.gen_range(piece.min..piece.max + 1);
+            for _ in 0..n {
+                out.push(match &piece.atom {
+                    Atom::Literal(c) => *c,
+                    Atom::Class(set) => set[rng.gen_range(0..set.len())],
+                    Atom::Printable => {
+                        // 1-in-16 draws a non-ASCII char.
+                        if rng.gen_range(0u32..16) == 0 {
+                            EXTRA_PRINTABLE[rng.gen_range(0..EXTRA_PRINTABLE.len())]
+                        } else {
+                            char::from(rng.gen_range(0x20u8..0x7f))
+                        }
+                    }
+                });
+            }
+        }
+        out
+    }
+}
+
+fn parse_class(body: &[char]) -> Result<Vec<char>, String> {
+    if body.is_empty() {
+        return Err("empty character class".to_string());
+    }
+    let mut set = Vec::new();
+    let mut i = 0usize;
+    while i < body.len() {
+        let c = body[i];
+        if c == '\\' {
+            let next = *body
+                .get(i + 1)
+                .ok_or_else(|| "dangling backslash in class".to_string())?;
+            set.push(next);
+            i += 2;
+        } else if i + 2 < body.len() && body[i + 1] == '-' {
+            let hi = body[i + 2];
+            if (c as u32) > (hi as u32) {
+                return Err(format!("inverted range {c}-{hi}"));
+            }
+            for cp in (c as u32)..=(hi as u32) {
+                if let Some(ch) = char::from_u32(cp) {
+                    set.push(ch);
+                }
+            }
+            i += 3;
+        } else {
+            // Covers a literal `-` at the start or end of the class.
+            set.push(c);
+            i += 1;
+        }
+    }
+    Ok(set)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn class_with_trailing_dash() {
+        let p = Pattern::compile("[a-zA-Z0-9._#~ %=-]{1,32}").unwrap();
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = p.sample(&mut r);
+            assert!((1..=32).contains(&s.chars().count()), "{s:?}");
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || "._#~ %=-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn escaped_dot_between_classes() {
+        let p = Pattern::compile("[a-z]{2,12}\\.[a-z]{1,4}").unwrap();
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = p.sample(&mut r);
+            let (stem, suffix) = s.split_once('.').expect("has a dot");
+            assert!((2..=12).contains(&stem.len()), "{s:?}");
+            assert!((1..=4).contains(&suffix.len()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn printable_any() {
+        let p = Pattern::compile("\\PC{0,256}").unwrap();
+        let mut r = rng();
+        let mut saw_nonascii = false;
+        for _ in 0..100 {
+            let s = p.sample(&mut r);
+            assert!(s.chars().count() <= 256);
+            saw_nonascii |= !s.is_ascii();
+        }
+        assert!(saw_nonascii, "\\PC should occasionally emit non-ASCII");
+    }
+
+    #[test]
+    fn unsupported_syntax_is_an_error() {
+        assert!(Pattern::compile("a*").is_err());
+        assert!(Pattern::compile("(ab)").is_err());
+        assert!(Pattern::compile("a|b").is_err());
+        assert!(Pattern::compile("[abc").is_err());
+    }
+
+    #[test]
+    fn exact_repetition() {
+        let p = Pattern::compile("[01]{8}").unwrap();
+        let mut r = rng();
+        for _ in 0..50 {
+            assert_eq!(p.sample(&mut r).len(), 8);
+        }
+    }
+}

@@ -1,0 +1,343 @@
+//! Offline subset of `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! shapes this workspace actually uses, without `syn`/`quote` (hand-rolled
+//! token walking, code generation via string building):
+//!
+//! - structs with named fields, honoring `#[serde(skip)]` and
+//!   `#[serde(default = "path")]` field attributes;
+//! - tuple structs (newtypes serialize transparently, wider tuples as
+//!   arrays);
+//! - unit structs;
+//! - C-like enums (unit variants), serialized as the variant-name string.
+//!
+//! Generics, lifetimes, and data-carrying enum variants are unsupported
+//! and produce a compile error naming this file.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    Unit,
+    Named(Vec<Field>),
+    Tuple(usize),
+    Enum(Vec<String>),
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+    /// Path given via `#[serde(default = "path")]`.
+    default_path: Option<String>,
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+/// Extracts `skip` / `default = "path"` markers from the token stream of
+/// one `#[serde(...)]` attribute body.
+fn parse_serde_attr(body: TokenStream, skip: &mut bool, default_path: &mut Option<String>) {
+    let mut iter = body.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            match id.to_string().as_str() {
+                "skip" => *skip = true,
+                "default" => {
+                    // Expect `= "path"`.
+                    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+                        iter.next();
+                        if let Some(TokenTree::Literal(lit)) = iter.next() {
+                            let s = lit.to_string();
+                            *default_path = Some(s.trim_matches('"').to_string());
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Consumes leading attributes (`#[...]`), folding any `#[serde(...)]`
+/// contents into the returned markers.
+fn eat_attrs(
+    iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>,
+) -> (bool, Option<String>) {
+    let mut skip = false;
+    let mut default_path = None;
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.next() {
+                    // The bracket group holds e.g. `serde(skip, ...)` or `doc = "..."`.
+                    let mut inner = g.stream().into_iter();
+                    if let Some(TokenTree::Ident(id)) = inner.next() {
+                        if id.to_string() == "serde" {
+                            if let Some(TokenTree::Group(args)) = inner.next() {
+                                parse_serde_attr(args.stream(), &mut skip, &mut default_path);
+                            }
+                        }
+                    }
+                }
+            }
+            _ => return (skip, default_path),
+        }
+    }
+}
+
+/// Skips a `pub` / `pub(...)` visibility marker.
+fn eat_vis(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    if matches!(iter.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        iter.next();
+        if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            iter.next();
+        }
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        let (skip, default_path) = eat_attrs(&mut iter);
+        eat_vis(&mut iter);
+        let Some(TokenTree::Ident(name)) = iter.next() else {
+            break;
+        };
+        fields.push(Field {
+            name: name.to_string(),
+            skip,
+            default_path,
+        });
+        // Skip `: Type` up to the next comma outside angle brackets
+        // (commas inside e.g. `HashMap<u32, u32>` are part of the type).
+        let mut angle_depth = 0usize;
+        for tt in iter.by_ref() {
+            match &tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    angle_depth = angle_depth.saturating_sub(1);
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut depth = 0usize;
+    let mut count = 0usize;
+    let mut any = false;
+    for tt in body {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth = depth.saturating_sub(1),
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => count += 1,
+            _ => any = true,
+        }
+    }
+    if any {
+        count + 1
+    } else {
+        count
+    }
+}
+
+fn parse_enum_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        let _ = eat_attrs(&mut iter);
+        let Some(TokenTree::Ident(name)) = iter.next() else {
+            break;
+        };
+        variants.push(name.to_string());
+        match iter.next() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "vendored serde_derive supports only unit enum variants; `{}` carries data",
+                    variants.last().unwrap()
+                ));
+            }
+            Some(other) => return Err(format!("unexpected token in enum body: {other}")),
+        }
+    }
+    Ok(variants)
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let mut iter = input.into_iter().peekable();
+    let _ = eat_attrs(&mut iter);
+    eat_vis(&mut iter);
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "vendored serde_derive does not support generics (deriving for `{name}`)"
+        ));
+    }
+    match kind.as_str() {
+        "struct" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Input {
+                name,
+                shape: Shape::Named(parse_named_fields(g.stream())),
+            }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Ok(Input {
+                name,
+                shape: Shape::Tuple(count_tuple_fields(g.stream())),
+            }),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Input {
+                name,
+                shape: Shape::Unit,
+            }),
+            other => Err(format!("unexpected struct body: {other:?}")),
+        },
+        "enum" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Input {
+                name,
+                shape: Shape::Enum(parse_enum_variants(g.stream())?),
+            }),
+            other => Err(format!("unexpected enum body: {other:?}")),
+        },
+        other => Err(format!("cannot derive for `{other}`")),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = match parse_input(input) {
+        Ok(i) => i,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        Shape::Named(fields) => {
+            let mut s = String::from("::serde::Value::Map(::std::vec![");
+            for f in fields.iter().filter(|f| !f.skip) {
+                s.push_str(&format!(
+                    "({:?}.to_string(), ::serde::Serialize::to_value(&self.{})),",
+                    f.name, f.name
+                ));
+            }
+            s.push_str("])");
+            s
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let mut s = String::from("::serde::Value::Arr(::std::vec![");
+            for i in 0..*n {
+                s.push_str(&format!("::serde::Serialize::to_value(&self.{i}),"));
+            }
+            s.push_str("])");
+            s
+        }
+        Shape::Enum(variants) => {
+            let mut s = "match self {".to_string();
+            for v in variants {
+                s.push_str(&format!(
+                    "{name}::{v} => ::serde::Value::Str({v:?}.to_string()),"
+                ));
+            }
+            s.push('}');
+            s
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = match parse_input(input) {
+        Ok(i) => i,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Unit => format!("::std::result::Result::Ok({name})"),
+        Shape::Named(fields) => {
+            let mut s = format!("::std::result::Result::Ok({name} {{");
+            for f in fields {
+                if f.skip {
+                    match &f.default_path {
+                        Some(path) => s.push_str(&format!("{}: {path}(),", f.name)),
+                        None => {
+                            s.push_str(&format!("{}: ::std::default::Default::default(),", f.name))
+                        }
+                    }
+                } else {
+                    s.push_str(&format!(
+                        "{}: ::serde::Deserialize::from_value(v.field({:?})?)?,",
+                        f.name, f.name
+                    ));
+                }
+            }
+            s.push_str("})");
+            s
+        }
+        Shape::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::Tuple(n) => {
+            let mut s = format!(
+                "match v {{ ::serde::Value::Arr(items) if items.len() == {n} => \
+                 ::std::result::Result::Ok({name}("
+            );
+            for i in 0..*n {
+                s.push_str(&format!("::serde::Deserialize::from_value(&items[{i}])?,"));
+            }
+            s.push_str(&format!(
+                ")), _ => ::std::result::Result::Err(::serde::Error::new(\
+                 \"expected {n}-element array\")) }}"
+            ));
+            s
+        }
+        Shape::Enum(variants) => {
+            let mut s = String::from("match v { ::serde::Value::Str(s) => match s.as_str() {");
+            for var in variants {
+                s.push_str(&format!(
+                    "{var:?} => ::std::result::Result::Ok({name}::{var}),"
+                ));
+            }
+            s.push_str(&format!(
+                "other => ::std::result::Result::Err(::serde::Error::new(::std::format!(\
+                 \"unknown {name} variant {{other:?}}\"))) }},\
+                 other => ::std::result::Result::Err(::serde::Error::new(::std::format!(\
+                 \"expected string for {name}, got {{}}\", other.kind()))) }}"
+            ));
+            s
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
