@@ -56,6 +56,17 @@ pub struct Anonymizer {
     ips: IdTable,
     fhs: IdTable,
     names: NameAnonymizer,
+    /// Direct whole-handle map shadowing `fhs`. File handles are the
+    /// hottest identities (up to three per record), and the half-based
+    /// `IdTable` scheme costs two lookups each; this cache answers
+    /// repeat handles with one. Rebuilt lazily after deserialization —
+    /// the `IdTable` mappings it mirrors are stable.
+    #[serde(skip, default = "default_fh_cache")]
+    fh_cache: std::collections::HashMap<u64, u64>,
+}
+
+fn default_fh_cache() -> std::collections::HashMap<u64, u64> {
+    std::collections::HashMap::new()
 }
 
 impl Anonymizer {
@@ -67,6 +78,7 @@ impl Anonymizer {
             ips: IdTable::new(config.seed ^ 0x3, &[]),
             fhs: IdTable::new(config.seed ^ 0x4, &[]),
             names: NameAnonymizer::new(config.seed ^ 0x5),
+            fh_cache: default_fh_cache(),
             config,
         }
     }
@@ -106,9 +118,14 @@ impl Anonymizer {
     }
 
     fn map_fh(&mut self, fh: FileId) -> FileId {
+        if let Some(&mapped) = self.fh_cache.get(&fh.0) {
+            return FileId(mapped);
+        }
         let lo = self.fhs.map(fh.0 as u32);
         let hi = self.fhs.map((fh.0 >> 32) as u32);
-        FileId((u64::from(hi) << 32) | u64::from(lo))
+        let mapped = (u64::from(hi) << 32) | u64::from(lo);
+        self.fh_cache.insert(fh.0, mapped);
+        FileId(mapped)
     }
 
     /// Anonymizes a whole trace.
@@ -233,6 +250,27 @@ mod tests {
         let mut b = Anonymizer::from_json(&json).unwrap();
         let after = b.anonymize(&rec(1001, "keep.dat"));
         assert_eq!(before, after);
+    }
+
+    #[test]
+    fn fh_fast_path_matches_table_path() {
+        // The whole-handle cache must be invisible: hitting it, missing
+        // it, and rebuilding it after deserialization all yield the
+        // mapping the underlying IdTable halves define.
+        let mut a = Anonymizer::new(AnonymizerConfig::default());
+        let fh = FileId(0xdead_beef_0042);
+        let first = a.map_fh(fh);
+        assert_eq!(a.map_fh(fh), first, "cache hit differs from miss");
+        let json = a.to_json().unwrap();
+        let mut b = Anonymizer::from_json(&json).unwrap();
+        assert_eq!(b.map_fh(fh), first, "rebuilt cache diverged");
+        // A handle sharing one 32-bit half still shares that half.
+        let sibling = FileId(0xdead_beef_0042 ^ (1 << 40));
+        assert_eq!(
+            a.map_fh(sibling).0 as u32,
+            first.0 as u32,
+            "low half must be mapped identically"
+        );
     }
 
     #[test]

@@ -26,11 +26,21 @@ fn bench_analyses(c: &mut Criterion) {
     g.bench_function("summary", |b| {
         b.iter(|| SummaryStats::from_records(records.iter()))
     });
-    g.bench_function("runs_processed", |b| {
+    g.bench_function("runs_processed_cold", |b| {
+        // The legacy shape: bucket + sort + split from scratch.
         b.iter(|| {
-            let per_file = tables::sorted_accesses(&records, 10);
+            let mut per_file = reorder::accesses_by_file(records.iter());
+            for list in per_file.values_mut() {
+                reorder::sort_within_window(list, 10 * 1000);
+            }
             runs_for_trace(&per_file, RunOptions::default())
         })
+    });
+    g.bench_function("runs_processed_indexed", |b| {
+        // The indexed shape: the sort pass happened once at build time.
+        let idx = nfstrace_core::TraceIndex::new(records.clone());
+        idx.runs(10, RunOptions::default());
+        b.iter(|| tables::trace_runs(&idx, 10, RunOptions::default()))
     });
     g.bench_function("reorder_sweep", |b| {
         b.iter(|| {

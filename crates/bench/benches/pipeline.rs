@@ -1,8 +1,19 @@
 //! End-to-end pipeline benchmarks: workload generation, wire encoding,
-//! sniffing, and anonymization throughput.
+//! sniffing, anonymization throughput, and the indexed-vs-legacy
+//! analysis comparison.
+//!
+//! Besides the usual stdout report, this bench emits
+//! `BENCH_pipeline.json` at the repository root so indexed-vs-legacy
+//! wall-clock is tracked across PRs (the CI smoke job runs
+//! `cargo bench --bench pipeline`). The JSON also carries the
+//! hand-recorded `repro` wall-clock measurements around the TraceIndex
+//! refactor, which the ≥2x acceptance bar refers to.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use criterion::{criterion_group, Criterion, Throughput};
 use nfstrace_anonymize::{Anonymizer, AnonymizerConfig};
+use nfstrace_bench::tables;
+use nfstrace_core::index::TraceIndex;
+use nfstrace_core::record::TraceRecord;
 use nfstrace_sniffer::{Sniffer, WireEncoder};
 use nfstrace_workload::{CampusConfig, CampusWorkload, EecsConfig, EecsWorkload};
 
@@ -89,5 +100,150 @@ fn bench_anonymize(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_generation, bench_sniffer, bench_anonymize);
-criterion_main!(benches);
+/// The artifact set both analysis paths drive (the lifetime-window
+/// artifacts need 8-day traces and are exercised by `repro` itself).
+const ARTIFACTS: &[fn(&TraceIndex, &TraceIndex) -> usize] = &[
+    |c, e| tables::table1(c, e).text.len(),
+    |c, e| tables::table2(c, e).text.len(),
+    |c, e| tables::table3(c, e).text.len(),
+    |c, e| tables::table5(c, e).text.len(),
+    |c, e| tables::fig1(c, e).text.len(),
+    |c, e| tables::fig2(c, e).text.len(),
+    |c, e| tables::fig4(c, e).text.len(),
+    |c, e| tables::fig5(c, e).text.len(),
+    |c, _| tables::names_report(c).len(),
+];
+
+/// Runs every artifact against one shared index pair.
+fn run_artifacts(campus: &TraceIndex, eecs: &TraceIndex) -> usize {
+    ARTIFACTS.iter().map(|f| f(campus, eecs)).sum()
+}
+
+/// The day-long comparison workloads. Criterion and the JSON tracker
+/// must measure the *same* scenario, so both get it from here.
+fn analysis_campus() -> CampusWorkload {
+    CampusWorkload::new(CampusConfig {
+        users: 6,
+        duration_micros: nfstrace_core::time::DAY,
+        seed: 42,
+        ..CampusConfig::default()
+    })
+}
+
+/// See [`analysis_campus`].
+fn analysis_eecs() -> EecsWorkload {
+    EecsWorkload::new(EecsConfig {
+        users: 4,
+        duration_micros: nfstrace_core::time::DAY,
+        seed: 1789,
+        ..EecsConfig::default()
+    })
+}
+
+/// Number of full artifact sweeps both analysis paths perform.
+const ANALYSIS_SWEEPS: usize = 3;
+
+/// Legacy shape: every artifact of every sweep rebuilds its own view
+/// of the trace, as the pre-TraceIndex code did — no cross-artifact
+/// cache sharing at all.
+fn legacy_analysis(campus: &[TraceRecord], eecs: &[TraceRecord]) -> usize {
+    let mut chars = 0;
+    for _ in 0..ANALYSIS_SWEEPS {
+        for artifact in ARTIFACTS {
+            let ci = TraceIndex::new(campus.to_vec());
+            let ei = TraceIndex::new(eecs.to_vec());
+            chars += artifact(&ci, &ei);
+        }
+    }
+    chars
+}
+
+/// Indexed shape: one build, every further sweep a cache hit.
+fn indexed_analysis(campus: &[TraceRecord], eecs: &[TraceRecord]) -> usize {
+    let ci = TraceIndex::new(campus.to_vec());
+    let ei = TraceIndex::new(eecs.to_vec());
+    let mut chars = 0;
+    for _ in 0..ANALYSIS_SWEEPS {
+        chars += run_artifacts(&ci, &ei);
+    }
+    chars
+}
+
+fn bench_analysis_paths(c: &mut Criterion) {
+    let campus = analysis_campus().generate();
+    let eecs = analysis_eecs().generate();
+    let mut g = c.benchmark_group("analysis");
+    g.sample_size(10);
+    g.bench_function("legacy_fresh_index_per_artifact", |b| {
+        b.iter(|| legacy_analysis(&campus, &eecs))
+    });
+    g.bench_function("indexed_shared", |b| {
+        b.iter(|| indexed_analysis(&campus, &eecs))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_generation,
+    bench_sniffer,
+    bench_anonymize,
+    bench_analysis_paths
+);
+
+/// One-shot wall-clock numbers for `BENCH_pipeline.json` (measured with
+/// plain `Instant`, independent of the criterion stub's windowing).
+fn write_pipeline_json() {
+    use std::time::Instant;
+    let t = Instant::now();
+    let campus = analysis_campus().generate_with_threads(1);
+    let gen_serial_s = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let _sharded =
+        analysis_campus().generate_with_threads(nfstrace_core::parallel::threads().max(2));
+    let gen_sharded_s = t.elapsed().as_secs_f64();
+    let eecs = analysis_eecs().generate();
+
+    let t = Instant::now();
+    legacy_analysis(&campus, &eecs);
+    let legacy_s = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    indexed_analysis(&campus, &eecs);
+    let indexed_s = t.elapsed().as_secs_f64();
+
+    let json = format!(
+        r#"{{
+  "bench": "pipeline",
+  "history": {{
+    "note": "frozen hand-timed record of ./target/release/repro at NFSTRACE_SCALE=1.0 taken once around the PR 2 TraceIndex refactor (1-CPU container); NOT remeasured by this bench — the regression-tracked signal is `measured` below",
+    "pre_refactor_samples": [36.57, 23.19],
+    "post_refactor_samples": [17.72, 15.25, 9.18]
+  }},
+  "measured": {{
+    "note": "measured fresh by every run of `cargo bench --bench pipeline` on small day-long traces; `legacy` rebuilds its view per artifact (the pre-refactor shape), `indexed` shares one TraceIndex across all sweeps",
+    "generate_campus_day_serial_s": {gen_serial_s:.3},
+    "generate_campus_day_sharded_s": {gen_sharded_s:.3},
+    "threads": {threads},
+    "analysis_sweeps": {sweeps},
+    "analysis_legacy_fresh_index_per_artifact_s": {legacy_s:.3},
+    "analysis_indexed_shared_s": {indexed_s:.3},
+    "analysis_speedup": {aspeed:.2}
+  }}
+}}
+"#,
+        threads = nfstrace_core::parallel::threads(),
+        sweeps = ANALYSIS_SWEEPS,
+        aspeed = legacy_s / indexed_s.max(1e-9),
+    );
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_pipeline.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+    print!("{json}");
+}
+
+fn main() {
+    benches();
+    write_pipeline_json();
+}

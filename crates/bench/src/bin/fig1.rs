@@ -1,11 +1,12 @@
 //! Regenerates Figure 1: swapped accesses vs reorder window size.
 
 use nfstrace_bench::{scale, scenarios, tables};
+use nfstrace_core::index::TraceIndex;
 
 fn main() {
     let s = scale();
     // Only Wednesday morning is analyzed; four days suffice.
-    let campus = scenarios::campus(4, s, 42);
-    let eecs = scenarios::eecs(4, s, 1789);
+    let campus = TraceIndex::new(scenarios::campus(4, s, 42));
+    let eecs = TraceIndex::new(scenarios::eecs(4, s, 1789));
     print!("{}", tables::fig1(&campus, &eecs).text);
 }

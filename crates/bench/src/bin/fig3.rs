@@ -3,8 +3,6 @@
 use nfstrace_bench::{scale, scenarios, tables};
 
 fn main() {
-    let s = scale();
-    let campus = scenarios::campus(8, s, 42);
-    let eecs = scenarios::eecs(8, s, 1789);
+    let (campus, eecs) = scenarios::eight_day_index_pair(scale());
     print!("{}", tables::fig3(&campus, &eecs).text);
 }

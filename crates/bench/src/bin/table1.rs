@@ -1,10 +1,11 @@
 //! Regenerates Table 1: characteristics of CAMPUS and EECS.
 
 use nfstrace_bench::{scale, scenarios, tables};
+use nfstrace_core::index::TraceIndex;
 
 fn main() {
     let s = scale();
-    let campus = scenarios::campus(2, s, 42);
-    let eecs = scenarios::eecs(2, s, 1789);
+    let campus = TraceIndex::new(scenarios::campus(2, s, 42));
+    let eecs = TraceIndex::new(scenarios::eecs(2, s, 1789));
     print!("{}", tables::table1(&campus, &eecs).text);
 }

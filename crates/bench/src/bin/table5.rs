@@ -3,6 +3,6 @@
 use nfstrace_bench::{scale, scenarios, tables};
 
 fn main() {
-    let (campus, eecs) = scenarios::week_pair(scale());
+    let (campus, eecs) = scenarios::week_index_pair(scale());
     print!("{}", tables::table5(&campus, &eecs).text);
 }

@@ -8,6 +8,12 @@
 //! thus run time grow linearly with it. Absolute numbers scale with the
 //! simulated population; the *shapes* — who wins, by what factor, where
 //! the knees fall — are what reproduce the paper.
+//!
+//! Every artifact consumes a [`nfstrace_core::index::TraceIndex`]
+//! built once per trace, so the suite buckets and sorts each trace
+//! exactly once per reorder window; `NFSTRACE_THREADS` shards trace
+//! generation (and the Figure 1 sweep) across worker threads without
+//! changing any output bit.
 
 pub mod scenarios;
 pub mod tables;

@@ -1,5 +1,6 @@
 //! Standard simulated scenarios used by every table/figure binary.
 
+use nfstrace_core::index::TraceIndex;
 use nfstrace_core::record::TraceRecord;
 use nfstrace_core::time::DAY;
 use nfstrace_workload::{CampusConfig, CampusWorkload, EecsConfig, EecsWorkload};
@@ -38,6 +39,23 @@ pub fn eecs(days: u64, scale: f64, seed: u64) -> Vec<TraceRecord> {
 /// A full analysis week for both systems.
 pub fn week_pair(scale: f64) -> (Vec<TraceRecord>, Vec<TraceRecord>) {
     (campus(WEEK_DAYS, scale, 42), eecs(WEEK_DAYS, scale, 1789))
+}
+
+/// Week-long traces for both systems, indexed for analysis.
+pub fn week_index_pair(scale: f64) -> (TraceIndex, TraceIndex) {
+    let (c, e) = week_pair(scale);
+    (TraceIndex::new(c), TraceIndex::new(e))
+}
+
+/// Eight-day traces (the lifetime analyses need a full end margin after
+/// the Friday window), indexed. The canonical analysis week is the
+/// first seven days of these same traces — `idx.time_window(0, 7 * DAY)`
+/// — so `repro` generates each system exactly once.
+pub fn eight_day_index_pair(scale: f64) -> (TraceIndex, TraceIndex) {
+    (
+        TraceIndex::new(campus(8, scale, 42)),
+        TraceIndex::new(eecs(8, scale, 1789)),
+    )
 }
 
 #[cfg(test)]

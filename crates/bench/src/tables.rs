@@ -1,35 +1,35 @@
 //! One function per paper artifact, producing printable text plus the
 //! structured numbers the integration tests assert on.
+//!
+//! Every artifact is a view over a [`TraceIndex`]: the index is built
+//! once per trace (one bucketing pass) and every table and figure below
+//! pulls its reorder-corrected access streams, run tables, lifetime
+//! reports, and hourly buckets from the index's caches. Running the
+//! whole suite sorts each trace exactly once per reorder window.
 
 use nfstrace_core::hierarchy;
+use nfstrace_core::historical;
 use nfstrace_core::hourly::HourlySeries;
-use nfstrace_core::lifetime::{self, LifetimeConfig, LifetimeReport};
-use nfstrace_core::names::{FileCategory, NamePredictionReport};
+use nfstrace_core::index::{AccessMap, TraceIndex};
+use nfstrace_core::lifetime::{LifetimeConfig, LifetimeReport};
+use nfstrace_core::names::FileCategory;
 use nfstrace_core::record::{Op, TraceRecord};
-use nfstrace_core::reorder::{self, swap_fraction_sweep};
-use nfstrace_core::runs::{runs_for_trace, PatternTable, Run, RunOptions, SizeProfile};
+use nfstrace_core::runs::{PatternTable, Run, RunOptions, SizeProfile};
 use nfstrace_core::seqmetric::{cumulative_runs_by_size, metric_by_run_size, MetricPoint};
-use nfstrace_core::summary::SummaryStats;
 use nfstrace_core::time::{DAY, HOUR};
-use nfstrace_core::{historical, FileId};
 use std::collections::HashMap;
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 /// The paper's reorder windows: 5 ms for EECS, 10 ms for CAMPUS (§4.2).
 pub const WINDOW_CAMPUS_MS: u64 = 10;
 /// See [`WINDOW_CAMPUS_MS`].
 pub const WINDOW_EECS_MS: u64 = 5;
 
-/// Sorted per-file accesses after the reorder-window correction.
-pub fn sorted_accesses(
-    records: &[TraceRecord],
-    window_ms: u64,
-) -> HashMap<FileId, Vec<reorder::Access>> {
-    let mut per_file = reorder::accesses_by_file(records.iter());
-    for list in per_file.values_mut() {
-        reorder::sort_within_window(list, window_ms * 1000);
-    }
-    per_file
+/// Sorted per-file accesses after the reorder-window correction,
+/// served from the index's per-window cache.
+pub fn sorted_accesses(idx: &TraceIndex, window_ms: u64) -> Arc<AccessMap> {
+    idx.accesses(window_ms)
 }
 
 /// Table 1: qualitative characterization, computed.
@@ -50,27 +50,23 @@ pub struct Table1 {
 }
 
 /// Computes Table 1 from one day of each system.
-pub fn table1(campus: &[TraceRecord], eecs: &[TraceRecord]) -> Table1 {
+pub fn table1(campus: &TraceIndex, eecs: &TraceIndex) -> Table1 {
     let mut data_fraction = [0.0; 2];
     let mut rw_bytes = [0.0; 2];
     let mut lock_churn = [0.0; 2];
     let mut median_life = [None, None];
     let mut ow_frac = [0.0; 2];
-    for (i, recs) in [campus, eecs].into_iter().enumerate() {
-        let s = SummaryStats::from_records(recs.iter());
+    for (i, idx) in [campus, eecs].into_iter().enumerate() {
+        let s = idx.summary();
         data_fraction[i] = s.data_fraction();
         rw_bytes[i] = s.rw_bytes_ratio();
-        let names = NamePredictionReport::from_records(recs.iter());
-        lock_churn[i] = names.lock_fraction_of_churn();
+        lock_churn[i] = idx.names().lock_fraction_of_churn();
         let span_days = ((s.last_micros - s.first_micros) / DAY).max(1);
-        let rep = lifetime::analyze(
-            recs.iter(),
-            LifetimeConfig {
-                phase1_start: 0,
-                phase1_len: span_days / 2 * DAY + DAY / 2,
-                phase2_len: span_days / 2 * DAY + DAY / 2,
-            },
-        );
+        let rep = idx.lifetime(LifetimeConfig {
+            phase1_start: 0,
+            phase1_len: span_days / 2 * DAY + DAY / 2,
+            phase2_len: span_days / 2 * DAY + DAY / 2,
+        });
         median_life[i] = rep.median_lifespan().map(|m| m as f64 / 1e6);
         let deaths = rep.deaths_total().max(1);
         ow_frac[i] = rep.deaths_overwrite as f64 / deaths as f64;
@@ -136,9 +132,9 @@ pub struct Table2 {
 }
 
 /// Computes Table 2 from week-long traces.
-pub fn table2(campus: &[TraceRecord], eecs: &[TraceRecord]) -> Table2 {
-    let sc = SummaryStats::from_records(campus.iter()).daily();
-    let se = SummaryStats::from_records(eecs.iter()).daily();
+pub fn table2(campus: &TraceIndex, eecs: &TraceIndex) -> Table2 {
+    let sc = campus.summary().daily();
+    let se = eecs.summary().daily();
     let mut text = String::new();
     let _ = writeln!(text, "Table 2: summary of average daily activity");
     let _ = writeln!(
@@ -257,18 +253,14 @@ pub struct Table3 {
     pub text: String,
 }
 
-/// Computes the runs of a trace under raw or processed methodology.
-pub fn trace_runs(records: &[TraceRecord], window_ms: u64, opts: RunOptions) -> Vec<Run> {
-    let per_file = if window_ms == 0 {
-        reorder::accesses_by_file(records.iter())
-    } else {
-        sorted_accesses(records, window_ms)
-    };
-    runs_for_trace(&per_file, opts)
+/// Computes the runs of a trace under raw or processed methodology,
+/// served from the index's run-table cache.
+pub fn trace_runs(idx: &TraceIndex, window_ms: u64, opts: RunOptions) -> Arc<Vec<Run>> {
+    idx.runs(window_ms, opts)
 }
 
 /// Computes Table 3 from week-long traces.
-pub fn table3(campus: &[TraceRecord], eecs: &[TraceRecord]) -> Table3 {
+pub fn table3(campus: &TraceIndex, eecs: &TraceIndex) -> Table3 {
     let raw = [
         PatternTable::from_runs(&trace_runs(campus, WINDOW_CAMPUS_MS, RunOptions::raw())),
         PatternTable::from_runs(&trace_runs(eecs, WINDOW_EECS_MS, RunOptions::raw())),
@@ -375,29 +367,22 @@ pub fn table3(campus: &[TraceRecord], eecs: &[TraceRecord]) -> Table3 {
 #[derive(Debug, Clone)]
 pub struct Table4 {
     /// Merged CAMPUS report.
-    pub campus: LifetimeReport,
+    pub campus: Arc<LifetimeReport>,
     /// Merged EECS report.
-    pub eecs: LifetimeReport,
+    pub eecs: Arc<LifetimeReport>,
     /// Rendered text.
     pub text: String,
 }
 
-/// Runs the paper's five weekday 9am-start daily analyses and merges.
-pub fn weekday_lifetime(records: &[TraceRecord]) -> LifetimeReport {
-    let mut merged = LifetimeReport::default();
-    for d in 1..=5u64 {
-        let cfg = LifetimeConfig {
-            phase1_start: d * DAY + 9 * HOUR,
-            phase1_len: DAY,
-            phase2_len: DAY,
-        };
-        merged.merge(&lifetime::analyze(records.iter(), cfg));
-    }
-    merged
+/// Runs the paper's five weekday 9am-start daily analyses and merges,
+/// served from the index's lifetime cache (Table 4 and Figure 3 share
+/// one computation).
+pub fn weekday_lifetime(idx: &TraceIndex) -> Arc<LifetimeReport> {
+    idx.weekday_lifetime()
 }
 
 /// Computes Table 4 (requires ≥ 8 days of trace for full margins).
-pub fn table4(campus: &[TraceRecord], eecs: &[TraceRecord]) -> Table4 {
+pub fn table4(campus: &TraceIndex, eecs: &TraceIndex) -> Table4 {
     let rc = weekday_lifetime(campus);
     let re = weekday_lifetime(eecs);
     let pct = |n: u64, d: u64| {
@@ -489,9 +474,9 @@ pub struct Table5 {
 }
 
 /// Computes Table 5 from week-long traces.
-pub fn table5(campus: &[TraceRecord], eecs: &[TraceRecord]) -> Table5 {
-    let sc = HourlySeries::from_records(campus.iter());
-    let se = HourlySeries::from_records(eecs.iter());
+pub fn table5(campus: &TraceIndex, eecs: &TraceIndex) -> Table5 {
+    let sc = campus.hourly();
+    let se = eecs.hourly();
     let all = [sc.table5(false), se.table5(false)];
     let peak = [sc.table5(true), se.table5(true)];
     let mut text = String::new();
@@ -546,25 +531,19 @@ pub struct Fig1 {
 }
 
 /// Computes Figure 1 from the Wednesday 9am–12pm subset, as the paper
-/// does.
-pub fn fig1(campus: &[TraceRecord], eecs: &[TraceRecord]) -> Fig1 {
+/// does. The subset is a zero-copy time window of the index; the sweep
+/// itself is sharded across files.
+pub fn fig1(campus: &TraceIndex, eecs: &TraceIndex) -> Fig1 {
     let windows: Vec<u64> = (0..=50).step_by(2).collect();
-    let wednesday = |r: &&TraceRecord| {
-        let t = r.micros;
-        (3 * DAY + 9 * HOUR..3 * DAY + 12 * HOUR).contains(&t)
-    };
-    let subset = |records: &[TraceRecord]| -> Vec<TraceRecord> {
-        records.iter().filter(wednesday).cloned().collect()
-    };
-    let sweep = |records: &[TraceRecord]| -> Vec<(u64, f64)> {
-        let per_file = reorder::accesses_by_file(records.iter());
-        swap_fraction_sweep(&per_file, &windows)
+    let sweep = |idx: &TraceIndex| -> Vec<(u64, f64)> {
+        idx.time_window(3 * DAY + 9 * HOUR, 3 * DAY + 12 * HOUR)
+            .swap_sweep(&windows)
             .into_iter()
             .map(|p| (p.window_ms, 100.0 * p.swapped_fraction))
             .collect()
     };
-    let c = sweep(&subset(campus));
-    let e = sweep(&subset(eecs));
+    let c = sweep(campus);
+    let e = sweep(eecs);
     let mut text = String::new();
     let _ = writeln!(
         text,
@@ -597,7 +576,7 @@ pub struct Fig2 {
 }
 
 /// Computes Figure 2.
-pub fn fig2(campus: &[TraceRecord], eecs: &[TraceRecord]) -> Fig2 {
+pub fn fig2(campus: &TraceIndex, eecs: &TraceIndex) -> Fig2 {
     let rc = trace_runs(campus, WINDOW_CAMPUS_MS, RunOptions::default());
     let re = trace_runs(eecs, WINDOW_EECS_MS, RunOptions::default());
     let pc = SizeProfile::from_runs(&rc);
@@ -662,9 +641,10 @@ pub struct Fig3 {
     pub text: String,
 }
 
-/// Computes Figure 3 from the weekday lifetime windows.
-pub fn fig3(campus: &[TraceRecord], eecs: &[TraceRecord]) -> Fig3 {
-    let probes = lifetime::figure3_probes();
+/// Computes Figure 3 from the weekday lifetime windows (shared with
+/// Table 4 through the index cache).
+pub fn fig3(campus: &TraceIndex, eecs: &TraceIndex) -> Fig3 {
+    let probes = nfstrace_core::lifetime::figure3_probes();
     let rc = weekday_lifetime(campus);
     let re = weekday_lifetime(eecs);
     let c = rc.cdf(&probes);
@@ -708,9 +688,11 @@ pub struct Fig4 {
 }
 
 /// Computes Figure 4.
-pub fn fig4(campus: &[TraceRecord], eecs: &[TraceRecord]) -> Fig4 {
-    let sc = HourlySeries::from_records(campus.iter());
-    let se = HourlySeries::from_records(eecs.iter());
+pub fn fig4(campus: &TraceIndex, eecs: &TraceIndex) -> Fig4 {
+    // Hourly series are bounded by trace hours, not records: cloning
+    // them is a few KB, unlike the lifetime reports above.
+    let sc = campus.hourly().clone();
+    let se = eecs.hourly().clone();
     let mut text = String::new();
     let _ = writeln!(text, "Figure 4: hourly operation counts and R/W ratios");
     let _ = writeln!(
@@ -756,8 +738,8 @@ pub struct Fig5 {
     pub text: String,
 }
 
-/// Computes Figure 5.
-pub fn fig5(campus: &[TraceRecord], eecs: &[TraceRecord]) -> Fig5 {
+/// Computes Figure 5 (its run tables are cache hits after Figure 2).
+pub fn fig5(campus: &TraceIndex, eecs: &TraceIndex) -> Fig5 {
     use nfstrace_core::runs::RunKind;
     let rc = trace_runs(campus, WINDOW_CAMPUS_MS, RunOptions::default());
     let re = trace_runs(eecs, WINDOW_EECS_MS, RunOptions::default());
@@ -820,8 +802,8 @@ pub fn fig5(campus: &[TraceRecord], eecs: &[TraceRecord]) -> Fig5 {
 }
 
 /// §4.1.1: hierarchy-reconstruction coverage over time.
-pub fn hierarchy_coverage(records: &[TraceRecord]) -> String {
-    let pts = hierarchy::coverage_over_time(records.iter(), 30 * 60 * 1_000_000);
+pub fn hierarchy_coverage(idx: &TraceIndex) -> String {
+    let pts = hierarchy::coverage_over_time(idx.records().iter(), 30 * 60 * 1_000_000);
     let mut text = String::new();
     let _ = writeln!(
         text,
@@ -839,8 +821,8 @@ pub fn hierarchy_coverage(records: &[TraceRecord]) -> String {
 }
 
 /// §6.3: name-based prediction summary.
-pub fn names_report(records: &[TraceRecord]) -> String {
-    let rep = NamePredictionReport::from_records(records.iter());
+pub fn names_report(idx: &TraceIndex) -> String {
+    let rep = idx.names();
     let mut text = String::new();
     let _ = writeln!(
         text,

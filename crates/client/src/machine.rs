@@ -54,6 +54,10 @@ pub struct ClientConfig {
     pub server_latency_micros: u64,
     /// RNG seed for the nfsiod pool.
     pub seed: u64,
+    /// First RPC transaction id this machine issues. Sharded workload
+    /// generation gives each simulated user's machines a disjoint xid
+    /// base so (client, xid) pairs stay unique within a merged trace.
+    pub first_xid: u32,
 }
 
 impl Default for ClientConfig {
@@ -70,6 +74,7 @@ impl Default for ClientConfig {
             meta_latency_micros: 120,
             server_latency_micros: 250,
             seed: 1,
+            first_xid: 1,
         }
     }
 }
@@ -116,7 +121,7 @@ impl ClientMachine {
         ClientMachine {
             cache: ClientCache::new(config.cache),
             pool: NfsiodPool::new(config.nfsiods, config.seed),
-            next_xid: 1,
+            next_xid: config.first_xid,
             events: Vec::new(),
             config,
         }

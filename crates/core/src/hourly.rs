@@ -43,37 +43,59 @@ pub struct HourlySeries {
     pub buckets: Vec<HourBucket>,
 }
 
-impl HourlySeries {
-    /// Buckets records by hour. Records need not be sorted.
-    pub fn from_records<'a, I>(records: I) -> Self
-    where
-        I: IntoIterator<Item = &'a TraceRecord>,
-    {
-        let mut map: std::collections::BTreeMap<u64, HourBucket> =
-            std::collections::BTreeMap::new();
-        for r in records {
-            let b = map.entry(hour_index(r.micros)).or_default();
-            b.ops += 1;
-            if r.op.is_read() {
-                b.read_ops += 1;
-                b.bytes_read += u64::from(r.ret_count);
-            } else if r.op.is_write() {
-                b.write_ops += 1;
-                b.bytes_written += u64::from(r.ret_count);
-            }
+/// Record-at-a-time accumulator behind [`HourlySeries::from_records`],
+/// usable by one-pass multi-product consumers (the trace index).
+#[derive(Debug, Default)]
+pub struct HourlyBuilder {
+    map: std::collections::BTreeMap<u64, HourBucket>,
+}
+
+impl HourlyBuilder {
+    /// Folds one record into its hour bucket.
+    pub fn observe(&mut self, r: &TraceRecord) {
+        let b = self.map.entry(hour_index(r.micros)).or_default();
+        b.ops += 1;
+        if r.op.is_read() {
+            b.read_ops += 1;
+            b.bytes_read += u64::from(r.ret_count);
+        } else if r.op.is_write() {
+            b.write_ops += 1;
+            b.bytes_written += u64::from(r.ret_count);
         }
-        let Some((&first, _)) = map.first_key_value() else {
+    }
+
+    /// Produces the contiguous hourly series.
+    pub fn finish(self) -> HourlySeries {
+        let Some((&first, _)) = self.map.first_key_value() else {
             return HourlySeries::default();
         };
-        let &last = map.last_key_value().map(|(k, _)| k).expect("non-empty");
+        let &last = self
+            .map
+            .last_key_value()
+            .map(|(k, _)| k)
+            .expect("non-empty");
         let mut buckets = vec![HourBucket::default(); (last - first + 1) as usize];
-        for (k, v) in map {
+        for (k, v) in self.map {
             buckets[(k - first) as usize] = v;
         }
         HourlySeries {
             first_hour: first,
             buckets,
         }
+    }
+}
+
+impl HourlySeries {
+    /// Buckets records by hour. Records need not be sorted.
+    pub fn from_records<'a, I>(records: I) -> Self
+    where
+        I: IntoIterator<Item = &'a TraceRecord>,
+    {
+        let mut b = HourlyBuilder::default();
+        for r in records {
+            b.observe(r);
+        }
+        b.finish()
     }
 
     /// Iterates `(hour_start_micros, bucket)` pairs.

@@ -25,12 +25,29 @@
 //! - [`text`]: the anonymizable on-disk trace format.
 //! - [`time`]: simulation-time helpers (the trace epoch is a Sunday
 //!   midnight, matching the paper's 10/21/2001 week).
+//!
+//! # The one-pass pipeline
+//!
+//! All of the above are *views over the same per-file, reorder-corrected
+//! access streams*. [`index::TraceIndex`] is the shared substrate: built
+//! in a single pass over a trace, it holds the summary counters, hourly
+//! buckets, and per-file access lists, and caches every derived product
+//! (sorted access maps per reorder window, run tables per
+//! [`runs::RunOptions`], lifetime reports per
+//! [`lifetime::LifetimeConfig`]) so a full reproduction suite buckets
+//! and sorts the trace exactly once per (trace, window). Analyses that
+//! fan out over independent work — the Figure 1 window sweep, sharded
+//! workload generation — use the deterministic [`parallel`] helpers;
+//! the worker count comes from the `NFSTRACE_THREADS` environment
+//! variable (default: available parallelism) and never changes results.
 
 pub mod hierarchy;
 pub mod historical;
 pub mod hourly;
+pub mod index;
 pub mod lifetime;
 pub mod names;
+pub mod parallel;
 pub mod record;
 pub mod reorder;
 pub mod runs;
@@ -39,5 +56,6 @@ pub mod summary;
 pub mod text;
 pub mod time;
 
+pub use index::TraceIndex;
 pub use record::{FileId, Op, TraceRecord};
 pub use summary::SummaryStats;

@@ -37,7 +37,10 @@ pub enum DeathCause {
 }
 
 /// Phase configuration for one analysis window.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// `Hash` so reports can be cached keyed by their configuration (see
+/// [`crate::index::TraceIndex`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LifetimeConfig {
     /// Start of Phase 1 (births + deaths recorded).
     pub phase1_start: u64,
@@ -327,12 +330,15 @@ impl BlockLifetimeAnalyzer {
         };
         if target < state.size {
             let first_dead = target.div_ceil(BLOCK);
-            let dead: Vec<u64> = state
+            let mut dead: Vec<u64> = state
                 .live
                 .keys()
                 .copied()
                 .filter(|&b| b >= first_dead)
                 .collect();
+            // Block order, not map order: keeps the report (its lifespan
+            // list in particular) deterministic across runs.
+            dead.sort_unstable();
             for b in dead {
                 if let Some(old) = state.live.remove(&b) {
                     record_death(
@@ -350,7 +356,10 @@ impl BlockLifetimeAnalyzer {
 
     fn kill_file(&mut self, fh: FileId, now: u64, cause: DeathCause) {
         if let Some(state) = self.files.remove(&fh) {
-            for (_, old) in state.live {
+            // Block order, not map order, for a deterministic report.
+            let mut blocks: Vec<(u64, LiveBlock)> = state.live.into_iter().collect();
+            blocks.sort_unstable_by_key(|&(b, _)| b);
+            for (_, old) in blocks {
                 record_death(&mut self.report, &self.config, old, now, cause);
             }
         }

@@ -1,0 +1,101 @@
+//! Deterministic fork/join helpers shared by the analysis and workload
+//! layers.
+//!
+//! Everything here is plain `std::thread` — the workspace builds
+//! offline, so no rayon. The contract every caller relies on is
+//! *determinism*: results are returned in item order, so the output of a
+//! sharded computation is byte-identical no matter how many worker
+//! threads ran it (including one). The worker count comes from the
+//! `NFSTRACE_THREADS` environment variable and defaults to the machine's
+//! available parallelism.
+
+/// Upper bound on the worker count; beyond this the per-thread shards of
+/// any realistic trace are too small to matter.
+pub const MAX_THREADS: usize = 64;
+
+/// The worker count: `NFSTRACE_THREADS` if set and parseable, otherwise
+/// the machine's available parallelism, clamped to `1..=`[`MAX_THREADS`].
+pub fn threads() -> usize {
+    std::env::var("NFSTRACE_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+        .clamp(1, MAX_THREADS)
+}
+
+/// Computes `f(0), f(1), .., f(n-1)` across at most `threads` scoped
+/// worker threads and returns the results **in item order**.
+///
+/// Items are split into contiguous chunks, one per worker, so item `i`
+/// always lands in the same shard for a given `(n, threads)` — but the
+/// output is independent of even that, because each result is written to
+/// its own slot.
+///
+/// # Examples
+///
+/// ```
+/// use nfstrace_core::parallel::run_sharded;
+///
+/// let squares = run_sharded(5, 4, |i| i * i);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+/// // Any worker count yields the same output.
+/// assert_eq!(squares, run_sharded(5, 1, |i| i * i));
+/// ```
+pub fn run_sharded<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, n);
+    if threads == 1 {
+        return (0..n).map(f).collect();
+    }
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (ci, shard) in slots.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                for (j, slot) in shard.iter_mut().enumerate() {
+                    *slot = Some(f(ci * chunk + j));
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every shard slot is filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_in_item_order_for_any_thread_count() {
+        let expect: Vec<usize> = (0..37).map(|i| i * 3 + 1).collect();
+        for t in [1, 2, 3, 8, 64] {
+            assert_eq!(run_sharded(37, t, |i| i * 3 + 1), expect, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(run_sharded(0, 8, |i| i), Vec::<usize>::new());
+        assert_eq!(run_sharded(1, 8, |i| i + 9), vec![9]);
+    }
+
+    #[test]
+    fn threads_is_clamped() {
+        let t = threads();
+        assert!((1..=MAX_THREADS).contains(&t));
+    }
+}

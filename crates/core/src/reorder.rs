@@ -109,19 +109,49 @@ pub struct SwapPoint {
 /// Measures the swapped-access fraction across a sweep of window sizes
 /// (Figure 1). Each window size re-sorts pristine copies of the per-file
 /// access lists.
+///
+/// The (file × window) grid is embarrassingly parallel; files are
+/// sharded across [`crate::parallel::threads`] workers and the per-shard
+/// swap counts summed, so the result is identical for any worker count.
 pub fn swap_fraction_sweep(
     per_file: &HashMap<FileId, Vec<Access>>,
     windows_ms: &[u64],
 ) -> Vec<SwapPoint> {
-    let total: u64 = per_file.values().map(|v| v.len() as u64).sum();
+    swap_fraction_sweep_with_threads(per_file, windows_ms, crate::parallel::threads())
+}
+
+/// [`swap_fraction_sweep`] with an explicit worker count (for the
+/// determinism tests and callers that manage their own parallelism).
+pub fn swap_fraction_sweep_with_threads(
+    per_file: &HashMap<FileId, Vec<Access>>,
+    windows_ms: &[u64],
+    threads: usize,
+) -> Vec<SwapPoint> {
+    let lists: Vec<&Vec<Access>> = per_file.values().collect();
+    let total: u64 = lists.iter().map(|v| v.len() as u64).sum();
+    let shards = threads.clamp(1, lists.len().max(1));
+    let chunk = lists.len().div_ceil(shards).max(1);
+    // Each shard returns one swap count per window over its files.
+    let partials = crate::parallel::run_sharded(shards, shards, |ci| {
+        let mut counts = vec![0u64; windows_ms.len()];
+        let mut scratch: Vec<Access> = Vec::new();
+        for list in &lists[(ci * chunk).min(lists.len())..((ci + 1) * chunk).min(lists.len())] {
+            for (wi, &w) in windows_ms.iter().enumerate() {
+                if w == 0 {
+                    continue; // a zero window swaps nothing
+                }
+                scratch.clear();
+                scratch.extend_from_slice(list);
+                counts[wi] += sort_within_window(&mut scratch, w * 1000);
+            }
+        }
+        counts
+    });
     windows_ms
         .iter()
-        .map(|&w| {
-            let mut swapped = 0u64;
-            for list in per_file.values() {
-                let mut copy = list.clone();
-                swapped += sort_within_window(&mut copy, w * 1000);
-            }
+        .enumerate()
+        .map(|(wi, &w)| {
+            let swapped: u64 = partials.iter().map(|p| p[wi]).sum();
             SwapPoint {
                 window_ms: w,
                 swapped_fraction: if total == 0 {
@@ -233,6 +263,26 @@ mod tests {
         }
         let knee = pick_knee(&pts, 0.005).unwrap();
         assert!(knee <= 20, "knee = {knee}");
+    }
+
+    #[test]
+    fn sweep_parallel_matches_serial() {
+        let mut per_file = HashMap::new();
+        for f in 0..17u64 {
+            let list: Vec<Access> = (0..60u64)
+                .map(|i| acc(i * 1500, ((i * 7 + f) % 60) * 8192))
+                .collect();
+            per_file.insert(FileId(f), list);
+        }
+        let windows = [0u64, 1, 2, 5, 10, 20];
+        let serial = swap_fraction_sweep_with_threads(&per_file, &windows, 1);
+        for t in [2, 3, 8] {
+            assert_eq!(
+                swap_fraction_sweep_with_threads(&per_file, &windows, t),
+                serial,
+                "threads={t}"
+            );
+        }
     }
 
     #[test]

@@ -74,7 +74,10 @@ pub struct Run {
 }
 
 /// Options controlling run splitting and categorization.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// `Eq`/`Hash` so run tables can be cached keyed by their options (see
+/// [`crate::index::TraceIndex`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RunOptions {
     /// Split when the previous access is older than this.
     pub split_micros: u64,

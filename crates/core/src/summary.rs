@@ -50,21 +50,36 @@ pub struct SummaryStats {
 }
 
 impl SummaryStats {
+    /// An empty accumulator ready for [`SummaryStats::add`] calls.
+    ///
+    /// `first_micros` starts at `u64::MAX` so the running minimum
+    /// works; [`SummaryStats::finish`] must run before the value is
+    /// read. One-pass multi-product consumers (the trace index) share
+    /// this protocol with [`SummaryStats::from_records`].
+    pub fn accumulator() -> Self {
+        SummaryStats {
+            first_micros: u64::MAX,
+            ..SummaryStats::default()
+        }
+    }
+
+    /// Ends accumulation, normalizing the empty-trace sentinel.
+    pub fn finish(&mut self) {
+        if self.total_ops == 0 {
+            self.first_micros = 0;
+        }
+    }
+
     /// Computes statistics over records.
     pub fn from_records<'a, I>(records: I) -> Self
     where
         I: IntoIterator<Item = &'a TraceRecord>,
     {
-        let mut s = SummaryStats {
-            first_micros: u64::MAX,
-            ..SummaryStats::default()
-        };
+        let mut s = SummaryStats::accumulator();
         for r in records {
             s.add(r);
         }
-        if s.total_ops == 0 {
-            s.first_micros = 0;
-        }
+        s.finish();
         s
     }
 

@@ -76,7 +76,21 @@ pub fn unescape_name(s: &str) -> Option<String> {
 
 /// Serializes one record as a format line (no trailing newline).
 pub fn format_record(r: &TraceRecord) -> String {
-    let mut line = format!(
+    let mut line = String::with_capacity(96);
+    write_record_into(r, &mut line);
+    line
+}
+
+/// Appends one record's format line (no trailing newline) to `line`.
+///
+/// The allocation-free building block behind [`format_record`] and
+/// [`write_trace`]: callers stream multi-gigabyte traces through one
+/// reused buffer instead of allocating a `String` per record.
+pub fn write_record_into(r: &TraceRecord, line: &mut String) {
+    use std::fmt::Write as _;
+    // Writing into a String is infallible.
+    let _ = write!(
+        line,
         "v1 {} {} {} {} {} {} {} {} {} {:x} {}",
         r.micros,
         r.reply_micros,
@@ -91,10 +105,11 @@ pub fn format_record(r: &TraceRecord) -> String {
         r.status,
     );
     if r.offset != 0 || r.count != 0 || r.ret_count != 0 {
-        line.push_str(&format!(
+        let _ = write!(
+            line,
             " off={} cnt={} ret={}",
             r.offset, r.count, r.ret_count
-        ));
+        );
     }
     if r.eof {
         line.push_str(" eof=1");
@@ -108,24 +123,23 @@ pub fn format_record(r: &TraceRecord) -> String {
         line.push_str(&escape_name(n));
     }
     if let Some(f) = r.fh2 {
-        line.push_str(&format!(" fh2={:x}", f.0));
+        let _ = write!(line, " fh2={:x}", f.0);
     }
     if let Some(v) = r.pre_size {
-        line.push_str(&format!(" pre={v}"));
+        let _ = write!(line, " pre={v}");
     }
     if let Some(v) = r.post_size {
-        line.push_str(&format!(" post={v}"));
+        let _ = write!(line, " post={v}");
     }
     if let Some(v) = r.truncate_to {
-        line.push_str(&format!(" trunc={v}"));
+        let _ = write!(line, " trunc={v}");
     }
     if let Some(f) = r.new_fh {
-        line.push_str(&format!(" newfh={:x}", f.0));
+        let _ = write!(line, " newfh={:x}", f.0);
     }
     if let Some(t) = r.ftype {
-        line.push_str(&format!(" ftype={t}"));
+        let _ = write!(line, " ftype={t}");
     }
-    line
 }
 
 /// Parses one format line.
@@ -209,7 +223,8 @@ pub fn parse_record(line: &str, line_no: usize) -> Result<TraceRecord, ParseErro
     Ok(r)
 }
 
-/// Writes records as lines to `w`.
+/// Writes records as lines to `w`, streaming every record through one
+/// reused line buffer (no per-record allocation).
 ///
 /// # Errors
 ///
@@ -218,8 +233,12 @@ pub fn write_trace<'a, W: Write, I>(mut w: W, records: I) -> std::io::Result<()>
 where
     I: IntoIterator<Item = &'a TraceRecord>,
 {
+    let mut line = String::with_capacity(160);
     for r in records {
-        writeln!(w, "{}", format_record(r))?;
+        line.clear();
+        write_record_into(r, &mut line);
+        line.push('\n');
+        w.write_all(line.as_bytes())?;
     }
     Ok(())
 }

@@ -125,6 +125,37 @@ proptest! {
         prop_assert!(loose >= strict - 1e-12, "loose {loose} < strict {strict}");
     }
 
+    /// The one-pass index is indistinguishable from the legacy
+    /// slice-based pipeline: identical summaries, per-file access
+    /// streams, and run tables for any record stream and window.
+    #[test]
+    fn index_matches_legacy_slice_path(
+        mut records in proptest::collection::vec(arb_record(), 0..200),
+        window_ms in 0u64..20,
+        small_jumps in any::<bool>(),
+    ) {
+        use nfstrace_core::index::TraceIndex;
+        use nfstrace_core::reorder::accesses_by_file;
+        use nfstrace_core::runs::runs_for_trace;
+        use nfstrace_core::summary::SummaryStats;
+
+        records.sort_by_key(|r| r.micros);
+        let idx = TraceIndex::new(records.clone());
+        prop_assert_eq!(idx.summary(), &SummaryStats::from_records(records.iter()));
+
+        let mut per_file = accesses_by_file(records.iter());
+        for list in per_file.values_mut() {
+            sort_within_window(list, window_ms * 1000);
+        }
+        prop_assert_eq!(idx.accesses(window_ms).as_ref(), &per_file);
+
+        let opts = if small_jumps { RunOptions::default() } else { RunOptions::raw() };
+        let legacy = runs_for_trace(&per_file, opts);
+        prop_assert_eq!(idx.runs(window_ms, opts).as_ref(), &legacy);
+        // And the cache never sorted more than this one window.
+        prop_assert!(idx.sort_passes() <= 1);
+    }
+
     /// Every record the generator can produce survives the text format.
     #[test]
     fn text_format_roundtrip(record in arb_record()) {

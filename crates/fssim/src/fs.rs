@@ -152,6 +152,18 @@ impl SimFs {
         self.root
     }
 
+    /// Moves the inode allocator to `next` (if it is ahead of the
+    /// current position).
+    ///
+    /// Sharded workload generation runs each user against its own
+    /// filesystem replica; giving every shard a disjoint allocation
+    /// base keeps file ids unique across the merged trace, and pinning
+    /// shared files to one fixed base keeps their ids identical in
+    /// every replica.
+    pub fn set_next_id(&mut self, next: u64) {
+        self.next_id = self.next_id.max(next);
+    }
+
     /// Number of live inodes.
     pub fn inode_count(&self) -> usize {
         self.inodes.len()

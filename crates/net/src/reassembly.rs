@@ -29,6 +29,10 @@ use std::collections::BTreeMap;
 /// ```
 #[derive(Debug)]
 pub struct StreamReassembler {
+    /// Reused drain buffer behind [`StreamReassembler::read_available`]:
+    /// the sniffer calls that once per packet, and a fresh `Vec` each
+    /// time dominated the hot loop's allocations.
+    ready: Vec<u8>,
     /// Next expected sequence number (start of the contiguous frontier).
     next_seq: u32,
     /// Out-of-order segments keyed by relative offset from `next_seq`'s
@@ -53,6 +57,7 @@ impl StreamReassembler {
     /// Creates a reassembler whose first expected byte is `initial_seq`.
     pub fn new(initial_seq: u32) -> Self {
         Self {
+            ready: Vec::new(),
             next_seq: initial_seq,
             pending: BTreeMap::new(),
             origin: initial_seq,
@@ -106,8 +111,12 @@ impl StreamReassembler {
     }
 
     /// Drains all bytes that are now contiguous at the frontier.
-    pub fn read_available(&mut self) -> Vec<u8> {
-        let mut out = Vec::new();
+    ///
+    /// The returned slice borrows an internal buffer that is reused by
+    /// the next call — copy it out if it must outlive the reassembler's
+    /// next mutation.
+    pub fn read_available(&mut self) -> &[u8] {
+        self.ready.clear();
         while let Some((&off, _)) = self.pending.range(..=self.frontier).next_back() {
             let seg = self.pending.remove(&off).expect("key just observed");
             let seg_end = off + seg.len() as u64;
@@ -118,11 +127,11 @@ impl StreamReassembler {
             }
             let skip = (self.frontier - off) as usize;
             self.dup_bytes += skip as u64;
-            out.extend_from_slice(&seg[skip..]);
+            self.ready.extend_from_slice(&seg[skip..]);
             self.frontier = seg_end;
             self.next_seq = self.origin.wrapping_add(self.frontier as u32);
         }
-        out
+        &self.ready
     }
 
     /// Whether out-of-order data is waiting beyond a gap.

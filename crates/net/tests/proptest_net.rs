@@ -48,9 +48,9 @@ proptest! {
         let mut out = Vec::new();
         for (off, seg) in segments {
             r.push(initial_seq.wrapping_add(off as u32), seg);
-            out.extend_from_slice(&r.read_available());
+            out.extend_from_slice(r.read_available());
         }
-        out.extend_from_slice(&r.read_available());
+        out.extend_from_slice(r.read_available());
         prop_assert_eq!(out, stream);
         prop_assert!(!r.has_gap());
     }

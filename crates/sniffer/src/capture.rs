@@ -165,7 +165,7 @@ impl Sniffer {
                     .or_insert_with(|| (StreamReassembler::new(seq), RecordReader::new()));
                 reasm.push(seq, &decoded.payload);
                 let available = reasm.read_available();
-                reader.push(&available);
+                reader.push(available);
                 let mut messages = Vec::new();
                 loop {
                     // Drain every complete record first.
@@ -188,7 +188,7 @@ impl Sniffer {
                         self.stats.tcp_bytes_lost += reasm.skip_gap();
                         reader.reset();
                         let more = reasm.read_available();
-                        let at = resync_offset(&more);
+                        let at = resync_offset(more);
                         self.stats.tcp_bytes_lost += at as u64;
                         reader.push(&more[at..]);
                         continue;

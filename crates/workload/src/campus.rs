@@ -18,9 +18,18 @@
 //! byte ratio ≈ 3, data calls dominating, ~50% of accessed files being
 //! locks, >99% of block deaths by overwrite, block half-life of tens of
 //! minutes.
+//!
+//! Users never touch each other's home directories, so generation is
+//! sharded: every user is simulated independently against its own
+//! filesystem replica (with a disjoint inode base and a per-user
+//! [`crate::driver::user_seed`]) and the per-user streams are merged by
+//! timestamp. The `NFSTRACE_THREADS` worker count scales wall-clock
+//! only — the merged trace is bit-identical for any thread count.
 
-use crate::convert::events_to_records;
-use crate::driver::{exp_gap, flip, lognormal, pick, EventQueue};
+use crate::convert::append_records;
+use crate::driver::{
+    exp_gap, flip, lognormal, merge_user_records, pick, user_first_xid, user_seed, EventQueue,
+};
 use crate::rate::DiurnalRate;
 use nfstrace_client::{CacheConfig, ClientConfig, ClientMachine};
 use nfstrace_core::record::TraceRecord;
@@ -97,12 +106,12 @@ struct User {
 
 #[derive(Debug)]
 enum Ev {
-    Delivery(usize),
-    Poll(usize),
-    SessionStart(usize),
-    SessionRescan { user: usize, end: u64 },
-    SessionEnd(usize),
-    ComposerRemove { user: usize, name: String },
+    Delivery,
+    Poll,
+    SessionStart,
+    SessionRescan { end: u64 },
+    SessionEnd,
+    ComposerRemove { name: String },
 }
 
 /// The CAMPUS generator.
@@ -119,10 +128,30 @@ impl CampusWorkload {
     }
 
     /// Runs the simulation and returns time-sorted trace records.
+    ///
+    /// Users are sharded across `NFSTRACE_THREADS` worker threads (see
+    /// [`nfstrace_core::parallel::threads`]); the output is
+    /// bit-identical for any worker count.
     pub fn generate(&self) -> Vec<TraceRecord> {
+        self.generate_with_threads(nfstrace_core::parallel::threads())
+    }
+
+    /// [`CampusWorkload::generate`] with an explicit worker count.
+    pub fn generate_with_threads(&self, threads: usize) -> Vec<TraceRecord> {
+        let per_user = nfstrace_core::parallel::run_sharded(self.config.users, threads, |u| {
+            self.simulate_user(u)
+        });
+        merge_user_records(per_user)
+    }
+
+    /// Simulates one user's whole trace against a private filesystem
+    /// replica. Deterministic given `(config, u)`.
+    fn simulate_user(&self, u: usize) -> Vec<TraceRecord> {
         let cfg = &self.config;
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut rng = StdRng::seed_from_u64(user_seed(cfg.seed, u));
         let mut server = NfsServer::new(0x0a01_0002);
+        // Disjoint inode base per user: ids stay unique after the merge.
+        server.fs_mut().set_next_id((u as u64 + 2) << 32);
 
         // CAMPUS transfers ride 8 KB NFS requests (jumbo frames carried
         // 9000-byte packets; the observed mean read was ~7 KB).
@@ -141,73 +170,69 @@ impl CampusWorkload {
             meta_latency_micros: 120,
             server_latency_micros: 200,
             seed,
+            first_xid: user_first_xid(cfg.seed, u),
         };
-        let mut smtp = ClientMachine::new(client_cfg(0x0a01_0010, cfg.seed ^ 0x1));
-        let mut pop = ClientMachine::new(client_cfg(0x0a01_0011, cfg.seed ^ 0x2));
-        let mut login = ClientMachine::new(client_cfg(0x0a01_0012, cfg.seed ^ 0x3));
+        let useed = user_seed(cfg.seed, u);
+        let mut smtp = ClientMachine::new(client_cfg(0x0a01_0010, useed ^ 0x1));
+        let mut pop = ClientMachine::new(client_cfg(0x0a01_0011, useed ^ 0x2));
+        let mut login = ClientMachine::new(client_cfg(0x0a01_0012, useed ^ 0x3));
 
-        // Pre-populate home directories server-side: this state predates
-        // the trace, so no records are emitted for it.
+        // Pre-populate the home directory server-side: this state
+        // predates the trace, so no records are emitted for it.
         let root = server.fs_mut().root();
-        let mut users = Vec::with_capacity(cfg.users);
-        for u in 0..cfg.users {
-            let uname = format!("user{u:04}");
-            let dir = server
-                .fs_mut()
-                .mkdir(root, &uname, u as u32, 100, 0)
-                .unwrap();
-            let (inbox, _) = server
-                .fs_mut()
-                .create(dir, "inbox", u as u32, 100, 0)
-                .unwrap();
-            let base =
-                (lognormal(&mut rng, cfg.inbox_median_bytes, 0.7) as u64).clamp(50_000, 8_000_000);
-            server.fs_mut().write(inbox, 0, base as u32, 0).unwrap();
-            let (pinerc, _) = server
-                .fs_mut()
-                .create(dir, ".pinerc", u as u32, 100, 0)
-                .unwrap();
-            server
-                .fs_mut()
-                .write(pinerc, 0, pick(&mut rng, 11_000, 26_000) as u32, 0)
-                .unwrap();
-            let (cshrc, _) = server
-                .fs_mut()
-                .create(dir, ".cshrc", u as u32, 100, 0)
-                .unwrap();
-            server.fs_mut().write(cshrc, 0, 900, 0).unwrap();
-            users.push(User {
-                dir: FileHandle::from_u64(dir),
-                inbox: FileHandle::from_u64(inbox),
-                pinerc: FileHandle::from_u64(pinerc),
-                cshrc: FileHandle::from_u64(cshrc),
-                base_size: base,
-                hoarder: flip(&mut rng, cfg.hoarder_fraction),
-                tmp_seq: 0,
-                in_session: false,
-                last_poll_size: base,
-            });
-        }
+        let uname = format!("user{u:04}");
+        let dir = server
+            .fs_mut()
+            .mkdir(root, &uname, u as u32, 100, 0)
+            .unwrap();
+        let (inbox, _) = server
+            .fs_mut()
+            .create(dir, "inbox", u as u32, 100, 0)
+            .unwrap();
+        let base =
+            (lognormal(&mut rng, cfg.inbox_median_bytes, 0.7) as u64).clamp(50_000, 8_000_000);
+        server.fs_mut().write(inbox, 0, base as u32, 0).unwrap();
+        let (pinerc, _) = server
+            .fs_mut()
+            .create(dir, ".pinerc", u as u32, 100, 0)
+            .unwrap();
+        server
+            .fs_mut()
+            .write(pinerc, 0, pick(&mut rng, 11_000, 26_000) as u32, 0)
+            .unwrap();
+        let (cshrc, _) = server
+            .fs_mut()
+            .create(dir, ".cshrc", u as u32, 100, 0)
+            .unwrap();
+        server.fs_mut().write(cshrc, 0, 900, 0).unwrap();
+        let mut user = User {
+            dir: FileHandle::from_u64(dir),
+            inbox: FileHandle::from_u64(inbox),
+            pinerc: FileHandle::from_u64(pinerc),
+            cshrc: FileHandle::from_u64(cshrc),
+            base_size: base,
+            hoarder: flip(&mut rng, cfg.hoarder_fraction),
+            tmp_seq: 0,
+            in_session: false,
+            last_poll_size: base,
+        };
 
         // Seed the event streams.
         let mut q: EventQueue<Ev> = EventQueue::new();
         let day = nfstrace_core::time::DAY as f64;
-        for u in 0..cfg.users {
-            q.push(
-                exp_gap(&mut rng, day / cfg.deliveries_per_user_day),
-                Ev::Delivery(u),
-            );
-            q.push(exp_gap(&mut rng, day / cfg.polls_per_user_day), Ev::Poll(u));
-            q.push(
-                exp_gap(&mut rng, day / cfg.sessions_per_user_day),
-                Ev::SessionStart(u),
-            );
-        }
+        q.push(
+            exp_gap(&mut rng, day / cfg.deliveries_per_user_day),
+            Ev::Delivery,
+        );
+        q.push(exp_gap(&mut rng, day / cfg.polls_per_user_day), Ev::Poll);
+        q.push(
+            exp_gap(&mut rng, day / cfg.sessions_per_user_day),
+            Ev::SessionStart,
+        );
 
         let mut out: Vec<TraceRecord> = Vec::new();
         let drain = |m: &mut ClientMachine, out: &mut Vec<TraceRecord>| {
-            let events = m.take_events();
-            out.extend(events_to_records(&events));
+            append_records(&m.take_events(), out);
         };
 
         while let Some((t, ev)) = q.pop() {
@@ -215,78 +240,77 @@ impl CampusWorkload {
                 break;
             }
             match ev {
-                Ev::Delivery(u) => {
+                Ev::Delivery => {
                     // Thin to the diurnal rate.
                     if flip(&mut rng, cfg.rate.at(t)) {
-                        self.deliver(&mut server, &mut smtp, &mut rng, &mut users[u], t);
+                        self.deliver(&mut server, &mut smtp, &mut rng, &mut user, t);
                         drain(&mut smtp, &mut out);
                     }
                     q.push(
                         t + exp_gap(&mut rng, day / cfg.deliveries_per_user_day),
-                        Ev::Delivery(u),
+                        Ev::Delivery,
                     );
                 }
-                Ev::Poll(u) => {
+                Ev::Poll => {
                     if flip(&mut rng, cfg.rate.at(t)) {
-                        self.poll(&mut server, &mut pop, &mut rng, &mut users[u], t);
+                        self.poll(&mut server, &mut pop, &mut rng, &mut user, t);
                         drain(&mut pop, &mut out);
                     }
                     q.push(
                         t + exp_gap(&mut rng, day / cfg.polls_per_user_day),
-                        Ev::Poll(u),
+                        Ev::Poll,
                     );
                 }
-                Ev::SessionStart(u) => {
-                    if !users[u].in_session && flip(&mut rng, cfg.rate.at(t)) {
-                        users[u].in_session = true;
+                Ev::SessionStart => {
+                    if !user.in_session && flip(&mut rng, cfg.rate.at(t)) {
+                        user.in_session = true;
                         let end = t + (lognormal(&mut rng, 25.0, 0.5) * 60.0 * 1e6) as u64; // 15–60 min
-                        self.session_open(&mut server, &mut login, &mut rng, &mut users[u], t);
+                        self.session_open(&mut server, &mut login, &mut rng, &mut user, t);
                         drain(&mut login, &mut out);
                         let rescan = t + 60_000_000 + exp_gap(&mut rng, 180.0 * 1e6);
                         if rescan < end {
-                            q.push(rescan, Ev::SessionRescan { user: u, end });
+                            q.push(rescan, Ev::SessionRescan { end });
                         }
-                        q.push(end, Ev::SessionEnd(u));
+                        q.push(end, Ev::SessionEnd);
                         // Compose a message or two during the session.
                         if flip(&mut rng, 0.5) {
-                            let name = format!("snd.{}", users[u].tmp_seq);
-                            users[u].tmp_seq += 1;
+                            let name = format!("snd.{}", user.tmp_seq);
+                            user.tmp_seq += 1;
                             let at = t + exp_gap(&mut rng, 300.0 * 1e6).min(end - t);
-                            q.push(at, Ev::ComposerRemove { user: u, name });
+                            q.push(at, Ev::ComposerRemove { name });
                         }
                     }
                     q.push(
                         t + exp_gap(&mut rng, day / cfg.sessions_per_user_day),
-                        Ev::SessionStart(u),
+                        Ev::SessionStart,
                     );
                 }
-                Ev::SessionRescan { user: u, end } => {
-                    self.scan_inbox(&mut server, &mut login, &mut users[u], t);
+                Ev::SessionRescan { end } => {
+                    self.scan_inbox(&mut server, &mut login, &mut user, t);
                     // Reading messages updates their status flags.
                     if flip(&mut rng, 0.4) {
                         self.update_flags(
                             &mut server,
                             &mut login,
                             &mut rng,
-                            &mut users[u],
+                            &mut user,
                             t + 500_000,
                         );
                     }
                     drain(&mut login, &mut out);
                     let next = t + 60_000_000 + exp_gap(&mut rng, 180.0 * 1e6);
                     if next < end {
-                        q.push(next, Ev::SessionRescan { user: u, end });
+                        q.push(next, Ev::SessionRescan { end });
                     }
                 }
-                Ev::SessionEnd(u) => {
-                    self.session_close(&mut server, &mut login, &mut rng, &mut users[u], t);
-                    users[u].in_session = false;
+                Ev::SessionEnd => {
+                    self.session_close(&mut server, &mut login, &mut rng, &mut user, t);
+                    user.in_session = false;
                     drain(&mut login, &mut out);
                 }
-                Ev::ComposerRemove { user: u, name } => {
+                Ev::ComposerRemove { name } => {
                     // Create, fill, and shortly afterwards remove a
                     // composer temporary (98% under 8 KB, §6.3).
-                    let user = &mut users[u];
                     let (fh, t1) = login.create(&mut server, t, &user.dir, &name);
                     if let Some(fh) = fh {
                         let sz = (lognormal(&mut rng, 2_500.0, 0.8) as u64).clamp(200, 39_000);
@@ -298,7 +322,6 @@ impl CampusWorkload {
                 }
             }
         }
-        out.sort_by_key(|r| r.micros);
         out
     }
 

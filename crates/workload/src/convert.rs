@@ -33,6 +33,16 @@ pub fn events_to_records(events: &[EmittedCall]) -> Vec<TraceRecord> {
     records
 }
 
+/// Appends a batch of events to `out` as records, unsorted.
+///
+/// The generators' hot drain path: per-batch sorting (and the
+/// intermediate `Vec`) is wasted work there, because the merged trace
+/// is globally sorted once at the end.
+pub fn append_records(events: &[EmittedCall], out: &mut Vec<TraceRecord>) {
+    out.reserve(events.len());
+    out.extend(events.iter().map(emitted_to_record));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

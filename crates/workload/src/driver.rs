@@ -1,6 +1,7 @@
 //! Discrete-event scaffolding and random samplers shared by the two
 //! workload generators.
 
+use nfstrace_core::record::TraceRecord;
 use rand::rngs::StdRng;
 use rand::Rng;
 use std::cmp::Reverse;
@@ -72,6 +73,52 @@ impl<E> Default for EventQueue<E> {
     fn default() -> Self {
         Self::new()
     }
+}
+
+/// Derives a per-user RNG seed from the configuration seed.
+///
+/// Sharded generation simulates every user independently; each user's
+/// stream must be (a) deterministic given `(base, user)` and (b)
+/// decorrelated from its neighbours'. SplitMix64's finalizer gives both
+/// without any external dependency.
+pub fn user_seed(base: u64, user: usize) -> u64 {
+    let mut z = base
+        .wrapping_add(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add((user as u64).wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Per-user starting RPC transaction id, scattered over the 32-bit xid
+/// space by the same SplitMix64 mix as [`user_seed`].
+///
+/// User shards can share client IPs (CAMPUS's three infrastructure
+/// hosts serve every user), so their xid sequences should not collide.
+/// A 32-bit space cannot give truly disjoint per-user ranges at every
+/// population size; like real NFS clients, xids may recur over a long
+/// trace. What xid matching actually needs is that two *concurrently
+/// in-flight* calls from one client almost never share an xid, and
+/// uniform scatter of the starting points preserves that at any scale.
+pub fn user_first_xid(base: u64, user: usize) -> u32 {
+    // Odd, so sequences from users with colliding starts interleave
+    // rather than shadow each other exactly.
+    (user_seed(base ^ 0x1d, user) as u32) | 1
+}
+
+/// Merges per-user record streams into one time-sorted trace.
+///
+/// Streams are concatenated in user order and then stable-sorted by
+/// timestamp, so ties break on user index — deterministically, and
+/// independently of how many threads produced the streams.
+pub fn merge_user_records(per_user: Vec<Vec<TraceRecord>>) -> Vec<TraceRecord> {
+    let total = per_user.iter().map(Vec::len).sum();
+    let mut out: Vec<TraceRecord> = Vec::with_capacity(total);
+    for stream in per_user {
+        out.extend(stream);
+    }
+    out.sort_by_key(|r| r.micros);
+    out
 }
 
 /// Samples an exponential interarrival gap with the given mean (µs).

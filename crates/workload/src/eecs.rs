@@ -15,9 +15,23 @@
 //!   `Applet_*_Extern` churn (≈10,000 deletions/day) add deletes;
 //! - **no inboxes**: mail lives on other servers; only composer
 //!   temporaries appear.
+//!
+//! Generation is sharded per user: each workstation is simulated
+//! independently against its own filesystem replica (disjoint inode
+//! base, per-user [`crate::driver::user_seed`]) and the streams merged
+//! by timestamp, so the trace is bit-identical for any
+//! `NFSTRACE_THREADS` worker count. The only cross-user state — the
+//! shared project datasets rewritten nightly — is driven by a refresh
+//! schedule precomputed from the base seed: every replica holds the
+//! shared files at the same fixed inode ids and applies every refresh
+//! to its replica (so everyone's cached copies go stale on schedule),
+//! but only the owning user's shard emits the refresh's NFS calls into
+//! the merged trace.
 
-use crate::convert::events_to_records;
-use crate::driver::{exp_gap, flip, lognormal, pick, EventQueue};
+use crate::convert::append_records;
+use crate::driver::{
+    exp_gap, flip, lognormal, merge_user_records, pick, user_first_xid, user_seed, EventQueue,
+};
 use crate::rate::DiurnalRate;
 use nfstrace_client::{CacheConfig, ClientConfig, ClientMachine};
 use nfstrace_core::record::TraceRecord;
@@ -110,13 +124,31 @@ struct Workstation {
 
 #[derive(Debug)]
 enum Ev {
-    Tick(usize),
-    Build(usize),
-    Browse(usize),
-    Save(usize),
-    Cron(usize),
-    SharedRead(usize),
+    Tick,
+    Build,
+    Browse,
+    Save,
+    Cron,
+    SharedRead,
+    Refresh { dataset: usize, owned: bool },
 }
+
+/// One entry of the precomputed shared-dataset refresh schedule.
+#[derive(Debug, Clone, Copy)]
+struct Refresh {
+    /// When the nightly job rewrites the dataset.
+    micros: u64,
+    /// Which shared dataset is rewritten.
+    dataset: usize,
+    /// Whose workstation runs the job (that shard emits the records).
+    owner: usize,
+}
+
+/// Fixed inode base for the shared datasets: identical in every user's
+/// filesystem replica, so the merged trace sees one id per dataset.
+/// Public so tests can tell shared-dataset ids (`base..2 * base`) from
+/// per-user ids (`(u + 2) << 32` and up).
+pub const SHARED_INODE_BASE: u64 = 1 << 32;
 
 /// The EECS generator.
 #[derive(Debug)]
@@ -132,27 +164,84 @@ impl EecsWorkload {
     }
 
     /// Runs the simulation and returns time-sorted trace records.
+    ///
+    /// Users are sharded across `NFSTRACE_THREADS` worker threads (see
+    /// [`nfstrace_core::parallel::threads`]); the output is
+    /// bit-identical for any worker count.
     pub fn generate(&self) -> Vec<TraceRecord> {
+        self.generate_with_threads(nfstrace_core::parallel::threads())
+    }
+
+    /// [`EecsWorkload::generate`] with an explicit worker count.
+    pub fn generate_with_threads(&self, threads: usize) -> Vec<TraceRecord> {
         let cfg = &self.config;
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        // Everything cross-user is derived from the base seed before the
+        // shards start: shared dataset sizes and the nightly refresh
+        // schedule are identical in every replica.
+        let mut srng = StdRng::seed_from_u64(cfg.seed ^ 0x5AED_CAFE);
+        let shared_sizes: Vec<u32> = (0..cfg.shared_files.max(1))
+            .map(|_| (lognormal(&mut srng, 250_000.0, 0.8) as u32).clamp(40_000, 1_000_000))
+            .collect();
+        let schedule = self.refresh_schedule(&mut srng, shared_sizes.len());
+        let per_user = nfstrace_core::parallel::run_sharded(cfg.users, threads, |u| {
+            self.simulate_user(u, &shared_sizes, &schedule)
+        });
+        merge_user_records(per_user)
+    }
+
+    /// Precomputes the nightly shared-dataset refreshes. Rate matches
+    /// the per-user cron model this schedule replaced: each user's
+    /// nightly data job refreshes one dataset about half the nights.
+    fn refresh_schedule(&self, rng: &mut StdRng, n_datasets: usize) -> Vec<Refresh> {
+        use nfstrace_core::time::{DAY, HOUR};
+        let cfg = &self.config;
+        let p = (cfg.cron_jobs_per_user_day * 0.49).clamp(0.0, 1.0);
+        let nights = cfg.duration_micros / DAY + 1;
+        let mut out = Vec::new();
+        for night in 0..nights {
+            for owner in 0..cfg.users {
+                if flip(rng, p) {
+                    out.push(Refresh {
+                        micros: night * DAY + 2 * HOUR + pick(rng, 0, 2 * HOUR),
+                        dataset: pick(rng, 0, n_datasets as u64) as usize,
+                        owner,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Simulates one workstation's whole trace against a private
+    /// filesystem replica. Deterministic given `(config, u)`.
+    fn simulate_user(
+        &self,
+        u: usize,
+        shared_sizes: &[u32],
+        schedule: &[Refresh],
+    ) -> Vec<TraceRecord> {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(user_seed(cfg.seed, u));
         let mut server = NfsServer::new(0x0a02_0002);
         let root = server.fs_mut().root();
 
         // Shared project datasets, rewritten nightly and read by anyone.
+        // Pinned to a fixed inode base so every replica agrees on ids.
+        server.fs_mut().set_next_id(SHARED_INODE_BASE);
         let shared_dir = server.fs_mut().mkdir(root, "shared", 0, 200, 0).unwrap();
         let mut shared = Vec::new();
-        for i in 0..cfg.shared_files.max(1) {
+        for (i, &sz) in shared_sizes.iter().enumerate() {
             let (fh, _) = server
                 .fs_mut()
                 .create(shared_dir, &format!("dataset{i:02}.dat"), 0, 200, 0)
                 .unwrap();
-            let sz = (lognormal(&mut rng, 250_000.0, 0.8) as u32).clamp(40_000, 1_000_000);
             server.fs_mut().write(fh, 0, sz, 0).unwrap();
             shared.push(FileHandle::from_u64(fh));
         }
+        // This user's files live above a disjoint per-user base.
+        server.fs_mut().set_next_id((u as u64 + 2) << 32);
 
-        let mut stations = Vec::with_capacity(cfg.users);
-        for u in 0..cfg.users {
+        let station = {
             let home = server
                 .fs_mut()
                 .mkdir(root, &format!("res{u:03}"), u as u32, 200, 0)
@@ -210,7 +299,10 @@ impl EecsWorkload {
                 )
                 .unwrap();
 
-            let vers = if flip(&mut rng, cfg.v2_fraction) {
+            // Protocol mix: the first `v2_fraction` of workstations
+            // still speak NFSv2 — a deterministic assignment, so the
+            // mix survives sharding at any population size.
+            let vers = if ((u as f64) + 0.5) / (cfg.users as f64) <= cfg.v2_fraction {
                 2
             } else {
                 3
@@ -229,9 +321,10 @@ impl EecsWorkload {
                 },
                 meta_latency_micros: 150,
                 server_latency_micros: 250,
-                seed: cfg.seed ^ (u as u64 + 1),
+                seed: user_seed(cfg.seed, u) ^ 0x77,
+                first_xid: user_first_xid(cfg.seed, u),
             });
-            stations.push(Workstation {
+            Workstation {
                 machine,
                 home: FileHandle::from_u64(home),
                 project: FileHandle::from_u64(project),
@@ -246,29 +339,34 @@ impl EecsWorkload {
                 cache_files: Vec::new(),
                 applet: None,
                 objects: Vec::new(),
-                shared: shared.clone(),
+                shared,
                 cron_outputs: Vec::new(),
                 cron_seq: 0,
-            });
-        }
+            }
+        };
+        let mut w = station;
 
         let day = nfstrace_core::time::DAY as f64;
         let mut q: EventQueue<Ev> = EventQueue::new();
-        for u in 0..cfg.users {
-            q.push(exp_gap(&mut rng, day / cfg.ticks_per_user_day), Ev::Tick(u));
+        q.push(exp_gap(&mut rng, day / cfg.ticks_per_user_day), Ev::Tick);
+        q.push(exp_gap(&mut rng, day / cfg.builds_per_user_day), Ev::Build);
+        q.push(exp_gap(&mut rng, day / cfg.browse_per_user_day), Ev::Browse);
+        q.push(exp_gap(&mut rng, day / cfg.saves_per_user_day), Ev::Save);
+        q.push(self.next_cron(&mut rng, 0), Ev::Cron);
+        q.push(
+            exp_gap(&mut rng, day / cfg.shared_reads_per_user_day),
+            Ev::SharedRead,
+        );
+        // The department's refresh schedule: every replica replays every
+        // refresh (keeping everyone's cached copies on the same
+        // staleness clock), but only the owner's shard emits records.
+        for r in schedule {
             q.push(
-                exp_gap(&mut rng, day / cfg.builds_per_user_day),
-                Ev::Build(u),
-            );
-            q.push(
-                exp_gap(&mut rng, day / cfg.browse_per_user_day),
-                Ev::Browse(u),
-            );
-            q.push(exp_gap(&mut rng, day / cfg.saves_per_user_day), Ev::Save(u));
-            q.push(self.next_cron(&mut rng, 0), Ev::Cron(u));
-            q.push(
-                exp_gap(&mut rng, day / cfg.shared_reads_per_user_day),
-                Ev::SharedRead(u),
+                r.micros,
+                Ev::Refresh {
+                    dataset: r.dataset,
+                    owned: r.owner == u,
+                },
             );
         }
 
@@ -278,67 +376,83 @@ impl EecsWorkload {
                 break;
             }
             match ev {
-                Ev::Tick(u) => {
+                Ev::Tick => {
                     if flip(&mut rng, cfg.rate.at(t)) {
-                        Self::desktop_tick(&mut server, &mut stations[u], &mut rng, t);
-                        out.extend(events_to_records(&stations[u].machine.take_events()));
+                        Self::desktop_tick(&mut server, &mut w, &mut rng, t);
+                        append_records(&w.machine.take_events(), &mut out);
                     }
                     q.push(
                         t + exp_gap(&mut rng, day / cfg.ticks_per_user_day),
-                        Ev::Tick(u),
+                        Ev::Tick,
                     );
                 }
-                Ev::Build(u) => {
+                Ev::Build => {
                     if flip(&mut rng, cfg.rate.at(t)) {
-                        Self::build(&mut server, &mut stations[u], &mut rng, t);
-                        out.extend(events_to_records(&stations[u].machine.take_events()));
+                        Self::build(&mut server, &mut w, &mut rng, t);
+                        append_records(&w.machine.take_events(), &mut out);
                     }
                     q.push(
                         t + exp_gap(&mut rng, day / cfg.builds_per_user_day),
-                        Ev::Build(u),
+                        Ev::Build,
                     );
                 }
-                Ev::Browse(u) => {
+                Ev::Browse => {
                     if flip(&mut rng, cfg.rate.at(t)) {
-                        Self::browse(&mut server, &mut stations[u], &mut rng, t);
-                        out.extend(events_to_records(&stations[u].machine.take_events()));
+                        Self::browse(&mut server, &mut w, &mut rng, t);
+                        append_records(&w.machine.take_events(), &mut out);
                     }
                     q.push(
                         t + exp_gap(&mut rng, day / cfg.browse_per_user_day),
-                        Ev::Browse(u),
+                        Ev::Browse,
                     );
                 }
-                Ev::Save(u) => {
+                Ev::Save => {
                     if flip(&mut rng, cfg.rate.at(t)) {
-                        Self::editor_save(&mut server, &mut stations[u], &mut rng, t);
-                        out.extend(events_to_records(&stations[u].machine.take_events()));
+                        Self::editor_save(&mut server, &mut w, &mut rng, t);
+                        append_records(&w.machine.take_events(), &mut out);
                     }
                     q.push(
                         t + exp_gap(&mut rng, day / cfg.saves_per_user_day),
-                        Ev::Save(u),
+                        Ev::Save,
                     );
                 }
-                Ev::Cron(u) => {
-                    Self::cron_job(&mut server, &mut stations[u], &mut rng, t);
-                    out.extend(events_to_records(&stations[u].machine.take_events()));
-                    q.push(self.next_cron(&mut rng, t), Ev::Cron(u));
+                Ev::Cron => {
+                    Self::cron_job(&mut server, &mut w, &mut rng, t);
+                    append_records(&w.machine.take_events(), &mut out);
+                    q.push(self.next_cron(&mut rng, t), Ev::Cron);
                 }
-                Ev::SharedRead(u) => {
+                Ev::SharedRead => {
                     if flip(&mut rng, cfg.rate.at(t)) {
-                        let w = &mut stations[u];
                         let fh =
                             w.shared[pick(&mut rng, 0, w.shared.len() as u64) as usize].clone();
                         w.machine.read_file(&mut server, t, &fh);
-                        out.extend(events_to_records(&w.machine.take_events()));
+                        append_records(&w.machine.take_events(), &mut out);
                     }
                     q.push(
                         t + exp_gap(&mut rng, day / cfg.shared_reads_per_user_day),
-                        Ev::SharedRead(u),
+                        Ev::SharedRead,
                     );
+                }
+                Ev::Refresh { dataset, owned } => {
+                    let fh = w.shared[dataset].clone();
+                    let size = u64::from(shared_sizes[dataset]);
+                    if owned {
+                        // This workstation runs the job: truncate and
+                        // rewrite through the client, emitting records.
+                        let t2 = w.machine.truncate(&mut server, t, &fh, 0);
+                        w.machine.write(&mut server, t2, &fh, 0, size);
+                        append_records(&w.machine.take_events(), &mut out);
+                    } else {
+                        // Someone else's job: replay it silently so this
+                        // replica's dataset mtime (and thus this client's
+                        // cache staleness) matches the merged reality.
+                        let id = fh.as_u64().unwrap_or(0);
+                        let _ = server.fs_mut().set_size(id, 0, t);
+                        let _ = server.fs_mut().write(id, 0, size as u32, t);
+                    }
                 }
             }
         }
-        out.sort_by_key(|r| r.micros);
         out
     }
 
@@ -608,18 +722,9 @@ impl EecsWorkload {
             let victim = w.cron_outputs.remove(0);
             now = w.machine.remove(server, now + 100_000, &home, &victim);
         }
-        // Refresh one shared dataset: everyone else's cached copy of it
-        // goes stale.
-        if !w.shared.is_empty() && flip(rng, 0.7) {
-            let fh = w.shared[pick(rng, 0, w.shared.len() as u64) as usize].clone();
-            let size = server
-                .fs()
-                .inode(fh.as_u64().unwrap_or(0))
-                .map(|i| i.size)
-                .unwrap_or(1 << 20);
-            now = w.machine.truncate(server, now, &fh, 0);
-            now = w.machine.write(server, now, &fh, 0, size);
-        }
+        // Shared-dataset refreshes are driven by the precomputed
+        // department schedule (see `refresh_schedule`), not by this
+        // per-user job: that keeps sharded generation deterministic.
         let _ = now;
     }
 }

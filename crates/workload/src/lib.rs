@@ -19,6 +19,17 @@
 //!   [`nfstrace_core::TraceRecord`]s.
 //! - [`driver`]: the discrete-event scaffolding and deterministic
 //!   random samplers.
+//!
+//! # Sharded generation
+//!
+//! Both generators simulate every user independently — its own
+//! filesystem replica (disjoint inode base), its own client machines,
+//! its own [`driver::user_seed`]-derived RNG — and merge the per-user
+//! streams by timestamp. Users are distributed across `std::thread`
+//! workers; the `NFSTRACE_THREADS` environment variable (default:
+//! available parallelism) sets the pool size and never changes the
+//! output: `generate_with_threads(1)` and `generate_with_threads(n)`
+//! are bit-identical for the same seed.
 
 pub mod campus;
 pub mod convert;

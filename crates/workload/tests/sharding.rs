@@ -1,0 +1,88 @@
+//! Sharded generation must be bit-identical to single-threaded
+//! generation: the thread count is a wall-clock knob, never a semantic
+//! one.
+
+use nfstrace_workload::{CampusConfig, CampusWorkload, EecsConfig, EecsWorkload};
+
+const SIX_HOURS: u64 = 6 * nfstrace_core::time::HOUR;
+
+#[test]
+fn campus_sharded_output_is_bit_identical() {
+    let w = CampusWorkload::new(CampusConfig {
+        users: 7,
+        duration_micros: SIX_HOURS,
+        seed: 99,
+        ..CampusConfig::default()
+    });
+    let serial = w.generate_with_threads(1);
+    assert!(serial.len() > 200, "records = {}", serial.len());
+    for threads in [2, 3, 8] {
+        assert_eq!(
+            serial,
+            w.generate_with_threads(threads),
+            "threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn eecs_sharded_output_is_bit_identical() {
+    let w = EecsWorkload::new(EecsConfig {
+        users: 5,
+        duration_micros: SIX_HOURS,
+        seed: 424,
+        ..EecsConfig::default()
+    });
+    let serial = w.generate_with_threads(1);
+    assert!(serial.len() > 200, "records = {}", serial.len());
+    for threads in [2, 4, 16] {
+        assert_eq!(
+            serial,
+            w.generate_with_threads(threads),
+            "threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn eecs_shared_datasets_have_one_identity_across_users() {
+    // Every user's replica pins the shared files to the same inode ids
+    // (SHARED_INODE_BASE..2*SHARED_INODE_BASE): a dataset read by two
+    // different workstations must reference the same FileId, and the
+    // number of distinct shared ids must not scale with the user count.
+    use nfstrace_workload::eecs::SHARED_INODE_BASE;
+    use std::collections::{HashMap, HashSet};
+    let cfg = EecsConfig {
+        users: 4,
+        duration_micros: 2 * nfstrace_core::time::DAY,
+        seed: 7,
+        ..EecsConfig::default()
+    };
+    let shared_files = cfg.shared_files;
+    let recs = EecsWorkload::new(cfg).generate();
+    let shared_range = SHARED_INODE_BASE..2 * SHARED_INODE_BASE;
+    let mut clients_per_fh: HashMap<u64, HashSet<u32>> = HashMap::new();
+    for r in &recs {
+        if shared_range.contains(&r.fh.0) {
+            clients_per_fh.entry(r.fh.0).or_default().insert(r.client);
+        }
+    }
+    assert!(
+        !clients_per_fh.is_empty(),
+        "no shared-dataset traffic in the trace"
+    );
+    // One id per dataset plus at most the shared directory itself —
+    // NOT one copy per user.
+    assert!(
+        clients_per_fh.len() <= shared_files + 1,
+        "{} distinct shared ids for {shared_files} datasets",
+        clients_per_fh.len()
+    );
+    // At least one dataset is touched by several distinct workstations
+    // under the same id.
+    let max_clients = clients_per_fh.values().map(HashSet::len).max().unwrap();
+    assert!(
+        max_clients >= 2,
+        "no dataset shared across clients (max {max_clients})"
+    );
+}

@@ -7,23 +7,24 @@ use nfstrace::core::runs::{RunKind, RunOptions};
 use nfstrace::core::seqmetric::metric_by_run_size;
 use nfstrace::core::summary::SummaryStats;
 use nfstrace::core::time::DAY;
+use nfstrace::core::TraceIndex;
 use nfstrace_bench::tables;
 use std::sync::OnceLock;
 
-fn campus() -> &'static Vec<nfstrace::core::TraceRecord> {
-    static TRACE: OnceLock<Vec<nfstrace::core::TraceRecord>> = OnceLock::new();
-    TRACE.get_or_init(|| nfstrace_bench::scenarios::campus(3, 0.25, 42))
+fn campus() -> &'static TraceIndex {
+    static TRACE: OnceLock<TraceIndex> = OnceLock::new();
+    TRACE.get_or_init(|| TraceIndex::new(nfstrace_bench::scenarios::campus(3, 0.25, 42)))
 }
 
-fn eecs() -> &'static Vec<nfstrace::core::TraceRecord> {
-    static TRACE: OnceLock<Vec<nfstrace::core::TraceRecord>> = OnceLock::new();
-    TRACE.get_or_init(|| nfstrace_bench::scenarios::eecs(3, 0.25, 1789))
+fn eecs() -> &'static TraceIndex {
+    static TRACE: OnceLock<TraceIndex> = OnceLock::new();
+    TRACE.get_or_init(|| TraceIndex::new(nfstrace_bench::scenarios::eecs(3, 0.25, 1789)))
 }
 
 #[test]
 fn table1_shape_campus_reads_eecs_writes() {
-    let sc = SummaryStats::from_records(campus().iter());
-    let se = SummaryStats::from_records(eecs().iter());
+    let sc = campus().summary();
+    let se = eecs().summary();
     // CAMPUS: reading dominates; EECS: writing dominates (Table 1).
     assert!(sc.rw_bytes_ratio() > 1.5, "campus {}", sc.rw_bytes_ratio());
     assert!(se.rw_bytes_ratio() < 1.0, "eecs {}", se.rw_bytes_ratio());
@@ -34,8 +35,10 @@ fn table1_shape_campus_reads_eecs_writes() {
 
 #[test]
 fn table2_shape_campus_busier() {
-    let sc = SummaryStats::from_records(campus().iter());
-    let se = SummaryStats::from_records(eecs().iter());
+    // The index's one-pass summary must agree with a fresh legacy pass.
+    let sc = campus().summary();
+    let se = eecs().summary();
+    assert_eq!(sc, &SummaryStats::from_records(campus().records().iter()));
     // "CAMPUS is an order of magnitude busier than any of the other
     // systems" — per capita it far out-traffics EECS here.
     assert!(sc.bytes_read > 4 * se.bytes_read);
@@ -43,9 +46,9 @@ fn table2_shape_campus_busier() {
 
 #[test]
 fn table3_processing_recovers_sequentiality() {
-    for (recs, win) in [(campus(), 10u64), (eecs(), 5u64)] {
-        let raw = tables::trace_runs(recs, 0, RunOptions::raw());
-        let processed = tables::trace_runs(recs, win, RunOptions::default());
+    for (idx, win) in [(campus(), 10u64), (eecs(), 5u64)] {
+        let raw = tables::trace_runs(idx, 0, RunOptions::raw());
+        let processed = tables::trace_runs(idx, win, RunOptions::default());
         let random_frac = |runs: &[nfstrace::core::runs::Run]| {
             let total = runs.len().max(1) as f64;
             runs.iter()
@@ -65,7 +68,7 @@ fn table3_processing_recovers_sequentiality() {
 
 #[test]
 fn fig1_swapped_fraction_monotone_with_knee() {
-    let per_file = reorder::accesses_by_file(campus().iter());
+    let per_file = reorder::accesses_by_file(campus().records().iter());
     let pts = reorder::swap_fraction_sweep(&per_file, &[0, 2, 5, 10, 20, 50]);
     assert_eq!(pts[0].swapped_fraction, 0.0);
     for w in pts.windows(2) {
@@ -79,22 +82,13 @@ fn fig1_swapped_fraction_monotone_with_knee() {
 
 #[test]
 fn table4_death_causes_differ_by_system() {
-    let rc = lifetime::analyze(
-        campus().iter(),
-        lifetime::LifetimeConfig {
-            phase1_start: DAY,
-            phase1_len: DAY,
-            phase2_len: DAY,
-        },
-    );
-    let re = lifetime::analyze(
-        eecs().iter(),
-        lifetime::LifetimeConfig {
-            phase1_start: DAY,
-            phase1_len: DAY,
-            phase2_len: DAY,
-        },
-    );
+    let cfg = lifetime::LifetimeConfig {
+        phase1_start: DAY,
+        phase1_len: DAY,
+        phase2_len: DAY,
+    };
+    let rc = campus().lifetime(cfg);
+    let re = eecs().lifetime(cfg);
     // CAMPUS deaths are overwhelmingly overwrites; EECS has a large
     // delete share (Table 4).
     let c_ow = rc.deaths_overwrite as f64 / rc.deaths_total().max(1) as f64;
@@ -110,8 +104,8 @@ fn fig3_eecs_blocks_die_much_faster() {
         phase1_len: DAY,
         phase2_len: DAY,
     };
-    let rc = lifetime::analyze(campus().iter(), cfg);
-    let re = lifetime::analyze(eecs().iter(), cfg);
+    let rc = campus().lifetime(cfg);
+    let re = eecs().lifetime(cfg);
     // The lifetime mixes are bimodal, so compare the CDF at one second:
     // EECS has a large sub-second population (paper: ~50%), CAMPUS has
     // almost none ("few blocks live for less than a second").
@@ -132,7 +126,7 @@ fn fig3_eecs_blocks_die_much_faster() {
 
 #[test]
 fn table5_peak_hours_cut_variance() {
-    let series = nfstrace::core::hourly::HourlySeries::from_records(campus().iter());
+    let series = campus().hourly();
     let all = series.table5(false);
     let peak = series.table5(true);
     assert!(
@@ -165,7 +159,7 @@ fn fig5_long_reads_more_sequential_than_writes() {
 
 #[test]
 fn names_predict_attributes() {
-    let rep = nfstrace::core::names::NamePredictionReport::from_records(campus().iter());
+    let rep = campus().names();
     // Locks dominate churn (paper: 96% on CAMPUS).
     assert!(
         rep.lock_fraction_of_churn() > 0.5,
@@ -179,7 +173,10 @@ fn names_predict_attributes() {
 
 #[test]
 fn hierarchy_coverage_climbs_within_minutes() {
-    let pts = nfstrace::core::hierarchy::coverage_over_time(campus().iter(), 10 * 60 * 1_000_000);
+    let pts = nfstrace::core::hierarchy::coverage_over_time(
+        campus().records().iter(),
+        10 * 60 * 1_000_000,
+    );
     assert!(pts.len() > 3);
     let late: f64 = pts[pts.len() - 3..]
         .iter()
