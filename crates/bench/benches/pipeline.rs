@@ -12,9 +12,10 @@
 use criterion::{criterion_group, Criterion, Throughput};
 use nfstrace_anonymize::{Anonymizer, AnonymizerConfig};
 use nfstrace_bench::tables;
-use nfstrace_core::index::TraceIndex;
+use nfstrace_core::index::{TraceIndex, TraceView};
 use nfstrace_core::record::TraceRecord;
 use nfstrace_sniffer::{Sniffer, WireEncoder};
+use nfstrace_store::{StoreConfig, StoreIndex, StoreWriter};
 use nfstrace_workload::{CampusConfig, CampusWorkload, EecsConfig, EecsWorkload};
 
 fn bench_generation(c: &mut Criterion) {
@@ -100,23 +101,29 @@ fn bench_anonymize(c: &mut Criterion) {
     g.finish();
 }
 
-/// The artifact set both analysis paths drive (the lifetime-window
+/// The artifact set every analysis path drives (the lifetime-window
 /// artifacts need 8-day traces and are exercised by `repro` itself).
-const ARTIFACTS: &[fn(&TraceIndex, &TraceIndex) -> usize] = &[
-    |c, e| tables::table1(c, e).text.len(),
-    |c, e| tables::table2(c, e).text.len(),
-    |c, e| tables::table3(c, e).text.len(),
-    |c, e| tables::table5(c, e).text.len(),
-    |c, e| tables::fig1(c, e).text.len(),
-    |c, e| tables::fig2(c, e).text.len(),
-    |c, e| tables::fig4(c, e).text.len(),
-    |c, e| tables::fig5(c, e).text.len(),
-    |c, _| tables::names_report(c).len(),
-];
+/// One source of truth: the legacy, indexed, and store measurements
+/// all instantiate this list, so the tracked speedup ratios always
+/// compare identical work.
+fn artifacts<V: TraceView>() -> [fn(&V, &V) -> usize; 9] {
+    [
+        |c, e| tables::table1(c, e).text.len(),
+        |c, e| tables::table2(c, e).text.len(),
+        |c, e| tables::table3(c, e).text.len(),
+        |c, e| tables::table5(c, e).text.len(),
+        |c, e| tables::fig1(c, e).text.len(),
+        |c, e| tables::fig2(c, e).text.len(),
+        |c, e| tables::fig4(c, e).text.len(),
+        |c, e| tables::fig5(c, e).text.len(),
+        |c, _| tables::names_report(c).len(),
+    ]
+}
 
-/// Runs every artifact against one shared index pair.
-fn run_artifacts(campus: &TraceIndex, eecs: &TraceIndex) -> usize {
-    ARTIFACTS.iter().map(|f| f(campus, eecs)).sum()
+/// Runs every artifact against one shared index pair — generic, so the
+/// in-memory and store-backed measurements drive identical code.
+fn run_artifacts<V: TraceView>(campus: &V, eecs: &V) -> usize {
+    artifacts::<V>().iter().map(|f| f(campus, eecs)).sum()
 }
 
 /// The day-long comparison workloads. Criterion and the JSON tracker
@@ -149,7 +156,7 @@ const ANALYSIS_SWEEPS: usize = 3;
 fn legacy_analysis(campus: &[TraceRecord], eecs: &[TraceRecord]) -> usize {
     let mut chars = 0;
     for _ in 0..ANALYSIS_SWEEPS {
-        for artifact in ARTIFACTS {
+        for artifact in artifacts::<TraceIndex>() {
             let ci = TraceIndex::new(campus.to_vec());
             let ei = TraceIndex::new(eecs.to_vec());
             chars += artifact(&ci, &ei);
@@ -191,6 +198,47 @@ criterion_group!(
     bench_analysis_paths
 );
 
+/// The out-of-core shape: generate both day-long traces straight into
+/// chunked store files, open chunk-parallel store indices, run the same
+/// artifact sweeps. Returns (store index pair build seconds, analysis
+/// seconds, total chunks).
+fn store_analysis(dir: &std::path::Path) -> (f64, f64, usize) {
+    use std::time::Instant;
+    std::fs::create_dir_all(dir).expect("store dir");
+    let threads = nfstrace_core::parallel::threads();
+    let cfg = StoreConfig {
+        // Day-long bench traces are small; keep several chunks in play
+        // so the chunk-parallel path is actually exercised.
+        target_chunk_bytes: 256 << 10,
+    };
+    let t = Instant::now();
+    let campus_path = dir.join("campus.nfstore");
+    let mut w = StoreWriter::create(&campus_path, cfg).expect("create store");
+    analysis_campus()
+        .generate_into(threads, &mut w)
+        .expect("stream campus");
+    w.finish().expect("finish store");
+    let eecs_path = dir.join("eecs.nfstore");
+    let mut w = StoreWriter::create(&eecs_path, cfg).expect("create store");
+    analysis_eecs()
+        .generate_into(threads, &mut w)
+        .expect("stream eecs");
+    w.finish().expect("finish store");
+    let ci = StoreIndex::open(&campus_path).expect("open campus store");
+    let ei = StoreIndex::open(&eecs_path).expect("open eecs store");
+    let build_s = t.elapsed().as_secs_f64();
+    let chunks = ci.reader().chunk_count() + ei.reader().chunk_count();
+
+    let t = Instant::now();
+    let mut chars = 0;
+    for _ in 0..ANALYSIS_SWEEPS {
+        chars += run_artifacts(&ci, &ei);
+    }
+    assert!(chars > 0);
+    let analysis_s = t.elapsed().as_secs_f64();
+    (build_s, analysis_s, chunks)
+}
+
 /// One-shot wall-clock numbers for `BENCH_pipeline.json` (measured with
 /// plain `Instant`, independent of the criterion stub's windowing).
 fn write_pipeline_json() {
@@ -211,29 +259,47 @@ fn write_pipeline_json() {
     indexed_analysis(&campus, &eecs);
     let indexed_s = t.elapsed().as_secs_f64();
 
+    // Per-process dir: concurrent bench runs must not truncate each
+    // other's store files mid-write.
+    let store_dir =
+        std::env::temp_dir().join(format!("nfstrace-bench-store-{}", std::process::id()));
+    let (store_build_s, store_analysis_s, store_chunks) = store_analysis(&store_dir);
+    std::fs::remove_dir_all(&store_dir).ok();
+
     let json = format!(
         r#"{{
   "bench": "pipeline",
   "history": {{
-    "note": "frozen hand-timed record of ./target/release/repro at NFSTRACE_SCALE=1.0 taken once around the PR 2 TraceIndex refactor (1-CPU container); NOT remeasured by this bench — the regression-tracked signal is `measured` below",
+    "note": "frozen hand-timed records of ./target/release/repro at NFSTRACE_SCALE=1.0; NOT remeasured by this bench — the regression-tracked signal is `measured` below",
     "pre_refactor_samples": [36.57, 23.19],
-    "post_refactor_samples": [17.72, 15.25, 9.18]
+    "post_refactor_samples": [17.72, 15.25, 9.18],
+    "pr3_multi_worker": {{
+      "note": "hand-timed on the PR 3 runner (1 CPU: thread counts above 1 are determinism coverage, not speedup) — in-memory vs --store out-of-core, best-of-3 each",
+      "cpus": 1,
+      "in_memory": {{"threads_1_s": 6.87, "threads_2_s": 7.11}},
+      "store": {{"threads_1_s": 10.81, "threads_2_s": 12.07}}
+    }}
   }},
   "measured": {{
-    "note": "measured fresh by every run of `cargo bench --bench pipeline` on small day-long traces; `legacy` rebuilds its view per artifact (the pre-refactor shape), `indexed` shares one TraceIndex across all sweeps",
+    "note": "measured fresh by every run of `cargo bench --bench pipeline` on small day-long traces; `legacy` rebuilds its view per artifact (the pre-refactor shape), `indexed` shares one TraceIndex across all sweeps, `store` streams generation into chunked store files and analyzes them out-of-core",
     "generate_campus_day_serial_s": {gen_serial_s:.3},
     "generate_campus_day_sharded_s": {gen_sharded_s:.3},
     "threads": {threads},
     "analysis_sweeps": {sweeps},
     "analysis_legacy_fresh_index_per_artifact_s": {legacy_s:.3},
     "analysis_indexed_shared_s": {indexed_s:.3},
-    "analysis_speedup": {aspeed:.2}
+    "analysis_speedup": {aspeed:.2},
+    "store_generate_and_index_s": {store_build_s:.3},
+    "analysis_store_shared_s": {store_analysis_s:.3},
+    "store_chunks": {store_chunks},
+    "store_vs_indexed_analysis_ratio": {sratio:.2}
   }}
 }}
 "#,
         threads = nfstrace_core::parallel::threads(),
         sweeps = ANALYSIS_SWEEPS,
         aspeed = legacy_s / indexed_s.max(1e-9),
+        sratio = store_analysis_s / indexed_s.max(1e-9),
     );
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_pipeline.json");
     match std::fs::write(&path, &json) {

@@ -1,20 +1,33 @@
 //! Runs the full reproduction suite and prints every table and figure.
 //!
 //! `NFSTRACE_SCALE` scales the simulated populations; `NFSTRACE_THREADS`
-//! scales generation across worker threads without changing the output.
+//! scales generation and chunk indexing across worker threads without
+//! changing the output.
 //!
 //! Each system is generated once (eight days: the lifetime analyses
 //! need the Friday end margin) and indexed once; the canonical analysis
 //! week is a zero-copy time window over the same trace, so the whole
 //! suite buckets and sorts each trace exactly once per reorder window.
+//!
+//! # Out-of-core mode
+//!
+//! `repro --store <dir>` runs the same suite end to end without ever
+//! holding a full trace in memory: generation streams straight into
+//! chunked store files under `<dir>` (`campus.nfstore`,
+//! `eecs.nfstore`), indexing builds one partial index per chunk across
+//! `NFSTRACE_THREADS` workers and merges them, and the record-replaying
+//! analyses decode one chunk at a time. Its stdout is **byte-identical**
+//! to the in-memory run — CI asserts exactly that.
 
 use nfstrace_bench::{scale, scenarios, tables};
+use nfstrace_core::index::TraceView;
 use nfstrace_core::time::DAY;
+use nfstrace_store::StoreConfig;
 
-fn main() {
-    let s = scale();
-    eprintln!("generating 8-day traces at scale {s} ...");
-    let (campus8, eecs8) = scenarios::eight_day_index_pair(s);
+/// Prints every artifact over the 8-day pair and its analysis-week
+/// windows, then asserts the one-pass contract. Generic: the in-memory
+/// and store-backed runs share every line of this.
+fn run_suite<V: TraceView>(campus8: &V, eecs8: &V) {
     eprintln!(
         "  CAMPUS: {} records, EECS: {} records",
         campus8.len(),
@@ -27,11 +40,11 @@ fn main() {
     println!("{}", tables::table1(&campus_week, &eecs_week).text);
     println!("{}", tables::table2(&campus_week, &eecs_week).text);
     println!("{}", tables::table3(&campus_week, &eecs_week).text);
-    println!("{}", tables::table4(&campus8, &eecs8).text);
+    println!("{}", tables::table4(campus8, eecs8).text);
     println!("{}", tables::table5(&campus_week, &eecs_week).text);
     println!("{}", tables::fig1(&campus_week, &eecs_week).text);
     println!("{}", tables::fig2(&campus_week, &eecs_week).text);
-    println!("{}", tables::fig3(&campus8, &eecs8).text);
+    println!("{}", tables::fig3(campus8, eecs8).text);
     println!("{}", tables::fig4(&campus_week, &eecs_week).text);
     println!("{}", tables::fig5(&campus_week, &eecs_week).text);
     println!("{}", tables::names_report(&campus_week));
@@ -39,12 +52,58 @@ fn main() {
 
     // The one-pass contract: each index sorted its trace exactly once
     // per reorder window (CAMPUS 10 ms, EECS 5 ms).
-    for (name, idx, expect) in [
-        ("campus week", &campus_week, 1),
-        ("eecs week", &eecs_week, 1),
-        ("campus 8-day", &campus8, 0),
-        ("eecs 8-day", &eecs8, 0),
+    for (name, passes, expect) in [
+        ("campus week", campus_week.sort_passes(), 1),
+        ("eecs week", eecs_week.sort_passes(), 1),
+        ("campus 8-day", campus8.sort_passes(), 0),
+        ("eecs 8-day", eecs8.sort_passes(), 0),
     ] {
-        assert_eq!(idx.sort_passes(), expect, "{name} sort passes");
+        assert_eq!(passes, expect, "{name} sort passes");
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut store_dir: Option<std::path::PathBuf> = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--store" => {
+                let dir = args.next().unwrap_or_else(|| {
+                    eprintln!("usage: repro [--store <dir>]");
+                    std::process::exit(2);
+                });
+                store_dir = Some(dir.into());
+            }
+            other => {
+                eprintln!("unknown argument {other:?}; usage: repro [--store <dir>]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let s = scale();
+    match store_dir {
+        None => {
+            eprintln!("generating 8-day traces at scale {s} ...");
+            let (campus8, eecs8) = scenarios::eight_day_index_pair(s);
+            run_suite(&campus8, &eecs8);
+        }
+        Some(dir) => {
+            eprintln!(
+                "generating 8-day traces at scale {s} into store {} ...",
+                dir.display()
+            );
+            let (campus8, eecs8) = scenarios::eight_day_store_pair(s, &dir, StoreConfig::default())
+                .unwrap_or_else(|e| {
+                    eprintln!("store pipeline failed: {e}");
+                    std::process::exit(1);
+                });
+            eprintln!(
+                "  store chunks: CAMPUS {}, EECS {}",
+                campus8.reader().chunk_count(),
+                eecs8.reader().chunk_count()
+            );
+            run_suite(&campus8, &eecs8);
+        }
     }
 }

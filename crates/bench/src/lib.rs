@@ -9,11 +9,14 @@
 //! simulated population; the *shapes* — who wins, by what factor, where
 //! the knees fall — are what reproduce the paper.
 //!
-//! Every artifact consumes a [`nfstrace_core::index::TraceIndex`]
+//! Every artifact is generic over [`nfstrace_core::index::TraceView`],
 //! built once per trace, so the suite buckets and sorts each trace
 //! exactly once per reorder window; `NFSTRACE_THREADS` shards trace
-//! generation (and the Figure 1 sweep) across worker threads without
-//! changing any output bit.
+//! generation, chunk indexing, and the Figure 1 sweep across worker
+//! threads without changing any output bit. `repro --store <dir>` runs
+//! the identical suite out-of-core through the `nfstrace_store` chunked
+//! trace store — byte-identical stdout, record memory bounded by chunk
+//! size.
 
 pub mod scenarios;
 pub mod tables;

@@ -3,7 +3,9 @@
 use nfstrace_core::index::TraceIndex;
 use nfstrace_core::record::TraceRecord;
 use nfstrace_core::time::DAY;
+use nfstrace_store::{StoreConfig, StoreIndex, StoreWriter};
 use nfstrace_workload::{CampusConfig, CampusWorkload, EecsConfig, EecsWorkload};
+use std::path::Path;
 
 /// Base CAMPUS population at scale 1.0.
 pub const CAMPUS_BASE_USERS: usize = 40;
@@ -16,24 +18,12 @@ pub const WEEK_DAYS: u64 = 7;
 
 /// Generates a CAMPUS trace of `days` days at the given scale.
 pub fn campus(days: u64, scale: f64, seed: u64) -> Vec<TraceRecord> {
-    CampusWorkload::new(CampusConfig {
-        users: ((CAMPUS_BASE_USERS as f64 * scale) as usize).max(4),
-        duration_micros: days * DAY,
-        seed,
-        ..CampusConfig::default()
-    })
-    .generate()
+    CampusWorkload::new(campus_config(days, scale, seed)).generate()
 }
 
 /// Generates an EECS trace of `days` days at the given scale.
 pub fn eecs(days: u64, scale: f64, seed: u64) -> Vec<TraceRecord> {
-    EecsWorkload::new(EecsConfig {
-        users: ((EECS_BASE_USERS as f64 * scale) as usize).max(3),
-        duration_micros: days * DAY,
-        seed,
-        ..EecsConfig::default()
-    })
-    .generate()
+    EecsWorkload::new(eecs_config(days, scale, seed)).generate()
 }
 
 /// A full analysis week for both systems.
@@ -56,6 +46,61 @@ pub fn eight_day_index_pair(scale: f64) -> (TraceIndex, TraceIndex) {
         TraceIndex::new(campus(8, scale, 42)),
         TraceIndex::new(eecs(8, scale, 1789)),
     )
+}
+
+/// The configuration used by both [`CampusWorkload::new`] systems in
+/// [`eight_day_store_pair`]: same populations and seeds as
+/// [`eight_day_index_pair`], streamed.
+fn campus_config(days: u64, scale: f64, seed: u64) -> CampusConfig {
+    CampusConfig {
+        users: ((CAMPUS_BASE_USERS as f64 * scale) as usize).max(4),
+        duration_micros: days * DAY,
+        seed,
+        ..CampusConfig::default()
+    }
+}
+
+/// See [`campus_config`].
+fn eecs_config(days: u64, scale: f64, seed: u64) -> EecsConfig {
+    EecsConfig {
+        users: ((EECS_BASE_USERS as f64 * scale) as usize).max(3),
+        duration_micros: days * DAY,
+        seed,
+        ..EecsConfig::default()
+    }
+}
+
+/// The out-of-core twin of [`eight_day_index_pair`]: generates the same
+/// eight-day traces (same seeds, bit-identical record streams) directly
+/// into chunked store files under `dir` — the merged record vectors are
+/// never materialized — then opens chunk-parallel [`StoreIndex`]es over
+/// them.
+///
+/// # Errors
+///
+/// Propagates store write/read failures.
+pub fn eight_day_store_pair(
+    scale: f64,
+    dir: &Path,
+    config: StoreConfig,
+) -> nfstrace_store::Result<(StoreIndex, StoreIndex)> {
+    std::fs::create_dir_all(dir).map_err(nfstrace_store::StoreError::Io)?;
+    let threads = nfstrace_core::parallel::threads();
+
+    let campus_path = dir.join("campus.nfstore");
+    let mut w = StoreWriter::create(&campus_path, config)?;
+    CampusWorkload::new(campus_config(8, scale, 42)).generate_into(threads, &mut w)?;
+    w.finish()?;
+
+    let eecs_path = dir.join("eecs.nfstore");
+    let mut w = StoreWriter::create(&eecs_path, config)?;
+    EecsWorkload::new(eecs_config(8, scale, 1789)).generate_into(threads, &mut w)?;
+    w.finish()?;
+
+    Ok((
+        StoreIndex::open(&campus_path)?,
+        StoreIndex::open(&eecs_path)?,
+    ))
 }
 
 #[cfg(test)]

@@ -1,16 +1,19 @@
 //! One function per paper artifact, producing printable text plus the
 //! structured numbers the integration tests assert on.
 //!
-//! Every artifact is a view over a [`TraceIndex`]: the index is built
-//! once per trace (one bucketing pass) and every table and figure below
-//! pulls its reorder-corrected access streams, run tables, lifetime
-//! reports, and hourly buckets from the index's caches. Running the
-//! whole suite sorts each trace exactly once per reorder window.
+//! Every artifact is generic over [`TraceView`] — the analysis surface
+//! both the in-memory `TraceIndex` and the out-of-core
+//! `nfstrace_store::StoreIndex` implement — so the same code serves
+//! traces held in RAM and traces streamed from a chunked store. The
+//! index is built once per trace (one bucketing pass) and every table
+//! and figure below pulls its reorder-corrected access streams, run
+//! tables, lifetime reports, and hourly buckets from the index's
+//! caches. Running the whole suite sorts each trace exactly once per
+//! reorder window.
 
-use nfstrace_core::hierarchy;
 use nfstrace_core::historical;
 use nfstrace_core::hourly::HourlySeries;
-use nfstrace_core::index::{AccessMap, TraceIndex};
+use nfstrace_core::index::{AccessMap, TraceView};
 use nfstrace_core::lifetime::{LifetimeConfig, LifetimeReport};
 use nfstrace_core::names::FileCategory;
 use nfstrace_core::record::{Op, TraceRecord};
@@ -28,7 +31,7 @@ pub const WINDOW_EECS_MS: u64 = 5;
 
 /// Sorted per-file accesses after the reorder-window correction,
 /// served from the index's per-window cache.
-pub fn sorted_accesses(idx: &TraceIndex, window_ms: u64) -> Arc<AccessMap> {
+pub fn sorted_accesses<V: TraceView>(idx: &V, window_ms: u64) -> Arc<AccessMap> {
     idx.accesses(window_ms)
 }
 
@@ -50,7 +53,7 @@ pub struct Table1 {
 }
 
 /// Computes Table 1 from one day of each system.
-pub fn table1(campus: &TraceIndex, eecs: &TraceIndex) -> Table1 {
+pub fn table1<V: TraceView>(campus: &V, eecs: &V) -> Table1 {
     let mut data_fraction = [0.0; 2];
     let mut rw_bytes = [0.0; 2];
     let mut lock_churn = [0.0; 2];
@@ -132,7 +135,7 @@ pub struct Table2 {
 }
 
 /// Computes Table 2 from week-long traces.
-pub fn table2(campus: &TraceIndex, eecs: &TraceIndex) -> Table2 {
+pub fn table2<V: TraceView>(campus: &V, eecs: &V) -> Table2 {
     let sc = campus.summary().daily();
     let se = eecs.summary().daily();
     let mut text = String::new();
@@ -255,12 +258,12 @@ pub struct Table3 {
 
 /// Computes the runs of a trace under raw or processed methodology,
 /// served from the index's run-table cache.
-pub fn trace_runs(idx: &TraceIndex, window_ms: u64, opts: RunOptions) -> Arc<Vec<Run>> {
+pub fn trace_runs<V: TraceView>(idx: &V, window_ms: u64, opts: RunOptions) -> Arc<Vec<Run>> {
     idx.runs(window_ms, opts)
 }
 
 /// Computes Table 3 from week-long traces.
-pub fn table3(campus: &TraceIndex, eecs: &TraceIndex) -> Table3 {
+pub fn table3<V: TraceView>(campus: &V, eecs: &V) -> Table3 {
     let raw = [
         PatternTable::from_runs(&trace_runs(campus, WINDOW_CAMPUS_MS, RunOptions::raw())),
         PatternTable::from_runs(&trace_runs(eecs, WINDOW_EECS_MS, RunOptions::raw())),
@@ -377,12 +380,12 @@ pub struct Table4 {
 /// Runs the paper's five weekday 9am-start daily analyses and merges,
 /// served from the index's lifetime cache (Table 4 and Figure 3 share
 /// one computation).
-pub fn weekday_lifetime(idx: &TraceIndex) -> Arc<LifetimeReport> {
+pub fn weekday_lifetime<V: TraceView>(idx: &V) -> Arc<LifetimeReport> {
     idx.weekday_lifetime()
 }
 
 /// Computes Table 4 (requires ≥ 8 days of trace for full margins).
-pub fn table4(campus: &TraceIndex, eecs: &TraceIndex) -> Table4 {
+pub fn table4<V: TraceView>(campus: &V, eecs: &V) -> Table4 {
     let rc = weekday_lifetime(campus);
     let re = weekday_lifetime(eecs);
     let pct = |n: u64, d: u64| {
@@ -474,7 +477,7 @@ pub struct Table5 {
 }
 
 /// Computes Table 5 from week-long traces.
-pub fn table5(campus: &TraceIndex, eecs: &TraceIndex) -> Table5 {
+pub fn table5<V: TraceView>(campus: &V, eecs: &V) -> Table5 {
     let sc = campus.hourly();
     let se = eecs.hourly();
     let all = [sc.table5(false), se.table5(false)];
@@ -533,9 +536,9 @@ pub struct Fig1 {
 /// Computes Figure 1 from the Wednesday 9am–12pm subset, as the paper
 /// does. The subset is a zero-copy time window of the index; the sweep
 /// itself is sharded across files.
-pub fn fig1(campus: &TraceIndex, eecs: &TraceIndex) -> Fig1 {
+pub fn fig1<V: TraceView>(campus: &V, eecs: &V) -> Fig1 {
     let windows: Vec<u64> = (0..=50).step_by(2).collect();
-    let sweep = |idx: &TraceIndex| -> Vec<(u64, f64)> {
+    let sweep = |idx: &V| -> Vec<(u64, f64)> {
         idx.time_window(3 * DAY + 9 * HOUR, 3 * DAY + 12 * HOUR)
             .swap_sweep(&windows)
             .into_iter()
@@ -576,7 +579,7 @@ pub struct Fig2 {
 }
 
 /// Computes Figure 2.
-pub fn fig2(campus: &TraceIndex, eecs: &TraceIndex) -> Fig2 {
+pub fn fig2<V: TraceView>(campus: &V, eecs: &V) -> Fig2 {
     let rc = trace_runs(campus, WINDOW_CAMPUS_MS, RunOptions::default());
     let re = trace_runs(eecs, WINDOW_EECS_MS, RunOptions::default());
     let pc = SizeProfile::from_runs(&rc);
@@ -643,7 +646,7 @@ pub struct Fig3 {
 
 /// Computes Figure 3 from the weekday lifetime windows (shared with
 /// Table 4 through the index cache).
-pub fn fig3(campus: &TraceIndex, eecs: &TraceIndex) -> Fig3 {
+pub fn fig3<V: TraceView>(campus: &V, eecs: &V) -> Fig3 {
     let probes = nfstrace_core::lifetime::figure3_probes();
     let rc = weekday_lifetime(campus);
     let re = weekday_lifetime(eecs);
@@ -688,7 +691,7 @@ pub struct Fig4 {
 }
 
 /// Computes Figure 4.
-pub fn fig4(campus: &TraceIndex, eecs: &TraceIndex) -> Fig4 {
+pub fn fig4<V: TraceView>(campus: &V, eecs: &V) -> Fig4 {
     // Hourly series are bounded by trace hours, not records: cloning
     // them is a few KB, unlike the lifetime reports above.
     let sc = campus.hourly().clone();
@@ -739,7 +742,7 @@ pub struct Fig5 {
 }
 
 /// Computes Figure 5 (its run tables are cache hits after Figure 2).
-pub fn fig5(campus: &TraceIndex, eecs: &TraceIndex) -> Fig5 {
+pub fn fig5<V: TraceView>(campus: &V, eecs: &V) -> Fig5 {
     use nfstrace_core::runs::RunKind;
     let rc = trace_runs(campus, WINDOW_CAMPUS_MS, RunOptions::default());
     let re = trace_runs(eecs, WINDOW_EECS_MS, RunOptions::default());
@@ -802,8 +805,8 @@ pub fn fig5(campus: &TraceIndex, eecs: &TraceIndex) -> Fig5 {
 }
 
 /// §4.1.1: hierarchy-reconstruction coverage over time.
-pub fn hierarchy_coverage(idx: &TraceIndex) -> String {
-    let pts = hierarchy::coverage_over_time(idx.records().iter(), 30 * 60 * 1_000_000);
+pub fn hierarchy_coverage<V: TraceView>(idx: &V) -> String {
+    let pts = idx.hierarchy_coverage(30 * 60 * 1_000_000);
     let mut text = String::new();
     let _ = writeln!(
         text,
@@ -821,7 +824,7 @@ pub fn hierarchy_coverage(idx: &TraceIndex) -> String {
 }
 
 /// §6.3: name-based prediction summary.
-pub fn names_report(idx: &TraceIndex) -> String {
+pub fn names_report<V: TraceView>(idx: &V) -> String {
     let rep = idx.names();
     let mut text = String::new();
     let _ = writeln!(

@@ -122,40 +122,78 @@ pub fn coverage_over_time<'a, I>(records: I, bucket_micros: u64) -> Vec<Coverage
 where
     I: IntoIterator<Item = &'a TraceRecord>,
 {
-    let mut h = Hierarchy::new();
-    let mut out = Vec::new();
-    let mut bucket_end = 0u64;
-    let (mut known, mut total) = (0u64, 0u64);
+    let mut b = CoverageBuilder::new(bucket_micros);
     for r in records {
-        if bucket_end == 0 {
-            bucket_end = r.micros + bucket_micros;
-        }
-        while r.micros >= bucket_end {
-            out.push(CoveragePoint {
-                micros: bucket_end,
-                known_fraction: if total == 0 {
-                    0.0
-                } else {
-                    known as f64 / total as f64
-                },
-            });
-            known = 0;
-            total = 0;
-            bucket_end += bucket_micros;
-        }
-        total += 1;
-        if h.parent_of(r.fh).is_some() || h.known.contains(&r.fh) {
-            known += 1;
-        }
-        h.observe(r);
+        b.observe(r);
     }
-    if total > 0 {
-        out.push(CoveragePoint {
-            micros: bucket_end,
-            known_fraction: known as f64 / total as f64,
+    b.finish()
+}
+
+/// Record-at-a-time accumulator behind [`coverage_over_time`], usable by
+/// streaming consumers (the out-of-core store index) that cannot hold
+/// the trace in memory.
+#[derive(Debug)]
+pub struct CoverageBuilder {
+    bucket_micros: u64,
+    h: Hierarchy,
+    out: Vec<CoveragePoint>,
+    bucket_end: u64,
+    known: u64,
+    total: u64,
+}
+
+impl CoverageBuilder {
+    /// Creates a builder with the given measurement interval.
+    pub fn new(bucket_micros: u64) -> Self {
+        CoverageBuilder {
+            bucket_micros,
+            h: Hierarchy::new(),
+            out: Vec::new(),
+            bucket_end: 0,
+            known: 0,
+            total: 0,
+        }
+    }
+
+    /// Folds one record in. Records must arrive in time order.
+    pub fn observe(&mut self, r: &TraceRecord) {
+        if self.bucket_end == 0 {
+            self.bucket_end = r.micros + self.bucket_micros;
+        }
+        while r.micros >= self.bucket_end {
+            self.flush_bucket();
+        }
+        self.total += 1;
+        if self.h.parent_of(r.fh).is_some() || self.h.known.contains(&r.fh) {
+            self.known += 1;
+        }
+        self.h.observe(r);
+    }
+
+    fn flush_bucket(&mut self) {
+        self.out.push(CoveragePoint {
+            micros: self.bucket_end,
+            known_fraction: if self.total == 0 {
+                0.0
+            } else {
+                self.known as f64 / self.total as f64
+            },
         });
+        self.known = 0;
+        self.total = 0;
+        self.bucket_end += self.bucket_micros;
     }
-    out
+
+    /// Closes the trailing partial bucket and returns the series.
+    pub fn finish(mut self) -> Vec<CoveragePoint> {
+        if self.total > 0 {
+            self.out.push(CoveragePoint {
+                micros: self.bucket_end,
+                known_fraction: self.known as f64 / self.total as f64,
+            });
+        }
+        self.out
+    }
 }
 
 #[cfg(test)]

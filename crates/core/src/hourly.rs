@@ -26,6 +26,15 @@ pub struct HourBucket {
 }
 
 impl HourBucket {
+    /// Adds another bucket's counters into this one.
+    pub fn absorb(&mut self, other: &HourBucket) {
+        self.ops += other.ops;
+        self.read_ops += other.read_ops;
+        self.write_ops += other.write_ops;
+        self.bytes_read += other.bytes_read;
+        self.bytes_written += other.bytes_written;
+    }
+
     /// Hourly read/write operation ratio; `None` when no writes occurred
     /// (the paper notes off-peak ratios "spike" when a few accesses skew
     /// the ratio, so callers decide how to plot empty denominators).
@@ -61,6 +70,16 @@ impl HourlyBuilder {
         } else if r.op.is_write() {
             b.write_ops += 1;
             b.bytes_written += u64::from(r.ret_count);
+        }
+    }
+
+    /// Folds another builder's buckets into this one. Buckets are pure
+    /// per-hour sums, so merging per-chunk builders in any order equals
+    /// one pass over the whole trace; [`crate::index::PartialIndex`]
+    /// relies on this.
+    pub fn absorb(&mut self, other: HourlyBuilder) {
+        for (k, b) in other.map {
+            self.map.entry(k).or_default().absorb(&b);
         }
     }
 

@@ -1,4 +1,4 @@
-//! The one-pass analysis index.
+//! The one-pass analysis index and its mergeable building blocks.
 //!
 //! Every table and figure in the paper is a view over the same
 //! underlying structures: per-file, reorder-corrected access streams,
@@ -16,6 +16,19 @@
 //! Time-windowed views ([`TraceIndex::time_window`]) share the backing
 //! record storage via [`Arc`], so analyzing "the week" and "Wednesday
 //! morning" of one trace never copies a record.
+//!
+//! # Partial indices and out-of-core analysis
+//!
+//! The construction pass decomposes: [`PartialIndex`] accumulates one
+//! *chunk* of a trace, and partials [`PartialIndex::absorb`]ed in chunk
+//! order rebuild exactly what one pass over the concatenated records
+//! builds — bit-identical summary, hourly series, and per-file access
+//! lists. [`TraceIndex::new_sharded`] uses this to parallelize the
+//! in-memory construction pass, and the `nfstrace_store` crate uses it
+//! to index on-disk chunked traces that never fit in memory at once.
+//! The derived-product caching lives in [`ProductCaches`], shared by
+//! both index flavors, and the analysis surface every table/figure
+//! consumes is the [`TraceView`] trait.
 //!
 //! # Examples
 //!
@@ -37,9 +50,10 @@
 //! assert_eq!(idx.sort_passes(), 1);
 //! ```
 
+use crate::hierarchy::CoverageBuilder;
 use crate::hourly::{HourlyBuilder, HourlySeries};
-use crate::lifetime::{self, LifetimeConfig, LifetimeReport};
-use crate::names::NamePredictionReport;
+use crate::lifetime::{BlockLifetimeAnalyzer, LifetimeConfig, LifetimeReport};
+use crate::names::{NamePredictionBuilder, NamePredictionReport};
 use crate::record::{FileId, TraceRecord};
 use crate::reorder::{self, Access, SwapPoint};
 use crate::runs::{runs_for_trace, Run, RunOptions};
@@ -55,21 +69,221 @@ pub type AccessMap = HashMap<FileId, Vec<Access>>;
 /// Cached run tables keyed by (reorder window ms, run options).
 type RunCache = HashMap<(u64, RunOptions), Arc<Vec<Run>>>;
 
-/// A build-once, query-many index over one trace (or one time window of
-/// one trace).
+/// A source that can replay its records — in time order — any number of
+/// times. In-memory indices iterate a slice; the on-disk store decodes
+/// chunk by chunk, so a replay never holds more than one chunk of
+/// records.
+pub trait RecordStream {
+    /// Calls `f` once per record, in time order.
+    fn for_each_record(&self, f: &mut dyn FnMut(&TraceRecord));
+}
+
+/// The analysis surface every paper artifact consumes.
+///
+/// Both [`TraceIndex`] (records in memory) and the store-backed index
+/// in `nfstrace_store` (records on disk, chunk-parallel partials)
+/// implement this, so the whole table/figure layer is written once and
+/// runs out-of-core unchanged. The contract is **bit-identity**: every
+/// method must return exactly what [`TraceIndex::new`] over the same
+/// records returns.
+pub trait TraceView: RecordStream {
+    /// Number of records in this view.
+    fn len(&self) -> usize;
+
+    /// Whether the view is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Aggregate counters (Tables 1 and 2).
+    fn summary(&self) -> &SummaryStats;
+
+    /// Hourly buckets (Figure 4, Table 5).
+    fn hourly(&self) -> &HourlySeries;
+
+    /// The §6.3 name-prediction report, computed on first use.
+    fn names(&self) -> &NamePredictionReport;
+
+    /// Per-file accesses corrected with a `window_ms` reorder window
+    /// (§4.2). Window 0 returns the arrival-order lists.
+    fn accesses(&self, window_ms: u64) -> Arc<AccessMap>;
+
+    /// The run table for a reorder window and split/categorization
+    /// options (Table 3, Figures 2 and 5), computed once per key.
+    fn runs(&self, window_ms: u64, opts: RunOptions) -> Arc<Vec<Run>>;
+
+    /// The block lifetime report for one phase configuration (§5.2),
+    /// computed once per configuration.
+    fn lifetime(&self, cfg: LifetimeConfig) -> Arc<LifetimeReport>;
+
+    /// The paper's Table 4 / Figure 3 methodology: five weekday 24-hour
+    /// windows starting 9am, each with a 24-hour end margin, merged.
+    fn weekday_lifetime(&self) -> Arc<LifetimeReport>;
+
+    /// The Figure 1 sweep over this view's arrival-order accesses.
+    fn swap_sweep(&self, windows_ms: &[u64]) -> Vec<SwapPoint>;
+
+    /// A view over the records in `[start_micros, end_micros)`.
+    fn time_window(&self, start_micros: u64, end_micros: u64) -> Self
+    where
+        Self: Sized;
+
+    /// How many reorder bucket+sort passes this view has performed.
+    fn sort_passes(&self) -> u64;
+
+    /// §4.1.1 hierarchy-reconstruction coverage, streamed (provided).
+    fn hierarchy_coverage(&self, bucket_micros: u64) -> Vec<crate::hierarchy::CoveragePoint> {
+        let mut b = CoverageBuilder::new(bucket_micros);
+        self.for_each_record(&mut |r| b.observe(r));
+        b.finish()
+    }
+}
+
+/// A mergeable shard of the [`TraceIndex`] construction pass.
+///
+/// One `PartialIndex` accumulates one contiguous, time-ordered chunk of
+/// a trace. Partials absorbed **in chunk order** (chunk ordinal, which
+/// for a time-sorted trace also means timestamp order) produce the same
+/// summary, hourly buckets, and per-file access lists as a single pass
+/// over the concatenated records — the per-file lists concatenate in
+/// record order, and every counter is a sum.
+///
+/// # Examples
+///
+/// ```
+/// use nfstrace_core::index::PartialIndex;
+/// use nfstrace_core::record::{FileId, Op, TraceRecord};
+///
+/// let recs: Vec<_> = (0..10u64)
+///     .map(|i| TraceRecord::new(i, Op::Read, FileId(1)).with_range(i * 8192, 8192))
+///     .collect();
+/// let mut whole = PartialIndex::from_records(&recs);
+/// let mut merged = PartialIndex::from_records(&recs[..4]);
+/// merged.absorb(PartialIndex::from_records(&recs[4..]));
+/// assert_eq!(whole.finish().summary, merged.finish().summary);
+/// ```
 #[derive(Debug)]
-pub struct TraceIndex {
-    /// The full backing trace, time-sorted, shared across windows.
-    records: Arc<Vec<TraceRecord>>,
-    /// This view's half-open record range within `records`.
-    lo: usize,
-    hi: usize,
-    /// Aggregate counters, built in the construction pass.
+pub struct PartialIndex {
     summary: SummaryStats,
-    /// Hourly buckets, built in the construction pass.
-    hourly: HourlySeries,
-    /// Arrival-order per-file accesses, built in the construction pass.
-    raw: Arc<AccessMap>,
+    hourly: HourlyBuilder,
+    raw: AccessMap,
+    len: usize,
+}
+
+impl Default for PartialIndex {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The finished products of a (possibly merged) construction pass:
+/// everything [`TraceIndex`] derives its cached analyses from.
+#[derive(Debug)]
+pub struct IndexBase {
+    /// Aggregate counters.
+    pub summary: SummaryStats,
+    /// Hourly buckets.
+    pub hourly: HourlySeries,
+    /// Arrival-order per-file accesses.
+    pub raw: Arc<AccessMap>,
+    /// Number of records folded in.
+    pub len: usize,
+}
+
+impl PartialIndex {
+    /// An empty partial ready for [`PartialIndex::observe`] calls.
+    pub fn new() -> Self {
+        PartialIndex {
+            summary: SummaryStats::accumulator(),
+            hourly: HourlyBuilder::default(),
+            raw: AccessMap::new(),
+            len: 0,
+        }
+    }
+
+    /// Builds a partial over one chunk of records in a single pass.
+    pub fn from_records<'a, I>(records: I) -> Self
+    where
+        I: IntoIterator<Item = &'a TraceRecord>,
+    {
+        let mut p = PartialIndex::new();
+        for r in records {
+            p.observe(r);
+        }
+        p
+    }
+
+    /// Folds one record into the summary counters, the hourly buckets,
+    /// and the per-file access lists simultaneously.
+    pub fn observe(&mut self, r: &TraceRecord) {
+        self.summary.add(r);
+        self.hourly.observe(r);
+        if let Some(a) = Access::from_record(r) {
+            self.raw.entry(r.fh).or_default().push(a);
+        }
+        self.len += 1;
+    }
+
+    /// Number of records folded in so far.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no record has been folded in.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Merges the **next** chunk's partial into this one.
+    ///
+    /// The caller must absorb partials in chunk order: every record in
+    /// `later` is taken to follow every record already folded into
+    /// `self`, so the per-file access lists concatenate in trace order.
+    pub fn absorb(&mut self, later: PartialIndex) {
+        self.summary.absorb(&later.summary);
+        self.hourly.absorb(later.hourly);
+        for (fh, list) in later.raw {
+            self.raw.entry(fh).or_default().extend(list);
+        }
+        self.len += later.len;
+    }
+
+    /// Merges per-chunk partials — ordered by chunk ordinal — into the
+    /// finished construction products. `parts` absorbed front to back.
+    pub fn merge_ordered<I>(parts: I) -> IndexBase
+    where
+        I: IntoIterator<Item = PartialIndex>,
+    {
+        let mut acc = PartialIndex::new();
+        for p in parts {
+            acc.absorb(p);
+        }
+        acc.finish()
+    }
+
+    /// Ends accumulation and returns the finished products.
+    pub fn finish(mut self) -> IndexBase {
+        self.summary.finish();
+        IndexBase {
+            summary: self.summary,
+            hourly: self.hourly.finish(),
+            raw: Arc::new(self.raw),
+            len: self.len,
+        }
+    }
+}
+
+/// The derived-product caches shared by every index flavor.
+///
+/// Holds what is computed *from* the construction products on first
+/// request: reorder-sorted access maps per window, run tables per
+/// (window, options), lifetime reports per configuration, the merged
+/// weekday lifetime report, and the name-prediction report. Record
+/// access goes through [`RecordStream`], so the same code serves the
+/// in-memory index (slice iteration) and the on-disk store index
+/// (chunk-at-a-time decode).
+#[derive(Debug, Default)]
+pub struct ProductCaches {
     /// Reorder-corrected access maps, one per requested window (ms).
     sorted: Mutex<HashMap<u64, Arc<AccessMap>>>,
     /// Run tables keyed by (reorder window ms, run options).
@@ -80,50 +294,154 @@ pub struct TraceIndex {
     weekday: OnceLock<Arc<LifetimeReport>>,
     /// The §6.3 name-prediction report.
     names: OnceLock<NamePredictionReport>,
-    /// How many reorder bucket+sort passes this index has performed.
+    /// How many reorder bucket+sort passes have been performed.
     sort_passes: AtomicU64,
 }
 
+impl ProductCaches {
+    /// Fresh, empty caches.
+    pub fn new() -> Self {
+        ProductCaches::default()
+    }
+
+    /// See [`TraceView::accesses`]. Each window is sorted exactly once;
+    /// repeat calls are cache hits.
+    pub fn accesses(&self, raw: &Arc<AccessMap>, window_ms: u64) -> Arc<AccessMap> {
+        if window_ms == 0 {
+            return Arc::clone(raw);
+        }
+        let mut cache = self.sorted.lock().expect("index lock");
+        if let Some(m) = cache.get(&window_ms) {
+            return Arc::clone(m);
+        }
+        let mut sorted: AccessMap = raw.as_ref().clone();
+        for list in sorted.values_mut() {
+            reorder::sort_within_window(list, window_ms * 1000);
+        }
+        self.sort_passes.fetch_add(1, Ordering::Relaxed);
+        let arc = Arc::new(sorted);
+        cache.insert(window_ms, Arc::clone(&arc));
+        arc
+    }
+
+    /// See [`TraceView::runs`].
+    pub fn runs(&self, raw: &Arc<AccessMap>, window_ms: u64, opts: RunOptions) -> Arc<Vec<Run>> {
+        let key = (window_ms, opts);
+        if let Some(r) = self.runs.lock().expect("index lock").get(&key) {
+            return Arc::clone(r);
+        }
+        // Compute outside the lock: `accesses` takes its own lock.
+        let computed = Arc::new(runs_for_trace(&self.accesses(raw, window_ms), opts));
+        let mut cache = self.runs.lock().expect("index lock");
+        Arc::clone(cache.entry(key).or_insert(computed))
+    }
+
+    /// See [`TraceView::lifetime`]; records come from `source`.
+    pub fn lifetime(&self, source: &dyn RecordStream, cfg: LifetimeConfig) -> Arc<LifetimeReport> {
+        let mut cache = self.lifetimes.lock().expect("index lock");
+        if let Some(r) = cache.get(&cfg) {
+            return Arc::clone(r);
+        }
+        let mut a = BlockLifetimeAnalyzer::new(cfg);
+        source.for_each_record(&mut |r| a.observe(r));
+        let rep = Arc::new(a.finish());
+        cache.insert(cfg, Arc::clone(&rep));
+        rep
+    }
+
+    /// See [`TraceView::weekday_lifetime`]; per-window reports come from
+    /// [`ProductCaches::lifetime`] over `source`.
+    pub fn weekday_lifetime(&self, source: &dyn RecordStream) -> Arc<LifetimeReport> {
+        Arc::clone(self.weekday.get_or_init(|| {
+            let mut merged = LifetimeReport::default();
+            for d in 1..=5u64 {
+                let cfg = LifetimeConfig {
+                    phase1_start: d * DAY + 9 * HOUR,
+                    phase1_len: DAY,
+                    phase2_len: DAY,
+                };
+                merged.merge(&self.lifetime(source, cfg));
+            }
+            Arc::new(merged)
+        }))
+    }
+
+    /// See [`TraceView::names`]; records come from `source`.
+    pub fn names(&self, source: &dyn RecordStream) -> &NamePredictionReport {
+        self.names.get_or_init(|| {
+            let mut b = NamePredictionBuilder::default();
+            source.for_each_record(&mut |r| b.observe(r));
+            b.finish()
+        })
+    }
+
+    /// How many reorder bucket+sort passes these caches have performed —
+    /// one per distinct nonzero window ever requested.
+    pub fn sort_passes(&self) -> u64 {
+        self.sort_passes.load(Ordering::Relaxed)
+    }
+}
+
+/// A build-once, query-many index over one trace (or one time window of
+/// one trace), records resident in memory.
+#[derive(Debug)]
+pub struct TraceIndex {
+    /// The full backing trace, time-sorted, shared across windows.
+    records: Arc<Vec<TraceRecord>>,
+    /// This view's half-open record range within `records`.
+    lo: usize,
+    hi: usize,
+    /// The construction-pass products.
+    base: IndexBase,
+    /// The derived-product caches.
+    caches: ProductCaches,
+}
+
 impl TraceIndex {
-    /// Builds an index over a whole trace in one pass. Records are
-    /// time-sorted first if they are not already (generated and on-disk
-    /// traces are).
-    pub fn new(mut records: Vec<TraceRecord>) -> Self {
+    /// Builds an index over a whole trace, sharding the construction
+    /// pass across [`crate::parallel::threads`] workers (the result is
+    /// bit-identical for any worker count). Records are time-sorted
+    /// first if they are not already (generated and on-disk traces
+    /// are).
+    pub fn new(records: Vec<TraceRecord>) -> Self {
+        Self::new_sharded(records, crate::parallel::threads())
+    }
+
+    /// [`TraceIndex::new`] with the construction pass sharded across up
+    /// to `threads` worker threads: the record range splits into
+    /// contiguous chunks, one [`PartialIndex`] per chunk built in
+    /// parallel, merged in chunk order. Bit-identical to `new` for any
+    /// thread count.
+    pub fn new_sharded(mut records: Vec<TraceRecord>, threads: usize) -> Self {
         if !records.windows(2).all(|w| w[0].micros <= w[1].micros) {
             records.sort_by_key(|r| r.micros);
         }
         let n = records.len();
-        Self::build(Arc::new(records), 0, n)
+        Self::build(Arc::new(records), 0, n, threads)
     }
 
-    /// The single construction pass: one loop over the record range
-    /// feeds the summary counters, the hourly buckets, and the per-file
-    /// access lists simultaneously.
-    fn build(records: Arc<Vec<TraceRecord>>, lo: usize, hi: usize) -> Self {
-        let mut summary = SummaryStats::accumulator();
-        let mut hourly = HourlyBuilder::default();
-        let mut raw: AccessMap = HashMap::new();
-        for r in &records[lo..hi] {
-            summary.add(r);
-            hourly.observe(r);
-            if let Some(a) = Access::from_record(r) {
-                raw.entry(r.fh).or_default().push(a);
-            }
-        }
-        summary.finish();
+    /// The construction pass over one record range: one loop (per
+    /// shard) feeds the summary counters, the hourly buckets, and the
+    /// per-file access lists simultaneously.
+    fn build(records: Arc<Vec<TraceRecord>>, lo: usize, hi: usize, threads: usize) -> Self {
+        let view = &records[lo..hi];
+        let threads = threads.clamp(1, crate::parallel::MAX_THREADS);
+        let base = if threads == 1 || view.len() < 2 {
+            PartialIndex::from_records(view).finish()
+        } else {
+            let chunk = view.len().div_ceil(threads);
+            let shards: Vec<&[TraceRecord]> = view.chunks(chunk).collect();
+            let parts = crate::parallel::run_sharded(shards.len(), threads, |i| {
+                PartialIndex::from_records(shards[i])
+            });
+            PartialIndex::merge_ordered(parts)
+        };
         TraceIndex {
             records,
             lo,
             hi,
-            summary,
-            hourly: hourly.finish(),
-            raw: Arc::new(raw),
-            sorted: Mutex::new(HashMap::new()),
-            runs: Mutex::new(HashMap::new()),
-            lifetimes: Mutex::new(HashMap::new()),
-            weekday: OnceLock::new(),
-            names: OnceLock::new(),
-            sort_passes: AtomicU64::new(0),
+            base,
+            caches: ProductCaches::new(),
         }
     }
 
@@ -134,7 +452,7 @@ impl TraceIndex {
         let view = &self.records[self.lo..self.hi];
         let a = view.partition_point(|r| r.micros < start_micros);
         let b = view.partition_point(|r| r.micros < end_micros);
-        Self::build(Arc::clone(&self.records), self.lo + a, self.lo + b)
+        Self::build(Arc::clone(&self.records), self.lo + a, self.lo + b, 1)
     }
 
     /// The records in this view, time-sorted.
@@ -154,96 +472,111 @@ impl TraceIndex {
 
     /// Aggregate counters (Tables 1 and 2).
     pub fn summary(&self) -> &SummaryStats {
-        &self.summary
+        &self.base.summary
     }
 
     /// Hourly buckets (Figure 4, Table 5).
     pub fn hourly(&self) -> &HourlySeries {
-        &self.hourly
+        &self.base.hourly
     }
 
     /// The §6.3 name-prediction report, computed on first use.
     pub fn names(&self) -> &NamePredictionReport {
-        self.names
-            .get_or_init(|| NamePredictionReport::from_records(self.records().iter()))
+        self.caches.names(self)
     }
 
     /// Per-file accesses corrected with a `window_ms` reorder window
     /// (§4.2). Window 0 returns the arrival-order lists. Each window is
     /// sorted exactly once per index; repeat calls are cache hits.
     pub fn accesses(&self, window_ms: u64) -> Arc<AccessMap> {
-        if window_ms == 0 {
-            return Arc::clone(&self.raw);
-        }
-        let mut cache = self.sorted.lock().expect("index lock");
-        if let Some(m) = cache.get(&window_ms) {
-            return Arc::clone(m);
-        }
-        let mut sorted: AccessMap = self.raw.as_ref().clone();
-        for list in sorted.values_mut() {
-            reorder::sort_within_window(list, window_ms * 1000);
-        }
-        self.sort_passes.fetch_add(1, Ordering::Relaxed);
-        let arc = Arc::new(sorted);
-        cache.insert(window_ms, Arc::clone(&arc));
-        arc
+        self.caches.accesses(&self.base.raw, window_ms)
     }
 
     /// The run table for a reorder window and split/categorization
     /// options (Table 3, Figures 2 and 5), computed once per key.
     pub fn runs(&self, window_ms: u64, opts: RunOptions) -> Arc<Vec<Run>> {
-        let key = (window_ms, opts);
-        if let Some(r) = self.runs.lock().expect("index lock").get(&key) {
-            return Arc::clone(r);
-        }
-        // Compute outside the lock: `accesses` takes its own lock.
-        let computed = Arc::new(runs_for_trace(&self.accesses(window_ms), opts));
-        let mut cache = self.runs.lock().expect("index lock");
-        Arc::clone(cache.entry(key).or_insert(computed))
+        self.caches.runs(&self.base.raw, window_ms, opts)
     }
 
     /// The block lifetime report for one phase configuration (§5.2),
     /// computed once per configuration.
     pub fn lifetime(&self, cfg: LifetimeConfig) -> Arc<LifetimeReport> {
-        let mut cache = self.lifetimes.lock().expect("index lock");
-        if let Some(r) = cache.get(&cfg) {
-            return Arc::clone(r);
-        }
-        let rep = Arc::new(lifetime::analyze(self.records().iter(), cfg));
-        cache.insert(cfg, Arc::clone(&rep));
-        rep
+        self.caches.lifetime(self, cfg)
     }
 
     /// The paper's Table 4 / Figure 3 methodology: five weekday
     /// 24-hour windows starting 9am, each with a 24-hour end margin,
     /// merged. Requires ≥ 8 days of trace for full margins.
     pub fn weekday_lifetime(&self) -> Arc<LifetimeReport> {
-        Arc::clone(self.weekday.get_or_init(|| {
-            let mut merged = LifetimeReport::default();
-            for d in 1..=5u64 {
-                let cfg = LifetimeConfig {
-                    phase1_start: d * DAY + 9 * HOUR,
-                    phase1_len: DAY,
-                    phase2_len: DAY,
-                };
-                merged.merge(&self.lifetime(cfg));
-            }
-            Arc::new(merged)
-        }))
+        self.caches.weekday_lifetime(self)
     }
 
     /// The Figure 1 sweep over this view's arrival-order accesses,
     /// parallelized across files (see
     /// [`reorder::swap_fraction_sweep`]).
     pub fn swap_sweep(&self, windows_ms: &[u64]) -> Vec<SwapPoint> {
-        reorder::swap_fraction_sweep(&self.raw, windows_ms)
+        reorder::swap_fraction_sweep(&self.base.raw, windows_ms)
     }
 
     /// How many reorder bucket+sort passes this index has performed —
     /// one per distinct nonzero window ever requested. The reproduction
     /// suite asserts this stays at one per (trace, window).
     pub fn sort_passes(&self) -> u64 {
-        self.sort_passes.load(Ordering::Relaxed)
+        self.caches.sort_passes()
+    }
+}
+
+impl RecordStream for TraceIndex {
+    fn for_each_record(&self, f: &mut dyn FnMut(&TraceRecord)) {
+        for r in self.records() {
+            f(r);
+        }
+    }
+}
+
+impl TraceView for TraceIndex {
+    fn len(&self) -> usize {
+        TraceIndex::len(self)
+    }
+
+    fn summary(&self) -> &SummaryStats {
+        TraceIndex::summary(self)
+    }
+
+    fn hourly(&self) -> &HourlySeries {
+        TraceIndex::hourly(self)
+    }
+
+    fn names(&self) -> &NamePredictionReport {
+        TraceIndex::names(self)
+    }
+
+    fn accesses(&self, window_ms: u64) -> Arc<AccessMap> {
+        TraceIndex::accesses(self, window_ms)
+    }
+
+    fn runs(&self, window_ms: u64, opts: RunOptions) -> Arc<Vec<Run>> {
+        TraceIndex::runs(self, window_ms, opts)
+    }
+
+    fn lifetime(&self, cfg: LifetimeConfig) -> Arc<LifetimeReport> {
+        TraceIndex::lifetime(self, cfg)
+    }
+
+    fn weekday_lifetime(&self) -> Arc<LifetimeReport> {
+        TraceIndex::weekday_lifetime(self)
+    }
+
+    fn swap_sweep(&self, windows_ms: &[u64]) -> Vec<SwapPoint> {
+        TraceIndex::swap_sweep(self, windows_ms)
+    }
+
+    fn time_window(&self, start_micros: u64, end_micros: u64) -> TraceIndex {
+        TraceIndex::time_window(self, start_micros, end_micros)
+    }
+
+    fn sort_passes(&self) -> u64 {
+        TraceIndex::sort_passes(self)
     }
 }
 
@@ -355,5 +688,68 @@ mod tests {
         let w1 = idx.weekday_lifetime();
         let w2 = idx.weekday_lifetime();
         assert!(Arc::ptr_eq(&w1, &w2));
+    }
+
+    #[test]
+    fn partials_merge_to_whole_pass() {
+        let records = sample();
+        let whole = PartialIndex::from_records(&records).finish();
+        for split in [0, 1, 7, records.len() / 2, records.len()] {
+            let mut acc = PartialIndex::from_records(&records[..split]);
+            acc.absorb(PartialIndex::from_records(&records[split..]));
+            let merged = acc.finish();
+            assert_eq!(merged.summary, whole.summary, "split={split}");
+            assert_eq!(merged.hourly, whole.hourly, "split={split}");
+            assert_eq!(merged.raw, whole.raw, "split={split}");
+            assert_eq!(merged.len, whole.len, "split={split}");
+        }
+    }
+
+    #[test]
+    fn sharded_build_matches_serial() {
+        let records = sample();
+        let serial = TraceIndex::new(records.clone());
+        for threads in [2, 3, 8, 64] {
+            let sharded = TraceIndex::new_sharded(records.clone(), threads);
+            assert_eq!(sharded.summary(), serial.summary(), "threads={threads}");
+            assert_eq!(sharded.hourly(), serial.hourly(), "threads={threads}");
+            assert_eq!(
+                sharded.accesses(0).as_ref(),
+                serial.accesses(0).as_ref(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_partial_merges_cleanly() {
+        let records = sample();
+        let mut acc = PartialIndex::new();
+        acc.absorb(PartialIndex::from_records(&records));
+        acc.absorb(PartialIndex::new());
+        let merged = acc.finish();
+        let whole = PartialIndex::from_records(&records).finish();
+        assert_eq!(merged.summary, whole.summary);
+        assert_eq!(merged.hourly, whole.hourly);
+    }
+
+    #[test]
+    fn trait_surface_matches_inherent() {
+        fn generic_total<V: TraceView>(v: &V) -> u64 {
+            let sub = v.time_window(0, 20_000);
+            sub.summary().total_ops + TraceView::summary(v).total_ops
+        }
+        let idx = TraceIndex::new(sample());
+        let direct = idx.time_window(0, 20_000).summary().total_ops + idx.summary().total_ops;
+        assert_eq!(generic_total(&idx), direct);
+    }
+
+    #[test]
+    fn hierarchy_coverage_streams_like_slice() {
+        let records = sample();
+        let idx = TraceIndex::new(records.clone());
+        let streamed = TraceView::hierarchy_coverage(&idx, 10_000);
+        let legacy = crate::hierarchy::coverage_over_time(records.iter(), 10_000);
+        assert_eq!(streamed, legacy);
     }
 }

@@ -40,6 +40,18 @@
 //! workload generation — use the deterministic [`parallel`] helpers;
 //! the worker count comes from the `NFSTRACE_THREADS` environment
 //! variable (default: available parallelism) and never changes results.
+//!
+//! # Out-of-core analysis
+//!
+//! The construction pass is *mergeable*: [`index::PartialIndex`]
+//! accumulates one chunk of a trace, and partials merged in chunk order
+//! rebuild the whole index bit-identically. Analyses consume the
+//! [`index::TraceView`] trait rather than `TraceIndex` directly, so the
+//! `nfstrace_store` crate's chunked on-disk store can serve the same
+//! tables and figures while only ever decoding one chunk of records at
+//! a time; generators stream records into any [`sink::RecordSink`]
+//! (a `Vec`, a store writer, a partial index) without materializing
+//! the merged trace.
 
 pub mod hierarchy;
 pub mod historical;
@@ -52,10 +64,12 @@ pub mod record;
 pub mod reorder;
 pub mod runs;
 pub mod seqmetric;
+pub mod sink;
 pub mod summary;
 pub mod text;
 pub mod time;
 
-pub use index::TraceIndex;
+pub use index::{PartialIndex, RecordStream, TraceIndex, TraceView};
 pub use record::{FileId, Op, TraceRecord};
+pub use sink::RecordSink;
 pub use summary::SummaryStats;

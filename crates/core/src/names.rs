@@ -291,70 +291,103 @@ impl NamePredictionReport {
     where
         I: IntoIterator<Item = &'a TraceRecord>,
     {
-        // First pass: build per-file observations keyed by identity, with
-        // the name captured at create time.
-        let mut obs: HashMap<FileId, (String, FileObservation)> = HashMap::new();
-        let mut names: HashMap<(FileId, String), FileId> = HashMap::new();
-        let mut report = NamePredictionReport::default();
+        let mut b = NamePredictionBuilder::default();
         for r in records {
-            match r.op {
-                Op::Create | Op::Mkdir | Op::Symlink | Op::Mknod => {
-                    if let (Some(name), Some(child)) = (&r.name, r.new_fh) {
-                        names.insert((r.fh, name.clone()), child);
-                        if r.op == Op::Create {
-                            report.total_created += 1;
-                            obs.entry(child).or_insert_with(|| {
-                                (
-                                    name.clone(),
-                                    FileObservation {
-                                        created: Some(r.micros),
-                                        ..FileObservation::default()
-                                    },
-                                )
-                            });
-                        }
-                    }
-                }
-                Op::Lookup => {
-                    if let (Some(name), Some(child)) = (&r.name, r.new_fh) {
-                        names.insert((r.fh, name.clone()), child);
-                    }
-                }
-                Op::Remove => {
-                    if let Some(name) = &r.name {
-                        if let Some(child) = names.remove(&(r.fh, name.clone())) {
-                            if let Some((_, o)) = obs.get_mut(&child) {
-                                o.deleted = Some(r.micros);
-                            }
-                        }
-                    }
-                }
-                Op::Rename => {
-                    report.renames += 1;
-                    if let (Some(from), Some(to)) = (&r.name, &r.name2) {
-                        if let Some(child) = names.remove(&(r.fh, from.clone())) {
-                            names.insert((r.fh2.unwrap_or(r.fh), to.clone()), child);
-                        }
-                    }
-                }
-                Op::Write | Op::Read => {
-                    if let Some((_, o)) = obs.get_mut(&r.fh) {
-                        o.bytes_moved += u64::from(r.ret_count);
-                        let end = r.offset + u64::from(r.ret_count);
-                        o.max_size = o.max_size.max(end).max(r.post_size.unwrap_or(0));
-                    }
-                }
-                Op::Setattr => {
-                    if let (Some(sz), Some((_, o))) = (r.truncate_to, obs.get_mut(&r.fh)) {
-                        o.max_size = o.max_size.max(sz);
-                    }
-                }
-                _ => {}
-            }
+            b.observe(r);
         }
+        b.finish()
+    }
 
-        // Second pass: fold observations into category statistics.
-        for (_, (name, o)) in obs {
+    /// Fraction of created-and-deleted files that are locks (the paper:
+    /// 96% on CAMPUS, 8% on EECS).
+    pub fn lock_fraction_of_churn(&self) -> f64 {
+        let locks = self
+            .by_category
+            .get(&FileCategory::Lock)
+            .map_or(0, |s| s.created_and_deleted);
+        frac(locks, self.total_created_and_deleted)
+    }
+}
+
+/// Record-at-a-time accumulator behind
+/// [`NamePredictionReport::from_records`], usable by streaming consumers
+/// (the out-of-core store index) that cannot hold the trace in memory.
+#[derive(Debug, Default)]
+pub struct NamePredictionBuilder {
+    /// Per-file observations keyed by identity, with the name captured
+    /// at create time.
+    obs: HashMap<FileId, (String, FileObservation)>,
+    names: HashMap<(FileId, String), FileId>,
+    report: NamePredictionReport,
+}
+
+impl NamePredictionBuilder {
+    /// Folds one record in. Records must arrive in time order.
+    pub fn observe(&mut self, r: &TraceRecord) {
+        let (obs, names, report) = (&mut self.obs, &mut self.names, &mut self.report);
+        match r.op {
+            Op::Create | Op::Mkdir | Op::Symlink | Op::Mknod => {
+                if let (Some(name), Some(child)) = (&r.name, r.new_fh) {
+                    names.insert((r.fh, name.clone()), child);
+                    if r.op == Op::Create {
+                        report.total_created += 1;
+                        obs.entry(child).or_insert_with(|| {
+                            (
+                                name.clone(),
+                                FileObservation {
+                                    created: Some(r.micros),
+                                    ..FileObservation::default()
+                                },
+                            )
+                        });
+                    }
+                }
+            }
+            Op::Lookup => {
+                if let (Some(name), Some(child)) = (&r.name, r.new_fh) {
+                    names.insert((r.fh, name.clone()), child);
+                }
+            }
+            Op::Remove => {
+                if let Some(name) = &r.name {
+                    if let Some(child) = names.remove(&(r.fh, name.clone())) {
+                        if let Some((_, o)) = obs.get_mut(&child) {
+                            o.deleted = Some(r.micros);
+                        }
+                    }
+                }
+            }
+            Op::Rename => {
+                report.renames += 1;
+                if let (Some(from), Some(to)) = (&r.name, &r.name2) {
+                    if let Some(child) = names.remove(&(r.fh, from.clone())) {
+                        names.insert((r.fh2.unwrap_or(r.fh), to.clone()), child);
+                    }
+                }
+            }
+            Op::Write | Op::Read => {
+                if let Some((_, o)) = obs.get_mut(&r.fh) {
+                    o.bytes_moved += u64::from(r.ret_count);
+                    let end = r.offset + u64::from(r.ret_count);
+                    o.max_size = o.max_size.max(end).max(r.post_size.unwrap_or(0));
+                }
+            }
+            Op::Setattr => {
+                if let (Some(sz), Some((_, o))) = (r.truncate_to, obs.get_mut(&r.fh)) {
+                    o.max_size = o.max_size.max(sz);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Folds the per-file observations into category statistics and
+    /// returns the report. The fold is order-independent (counters are
+    /// sums, lifetime lists are sorted), so the result does not depend
+    /// on map iteration order.
+    pub fn finish(self) -> NamePredictionReport {
+        let mut report = self.report;
+        for (_, (name, o)) in self.obs {
             let cat = classify(&name);
             let profile = predicted_profile(cat);
             let stats = report.by_category.entry(cat).or_default();
@@ -381,16 +414,6 @@ impl NamePredictionReport {
             stats.lifetimes.sort_unstable();
         }
         report
-    }
-
-    /// Fraction of created-and-deleted files that are locks (the paper:
-    /// 96% on CAMPUS, 8% on EECS).
-    pub fn lock_fraction_of_churn(&self) -> f64 {
-        let locks = self
-            .by_category
-            .get(&FileCategory::Lock)
-            .map_or(0, |s| s.created_and_deleted);
-        frac(locks, self.total_created_and_deleted)
     }
 }
 

@@ -1,0 +1,92 @@
+//! Streaming destinations for trace records.
+//!
+//! Generation and capture produce records one at a time; analysis wants
+//! them in a `Vec`, an on-disk store, or folded straight into an index.
+//! [`RecordSink`] is the seam between the two: a producer pushes
+//! time-ordered records into *some* sink without knowing whether they
+//! are being collected in memory (`Vec<TraceRecord>`), encoded into a
+//! chunked store file (`nfstrace_store::StoreWriter`), or accumulated
+//! into a [`crate::index::PartialIndex`] — so a multi-day trace never
+//! has to exist as one giant vector unless the caller asks for one.
+
+use crate::index::PartialIndex;
+use crate::record::TraceRecord;
+use std::convert::Infallible;
+
+/// A destination for a stream of time-ordered trace records.
+///
+/// # Examples
+///
+/// ```
+/// use nfstrace_core::record::{FileId, Op, TraceRecord};
+/// use nfstrace_core::sink::RecordSink;
+///
+/// let mut v: Vec<TraceRecord> = Vec::new();
+/// v.push_record(TraceRecord::new(0, Op::Read, FileId(1))).unwrap();
+/// assert_eq!(v.len(), 1);
+/// ```
+pub trait RecordSink {
+    /// The sink's failure mode ([`Infallible`] for in-memory sinks).
+    type Err;
+
+    /// Accepts the next record of the stream.
+    ///
+    /// # Errors
+    ///
+    /// Sink-specific; in-memory sinks never fail, on-disk sinks
+    /// propagate I/O and ordering errors.
+    fn push_record(&mut self, record: TraceRecord) -> Result<(), Self::Err>;
+}
+
+impl RecordSink for Vec<TraceRecord> {
+    type Err = Infallible;
+
+    fn push_record(&mut self, record: TraceRecord) -> Result<(), Infallible> {
+        self.push(record);
+        Ok(())
+    }
+}
+
+impl RecordSink for PartialIndex {
+    type Err = Infallible;
+
+    fn push_record(&mut self, record: TraceRecord) -> Result<(), Infallible> {
+        self.observe(&record);
+        Ok(())
+    }
+}
+
+/// Unwraps a `Result<T, Infallible>` without a panic path, for callers
+/// driving infallible sinks through the generic interface.
+pub fn into_ok<T>(r: Result<T, Infallible>) -> T {
+    match r {
+        Ok(v) => v,
+        Err(e) => match e {},
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{FileId, Op};
+
+    #[test]
+    fn vec_sink_collects_in_order() {
+        let mut v: Vec<TraceRecord> = Vec::new();
+        for t in [5u64, 9, 12] {
+            into_ok(v.push_record(TraceRecord::new(t, Op::Getattr, FileId(1))));
+        }
+        let times: Vec<u64> = v.iter().map(|r| r.micros).collect();
+        assert_eq!(times, vec![5, 9, 12]);
+    }
+
+    #[test]
+    fn partial_index_sink_accumulates() {
+        let mut p = PartialIndex::default();
+        into_ok(p.push_record(TraceRecord::new(0, Op::Read, FileId(1)).with_range(0, 4096)));
+        into_ok(p.push_record(TraceRecord::new(1, Op::Write, FileId(1)).with_range(0, 512)));
+        let built = p.finish();
+        assert_eq!(built.summary.read_ops, 1);
+        assert_eq!(built.summary.write_ops, 1);
+    }
+}

@@ -106,6 +106,28 @@ impl SummaryStats {
         self.last_micros = self.last_micros.max(r.micros);
     }
 
+    /// Folds another **accumulator** (not yet [`SummaryStats::finish`]ed:
+    /// an empty finished summary has `first_micros` normalized to 0,
+    /// which would corrupt the running minimum) into this one. Every
+    /// counter is order-independent, so merging per-chunk accumulators
+    /// in any order equals one pass over the whole trace;
+    /// [`crate::index::PartialIndex`] relies on this.
+    pub fn absorb(&mut self, other: &SummaryStats) {
+        self.total_ops += other.total_ops;
+        self.read_ops += other.read_ops;
+        self.write_ops += other.write_ops;
+        self.bytes_read += other.bytes_read;
+        self.bytes_written += other.bytes_written;
+        self.data_ops += other.data_ops;
+        self.metadata_ops += other.metadata_ops;
+        self.attribute_ops += other.attribute_ops;
+        for (op, n) in &other.op_counts {
+            *self.op_counts.entry(*op).or_insert(0) += n;
+        }
+        self.first_micros = self.first_micros.min(other.first_micros);
+        self.last_micros = self.last_micros.max(other.last_micros);
+    }
+
     /// Trace duration in days (at least one microsecond's worth).
     pub fn duration_days(&self) -> f64 {
         if self.total_ops == 0 {

@@ -1,0 +1,456 @@
+//! The compact per-record binary codec.
+//!
+//! Records are encoded little-endian with three space levers:
+//!
+//! - **Delta-encoded timestamps.** Within a chunk, `micros` is stored as
+//!   a varint delta from the previous record (records are time-sorted,
+//!   so deltas are small), and `reply_micros` as a zigzag varint delta
+//!   from the record's own `micros` (replies trail calls by a few
+//!   hundred microseconds; a lost reply — `reply_micros == 0` — is a
+//!   large negative delta, encoded exactly via wrapping arithmetic).
+//! - **Varints everywhere.** Identities, offsets, counts, and status
+//!   are LEB128 varints: the common small values take one byte, the
+//!   rare `u32::MAX` "no reply" status takes five.
+//! - **Escaped-name interning.** Name arguments are percent-escaped
+//!   exactly as the text trace format escapes them
+//!   ([`nfstrace_core::text::escape_name`]) and interned into a
+//!   per-chunk string table; records reference names by varint index,
+//!   so the ~dozen hot names of a mail workload (`inbox`, `inbox.lock`,
+//!   …) are stored once per chunk.
+//!
+//! A presence bitmap leads each record so the nine optional fields cost
+//! nothing when absent.
+
+use crate::error::{Result, StoreError};
+use nfstrace_core::record::{FileId, Op, TraceRecord};
+use nfstrace_core::text::{escape_name, unescape_name};
+use std::collections::HashMap;
+
+/// Presence-bitmap bits (flag varint).
+const F_FH2: u32 = 1 << 0;
+const F_NAME: u32 = 1 << 1;
+const F_NAME2: u32 = 1 << 2;
+const F_PRE_SIZE: u32 = 1 << 3;
+const F_POST_SIZE: u32 = 1 << 4;
+const F_TRUNCATE: u32 = 1 << 5;
+const F_NEW_FH: u32 = 1 << 6;
+const F_FTYPE: u32 = 1 << 7;
+const F_EOF: u32 = 1 << 8;
+
+/// Appends a LEB128 varint.
+pub fn write_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(b);
+            return;
+        }
+        buf.push(b | 0x80);
+    }
+}
+
+/// Reads a LEB128 varint, advancing `pos`.
+///
+/// # Errors
+///
+/// On truncated input or a varint longer than 10 bytes.
+pub fn read_varint(bytes: &[u8], pos: &mut usize) -> Result<u64> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let &b = bytes
+            .get(*pos)
+            .ok_or_else(|| StoreError::Format("truncated varint".into()))?;
+        *pos += 1;
+        if shift >= 64 {
+            return Err(StoreError::Format("varint overflows u64".into()));
+        }
+        // The 10th byte holds only bit 63: a larger payload (or any
+        // continuation past it) would shift data off the top — corrupt
+        // input must be an error, never a silently wrong value.
+        if shift == 63 && (b & 0x7f) > 1 {
+            return Err(StoreError::Format("varint overflows u64".into()));
+        }
+        v |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Zigzag-encodes a signed delta.
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Reverses [`zigzag`].
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// The per-chunk escaped-name intern table, encode side.
+#[derive(Debug, Default)]
+pub struct NameTable {
+    index: HashMap<String, u64>,
+    /// Escaped names in intern order.
+    names: Vec<String>,
+    /// Running encoded-size estimate, maintained by `intern` so the
+    /// writer's per-record chunk-size check is O(1), not O(names).
+    encoded_bytes: usize,
+}
+
+impl NameTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        NameTable::default()
+    }
+
+    /// Interns `name` (escaping it first) and returns its index.
+    pub fn intern(&mut self, name: &str) -> u64 {
+        let escaped = escape_name(name);
+        if let Some(&i) = self.index.get(&escaped) {
+            return i;
+        }
+        let i = self.names.len() as u64;
+        self.encoded_bytes += escaped.len() + 2;
+        self.index.insert(escaped.clone(), i);
+        self.names.push(escaped);
+        i
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Approximate encoded size in bytes (for chunk-size accounting).
+    pub fn encoded_len(&self) -> usize {
+        self.encoded_bytes + 4
+    }
+
+    /// Serializes the table: count, then varint-length-prefixed escaped
+    /// names in intern order.
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        write_varint(buf, self.names.len() as u64);
+        for n in &self.names {
+            write_varint(buf, n.len() as u64);
+            buf.extend_from_slice(n.as_bytes());
+        }
+    }
+
+    /// Parses a table into the decode-side name list (unescaped).
+    ///
+    /// # Errors
+    ///
+    /// On truncation, invalid UTF-8, or a bad percent escape.
+    pub fn decode(bytes: &[u8], pos: &mut usize) -> Result<Vec<String>> {
+        let n = read_varint(bytes, pos)?;
+        let mut names = Vec::with_capacity(n.min(1 << 20) as usize);
+        for _ in 0..n {
+            let len = read_varint(bytes, pos)? as usize;
+            let end = pos
+                .checked_add(len)
+                .filter(|&e| e <= bytes.len())
+                .ok_or_else(|| StoreError::Format("truncated name table".into()))?;
+            let escaped = std::str::from_utf8(&bytes[*pos..end])
+                .map_err(|_| StoreError::Format("name table is not UTF-8".into()))?;
+            names.push(
+                unescape_name(escaped)
+                    .ok_or_else(|| StoreError::Format("bad name escape".into()))?,
+            );
+            *pos = end;
+        }
+        Ok(names)
+    }
+}
+
+/// Encodes one record. `prev_micros` is the previous record's capture
+/// time within the chunk (0 for the first record); names are interned
+/// into `names`.
+pub fn encode_record(buf: &mut Vec<u8>, r: &TraceRecord, prev_micros: u64, names: &mut NameTable) {
+    write_varint(buf, r.micros - prev_micros);
+    write_varint(
+        buf,
+        zigzag((r.reply_micros as i64).wrapping_sub(r.micros as i64)),
+    );
+
+    let mut flags = 0u32;
+    if r.fh2.is_some() {
+        flags |= F_FH2;
+    }
+    if r.name.is_some() {
+        flags |= F_NAME;
+    }
+    if r.name2.is_some() {
+        flags |= F_NAME2;
+    }
+    if r.pre_size.is_some() {
+        flags |= F_PRE_SIZE;
+    }
+    if r.post_size.is_some() {
+        flags |= F_POST_SIZE;
+    }
+    if r.truncate_to.is_some() {
+        flags |= F_TRUNCATE;
+    }
+    if r.new_fh.is_some() {
+        flags |= F_NEW_FH;
+    }
+    if r.ftype.is_some() {
+        flags |= F_FTYPE;
+    }
+    if r.eof {
+        flags |= F_EOF;
+    }
+    write_varint(buf, u64::from(flags));
+
+    let op_idx = Op::ALL
+        .iter()
+        .position(|&o| o == r.op)
+        .expect("op is a member of Op::ALL") as u8;
+    buf.push(op_idx);
+    buf.push(r.vers);
+    for v in [r.client, r.server, r.uid, r.gid, r.xid] {
+        write_varint(buf, u64::from(v));
+    }
+    write_varint(buf, r.fh.0);
+    write_varint(buf, r.offset);
+    write_varint(buf, u64::from(r.count));
+    write_varint(buf, u64::from(r.ret_count));
+    write_varint(buf, u64::from(r.status));
+
+    if let Some(fh2) = r.fh2 {
+        write_varint(buf, fh2.0);
+    }
+    if let Some(name) = &r.name {
+        write_varint(buf, names.intern(name));
+    }
+    if let Some(name2) = &r.name2 {
+        write_varint(buf, names.intern(name2));
+    }
+    if let Some(v) = r.pre_size {
+        write_varint(buf, v);
+    }
+    if let Some(v) = r.post_size {
+        write_varint(buf, v);
+    }
+    if let Some(v) = r.truncate_to {
+        write_varint(buf, v);
+    }
+    if let Some(fh) = r.new_fh {
+        write_varint(buf, fh.0);
+    }
+    if let Some(t) = r.ftype {
+        buf.push(t);
+    }
+}
+
+/// Decodes one record. `prev_micros` mirrors the encode side; `names`
+/// is the chunk's decoded name table.
+///
+/// # Errors
+///
+/// On truncation, an unknown op byte, or a name index out of range.
+pub fn decode_record(
+    bytes: &[u8],
+    pos: &mut usize,
+    prev_micros: u64,
+    names: &[String],
+) -> Result<TraceRecord> {
+    let micros = prev_micros
+        .checked_add(read_varint(bytes, pos)?)
+        .ok_or_else(|| StoreError::Format("timestamp delta overflows".into()))?;
+    let reply_delta = unzigzag(read_varint(bytes, pos)?);
+    let flags = read_varint(bytes, pos)? as u32;
+
+    let take_byte = |pos: &mut usize| -> Result<u8> {
+        let &b = bytes
+            .get(*pos)
+            .ok_or_else(|| StoreError::Format("truncated record".into()))?;
+        *pos += 1;
+        Ok(b)
+    };
+    let op_idx = take_byte(pos)?;
+    let op = *Op::ALL
+        .get(usize::from(op_idx))
+        .ok_or_else(|| StoreError::Format(format!("unknown op byte {op_idx}")))?;
+    let vers = take_byte(pos)?;
+
+    let u32_field = |pos: &mut usize| -> Result<u32> {
+        let v = read_varint(bytes, pos)?;
+        u32::try_from(v).map_err(|_| StoreError::Format("u32 field out of range".into()))
+    };
+    let client = u32_field(pos)?;
+    let server = u32_field(pos)?;
+    let uid = u32_field(pos)?;
+    let gid = u32_field(pos)?;
+    let xid = u32_field(pos)?;
+    let fh = FileId(read_varint(bytes, pos)?);
+    let offset = read_varint(bytes, pos)?;
+    let count = u32_field(pos)?;
+    let ret_count = u32_field(pos)?;
+    let status = u32_field(pos)?;
+
+    let name_at = |i: u64| -> Result<String> {
+        names
+            .get(i as usize)
+            .cloned()
+            .ok_or_else(|| StoreError::Format(format!("name index {i} out of range")))
+    };
+    let fh2 = (flags & F_FH2 != 0)
+        .then(|| read_varint(bytes, pos).map(FileId))
+        .transpose()?;
+    let name = (flags & F_NAME != 0)
+        .then(|| read_varint(bytes, pos).and_then(name_at))
+        .transpose()?;
+    let name2 = (flags & F_NAME2 != 0)
+        .then(|| read_varint(bytes, pos).and_then(name_at))
+        .transpose()?;
+    let pre_size = (flags & F_PRE_SIZE != 0)
+        .then(|| read_varint(bytes, pos))
+        .transpose()?;
+    let post_size = (flags & F_POST_SIZE != 0)
+        .then(|| read_varint(bytes, pos))
+        .transpose()?;
+    let truncate_to = (flags & F_TRUNCATE != 0)
+        .then(|| read_varint(bytes, pos))
+        .transpose()?;
+    let new_fh = (flags & F_NEW_FH != 0)
+        .then(|| read_varint(bytes, pos).map(FileId))
+        .transpose()?;
+    let ftype = (flags & F_FTYPE != 0).then(|| take_byte(pos)).transpose()?;
+
+    Ok(TraceRecord {
+        micros,
+        reply_micros: (micros as i64).wrapping_add(reply_delta) as u64,
+        client,
+        server,
+        uid,
+        gid,
+        xid,
+        vers,
+        op,
+        fh,
+        fh2,
+        name,
+        name2,
+        offset,
+        count,
+        ret_count,
+        eof: flags & F_EOF != 0,
+        status,
+        pre_size,
+        post_size,
+        truncate_to,
+        new_fh,
+        ftype,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrip_boundaries() {
+        let mut buf = Vec::new();
+        let probes = [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX];
+        for &v in &probes {
+            write_varint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &probes {
+            assert_eq!(read_varint(&buf, &mut pos).unwrap(), v);
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for v in [0i64, 1, -1, 500, -500, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn record_roundtrip_all_fields() {
+        let mut r = TraceRecord::new(1_000_000, Op::Rename, FileId(0xdead_beef))
+            .with_name("inbox tmp%1")
+            .with_range(1 << 40, 65_535)
+            .with_post_size(123)
+            .with_eof(true);
+        r.reply_micros = 1_000_250;
+        r.client = u32::MAX;
+        r.uid = 501;
+        r.gid = 20;
+        r.xid = 0x1234_5678;
+        r.vers = 2;
+        r.fh2 = Some(FileId(7));
+        r.name2 = Some("mbox".into());
+        r.pre_size = Some(0);
+        r.truncate_to = Some(u64::MAX);
+        r.new_fh = Some(FileId(9));
+        r.ftype = Some(2);
+        r.status = u32::MAX;
+
+        let mut names = NameTable::new();
+        let mut buf = Vec::new();
+        encode_record(&mut buf, &r, 999_000, &mut names);
+        let mut table_buf = Vec::new();
+        names.encode(&mut table_buf);
+        let mut pos = 0;
+        let decoded_names = NameTable::decode(&table_buf, &mut pos).unwrap();
+        let mut pos = 0;
+        let back = decode_record(&buf, &mut pos, 999_000, &decoded_names).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn lost_reply_encodes_exactly() {
+        let mut r = TraceRecord::new(u64::MAX - 5, Op::Read, FileId(1));
+        r.reply_micros = 0; // lost reply: a huge negative delta
+        r.status = u32::MAX;
+        let mut names = NameTable::new();
+        let mut buf = Vec::new();
+        encode_record(&mut buf, &r, u64::MAX - 5, &mut names);
+        let mut pos = 0;
+        let back = decode_record(&buf, &mut pos, u64::MAX - 5, &[]).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn interning_dedups_hot_names() {
+        let mut names = NameTable::new();
+        let mut buf = Vec::new();
+        let mut prev = 0;
+        for i in 0..100u64 {
+            let r = TraceRecord::new(i, Op::Lookup, FileId(1)).with_name("inbox.lock");
+            encode_record(&mut buf, &r, prev, &mut names);
+            prev = i;
+        }
+        assert_eq!(names.len(), 1);
+    }
+
+    #[test]
+    fn truncated_input_is_an_error() {
+        let r = TraceRecord::new(5, Op::Read, FileId(1)).with_range(0, 8192);
+        let mut names = NameTable::new();
+        let mut buf = Vec::new();
+        encode_record(&mut buf, &r, 0, &mut names);
+        for cut in 0..buf.len() {
+            let mut pos = 0;
+            assert!(
+                decode_record(&buf[..cut], &mut pos, 0, &[]).is_err(),
+                "cut={cut}"
+            );
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Store error type.
+
+use std::fmt;
+
+/// Everything that can go wrong writing or reading a trace store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed store file (bad magic, truncated chunk, bad varint).
+    Format(String),
+    /// A record pushed out of time order — the chunk codec
+    /// delta-encodes timestamps and the footer's per-chunk time ranges
+    /// must be disjoint, so writers require nondecreasing `micros`.
+    OutOfOrder {
+        /// Timestamp of the previously accepted record.
+        prev: u64,
+        /// The offending earlier timestamp.
+        next: u64,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+            StoreError::Format(msg) => write!(f, "malformed store: {msg}"),
+            StoreError::OutOfOrder { prev, next } => write!(
+                f,
+                "record pushed out of time order: {next} after {prev} (sort the stream first)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// Result alias for store operations.
+pub type Result<T> = std::result::Result<T, StoreError>;

@@ -1,0 +1,49 @@
+//! On-disk layout constants and the per-chunk footer entry.
+//!
+//! ```text
+//! +----------+---------+---------+ ... +--------+----------------+
+//! | "NFSTRC1\0" | chunk 0 | chunk 1 |     | footer | trailer        |
+//! +----------+---------+---------+ ... +--------+----------------+
+//!
+//! chunk   := name_table  (varint count, then varint-len escaped names)
+//!            record_count (varint)
+//!            first_micros (varint)
+//!            record*      (see `codec`)
+//! footer  := per chunk: offset, len, records, min_micros, max_micros
+//!            (5 × u64 LE) — then chunk_count u64, total_records u64
+//! trailer := footer_offset u64 LE, "NFSTRCE\0"
+//! ```
+//!
+//! The reader seeks to the trailer (last 16 bytes), validates the end
+//! magic, jumps to the footer, and from then on reads chunks by
+//! absolute offset — so opening a store costs one footer read no matter
+//! how many records it holds, and any chunk can be decoded in isolation
+//! (each chunk carries its own name table and timestamp base).
+
+/// Leading file magic.
+pub const MAGIC: &[u8; 8] = b"NFSTRC1\0";
+
+/// Trailing file magic.
+pub const END_MAGIC: &[u8; 8] = b"NFSTRCE\0";
+
+/// One chunk's footer entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkMeta {
+    /// Absolute byte offset of the chunk.
+    pub offset: u64,
+    /// Encoded byte length.
+    pub len: u64,
+    /// Records in the chunk.
+    pub records: u64,
+    /// First record's capture time.
+    pub min_micros: u64,
+    /// Last record's capture time.
+    pub max_micros: u64,
+}
+
+impl ChunkMeta {
+    /// Whether this chunk could contain records in `[start, end)`.
+    pub fn overlaps(&self, start: u64, end: u64) -> bool {
+        self.records > 0 && self.min_micros < end && self.max_micros >= start
+    }
+}

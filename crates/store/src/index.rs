@@ -1,0 +1,178 @@
+//! The out-of-core analysis index over a chunked store.
+
+use crate::error::Result;
+use crate::reader::StoreReader;
+use nfstrace_core::hourly::HourlySeries;
+use nfstrace_core::index::{
+    AccessMap, IndexBase, PartialIndex, ProductCaches, RecordStream, TraceView,
+};
+use nfstrace_core::lifetime::{LifetimeConfig, LifetimeReport};
+use nfstrace_core::names::NamePredictionReport;
+use nfstrace_core::parallel;
+use nfstrace_core::record::TraceRecord;
+use nfstrace_core::reorder::SwapPoint;
+use nfstrace_core::runs::{Run, RunOptions};
+use nfstrace_core::summary::SummaryStats;
+use std::path::Path;
+use std::sync::Arc;
+
+/// A [`TraceView`] whose records live on disk.
+///
+/// Construction builds one [`PartialIndex`] per store chunk — sharded
+/// across `NFSTRACE_THREADS` worker threads by
+/// [`parallel::run_sharded`] — and merges them in chunk order, so the
+/// summary counters, hourly buckets, and per-file access lists are
+/// bit-identical to [`nfstrace_core::index::TraceIndex::new`] over the
+/// same records while peak resident *record* memory stays bounded by
+/// (chunk size × worker count), not trace size. Record-replaying
+/// analyses (block lifetimes, name prediction, hierarchy coverage)
+/// stream chunk by chunk through [`RecordStream`].
+///
+/// Time windows ([`TraceView::time_window`]) share the underlying
+/// [`StoreReader`] via [`Arc`] and skip chunks whose footer time range
+/// misses the window entirely.
+#[derive(Debug)]
+pub struct StoreIndex {
+    reader: Arc<StoreReader>,
+    /// This view's half-open time range.
+    start: u64,
+    end: u64,
+    base: IndexBase,
+    caches: ProductCaches,
+}
+
+impl StoreIndex {
+    /// Opens a store file and indexes all of it.
+    ///
+    /// # Errors
+    ///
+    /// On open/decode failure.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<Self> {
+        Self::from_reader(Arc::new(StoreReader::open(path)?))
+    }
+
+    /// Indexes all of an already-open store.
+    ///
+    /// # Errors
+    ///
+    /// On chunk read/decode failure.
+    pub fn from_reader(reader: Arc<StoreReader>) -> Result<Self> {
+        Self::build(reader, 0, u64::MAX)
+    }
+
+    /// The chunk-parallel construction pass.
+    fn build(reader: Arc<StoreReader>, start: u64, end: u64) -> Result<Self> {
+        let chunks: Vec<usize> = reader
+            .chunks()
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.overlaps(start, end))
+            .map(|(i, _)| i)
+            .collect();
+        let parts: Vec<Result<PartialIndex>> =
+            parallel::run_sharded(chunks.len(), parallel::threads(), |i| {
+                let records = reader.read_chunk(chunks[i])?;
+                Ok(PartialIndex::from_records(
+                    records
+                        .iter()
+                        .filter(|r| r.micros >= start && r.micros < end),
+                ))
+            });
+        let mut ordered = Vec::with_capacity(parts.len());
+        for p in parts {
+            ordered.push(p?);
+        }
+        let base = PartialIndex::merge_ordered(ordered);
+        Ok(StoreIndex {
+            reader,
+            start,
+            end,
+            base,
+            caches: ProductCaches::new(),
+        })
+    }
+
+    /// The underlying reader.
+    pub fn reader(&self) -> &Arc<StoreReader> {
+        &self.reader
+    }
+}
+
+impl RecordStream for StoreIndex {
+    /// Streams the view's records in time order, decoding one chunk at
+    /// a time and skipping chunks outside the window.
+    ///
+    /// # Panics
+    ///
+    /// On chunk read/decode failure after a successful open — a store
+    /// corrupted (or deleted) mid-analysis.
+    fn for_each_record(&self, f: &mut dyn FnMut(&TraceRecord)) {
+        for (i, m) in self.reader.chunks().iter().enumerate() {
+            if !m.overlaps(self.start, self.end) {
+                continue;
+            }
+            let records = self
+                .reader
+                .read_chunk(i)
+                .unwrap_or_else(|e| panic!("store chunk {i} unreadable mid-analysis: {e}"));
+            for r in &records {
+                if r.micros >= self.start && r.micros < self.end {
+                    f(r);
+                }
+            }
+        }
+    }
+}
+
+impl TraceView for StoreIndex {
+    fn len(&self) -> usize {
+        self.base.len
+    }
+
+    fn summary(&self) -> &SummaryStats {
+        &self.base.summary
+    }
+
+    fn hourly(&self) -> &HourlySeries {
+        &self.base.hourly
+    }
+
+    fn names(&self) -> &NamePredictionReport {
+        self.caches.names(self)
+    }
+
+    fn accesses(&self, window_ms: u64) -> Arc<AccessMap> {
+        self.caches.accesses(&self.base.raw, window_ms)
+    }
+
+    fn runs(&self, window_ms: u64, opts: RunOptions) -> Arc<Vec<Run>> {
+        self.caches.runs(&self.base.raw, window_ms, opts)
+    }
+
+    fn lifetime(&self, cfg: LifetimeConfig) -> Arc<LifetimeReport> {
+        self.caches.lifetime(self, cfg)
+    }
+
+    fn weekday_lifetime(&self) -> Arc<LifetimeReport> {
+        self.caches.weekday_lifetime(self)
+    }
+
+    fn swap_sweep(&self, windows_ms: &[u64]) -> Vec<SwapPoint> {
+        nfstrace_core::reorder::swap_fraction_sweep(&self.base.raw, windows_ms)
+    }
+
+    /// # Panics
+    ///
+    /// On chunk read/decode failure (see
+    /// [`RecordStream::for_each_record`] on this type).
+    fn time_window(&self, start_micros: u64, end_micros: u64) -> StoreIndex {
+        let start = start_micros.max(self.start);
+        let end = end_micros.min(self.end);
+        Self::build(Arc::clone(&self.reader), start, end.max(start))
+            .unwrap_or_else(|e| panic!("store unreadable while windowing: {e}"))
+    }
+
+    fn sort_passes(&self) -> u64 {
+        self.caches.sort_passes()
+    }
+}

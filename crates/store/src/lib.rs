@@ -1,0 +1,246 @@
+//! Chunked on-disk trace store with mergeable partial indices.
+//!
+//! The paper's traces are multi-day, multi-million-operation captures
+//! (CAMPUS peaks near half a *billion* operations a day); holding such
+//! a trace as one `Vec<TraceRecord>` caps every analysis at RAM size.
+//! This crate stores a trace as a sequence of independently decodable
+//! **chunks** in one binary file and rebuilds the analysis index from
+//! per-chunk [`nfstrace_core::index::PartialIndex`]es, so both the
+//! write path (generation, capture) and the read path (every table and
+//! figure) stream: peak resident record memory is bounded by chunk
+//! size × worker threads, never by trace length.
+//!
+//! # Pieces
+//!
+//! - [`StoreWriter`] — a [`nfstrace_core::sink::RecordSink`] that
+//!   encodes time-ordered records through fixed-size chunks
+//!   ([`StoreConfig::target_chunk_bytes`]) and finishes with a footer
+//!   of per-chunk byte ranges, record counts, and time ranges.
+//! - [`StoreReader`] — opens a store by reading only the footer;
+//!   decodes chunks on demand from `&self`, so any number of threads
+//!   can read concurrently.
+//! - [`StoreIndex`] — implements
+//!   [`nfstrace_core::index::TraceView`], the same analysis surface as
+//!   the in-memory `TraceIndex`: chunk-parallel partial-index builds
+//!   (sharded across `NFSTRACE_THREADS` via
+//!   [`nfstrace_core::parallel::run_sharded`]) merged in chunk order,
+//!   bit-identical to indexing the concatenated records.
+//!
+//! The record codec (module [`codec`]) delta-encodes timestamps,
+//! varint-packs every numeric field, and interns percent-escaped name
+//! arguments per chunk; module [`format`] documents the file layout.
+//!
+//! # Example: write, reopen, analyze
+//!
+//! ```
+//! use nfstrace_core::index::{TraceIndex, TraceView};
+//! use nfstrace_core::record::{FileId, Op, TraceRecord};
+//! use nfstrace_store::{StoreConfig, StoreIndex, StoreWriter};
+//!
+//! let dir = std::env::temp_dir().join("nfstrace-store-doc");
+//! std::fs::create_dir_all(&dir).unwrap();
+//! let path = dir.join("doc.nfstore");
+//!
+//! let records: Vec<TraceRecord> = (0..1000u64)
+//!     .map(|i| TraceRecord::new(i * 500, Op::Read, FileId(i % 7)).with_range(i * 8192, 8192))
+//!     .collect();
+//! let mut w = StoreWriter::create(&path, StoreConfig { target_chunk_bytes: 1024 }).unwrap();
+//! for r in &records {
+//!     w.push(r).unwrap();
+//! }
+//! let summary = w.finish().unwrap();
+//! assert!(summary.chunks > 1, "small target ⇒ many chunks");
+//!
+//! // The store-backed index equals the in-memory one, bit for bit.
+//! let on_disk = StoreIndex::open(&path).unwrap();
+//! let in_memory = TraceIndex::new(records);
+//! assert_eq!(on_disk.summary(), in_memory.summary());
+//! assert_eq!(on_disk.hourly(), in_memory.hourly());
+//! assert_eq!(
+//!     on_disk.accesses(10).as_ref(),
+//!     in_memory.accesses(10).as_ref()
+//! );
+//! # std::fs::remove_file(&path).unwrap();
+//! ```
+
+pub mod codec;
+pub mod error;
+pub mod format;
+pub mod index;
+pub mod reader;
+pub mod writer;
+
+pub use error::{Result, StoreError};
+pub use format::ChunkMeta;
+pub use index::StoreIndex;
+pub use reader::StoreReader;
+pub use writer::{StoreConfig, StoreSummary, StoreWriter};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfstrace_core::index::{TraceIndex, TraceView};
+    use nfstrace_core::record::{FileId, Op, TraceRecord};
+    use nfstrace_core::runs::RunOptions;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("nfstrace-store-tests");
+        std::fs::create_dir_all(&dir).expect("mkdir tempdir");
+        dir.join(format!("{name}-{}", std::process::id()))
+    }
+
+    fn sample(n: u64) -> Vec<TraceRecord> {
+        let mut v = Vec::new();
+        for i in 0..n {
+            let mut r = TraceRecord::new(i * 997, Op::Read, FileId(i % 5))
+                .with_range((i / 5) * 8192, 8192)
+                .with_client(10 + (i % 3) as u32);
+            r.reply_micros = i * 997 + 180;
+            r.xid = i as u32;
+            v.push(r);
+            if i % 7 == 0 {
+                let mut c = TraceRecord::new(i * 997 + 11, Op::Create, FileId(100))
+                    .with_name(format!("snd.{i}"));
+                c.new_fh = Some(FileId(1000 + i));
+                v.push(c);
+            }
+            if i % 11 == 0 {
+                v.push(
+                    TraceRecord::new(i * 997 + 13, Op::Write, FileId(1000 + i)).with_range(0, 900),
+                );
+            }
+        }
+        v
+    }
+
+    fn write_store(path: &std::path::Path, records: &[TraceRecord], chunk_bytes: usize) {
+        let mut w = StoreWriter::create(
+            path,
+            StoreConfig {
+                target_chunk_bytes: chunk_bytes,
+            },
+        )
+        .expect("create store");
+        for r in records {
+            w.push(r).expect("push");
+        }
+        w.finish().expect("finish");
+    }
+
+    #[test]
+    fn roundtrip_is_bit_identical_across_chunk_sizes() {
+        let records = sample(500);
+        for chunk_bytes in [64, 1024, 1 << 20] {
+            let path = tmp(&format!("roundtrip-{chunk_bytes}"));
+            write_store(&path, &records, chunk_bytes);
+            let reader = StoreReader::open(&path).expect("open");
+            assert_eq!(reader.total_records(), records.len() as u64);
+            let mut back = Vec::new();
+            reader.for_each(|r| back.push(r.clone())).expect("stream");
+            assert_eq!(back, records, "chunk_bytes={chunk_bytes}");
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn tiny_chunks_make_many_chunks_and_metas_cover_time() {
+        let records = sample(400);
+        let path = tmp("metas");
+        write_store(&path, &records, 128);
+        let reader = StoreReader::open(&path).expect("open");
+        assert!(reader.chunk_count() > 5);
+        let metas = reader.chunks();
+        for w in metas.windows(2) {
+            assert!(w[0].max_micros <= w[1].min_micros, "chunks in time order");
+        }
+        assert_eq!(metas[0].min_micros, records[0].micros);
+        assert_eq!(
+            metas.last().unwrap().max_micros,
+            records.last().unwrap().micros
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn out_of_order_push_is_rejected() {
+        let path = tmp("order");
+        let mut w = StoreWriter::create(&path, StoreConfig::default()).expect("create");
+        w.push(&TraceRecord::new(100, Op::Read, FileId(1))).unwrap();
+        let err = w.push(&TraceRecord::new(99, Op::Read, FileId(1)));
+        assert!(matches!(err, Err(StoreError::OutOfOrder { .. })));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn store_index_matches_trace_index_products() {
+        let records = sample(600);
+        let path = tmp("index");
+        write_store(&path, &records, 512);
+        let disk = StoreIndex::open(&path).expect("open");
+        let mem = TraceIndex::new(records);
+        assert_eq!(TraceView::len(&disk), TraceView::len(&mem));
+        assert_eq!(disk.summary(), mem.summary());
+        assert_eq!(disk.hourly(), mem.hourly());
+        assert_eq!(disk.accesses(0).as_ref(), mem.accesses(0).as_ref());
+        assert_eq!(disk.accesses(10).as_ref(), mem.accesses(10).as_ref());
+        assert_eq!(
+            disk.runs(10, RunOptions::default()).as_ref(),
+            mem.runs(10, RunOptions::default()).as_ref()
+        );
+        assert_eq!(disk.names(), mem.names());
+        let cfg = nfstrace_core::lifetime::LifetimeConfig {
+            phase1_start: 0,
+            phase1_len: 200_000,
+            phase2_len: 200_000,
+        };
+        assert_eq!(disk.lifetime(cfg).as_ref(), mem.lifetime(cfg).as_ref());
+        assert_eq!(
+            disk.hierarchy_coverage(50_000),
+            mem.hierarchy_coverage(50_000)
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn store_time_window_matches_trace_index_window() {
+        let records = sample(600);
+        let path = tmp("window");
+        write_store(&path, &records, 512);
+        let disk = StoreIndex::open(&path).expect("open");
+        let mem = TraceIndex::new(records);
+        let (a, b) = (40_000u64, 300_000u64);
+        let dw = disk.time_window(a, b);
+        let mw = mem.time_window(a, b);
+        assert_eq!(TraceView::len(&dw), TraceView::len(&mw));
+        assert_eq!(dw.summary(), mw.summary());
+        assert_eq!(dw.accesses(5).as_ref(), mw.accesses(5).as_ref());
+        // A nested window intersects, exactly like the slice-based view.
+        let dn = dw.time_window(0, 100_000);
+        let mn = mw.time_window(0, 100_000);
+        assert_eq!(dn.summary(), mn.summary());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_store_opens_and_indexes() {
+        let path = tmp("empty");
+        write_store(&path, &[], 512);
+        let disk = StoreIndex::open(&path).expect("open");
+        assert!(TraceView::is_empty(&disk));
+        assert_eq!(disk.summary().total_ops, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_file_is_a_format_error() {
+        let records = sample(100);
+        let path = tmp("trunc");
+        write_store(&path, &records, 512);
+        let bytes = std::fs::read(&path).unwrap();
+        for cut in [0usize, 4, 8, bytes.len() / 2, bytes.len() - 1] {
+            std::fs::write(&path, &bytes[..cut]).unwrap();
+            assert!(StoreReader::open(&path).is_err(), "cut={cut}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,191 @@
+//! Store reader: footer-driven random access to chunks.
+
+use crate::codec::{decode_record, read_varint, NameTable};
+use crate::error::{Result, StoreError};
+use crate::format::{ChunkMeta, END_MAGIC, MAGIC};
+use nfstrace_core::record::TraceRecord;
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+
+/// Reads a chunked trace store.
+///
+/// Opening parses only the footer; record bytes are read chunk by chunk
+/// on demand. [`StoreReader::read_chunk`] takes `&self` and opens its
+/// own file handle, so chunk decodes can run on any number of threads
+/// concurrently — [`nfstrace_core::parallel::run_sharded`] drives the
+/// chunk-parallel index builds in `crate::index`.
+#[derive(Debug)]
+pub struct StoreReader {
+    path: PathBuf,
+    chunks: Vec<ChunkMeta>,
+    total_records: u64,
+}
+
+impl StoreReader {
+    /// Opens a store and parses its footer.
+    ///
+    /// # Errors
+    ///
+    /// On I/O failure or a malformed/truncated file.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let mut f = File::open(&path)?;
+        let file_len = f.metadata()?.len();
+        let min_len = (MAGIC.len() + END_MAGIC.len() + 8 + 16) as u64;
+        if file_len < min_len {
+            return Err(StoreError::Format("file too short for a store".into()));
+        }
+        let mut head = [0u8; 8];
+        f.read_exact(&mut head)?;
+        if &head != MAGIC {
+            return Err(StoreError::Format("bad leading magic".into()));
+        }
+        f.seek(SeekFrom::End(-16))?;
+        let mut trailer = [0u8; 16];
+        f.read_exact(&mut trailer)?;
+        if &trailer[8..] != END_MAGIC {
+            return Err(StoreError::Format("bad trailing magic".into()));
+        }
+        let footer_offset = u64::from_le_bytes(trailer[..8].try_into().expect("8 bytes"));
+        let footer_end = file_len - 16;
+        if footer_offset > footer_end.saturating_sub(16) {
+            return Err(StoreError::Format("footer offset out of range".into()));
+        }
+        f.seek(SeekFrom::Start(footer_offset))?;
+        let mut footer = vec![0u8; (footer_end - footer_offset) as usize];
+        f.read_exact(&mut footer)?;
+        if footer.len() < 16 || !(footer.len() - 16).is_multiple_of(40) {
+            return Err(StoreError::Format("footer size mismatch".into()));
+        }
+        let tail = &footer[footer.len() - 16..];
+        let chunk_count = u64::from_le_bytes(tail[..8].try_into().expect("8 bytes")) as usize;
+        let total_records = u64::from_le_bytes(tail[8..].try_into().expect("8 bytes"));
+        if chunk_count * 40 != footer.len() - 16 {
+            return Err(StoreError::Format("chunk count mismatch".into()));
+        }
+        let mut chunks = Vec::with_capacity(chunk_count);
+        for i in 0..chunk_count {
+            let e = &footer[i * 40..(i + 1) * 40];
+            let word =
+                |j: usize| u64::from_le_bytes(e[j * 8..(j + 1) * 8].try_into().expect("8 bytes"));
+            chunks.push(ChunkMeta {
+                offset: word(0),
+                len: word(1),
+                records: word(2),
+                min_micros: word(3),
+                max_micros: word(4),
+            });
+        }
+        if chunks.iter().map(|m| m.records).sum::<u64>() != total_records {
+            return Err(StoreError::Format("record total mismatch".into()));
+        }
+        // Validate the byte geometry up front so a corrupt footer is a
+        // Format error here, not an allocation abort in read_chunk.
+        let mut expect_offset = MAGIC.len() as u64;
+        for (i, m) in chunks.iter().enumerate() {
+            if m.offset != expect_offset {
+                return Err(StoreError::Format(format!(
+                    "chunk {i} offset {} does not follow its predecessor",
+                    m.offset
+                )));
+            }
+            expect_offset = m.offset.checked_add(m.len).ok_or_else(|| {
+                StoreError::Format(format!("chunk {i} length overflows the file"))
+            })?;
+            if expect_offset > footer_offset {
+                return Err(StoreError::Format(format!(
+                    "chunk {i} extends past the footer"
+                )));
+            }
+            // Every record costs well over one encoded byte; an entry
+            // claiming more records than bytes is corrupt.
+            if m.records > m.len {
+                return Err(StoreError::Format(format!(
+                    "chunk {i} claims {} records in {} bytes",
+                    m.records, m.len
+                )));
+            }
+        }
+        Ok(StoreReader {
+            path,
+            chunks,
+            total_records,
+        })
+    }
+
+    /// Per-chunk footer entries, in chunk-ordinal order.
+    pub fn chunks(&self) -> &[ChunkMeta] {
+        &self.chunks
+    }
+
+    /// Number of chunks.
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Total records across all chunks.
+    pub fn total_records(&self) -> u64 {
+        self.total_records
+    }
+
+    /// The store file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Reads and decodes one chunk. Thread-safe: opens a private file
+    /// handle.
+    ///
+    /// # Errors
+    ///
+    /// On I/O failure, a bad ordinal, or corrupt chunk bytes.
+    pub fn read_chunk(&self, ordinal: usize) -> Result<Vec<TraceRecord>> {
+        let meta = *self
+            .chunks
+            .get(ordinal)
+            .ok_or_else(|| StoreError::Format(format!("no chunk {ordinal}")))?;
+        let mut f = File::open(&self.path)?;
+        f.seek(SeekFrom::Start(meta.offset))?;
+        let mut bytes = vec![0u8; meta.len as usize];
+        f.read_exact(&mut bytes)?;
+        let mut pos = 0;
+        let names = NameTable::decode(&bytes, &mut pos)?;
+        let count = read_varint(&bytes, &mut pos)?;
+        if count != meta.records {
+            return Err(StoreError::Format(format!(
+                "chunk {ordinal}: header says {count} records, footer {}",
+                meta.records
+            )));
+        }
+        let mut prev = read_varint(&bytes, &mut pos)?;
+        let mut out = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let r = decode_record(&bytes, &mut pos, prev, &names)?;
+            prev = r.micros;
+            out.push(r);
+        }
+        if pos != bytes.len() {
+            return Err(StoreError::Format(format!(
+                "chunk {ordinal}: {} trailing bytes",
+                bytes.len() - pos
+            )));
+        }
+        Ok(out)
+    }
+
+    /// Streams every record in chunk order (= time order), holding only
+    /// one decoded chunk at a time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first chunk read/decode failure.
+    pub fn for_each(&self, mut f: impl FnMut(&TraceRecord)) -> Result<()> {
+        for i in 0..self.chunks.len() {
+            for r in &self.read_chunk(i)? {
+                f(r);
+            }
+        }
+        Ok(())
+    }
+}

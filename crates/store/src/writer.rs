@@ -1,0 +1,198 @@
+//! Streaming store writer.
+
+use crate::codec::{encode_record, NameTable};
+use crate::error::{Result, StoreError};
+use crate::format::{ChunkMeta, END_MAGIC, MAGIC};
+use nfstrace_core::record::TraceRecord;
+use nfstrace_core::sink::RecordSink;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+/// Store layout knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreConfig {
+    /// Soft cap on a chunk's encoded size: the writer flushes the
+    /// pending chunk once its record bytes plus name table reach this.
+    /// Smaller chunks mean finer-grained parallel indexing and lower
+    /// peak memory; larger chunks amortize per-chunk overhead.
+    pub target_chunk_bytes: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            // ~4 MiB encoded ≈ a few hundred thousand records per
+            // chunk: decoded, tens of MB — bounded regardless of how
+            // many days the whole trace spans.
+            target_chunk_bytes: 4 << 20,
+        }
+    }
+}
+
+/// Writes a time-ordered record stream into a chunked store file.
+///
+/// Records are encoded into an in-memory chunk buffer; when the buffer
+/// reaches [`StoreConfig::target_chunk_bytes`] the chunk is flushed to
+/// disk and its [`ChunkMeta`] (offset, length, record count, time
+/// range) queued for the footer. [`StoreWriter::finish`] flushes the
+/// trailing chunk and writes the footer — nothing but the current
+/// chunk's encoding is ever resident.
+///
+/// # Examples
+///
+/// ```no_run
+/// use nfstrace_core::record::{FileId, Op, TraceRecord};
+/// use nfstrace_store::{StoreConfig, StoreWriter};
+///
+/// let mut w = StoreWriter::create("trace.nfstore", StoreConfig::default()).unwrap();
+/// w.push(&TraceRecord::new(0, Op::Read, FileId(1)).with_range(0, 8192)).unwrap();
+/// let summary = w.finish().unwrap();
+/// assert_eq!(summary.total_records, 1);
+/// ```
+#[derive(Debug)]
+pub struct StoreWriter {
+    out: BufWriter<File>,
+    config: StoreConfig,
+    /// Encoded records of the pending chunk.
+    chunk_buf: Vec<u8>,
+    names: NameTable,
+    chunk_records: u64,
+    chunk_min: u64,
+    /// Previous record's `micros` (delta-encoding state + order check).
+    prev_micros: u64,
+    any_pushed: bool,
+    /// Current file offset (next chunk lands here).
+    offset: u64,
+    chunks: Vec<ChunkMeta>,
+}
+
+/// What [`StoreWriter::finish`] reports.
+#[derive(Debug, Clone)]
+pub struct StoreSummary {
+    /// Records written.
+    pub total_records: u64,
+    /// Chunks written.
+    pub chunks: usize,
+    /// Final file size in bytes.
+    pub file_bytes: u64,
+}
+
+impl StoreWriter {
+    /// Creates (truncating) a store file.
+    ///
+    /// # Errors
+    ///
+    /// On file creation or header-write failure.
+    pub fn create<P: AsRef<Path>>(path: P, config: StoreConfig) -> Result<Self> {
+        let mut out = BufWriter::new(File::create(path)?);
+        out.write_all(MAGIC)?;
+        Ok(StoreWriter {
+            out,
+            config,
+            chunk_buf: Vec::new(),
+            names: NameTable::new(),
+            chunk_records: 0,
+            chunk_min: 0,
+            prev_micros: 0,
+            any_pushed: false,
+            offset: MAGIC.len() as u64,
+            chunks: Vec::new(),
+        })
+    }
+
+    /// Appends one record. Records must arrive in nondecreasing
+    /// `micros` order.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::OutOfOrder`] on a time-travelling record, or I/O
+    /// errors from a chunk flush.
+    pub fn push(&mut self, r: &TraceRecord) -> Result<()> {
+        if self.any_pushed && r.micros < self.prev_micros {
+            return Err(StoreError::OutOfOrder {
+                prev: self.prev_micros,
+                next: r.micros,
+            });
+        }
+        if self.chunk_records == 0 {
+            self.chunk_min = r.micros;
+            self.prev_micros = r.micros;
+            // First delta in a chunk is from the chunk's own first
+            // record, so every chunk decodes standalone.
+            encode_record(&mut self.chunk_buf, r, r.micros, &mut self.names);
+        } else {
+            encode_record(&mut self.chunk_buf, r, self.prev_micros, &mut self.names);
+        }
+        self.prev_micros = r.micros;
+        self.any_pushed = true;
+        self.chunk_records += 1;
+        if self.chunk_buf.len() + self.names.encoded_len() >= self.config.target_chunk_bytes {
+            self.flush_chunk()?;
+        }
+        Ok(())
+    }
+
+    fn flush_chunk(&mut self) -> Result<()> {
+        if self.chunk_records == 0 {
+            return Ok(());
+        }
+        let mut header = Vec::with_capacity(self.names.encoded_len() + 16);
+        self.names.encode(&mut header);
+        crate::codec::write_varint(&mut header, self.chunk_records);
+        crate::codec::write_varint(&mut header, self.chunk_min);
+        self.out.write_all(&header)?;
+        self.out.write_all(&self.chunk_buf)?;
+        let len = (header.len() + self.chunk_buf.len()) as u64;
+        self.chunks.push(ChunkMeta {
+            offset: self.offset,
+            len,
+            records: self.chunk_records,
+            min_micros: self.chunk_min,
+            max_micros: self.prev_micros,
+        });
+        self.offset += len;
+        self.chunk_buf.clear();
+        self.names = NameTable::new();
+        self.chunk_records = 0;
+        Ok(())
+    }
+
+    /// Flushes the trailing chunk, writes the footer, and syncs.
+    ///
+    /// # Errors
+    ///
+    /// On I/O failure; the store is unreadable unless `finish` returned
+    /// `Ok`.
+    pub fn finish(mut self) -> Result<StoreSummary> {
+        self.flush_chunk()?;
+        let footer_offset = self.offset;
+        let mut footer = Vec::with_capacity(self.chunks.len() * 40 + 32);
+        for m in &self.chunks {
+            for v in [m.offset, m.len, m.records, m.min_micros, m.max_micros] {
+                footer.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        let total: u64 = self.chunks.iter().map(|m| m.records).sum();
+        footer.extend_from_slice(&(self.chunks.len() as u64).to_le_bytes());
+        footer.extend_from_slice(&total.to_le_bytes());
+        footer.extend_from_slice(&footer_offset.to_le_bytes());
+        footer.extend_from_slice(END_MAGIC);
+        self.out.write_all(&footer)?;
+        self.out.flush()?;
+        self.out.get_ref().sync_all()?;
+        Ok(StoreSummary {
+            total_records: total,
+            chunks: self.chunks.len(),
+            file_bytes: footer_offset + footer.len() as u64,
+        })
+    }
+}
+
+impl RecordSink for StoreWriter {
+    type Err = StoreError;
+
+    fn push_record(&mut self, record: TraceRecord) -> Result<()> {
+        self.push(&record)
+    }
+}

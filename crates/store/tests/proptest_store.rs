@@ -1,0 +1,154 @@
+//! Property tests for the chunked store: codec round-trips are
+//! bit-identical, and chunk-parallel partial-index merges equal the
+//! single-pass in-memory index for arbitrary chunk sizes and thread
+//! counts.
+
+use nfstrace_core::index::{PartialIndex, TraceIndex, TraceView};
+use nfstrace_core::record::{FileId, Op, TraceRecord};
+use nfstrace_core::runs::RunOptions;
+use proptest::prelude::*;
+
+fn arb_record() -> impl Strategy<Value = TraceRecord> {
+    (
+        (
+            0u64..2_000_000_000,
+            0usize..Op::ALL.len(),
+            0u64..500,
+            0u64..(1 << 34),
+            0u32..70_000,
+            any::<bool>(),
+        ),
+        (
+            proptest::option::of("[a-zA-Z0-9._#~ %=-]{1,24}"),
+            proptest::option::of("[a-zA-Z0-9._#~ %=-]{1,24}"),
+            proptest::option::of(0u64..(1 << 33)),
+            proptest::option::of(0u64..(1 << 33)),
+            proptest::option::of(0u64..(1 << 33)),
+            proptest::option::of(0u64..10_000),
+            proptest::option::of(0u8..8),
+            proptest::option::of(0u64..500),
+        ),
+    )
+        .prop_map(
+            |(
+                (micros, op_idx, fh, offset, count, eof),
+                (name, name2, pre, post, trunc, new_fh, ftype, fh2),
+            )| {
+                let mut r = TraceRecord::new(micros, Op::ALL[op_idx], FileId(fh));
+                r.reply_micros = micros.wrapping_add(u64::from(count) % 1000);
+                r.client = (fh % 251) as u32;
+                r.server = 2;
+                r.uid = (fh % 97) as u32;
+                r.gid = (fh % 13) as u32;
+                r.xid = fh as u32;
+                r.vers = if fh % 2 == 0 { 3 } else { 2 };
+                r.offset = offset;
+                r.count = count;
+                r.ret_count = count / 2;
+                r.eof = eof;
+                r.status = if fh % 17 == 0 {
+                    u32::MAX
+                } else {
+                    (fh % 3) as u32
+                };
+                r.name = name;
+                r.name2 = name2;
+                r.pre_size = pre;
+                r.post_size = post;
+                r.truncate_to = trunc;
+                r.new_fh = new_fh.map(FileId);
+                r.ftype = ftype;
+                r.fh2 = fh2.map(FileId);
+                r
+            },
+        )
+}
+
+fn tmp(tag: &str, case: u64) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("nfstrace-store-proptests");
+    std::fs::create_dir_all(&dir).expect("mkdir tempdir");
+    dir.join(format!("{tag}-{}-{case}", std::process::id()))
+}
+
+proptest! {
+    /// Write → read returns the exact input records for any chunk size.
+    #[test]
+    fn store_roundtrip_is_bit_identical(
+        mut records in proptest::collection::vec(arb_record(), 0..300),
+        chunk_bytes in 48usize..8192,
+        case in 0u64..1_000_000,
+    ) {
+        records.sort_by_key(|r| r.micros);
+        let path = tmp("roundtrip", case);
+        let mut w = nfstrace_store::StoreWriter::create(
+            &path,
+            nfstrace_store::StoreConfig { target_chunk_bytes: chunk_bytes },
+        ).expect("create");
+        for r in &records {
+            w.push(r).expect("push");
+        }
+        let summary = w.finish().expect("finish");
+        prop_assert_eq!(summary.total_records, records.len() as u64);
+
+        let reader = nfstrace_store::StoreReader::open(&path).expect("open");
+        let mut back = Vec::with_capacity(records.len());
+        reader.for_each(|r| back.push(r.clone())).expect("stream");
+        std::fs::remove_file(&path).ok();
+        prop_assert_eq!(back, records);
+    }
+
+    /// Chunk-parallel partial-index merge equals the one-pass in-memory
+    /// index for arbitrary chunk sizes and worker counts.
+    #[test]
+    fn partial_merge_equals_trace_index(
+        mut records in proptest::collection::vec(arb_record(), 0..250),
+        chunk_records in 1usize..64,
+        threads in 1usize..9,
+    ) {
+        records.sort_by_key(|r| r.micros);
+        let whole = TraceIndex::new(records.clone());
+
+        let chunks: Vec<&[TraceRecord]> = records.chunks(chunk_records).collect();
+        let parts = nfstrace_core::parallel::run_sharded(chunks.len(), threads, |i| {
+            PartialIndex::from_records(chunks[i])
+        });
+        let merged = PartialIndex::merge_ordered(parts);
+
+        prop_assert_eq!(&merged.summary, whole.summary());
+        prop_assert_eq!(&merged.hourly, whole.hourly());
+        prop_assert_eq!(merged.raw.as_ref(), whole.accesses(0).as_ref());
+        prop_assert_eq!(merged.len, whole.len());
+    }
+
+    /// The store-backed index serves the same analysis products as the
+    /// in-memory index over the same records.
+    #[test]
+    fn store_index_equals_trace_index(
+        mut records in proptest::collection::vec(arb_record(), 0..200),
+        chunk_bytes in 64usize..4096,
+        case in 0u64..1_000_000,
+    ) {
+        records.sort_by_key(|r| r.micros);
+        let path = tmp("index", case);
+        let mut w = nfstrace_store::StoreWriter::create(
+            &path,
+            nfstrace_store::StoreConfig { target_chunk_bytes: chunk_bytes },
+        ).expect("create");
+        for r in &records {
+            w.push(r).expect("push");
+        }
+        w.finish().expect("finish");
+
+        let disk = nfstrace_store::StoreIndex::open(&path).expect("open");
+        let mem = TraceIndex::new(records);
+        prop_assert_eq!(disk.summary(), mem.summary());
+        prop_assert_eq!(disk.hourly(), mem.hourly());
+        prop_assert_eq!(disk.accesses(7).as_ref(), mem.accesses(7).as_ref());
+        prop_assert_eq!(
+            disk.runs(7, RunOptions::default()).as_ref(),
+            mem.runs(7, RunOptions::default()).as_ref()
+        );
+        prop_assert_eq!(disk.names(), mem.names());
+        std::fs::remove_file(&path).ok();
+    }
+}

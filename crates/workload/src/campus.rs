@@ -28,7 +28,7 @@
 
 use crate::convert::append_records;
 use crate::driver::{
-    exp_gap, flip, lognormal, merge_user_records, pick, user_first_xid, user_seed, EventQueue,
+    exp_gap, flip, lognormal, merge_user_records_into, pick, user_first_xid, user_seed, EventQueue,
 };
 use crate::rate::DiurnalRate;
 use nfstrace_client::{CacheConfig, ClientConfig, ClientMachine};
@@ -138,10 +138,28 @@ impl CampusWorkload {
 
     /// [`CampusWorkload::generate`] with an explicit worker count.
     pub fn generate_with_threads(&self, threads: usize) -> Vec<TraceRecord> {
+        let mut out = Vec::new();
+        nfstrace_core::sink::into_ok(self.generate_into(threads, &mut out));
+        out
+    }
+
+    /// Streams the merged trace straight into `sink` — a `Vec`, an
+    /// on-disk store writer, a partial index — without materializing
+    /// the merged record vector. The record sequence is bit-identical
+    /// to [`CampusWorkload::generate`] for any worker count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sink's error (infallible for `Vec<TraceRecord>`).
+    pub fn generate_into<S: nfstrace_core::sink::RecordSink>(
+        &self,
+        threads: usize,
+        sink: &mut S,
+    ) -> Result<(), S::Err> {
         let per_user = nfstrace_core::parallel::run_sharded(self.config.users, threads, |u| {
             self.simulate_user(u)
         });
-        merge_user_records(per_user)
+        merge_user_records_into(per_user, sink)
     }
 
     /// Simulates one user's whole trace against a private filesystem

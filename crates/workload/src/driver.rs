@@ -121,6 +121,53 @@ pub fn merge_user_records(per_user: Vec<Vec<TraceRecord>>) -> Vec<TraceRecord> {
     out
 }
 
+/// Merges per-user record streams **into a sink**, k-way, without ever
+/// materializing the merged trace.
+///
+/// Each stream is stable-sorted by timestamp first (per-user simulation
+/// emits records nearly — but not exactly — in time order), then the
+/// streams are heap-merged with ties broken by user index. That is
+/// exactly the order [`merge_user_records`]'s concatenate-and-
+/// stable-sort produces, so the record sequence reaching the sink is
+/// bit-identical to the `Vec` path for any thread count — the
+/// `generate_into` entry points on both workloads rely on this.
+///
+/// # Errors
+///
+/// Propagates the sink's error (infallible for `Vec<TraceRecord>`).
+pub fn merge_user_records_into<S: nfstrace_core::sink::RecordSink>(
+    per_user: Vec<Vec<TraceRecord>>,
+    sink: &mut S,
+) -> Result<(), S::Err> {
+    let mut cursors: Vec<std::iter::Peekable<std::vec::IntoIter<TraceRecord>>> = per_user
+        .into_iter()
+        .map(|mut stream| {
+            // Stable: equal-timestamp records keep their emission
+            // order, as they would under the global stable sort.
+            stream.sort_by_key(|r| r.micros);
+            stream.into_iter().peekable()
+        })
+        .collect();
+    // Min-heap over (timestamp, user index); each pop emits the next
+    // record of one user's stream. Equal timestamps drain lower user
+    // indices first — and a user's own equal-timestamp records drain in
+    // stream order, because its re-pushed entry keeps winning the tie.
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+    for (u, c) in cursors.iter_mut().enumerate() {
+        if let Some(r) = c.peek() {
+            heap.push(Reverse((r.micros, u)));
+        }
+    }
+    while let Some(Reverse((_, u))) = heap.pop() {
+        let r = cursors[u].next().expect("heap entry implies a record");
+        sink.push_record(r)?;
+        if let Some(next) = cursors[u].peek() {
+            heap.push(Reverse((next.micros, u)));
+        }
+    }
+    Ok(())
+}
+
 /// Samples an exponential interarrival gap with the given mean (µs).
 pub fn exp_gap(rng: &mut StdRng, mean_micros: f64) -> u64 {
     let u: f64 = 1.0 - rng.gen::<f64>();
@@ -175,6 +222,31 @@ mod tests {
         assert_eq!(q.len(), 1);
         q.pop();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn kway_merge_equals_concat_and_stable_sort() {
+        use nfstrace_core::record::{FileId, Op};
+        // Adversarial streams: internal disorder, cross-stream ties.
+        let mk = |seed: u64| -> Vec<TraceRecord> {
+            (0..50u64)
+                .map(|i| {
+                    let t = (i * 7 + seed * 3) % 40; // collisions galore
+                    TraceRecord::new(t, Op::Read, FileId(seed * 1000 + i))
+                })
+                .collect()
+        };
+        let streams: Vec<Vec<TraceRecord>> = (0..4).map(mk).collect();
+        let legacy = {
+            let mut sorted = streams.clone();
+            for s in &mut sorted {
+                s.sort_by_key(|r| r.micros);
+            }
+            merge_user_records(sorted)
+        };
+        let mut merged: Vec<TraceRecord> = Vec::new();
+        nfstrace_core::sink::into_ok(merge_user_records_into(streams, &mut merged));
+        assert_eq!(merged, legacy);
     }
 
     #[test]

@@ -30,6 +30,22 @@
 //! available parallelism) sets the pool size and never changes the
 //! output: `generate_with_threads(1)` and `generate_with_threads(n)`
 //! are bit-identical for the same seed.
+//!
+//! # Streaming into a sink
+//!
+//! Both generators also expose `generate_into`, which k-way-merges the
+//! per-user streams straight into any
+//! [`nfstrace_core::sink::RecordSink`] — an on-disk
+//! `nfstrace_store::StoreWriter`, a
+//! [`nfstrace_core::index::PartialIndex`], or a plain `Vec` — without
+//! ever materializing the **merged** trace, in the exact record order
+//! `generate` returns. The per-user simulation outputs still coexist
+//! until the merge drains them (simulation is a full-trace pass per
+//! user today), so generation itself peaks at O(sum of per-user
+//! streams); what the sink path removes is the merged copy and, for
+//! on-disk sinks, the need to ever index from a full in-memory vector.
+//! Time-windowed simulation that bounds the per-user streams too is an
+//! open ROADMAP item.
 
 pub mod campus;
 pub mod convert;

@@ -45,6 +45,44 @@ fn eecs_sharded_output_is_bit_identical() {
 }
 
 #[test]
+fn sink_streaming_matches_vec_generation() {
+    // generate_into is the out-of-core path: the k-way merge into a
+    // sink must produce the exact record sequence `generate` returns.
+    let campus = CampusWorkload::new(CampusConfig {
+        users: 5,
+        duration_micros: SIX_HOURS,
+        seed: 31,
+        ..CampusConfig::default()
+    });
+    let vec_path = campus.generate_with_threads(2);
+    let mut sunk: Vec<nfstrace_core::record::TraceRecord> = Vec::new();
+    nfstrace_core::sink::into_ok(campus.generate_into(3, &mut sunk));
+    assert_eq!(sunk, vec_path);
+
+    let eecs = EecsWorkload::new(EecsConfig {
+        users: 4,
+        duration_micros: SIX_HOURS,
+        seed: 77,
+        ..EecsConfig::default()
+    });
+    let vec_path = eecs.generate_with_threads(1);
+    let mut sunk: Vec<nfstrace_core::record::TraceRecord> = Vec::new();
+    nfstrace_core::sink::into_ok(eecs.generate_into(4, &mut sunk));
+    assert_eq!(sunk, vec_path);
+
+    // Streaming into a partial index folds the same trace.
+    let campus_vec = campus.generate_with_threads(1);
+    let mut partial = nfstrace_core::PartialIndex::new();
+    nfstrace_core::sink::into_ok(campus.generate_into(2, &mut partial));
+    let base = partial.finish();
+    assert_eq!(base.len, campus_vec.len());
+    assert_eq!(
+        base.summary,
+        nfstrace_core::SummaryStats::from_records(campus_vec.iter())
+    );
+}
+
+#[test]
 fn eecs_shared_datasets_have_one_identity_across_users() {
     // Every user's replica pins the shared files to the same inode ids
     // (SHARED_INODE_BASE..2*SHARED_INODE_BASE): a dataset read by two

@@ -21,6 +21,7 @@
 //! | [`sniffer`] | `nfstrace-sniffer` | the passive tracer |
 //! | [`anonymize`] | `nfstrace-anonymize` | consistent, non-deterministic anonymization |
 //! | [`core`] | `nfstrace-core` | trace records and the FAST 2003 analyses |
+//! | [`store`] | `nfstrace-store` | chunked on-disk trace store, out-of-core indexing |
 //!
 //! # Quickstart
 //!
@@ -49,5 +50,6 @@ pub use nfstrace_net as net;
 pub use nfstrace_nfs as nfs;
 pub use nfstrace_rpc as rpc;
 pub use nfstrace_sniffer as sniffer;
+pub use nfstrace_store as store;
 pub use nfstrace_workload as workload;
 pub use nfstrace_xdr as xdr;

@@ -14,6 +14,96 @@ use std::hash::Hash;
 
 pub use serde_derive::{Deserialize, Serialize};
 
+/// An insertion-ordered JSON object with an O(1) key index.
+///
+/// Pairs render in insertion order (struct fields keep their declared
+/// order in output), while `get` goes through a key → slot hash index
+/// instead of a linear scan — so deserializing a struct with *k* fields
+/// from an *n*-pair object is O(n + k), not O(n·k), and a large
+/// `IdTable` snapshot deserializes in linear time. The index is built
+/// lazily on the first `get`: the serialize path (which only iterates)
+/// never pays for it. Duplicate keys keep every pair in order; the
+/// index points at the **last** occurrence, matching serde_json's
+/// last-wins behaviour.
+#[derive(Debug, Clone)]
+pub struct ObjectMap {
+    pairs: Vec<(String, Value)>,
+    index: std::cell::OnceCell<HashMap<String, usize>>,
+}
+
+impl ObjectMap {
+    /// An empty object.
+    pub fn new() -> Self {
+        ObjectMap {
+            pairs: Vec::new(),
+            index: std::cell::OnceCell::new(),
+        }
+    }
+
+    /// Builds the object from insertion-ordered pairs.
+    pub fn from_pairs(pairs: Vec<(String, Value)>) -> Self {
+        ObjectMap {
+            pairs,
+            index: std::cell::OnceCell::new(),
+        }
+    }
+
+    /// Appends a pair, keeping any built index current.
+    pub fn push(&mut self, key: String, value: Value) {
+        if let Some(index) = self.index.get_mut() {
+            index.insert(key.clone(), self.pairs.len());
+        }
+        self.pairs.push((key, value));
+    }
+
+    /// Constant-time key lookup (last occurrence wins); builds the
+    /// index on first use.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        let index = self.index.get_or_init(|| {
+            self.pairs
+                .iter()
+                .enumerate()
+                .map(|(i, (k, _))| (k.clone(), i))
+                .collect()
+        });
+        index.get(key).map(|&i| &self.pairs[i].1)
+    }
+
+    /// Iterates pairs in insertion order.
+    pub fn iter(&self) -> std::slice::Iter<'_, (String, Value)> {
+        self.pairs.iter()
+    }
+
+    /// Number of pairs (duplicates counted).
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the object has no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+}
+
+impl Default for ObjectMap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PartialEq for ObjectMap {
+    /// Pair equality; the index is derived state.
+    fn eq(&self, other: &Self) -> bool {
+        self.pairs == other.pairs
+    }
+}
+
+impl FromIterator<(String, Value)> for ObjectMap {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
+        Self::from_pairs(iter.into_iter().collect())
+    }
+}
+
 /// A self-describing serialized value, isomorphic to JSON.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Value {
@@ -31,23 +121,27 @@ pub enum Value {
     Str(String),
     /// An array.
     Arr(Vec<Value>),
-    /// An object; insertion-ordered key/value pairs.
-    Map(Vec<(String, Value)>),
+    /// An object; insertion-ordered pairs behind a key index.
+    Map(ObjectMap),
 }
 
 impl Value {
+    /// Builds an object value from insertion-ordered pairs (the derive
+    /// macros emit calls to this).
+    pub fn object(pairs: Vec<(String, Value)>) -> Value {
+        Value::Map(ObjectMap::from_pairs(pairs))
+    }
+
     /// Looks up `key` in an object, erroring on a missing key or a
-    /// non-object.
+    /// non-object. O(1) via the object's key index.
     ///
     /// # Errors
     ///
     /// When `self` is not a map or lacks `key`.
     pub fn field(&self, key: &str) -> Result<&Value, Error> {
         match self {
-            Value::Map(pairs) => pairs
-                .iter()
-                .find(|(k, _)| k == key)
-                .map(|(_, v)| v)
+            Value::Map(map) => map
+                .get(key)
                 .ok_or_else(|| Error::new(format!("missing field `{key}`"))),
             other => Err(Error::new(format!(
                 "expected object with field `{key}`, got {}",
@@ -327,7 +421,7 @@ impl_json_key_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
 
 impl<K: JsonKey + Eq + Hash, V: Serialize> Serialize for HashMap<K, V> {
     fn to_value(&self) -> Value {
-        Value::Map(
+        Value::object(
             self.iter()
                 .map(|(k, v)| (k.to_key(), v.to_value()))
                 .collect(),
@@ -337,7 +431,7 @@ impl<K: JsonKey + Eq + Hash, V: Serialize> Serialize for HashMap<K, V> {
 impl<K: JsonKey + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
     fn from_value(v: &Value) -> Result<Self, Error> {
         match v {
-            Value::Map(pairs) => pairs
+            Value::Map(map) => map
                 .iter()
                 .map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?)))
                 .collect(),
@@ -348,7 +442,7 @@ impl<K: JsonKey + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
 
 impl<K: JsonKey + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
     fn to_value(&self) -> Value {
-        Value::Map(
+        Value::object(
             self.iter()
                 .map(|(k, v)| (k.to_key(), v.to_value()))
                 .collect(),
@@ -358,7 +452,7 @@ impl<K: JsonKey + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
 impl<K: JsonKey + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
     fn from_value(v: &Value) -> Result<Self, Error> {
         match v {
-            Value::Map(pairs) => pairs
+            Value::Map(map) => map
                 .iter()
                 .map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?)))
                 .collect(),

@@ -231,7 +231,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let body = match &input.shape {
         Shape::Unit => "::serde::Value::Null".to_string(),
         Shape::Named(fields) => {
-            let mut s = String::from("::serde::Value::Map(::std::vec![");
+            let mut s = String::from("::serde::Value::object(::std::vec![");
             for f in fields.iter().filter(|f| !f.skip) {
                 s.push_str(&format!(
                     "({:?}.to_string(), ::serde::Serialize::to_value(&self.{})),",

@@ -74,9 +74,9 @@ fn render(v: &Value, out: &mut String) {
             }
             out.push(']');
         }
-        Value::Map(pairs) => {
+        Value::Map(map) => {
             out.push('{');
-            for (i, (k, item)) in pairs.iter().enumerate() {
+            for (i, (k, item)) in map.iter().enumerate() {
                 if i > 0 {
                     out.push(',');
                 }
@@ -194,11 +194,11 @@ impl<'a> Parser<'a> {
 
     fn object(&mut self) -> Result<Value> {
         self.expect(b'{')?;
-        let mut pairs = Vec::new();
+        let mut map = serde::ObjectMap::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
-            return Ok(Value::Map(pairs));
+            return Ok(Value::Map(map));
         }
         loop {
             self.skip_ws();
@@ -207,13 +207,13 @@ impl<'a> Parser<'a> {
             self.expect(b':')?;
             self.skip_ws();
             let v = self.value()?;
-            pairs.push((key, v));
+            map.push(key, v);
             self.skip_ws();
             match self.peek() {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
-                    return Ok(Value::Map(pairs));
+                    return Ok(Value::Map(map));
                 }
                 other => {
                     return Err(Error::new(format!(
@@ -388,5 +388,47 @@ mod tests {
     fn whitespace_tolerated() {
         let v: Vec<u32> = from_str(" [ 1 , 2 ,\n3 ] ").unwrap();
         assert_eq!(v, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn object_key_lookup_is_indexed_and_last_wins() {
+        let v: serde::Value = from_str(r#"{"a":1,"b":2,"a":3}"#).unwrap();
+        // Duplicate keys: every pair survives rendering in order…
+        assert_eq!(to_string(&v).unwrap(), r#"{"a":1,"b":2,"a":3}"#);
+        // …but field lookup resolves to the last occurrence.
+        assert_eq!(v.field("a").unwrap(), &serde::Value::U64(3));
+        assert_eq!(v.field("b").unwrap(), &serde::Value::U64(2));
+        assert!(v.field("c").is_err());
+    }
+
+    #[test]
+    fn repeated_field_lookup_on_large_object_is_cheap() {
+        // n field lookups over an n-pair object: the pre-index linear
+        // scan made this O(n²) — the pattern behind slow large-IdTable
+        // snapshot deserialization. The key index keeps it O(n).
+        let json = {
+            let mut s = String::from("{");
+            for i in 0..40_000u32 {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!("\"k{i}\":{i}"));
+            }
+            s.push('}');
+            s
+        };
+        let v: serde::Value = from_str(&json).unwrap();
+        let t = std::time::Instant::now();
+        for i in 0..40_000u32 {
+            assert_eq!(
+                v.field(&format!("k{i}")).unwrap(),
+                &serde::Value::U64(u64::from(i))
+            );
+        }
+        assert!(
+            t.elapsed() < std::time::Duration::from_secs(5),
+            "40k lookups took {:?}",
+            t.elapsed()
+        );
     }
 }
