@@ -198,11 +198,25 @@ criterion_group!(
     bench_analysis_paths
 );
 
+/// What the out-of-core measurement reports.
+struct StoreNumbers {
+    /// Seconds to generate both traces into stores and index them.
+    build_s: f64,
+    /// Seconds for the artifact sweeps against the store indices.
+    analysis_s: f64,
+    /// Total chunks across both stores.
+    chunks: usize,
+    /// Total on-disk bytes of both (compressed) stores.
+    lz_bytes: u64,
+    /// The same records re-serialized without compression.
+    raw_bytes: u64,
+}
+
 /// The out-of-core shape: generate both day-long traces straight into
-/// chunked store files, open chunk-parallel store indices, run the same
-/// artifact sweeps. Returns (store index pair build seconds, analysis
-/// seconds, total chunks).
-fn store_analysis(dir: &std::path::Path) -> (f64, f64, usize) {
+/// chunked, per-chunk-compressed store files, open chunk-parallel
+/// store indices, run the same artifact sweeps — and re-serialize both
+/// stores raw to track what compression buys on disk.
+fn store_analysis(dir: &std::path::Path) -> StoreNumbers {
     use std::time::Instant;
     std::fs::create_dir_all(dir).expect("store dir");
     let threads = nfstrace_core::parallel::threads();
@@ -210,6 +224,7 @@ fn store_analysis(dir: &std::path::Path) -> (f64, f64, usize) {
         // Day-long bench traces are small; keep several chunks in play
         // so the chunk-parallel path is actually exercised.
         target_chunk_bytes: 256 << 10,
+        ..StoreConfig::default()
     };
     let t = Instant::now();
     let campus_path = dir.join("campus.nfstore");
@@ -217,13 +232,13 @@ fn store_analysis(dir: &std::path::Path) -> (f64, f64, usize) {
     analysis_campus()
         .generate_into(threads, &mut w)
         .expect("stream campus");
-    w.finish().expect("finish store");
+    let mut lz_bytes = w.finish().expect("finish store").file_bytes;
     let eecs_path = dir.join("eecs.nfstore");
     let mut w = StoreWriter::create(&eecs_path, cfg).expect("create store");
     analysis_eecs()
         .generate_into(threads, &mut w)
         .expect("stream eecs");
-    w.finish().expect("finish store");
+    lz_bytes += w.finish().expect("finish store").file_bytes;
     let ci = StoreIndex::open(&campus_path).expect("open campus store");
     let ei = StoreIndex::open(&eecs_path).expect("open eecs store");
     let build_s = t.elapsed().as_secs_f64();
@@ -236,7 +251,29 @@ fn store_analysis(dir: &std::path::Path) -> (f64, f64, usize) {
     }
     assert!(chars > 0);
     let analysis_s = t.elapsed().as_secs_f64();
-    (build_s, analysis_s, chunks)
+
+    // Compression effectiveness: stream the same records back out into
+    // raw (uncompressed) v2 stores and compare file sizes.
+    let raw_cfg = StoreConfig {
+        compression: nfstrace_store::Compression::None,
+        ..cfg
+    };
+    let mut raw_bytes = 0;
+    for (idx, name) in [(&ci, "campus-raw.nfstore"), (&ei, "eecs-raw.nfstore")] {
+        let mut w = StoreWriter::create(dir.join(name), raw_cfg).expect("create raw store");
+        idx.reader()
+            .for_each(|r| w.push(r).expect("push raw"))
+            .expect("stream records");
+        raw_bytes += w.finish().expect("finish raw store").file_bytes;
+    }
+
+    StoreNumbers {
+        build_s,
+        analysis_s,
+        chunks,
+        lz_bytes,
+        raw_bytes,
+    }
 }
 
 /// One-shot wall-clock numbers for `BENCH_pipeline.json` (measured with
@@ -263,7 +300,7 @@ fn write_pipeline_json() {
     // other's store files mid-write.
     let store_dir =
         std::env::temp_dir().join(format!("nfstrace-bench-store-{}", std::process::id()));
-    let (store_build_s, store_analysis_s, store_chunks) = store_analysis(&store_dir);
+    let store = store_analysis(&store_dir);
     std::fs::remove_dir_all(&store_dir).ok();
 
     let json = format!(
@@ -278,10 +315,17 @@ fn write_pipeline_json() {
       "cpus": 1,
       "in_memory": {{"threads_1_s": 6.87, "threads_2_s": 7.11}},
       "store": {{"threads_1_s": 10.81, "threads_2_s": 12.07}}
+    }},
+    "pr4_fused_store": {{
+      "note": "hand-timed on the PR 4 runner (again 1 CPU) after the fused replay (7 decode passes -> construction + 1) and v2 per-chunk compression landed; store-over-memory overhead fell from +57% (PR 3) to +36% best-of-3, with stores ~2.4x smaller on disk",
+      "cpus": 1,
+      "in_memory": {{"threads_1_s": 7.02, "threads_2_s": 6.11}},
+      "store": {{"threads_1_s": 9.55, "threads_2_s": 9.89}},
+      "store_bytes_scale_1": {{"campus": 29574062, "eecs": 23508542}}
     }}
   }},
   "measured": {{
-    "note": "measured fresh by every run of `cargo bench --bench pipeline` on small day-long traces; `legacy` rebuilds its view per artifact (the pre-refactor shape), `indexed` shares one TraceIndex across all sweeps, `store` streams generation into chunked store files and analyzes them out-of-core",
+    "note": "measured fresh by every run of `cargo bench --bench pipeline` on small day-long traces; `legacy` rebuilds its view per artifact (the pre-refactor shape), `indexed` shares one TraceIndex across all sweeps, `store` streams generation into chunked per-chunk-compressed (v2) store files and analyzes them out-of-core; the byte counts compare those files against a raw re-serialization",
     "generate_campus_day_serial_s": {gen_serial_s:.3},
     "generate_campus_day_sharded_s": {gen_sharded_s:.3},
     "threads": {threads},
@@ -292,14 +336,23 @@ fn write_pipeline_json() {
     "store_generate_and_index_s": {store_build_s:.3},
     "analysis_store_shared_s": {store_analysis_s:.3},
     "store_chunks": {store_chunks},
-    "store_vs_indexed_analysis_ratio": {sratio:.2}
+    "store_vs_indexed_analysis_ratio": {sratio:.2},
+    "store_file_bytes_compressed": {lz_bytes},
+    "store_file_bytes_raw": {raw_bytes},
+    "store_compression_ratio": {cratio:.2}
   }}
 }}
 "#,
         threads = nfstrace_core::parallel::threads(),
         sweeps = ANALYSIS_SWEEPS,
         aspeed = legacy_s / indexed_s.max(1e-9),
-        sratio = store_analysis_s / indexed_s.max(1e-9),
+        sratio = store.analysis_s / indexed_s.max(1e-9),
+        store_build_s = store.build_s,
+        store_analysis_s = store.analysis_s,
+        store_chunks = store.chunks,
+        lz_bytes = store.lz_bytes,
+        raw_bytes = store.raw_bytes,
+        cratio = store.raw_bytes as f64 / store.lz_bytes.max(1) as f64,
     );
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_pipeline.json");
     match std::fs::write(&path, &json) {

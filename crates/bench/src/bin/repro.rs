@@ -13,20 +13,25 @@
 //!
 //! `repro --store <dir>` runs the same suite end to end without ever
 //! holding a full trace in memory: generation streams straight into
-//! chunked store files under `<dir>` (`campus.nfstore`,
-//! `eecs.nfstore`), indexing builds one partial index per chunk across
-//! `NFSTRACE_THREADS` workers and merges them, and the record-replaying
-//! analyses decode one chunk at a time. Its stdout is **byte-identical**
-//! to the in-memory run — CI asserts exactly that.
+//! chunked, per-chunk-compressed store files under `<dir>`
+//! (`campus.nfstore`, `eecs.nfstore`), indexing builds one partial
+//! index per chunk across `NFSTRACE_THREADS` workers and merges them,
+//! and every record-replaying analysis rides **one** fused decode pass
+//! per view (registered up front via `TraceView::prepare`) — asserted
+//! both per view (`decode_passes == 1`) and at chunk granularity
+//! (construction + fused replay = exactly two decodes per chunk). Its
+//! stdout is **byte-identical** to the in-memory run — CI asserts
+//! exactly that.
 
 use nfstrace_bench::{scale, scenarios, tables};
-use nfstrace_core::index::TraceView;
+use nfstrace_core::index::{ReplayRequest, TraceView};
 use nfstrace_core::time::DAY;
 use nfstrace_store::StoreConfig;
 
 /// Prints every artifact over the 8-day pair and its analysis-week
-/// windows, then asserts the one-pass contract. Generic: the in-memory
-/// and store-backed runs share every line of this.
+/// windows, then asserts the one-pass contracts (sorts *and* replays).
+/// Generic: the in-memory and store-backed runs share every line of
+/// this.
 fn run_suite<V: TraceView>(campus8: &V, eecs8: &V) {
     eprintln!(
         "  CAMPUS: {} records, EECS: {} records",
@@ -36,6 +41,25 @@ fn run_suite<V: TraceView>(campus8: &V, eecs8: &V) {
     eprintln!("indexing the analysis week ...");
     let campus_week = campus8.time_window(0, scenarios::WEEK_DAYS * DAY);
     let eecs_week = eecs8.time_window(0, scenarios::WEEK_DAYS * DAY);
+
+    // Register every record-replaying analysis the suite is about to
+    // run, so each view replays (for the store: decodes) its records
+    // exactly once. The 8-day views serve only the five weekday
+    // lifetime windows (Table 4 / Figure 3); the week views serve
+    // Table 1's names + whole-span lifetime, plus — CAMPUS only —
+    // the name-prediction report and hierarchy coverage.
+    eprintln!("fusing replay analyses ...");
+    campus8.prepare(&[ReplayRequest::WeekdayLifetime]);
+    eecs8.prepare(&[ReplayRequest::WeekdayLifetime]);
+    campus_week.prepare(&[
+        ReplayRequest::Names,
+        ReplayRequest::Lifetime(tables::table1_lifetime_config(&campus_week)),
+        ReplayRequest::Coverage(tables::COVERAGE_BUCKET_MICROS),
+    ]);
+    eecs_week.prepare(&[
+        ReplayRequest::Names,
+        ReplayRequest::Lifetime(tables::table1_lifetime_config(&eecs_week)),
+    ]);
 
     println!("{}", tables::table1(&campus_week, &eecs_week).text);
     println!("{}", tables::table2(&campus_week, &eecs_week).text);
@@ -50,8 +74,9 @@ fn run_suite<V: TraceView>(campus8: &V, eecs8: &V) {
     println!("{}", tables::names_report(&campus_week));
     println!("{}", tables::hierarchy_coverage(&campus_week));
 
-    // The one-pass contract: each index sorted its trace exactly once
-    // per reorder window (CAMPUS 10 ms, EECS 5 ms).
+    // The one-pass contracts: each index sorted its trace exactly once
+    // per reorder window (CAMPUS 10 ms, EECS 5 ms), and each view
+    // replayed (decoded) its records exactly once — the fused pass.
     for (name, passes, expect) in [
         ("campus week", campus_week.sort_passes(), 1),
         ("eecs week", eecs_week.sort_passes(), 1),
@@ -59,6 +84,14 @@ fn run_suite<V: TraceView>(campus8: &V, eecs8: &V) {
         ("eecs 8-day", eecs8.sort_passes(), 0),
     ] {
         assert_eq!(passes, expect, "{name} sort passes");
+    }
+    for (name, view) in [
+        ("campus week", &campus_week),
+        ("eecs week", &eecs_week),
+        ("campus 8-day", campus8),
+        ("eecs 8-day", eecs8),
+    ] {
+        assert_eq!(view.decode_passes(), 1, "{name} decode passes");
     }
 }
 
@@ -104,6 +137,29 @@ fn main() {
                 eecs8.reader().chunk_count()
             );
             run_suite(&campus8, &eecs8);
+            // The fused-replay bound, at chunk granularity: each chunk
+            // set is decoded exactly twice — index construction plus
+            // the one fused replay — for the 8-day view and for its
+            // analysis-week window alike, plus one construction decode
+            // of the chunks under Figure 1's Wednesday-morning window.
+            for (name, idx) in [("CAMPUS", &campus8), ("EECS", &eecs8)] {
+                let r = idx.reader();
+                let all = r.chunk_count() as u64;
+                let in_window = |start: u64, end: u64| {
+                    r.chunks().iter().filter(|m| m.overlaps(start, end)).count() as u64
+                };
+                let week = in_window(0, scenarios::WEEK_DAYS * DAY);
+                let wed = in_window(tables::FIG1_WINDOW_MICROS.0, tables::FIG1_WINDOW_MICROS.1);
+                let decoded = r.chunks_decoded();
+                assert_eq!(
+                    decoded,
+                    2 * (all + week) + wed,
+                    "{name}: {all} chunks ({week} in the week, {wed} under \
+                     fig1's Wednesday window) decoded more than the fused \
+                     bound allows"
+                );
+                eprintln!("  {name}: {decoded} chunk decodes over {all} chunks (bound met)");
+            }
         }
     }
 }

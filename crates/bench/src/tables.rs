@@ -29,6 +29,30 @@ pub const WINDOW_CAMPUS_MS: u64 = 10;
 /// See [`WINDOW_CAMPUS_MS`].
 pub const WINDOW_EECS_MS: u64 = 5;
 
+/// The measurement interval [`hierarchy_coverage`] buckets by
+/// (30 minutes) — public so replay-fusing callers can pre-register the
+/// coverage request (`repro` does, via [`TraceView::prepare`]).
+pub const COVERAGE_BUCKET_MICROS: u64 = 30 * 60 * 1_000_000;
+
+/// The Wednesday 9am–12pm sub-window [`fig1`] sweeps, as
+/// `(start, end)` in microseconds — public so the out-of-core decode
+/// accounting in `repro --store` can count the chunks its construction
+/// touches.
+pub const FIG1_WINDOW_MICROS: (u64, u64) = (3 * DAY + 9 * HOUR, 3 * DAY + 12 * HOUR);
+
+/// The whole-span lifetime window [`table1`] derives its median block
+/// lifetime from — public so replay-fusing callers can pre-register it
+/// and keep Table 1 from costing a replay pass of its own.
+pub fn table1_lifetime_config<V: TraceView>(idx: &V) -> LifetimeConfig {
+    let s = idx.summary();
+    let span_days = ((s.last_micros - s.first_micros) / DAY).max(1);
+    LifetimeConfig {
+        phase1_start: 0,
+        phase1_len: span_days / 2 * DAY + DAY / 2,
+        phase2_len: span_days / 2 * DAY + DAY / 2,
+    }
+}
+
 /// Sorted per-file accesses after the reorder-window correction,
 /// served from the index's per-window cache.
 pub fn sorted_accesses<V: TraceView>(idx: &V, window_ms: u64) -> Arc<AccessMap> {
@@ -64,12 +88,7 @@ pub fn table1<V: TraceView>(campus: &V, eecs: &V) -> Table1 {
         data_fraction[i] = s.data_fraction();
         rw_bytes[i] = s.rw_bytes_ratio();
         lock_churn[i] = idx.names().lock_fraction_of_churn();
-        let span_days = ((s.last_micros - s.first_micros) / DAY).max(1);
-        let rep = idx.lifetime(LifetimeConfig {
-            phase1_start: 0,
-            phase1_len: span_days / 2 * DAY + DAY / 2,
-            phase2_len: span_days / 2 * DAY + DAY / 2,
-        });
+        let rep = idx.lifetime(table1_lifetime_config(idx));
         median_life[i] = rep.median_lifespan().map(|m| m as f64 / 1e6);
         let deaths = rep.deaths_total().max(1);
         ow_frac[i] = rep.deaths_overwrite as f64 / deaths as f64;
@@ -539,7 +558,7 @@ pub struct Fig1 {
 pub fn fig1<V: TraceView>(campus: &V, eecs: &V) -> Fig1 {
     let windows: Vec<u64> = (0..=50).step_by(2).collect();
     let sweep = |idx: &V| -> Vec<(u64, f64)> {
-        idx.time_window(3 * DAY + 9 * HOUR, 3 * DAY + 12 * HOUR)
+        idx.time_window(FIG1_WINDOW_MICROS.0, FIG1_WINDOW_MICROS.1)
             .swap_sweep(&windows)
             .into_iter()
             .map(|p| (p.window_ms, 100.0 * p.swapped_fraction))
@@ -806,7 +825,7 @@ pub fn fig5<V: TraceView>(campus: &V, eecs: &V) -> Fig5 {
 
 /// §4.1.1: hierarchy-reconstruction coverage over time.
 pub fn hierarchy_coverage<V: TraceView>(idx: &V) -> String {
-    let pts = idx.hierarchy_coverage(30 * 60 * 1_000_000);
+    let pts = idx.hierarchy_coverage(COVERAGE_BUCKET_MICROS);
     let mut text = String::new();
     let _ = writeln!(
         text,

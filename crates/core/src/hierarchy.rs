@@ -196,6 +196,14 @@ impl CoverageBuilder {
     }
 }
 
+/// Coverage accumulation can ride a fused replay pass alongside the
+/// other analyzers (see [`crate::index::RecordObserver`]).
+impl crate::index::RecordObserver for CoverageBuilder {
+    fn observe(&mut self, r: &TraceRecord) {
+        CoverageBuilder::observe(self, r);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -375,6 +375,15 @@ impl BlockLifetimeAnalyzer {
     }
 }
 
+/// Lifetime windows can ride a fused replay pass alongside the other
+/// analyzers — the `repro` suite runs all five weekday windows in one
+/// pass this way (see [`crate::index::RecordObserver`]).
+impl crate::index::RecordObserver for BlockLifetimeAnalyzer {
+    fn observe(&mut self, r: &TraceRecord) {
+        BlockLifetimeAnalyzer::observe(self, r);
+    }
+}
+
 fn record_death(
     report: &mut LifetimeReport,
     config: &LifetimeConfig,

@@ -417,6 +417,14 @@ impl NamePredictionBuilder {
     }
 }
 
+/// Name prediction can ride a fused replay pass alongside the other
+/// analyzers (see [`crate::index::RecordObserver`]).
+impl crate::index::RecordObserver for NamePredictionBuilder {
+    fn observe(&mut self, r: &TraceRecord) {
+        NamePredictionBuilder::observe(self, r);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

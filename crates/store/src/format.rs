@@ -1,17 +1,39 @@
-//! On-disk layout constants and the per-chunk footer entry.
+//! On-disk layout constants, the per-chunk footer entry, and the v2
+//! chunk filters.
+//!
+//! Two format revisions exist. **v2** is what [`crate::StoreWriter`]
+//! emits by default; **v1** (the PR 3 layout) is still fully readable —
+//! [`crate::StoreReader`] sniffs the leading magic and parses either.
 //!
 //! ```text
-//! +----------+---------+---------+ ... +--------+----------------+
-//! | "NFSTRC1\0" | chunk 0 | chunk 1 |     | footer | trailer        |
-//! +----------+---------+---------+ ... +--------+----------------+
+//! +-------------+---------+---------+ ... +--------+----------------+
+//! | magic (8 B) | chunk 0 | chunk 1 |     | footer | trailer        |
+//! +-------------+---------+---------+ ... +--------+----------------+
 //!
-//! chunk   := name_table  (varint count, then varint-len escaped names)
-//!            record_count (varint)
-//!            first_micros (varint)
-//!            record*      (see `codec`)
-//! footer  := per chunk: offset, len, records, min_micros, max_micros
-//!            (5 × u64 LE) — then chunk_count u64, total_records u64
-//! trailer := footer_offset u64 LE, "NFSTRCE\0"
+//! magic    := "NFSTRC1\0" (v1) | "NFSTRC2\0" (v2)
+//!
+//! payload  := name_table  (varint count, then varint-len escaped names)
+//!             record_count (varint)
+//!             first_micros (varint)
+//!             record*      (see `codec`)
+//!
+//! chunk v1 := payload
+//! chunk v2 := flags (1 B)                  — bit 0: LZ-compressed;
+//!                                            other bits must be zero
+//!             if compressed: raw_len (varint), LZ stream (see
+//!                            `compress`), else: payload verbatim
+//!
+//! entry v1 := offset, len, records, min_micros, max_micros
+//!             (5 × u64 LE = 40 B)
+//! entry v2 := offset, len, records, min_micros, max_micros,
+//!             min_fh, max_fh, checksum  (8 × u64 LE)
+//!             bloom (BLOOM_BYTES)        — 128 B total
+//!
+//! footer v1 := entry* ++ chunk_count u64 ++ total_records u64
+//! footer v2 := entry* ++ chunk_count u64 ++ total_records u64
+//!              ++ footer_checksum u64    — FNV-1a of all prior footer
+//!                                          bytes
+//! trailer   := footer_offset u64 LE, "NFSTRCE\0"
 //! ```
 //!
 //! The reader seeks to the trailer (last 16 bytes), validates the end
@@ -19,19 +41,153 @@
 //! absolute offset — so opening a store costs one footer read no matter
 //! how many records it holds, and any chunk can be decoded in isolation
 //! (each chunk carries its own name table and timestamp base).
+//!
+//! v2 adds three things on top of the v1 layout:
+//!
+//! - **Per-chunk compression**, negotiated by the chunk's flags byte: a
+//!   chunk whose LZ encoding (module [`crate::compress`]) does not beat
+//!   the raw payload is stored raw, so compression never grows a chunk
+//!   body by more than the one flags byte.
+//! - **Corruption detection.** `checksum` is the FNV-1a 64 hash of the
+//!   chunk's stored bytes exactly as they sit on disk (flags byte
+//!   included), verified before any decode; the footer carries its own
+//!   trailing checksum. A flipped bit anywhere surfaces as
+//!   [`crate::StoreError::Format`], never as a silently wrong record.
+//! - **Per-chunk [`FileIdFilter`]s** (min/max plus a small Bloom
+//!   filter over each record's *primary* file handle), letting
+//!   per-file queries skip chunks that cannot contain the file without
+//!   decoding them.
 
-/// Leading file magic.
-pub const MAGIC: &[u8; 8] = b"NFSTRC1\0";
+use nfstrace_core::record::FileId;
 
-/// Trailing file magic.
+/// Leading file magic, v1 layout.
+pub const MAGIC_V1: &[u8; 8] = b"NFSTRC1\0";
+
+/// Leading file magic, v2 layout.
+pub const MAGIC_V2: &[u8; 8] = b"NFSTRC2\0";
+
+/// Trailing file magic (both versions).
 pub const END_MAGIC: &[u8; 8] = b"NFSTRCE\0";
+
+/// Footer entry sizes per version.
+pub const V1_ENTRY_BYTES: usize = 5 * 8;
+/// See [`V1_ENTRY_BYTES`].
+pub const V2_ENTRY_BYTES: usize = 8 * 8 + BLOOM_BYTES;
+
+/// v2 chunk flags bit: the body is LZ-compressed.
+pub const FLAG_COMPRESSED: u8 = 1 << 0;
+/// Every currently defined flags bit; anything else is a format error.
+pub const FLAG_MASK: u8 = FLAG_COMPRESSED;
+
+/// Hard upper bound on a decoded chunk payload. Writers flush chunks at
+/// a few MiB; a (hand-crafted) compressed chunk claiming more raw bytes
+/// than this is rejected before any allocation.
+pub const MAX_CHUNK_PAYLOAD: u64 = 1 << 30;
+
+/// The on-disk format revisions this crate reads and writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StoreVersion {
+    /// The PR 3 layout: raw chunks, 40-byte footer entries, no
+    /// checksums or filters. Still written on request for
+    /// compatibility, always readable.
+    V1,
+    /// Compressed, checksummed, filter-carrying layout (default).
+    #[default]
+    V2,
+}
+
+/// FNV-1a 64-bit hash — the store's checksum. Not cryptographic; it
+/// exists to catch disk/transport corruption deterministically.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Bytes in each per-chunk Bloom filter (512 bits).
+pub const BLOOM_BYTES: usize = 64;
+/// Bits set per inserted file id.
+const BLOOM_HASHES: u32 = 3;
+
+/// SplitMix64 — the Bloom filter's hash mixer.
+fn mix64(mut v: u64) -> u64 {
+    v = v.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    v = (v ^ (v >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    v = (v ^ (v >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    v ^ (v >> 31)
+}
+
+/// A conservative per-chunk membership test over each record's primary
+/// file handle (`TraceRecord::fh`): min/max range plus a
+/// [`BLOOM_BYTES`]-byte Bloom filter.
+///
+/// `may_contain` can report false positives (a chunk is decoded and
+/// yields nothing) but never false negatives, so chunk-skipping
+/// per-file queries always return exactly the full-scan answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileIdFilter {
+    /// Smallest primary file handle in the chunk.
+    pub min_fh: u64,
+    /// Largest primary file handle in the chunk.
+    pub max_fh: u64,
+    /// Bloom bits over the chunk's primary file handles.
+    pub bloom: [u8; BLOOM_BYTES],
+}
+
+impl Default for FileIdFilter {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl FileIdFilter {
+    /// A filter that matches nothing (the state before any insert).
+    pub fn empty() -> Self {
+        FileIdFilter {
+            min_fh: u64::MAX,
+            max_fh: 0,
+            bloom: [0; BLOOM_BYTES],
+        }
+    }
+
+    /// Adds one file handle.
+    pub fn insert(&mut self, fh: FileId) {
+        self.min_fh = self.min_fh.min(fh.0);
+        self.max_fh = self.max_fh.max(fh.0);
+        let mut h = mix64(fh.0);
+        for _ in 0..BLOOM_HASHES {
+            let bit = (h as usize) % (BLOOM_BYTES * 8);
+            self.bloom[bit / 8] |= 1 << (bit % 8);
+            h = mix64(h);
+        }
+    }
+
+    /// Whether the chunk behind this filter could contain `fh`.
+    pub fn may_contain(&self, fh: FileId) -> bool {
+        if fh.0 < self.min_fh || fh.0 > self.max_fh {
+            return false;
+        }
+        let mut h = mix64(fh.0);
+        for _ in 0..BLOOM_HASHES {
+            let bit = (h as usize) % (BLOOM_BYTES * 8);
+            if self.bloom[bit / 8] & (1 << (bit % 8)) == 0 {
+                return false;
+            }
+            h = mix64(h);
+        }
+        true
+    }
+}
 
 /// One chunk's footer entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ChunkMeta {
     /// Absolute byte offset of the chunk.
     pub offset: u64,
-    /// Encoded byte length.
+    /// Encoded (stored) byte length.
     pub len: u64,
     /// Records in the chunk.
     pub records: u64,
@@ -39,11 +195,69 @@ pub struct ChunkMeta {
     pub min_micros: u64,
     /// Last record's capture time.
     pub max_micros: u64,
+    /// FNV-1a 64 of the stored chunk bytes. `None` for v1 stores,
+    /// which carry no checksums.
+    pub checksum: Option<u64>,
+    /// Primary-file-handle filter. `None` for v1 stores, where every
+    /// per-file query must decode every chunk.
+    pub filter: Option<FileIdFilter>,
 }
 
 impl ChunkMeta {
     /// Whether this chunk could contain records in `[start, end)`.
     pub fn overlaps(&self, start: u64, end: u64) -> bool {
         self.records > 0 && self.min_micros < end && self.max_micros >= start
+    }
+
+    /// Whether this chunk could contain a record whose primary handle is
+    /// `fh`. Conservative: `true` whenever no filter is present (v1).
+    pub fn may_contain_file(&self, fh: FileId) -> bool {
+        self.filter.is_none_or(|f| f.may_contain(fh))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_has_no_false_negatives() {
+        let mut f = FileIdFilter::empty();
+        let members: Vec<u64> = (0..200).map(|i| i * 977 + 13).collect();
+        for &m in &members {
+            f.insert(FileId(m));
+        }
+        for &m in &members {
+            assert!(f.may_contain(FileId(m)), "member {m} filtered out");
+        }
+    }
+
+    #[test]
+    fn filter_rejects_out_of_range_and_most_nonmembers() {
+        let mut f = FileIdFilter::empty();
+        for i in 1000..1040u64 {
+            f.insert(FileId(i));
+        }
+        assert!(!f.may_contain(FileId(0)));
+        assert!(!f.may_contain(FileId(999)));
+        assert!(!f.may_contain(FileId(1041)));
+        assert!(!f.may_contain(FileId(u64::MAX)));
+    }
+
+    #[test]
+    fn empty_filter_matches_nothing() {
+        let f = FileIdFilter::empty();
+        for probe in [0u64, 1, 42, u64::MAX] {
+            assert!(!f.may_contain(FileId(probe)));
+        }
+    }
+
+    #[test]
+    fn fnv_is_stable_and_input_sensitive() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a64(b"inbox"), fnv1a64(b"inbox.lock"));
+        let mut flipped = b"some chunk body".to_vec();
+        flipped[3] ^= 0x10;
+        assert_ne!(fnv1a64(b"some chunk body"), fnv1a64(&flipped));
     }
 }

@@ -2,16 +2,17 @@
 
 use crate::error::Result;
 use crate::reader::StoreReader;
+use nfstrace_core::hierarchy::CoveragePoint;
 use nfstrace_core::hourly::HourlySeries;
 use nfstrace_core::index::{
-    AccessMap, IndexBase, PartialIndex, ProductCaches, RecordStream, TraceView,
+    AccessMap, IndexBase, PartialIndex, ProductCaches, RecordStream, ReplayRequest, TraceView,
 };
 use nfstrace_core::lifetime::{LifetimeConfig, LifetimeReport};
 use nfstrace_core::names::NamePredictionReport;
 use nfstrace_core::parallel;
-use nfstrace_core::record::TraceRecord;
-use nfstrace_core::reorder::SwapPoint;
-use nfstrace_core::runs::{Run, RunOptions};
+use nfstrace_core::record::{FileId, TraceRecord};
+use nfstrace_core::reorder::{self, Access, SwapPoint};
+use nfstrace_core::runs::{split_runs, Run, RunOptions};
 use nfstrace_core::summary::SummaryStats;
 use std::path::Path;
 use std::sync::Arc;
@@ -26,7 +27,11 @@ use std::sync::Arc;
 /// same records while peak resident *record* memory stays bounded by
 /// (chunk size × worker count), not trace size. Record-replaying
 /// analyses (block lifetimes, name prediction, hierarchy coverage)
-/// stream chunk by chunk through [`RecordStream`].
+/// stream chunk by chunk through [`RecordStream`] — and batched through
+/// [`TraceView::prepare`] they all ride **one** fused decode pass, so a
+/// full analysis suite costs construction + one replay ≈ two decodes
+/// per chunk (asserted end to end by `repro --store` via
+/// [`TraceView::decode_passes`] and [`StoreReader::chunks_decoded`]).
 ///
 /// Time windows ([`TraceView::time_window`]) share the underlying
 /// [`StoreReader`] via [`Arc`] and skip chunks whose footer time range
@@ -57,11 +62,31 @@ impl StoreIndex {
     ///
     /// On chunk read/decode failure.
     pub fn from_reader(reader: Arc<StoreReader>) -> Result<Self> {
-        Self::build(reader, 0, u64::MAX)
+        Self::from_reader_with_threads(reader, parallel::threads())
+    }
+
+    /// [`StoreIndex::from_reader`] with an explicit construction-pass
+    /// worker count (bit-identical for any count).
+    ///
+    /// # Errors
+    ///
+    /// On chunk read/decode failure.
+    pub fn from_reader_with_threads(reader: Arc<StoreReader>, threads: usize) -> Result<Self> {
+        Self::build_with_threads(reader, 0, u64::MAX, threads)
     }
 
     /// The chunk-parallel construction pass.
     fn build(reader: Arc<StoreReader>, start: u64, end: u64) -> Result<Self> {
+        Self::build_with_threads(reader, start, end, parallel::threads())
+    }
+
+    /// See [`StoreIndex::build`].
+    fn build_with_threads(
+        reader: Arc<StoreReader>,
+        start: u64,
+        end: u64,
+        threads: usize,
+    ) -> Result<Self> {
         let chunks: Vec<usize> = reader
             .chunks()
             .iter()
@@ -69,15 +94,14 @@ impl StoreIndex {
             .filter(|(_, m)| m.overlaps(start, end))
             .map(|(i, _)| i)
             .collect();
-        let parts: Vec<Result<PartialIndex>> =
-            parallel::run_sharded(chunks.len(), parallel::threads(), |i| {
-                let records = reader.read_chunk(chunks[i])?;
-                Ok(PartialIndex::from_records(
-                    records
-                        .iter()
-                        .filter(|r| r.micros >= start && r.micros < end),
-                ))
-            });
+        let parts: Vec<Result<PartialIndex>> = parallel::run_sharded(chunks.len(), threads, |i| {
+            let records = reader.read_chunk(chunks[i])?;
+            Ok(PartialIndex::from_records(
+                records
+                    .iter()
+                    .filter(|r| r.micros >= start && r.micros < end),
+            ))
+        });
         let mut ordered = Vec::with_capacity(parts.len());
         for p in parts {
             ordered.push(p?);
@@ -95,6 +119,51 @@ impl StoreIndex {
     /// The underlying reader.
     pub fn reader(&self) -> &Arc<StoreReader> {
         &self.reader
+    }
+
+    /// This view's records whose primary handle is `fh`, in time order.
+    ///
+    /// Decodes only the chunks whose footer time range overlaps the
+    /// view **and** whose [`crate::format::FileIdFilter`] could contain
+    /// `fh` — on a multi-chunk store a single file's records usually
+    /// live in a handful of chunks, so most chunks are never touched
+    /// (observable via [`StoreReader::chunks_decoded`]). The result
+    /// always equals filtering a full scan.
+    ///
+    /// # Errors
+    ///
+    /// On chunk read/decode failure.
+    pub fn file_records(&self, fh: FileId) -> Result<Vec<TraceRecord>> {
+        self.reader.records_for_file_in(fh, self.start, self.end)
+    }
+
+    /// One file's reorder-corrected access stream — the single-file
+    /// slice of [`TraceView::accesses`] — computed with chunk skipping
+    /// (see [`StoreIndex::file_records`]) instead of a full decode.
+    ///
+    /// # Errors
+    ///
+    /// On chunk read/decode failure.
+    pub fn file_accesses(&self, fh: FileId, window_ms: u64) -> Result<Vec<Access>> {
+        let mut list: Vec<Access> = self
+            .file_records(fh)?
+            .iter()
+            .filter_map(Access::from_record)
+            .collect();
+        if window_ms > 0 {
+            reorder::sort_within_window(&mut list, window_ms * 1000);
+        }
+        Ok(list)
+    }
+
+    /// One file's run table — the single-file slice of
+    /// [`TraceView::runs`] — computed with chunk skipping.
+    ///
+    /// # Errors
+    ///
+    /// On chunk read/decode failure.
+    pub fn file_runs(&self, fh: FileId, window_ms: u64, opts: RunOptions) -> Result<Vec<Run>> {
+        Ok(split_runs(fh, &self.file_accesses(fh, window_ms)?, opts))
     }
 }
 
@@ -174,5 +243,17 @@ impl TraceView for StoreIndex {
 
     fn sort_passes(&self) -> u64 {
         self.caches.sort_passes()
+    }
+
+    fn hierarchy_coverage(&self, bucket_micros: u64) -> Arc<Vec<CoveragePoint>> {
+        self.caches.coverage(self, bucket_micros)
+    }
+
+    fn prepare(&self, requests: &[ReplayRequest]) {
+        self.caches.prepare(self, requests);
+    }
+
+    fn decode_passes(&self) -> u64 {
+        self.caches.decode_passes()
     }
 }

@@ -28,7 +28,17 @@
 //!
 //! The record codec (module [`codec`]) delta-encodes timestamps,
 //! varint-packs every numeric field, and interns percent-escaped name
-//! arguments per chunk; module [`format`] documents the file layout.
+//! arguments per chunk. On top of that, the **v2** layout (the default;
+//! v1 stores stay readable) LZ-compresses each chunk when that wins —
+//! negotiated per chunk via a flags byte with a raw fallback (module
+//! [`compress`]) — checksums every chunk and the footer so corruption
+//! surfaces as [`StoreError::Format`] rather than wrong records, and
+//! carries a per-chunk [`FileIdFilter`] (min/max + Bloom over primary
+//! file handles) so per-file queries ([`StoreIndex::file_records`],
+//! [`StoreIndex::file_runs`]) skip chunks that cannot match. Module
+//! [`format`] documents both layouts. Record-replaying analyses batch
+//! through [`nfstrace_core::index::TraceView::prepare`] into a single
+//! fused decode pass.
 //!
 //! # Example: write, reopen, analyze
 //!
@@ -44,7 +54,11 @@
 //! let records: Vec<TraceRecord> = (0..1000u64)
 //!     .map(|i| TraceRecord::new(i * 500, Op::Read, FileId(i % 7)).with_range(i * 8192, 8192))
 //!     .collect();
-//! let mut w = StoreWriter::create(&path, StoreConfig { target_chunk_bytes: 1024 }).unwrap();
+//! let config = StoreConfig {
+//!     target_chunk_bytes: 1024,
+//!     ..StoreConfig::default()
+//! };
+//! let mut w = StoreWriter::create(&path, config).unwrap();
 //! for r in &records {
 //!     w.push(r).unwrap();
 //! }
@@ -64,6 +78,7 @@
 //! ```
 
 pub mod codec;
+pub mod compress;
 pub mod error;
 pub mod format;
 pub mod index;
@@ -71,10 +86,10 @@ pub mod reader;
 pub mod writer;
 
 pub use error::{Result, StoreError};
-pub use format::ChunkMeta;
+pub use format::{ChunkMeta, FileIdFilter, StoreVersion};
 pub use index::StoreIndex;
 pub use reader::StoreReader;
-pub use writer::{StoreConfig, StoreSummary, StoreWriter};
+pub use writer::{Compression, StoreConfig, StoreSummary, StoreWriter};
 
 #[cfg(test)]
 mod tests {
@@ -118,6 +133,7 @@ mod tests {
             path,
             StoreConfig {
                 target_chunk_bytes: chunk_bytes,
+                ..StoreConfig::default()
             },
         )
         .expect("create store");

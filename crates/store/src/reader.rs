@@ -1,25 +1,37 @@
-//! Store reader: footer-driven random access to chunks.
+//! Store reader: footer-driven random access to chunks (v1 and v2).
 
 use crate::codec::{decode_record, read_varint, NameTable};
+use crate::compress;
 use crate::error::{Result, StoreError};
-use crate::format::{ChunkMeta, END_MAGIC, MAGIC};
-use nfstrace_core::record::TraceRecord;
+use crate::format::{
+    fnv1a64, ChunkMeta, FileIdFilter, StoreVersion, BLOOM_BYTES, END_MAGIC, FLAG_COMPRESSED,
+    FLAG_MASK, MAGIC_V1, MAGIC_V2, MAX_CHUNK_PAYLOAD, V1_ENTRY_BYTES, V2_ENTRY_BYTES,
+};
+use nfstrace_core::record::{FileId, TraceRecord};
 use std::fs::File;
 use std::io::{Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Reads a chunked trace store.
 ///
 /// Opening parses only the footer; record bytes are read chunk by chunk
-/// on demand. [`StoreReader::read_chunk`] takes `&self` and opens its
+/// on demand. Both on-disk format revisions are readable — the leading
+/// magic selects the parser, so v1 stores written before the v2 layout
+/// (compression, checksums, file filters; see [`crate::format`]) keep
+/// working. [`StoreReader::read_chunk`] takes `&self` and opens its
 /// own file handle, so chunk decodes can run on any number of threads
 /// concurrently — [`nfstrace_core::parallel::run_sharded`] drives the
 /// chunk-parallel index builds in `crate::index`.
 #[derive(Debug)]
 pub struct StoreReader {
     path: PathBuf,
+    version: StoreVersion,
     chunks: Vec<ChunkMeta>,
     total_records: u64,
+    /// Chunk decodes served so far (a skip-effectiveness observable:
+    /// per-file queries that skip chunks leave this lower than a scan).
+    decoded: AtomicU64,
 }
 
 impl StoreReader {
@@ -32,15 +44,19 @@ impl StoreReader {
         let path = path.as_ref().to_path_buf();
         let mut f = File::open(&path)?;
         let file_len = f.metadata()?.len();
-        let min_len = (MAGIC.len() + END_MAGIC.len() + 8 + 16) as u64;
+        let min_len = (MAGIC_V1.len() + END_MAGIC.len() + 8 + 16) as u64;
         if file_len < min_len {
             return Err(StoreError::Format("file too short for a store".into()));
         }
         let mut head = [0u8; 8];
         f.read_exact(&mut head)?;
-        if &head != MAGIC {
+        let version = if &head == MAGIC_V1 {
+            StoreVersion::V1
+        } else if &head == MAGIC_V2 {
+            StoreVersion::V2
+        } else {
             return Err(StoreError::Format("bad leading magic".into()));
-        }
+        };
         f.seek(SeekFrom::End(-16))?;
         let mut trailer = [0u8; 16];
         f.read_exact(&mut trailer)?;
@@ -55,26 +71,55 @@ impl StoreReader {
         f.seek(SeekFrom::Start(footer_offset))?;
         let mut footer = vec![0u8; (footer_end - footer_offset) as usize];
         f.read_exact(&mut footer)?;
-        if footer.len() < 16 || !(footer.len() - 16).is_multiple_of(40) {
+
+        let (entry_bytes, tail_bytes) = match version {
+            StoreVersion::V1 => (V1_ENTRY_BYTES, 16),
+            StoreVersion::V2 => (V2_ENTRY_BYTES, 24),
+        };
+        if footer.len() < tail_bytes || !(footer.len() - tail_bytes).is_multiple_of(entry_bytes) {
             return Err(StoreError::Format("footer size mismatch".into()));
         }
-        let tail = &footer[footer.len() - 16..];
+        if version == StoreVersion::V2 {
+            let sum_at = footer.len() - 8;
+            let stored = u64::from_le_bytes(footer[sum_at..].try_into().expect("8 bytes"));
+            if fnv1a64(&footer[..sum_at]) != stored {
+                return Err(StoreError::Format("footer checksum mismatch".into()));
+            }
+        }
+        let tail = &footer[footer.len() - tail_bytes..];
         let chunk_count = u64::from_le_bytes(tail[..8].try_into().expect("8 bytes")) as usize;
-        let total_records = u64::from_le_bytes(tail[8..].try_into().expect("8 bytes"));
-        if chunk_count * 40 != footer.len() - 16 {
+        let total_records = u64::from_le_bytes(tail[8..16].try_into().expect("8 bytes"));
+        if chunk_count * entry_bytes != footer.len() - tail_bytes {
             return Err(StoreError::Format("chunk count mismatch".into()));
         }
         let mut chunks = Vec::with_capacity(chunk_count);
         for i in 0..chunk_count {
-            let e = &footer[i * 40..(i + 1) * 40];
+            let e = &footer[i * entry_bytes..(i + 1) * entry_bytes];
             let word =
                 |j: usize| u64::from_le_bytes(e[j * 8..(j + 1) * 8].try_into().expect("8 bytes"));
+            let (checksum, filter) = match version {
+                StoreVersion::V1 => (None, None),
+                StoreVersion::V2 => {
+                    let mut bloom = [0u8; BLOOM_BYTES];
+                    bloom.copy_from_slice(&e[64..64 + BLOOM_BYTES]);
+                    (
+                        Some(word(7)),
+                        Some(FileIdFilter {
+                            min_fh: word(5),
+                            max_fh: word(6),
+                            bloom,
+                        }),
+                    )
+                }
+            };
             chunks.push(ChunkMeta {
                 offset: word(0),
                 len: word(1),
                 records: word(2),
                 min_micros: word(3),
                 max_micros: word(4),
+                checksum,
+                filter,
             });
         }
         if chunks.iter().map(|m| m.records).sum::<u64>() != total_records {
@@ -82,7 +127,7 @@ impl StoreReader {
         }
         // Validate the byte geometry up front so a corrupt footer is a
         // Format error here, not an allocation abort in read_chunk.
-        let mut expect_offset = MAGIC.len() as u64;
+        let mut expect_offset = MAGIC_V1.len() as u64;
         for (i, m) in chunks.iter().enumerate() {
             if m.offset != expect_offset {
                 return Err(StoreError::Format(format!(
@@ -99,19 +144,36 @@ impl StoreReader {
                 )));
             }
             // Every record costs well over one encoded byte; an entry
-            // claiming more records than bytes is corrupt.
-            if m.records > m.len {
+            // claiming more records than bytes is corrupt. A compressed
+            // v2 chunk can legitimately pack many records per stored
+            // byte, so its bound is enforced against the decoded
+            // payload in read_chunk instead.
+            if version == StoreVersion::V1 && m.records > m.len {
                 return Err(StoreError::Format(format!(
                     "chunk {i} claims {} records in {} bytes",
                     m.records, m.len
                 )));
             }
+            if let Some(f) = &m.filter {
+                if m.records > 0 && f.min_fh > f.max_fh {
+                    return Err(StoreError::Format(format!(
+                        "chunk {i} file filter range is inverted"
+                    )));
+                }
+            }
         }
         Ok(StoreReader {
             path,
+            version,
             chunks,
             total_records,
+            decoded: AtomicU64::new(0),
         })
+    }
+
+    /// The on-disk format revision this store was written with.
+    pub fn version(&self) -> StoreVersion {
+        self.version
     }
 
     /// Per-chunk footer entries, in chunk-ordinal order.
@@ -134,12 +196,21 @@ impl StoreReader {
         &self.path
     }
 
+    /// How many chunk decodes this reader has served since opening.
+    /// Index construction plus one fused replay costs two per chunk;
+    /// chunk-skipping per-file queries add less than a full scan.
+    pub fn chunks_decoded(&self) -> u64 {
+        self.decoded.load(Ordering::Relaxed)
+    }
+
     /// Reads and decodes one chunk. Thread-safe: opens a private file
     /// handle.
     ///
     /// # Errors
     ///
-    /// On I/O failure, a bad ordinal, or corrupt chunk bytes.
+    /// On I/O failure, a bad ordinal, or corrupt chunk bytes — under
+    /// v2, any stored byte that does not hash to the footer's chunk
+    /// checksum is a [`StoreError::Format`] before decoding begins.
     pub fn read_chunk(&self, ordinal: usize) -> Result<Vec<TraceRecord>> {
         let meta = *self
             .chunks
@@ -149,26 +220,68 @@ impl StoreReader {
         f.seek(SeekFrom::Start(meta.offset))?;
         let mut bytes = vec![0u8; meta.len as usize];
         f.read_exact(&mut bytes)?;
+        self.decoded.fetch_add(1, Ordering::Relaxed);
+
+        let decompressed: Vec<u8>;
+        let payload: &[u8] = match self.version {
+            StoreVersion::V1 => &bytes,
+            StoreVersion::V2 => {
+                let expect = meta.checksum.expect("v2 metas carry checksums");
+                if fnv1a64(&bytes) != expect {
+                    return Err(StoreError::Format(format!(
+                        "chunk {ordinal} checksum mismatch"
+                    )));
+                }
+                let &flags = bytes
+                    .first()
+                    .ok_or_else(|| StoreError::Format(format!("chunk {ordinal} is empty")))?;
+                if flags & !FLAG_MASK != 0 {
+                    return Err(StoreError::Format(format!(
+                        "chunk {ordinal} has unknown flags {flags:#04x}"
+                    )));
+                }
+                if flags & FLAG_COMPRESSED != 0 {
+                    let mut pos = 1;
+                    let raw_len = read_varint(&bytes, &mut pos)?;
+                    if raw_len > MAX_CHUNK_PAYLOAD {
+                        return Err(StoreError::Format(format!(
+                            "chunk {ordinal} claims a {raw_len}-byte payload"
+                        )));
+                    }
+                    decompressed = compress::decompress(&bytes[pos..], raw_len as usize)?;
+                    &decompressed
+                } else {
+                    &bytes[1..]
+                }
+            }
+        };
+
         let mut pos = 0;
-        let names = NameTable::decode(&bytes, &mut pos)?;
-        let count = read_varint(&bytes, &mut pos)?;
+        let names = NameTable::decode(payload, &mut pos)?;
+        let count = read_varint(payload, &mut pos)?;
         if count != meta.records {
             return Err(StoreError::Format(format!(
                 "chunk {ordinal}: header says {count} records, footer {}",
                 meta.records
             )));
         }
-        let mut prev = read_varint(&bytes, &mut pos)?;
+        if count > payload.len() as u64 {
+            return Err(StoreError::Format(format!(
+                "chunk {ordinal} claims {count} records in a {}-byte payload",
+                payload.len()
+            )));
+        }
+        let mut prev = read_varint(payload, &mut pos)?;
         let mut out = Vec::with_capacity(count as usize);
         for _ in 0..count {
-            let r = decode_record(&bytes, &mut pos, prev, &names)?;
+            let r = decode_record(payload, &mut pos, prev, &names)?;
             prev = r.micros;
             out.push(r);
         }
-        if pos != bytes.len() {
+        if pos != payload.len() {
             return Err(StoreError::Format(format!(
                 "chunk {ordinal}: {} trailing bytes",
-                bytes.len() - pos
+                payload.len() - pos
             )));
         }
         Ok(out)
@@ -187,5 +300,45 @@ impl StoreReader {
             }
         }
         Ok(())
+    }
+
+    /// All records whose primary handle is `fh`, in time order,
+    /// decoding only the chunks whose footer [`FileIdFilter`] could
+    /// contain it. On a v1 store (no filters) this degrades to a full
+    /// scan; either way the result equals filtering a full scan.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first chunk read/decode failure.
+    pub fn records_for_file(&self, fh: FileId) -> Result<Vec<TraceRecord>> {
+        self.records_for_file_in(fh, 0, u64::MAX)
+    }
+
+    /// [`StoreReader::records_for_file`] restricted to capture times in
+    /// `[start, end)` — the one copy of the skip-then-filter loop, so
+    /// windowed views (`StoreIndex::file_records`) and whole-store
+    /// queries share the same chunk-skipping logic.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first chunk read/decode failure.
+    pub fn records_for_file_in(
+        &self,
+        fh: FileId,
+        start: u64,
+        end: u64,
+    ) -> Result<Vec<TraceRecord>> {
+        let mut out = Vec::new();
+        for (i, m) in self.chunks.iter().enumerate() {
+            if !m.overlaps(start, end) || !m.may_contain_file(fh) {
+                continue;
+            }
+            for r in self.read_chunk(i)? {
+                if r.fh == fh && r.micros >= start && r.micros < end {
+                    out.push(r);
+                }
+            }
+        }
+        Ok(out)
     }
 }

@@ -1,13 +1,27 @@
 //! Streaming store writer.
 
-use crate::codec::{encode_record, NameTable};
+use crate::codec::{encode_record, write_varint, NameTable};
+use crate::compress;
 use crate::error::{Result, StoreError};
-use crate::format::{ChunkMeta, END_MAGIC, MAGIC};
+use crate::format::{
+    fnv1a64, ChunkMeta, FileIdFilter, StoreVersion, END_MAGIC, FLAG_COMPRESSED, MAGIC_V1, MAGIC_V2,
+};
 use nfstrace_core::record::TraceRecord;
 use nfstrace_core::sink::RecordSink;
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::Path;
+
+/// Per-chunk compression policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Compression {
+    /// Store every chunk raw (still checksummed and filtered under v2).
+    None,
+    /// LZ-compress each chunk, keeping the raw form when it is smaller
+    /// — the flags byte records which form each chunk took (default).
+    #[default]
+    Lz,
+}
 
 /// Store layout knobs.
 #[derive(Debug, Clone, Copy)]
@@ -17,6 +31,12 @@ pub struct StoreConfig {
     /// Smaller chunks mean finer-grained parallel indexing and lower
     /// peak memory; larger chunks amortize per-chunk overhead.
     pub target_chunk_bytes: usize,
+    /// Per-chunk compression policy (v2 only; v1 is always raw).
+    pub compression: Compression,
+    /// On-disk format revision to emit. v2 (default) adds per-chunk
+    /// compression, checksums, and file-id filters; v1 reproduces the
+    /// PR 3 layout byte for byte.
+    pub version: StoreVersion,
 }
 
 impl Default for StoreConfig {
@@ -26,6 +46,8 @@ impl Default for StoreConfig {
             // chunk: decoded, tens of MB — bounded regardless of how
             // many days the whole trace spans.
             target_chunk_bytes: 4 << 20,
+            compression: Compression::default(),
+            version: StoreVersion::default(),
         }
     }
 }
@@ -35,9 +57,13 @@ impl Default for StoreConfig {
 /// Records are encoded into an in-memory chunk buffer; when the buffer
 /// reaches [`StoreConfig::target_chunk_bytes`] the chunk is flushed to
 /// disk and its [`ChunkMeta`] (offset, length, record count, time
-/// range) queued for the footer. [`StoreWriter::finish`] flushes the
-/// trailing chunk and writes the footer — nothing but the current
-/// chunk's encoding is ever resident.
+/// range — plus, under v2, a checksum and a primary-file-handle
+/// filter) queued for the footer. Under v2 each flushed chunk is
+/// LZ-compressed when that wins ([`Compression::Lz`]), with the raw
+/// form kept otherwise; the choice is recorded in the chunk's flags
+/// byte. [`StoreWriter::finish`] flushes the trailing chunk and writes
+/// the footer — nothing but the current chunk's encoding is ever
+/// resident.
 ///
 /// # Examples
 ///
@@ -59,6 +85,8 @@ pub struct StoreWriter {
     names: NameTable,
     chunk_records: u64,
     chunk_min: u64,
+    /// Primary-file-handle filter of the pending chunk (v2 footer).
+    filter: FileIdFilter,
     /// Previous record's `micros` (delta-encoding state + order check).
     prev_micros: u64,
     any_pushed: bool,
@@ -85,8 +113,12 @@ impl StoreWriter {
     ///
     /// On file creation or header-write failure.
     pub fn create<P: AsRef<Path>>(path: P, config: StoreConfig) -> Result<Self> {
+        let magic = match config.version {
+            StoreVersion::V1 => MAGIC_V1,
+            StoreVersion::V2 => MAGIC_V2,
+        };
         let mut out = BufWriter::new(File::create(path)?);
-        out.write_all(MAGIC)?;
+        out.write_all(magic)?;
         Ok(StoreWriter {
             out,
             config,
@@ -94,9 +126,10 @@ impl StoreWriter {
             names: NameTable::new(),
             chunk_records: 0,
             chunk_min: 0,
+            filter: FileIdFilter::empty(),
             prev_micros: 0,
             any_pushed: false,
-            offset: MAGIC.len() as u64,
+            offset: magic.len() as u64,
             chunks: Vec::new(),
         })
     }
@@ -124,6 +157,7 @@ impl StoreWriter {
         } else {
             encode_record(&mut self.chunk_buf, r, self.prev_micros, &mut self.names);
         }
+        self.filter.insert(r.fh);
         self.prev_micros = r.micros;
         self.any_pushed = true;
         self.chunk_records += 1;
@@ -137,24 +171,57 @@ impl StoreWriter {
         if self.chunk_records == 0 {
             return Ok(());
         }
-        let mut header = Vec::with_capacity(self.names.encoded_len() + 16);
-        self.names.encode(&mut header);
-        crate::codec::write_varint(&mut header, self.chunk_records);
-        crate::codec::write_varint(&mut header, self.chunk_min);
-        self.out.write_all(&header)?;
-        self.out.write_all(&self.chunk_buf)?;
-        let len = (header.len() + self.chunk_buf.len()) as u64;
+        let mut payload = Vec::with_capacity(self.names.encoded_len() + 16 + self.chunk_buf.len());
+        self.names.encode(&mut payload);
+        write_varint(&mut payload, self.chunk_records);
+        write_varint(&mut payload, self.chunk_min);
+        payload.extend_from_slice(&self.chunk_buf);
+
+        let stored = match self.config.version {
+            StoreVersion::V1 => payload,
+            StoreVersion::V2 => {
+                let mut body = Vec::with_capacity(payload.len() + 1);
+                let compressed = match self.config.compression {
+                    Compression::None => None,
+                    Compression::Lz => {
+                        let c = compress::compress(&payload);
+                        let mut frame = Vec::new();
+                        write_varint(&mut frame, payload.len() as u64);
+                        // Raw fallback: only keep the compressed form
+                        // when flags + frame + stream beat flags + raw.
+                        (frame.len() + c.len() < payload.len()).then_some((frame, c))
+                    }
+                };
+                match compressed {
+                    Some((frame, c)) => {
+                        body.push(FLAG_COMPRESSED);
+                        body.extend_from_slice(&frame);
+                        body.extend_from_slice(&c);
+                    }
+                    None => {
+                        body.push(0);
+                        body.extend_from_slice(&payload);
+                    }
+                }
+                body
+            }
+        };
+        self.out.write_all(&stored)?;
+        let v2 = self.config.version == StoreVersion::V2;
         self.chunks.push(ChunkMeta {
             offset: self.offset,
-            len,
+            len: stored.len() as u64,
             records: self.chunk_records,
             min_micros: self.chunk_min,
             max_micros: self.prev_micros,
+            checksum: v2.then(|| fnv1a64(&stored)),
+            filter: v2.then_some(self.filter),
         });
-        self.offset += len;
+        self.offset += stored.len() as u64;
         self.chunk_buf.clear();
         self.names = NameTable::new();
         self.chunk_records = 0;
+        self.filter = FileIdFilter::empty();
         Ok(())
     }
 
@@ -167,15 +234,30 @@ impl StoreWriter {
     pub fn finish(mut self) -> Result<StoreSummary> {
         self.flush_chunk()?;
         let footer_offset = self.offset;
-        let mut footer = Vec::with_capacity(self.chunks.len() * 40 + 32);
+        let mut footer = Vec::with_capacity(self.chunks.len() * 136 + 40);
         for m in &self.chunks {
             for v in [m.offset, m.len, m.records, m.min_micros, m.max_micros] {
                 footer.extend_from_slice(&v.to_le_bytes());
+            }
+            if self.config.version == StoreVersion::V2 {
+                let f = m.filter.expect("v2 chunks carry filters");
+                for v in [
+                    f.min_fh,
+                    f.max_fh,
+                    m.checksum.expect("v2 chunks carry checksums"),
+                ] {
+                    footer.extend_from_slice(&v.to_le_bytes());
+                }
+                footer.extend_from_slice(&f.bloom);
             }
         }
         let total: u64 = self.chunks.iter().map(|m| m.records).sum();
         footer.extend_from_slice(&(self.chunks.len() as u64).to_le_bytes());
         footer.extend_from_slice(&total.to_le_bytes());
+        if self.config.version == StoreVersion::V2 {
+            let sum = fnv1a64(&footer);
+            footer.extend_from_slice(&sum.to_le_bytes());
+        }
         footer.extend_from_slice(&footer_offset.to_le_bytes());
         footer.extend_from_slice(END_MAGIC);
         self.out.write_all(&footer)?;

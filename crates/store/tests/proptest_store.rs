@@ -1,12 +1,18 @@
 //! Property tests for the chunked store: codec round-trips are
-//! bit-identical, and chunk-parallel partial-index merges equal the
-//! single-pass in-memory index for arbitrary chunk sizes and thread
-//! counts.
+//! bit-identical for any compression mode, chunk-parallel
+//! partial-index merges equal the single-pass in-memory index for
+//! arbitrary chunk sizes and thread counts, the fused single-pass
+//! replay matches the per-analysis replay path byte for byte, and
+//! corrupted files surface as [`nfstrace_store::StoreError::Format`]
+//! rather than silently wrong records.
 
-use nfstrace_core::index::{PartialIndex, TraceIndex, TraceView};
+use nfstrace_core::index::{PartialIndex, ReplayRequest, TraceIndex, TraceView};
+use nfstrace_core::lifetime::LifetimeConfig;
 use nfstrace_core::record::{FileId, Op, TraceRecord};
 use nfstrace_core::runs::RunOptions;
+use nfstrace_store::{Compression, StoreConfig, StoreError, StoreIndex, StoreReader, StoreWriter};
 use proptest::prelude::*;
+use std::sync::Arc;
 
 fn arb_record() -> impl Strategy<Value = TraceRecord> {
     (
@@ -82,7 +88,10 @@ proptest! {
         let path = tmp("roundtrip", case);
         let mut w = nfstrace_store::StoreWriter::create(
             &path,
-            nfstrace_store::StoreConfig { target_chunk_bytes: chunk_bytes },
+            nfstrace_store::StoreConfig {
+                target_chunk_bytes: chunk_bytes,
+                ..nfstrace_store::StoreConfig::default()
+            },
         ).expect("create");
         for r in &records {
             w.push(r).expect("push");
@@ -132,7 +141,10 @@ proptest! {
         let path = tmp("index", case);
         let mut w = nfstrace_store::StoreWriter::create(
             &path,
-            nfstrace_store::StoreConfig { target_chunk_bytes: chunk_bytes },
+            nfstrace_store::StoreConfig {
+                target_chunk_bytes: chunk_bytes,
+                ..nfstrace_store::StoreConfig::default()
+            },
         ).expect("create");
         for r in &records {
             w.push(r).expect("push");
@@ -151,4 +163,465 @@ proptest! {
         prop_assert_eq!(disk.names(), mem.names());
         std::fs::remove_file(&path).ok();
     }
+}
+
+/// Writes `records` to `path` with the given chunk size, compression
+/// policy, and format version.
+fn write_with(
+    path: &std::path::Path,
+    records: &[TraceRecord],
+    chunk_bytes: usize,
+    compression: Compression,
+    version: nfstrace_store::StoreVersion,
+) {
+    let mut w = StoreWriter::create(
+        path,
+        StoreConfig {
+            target_chunk_bytes: chunk_bytes,
+            compression,
+            version,
+        },
+    )
+    .expect("create");
+    for r in records {
+        w.push(r).expect("push");
+    }
+    w.finish().expect("finish");
+}
+
+/// Reads every record back, or the first error.
+fn read_all(path: &std::path::Path) -> Result<Vec<TraceRecord>, StoreError> {
+    let reader = StoreReader::open(path)?;
+    let mut back = Vec::new();
+    reader.for_each(|r| back.push(r.clone()))?;
+    Ok(back)
+}
+
+proptest! {
+    /// The compression codec round-trips bit-identically through the
+    /// store for arbitrary record streams × chunk sizes × compression
+    /// on/off — and "mixed" arises naturally, since each chunk
+    /// negotiates its own raw fallback via the flags byte.
+    #[test]
+    fn compressed_roundtrip_is_bit_identical(
+        mut records in proptest::collection::vec(arb_record(), 0..300),
+        chunk_bytes in 48usize..8192,
+        compress in any::<bool>(),
+        case in 0u64..1_000_000,
+    ) {
+        records.sort_by_key(|r| r.micros);
+        let compression = if compress { Compression::Lz } else { Compression::None };
+        let path = tmp("lz-roundtrip", case);
+        write_with(&path, &records, chunk_bytes, compression, nfstrace_store::StoreVersion::V2);
+        let back = read_all(&path).expect("read");
+        std::fs::remove_file(&path).ok();
+        prop_assert_eq!(back, records);
+    }
+
+    /// v1 stores (the PR 3 layout) remain fully readable, and their
+    /// analysis products match the v2 path over the same records.
+    #[test]
+    fn v1_stores_stay_readable(
+        mut records in proptest::collection::vec(arb_record(), 0..200),
+        chunk_bytes in 64usize..4096,
+        case in 0u64..1_000_000,
+    ) {
+        records.sort_by_key(|r| r.micros);
+        let path = tmp("v1-compat", case);
+        write_with(&path, &records, chunk_bytes, Compression::None, nfstrace_store::StoreVersion::V1);
+        let reader = StoreReader::open(&path).expect("open v1");
+        prop_assert_eq!(reader.version(), nfstrace_store::StoreVersion::V1);
+        let back = read_all(&path).expect("read v1");
+        prop_assert_eq!(&back, &records);
+        let disk = StoreIndex::open(&path).expect("index v1");
+        let mem = TraceIndex::new(records);
+        prop_assert_eq!(disk.summary(), mem.summary());
+        prop_assert_eq!(disk.accesses(7).as_ref(), mem.accesses(7).as_ref());
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// The fused single-pass replay produces byte-identical reports vs
+    /// the per-analysis replay path (each product requested on its own,
+    /// the pre-fusion shape, kept as the oracle) for arbitrary thread
+    /// counts — and costs exactly one decode pass.
+    #[test]
+    fn fused_replay_equals_per_analysis_replay(
+        mut records in proptest::collection::vec(arb_record(), 0..200),
+        chunk_bytes in 64usize..4096,
+        threads in 1usize..9,
+        case in 0u64..1_000_000,
+    ) {
+        records.sort_by_key(|r| r.micros);
+        let path = tmp("fused", case);
+        write_with(&path, &records, chunk_bytes, Compression::Lz, nfstrace_store::StoreVersion::V2);
+        let cfg = LifetimeConfig {
+            phase1_start: 0,
+            phase1_len: 1_000_000_000,
+            phase2_len: 1_000_000_000,
+        };
+        let bucket = 250_000_000u64;
+
+        let fused = StoreIndex::from_reader_with_threads(
+            Arc::new(StoreReader::open(&path).expect("open")),
+            threads,
+        )
+        .expect("index");
+        fused.prepare(&[
+            ReplayRequest::Names,
+            ReplayRequest::Coverage(bucket),
+            ReplayRequest::Lifetime(cfg),
+            ReplayRequest::WeekdayLifetime,
+        ]);
+        prop_assert_eq!(fused.decode_passes(), 1);
+
+        // The oracle: a fresh index, every product requested
+        // individually — each call replays on its own.
+        let unfused = StoreIndex::from_reader_with_threads(
+            Arc::new(StoreReader::open(&path).expect("open")),
+            threads,
+        )
+        .expect("index");
+        prop_assert_eq!(fused.names(), unfused.names());
+        prop_assert_eq!(
+            fused.hierarchy_coverage(bucket),
+            unfused.hierarchy_coverage(bucket)
+        );
+        prop_assert_eq!(fused.lifetime(cfg).as_ref(), unfused.lifetime(cfg).as_ref());
+        prop_assert_eq!(
+            fused.weekday_lifetime().as_ref(),
+            unfused.weekday_lifetime().as_ref()
+        );
+        prop_assert_eq!(unfused.decode_passes(), 4, "one pass per product");
+
+        // ... and both equal the direct slice-based computations.
+        prop_assert_eq!(
+            fused.names(),
+            &nfstrace_core::names::NamePredictionReport::from_records(records.iter())
+        );
+        prop_assert_eq!(
+            fused.lifetime(cfg).as_ref(),
+            &nfstrace_core::lifetime::analyze(records.iter(), cfg)
+        );
+        prop_assert_eq!(
+            fused.hierarchy_coverage(bucket).as_ref(),
+            &nfstrace_core::hierarchy::coverage_over_time(records.iter(), bucket)
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Any single flipped bit anywhere in a compressed store surfaces
+    /// as an error (almost always `Format`: checksums cover chunks and
+    /// footer, magic and geometry cover the rest) — never as a silently
+    /// different record stream.
+    #[test]
+    fn bit_flips_never_yield_wrong_records(
+        mut records in proptest::collection::vec(arb_record(), 1..150),
+        chunk_bytes in 64usize..2048,
+        flip_frac in 0u32..10_000,
+        bit in 0u8..8,
+        case in 0u64..1_000_000,
+    ) {
+        records.sort_by_key(|r| r.micros);
+        let path = tmp("flip", case);
+        write_with(&path, &records, chunk_bytes, Compression::Lz, nfstrace_store::StoreVersion::V2);
+        let mut bytes = std::fs::read(&path).expect("read file");
+        let idx = (u64::from(flip_frac) * (bytes.len() as u64 - 1) / 10_000) as usize;
+        bytes[idx] ^= 1 << bit;
+        std::fs::write(&path, &bytes).expect("write corrupted");
+
+        match read_all(&path) {
+            Err(_) => {} // expected: corruption detected somewhere
+            Ok(back) => prop_assert_eq!(
+                back, records,
+                "corruption at byte {} bit {} was silently absorbed into different records",
+                idx, bit
+            ),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Truncating a compressed store anywhere is an open or read error,
+    /// never a short-but-plausible record stream.
+    #[test]
+    fn truncations_error(
+        mut records in proptest::collection::vec(arb_record(), 1..150),
+        cut_frac in 0u32..10_000,
+        case in 0u64..1_000_000,
+    ) {
+        records.sort_by_key(|r| r.micros);
+        let path = tmp("trunc2", case);
+        write_with(&path, &records, 256, Compression::Lz, nfstrace_store::StoreVersion::V2);
+        let bytes = std::fs::read(&path).expect("read file");
+        let cut = (u64::from(cut_frac) * (bytes.len() as u64 - 1) / 10_000) as usize;
+        std::fs::write(&path, &bytes[..cut]).expect("truncate");
+        prop_assert!(read_all(&path).is_err(), "cut at {} of {}", cut, bytes.len());
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+/// A time-clustered multi-file trace: file ids advance with time, so
+/// chunk min/max file filters are selective.
+fn clustered_records(n: u64, per_file: u64) -> Vec<TraceRecord> {
+    (0..n)
+        .map(|i| {
+            TraceRecord::new(i * 1000, Op::Read, FileId(i / per_file)).with_range(i * 8192, 8192)
+        })
+        .collect()
+}
+
+/// A per-file query over a multi-chunk store decodes only the chunks
+/// that can match — observed via the reader's decode counter — and
+/// returns exactly the full-scan answer.
+#[test]
+fn per_file_queries_skip_chunks() {
+    let records = clustered_records(3000, 300);
+    let path = tmp("skip", 0);
+    write_with(
+        &path,
+        &records,
+        2048,
+        Compression::Lz,
+        nfstrace_store::StoreVersion::V2,
+    );
+
+    let reader = StoreReader::open(&path).expect("open");
+    let chunks = reader.chunk_count() as u64;
+    assert!(chunks >= 8, "need a multi-chunk store, got {chunks}");
+
+    let probe = FileId(5);
+    let skipping = reader.records_for_file(probe).expect("query");
+    let decoded_by_query = reader.chunks_decoded();
+    assert!(
+        decoded_by_query < chunks,
+        "query decoded {decoded_by_query} of {chunks} chunks — nothing was skipped"
+    );
+
+    // Full-scan oracle on a fresh reader.
+    let full = StoreReader::open(&path).expect("open");
+    let mut scanned = Vec::new();
+    full.for_each(|r| {
+        if r.fh == probe {
+            scanned.push(r.clone());
+        }
+    })
+    .expect("scan");
+    assert_eq!(full.chunks_decoded(), chunks, "the oracle scans everything");
+    assert_eq!(skipping, scanned);
+
+    // A file id beyond every filter range decodes nothing at all.
+    let before = reader.chunks_decoded();
+    assert!(reader
+        .records_for_file(FileId(1 << 40))
+        .expect("query")
+        .is_empty());
+    assert_eq!(reader.chunks_decoded(), before, "absent file: zero decodes");
+    std::fs::remove_file(&path).ok();
+}
+
+/// The windowed per-file analysis wrappers equal the full-index
+/// products restricted to that file.
+#[test]
+fn file_accesses_and_runs_match_full_index() {
+    let records = clustered_records(2000, 250);
+    let path = tmp("filequery", 0);
+    write_with(
+        &path,
+        &records,
+        2048,
+        Compression::Lz,
+        nfstrace_store::StoreVersion::V2,
+    );
+    let disk = StoreIndex::open(&path).expect("index");
+    let probe = FileId(3);
+
+    let accesses = disk.file_accesses(probe, 7).expect("accesses");
+    let full_map = disk.accesses(7);
+    assert_eq!(&accesses, full_map.get(&probe).expect("file present"));
+
+    let runs = disk
+        .file_runs(probe, 7, RunOptions::default())
+        .expect("runs");
+    let full_runs = disk.runs(7, RunOptions::default());
+    let full_for_file: Vec<_> = full_runs
+        .iter()
+        .filter(|r| r.file == probe)
+        .cloned()
+        .collect();
+    assert_eq!(runs, full_for_file);
+    std::fs::remove_file(&path).ok();
+}
+
+/// With mixed content, compressible chunks take the LZ form and
+/// incompressible ones fall back to raw — per chunk, via the flags
+/// byte — and the stream still round-trips bit-identically.
+#[test]
+fn mixed_compression_negotiates_per_chunk() {
+    // First half: one hot name, maximally repetitive. Second half:
+    // every field and a long name drawn from a PRNG — so close to
+    // incompressible that the LZ form loses to its own framing.
+    let mut records = Vec::new();
+    for i in 0..400u64 {
+        records.push(TraceRecord::new(i, Op::Lookup, FileId(1)).with_name("inbox.lock"));
+    }
+    let mut v = 0x9e3779b97f4a7c15u64;
+    let mut rand = move || {
+        v ^= v << 13;
+        v ^= v >> 7;
+        v ^= v << 17;
+        v
+    };
+    let mut micros = 400u64;
+    for _ in 0..400u64 {
+        const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+        let name: String = (0..120)
+            .map(|_| char::from(ALPHABET[(rand() % 62) as usize]))
+            .collect();
+        micros += rand() % 100_000;
+        let mut r = TraceRecord::new(micros, Op::Lookup, FileId(rand())).with_name(name);
+        r.reply_micros = micros.wrapping_add(rand());
+        r.offset = rand();
+        r.pre_size = Some(rand());
+        r.post_size = Some(rand());
+        r.truncate_to = Some(rand());
+        r.new_fh = Some(FileId(rand()));
+        r.fh2 = Some(FileId(rand()));
+        r.xid = rand() as u32;
+        r.client = rand() as u32;
+        r.server = rand() as u32;
+        r.uid = rand() as u32;
+        r.gid = rand() as u32;
+        records.push(r);
+    }
+    let path = tmp("mixed", 0);
+    write_with(
+        &path,
+        &records,
+        2000,
+        Compression::Lz,
+        nfstrace_store::StoreVersion::V2,
+    );
+    let reader = StoreReader::open(&path).expect("open");
+    let bytes = std::fs::read(&path).expect("read bytes");
+    let mut saw = [false; 2];
+    for m in reader.chunks() {
+        let flags = bytes[m.offset as usize];
+        saw[usize::from(flags & 1)] = true;
+    }
+    assert!(saw[1], "no chunk chose compression");
+    assert!(saw[0], "no chunk fell back to raw");
+    let back = read_all(&path).expect("read");
+    assert_eq!(back, records);
+    std::fs::remove_file(&path).ok();
+}
+
+/// Patches `file[at..at + 8]` with a little-endian word.
+fn patch_word(bytes: &mut [u8], at: usize, v: u64) {
+    bytes[at..at + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+/// Recomputes the footer checksum after a footer patch so the tampered
+/// field itself — not the checksum — is what the reader must catch.
+fn refresh_footer_checksum(bytes: &mut [u8]) {
+    let len = bytes.len();
+    let footer_offset = u64::from_le_bytes(bytes[len - 16..len - 8].try_into().unwrap()) as usize;
+    let sum_at = len - 24;
+    let sum = nfstrace_store::format::fnv1a64(&bytes[footer_offset..sum_at]);
+    patch_word(bytes, sum_at, sum);
+}
+
+/// An unknown flags bit is rejected by flag validation even when every
+/// checksum has been fixed up to match the tampered bytes.
+#[test]
+fn unknown_flags_byte_is_a_format_error() {
+    let records = clustered_records(200, 50);
+    let path = tmp("badflags", 0);
+    write_with(
+        &path,
+        &records,
+        1 << 20,
+        Compression::None,
+        nfstrace_store::StoreVersion::V2,
+    );
+    let reader = StoreReader::open(&path).expect("open");
+    let meta = reader.chunks()[0];
+    drop(reader);
+
+    let mut bytes = std::fs::read(&path).expect("read");
+    bytes[meta.offset as usize] = 0x40; // undefined flag bit
+    let new_sum = nfstrace_store::format::fnv1a64(
+        &bytes[meta.offset as usize..(meta.offset + meta.len) as usize],
+    );
+    let len = bytes.len();
+    let footer_offset = u64::from_le_bytes(bytes[len - 16..len - 8].try_into().unwrap()) as usize;
+    patch_word(&mut bytes, footer_offset + 7 * 8, new_sum); // entry 0 checksum
+    refresh_footer_checksum(&mut bytes);
+    std::fs::write(&path, &bytes).expect("write");
+
+    let reader = StoreReader::open(&path).expect("footer is consistent");
+    let err = reader.read_chunk(0).expect_err("unknown flags must fail");
+    assert!(
+        matches!(&err, StoreError::Format(m) if m.contains("flags")),
+        "unexpected error: {err}"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+/// A footer whose file filter disagrees with itself (min > max) is
+/// rejected at open, checksum notwithstanding.
+#[test]
+fn inverted_filter_range_is_a_format_error() {
+    let records = clustered_records(200, 50);
+    let path = tmp("badfilter", 0);
+    write_with(
+        &path,
+        &records,
+        1 << 20,
+        Compression::Lz,
+        nfstrace_store::StoreVersion::V2,
+    );
+    let mut bytes = std::fs::read(&path).expect("read");
+    let len = bytes.len();
+    let footer_offset = u64::from_le_bytes(bytes[len - 16..len - 8].try_into().unwrap()) as usize;
+    patch_word(&mut bytes, footer_offset + 5 * 8, 100); // min_fh
+    patch_word(&mut bytes, footer_offset + 6 * 8, 5); // max_fh < min_fh
+    refresh_footer_checksum(&mut bytes);
+    std::fs::write(&path, &bytes).expect("write");
+
+    let err = StoreReader::open(&path).expect_err("inverted range must fail");
+    assert!(
+        matches!(&err, StoreError::Format(m) if m.contains("filter")),
+        "unexpected error: {err}"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+/// A tampered chunk checksum word in the footer makes the chunk — not
+/// the open — fail, with a checksum Format error.
+#[test]
+fn chunk_footer_checksum_mismatch_is_a_format_error() {
+    let records = clustered_records(200, 50);
+    let path = tmp("badsum", 0);
+    write_with(
+        &path,
+        &records,
+        1 << 20,
+        Compression::Lz,
+        nfstrace_store::StoreVersion::V2,
+    );
+    let mut bytes = std::fs::read(&path).expect("read");
+    let len = bytes.len();
+    let footer_offset = u64::from_le_bytes(bytes[len - 16..len - 8].try_into().unwrap()) as usize;
+    let sum_at = footer_offset + 7 * 8;
+    let old = u64::from_le_bytes(bytes[sum_at..sum_at + 8].try_into().unwrap());
+    patch_word(&mut bytes, sum_at, old ^ 1);
+    refresh_footer_checksum(&mut bytes);
+    std::fs::write(&path, &bytes).expect("write");
+
+    let reader = StoreReader::open(&path).expect("footer parses");
+    let err = reader.read_chunk(0).expect_err("checksum must mismatch");
+    assert!(
+        matches!(&err, StoreError::Format(m) if m.contains("checksum")),
+        "unexpected error: {err}"
+    );
+    std::fs::remove_file(&path).ok();
 }
