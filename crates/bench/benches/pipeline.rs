@@ -14,9 +14,10 @@ use nfstrace_anonymize::{Anonymizer, AnonymizerConfig};
 use nfstrace_bench::tables;
 use nfstrace_core::index::{TraceIndex, TraceView};
 use nfstrace_core::record::TraceRecord;
+use nfstrace_live::{LiveConfig, LiveIngest, SlicedWorkloadSource};
 use nfstrace_sniffer::{Sniffer, WireEncoder};
 use nfstrace_store::{StoreConfig, StoreIndex, StoreWriter};
-use nfstrace_workload::{CampusConfig, CampusWorkload, EecsConfig, EecsWorkload};
+use nfstrace_workload::{CampusConfig, CampusWorkload, EecsConfig, EecsWorkload, SlicedWorkload};
 
 fn bench_generation(c: &mut Criterion) {
     let mut g = c.benchmark_group("generate");
@@ -276,6 +277,63 @@ fn store_analysis(dir: &std::path::Path) -> StoreNumbers {
     }
 }
 
+/// What the live-ingest measurement reports.
+struct LiveNumbers {
+    /// Seconds to live-ingest the day-long CAMPUS trace (sliced
+    /// generation → rotating segment ingest) and reopen the merged
+    /// segment index.
+    ingest_s: f64,
+    /// Sealed segments produced.
+    segments: usize,
+    /// Peak hot-tail records (bounded by the rotation threshold).
+    peak_hot_records: usize,
+    /// Peak records in one generation slice's merged batch.
+    peak_batch_records: usize,
+    /// Peak generated-but-unsunk records inside the sliced generator.
+    gen_peak_resident_records: usize,
+    /// Records ingested.
+    total_records: u64,
+}
+
+/// The live shape over the same day-long CAMPUS scenario the other
+/// analysis paths measure: bounded slices in, rotated segments out,
+/// peaks recorded.
+fn live_ingest_numbers(dir: &std::path::Path) -> LiveNumbers {
+    use std::time::Instant;
+    std::fs::remove_dir_all(dir).ok();
+    let threads = nfstrace_core::parallel::threads();
+    let t = Instant::now();
+    let mut ingest = LiveIngest::create(LiveConfig {
+        dir: dir.to_path_buf(),
+        store: StoreConfig {
+            target_chunk_bytes: 256 << 10,
+            ..StoreConfig::default()
+        },
+        rotate_records: 50_000,
+        rotate_micros: nfstrace_core::time::HOUR * 4,
+    })
+    .expect("create live ingest");
+    let mut source = SlicedWorkloadSource::new(SlicedWorkload::campus(
+        analysis_campus().config,
+        nfstrace_core::time::HOUR * 2,
+        threads,
+    ));
+    ingest.run(&mut source).expect("live ingest");
+    let gen_peak = source.generator().peak_resident_records();
+    let summary = ingest.finish().expect("finish live ingest");
+    let merged = StoreIndex::open_dir(dir).expect("open segment dir");
+    let ingest_s = t.elapsed().as_secs_f64();
+    assert_eq!(TraceView::len(&merged) as u64, summary.total_records);
+    LiveNumbers {
+        ingest_s,
+        segments: summary.segments,
+        peak_hot_records: summary.peak_hot_records,
+        peak_batch_records: summary.peak_batch_records,
+        gen_peak_resident_records: gen_peak,
+        total_records: summary.total_records,
+    }
+}
+
 /// One-shot wall-clock numbers for `BENCH_pipeline.json` (measured with
 /// plain `Instant`, independent of the criterion stub's windowing).
 fn write_pipeline_json() {
@@ -303,6 +361,10 @@ fn write_pipeline_json() {
     let store = store_analysis(&store_dir);
     std::fs::remove_dir_all(&store_dir).ok();
 
+    let live_dir = std::env::temp_dir().join(format!("nfstrace-bench-live-{}", std::process::id()));
+    let live = live_ingest_numbers(&live_dir);
+    std::fs::remove_dir_all(&live_dir).ok();
+
     let json = format!(
         r#"{{
   "bench": "pipeline",
@@ -325,7 +387,7 @@ fn write_pipeline_json() {
     }}
   }},
   "measured": {{
-    "note": "measured fresh by every run of `cargo bench --bench pipeline` on small day-long traces; `legacy` rebuilds its view per artifact (the pre-refactor shape), `indexed` shares one TraceIndex across all sweeps, `store` streams generation into chunked per-chunk-compressed (v2) store files and analyzes them out-of-core; the byte counts compare those files against a raw re-serialization",
+    "note": "measured fresh by every run of `cargo bench --bench pipeline` on small day-long traces; `legacy` rebuilds its view per artifact (the pre-refactor shape), `indexed` shares one TraceIndex across all sweeps, `store` streams generation into chunked per-chunk-compressed store files and analyzes them out-of-core; the byte counts compare those files against a raw re-serialization; `live_*` streams the same CAMPUS day through the time-sliced generator into a rotating segment ingest (peaks show the bounded-memory contract: hot tail + one slice, never the trace); peak_rss_kb is this process's VmHWM and cpus the runner's available parallelism",
     "generate_campus_day_serial_s": {gen_serial_s:.3},
     "generate_campus_day_sharded_s": {gen_sharded_s:.3},
     "threads": {threads},
@@ -339,7 +401,15 @@ fn write_pipeline_json() {
     "store_vs_indexed_analysis_ratio": {sratio:.2},
     "store_file_bytes_compressed": {lz_bytes},
     "store_file_bytes_raw": {raw_bytes},
-    "store_compression_ratio": {cratio:.2}
+    "store_compression_ratio": {cratio:.2},
+    "cpus": {cpus},
+    "peak_rss_kb": {peak_rss},
+    "live_ingest_s": {live_s:.3},
+    "live_segments": {live_segments},
+    "live_total_records": {live_total},
+    "live_peak_hot_records": {live_hot},
+    "live_peak_slice_records": {live_slice},
+    "live_gen_peak_resident_records": {live_gen}
   }}
 }}
 "#,
@@ -353,6 +423,14 @@ fn write_pipeline_json() {
         lz_bytes = store.lz_bytes,
         raw_bytes = store.raw_bytes,
         cratio = store.raw_bytes as f64 / store.lz_bytes.max(1) as f64,
+        cpus = std::thread::available_parallelism().map_or(1, |n| n.get()),
+        peak_rss = nfstrace_bench::suite::peak_rss_kb().unwrap_or(0),
+        live_s = live.ingest_s,
+        live_segments = live.segments,
+        live_total = live.total_records,
+        live_hot = live.peak_hot_records,
+        live_slice = live.peak_batch_records,
+        live_gen = live.gen_peak_resident_records,
     );
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_pipeline.json");
     match std::fs::write(&path, &json) {

@@ -1,0 +1,221 @@
+//! Live-ingest reproduction: generate the suite's 8-day traces through
+//! the bounded-memory live pipeline (time-sliced simulation →
+//! rotating segment ingest), query a [`nfstrace_live::LiveView`]
+//! mid-ingest, then print the full table/figure suite over the merged
+//! segment directories.
+//!
+//! Stdout is **byte-identical** to `repro --store` at the same
+//! `NFSTRACE_SCALE` — the CI `live-smoke` job `cmp`s exactly that —
+//! because the live path ingests bit-identical record streams and the
+//! suite itself is shared (`nfstrace_bench::suite`). Internally this
+//! bin additionally asserts:
+//!
+//! - mid-ingest `LiveView` products equal the batch store index
+//!   windowed to the records ingested so far;
+//! - the merged segment `StoreIndex` prints the same suite text as the
+//!   batch `--store` path;
+//! - peak resident record counts stay bounded by the slice and
+//!   rotation thresholds (reported on stderr for
+//!   `BENCH_pipeline.json`-style tracking).
+//!
+//! Usage: `live [--dir <dir>]` (default: a per-process temp dir,
+//! removed on success).
+
+use nfstrace_bench::suite::{peak_rss_kb, suite_text};
+use nfstrace_bench::{scale, scenarios};
+use nfstrace_core::index::TraceView;
+use nfstrace_core::time::{DAY, HOUR};
+use nfstrace_live::{LiveConfig, LiveIngest};
+use nfstrace_store::{StoreConfig, StoreIndex};
+use nfstrace_workload::SlicedWorkload;
+use std::path::Path;
+
+/// Simulated time per generation slice.
+const SLICE_MICROS: u64 = 6 * HOUR;
+
+/// Rotation: seal segments daily (or at half a million records).
+fn live_config(dir: &Path) -> LiveConfig {
+    LiveConfig {
+        store: StoreConfig::default(),
+        rotate_records: 500_000,
+        rotate_micros: DAY,
+        ..LiveConfig::new(dir)
+    }
+}
+
+/// Ingests `sliced` to exhaustion; at the first slice boundary at or
+/// past `check_at` (mid-ingest, hot + sealed both populated), asserts
+/// the live view equals `oracle8` windowed to the records so far.
+fn ingest_with_midpoint_check(
+    name: &str,
+    mut sliced: SlicedWorkload,
+    dir: &Path,
+    oracle8: &StoreIndex,
+    check_at: u64,
+) -> (nfstrace_live::LiveSummary, usize) {
+    let mut ingest = LiveIngest::create(live_config(dir))
+        .unwrap_or_else(|e| panic!("{name}: create ingest: {e}"));
+    let mut checked = false;
+    let mut peak_slice = 0u64;
+    let mut before = 0u64;
+    while sliced
+        .next_slice_into(&mut ingest)
+        .unwrap_or_else(|e| panic!("{name}: ingest slice: {e}"))
+    {
+        peak_slice = peak_slice.max(ingest.total_records() - before);
+        before = ingest.total_records();
+        let boundary = sliced.emitted_to();
+        if !checked && boundary >= check_at {
+            checked = true;
+            let view = ingest.view();
+            let window = oracle8.time_window(0, boundary);
+            assert_eq!(
+                view.len(),
+                TraceView::len(&window),
+                "{name}: mid-ingest len"
+            );
+            assert_eq!(
+                view.summary(),
+                window.summary(),
+                "{name}: mid-ingest summary"
+            );
+            assert_eq!(view.hourly(), window.hourly(), "{name}: mid-ingest hourly");
+            assert_eq!(
+                view.accesses(10).as_ref(),
+                window.accesses(10).as_ref(),
+                "{name}: mid-ingest accesses"
+            );
+            eprintln!(
+                "  {name}: mid-ingest check at {:.1} days — {} records ({} sealed segments, {} hot), consistent",
+                boundary as f64 / DAY as f64,
+                view.len(),
+                ingest.sealed_segments(),
+                ingest.hot_len(),
+            );
+        }
+    }
+    assert!(checked, "{name}: the mid-ingest checkpoint never ran");
+    let gen_peak = sliced.peak_resident_records();
+    let mut summary = ingest
+        .finish()
+        .unwrap_or_else(|e| panic!("{name}: finish: {e}"));
+    // The sink path bypasses `LiveIngest::run`, so fill the batch peak
+    // from the per-slice deltas observed here.
+    summary.peak_batch_records = summary.peak_batch_records.max(peak_slice as usize);
+    (summary, gen_peak)
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut dir: Option<std::path::PathBuf> = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--dir" => {
+                dir = Some(
+                    args.next()
+                        .unwrap_or_else(|| {
+                            eprintln!("usage: live [--dir <dir>]");
+                            std::process::exit(2);
+                        })
+                        .into(),
+                );
+            }
+            other => {
+                eprintln!("unknown argument {other:?}; usage: live [--dir <dir>]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let cleanup = dir.is_none();
+    let dir = dir.unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("nfstrace-live-bin-{}", std::process::id()))
+    });
+    let s = scale();
+    let threads = nfstrace_core::parallel::threads();
+
+    // The batch oracle: the same 8-day traces streamed into single
+    // store files (the `repro --store` path).
+    eprintln!("generating the batch-path store pair at scale {s} ...");
+    let batch_dir = dir.join("batch");
+    let (campus_b, eecs_b) = scenarios::eight_day_store_pair(s, &batch_dir, StoreConfig::default())
+        .unwrap_or_else(|e| {
+            eprintln!("batch store pipeline failed: {e}");
+            std::process::exit(1);
+        });
+
+    // The live path: time-sliced generation → rotating segment ingest,
+    // with a consistency check mid-ingest.
+    eprintln!("live-ingesting the same traces ({SLICE_MICROS}us slices, daily rotation) ...");
+    let campus_dir = dir.join("campus-segments");
+    let (campus_sum, campus_gen_peak) = ingest_with_midpoint_check(
+        "CAMPUS",
+        SlicedWorkload::campus(
+            scenarios::campus_config(8, s, scenarios::CAMPUS_SEED),
+            SLICE_MICROS,
+            threads,
+        ),
+        &campus_dir,
+        &campus_b,
+        4 * DAY,
+    );
+    let eecs_dir = dir.join("eecs-segments");
+    let (eecs_sum, eecs_gen_peak) = ingest_with_midpoint_check(
+        "EECS",
+        SlicedWorkload::eecs(
+            scenarios::eecs_config(8, s, scenarios::EECS_SEED),
+            SLICE_MICROS,
+            threads,
+        ),
+        &eecs_dir,
+        &eecs_b,
+        4 * DAY,
+    );
+
+    // Merged segment indices must print the exact batch suite.
+    eprintln!(
+        "  segments: CAMPUS {} ({} records), EECS {} ({} records)",
+        campus_sum.segments, campus_sum.total_records, eecs_sum.segments, eecs_sum.total_records
+    );
+    let campus_l = StoreIndex::open_dir(&campus_dir).unwrap_or_else(|e| {
+        eprintln!("open campus segments: {e}");
+        std::process::exit(1);
+    });
+    let eecs_l = StoreIndex::open_dir(&eecs_dir).unwrap_or_else(|e| {
+        eprintln!("open eecs segments: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("running the suite over the live segments ...");
+    let live_text = suite_text(&campus_l, &eecs_l);
+    eprintln!("running the suite over the batch stores ...");
+    let batch_text = suite_text(&campus_b, &eecs_b);
+    assert_eq!(
+        live_text, batch_text,
+        "live-ingested segments must reproduce the batch suite byte for byte"
+    );
+
+    // The bounded-memory observables (stderr, machine-greppable).
+    let total = campus_sum.total_records + eecs_sum.total_records;
+    let peak_resident = campus_sum.peak_hot_records.max(eecs_sum.peak_hot_records)
+        + campus_gen_peak.max(eecs_gen_peak);
+    eprintln!(
+        "live-memory: total_records={total} peak_hot_records={} peak_slice_records={} \
+         gen_peak_resident_records={} peak_rss_kb={} cpus={}",
+        campus_sum.peak_hot_records.max(eecs_sum.peak_hot_records),
+        campus_sum
+            .peak_batch_records
+            .max(eecs_sum.peak_batch_records),
+        campus_gen_peak.max(eecs_gen_peak),
+        peak_rss_kb().unwrap_or(0),
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+    );
+    assert!(
+        (peak_resident as u64) < total.max(1),
+        "peak resident records ({peak_resident}) must stay below the trace size ({total})"
+    );
+
+    // Stdout: the suite, byte-identical to `repro --store`.
+    print!("{live_text}");
+    if cleanup {
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

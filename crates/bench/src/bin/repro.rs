@@ -23,77 +23,10 @@
 //! stdout is **byte-identical** to the in-memory run — CI asserts
 //! exactly that.
 
+use nfstrace_bench::suite::suite_text;
 use nfstrace_bench::{scale, scenarios, tables};
-use nfstrace_core::index::{ReplayRequest, TraceView};
 use nfstrace_core::time::DAY;
 use nfstrace_store::StoreConfig;
-
-/// Prints every artifact over the 8-day pair and its analysis-week
-/// windows, then asserts the one-pass contracts (sorts *and* replays).
-/// Generic: the in-memory and store-backed runs share every line of
-/// this.
-fn run_suite<V: TraceView>(campus8: &V, eecs8: &V) {
-    eprintln!(
-        "  CAMPUS: {} records, EECS: {} records",
-        campus8.len(),
-        eecs8.len()
-    );
-    eprintln!("indexing the analysis week ...");
-    let campus_week = campus8.time_window(0, scenarios::WEEK_DAYS * DAY);
-    let eecs_week = eecs8.time_window(0, scenarios::WEEK_DAYS * DAY);
-
-    // Register every record-replaying analysis the suite is about to
-    // run, so each view replays (for the store: decodes) its records
-    // exactly once. The 8-day views serve only the five weekday
-    // lifetime windows (Table 4 / Figure 3); the week views serve
-    // Table 1's names + whole-span lifetime, plus — CAMPUS only —
-    // the name-prediction report and hierarchy coverage.
-    eprintln!("fusing replay analyses ...");
-    campus8.prepare(&[ReplayRequest::WeekdayLifetime]);
-    eecs8.prepare(&[ReplayRequest::WeekdayLifetime]);
-    campus_week.prepare(&[
-        ReplayRequest::Names,
-        ReplayRequest::Lifetime(tables::table1_lifetime_config(&campus_week)),
-        ReplayRequest::Coverage(tables::COVERAGE_BUCKET_MICROS),
-    ]);
-    eecs_week.prepare(&[
-        ReplayRequest::Names,
-        ReplayRequest::Lifetime(tables::table1_lifetime_config(&eecs_week)),
-    ]);
-
-    println!("{}", tables::table1(&campus_week, &eecs_week).text);
-    println!("{}", tables::table2(&campus_week, &eecs_week).text);
-    println!("{}", tables::table3(&campus_week, &eecs_week).text);
-    println!("{}", tables::table4(campus8, eecs8).text);
-    println!("{}", tables::table5(&campus_week, &eecs_week).text);
-    println!("{}", tables::fig1(&campus_week, &eecs_week).text);
-    println!("{}", tables::fig2(&campus_week, &eecs_week).text);
-    println!("{}", tables::fig3(campus8, eecs8).text);
-    println!("{}", tables::fig4(&campus_week, &eecs_week).text);
-    println!("{}", tables::fig5(&campus_week, &eecs_week).text);
-    println!("{}", tables::names_report(&campus_week));
-    println!("{}", tables::hierarchy_coverage(&campus_week));
-
-    // The one-pass contracts: each index sorted its trace exactly once
-    // per reorder window (CAMPUS 10 ms, EECS 5 ms), and each view
-    // replayed (decoded) its records exactly once — the fused pass.
-    for (name, passes, expect) in [
-        ("campus week", campus_week.sort_passes(), 1),
-        ("eecs week", eecs_week.sort_passes(), 1),
-        ("campus 8-day", campus8.sort_passes(), 0),
-        ("eecs 8-day", eecs8.sort_passes(), 0),
-    ] {
-        assert_eq!(passes, expect, "{name} sort passes");
-    }
-    for (name, view) in [
-        ("campus week", &campus_week),
-        ("eecs week", &eecs_week),
-        ("campus 8-day", campus8),
-        ("eecs 8-day", eecs8),
-    ] {
-        assert_eq!(view.decode_passes(), 1, "{name} decode passes");
-    }
-}
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -119,7 +52,7 @@ fn main() {
         None => {
             eprintln!("generating 8-day traces at scale {s} ...");
             let (campus8, eecs8) = scenarios::eight_day_index_pair(s);
-            run_suite(&campus8, &eecs8);
+            print!("{}", suite_text(&campus8, &eecs8));
         }
         Some(dir) => {
             eprintln!(
@@ -136,7 +69,7 @@ fn main() {
                 campus8.reader().chunk_count(),
                 eecs8.reader().chunk_count()
             );
-            run_suite(&campus8, &eecs8);
+            print!("{}", suite_text(&campus8, &eecs8));
             // The fused-replay bound, at chunk granularity: each chunk
             // set is decoded exactly twice — index construction plus
             // the one fused replay — for the 8-day view and for its

@@ -19,6 +19,7 @@
 //! size.
 
 pub mod scenarios;
+pub mod suite;
 pub mod tables;
 
 /// Reads the scale factor from `NFSTRACE_SCALE` (default 1.0, clamped

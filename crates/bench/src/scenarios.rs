@@ -48,10 +48,10 @@ pub fn eight_day_index_pair(scale: f64) -> (TraceIndex, TraceIndex) {
     )
 }
 
-/// The configuration used by both [`CampusWorkload::new`] systems in
-/// [`eight_day_store_pair`]: same populations and seeds as
-/// [`eight_day_index_pair`], streamed.
-fn campus_config(days: u64, scale: f64, seed: u64) -> CampusConfig {
+/// The canonical CAMPUS configuration at a given length/scale/seed —
+/// what every batch, store, and live path of the suite generates from,
+/// so their record streams are bit-identical.
+pub fn campus_config(days: u64, scale: f64, seed: u64) -> CampusConfig {
     CampusConfig {
         users: ((CAMPUS_BASE_USERS as f64 * scale) as usize).max(4),
         duration_micros: days * DAY,
@@ -61,7 +61,7 @@ fn campus_config(days: u64, scale: f64, seed: u64) -> CampusConfig {
 }
 
 /// See [`campus_config`].
-fn eecs_config(days: u64, scale: f64, seed: u64) -> EecsConfig {
+pub fn eecs_config(days: u64, scale: f64, seed: u64) -> EecsConfig {
     EecsConfig {
         users: ((EECS_BASE_USERS as f64 * scale) as usize).max(3),
         duration_micros: days * DAY,
@@ -69,6 +69,11 @@ fn eecs_config(days: u64, scale: f64, seed: u64) -> EecsConfig {
         ..EecsConfig::default()
     }
 }
+
+/// The canonical seeds of the suite's two systems (CAMPUS, EECS).
+pub const CAMPUS_SEED: u64 = 42;
+/// See [`CAMPUS_SEED`].
+pub const EECS_SEED: u64 = 1789;
 
 /// The out-of-core twin of [`eight_day_index_pair`]: generates the same
 /// eight-day traces (same seeds, bit-identical record streams) directly

@@ -54,7 +54,8 @@ pub struct HourlySeries {
 
 /// Record-at-a-time accumulator behind [`HourlySeries::from_records`],
 /// usable by one-pass multi-product consumers (the trace index).
-#[derive(Debug, Default)]
+/// `Clone` lets a live ingest snapshot its running buckets mid-stream.
+#[derive(Debug, Clone, Default)]
 pub struct HourlyBuilder {
     map: std::collections::BTreeMap<u64, HourBucket>,
 }

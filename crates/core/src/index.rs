@@ -236,7 +236,12 @@ pub trait TraceView: RecordStream {
 /// merged.absorb(PartialIndex::from_records(&recs[4..]));
 /// assert_eq!(whole.finish().summary, merged.finish().summary);
 /// ```
-#[derive(Debug)]
+///
+/// `Clone` exists for *snapshots*: a live ingest keeps one running
+/// partial per hot/sealed region and clones it to answer queries
+/// mid-stream without ending accumulation
+/// ([`PartialIndex::snapshot_base`]).
+#[derive(Debug, Clone)]
 pub struct PartialIndex {
     summary: SummaryStats,
     hourly: HourlyBuilder,
@@ -333,6 +338,14 @@ impl PartialIndex {
             acc.absorb(p);
         }
         acc.finish()
+    }
+
+    /// The finished products *as of now*, without ending accumulation:
+    /// clones the running state and finishes the clone. This is how a
+    /// live view materializes "everything ingested so far" while the
+    /// ingest keeps folding records in.
+    pub fn snapshot_base(&self) -> IndexBase {
+        self.clone().finish()
     }
 
     /// Ends accumulation and returns the finished products.
@@ -983,6 +996,28 @@ mod tests {
                 "threads={threads}"
             );
         }
+    }
+
+    #[test]
+    fn snapshot_base_matches_finish_and_keeps_accumulating() {
+        let records = sample();
+        let mut p = PartialIndex::new();
+        for r in &records[..20] {
+            p.observe(r);
+        }
+        let snap = p.snapshot_base();
+        let head = PartialIndex::from_records(&records[..20]).finish();
+        assert_eq!(snap.summary, head.summary);
+        assert_eq!(snap.hourly, head.hourly);
+        assert_eq!(snap.raw, head.raw);
+        // The snapshot did not end accumulation.
+        for r in &records[20..] {
+            p.observe(r);
+        }
+        let whole = PartialIndex::from_records(&records).finish();
+        let done = p.finish();
+        assert_eq!(done.summary, whole.summary);
+        assert_eq!(done.raw, whole.raw);
     }
 
     #[test]

@@ -75,6 +75,66 @@ where
         .collect()
 }
 
+/// Applies `f` to every item of `items` — with mutable access — across
+/// at most `threads` scoped worker threads, returning the results **in
+/// item order**.
+///
+/// The mutable sibling of [`run_sharded`], for computations that
+/// *advance* per-item state instead of producing it from scratch (the
+/// time-sliced workload generator steps every user's resident
+/// simulation forward one slice at a time). Items split into contiguous
+/// chunks exactly like [`run_sharded`], and the output is independent
+/// of the worker count.
+///
+/// # Examples
+///
+/// ```
+/// use nfstrace_core::parallel::run_sharded_mut;
+///
+/// let mut counters = vec![0u64; 5];
+/// let doubled = run_sharded_mut(&mut counters, 3, |i, c| {
+///     *c += i as u64;
+///     *c * 2
+/// });
+/// assert_eq!(counters, vec![0, 1, 2, 3, 4]);
+/// assert_eq!(doubled, vec![0, 2, 4, 6, 8]);
+/// ```
+pub fn run_sharded_mut<T, R, F>(items: &mut [T], threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, n);
+    if threads == 1 {
+        return items.iter_mut().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for ((ci, shard), out) in items
+            .chunks_mut(chunk)
+            .enumerate()
+            .zip(slots.chunks_mut(chunk))
+        {
+            let f = &f;
+            scope.spawn(move || {
+                for (j, (item, slot)) in shard.iter_mut().zip(out.iter_mut()).enumerate() {
+                    *slot = Some(f(ci * chunk + j, item));
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every shard slot is filled"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -97,5 +157,22 @@ mod tests {
     fn threads_is_clamped() {
         let t = threads();
         assert!((1..=MAX_THREADS).contains(&t));
+    }
+
+    #[test]
+    fn mut_variant_mutates_and_orders_for_any_thread_count() {
+        let expect_items: Vec<u64> = (0..23).map(|i| i * 7).collect();
+        let expect_results: Vec<u64> = (0..23).map(|i| i * 7 + 1).collect();
+        for t in [1, 2, 5, 64] {
+            let mut items = vec![0u64; 23];
+            let results = run_sharded_mut(&mut items, t, |i, v| {
+                *v = i as u64 * 7;
+                *v + 1
+            });
+            assert_eq!(items, expect_items, "threads={t}");
+            assert_eq!(results, expect_results, "threads={t}");
+        }
+        let mut empty: Vec<u64> = Vec::new();
+        assert_eq!(run_sharded_mut(&mut empty, 4, |_, _| 0), Vec::<u64>::new());
     }
 }

@@ -1,0 +1,376 @@
+//! The bounded-memory ingest loop: hot segment, rotation, sealing.
+
+use crate::source::RecordSource;
+use crate::view::LiveView;
+use nfstrace_core::index::PartialIndex;
+use nfstrace_core::record::TraceRecord;
+use nfstrace_core::sink::RecordSink;
+use nfstrace_store::{Result, SegmentCatalog, StoreConfig, StoreError, StoreReader, StoreWriter};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Ingest knobs: where segments land and when the hot segment seals.
+#[derive(Debug, Clone)]
+pub struct LiveConfig {
+    /// The segment directory (created if needed).
+    pub dir: PathBuf,
+    /// Store layout for each sealed segment (chunking, compression,
+    /// format version).
+    pub store: StoreConfig,
+    /// Seal the hot segment once it holds this many records. Also the
+    /// hot tail's memory bound.
+    pub rotate_records: u64,
+    /// … or once it spans this much trace time, in microseconds.
+    pub rotate_micros: u64,
+}
+
+impl LiveConfig {
+    /// Sensible defaults for `dir`: 250k-record / one-simulated-day
+    /// rotation with the default store layout.
+    pub fn new<P: AsRef<Path>>(dir: P) -> Self {
+        LiveConfig {
+            dir: dir.as_ref().to_path_buf(),
+            store: StoreConfig::default(),
+            rotate_records: 250_000,
+            rotate_micros: nfstrace_core::time::DAY,
+        }
+    }
+}
+
+/// What [`LiveIngest::finish`] reports.
+#[derive(Debug, Clone)]
+pub struct LiveSummary {
+    /// Sealed segments on disk.
+    pub segments: usize,
+    /// Records ingested over the daemon's whole life (including any
+    /// sealed segments found at reopen).
+    pub total_records: u64,
+    /// Largest hot tail ever resident, in records — the ingest-side
+    /// memory observable, bounded by the rotation thresholds.
+    pub peak_hot_records: usize,
+    /// Largest single source batch consumed by [`LiveIngest::run`].
+    pub peak_batch_records: usize,
+}
+
+/// The live ingest daemon: consumes time-ordered records incrementally
+/// from any [`RecordSource`], accumulates them in an in-memory **hot
+/// segment** (a pending [`StoreWriter`] chunk stream plus a running
+/// [`PartialIndex`]), and **seals** the hot segment to an on-disk
+/// store segment whenever it crosses the configured record-count or
+/// time-span threshold. At any instant, [`LiveIngest::view`] snapshots
+/// a [`LiveView`] answering the full analysis suite over *sealed +
+/// hot* — queries run mid-ingest, against exactly the records ingested
+/// so far.
+///
+/// # The bounded-memory contract
+///
+/// Nothing here ever holds the whole trace:
+///
+/// - the **hot tail** (records pushed since the last seal) is bounded
+///   by [`LiveConfig::rotate_records`] / [`LiveConfig::rotate_micros`];
+/// - the pending [`StoreWriter`] chunk is bounded by the store's
+///   chunk size;
+/// - sealed records live on disk and are re-decoded chunk-at-a-time
+///   when a view replays them.
+///
+/// The running [`PartialIndex`] keeps aggregate products (counters,
+/// hourly buckets, per-file access lists) — the same state any index
+/// over the same records holds — but never raw records. Peak observed
+/// numbers are reported via [`LiveIngest::peak_hot_records`] and
+/// [`LiveSummary`], and the `live` bench records them in
+/// `BENCH_pipeline.json`.
+///
+/// # Restartability
+///
+/// Segments are named by ordinal ([`SegmentCatalog`]); a stopped
+/// ingest reopened with [`LiveIngest::open`] scans the directory,
+/// rebuilds its running partial from the sealed segments (one decode
+/// pass), and appends from the next ordinal — the durable trace is the
+/// segment directory itself. The hot segment grows under a `.tmp`
+/// name and is renamed only after its footer lands, so a crash
+/// mid-segment never leaves an unreadable `seg-*.nfseg`: reopening
+/// sweeps the stale temp and resumes from the last seal (records past
+/// it were never durable and are the rollback unit).
+///
+/// # Determinism
+///
+/// Rotation decisions are made per record, so the segment files (and
+/// every byte in them) are a pure function of the record stream and
+/// the configuration — independent of source batch sizes, slice
+/// lengths, or worker counts. The live-vs-batch property tests pin
+/// exactly that.
+#[derive(Debug)]
+pub struct LiveIngest {
+    config: LiveConfig,
+    catalog: SegmentCatalog,
+    sealed: Vec<Arc<StoreReader>>,
+    /// Running construction products over every sealed record.
+    sealed_partial: PartialIndex,
+    /// The hot segment's writer (created with its first record).
+    hot_writer: Option<StoreWriter>,
+    hot_ordinal: u64,
+    hot_records: Vec<TraceRecord>,
+    hot_partial: PartialIndex,
+    hot_first_micros: u64,
+    last_micros: u64,
+    any_ingested: bool,
+    total_records: u64,
+    peak_hot_records: usize,
+    peak_batch_records: usize,
+}
+
+impl LiveIngest {
+    /// Starts a fresh ingest in `config.dir`.
+    ///
+    /// # Errors
+    ///
+    /// If the directory already holds sealed segments (reopen those
+    /// with [`LiveIngest::open`]) or cannot be created.
+    pub fn create(config: LiveConfig) -> Result<Self> {
+        let catalog = SegmentCatalog::open(&config.dir)?;
+        if !catalog.is_empty() {
+            return Err(StoreError::Format(format!(
+                "segment directory {} is not empty; use LiveIngest::open to resume",
+                config.dir.display()
+            )));
+        }
+        Self::sweep_stale_temps(catalog.dir())?;
+        Ok(Self::with_catalog(config, catalog, Vec::new()))
+    }
+
+    /// Reopens an existing segment directory and resumes appending
+    /// after the last sealed segment. The running construction
+    /// products are rebuilt from the sealed segments in one streaming
+    /// decode pass.
+    ///
+    /// # Errors
+    ///
+    /// On directory or segment open/decode failure.
+    pub fn open(config: LiveConfig) -> Result<Self> {
+        let catalog = SegmentCatalog::open(&config.dir)?;
+        Self::sweep_stale_temps(catalog.dir())?;
+        let mut sealed = Vec::with_capacity(catalog.len());
+        for path in catalog.paths() {
+            sealed.push(Arc::new(StoreReader::open(path)?));
+        }
+        let mut ingest = Self::with_catalog(config, catalog, sealed);
+        let mut partial = PartialIndex::new();
+        for reader in &ingest.sealed {
+            reader.for_each(|r| partial.observe(r))?;
+            ingest.total_records += reader.total_records();
+            if let Some(m) = reader.chunks().iter().rfind(|m| m.records > 0) {
+                ingest.last_micros = ingest.last_micros.max(m.max_micros);
+                ingest.any_ingested = true;
+            }
+        }
+        ingest.sealed_partial = partial;
+        Ok(ingest)
+    }
+
+    /// The in-progress name the hot segment grows under.
+    fn tmp_path(sealed_path: &Path) -> PathBuf {
+        let mut name = sealed_path
+            .file_name()
+            .expect("segment paths have names")
+            .to_os_string();
+        name.push(".tmp");
+        sealed_path.with_file_name(name)
+    }
+
+    /// Removes unsealed leftovers of a crashed ingest (hot segments
+    /// that never got their footer). Their records were never
+    /// acknowledged as sealed, so deleting them is the rollback.
+    fn sweep_stale_temps(dir: &Path) -> Result<()> {
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            if entry
+                .file_name()
+                .to_str()
+                .is_some_and(|n| n.ends_with(".nfseg.tmp"))
+            {
+                std::fs::remove_file(entry.path())?;
+            }
+        }
+        Ok(())
+    }
+
+    fn with_catalog(
+        config: LiveConfig,
+        catalog: SegmentCatalog,
+        sealed: Vec<Arc<StoreReader>>,
+    ) -> Self {
+        LiveIngest {
+            config,
+            catalog,
+            sealed,
+            sealed_partial: PartialIndex::new(),
+            hot_writer: None,
+            hot_ordinal: 0,
+            hot_records: Vec::new(),
+            hot_partial: PartialIndex::new(),
+            hot_first_micros: 0,
+            last_micros: 0,
+            any_ingested: false,
+            total_records: 0,
+            peak_hot_records: 0,
+            peak_batch_records: 0,
+        }
+    }
+
+    /// Ingests one record: into the hot segment's writer, records, and
+    /// partial — then seals if a rotation threshold was crossed.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::OutOfOrder`] on a time-travelling record (the
+    /// stream contract spans segment boundaries), or I/O errors from
+    /// the segment writer.
+    pub fn ingest(&mut self, r: &TraceRecord) -> Result<()> {
+        if self.any_ingested && r.micros < self.last_micros {
+            return Err(StoreError::OutOfOrder {
+                prev: self.last_micros,
+                next: r.micros,
+            });
+        }
+        if self.hot_writer.is_none() {
+            self.hot_ordinal = self.catalog.next_ordinal();
+            // The hot segment grows under a .tmp name and is renamed to
+            // its sealed name only after its footer is written: a crash
+            // mid-segment leaves a stale temp file (cleaned at the next
+            // create/open), never a footerless seg-*.nfseg that would
+            // poison the whole directory.
+            self.hot_writer = Some(StoreWriter::create(
+                Self::tmp_path(&self.catalog.path_for(self.hot_ordinal)),
+                self.config.store,
+            )?);
+            self.hot_first_micros = r.micros;
+        }
+        self.hot_writer
+            .as_mut()
+            .expect("just ensured a writer")
+            .push(r)?;
+        self.hot_records.push(r.clone());
+        self.hot_partial.observe(r);
+        self.last_micros = r.micros;
+        self.any_ingested = true;
+        self.total_records += 1;
+        self.peak_hot_records = self.peak_hot_records.max(self.hot_records.len());
+        if self.hot_records.len() as u64 >= self.config.rotate_records
+            || r.micros.saturating_sub(self.hot_first_micros) >= self.config.rotate_micros
+        {
+            self.rotate()?;
+        }
+        Ok(())
+    }
+
+    /// Seals the hot segment now (no-op when it is empty): finishes the
+    /// segment file, opens it for reading, folds the hot partial into
+    /// the sealed one, and drops the hot tail.
+    ///
+    /// # Errors
+    ///
+    /// On finish/open I/O failure.
+    pub fn rotate(&mut self) -> Result<()> {
+        let Some(writer) = self.hot_writer.take() else {
+            return Ok(());
+        };
+        writer.finish()?;
+        let path = self.catalog.path_for(self.hot_ordinal);
+        std::fs::rename(Self::tmp_path(&path), &path)?;
+        self.sealed.push(Arc::new(StoreReader::open(path)?));
+        self.catalog.note_sealed(self.hot_ordinal);
+        self.sealed_partial
+            .absorb(std::mem::take(&mut self.hot_partial));
+        self.hot_records = Vec::new();
+        Ok(())
+    }
+
+    /// Pumps `source` to exhaustion through [`LiveIngest::ingest`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first ingest error.
+    pub fn run<S: RecordSource + ?Sized>(&mut self, source: &mut S) -> Result<()> {
+        let mut batch = Vec::new();
+        loop {
+            batch.clear();
+            if !source.next_batch(&mut batch) {
+                return Ok(());
+            }
+            self.peak_batch_records = self.peak_batch_records.max(batch.len());
+            for r in &batch {
+                self.ingest(r)?;
+            }
+        }
+    }
+
+    /// Snapshots a stable [`LiveView`] over everything ingested so far
+    /// — sealed segments plus the hot tail, queryable mid-ingest.
+    pub fn view(&self) -> LiveView {
+        let mut merged = self.sealed_partial.clone();
+        merged.absorb(self.hot_partial.clone());
+        LiveView::assemble(
+            self.sealed.clone(),
+            Arc::new(self.hot_records.clone()),
+            0,
+            u64::MAX,
+            merged.finish(),
+        )
+    }
+
+    /// Seals the trailing hot segment and reports totals. The segment
+    /// directory is the durable product; reopen it any time with
+    /// [`LiveIngest::open`] or index it with
+    /// [`nfstrace_store::StoreIndex::open_dir`].
+    ///
+    /// # Errors
+    ///
+    /// On the final seal's I/O failure.
+    pub fn finish(mut self) -> Result<LiveSummary> {
+        self.rotate()?;
+        Ok(LiveSummary {
+            segments: self.catalog.len(),
+            total_records: self.total_records,
+            peak_hot_records: self.peak_hot_records,
+            peak_batch_records: self.peak_batch_records,
+        })
+    }
+
+    /// Sealed segments so far.
+    pub fn sealed_segments(&self) -> usize {
+        self.sealed.len()
+    }
+
+    /// Records in the hot (unsealed) tail right now.
+    pub fn hot_len(&self) -> usize {
+        self.hot_records.len()
+    }
+
+    /// Records ingested so far (sealed + hot).
+    pub fn total_records(&self) -> u64 {
+        self.total_records
+    }
+
+    /// Largest hot tail ever resident, in records.
+    pub fn peak_hot_records(&self) -> usize {
+        self.peak_hot_records
+    }
+
+    /// Largest single source batch consumed by [`LiveIngest::run`].
+    pub fn peak_batch_records(&self) -> usize {
+        self.peak_batch_records
+    }
+
+    /// The ingest configuration.
+    pub fn config(&self) -> &LiveConfig {
+        &self.config
+    }
+}
+
+impl RecordSink for LiveIngest {
+    type Err = StoreError;
+
+    fn push_record(&mut self, record: TraceRecord) -> Result<()> {
+        self.ingest(&record)
+    }
+}

@@ -1,0 +1,77 @@
+//! Bounded-memory **live ingest**: consume an NFS trace as it happens,
+//! rotate it through durable on-disk segments, and answer the full
+//! analysis suite at any instant mid-ingest.
+//!
+//! The paper's collector ran *continuously for months*, passively
+//! appending anonymized records as traffic flowed. Everything in this
+//! workspace before this crate was batch: generate or sniff a whole
+//! trace, then store it, then analyze it. `nfstrace-live` is the
+//! online shape, built from three pieces:
+//!
+//! - **[`RecordSource`]** — an incremental, pull-driven producer of
+//!   time-ordered record batches. Two adapters ship:
+//!   [`SlicedWorkloadSource`] drives the time-sliced workload
+//!   generator ([`nfstrace_workload::SlicedWorkload`] — every user's
+//!   simulation advanced one bounded slice at a time, k-way merged
+//!   slice by slice), and [`SnifferSource`] feeds a packet capture
+//!   through the passive sniffer's incremental
+//!   `drain_ready` API, so neither path ever buffers a whole trace.
+//! - **[`LiveIngest`]** — the daemon loop. Records accumulate in a
+//!   *hot segment* (a pending [`nfstrace_store::StoreWriter`] chunk
+//!   stream plus a running
+//!   [`nfstrace_core::index::PartialIndex`]); crossing a record-count
+//!   or time-span threshold **seals** the hot segment into an
+//!   immutable store file named by ordinal
+//!   ([`nfstrace_store::segments`]). A stopped ingest reopens its
+//!   directory and appends where it left off.
+//! - **[`LiveView`]** — a stable snapshot implementing
+//!   [`nfstrace_core::index::TraceView`] over *sealed + hot*, taken at
+//!   any instant mid-ingest. Every table and figure in the repro suite
+//!   runs against it unchanged, and its products are bit-identical to
+//!   an in-memory index over the same records.
+//!
+//! # The bounded-memory contract
+//!
+//! Peak resident record memory across the whole pipeline is
+//! `O(slice) + O(rotation threshold)` — one source batch, plus the hot
+//! tail, plus a decoded chunk or two during replays — never
+//! `O(trace)`. The `live` bench bin asserts this shape and records the
+//! observed peaks in `BENCH_pipeline.json`.
+//!
+//! # Example: ingest a workload live, query it mid-stream
+//!
+//! ```
+//! use nfstrace_core::index::TraceView;
+//! use nfstrace_core::time::HOUR;
+//! use nfstrace_live::{LiveConfig, LiveIngest, SlicedWorkloadSource};
+//! use nfstrace_workload::{CampusConfig, SlicedWorkload};
+//!
+//! let dir = std::env::temp_dir().join(format!("nfstrace-live-doc-{}", std::process::id()));
+//! std::fs::remove_dir_all(&dir).ok();
+//! let mut ingest = LiveIngest::create(LiveConfig {
+//!     rotate_records: 2_000,
+//!     ..LiveConfig::new(&dir)
+//! })
+//! .unwrap();
+//!
+//! let config = CampusConfig { users: 2, duration_micros: 8 * HOUR, ..CampusConfig::default() };
+//! let mut source = SlicedWorkloadSource::new(SlicedWorkload::campus(config, HOUR, 1));
+//! ingest.run(&mut source).unwrap();
+//!
+//! // Mid-ingest (here: post-run, pre-finish) queries see everything so far.
+//! let view = ingest.view();
+//! assert_eq!(view.len() as u64, ingest.total_records());
+//! let _summary = view.summary();
+//!
+//! let summary = ingest.finish().unwrap();
+//! assert!(summary.peak_hot_records as u64 <= 2_000);
+//! # std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+pub mod ingest;
+pub mod source;
+pub mod view;
+
+pub use ingest::{LiveConfig, LiveIngest, LiveSummary};
+pub use source::{RecordSource, SlicedWorkloadSource, SnifferSource};
+pub use view::LiveView;

@@ -1,0 +1,184 @@
+//! The queryable snapshot of a live ingest: sealed segments + hot tail.
+
+use nfstrace_core::hierarchy::CoveragePoint;
+use nfstrace_core::hourly::HourlySeries;
+use nfstrace_core::index::{
+    AccessMap, IndexBase, PartialIndex, ProductCaches, RecordStream, ReplayRequest, TraceView,
+};
+use nfstrace_core::lifetime::{LifetimeConfig, LifetimeReport};
+use nfstrace_core::names::NamePredictionReport;
+use nfstrace_core::record::TraceRecord;
+use nfstrace_core::reorder::SwapPoint;
+use nfstrace_core::runs::{Run, RunOptions};
+use nfstrace_core::summary::SummaryStats;
+use nfstrace_store::{stream_records, StoreReader};
+use std::sync::Arc;
+
+/// A [`TraceView`] over everything a [`crate::LiveIngest`] has
+/// ingested at one instant: the sealed on-disk segments plus a
+/// snapshot of the hot (not yet sealed) records.
+///
+/// A `LiveView` is **stable**: the sealed segment files are immutable,
+/// the hot tail is cloned at snapshot time (bounded by the rotation
+/// thresholds), and the construction-pass products come from a clone
+/// of the ingest's running [`PartialIndex`] — so queries answered
+/// mid-ingest keep answering identically while records continue to
+/// flow in behind them. It answers the full table/figure suite: the
+/// analysis layer is generic over [`TraceView`], and this view's
+/// contract is the usual bit-identity with an in-memory
+/// [`nfstrace_core::index::TraceIndex`] over the same records.
+///
+/// Record replays stream the sealed chunks out-of-core (pipelined on
+/// multi-worker runs, see [`stream_records`]) and then the hot tail —
+/// hot records always follow every sealed record in time.
+#[derive(Debug)]
+pub struct LiveView {
+    sealed: Vec<Arc<StoreReader>>,
+    hot: Arc<Vec<TraceRecord>>,
+    /// This view's half-open time range.
+    start: u64,
+    end: u64,
+    base: IndexBase,
+    caches: ProductCaches,
+}
+
+impl LiveView {
+    /// Assembles a snapshot view. `base` must be the finished
+    /// construction products over exactly (sealed ++ hot) restricted to
+    /// `[start, end)` — [`crate::LiveIngest::view`] maintains that
+    /// running partial and hands in its snapshot, so building a view is
+    /// O(clone), not a decode pass.
+    pub(crate) fn assemble(
+        sealed: Vec<Arc<StoreReader>>,
+        hot: Arc<Vec<TraceRecord>>,
+        start: u64,
+        end: u64,
+        base: IndexBase,
+    ) -> Self {
+        LiveView {
+            sealed,
+            hot,
+            start,
+            end,
+            base,
+            caches: ProductCaches::new(),
+        }
+    }
+
+    /// The sealed segment readers behind this snapshot.
+    pub fn sealed(&self) -> &[Arc<StoreReader>] {
+        &self.sealed
+    }
+
+    /// The hot (unsealed) records in this snapshot's range — windowed
+    /// views yield only the hot records inside their window, consistent
+    /// with [`LiveView::record_count`] and the replay stream.
+    pub fn hot_records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.hot
+            .iter()
+            .filter(|r| r.micros >= self.start && r.micros < self.end)
+    }
+
+    /// Records in this view (sealed + hot, inside the range).
+    pub fn record_count(&self) -> usize {
+        self.base.len
+    }
+}
+
+impl RecordStream for LiveView {
+    /// Sealed chunks (skipping those outside the window, pipelined
+    /// decode on multi-worker runs), then the hot tail.
+    ///
+    /// # Panics
+    ///
+    /// On chunk read/decode failure — a sealed segment corrupted (or
+    /// deleted) mid-analysis.
+    fn for_each_record(&self, f: &mut dyn FnMut(&TraceRecord)) {
+        stream_records(&self.sealed, self.start, self.end, f);
+        for r in self.hot.iter() {
+            if r.micros >= self.start && r.micros < self.end {
+                f(r);
+            }
+        }
+    }
+}
+
+impl TraceView for LiveView {
+    fn len(&self) -> usize {
+        self.base.len
+    }
+
+    fn summary(&self) -> &SummaryStats {
+        &self.base.summary
+    }
+
+    fn hourly(&self) -> &HourlySeries {
+        &self.base.hourly
+    }
+
+    fn names(&self) -> &NamePredictionReport {
+        self.caches.names(self)
+    }
+
+    fn accesses(&self, window_ms: u64) -> Arc<AccessMap> {
+        self.caches.accesses(&self.base.raw, window_ms)
+    }
+
+    fn runs(&self, window_ms: u64, opts: RunOptions) -> Arc<Vec<Run>> {
+        self.caches.runs(&self.base.raw, window_ms, opts)
+    }
+
+    fn lifetime(&self, cfg: LifetimeConfig) -> Arc<LifetimeReport> {
+        self.caches.lifetime(self, cfg)
+    }
+
+    fn weekday_lifetime(&self) -> Arc<LifetimeReport> {
+        self.caches.weekday_lifetime(self)
+    }
+
+    fn swap_sweep(&self, windows_ms: &[u64]) -> Vec<SwapPoint> {
+        nfstrace_core::reorder::swap_fraction_sweep(&self.base.raw, windows_ms)
+    }
+
+    /// A narrower snapshot sharing the sealed readers and the hot
+    /// clone; its construction pass streams the window's chunks once.
+    ///
+    /// # Panics
+    ///
+    /// On chunk read/decode failure (see
+    /// [`RecordStream::for_each_record`] on this type).
+    fn time_window(&self, start_micros: u64, end_micros: u64) -> LiveView {
+        let start = start_micros.max(self.start);
+        let end = end_micros.min(self.end).max(start);
+        let mut partial = PartialIndex::new();
+        stream_records(&self.sealed, start, end, &mut |r| partial.observe(r));
+        for r in self.hot.iter() {
+            if r.micros >= start && r.micros < end {
+                partial.observe(r);
+            }
+        }
+        LiveView::assemble(
+            self.sealed.clone(),
+            Arc::clone(&self.hot),
+            start,
+            end,
+            partial.finish(),
+        )
+    }
+
+    fn sort_passes(&self) -> u64 {
+        self.caches.sort_passes()
+    }
+
+    fn hierarchy_coverage(&self, bucket_micros: u64) -> Arc<Vec<CoveragePoint>> {
+        self.caches.coverage(self, bucket_micros)
+    }
+
+    fn prepare(&self, requests: &[ReplayRequest]) {
+        self.caches.prepare(self, requests);
+    }
+
+    fn decode_passes(&self) -> u64 {
+        self.caches.decode_passes()
+    }
+}

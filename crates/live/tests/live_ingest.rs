@@ -1,0 +1,341 @@
+//! End-to-end live ingest: rotation, mid-ingest queries, reopen,
+//! sniffer feed — all against batch-path oracles.
+
+use nfstrace_core::index::{TraceIndex, TraceView};
+use nfstrace_core::record::TraceRecord;
+use nfstrace_core::time::{DAY, HOUR};
+use nfstrace_live::{LiveConfig, LiveIngest, SlicedWorkloadSource, SnifferSource};
+use nfstrace_store::{StoreConfig, StoreIndex};
+use nfstrace_workload::{CampusConfig, CampusWorkload, SlicedWorkload};
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("nfstrace-live-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn campus_cfg(days: u64) -> CampusConfig {
+    CampusConfig {
+        users: 4,
+        duration_micros: days * DAY,
+        seed: 42,
+        ..CampusConfig::default()
+    }
+}
+
+/// Small chunks + small rotation so a one-day trace exercises many
+/// seals.
+fn live_cfg(dir: &std::path::Path) -> LiveConfig {
+    LiveConfig {
+        store: StoreConfig {
+            target_chunk_bytes: 64 << 10,
+            ..StoreConfig::default()
+        },
+        rotate_records: 4_000,
+        rotate_micros: 6 * HOUR,
+        ..LiveConfig::new(dir)
+    }
+}
+
+/// Asserts that two views agree on the products the suite consumes.
+fn assert_views_agree<A: TraceView, B: TraceView>(a: &A, b: &B, ctx: &str) {
+    assert_eq!(a.len(), b.len(), "{ctx}: len");
+    assert_eq!(a.summary(), b.summary(), "{ctx}: summary");
+    assert_eq!(a.hourly(), b.hourly(), "{ctx}: hourly");
+    assert_eq!(
+        a.accesses(10).as_ref(),
+        b.accesses(10).as_ref(),
+        "{ctx}: accesses"
+    );
+    assert_eq!(
+        a.runs(10, Default::default()).as_ref(),
+        b.runs(10, Default::default()).as_ref(),
+        "{ctx}: runs"
+    );
+    assert_eq!(a.names(), b.names(), "{ctx}: names");
+}
+
+#[test]
+fn live_ingest_equals_batch_and_bounds_memory() {
+    let dir = tmpdir("e2e");
+    let batch = CampusWorkload::new(campus_cfg(1)).generate_with_threads(1);
+
+    let mut ingest = LiveIngest::create(live_cfg(&dir)).expect("create");
+    let mut source = SlicedWorkloadSource::new(SlicedWorkload::campus(campus_cfg(1), HOUR, 2));
+    ingest.run(&mut source).expect("run");
+    let peak_hot = ingest.peak_hot_records();
+    let summary = ingest.finish().expect("finish");
+
+    assert!(
+        summary.segments > 1,
+        "rotation produced {} segments",
+        summary.segments
+    );
+    assert_eq!(summary.total_records, batch.len() as u64);
+    assert!(
+        peak_hot < batch.len() / 2,
+        "hot tail peaked at {peak_hot} of {} — rotation must bound it",
+        batch.len()
+    );
+
+    // The segment directory holds exactly the batch record stream...
+    let merged = StoreIndex::open_dir(&dir).expect("open dir");
+    let mut back = Vec::new();
+    use nfstrace_core::index::RecordStream;
+    merged.for_each_record(&mut |r| back.push(r.clone()));
+    assert_eq!(back, batch, "segment records differ from the batch trace");
+
+    // ... and its analysis products equal the in-memory index's.
+    let mem = TraceIndex::new(batch);
+    assert_views_agree(&merged, &mem, "segment dir vs in-memory");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn mid_ingest_views_match_records_so_far() {
+    let dir = tmpdir("mid");
+    let batch = CampusWorkload::new(campus_cfg(1)).generate_with_threads(1);
+
+    let mut ingest = LiveIngest::create(live_cfg(&dir)).expect("create");
+    let mut sliced = SlicedWorkload::campus(campus_cfg(1), 2 * HOUR, 1);
+    let mut checked = 0;
+    while sliced
+        .next_slice_into(&mut ingest)
+        .expect("slice into ingest")
+    {
+        let boundary = sliced.emitted_to();
+        if boundary >= 8 * HOUR && checked < 2 {
+            checked += 1;
+            // Everything ingested so far is exactly the batch records
+            // before the slice boundary.
+            let so_far: Vec<TraceRecord> = batch
+                .iter()
+                .filter(|r| r.micros < boundary)
+                .cloned()
+                .collect();
+            let view = ingest.view();
+            assert_eq!(view.len(), so_far.len(), "boundary {boundary}");
+            let oracle = TraceIndex::new(so_far);
+            assert_views_agree(&view, &oracle, "mid-ingest view");
+            // Windowing a live view mid-ingest works too.
+            let vw = view.time_window(2 * HOUR, 6 * HOUR);
+            let ow = oracle.time_window(2 * HOUR, 6 * HOUR);
+            assert_views_agree(&vw, &ow, "mid-ingest window");
+        }
+    }
+    assert_eq!(checked, 2, "the mid-ingest checkpoints ran");
+    ingest.finish().expect("finish");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn reopen_appends_where_the_last_run_stopped() {
+    let dir = tmpdir("reopen");
+    let batch = CampusWorkload::new(campus_cfg(1)).generate_with_threads(1);
+
+    // First run: half the day, then stop (sealing the tail).
+    let mut first = LiveIngest::create(live_cfg(&dir)).expect("create");
+    let mut sliced = SlicedWorkload::campus(campus_cfg(1), 2 * HOUR, 1);
+    while sliced.emitted_to() < 12 * HOUR && sliced.next_slice_into(&mut first).expect("slice") {}
+    let stopped_at = sliced.emitted_to();
+    let first_summary = first.finish().expect("finish first run");
+    assert!(first_summary.segments >= 1);
+
+    // Second run: reopen the directory, keep ingesting the same stream.
+    let mut second = LiveIngest::open(live_cfg(&dir)).expect("reopen");
+    assert_eq!(second.total_records(), first_summary.total_records);
+    // A reopened ingest's view already covers the sealed records.
+    let so_far: Vec<TraceRecord> = batch
+        .iter()
+        .filter(|r| r.micros < stopped_at)
+        .cloned()
+        .collect();
+    assert_views_agree(&second.view(), &TraceIndex::new(so_far), "reopened view");
+    while sliced.next_slice_into(&mut second).expect("slice") {}
+    second.finish().expect("finish second run");
+
+    let merged = StoreIndex::open_dir(&dir).expect("open dir");
+    use nfstrace_core::index::RecordStream;
+    let mut back = Vec::new();
+    merged.for_each_record(&mut |r| back.push(r.clone()));
+    assert_eq!(back, batch, "stop+reopen must reproduce the batch trace");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn segment_bytes_are_identical_for_any_slicing_and_threads() {
+    let reference_dir = tmpdir("det-ref");
+    let mut ingest = LiveIngest::create(live_cfg(&reference_dir)).expect("create");
+    let mut src = SlicedWorkloadSource::new(SlicedWorkload::campus(campus_cfg(1), HOUR, 1));
+    ingest.run(&mut src).expect("run");
+    ingest.finish().expect("finish");
+    let reference: Vec<(String, Vec<u8>)> = read_dir_sorted(&reference_dir);
+    assert!(reference.len() > 1);
+
+    for (slice, threads, tag) in [(3 * HOUR, 2, "a"), (5 * HOUR + 7, 4, "b")] {
+        let dir = tmpdir(&format!("det-{tag}"));
+        let mut ingest = LiveIngest::create(live_cfg(&dir)).expect("create");
+        let mut src =
+            SlicedWorkloadSource::new(SlicedWorkload::campus(campus_cfg(1), slice, threads));
+        ingest.run(&mut src).expect("run");
+        ingest.finish().expect("finish");
+        assert_eq!(
+            read_dir_sorted(&dir),
+            reference,
+            "slice={slice} threads={threads}: segment bytes must not depend on batching"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    std::fs::remove_dir_all(&reference_dir).ok();
+}
+
+fn read_dir_sorted(dir: &std::path::Path) -> Vec<(String, Vec<u8>)> {
+    let mut out: Vec<(String, Vec<u8>)> = std::fs::read_dir(dir)
+        .expect("read dir")
+        .map(|e| {
+            let e = e.expect("entry");
+            (
+                e.file_name().to_string_lossy().into_owned(),
+                std::fs::read(e.path()).expect("read file"),
+            )
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn sniffer_source_streams_a_capture_into_segments() {
+    use nfstrace_client::{ClientConfig, ClientMachine};
+    use nfstrace_fssim::NfsServer;
+    use nfstrace_sniffer::{Sniffer, WireEncoder};
+
+    // A session's worth of real packets.
+    let mut server = NfsServer::new(0x0a000002);
+    let root = server.root_fh();
+    let mut client = ClientMachine::new(ClientConfig {
+        nfsiods: 2,
+        ..ClientConfig::default()
+    });
+    let (fh, t) = client.create(&mut server, 0, &root, "inbox");
+    let fh = fh.unwrap();
+    let t = client.write(&mut server, t, &fh, 0, 600_000);
+    let t = client.read_file(&mut server, t + 40_000_000, &fh);
+    client.remove(&mut server, t, &root, "inbox");
+    let events = client.take_events();
+    let mut enc = WireEncoder::tcp_jumbo();
+    let packets: Vec<_> = events.iter().flat_map(|e| enc.encode_event(e)).collect();
+
+    // Oracle: the batch sniffer.
+    let mut oracle = Sniffer::new();
+    for p in &packets {
+        oracle.observe(p);
+    }
+    let (expected, _) = oracle.finish();
+
+    let dir = tmpdir("sniff");
+    let mut ingest = LiveIngest::create(LiveConfig {
+        rotate_records: 50,
+        ..LiveConfig::new(&dir)
+    })
+    .expect("create");
+    let mut source = SnifferSource::new(packets.into_iter(), 16);
+    ingest.run(&mut source).expect("run");
+    let summary = ingest.finish().expect("finish");
+    assert!(summary.segments >= 1);
+    assert!(source.stats().expect("stats once exhausted").calls > 0);
+
+    let merged = StoreIndex::open_dir(&dir).expect("open dir");
+    use nfstrace_core::index::RecordStream;
+    let mut back = Vec::new();
+    merged.for_each_record(&mut |r| back.push(r.clone()));
+    assert_eq!(
+        back, expected,
+        "live capture path diverged from batch sniffing"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn a_crashed_hot_segment_never_poisons_the_directory() {
+    let dir = tmpdir("crash");
+    let batch = CampusWorkload::new(campus_cfg(1)).generate_with_threads(1);
+
+    // Ingest a few slices, then "crash": drop the ingest mid-hot-segment
+    // without finish(), leaving an unsealed temp file behind.
+    let sealed_records;
+    {
+        let mut ingest = LiveIngest::create(live_cfg(&dir)).expect("create");
+        let mut sliced = SlicedWorkload::campus(campus_cfg(1), 2 * HOUR, 1);
+        while sliced.emitted_to() < 10 * HOUR && sliced.next_slice_into(&mut ingest).expect("slice")
+        {
+        }
+        assert!(ingest.hot_len() > 0, "the crash happens mid-hot-segment");
+        assert!(ingest.sealed_segments() > 0);
+        sealed_records = ingest.total_records() as usize - ingest.hot_len();
+        // drop without finish = crash
+    }
+    let stale: Vec<_> = std::fs::read_dir(&dir)
+        .expect("read dir")
+        .filter(|e| {
+            e.as_ref()
+                .unwrap()
+                .file_name()
+                .to_string_lossy()
+                .ends_with(".tmp")
+        })
+        .collect();
+    assert!(!stale.is_empty(), "the crash left an unsealed temp segment");
+
+    // The sealed segments stay fully analyzable despite the leftover.
+    let merged = StoreIndex::open_dir(&dir).expect("sealed segments stay readable");
+    assert_eq!(TraceView::len(&merged), sealed_records);
+
+    // Reopen resumes from the last seal and sweeps the stale temp.
+    let reopened = LiveIngest::open(live_cfg(&dir)).expect("reopen after crash");
+    assert_eq!(reopened.total_records() as usize, sealed_records);
+    assert!(
+        std::fs::read_dir(&dir).expect("read dir").all(|e| !e
+            .unwrap()
+            .file_name()
+            .to_string_lossy()
+            .ends_with(".tmp")),
+        "reopen sweeps stale temp segments"
+    );
+    drop(reopened);
+
+    // Sanity: everything sealed is a prefix of the batch trace.
+    use nfstrace_core::index::RecordStream;
+    let mut back = Vec::new();
+    merged.for_each_record(&mut |r| back.push(r.clone()));
+    assert_eq!(&back[..], &batch[..back.len()]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn create_refuses_a_dirty_directory_and_ingest_rejects_time_travel() {
+    let dir = tmpdir("guard");
+    let mut ingest = LiveIngest::create(LiveConfig::new(&dir)).expect("create");
+    let r1 = TraceRecord::new(
+        1000,
+        nfstrace_core::record::Op::Read,
+        nfstrace_core::record::FileId(1),
+    );
+    ingest.ingest(&r1).expect("in order");
+    let back = TraceRecord::new(
+        999,
+        nfstrace_core::record::Op::Read,
+        nfstrace_core::record::FileId(1),
+    );
+    assert!(matches!(
+        ingest.ingest(&back),
+        Err(nfstrace_store::StoreError::OutOfOrder { .. })
+    ));
+    ingest.finish().expect("finish");
+    assert!(
+        LiveIngest::create(LiveConfig::new(&dir)).is_err(),
+        "create must refuse a directory that already has segments"
+    );
+    LiveIngest::open(LiveConfig::new(&dir)).expect("open resumes instead");
+    std::fs::remove_dir_all(&dir).ok();
+}

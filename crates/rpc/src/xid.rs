@@ -167,6 +167,16 @@ impl<T> XidMatcher<T> {
         self.pending.len()
     }
 
+    /// Capture time of the oldest call still awaiting its reply, or
+    /// `None` when nothing is outstanding.
+    ///
+    /// This is the matcher's contribution to an incremental drain
+    /// watermark: any record a future reply produces will be stamped
+    /// with its call's capture time, which is at least this.
+    pub fn oldest_pending_micros(&self) -> Option<u64> {
+        self.pending.values().map(|c| c.call_micros).min()
+    }
+
     /// Matching statistics so far.
     pub fn stats(&self) -> XidStats {
         self.stats
@@ -255,6 +265,20 @@ mod tests {
         }
         let rate = m.stats().estimated_loss_rate();
         assert!(rate > 0.04 && rate < 0.06, "rate = {rate}");
+    }
+
+    #[test]
+    fn oldest_pending_tracks_min_call_time() {
+        let mut m = XidMatcher::new(1_000_000);
+        assert_eq!(m.oldest_pending_micros(), None);
+        m.insert_call(key(1), 500, ());
+        m.insert_call(key(2), 100, ());
+        m.insert_call(key(3), 900, ());
+        assert_eq!(m.oldest_pending_micros(), Some(100));
+        assert!(m.match_reply(key(2), 950).is_some());
+        assert_eq!(m.oldest_pending_micros(), Some(500));
+        m.drain();
+        assert_eq!(m.oldest_pending_micros(), None);
     }
 
     #[test]

@@ -111,6 +111,9 @@ pub struct Sniffer {
     matcher: XidMatcher<Pending>,
     records: Vec<TraceRecord>,
     stats: SnifferStats,
+    /// Latest frame timestamp observed (capture feeds are in time
+    /// order), half of the [`Sniffer::drain_ready`] watermark.
+    last_frame_micros: u64,
 }
 
 impl Default for Sniffer {
@@ -127,6 +130,7 @@ impl Sniffer {
             matcher: XidMatcher::new(CALL_TIMEOUT_MICROS),
             records: Vec::new(),
             stats: SnifferStats::default(),
+            last_frame_micros: 0,
         }
     }
 
@@ -138,6 +142,7 @@ impl Sniffer {
     /// Observes one raw frame at `ts` microseconds.
     pub fn observe_frame(&mut self, ts: u64, frame: &[u8]) {
         self.stats.frames += 1;
+        self.last_frame_micros = self.last_frame_micros.max(ts);
         let Ok(decoded) = DecodedPacket::parse(frame) else {
             self.stats.ignored_frames += 1;
             return;
@@ -307,8 +312,58 @@ impl Sniffer {
         self.stats
     }
 
+    /// Drains the records that are *final*: no frame observed from now
+    /// on can produce a record that sorts before (or ties with) them.
+    ///
+    /// A record is stamped with its **call's** capture time, so the
+    /// watermark is the minimum of the oldest still-outstanding call
+    /// and the latest frame timestamp; records strictly below it are
+    /// returned time-sorted, the rest stay buffered. Calls that have
+    /// outwaited the reply timeout are expired first (counted as lost,
+    /// exactly as `finish` counts them) — otherwise one lost reply
+    /// would pin the watermark forever and a months-long live capture
+    /// would silently buffer everything after it. Interleaving any
+    /// number of `drain_ready` calls with [`Sniffer::finish`] yields —
+    /// concatenated — exactly the record sequence a single `finish`
+    /// would have returned (a reply arriving beyond the 120 s call
+    /// timeout pairs in a one-shot capture but counts lost here, as it
+    /// would in any capture whose drains run on time), which is what
+    /// lets a live ingest consume a capture incrementally instead of
+    /// buffering it whole. Frames
+    /// must be observed in nondecreasing timestamp order (capture
+    /// feeds are).
+    pub fn drain_ready(&mut self) -> Vec<TraceRecord> {
+        // An expired call's late reply is rejected as an orphan, so no
+        // record can ever be produced from it: the watermark may move
+        // past it.
+        let expired = self.matcher.expire();
+        self.stats.lost_replies += expired.len() as u64;
+        let watermark = self
+            .matcher
+            .oldest_pending_micros()
+            .unwrap_or(u64::MAX)
+            .min(self.last_frame_micros);
+        let mut ready = Vec::new();
+        let mut rest = Vec::with_capacity(self.records.len());
+        for r in self.records.drain(..) {
+            if r.micros < watermark {
+                ready.push(r);
+            } else {
+                rest.push(r);
+            }
+        }
+        self.records = rest;
+        // Stable: equal timestamps keep pairing order, exactly as the
+        // whole-capture sort in `finish` orders them.
+        ready.sort_by_key(|r| r.micros);
+        ready
+    }
+
     /// Ends the capture: expires outstanding calls (counted as lost
     /// replies) and returns the time-sorted records plus statistics.
+    ///
+    /// After [`Sniffer::drain_ready`] calls, this returns only the
+    /// not-yet-drained tail — `finish` is the final drain.
     pub fn finish(mut self) -> (Vec<TraceRecord>, SnifferStats) {
         let lost = self.matcher.drain();
         self.stats.lost_replies += lost.len() as u64;
@@ -461,6 +516,95 @@ mod tests {
         let (records, stats) = sniff(&packets);
         assert_eq!(stats.lost_replies, 1);
         assert_eq!(records.len(), events.len() - 1);
+    }
+
+    #[test]
+    fn incremental_drain_equals_one_shot_finish() {
+        let events = session_events(3);
+        let mut enc = WireEncoder::tcp_jumbo();
+        let packets: Vec<CapturedPacket> =
+            events.iter().flat_map(|e| enc.encode_event(e)).collect();
+        let (full, full_stats) = sniff(&packets);
+
+        // Drain after every few packets instead of buffering the whole
+        // capture; the concatenation must be identical.
+        for stride in [1usize, 3, 7, packets.len()] {
+            let mut s = Sniffer::new();
+            let mut streamed: Vec<TraceRecord> = Vec::new();
+            for (i, p) in packets.iter().enumerate() {
+                s.observe(p);
+                if (i + 1) % stride == 0 {
+                    streamed.extend(s.drain_ready());
+                }
+            }
+            let (tail, stats) = s.finish();
+            streamed.extend(tail);
+            assert_eq!(streamed, full, "stride={stride}");
+            assert_eq!(stats, full_stats, "stride={stride}");
+        }
+    }
+
+    #[test]
+    fn drain_ready_holds_records_that_could_still_be_preceded() {
+        let events = session_events(3);
+        let mut enc = WireEncoder::udp();
+        let mut packets: Vec<CapturedPacket> = Vec::new();
+        for e in &events {
+            packets.extend(enc.encode_event(e));
+        }
+        let mut s = Sniffer::new();
+        // Feed every call/reply except the final reply: that last call
+        // stays outstanding, pinning the watermark at its call time.
+        for p in &packets[..packets.len() - 1] {
+            s.observe(p);
+        }
+        let pinned = s.drain_ready();
+        let drained_max = pinned.iter().map(|r| r.micros).max().unwrap_or(0);
+        // Nothing at or beyond the outstanding call's stamp was drained.
+        let last = events.last().expect("events");
+        assert!(drained_max < last.wire_micros);
+        // The rest arrives once the capture completes.
+        s.observe(&packets[packets.len() - 1]);
+        let mut all = pinned;
+        all.extend(s.drain_ready());
+        let (tail, _) = s.finish();
+        all.extend(tail);
+        assert_eq!(all.len(), events.len());
+        assert!(all.windows(2).all(|w| w[0].micros <= w[1].micros));
+    }
+
+    #[test]
+    fn lost_reply_does_not_pin_the_drain_watermark() {
+        let events = session_events(3);
+        assert!(events.len() >= 3);
+        let mut enc = WireEncoder::udp();
+        // Per event, UDP encodes [call, reply].
+        let pairs: Vec<Vec<CapturedPacket>> = events.iter().map(|e| enc.encode_event(e)).collect();
+        let mut s = Sniffer::new();
+        // Event 0 at t=0 loses its reply forever.
+        let mut p = pairs[0][0].clone();
+        p.timestamp_micros = 0;
+        s.observe(&p);
+        // Event 1 completes far beyond the 120 s call timeout.
+        for (i, pkt) in pairs[1].iter().enumerate() {
+            let mut p = pkt.clone();
+            p.timestamp_micros = 200_000_000 + i as u64;
+            s.observe(&p);
+        }
+        // Event 2's call (still awaiting its reply) holds the watermark
+        // at 400 s.
+        let mut p = pairs[2][0].clone();
+        p.timestamp_micros = 400_000_000;
+        s.observe(&p);
+
+        let drained = s.drain_ready();
+        assert_eq!(
+            drained.len(),
+            1,
+            "the completed pair must drain — a lost reply must not pin the watermark at its call"
+        );
+        assert_eq!(drained[0].micros, 200_000_000);
+        assert_eq!(s.stats().lost_replies, 1, "the expired call counts lost");
     }
 
     #[test]

@@ -1,16 +1,18 @@
-//! On-disk layout constants, the per-chunk footer entry, and the v2
-//! chunk filters.
+//! On-disk layout constants, the per-chunk footer entry, and the chunk
+//! filters.
 //!
-//! Two format revisions exist. **v2** is what [`crate::StoreWriter`]
-//! emits by default; **v1** (the PR 3 layout) is still fully readable —
-//! [`crate::StoreReader`] sniffs the leading magic and parses either.
+//! Three format revisions exist. **v3** is what [`crate::StoreWriter`]
+//! emits by default; **v1** (the PR 3 layout) and **v2** (the PR 4
+//! layout) are still fully readable — [`crate::StoreReader`] sniffs the
+//! leading magic and parses any of them — and still writable on request
+//! via [`crate::StoreConfig`].
 //!
 //! ```text
 //! +-------------+---------+---------+ ... +--------+----------------+
 //! | magic (8 B) | chunk 0 | chunk 1 |     | footer | trailer        |
 //! +-------------+---------+---------+ ... +--------+----------------+
 //!
-//! magic    := "NFSTRC1\0" (v1) | "NFSTRC2\0" (v2)
+//! magic    := "NFSTRC1\0" (v1) | "NFSTRC2\0" (v2) | "NFSTRC3\0" (v3)
 //!
 //! payload  := name_table  (varint count, then varint-len escaped names)
 //!             record_count (varint)
@@ -22,17 +24,28 @@
 //!                                            other bits must be zero
 //!             if compressed: raw_len (varint), LZ stream (see
 //!                            `compress`), else: payload verbatim
+//! chunk v3 := identical to chunk v2
 //!
 //! entry v1 := offset, len, records, min_micros, max_micros
 //!             (5 × u64 LE = 40 B)
 //! entry v2 := offset, len, records, min_micros, max_micros,
 //!             min_fh, max_fh, checksum  (8 × u64 LE)
 //!             bloom (BLOOM_BYTES)        — 128 B total
+//! entry v3 := offset, len, records, min_micros, max_micros,
+//!             min_fh, max_fh, checksum  (8 × u64 LE)
+//!             filter_kind u8:
+//!               1 (exact): count u32 LE, count × u64 LE sorted handles
+//!               2 (bloom): hashes u8, nbytes u32 LE, nbytes filter
+//!                          bytes — variable length, sized from the
+//!                          chunk's distinct-handle count
 //!
 //! footer v1 := entry* ++ chunk_count u64 ++ total_records u64
 //! footer v2 := entry* ++ chunk_count u64 ++ total_records u64
 //!              ++ footer_checksum u64    — FNV-1a of all prior footer
 //!                                          bytes
+//! footer v3 := chunk_count u64 ++ total_records u64 ++ entry*
+//!              ++ footer_checksum u64    — counts lead because the
+//!                                          entries are variable-length
 //! trailer   := footer_offset u64 LE, "NFSTRCE\0"
 //! ```
 //!
@@ -42,23 +55,23 @@
 //! how many records it holds, and any chunk can be decoded in isolation
 //! (each chunk carries its own name table and timestamp base).
 //!
-//! v2 adds three things on top of the v1 layout:
-//!
-//! - **Per-chunk compression**, negotiated by the chunk's flags byte: a
-//!   chunk whose LZ encoding (module [`crate::compress`]) does not beat
-//!   the raw payload is stored raw, so compression never grows a chunk
-//!   body by more than the one flags byte.
-//! - **Corruption detection.** `checksum` is the FNV-1a 64 hash of the
-//!   chunk's stored bytes exactly as they sit on disk (flags byte
-//!   included), verified before any decode; the footer carries its own
-//!   trailing checksum. A flipped bit anywhere surfaces as
-//!   [`crate::StoreError::Format`], never as a silently wrong record.
-//! - **Per-chunk [`FileIdFilter`]s** (min/max plus a small Bloom
-//!   filter over each record's *primary* file handle), letting
-//!   per-file queries skip chunks that cannot contain the file without
-//!   decoding them.
+//! v2 added per-chunk compression (negotiated by the flags byte, raw
+//! fallback), FNV-1a corruption detection on every chunk and the
+//! footer, and fixed-size per-chunk [`FileIdFilter`]s. **v3 keeps all
+//! of that and makes the filter adaptive**: the v2 Bloom filter is 512
+//! bits with 3 hashes no matter what, so a chunk holding thousands of
+//! distinct file handles saturates it — every bit set, every probe a
+//! false positive, every per-file query decoding every chunk. Under v3
+//! the writer counts the chunk's distinct primary handles and emits
+//! either the *exact* sorted handle set (at or below
+//! [`EXACT_FILTER_MAX`] distinct handles — zero false positives) or a
+//! Bloom filter sized to ≈[`ADAPTIVE_BITS_PER_HANDLE`] bits per
+//! distinct handle, keeping the false-positive rate — and so the
+//! chunk-skip rate of per-file queries — roughly constant at any
+//! fan-in.
 
 use nfstrace_core::record::FileId;
+use std::collections::BTreeSet;
 
 /// Leading file magic, v1 layout.
 pub const MAGIC_V1: &[u8; 8] = b"NFSTRC1\0";
@@ -66,15 +79,18 @@ pub const MAGIC_V1: &[u8; 8] = b"NFSTRC1\0";
 /// Leading file magic, v2 layout.
 pub const MAGIC_V2: &[u8; 8] = b"NFSTRC2\0";
 
-/// Trailing file magic (both versions).
+/// Leading file magic, v3 layout.
+pub const MAGIC_V3: &[u8; 8] = b"NFSTRC3\0";
+
+/// Trailing file magic (all versions).
 pub const END_MAGIC: &[u8; 8] = b"NFSTRCE\0";
 
-/// Footer entry sizes per version.
+/// Footer entry sizes for the fixed-stride versions.
 pub const V1_ENTRY_BYTES: usize = 5 * 8;
 /// See [`V1_ENTRY_BYTES`].
 pub const V2_ENTRY_BYTES: usize = 8 * 8 + BLOOM_BYTES;
 
-/// v2 chunk flags bit: the body is LZ-compressed.
+/// v2/v3 chunk flags bit: the body is LZ-compressed.
 pub const FLAG_COMPRESSED: u8 = 1 << 0;
 /// Every currently defined flags bit; anything else is a format error.
 pub const FLAG_MASK: u8 = FLAG_COMPRESSED;
@@ -84,6 +100,26 @@ pub const FLAG_MASK: u8 = FLAG_COMPRESSED;
 /// than this is rejected before any allocation.
 pub const MAX_CHUNK_PAYLOAD: u64 = 1 << 30;
 
+/// v3 filter kind tag: exact sorted handle set.
+pub const FILTER_KIND_EXACT: u8 = 1;
+/// v3 filter kind tag: adaptively sized Bloom filter.
+pub const FILTER_KIND_BLOOM: u8 = 2;
+
+/// Largest distinct-handle count stored as an exact sorted set under
+/// v3; above this the filter switches to an adaptively sized Bloom.
+pub const EXACT_FILTER_MAX: usize = 64;
+
+/// Target Bloom bits per distinct handle for v3 filters (≈1% false
+/// positives at [`ADAPTIVE_HASHES`] hashes).
+pub const ADAPTIVE_BITS_PER_HANDLE: usize = 10;
+
+/// Hash probes per handle for v3 Bloom filters (≈0.69 × bits/handle).
+pub const ADAPTIVE_HASHES: u32 = 7;
+
+/// Hard upper bound on a single v3 filter's byte size, enforced at
+/// parse time before any allocation.
+pub const MAX_FILTER_BYTES: usize = 1 << 22;
+
 /// The on-disk format revisions this crate reads and writes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum StoreVersion {
@@ -91,9 +127,13 @@ pub enum StoreVersion {
     /// checksums or filters. Still written on request for
     /// compatibility, always readable.
     V1,
-    /// Compressed, checksummed, filter-carrying layout (default).
-    #[default]
+    /// The PR 4 layout: compression, checksums, fixed 512-bit Bloom
+    /// filters. Still written on request, always readable.
     V2,
+    /// Compressed, checksummed layout with adaptively sized per-chunk
+    /// file filters (default).
+    #[default]
+    V3,
 }
 
 /// FNV-1a 64-bit hash — the store's checksum. Not cryptographic; it
@@ -107,12 +147,13 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
     h
 }
 
-/// Bytes in each per-chunk Bloom filter (512 bits).
+/// Bytes in each v2 (legacy fixed-size) per-chunk Bloom filter
+/// (512 bits); also the v3 Bloom floor.
 pub const BLOOM_BYTES: usize = 64;
-/// Bits set per inserted file id.
+/// Bits set per inserted file id under the legacy v2 layout.
 const BLOOM_HASHES: u32 = 3;
 
-/// SplitMix64 — the Bloom filter's hash mixer.
+/// SplitMix64 — the Bloom filters' hash mixer (all versions).
 fn mix64(mut v: u64) -> u64 {
     v = v.wrapping_add(0x9e37_79b9_7f4a_7c15);
     v = (v ^ (v >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -120,48 +161,76 @@ fn mix64(mut v: u64) -> u64 {
     v ^ (v >> 31)
 }
 
+/// Sets `hashes` Bloom bits for `fh` in `bits`.
+fn bloom_set(bits: &mut [u8], hashes: u32, fh: u64) {
+    let nbits = bits.len() * 8;
+    let mut h = mix64(fh);
+    for _ in 0..hashes {
+        let bit = (h as usize) % nbits;
+        bits[bit / 8] |= 1 << (bit % 8);
+        h = mix64(h);
+    }
+}
+
+/// Tests `hashes` Bloom bits for `fh` in `bits`.
+fn bloom_test(bits: &[u8], hashes: u32, fh: u64) -> bool {
+    let nbits = bits.len() * 8;
+    if nbits == 0 {
+        return false;
+    }
+    let mut h = mix64(fh);
+    for _ in 0..hashes {
+        let bit = (h as usize) % nbits;
+        if bits[bit / 8] & (1 << (bit % 8)) == 0 {
+            return false;
+        }
+        h = mix64(h);
+    }
+    true
+}
+
+/// The membership structure inside a [`FileIdFilter`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FilterKind {
+    /// The chunk's exact distinct primary handles, sorted ascending.
+    /// Zero false positives; v3 uses it for low-fan-in chunks.
+    Exact(Vec<u64>),
+    /// A Bloom filter over the handles: `hashes` bits probed per
+    /// handle across `bits.len() * 8` bits. v2 filters are always
+    /// `hashes = 3` over 512 bits; v3 sizes `bits` from the chunk's
+    /// distinct-handle count.
+    Bloom {
+        /// Bits probed per handle.
+        hashes: u32,
+        /// The filter bit array.
+        bits: Vec<u8>,
+    },
+}
+
 /// A conservative per-chunk membership test over each record's primary
-/// file handle (`TraceRecord::fh`): min/max range plus a
-/// [`BLOOM_BYTES`]-byte Bloom filter.
+/// file handle (`TraceRecord::fh`): a min/max range plus a
+/// [`FilterKind`].
 ///
 /// `may_contain` can report false positives (a chunk is decoded and
 /// yields nothing) but never false negatives, so chunk-skipping
 /// per-file queries always return exactly the full-scan answer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FileIdFilter {
     /// Smallest primary file handle in the chunk.
     pub min_fh: u64,
     /// Largest primary file handle in the chunk.
     pub max_fh: u64,
-    /// Bloom bits over the chunk's primary file handles.
-    pub bloom: [u8; BLOOM_BYTES],
-}
-
-impl Default for FileIdFilter {
-    fn default() -> Self {
-        Self::empty()
-    }
+    /// The membership structure.
+    pub kind: FilterKind,
 }
 
 impl FileIdFilter {
-    /// A filter that matches nothing (the state before any insert).
+    /// A filter that matches nothing (an empty chunk's state).
     pub fn empty() -> Self {
         FileIdFilter {
             min_fh: u64::MAX,
             max_fh: 0,
-            bloom: [0; BLOOM_BYTES],
-        }
-    }
-
-    /// Adds one file handle.
-    pub fn insert(&mut self, fh: FileId) {
-        self.min_fh = self.min_fh.min(fh.0);
-        self.max_fh = self.max_fh.max(fh.0);
-        let mut h = mix64(fh.0);
-        for _ in 0..BLOOM_HASHES {
-            let bit = (h as usize) % (BLOOM_BYTES * 8);
-            self.bloom[bit / 8] |= 1 << (bit % 8);
-            h = mix64(h);
+            kind: FilterKind::Exact(Vec::new()),
         }
     }
 
@@ -170,20 +239,115 @@ impl FileIdFilter {
         if fh.0 < self.min_fh || fh.0 > self.max_fh {
             return false;
         }
-        let mut h = mix64(fh.0);
-        for _ in 0..BLOOM_HASHES {
-            let bit = (h as usize) % (BLOOM_BYTES * 8);
-            if self.bloom[bit / 8] & (1 << (bit % 8)) == 0 {
-                return false;
-            }
-            h = mix64(h);
+        match &self.kind {
+            FilterKind::Exact(handles) => handles.binary_search(&fh.0).is_ok(),
+            FilterKind::Bloom { hashes, bits } => bloom_test(bits, *hashes, fh.0),
         }
-        true
+    }
+}
+
+/// Accumulates one chunk's distinct primary handles while the chunk is
+/// being written, then finishes into the footer filter the configured
+/// format version wants. Memory is bounded by the chunk's distinct
+/// handles, which the chunk size bounds.
+#[derive(Debug, Clone, Default)]
+pub struct FilterBuilder {
+    distinct: BTreeSet<u64>,
+}
+
+impl FilterBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        FilterBuilder::default()
+    }
+
+    /// Notes one record's primary handle.
+    pub fn insert(&mut self, fh: FileId) {
+        self.distinct.insert(fh.0);
+    }
+
+    /// Distinct handles noted so far.
+    pub fn len(&self) -> usize {
+        self.distinct.len()
+    }
+
+    /// Whether nothing was noted.
+    pub fn is_empty(&self) -> bool {
+        self.distinct.is_empty()
+    }
+
+    fn min_max(&self) -> (u64, u64) {
+        match (self.distinct.first(), self.distinct.last()) {
+            (Some(&lo), Some(&hi)) => (lo, hi),
+            _ => (u64::MAX, 0),
+        }
+    }
+
+    /// The fixed 512-bit, 3-hash filter of the v2 layout — bit-for-bit
+    /// what the v2 writer always emitted (Bloom insertion is
+    /// commutative and idempotent, so inserting the distinct set equals
+    /// inserting per record).
+    pub fn finish_legacy(&self) -> FileIdFilter {
+        let (min_fh, max_fh) = self.min_max();
+        let mut bits = vec![0u8; BLOOM_BYTES];
+        for &fh in &self.distinct {
+            bloom_set(&mut bits, BLOOM_HASHES, fh);
+        }
+        FileIdFilter {
+            min_fh,
+            max_fh,
+            kind: FilterKind::Bloom {
+                hashes: BLOOM_HASHES,
+                bits,
+            },
+        }
+    }
+
+    /// The v3 filter, sized from the distinct-handle count: exact at or
+    /// below [`EXACT_FILTER_MAX`] handles, otherwise a Bloom filter of
+    /// ≈[`ADAPTIVE_BITS_PER_HANDLE`] bits per handle (rounded up to a
+    /// power-of-two byte count, never below the v2 floor) — so the
+    /// false-positive rate stays roughly flat as chunk fan-in grows,
+    /// instead of saturating like the fixed v2 filter.
+    pub fn finish_adaptive(&self) -> FileIdFilter {
+        let (min_fh, max_fh) = self.min_max();
+        if self.distinct.len() <= EXACT_FILTER_MAX {
+            return FileIdFilter {
+                min_fh,
+                max_fh,
+                kind: FilterKind::Exact(self.distinct.iter().copied().collect()),
+            };
+        }
+        let want = self
+            .distinct
+            .len()
+            .saturating_mul(ADAPTIVE_BITS_PER_HANDLE)
+            .div_ceil(8);
+        let nbytes = want
+            .next_power_of_two()
+            .clamp(BLOOM_BYTES, MAX_FILTER_BYTES);
+        let mut bits = vec![0u8; nbytes];
+        for &fh in &self.distinct {
+            bloom_set(&mut bits, ADAPTIVE_HASHES, fh);
+        }
+        FileIdFilter {
+            min_fh,
+            max_fh,
+            kind: FilterKind::Bloom {
+                hashes: ADAPTIVE_HASHES,
+                bits,
+            },
+        }
+    }
+
+    /// Forgets everything (next chunk).
+    pub fn clear(&mut self) {
+        self.distinct.clear();
     }
 }
 
 /// One chunk's footer entry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ChunkMeta {
     /// Absolute byte offset of the chunk.
     pub offset: u64,
@@ -212,7 +376,7 @@ impl ChunkMeta {
     /// Whether this chunk could contain a record whose primary handle is
     /// `fh`. Conservative: `true` whenever no filter is present (v1).
     pub fn may_contain_file(&self, fh: FileId) -> bool {
-        self.filter.is_none_or(|f| f.may_contain(fh))
+        self.filter.as_ref().is_none_or(|f| f.may_contain(fh))
     }
 }
 
@@ -220,36 +384,104 @@ impl ChunkMeta {
 mod tests {
     use super::*;
 
-    #[test]
-    fn filter_has_no_false_negatives() {
-        let mut f = FileIdFilter::empty();
-        let members: Vec<u64> = (0..200).map(|i| i * 977 + 13).collect();
-        for &m in &members {
-            f.insert(FileId(m));
+    fn build(handles: impl IntoIterator<Item = u64>) -> FilterBuilder {
+        let mut b = FilterBuilder::new();
+        for h in handles {
+            b.insert(FileId(h));
         }
-        for &m in &members {
-            assert!(f.may_contain(FileId(m)), "member {m} filtered out");
+        b
+    }
+
+    #[test]
+    fn filters_have_no_false_negatives() {
+        let members: Vec<u64> = (0..200).map(|i| i * 977 + 13).collect();
+        let b = build(members.iter().copied());
+        for f in [b.finish_legacy(), b.finish_adaptive()] {
+            for &m in &members {
+                assert!(f.may_contain(FileId(m)), "member {m} filtered out");
+            }
         }
     }
 
     #[test]
-    fn filter_rejects_out_of_range_and_most_nonmembers() {
-        let mut f = FileIdFilter::empty();
-        for i in 1000..1040u64 {
-            f.insert(FileId(i));
+    fn filters_reject_out_of_range_and_most_nonmembers() {
+        let b = build(1000..1040);
+        for f in [b.finish_legacy(), b.finish_adaptive()] {
+            assert!(!f.may_contain(FileId(0)));
+            assert!(!f.may_contain(FileId(999)));
+            assert!(!f.may_contain(FileId(1041)));
+            assert!(!f.may_contain(FileId(u64::MAX)));
         }
-        assert!(!f.may_contain(FileId(0)));
-        assert!(!f.may_contain(FileId(999)));
-        assert!(!f.may_contain(FileId(1041)));
-        assert!(!f.may_contain(FileId(u64::MAX)));
     }
 
     #[test]
     fn empty_filter_matches_nothing() {
-        let f = FileIdFilter::empty();
-        for probe in [0u64, 1, 42, u64::MAX] {
-            assert!(!f.may_contain(FileId(probe)));
+        for f in [
+            FileIdFilter::empty(),
+            build([]).finish_legacy(),
+            build([]).finish_adaptive(),
+        ] {
+            for probe in [0u64, 1, 42, u64::MAX] {
+                assert!(!f.may_contain(FileId(probe)));
+            }
         }
+    }
+
+    #[test]
+    fn small_sets_are_stored_exactly() {
+        let b = build((0..=EXACT_FILTER_MAX as u64 - 1).map(|i| i * 3));
+        let f = b.finish_adaptive();
+        assert!(matches!(&f.kind, FilterKind::Exact(v) if v.len() == EXACT_FILTER_MAX));
+        // Exact means exact: in-range nonmembers are rejected too.
+        assert!(f.may_contain(FileId(3)));
+        assert!(!f.may_contain(FileId(4)));
+    }
+
+    /// The saturation regression the adaptive filter exists for: at
+    /// high fan-in the fixed v2 Bloom approaches a 100% false-positive
+    /// rate while the adaptive one stays selective.
+    #[test]
+    fn adaptive_filter_survives_fan_in_that_saturates_legacy() {
+        // ~20k distinct handles in one chunk — a production-fan-in
+        // chunk. 512 bits / 3 hashes cannot represent that.
+        let members: Vec<u64> = (0..20_000u64).map(|i| i * 2 + 1).collect();
+        let b = build(members.iter().copied());
+        let legacy = b.finish_legacy();
+        let adaptive = b.finish_adaptive();
+
+        // Probe in-range nonmembers (even values inside [min, max]) so
+        // the min/max guard cannot help either filter.
+        let probes: Vec<u64> = (0..10_000u64).map(|i| i * 4 + 2).collect();
+        let fp = |f: &FileIdFilter| {
+            probes.iter().filter(|&&p| f.may_contain(FileId(p))).count() as f64
+                / probes.len() as f64
+        };
+        let legacy_fp = fp(&legacy);
+        let adaptive_fp = fp(&adaptive);
+        assert!(
+            legacy_fp > 0.99,
+            "the fixed filter should be saturated here, fp = {legacy_fp}"
+        );
+        assert!(
+            adaptive_fp < 0.05,
+            "the adaptive filter must stay selective, fp = {adaptive_fp}"
+        );
+        // And still no false negatives.
+        assert!(members.iter().all(|&m| adaptive.may_contain(FileId(m))));
+    }
+
+    #[test]
+    fn adaptive_bloom_size_scales_with_distinct_count() {
+        let sized = |n: u64| -> usize {
+            match build((0..n).map(|i| i * 7)).finish_adaptive().kind {
+                FilterKind::Bloom { bits, .. } => bits.len(),
+                FilterKind::Exact(_) => 0,
+            }
+        };
+        let small = sized(200);
+        let big = sized(20_000);
+        assert!(small >= BLOOM_BYTES);
+        assert!(big > small, "bigger fan-in must get a bigger filter");
     }
 
     #[test]

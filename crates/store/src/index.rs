@@ -1,7 +1,9 @@
-//! The out-of-core analysis index over a chunked store.
+//! The out-of-core analysis index over chunked stores — one file or a
+//! whole segment directory.
 
-use crate::error::Result;
+use crate::error::{Result, StoreError};
 use crate::reader::StoreReader;
+use crate::segments::SegmentCatalog;
 use nfstrace_core::hierarchy::CoveragePoint;
 use nfstrace_core::hourly::HourlySeries;
 use nfstrace_core::index::{
@@ -17,28 +19,120 @@ use nfstrace_core::summary::SummaryStats;
 use std::path::Path;
 use std::sync::Arc;
 
-/// A [`TraceView`] whose records live on disk.
+/// Streams every record of `readers` (segments in order, chunks in
+/// order within each) whose capture time lies in `[start, end)`,
+/// decoding one chunk at a time and skipping chunks whose footer time
+/// range misses the window.
+///
+/// With two or more `NFSTRACE_THREADS` workers the decode is
+/// **pipelined**: a worker thread decodes chunk *i+1* (and reads ahead
+/// through a bounded channel) while the caller's observers consume
+/// chunk *i* — overlapping decompression with analysis without
+/// changing a single byte of output, since chunks are still delivered
+/// in order. At most a handful of decoded chunks are resident at once
+/// (the channel bound plus the one being consumed), so the memory
+/// contract is unchanged.
+///
+/// # Panics
+///
+/// On chunk read/decode failure after a successful open — a store
+/// corrupted (or deleted) mid-analysis.
+pub fn stream_records(
+    readers: &[Arc<StoreReader>],
+    start: u64,
+    end: u64,
+    f: &mut dyn FnMut(&TraceRecord),
+) {
+    stream_records_with_threads(readers, start, end, parallel::threads(), f)
+}
+
+/// [`stream_records`] with an explicit worker count: `1` forces the
+/// serial decode, anything higher enables the pipelined decode. Output
+/// is identical either way (tested), which is why the public entry
+/// point can pick from `NFSTRACE_THREADS` freely.
+pub fn stream_records_with_threads(
+    readers: &[Arc<StoreReader>],
+    start: u64,
+    end: u64,
+    threads: usize,
+    f: &mut dyn FnMut(&TraceRecord),
+) {
+    let jobs: Vec<(usize, usize)> = overlapping_chunks(readers, start, end);
+    let deliver = |records: Vec<TraceRecord>, f: &mut dyn FnMut(&TraceRecord)| {
+        for r in &records {
+            if r.micros >= start && r.micros < end {
+                f(r);
+            }
+        }
+    };
+    if threads >= 2 && jobs.len() > 1 {
+        let jobs = &jobs;
+        std::thread::scope(|scope| {
+            // One decoded chunk in flight in the channel, one being
+            // decoded, one being consumed: bounded read-ahead.
+            let (tx, rx) = std::sync::mpsc::sync_channel::<Result<Vec<TraceRecord>>>(1);
+            scope.spawn(move || {
+                for &(ri, ci) in jobs {
+                    if tx.send(readers[ri].read_chunk(ci)).is_err() {
+                        break; // consumer went away (panic unwinding)
+                    }
+                }
+            });
+            for batch in rx {
+                let records =
+                    batch.unwrap_or_else(|e| panic!("store chunk unreadable mid-analysis: {e}"));
+                deliver(records, f);
+            }
+        });
+    } else {
+        for (ri, ci) in jobs {
+            let records = readers[ri]
+                .read_chunk(ci)
+                .unwrap_or_else(|e| panic!("store chunk {ci} unreadable mid-analysis: {e}"));
+            deliver(records, f);
+        }
+    }
+}
+
+/// Every `(reader ordinal, chunk ordinal)` whose footer time range
+/// overlaps `[start, end)`, in stream order.
+fn overlapping_chunks(readers: &[Arc<StoreReader>], start: u64, end: u64) -> Vec<(usize, usize)> {
+    let mut jobs = Vec::new();
+    for (ri, reader) in readers.iter().enumerate() {
+        for (ci, m) in reader.chunks().iter().enumerate() {
+            if m.overlaps(start, end) {
+                jobs.push((ri, ci));
+            }
+        }
+    }
+    jobs
+}
+
+/// A [`TraceView`] whose records live on disk — in one store file or
+/// across an ordered run of segment files.
 ///
 /// Construction builds one [`PartialIndex`] per store chunk — sharded
 /// across `NFSTRACE_THREADS` worker threads by
-/// [`parallel::run_sharded`] — and merges them in chunk order, so the
-/// summary counters, hourly buckets, and per-file access lists are
-/// bit-identical to [`nfstrace_core::index::TraceIndex::new`] over the
-/// same records while peak resident *record* memory stays bounded by
+/// [`parallel::run_sharded`] — and merges them in chunk order (segments
+/// in catalog order first), so the summary counters, hourly buckets,
+/// and per-file access lists are bit-identical to
+/// [`nfstrace_core::index::TraceIndex::new`] over the concatenated
+/// records while peak resident *record* memory stays bounded by
 /// (chunk size × worker count), not trace size. Record-replaying
 /// analyses (block lifetimes, name prediction, hierarchy coverage)
-/// stream chunk by chunk through [`RecordStream`] — and batched through
-/// [`TraceView::prepare`] they all ride **one** fused decode pass, so a
-/// full analysis suite costs construction + one replay ≈ two decodes
-/// per chunk (asserted end to end by `repro --store` via
-/// [`TraceView::decode_passes`] and [`StoreReader::chunks_decoded`]).
+/// stream chunk by chunk through [`stream_records`] — pipelined on
+/// multi-worker runs — and batched through [`TraceView::prepare`] they
+/// all ride **one** fused decode pass, so a full analysis suite costs
+/// construction + one replay ≈ two decodes per chunk (asserted end to
+/// end by `repro --store` via [`TraceView::decode_passes`] and
+/// [`StoreReader::chunks_decoded`]).
 ///
 /// Time windows ([`TraceView::time_window`]) share the underlying
-/// [`StoreReader`] via [`Arc`] and skip chunks whose footer time range
+/// [`StoreReader`]s via [`Arc`] and skip chunks whose footer time range
 /// misses the window entirely.
 #[derive(Debug)]
 pub struct StoreIndex {
-    reader: Arc<StoreReader>,
+    readers: Vec<Arc<StoreReader>>,
     /// This view's half-open time range.
     start: u64,
     end: u64,
@@ -54,6 +148,39 @@ impl StoreIndex {
     /// On open/decode failure.
     pub fn open<P: AsRef<Path>>(path: P) -> Result<Self> {
         Self::from_reader(Arc::new(StoreReader::open(path)?))
+    }
+
+    /// Opens every sealed segment in `dir` (see
+    /// [`crate::segments::SegmentCatalog`]) and indexes the
+    /// concatenated trace. Segment time ranges must follow each other —
+    /// a rotated ingest writes them that way; anything else is a
+    /// [`StoreError::Format`].
+    ///
+    /// # Errors
+    ///
+    /// On a missing directory or one holding no segments (a mistyped
+    /// path must not read as an empty trace), open/decode failure, or
+    /// out-of-order segments.
+    pub fn open_dir<P: AsRef<Path>>(dir: P) -> Result<Self> {
+        let dir = dir.as_ref();
+        if !dir.is_dir() {
+            return Err(StoreError::Format(format!(
+                "{} is not a directory",
+                dir.display()
+            )));
+        }
+        let catalog = SegmentCatalog::open(dir)?;
+        if catalog.is_empty() {
+            return Err(StoreError::Format(format!(
+                "{} holds no trace segments",
+                dir.display()
+            )));
+        }
+        let mut readers = Vec::with_capacity(catalog.len());
+        for path in catalog.paths() {
+            readers.push(Arc::new(StoreReader::open(path)?));
+        }
+        Self::from_readers(readers)
     }
 
     /// Indexes all of an already-open store.
@@ -72,30 +199,61 @@ impl StoreIndex {
     ///
     /// On chunk read/decode failure.
     pub fn from_reader_with_threads(reader: Arc<StoreReader>, threads: usize) -> Result<Self> {
-        Self::build_with_threads(reader, 0, u64::MAX, threads)
+        Self::from_readers_with_threads(vec![reader], threads)
+    }
+
+    /// Indexes the concatenation of already-open stores (segments in
+    /// time order).
+    ///
+    /// # Errors
+    ///
+    /// On chunk read/decode failure or out-of-order segments.
+    pub fn from_readers(readers: Vec<Arc<StoreReader>>) -> Result<Self> {
+        Self::from_readers_with_threads(readers, parallel::threads())
+    }
+
+    /// [`StoreIndex::from_readers`] with an explicit worker count.
+    ///
+    /// # Errors
+    ///
+    /// On chunk read/decode failure or out-of-order segments.
+    pub fn from_readers_with_threads(
+        readers: Vec<Arc<StoreReader>>,
+        threads: usize,
+    ) -> Result<Self> {
+        // Adjacent non-empty segments must not travel back in time:
+        // the concatenation is analyzed as one time-ordered trace.
+        let mut prev_max: Option<u64> = None;
+        for (i, r) in readers.iter().enumerate() {
+            let metas = r.chunks().iter().filter(|m| m.records > 0);
+            for m in metas {
+                if prev_max.is_some_and(|p| m.min_micros < p) {
+                    return Err(StoreError::Format(format!(
+                        "segment {i} begins before its predecessor ends"
+                    )));
+                }
+                prev_max = Some(m.max_micros);
+            }
+        }
+        Self::build_with_threads(readers, 0, u64::MAX, threads)
     }
 
     /// The chunk-parallel construction pass.
-    fn build(reader: Arc<StoreReader>, start: u64, end: u64) -> Result<Self> {
-        Self::build_with_threads(reader, start, end, parallel::threads())
+    fn build(readers: Vec<Arc<StoreReader>>, start: u64, end: u64) -> Result<Self> {
+        Self::build_with_threads(readers, start, end, parallel::threads())
     }
 
     /// See [`StoreIndex::build`].
     fn build_with_threads(
-        reader: Arc<StoreReader>,
+        readers: Vec<Arc<StoreReader>>,
         start: u64,
         end: u64,
         threads: usize,
     ) -> Result<Self> {
-        let chunks: Vec<usize> = reader
-            .chunks()
-            .iter()
-            .enumerate()
-            .filter(|(_, m)| m.overlaps(start, end))
-            .map(|(i, _)| i)
-            .collect();
+        let chunks = overlapping_chunks(&readers, start, end);
         let parts: Vec<Result<PartialIndex>> = parallel::run_sharded(chunks.len(), threads, |i| {
-            let records = reader.read_chunk(chunks[i])?;
+            let (ri, ci) = chunks[i];
+            let records = readers[ri].read_chunk(ci)?;
             Ok(PartialIndex::from_records(
                 records
                     .iter()
@@ -108,7 +266,7 @@ impl StoreIndex {
         }
         let base = PartialIndex::merge_ordered(ordered);
         Ok(StoreIndex {
-            reader,
+            readers,
             start,
             end,
             base,
@@ -116,9 +274,29 @@ impl StoreIndex {
         })
     }
 
-    /// The underlying reader.
+    /// The underlying reader of a single-store index (the first
+    /// segment's reader otherwise).
+    ///
+    /// # Panics
+    ///
+    /// If the index has no segments at all (an empty directory).
     pub fn reader(&self) -> &Arc<StoreReader> {
-        &self.reader
+        self.readers.first().expect("index over at least one store")
+    }
+
+    /// Every underlying reader, in segment order.
+    pub fn readers(&self) -> &[Arc<StoreReader>] {
+        &self.readers
+    }
+
+    /// Total chunks across every segment.
+    pub fn chunk_count(&self) -> usize {
+        self.readers.iter().map(|r| r.chunk_count()).sum()
+    }
+
+    /// Chunk decodes served across every segment since open.
+    pub fn chunks_decoded(&self) -> u64 {
+        self.readers.iter().map(|r| r.chunks_decoded()).sum()
     }
 
     /// This view's records whose primary handle is `fh`, in time order.
@@ -134,7 +312,11 @@ impl StoreIndex {
     ///
     /// On chunk read/decode failure.
     pub fn file_records(&self, fh: FileId) -> Result<Vec<TraceRecord>> {
-        self.reader.records_for_file_in(fh, self.start, self.end)
+        let mut out = Vec::new();
+        for reader in &self.readers {
+            out.extend(reader.records_for_file_in(fh, self.start, self.end)?);
+        }
+        Ok(out)
     }
 
     /// One file's reorder-corrected access stream — the single-file
@@ -168,28 +350,15 @@ impl StoreIndex {
 }
 
 impl RecordStream for StoreIndex {
-    /// Streams the view's records in time order, decoding one chunk at
-    /// a time and skipping chunks outside the window.
+    /// Streams the view's records in time order via [`stream_records`]
+    /// (pipelined decode when `NFSTRACE_THREADS >= 2`).
     ///
     /// # Panics
     ///
     /// On chunk read/decode failure after a successful open — a store
     /// corrupted (or deleted) mid-analysis.
     fn for_each_record(&self, f: &mut dyn FnMut(&TraceRecord)) {
-        for (i, m) in self.reader.chunks().iter().enumerate() {
-            if !m.overlaps(self.start, self.end) {
-                continue;
-            }
-            let records = self
-                .reader
-                .read_chunk(i)
-                .unwrap_or_else(|e| panic!("store chunk {i} unreadable mid-analysis: {e}"));
-            for r in &records {
-                if r.micros >= self.start && r.micros < self.end {
-                    f(r);
-                }
-            }
-        }
+        stream_records(&self.readers, self.start, self.end, f);
     }
 }
 
@@ -237,7 +406,7 @@ impl TraceView for StoreIndex {
     fn time_window(&self, start_micros: u64, end_micros: u64) -> StoreIndex {
         let start = start_micros.max(self.start);
         let end = end_micros.min(self.end);
-        Self::build(Arc::clone(&self.reader), start, end.max(start))
+        Self::build(self.readers.clone(), start, end.max(start))
             .unwrap_or_else(|e| panic!("store unreadable while windowing: {e}"))
     }
 

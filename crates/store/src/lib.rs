@@ -24,21 +24,30 @@
 //!   the in-memory `TraceIndex`: chunk-parallel partial-index builds
 //!   (sharded across `NFSTRACE_THREADS` via
 //!   [`nfstrace_core::parallel::run_sharded`]) merged in chunk order,
-//!   bit-identical to indexing the concatenated records.
+//!   bit-identical to indexing the concatenated records. An index can
+//!   span one file or an ordered **segment directory**
+//!   ([`StoreIndex::open_dir`]; naming and the reopen-and-append
+//!   catalog live in module [`segments`]) — which is how the
+//!   `nfstrace-live` rotating ingest's output is analyzed.
 //!
 //! The record codec (module [`codec`]) delta-encodes timestamps,
 //! varint-packs every numeric field, and interns percent-escaped name
-//! arguments per chunk. On top of that, the **v2** layout (the default;
-//! v1 stores stay readable) LZ-compresses each chunk when that wins —
-//! negotiated per chunk via a flags byte with a raw fallback (module
-//! [`compress`]) — checksums every chunk and the footer so corruption
-//! surfaces as [`StoreError::Format`] rather than wrong records, and
-//! carries a per-chunk [`FileIdFilter`] (min/max + Bloom over primary
-//! file handles) so per-file queries ([`StoreIndex::file_records`],
-//! [`StoreIndex::file_runs`]) skip chunks that cannot match. Module
-//! [`format`] documents both layouts. Record-replaying analyses batch
+//! arguments per chunk. On top of that, the **v3** layout (the
+//! default; v1 and v2 stores stay readable and writable) LZ-compresses
+//! each chunk when that wins — negotiated per chunk via a flags byte
+//! with a raw fallback (module [`compress`]) — checksums every chunk
+//! and the footer so corruption surfaces as [`StoreError::Format`]
+//! rather than wrong records, and carries a per-chunk
+//! [`FileIdFilter`] **sized from the chunk's distinct-handle count**
+//! (exact sorted set at low fan-in, adaptively sized Bloom above) so
+//! per-file queries ([`StoreIndex::file_records`],
+//! [`StoreIndex::file_runs`]) keep skipping chunks that cannot match
+//! even where the fixed v2 filter saturates. Module [`format`]
+//! documents all three layouts. Record-replaying analyses batch
 //! through [`nfstrace_core::index::TraceView::prepare`] into a single
-//! fused decode pass.
+//! fused decode pass, and that pass **pipelines**: with two or more
+//! workers, [`stream_records`] decodes chunk *i+1* on a worker thread
+//! while analyzers consume chunk *i*, output unchanged.
 //!
 //! # Example: write, reopen, analyze
 //!
@@ -83,12 +92,14 @@ pub mod error;
 pub mod format;
 pub mod index;
 pub mod reader;
+pub mod segments;
 pub mod writer;
 
 pub use error::{Result, StoreError};
-pub use format::{ChunkMeta, FileIdFilter, StoreVersion};
-pub use index::StoreIndex;
+pub use format::{ChunkMeta, FileIdFilter, FilterBuilder, FilterKind, StoreVersion};
+pub use index::{stream_records, stream_records_with_threads, StoreIndex};
 pub use reader::StoreReader;
+pub use segments::SegmentCatalog;
 pub use writer::{Compression, StoreConfig, StoreSummary, StoreWriter};
 
 #[cfg(test)]
@@ -245,6 +256,117 @@ mod tests {
         assert!(TraceView::is_empty(&disk));
         assert_eq!(disk.summary().total_ops, 0);
         std::fs::remove_file(&path).ok();
+    }
+
+    /// Splits `records` into `n` stretches and writes each as one
+    /// sealed segment in `dir`.
+    fn write_segments(dir: &std::path::Path, records: &[TraceRecord], n: usize, chunk: usize) {
+        std::fs::create_dir_all(dir).expect("mkdir");
+        let mut cat = segments::SegmentCatalog::open(dir).expect("catalog");
+        let per = records.len().div_ceil(n.max(1)).max(1);
+        for part in records.chunks(per) {
+            let ord = cat.next_ordinal();
+            write_store(&cat.path_for(ord), part, chunk);
+            cat.note_sealed(ord);
+        }
+    }
+
+    #[test]
+    fn segment_dir_index_matches_single_file_index() {
+        let records = sample(700);
+        let dir = std::env::temp_dir().join(format!("nfstrace-segdir-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        write_segments(&dir, &records, 4, 512);
+        let single = tmp("segdir-single");
+        write_store(&single, &records, 512);
+
+        let seg = StoreIndex::open_dir(&dir).expect("open dir");
+        assert_eq!(seg.readers().len(), 4);
+        let one = StoreIndex::open(&single).expect("open single");
+        assert_eq!(TraceView::len(&seg), TraceView::len(&one));
+        assert_eq!(seg.summary(), one.summary());
+        assert_eq!(seg.hourly(), one.hourly());
+        assert_eq!(seg.accesses(10).as_ref(), one.accesses(10).as_ref());
+        assert_eq!(
+            seg.runs(10, RunOptions::default()).as_ref(),
+            one.runs(10, RunOptions::default()).as_ref()
+        );
+        assert_eq!(seg.names(), one.names());
+        // Windows cross segment boundaries transparently.
+        let (a, b) = (100_000u64, 400_000u64);
+        let sw = seg.time_window(a, b);
+        let ow = one.time_window(a, b);
+        assert_eq!(sw.summary(), ow.summary());
+        // Per-file queries skip across all segments and agree.
+        let probe = FileId(3);
+        assert_eq!(
+            seg.file_records(probe).expect("file query"),
+            one.file_records(probe).expect("file query")
+        );
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_file(&single).ok();
+    }
+
+    #[test]
+    fn open_dir_rejects_missing_and_segmentless_directories() {
+        let missing =
+            std::env::temp_dir().join(format!("nfstrace-no-such-dir-{}", std::process::id()));
+        std::fs::remove_dir_all(&missing).ok();
+        assert!(
+            StoreIndex::open_dir(&missing).is_err(),
+            "a mistyped path must not read as an empty trace"
+        );
+        assert!(!missing.exists(), "opening must not create the directory");
+        let empty = std::env::temp_dir().join(format!("nfstrace-empty-dir-{}", std::process::id()));
+        std::fs::create_dir_all(&empty).expect("mkdir");
+        let err = StoreIndex::open_dir(&empty).expect_err("no segments");
+        assert!(matches!(&err, StoreError::Format(m) if m.contains("segments")));
+        std::fs::remove_dir_all(&empty).ok();
+    }
+
+    #[test]
+    fn out_of_order_segments_are_rejected() {
+        let records = sample(200);
+        let dir = std::env::temp_dir().join(format!("nfstrace-segbad-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let cat = segments::SegmentCatalog::open(&dir).expect("catalog");
+        // Segment 0 holds the LATER half, segment 1 the earlier one.
+        let mid = records.len() / 2;
+        write_store(&cat.path_for(0), &records[mid..], 512);
+        write_store(&cat.path_for(1), &records[..mid], 512);
+        let err = StoreIndex::open_dir(&dir).expect_err("time travel must fail");
+        assert!(
+            matches!(&err, StoreError::Format(m) if m.contains("segment")),
+            "unexpected error: {err}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn pipelined_decode_is_bit_identical_to_serial() {
+        let records = sample(900);
+        let dir = std::env::temp_dir().join(format!("nfstrace-pipe-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        write_segments(&dir, &records, 3, 256);
+        let readers: Vec<std::sync::Arc<StoreReader>> = segments::SegmentCatalog::open(&dir)
+            .expect("catalog")
+            .paths()
+            .into_iter()
+            .map(|p| std::sync::Arc::new(StoreReader::open(p).expect("open")))
+            .collect();
+        for (start, end) in [(0u64, u64::MAX), (50_000, 300_000)] {
+            let mut serial = Vec::new();
+            stream_records_with_threads(&readers, start, end, 1, &mut |r| serial.push(r.clone()));
+            for threads in [2, 8] {
+                let mut piped = Vec::new();
+                stream_records_with_threads(&readers, start, end, threads, &mut |r| {
+                    piped.push(r.clone())
+                });
+                assert_eq!(piped, serial, "threads={threads} window=({start},{end})");
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

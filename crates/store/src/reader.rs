@@ -4,8 +4,9 @@ use crate::codec::{decode_record, read_varint, NameTable};
 use crate::compress;
 use crate::error::{Result, StoreError};
 use crate::format::{
-    fnv1a64, ChunkMeta, FileIdFilter, StoreVersion, BLOOM_BYTES, END_MAGIC, FLAG_COMPRESSED,
-    FLAG_MASK, MAGIC_V1, MAGIC_V2, MAX_CHUNK_PAYLOAD, V1_ENTRY_BYTES, V2_ENTRY_BYTES,
+    fnv1a64, ChunkMeta, FileIdFilter, FilterKind, StoreVersion, BLOOM_BYTES, END_MAGIC,
+    FILTER_KIND_BLOOM, FILTER_KIND_EXACT, FLAG_COMPRESSED, FLAG_MASK, MAGIC_V1, MAGIC_V2, MAGIC_V3,
+    MAX_CHUNK_PAYLOAD, MAX_FILTER_BYTES, V1_ENTRY_BYTES, V2_ENTRY_BYTES,
 };
 use nfstrace_core::record::{FileId, TraceRecord};
 use std::fs::File;
@@ -54,6 +55,8 @@ impl StoreReader {
             StoreVersion::V1
         } else if &head == MAGIC_V2 {
             StoreVersion::V2
+        } else if &head == MAGIC_V3 {
+            StoreVersion::V3
         } else {
             return Err(StoreError::Format("bad leading magic".into()));
         };
@@ -72,56 +75,20 @@ impl StoreReader {
         let mut footer = vec![0u8; (footer_end - footer_offset) as usize];
         f.read_exact(&mut footer)?;
 
-        let (entry_bytes, tail_bytes) = match version {
-            StoreVersion::V1 => (V1_ENTRY_BYTES, 16),
-            StoreVersion::V2 => (V2_ENTRY_BYTES, 24),
-        };
-        if footer.len() < tail_bytes || !(footer.len() - tail_bytes).is_multiple_of(entry_bytes) {
-            return Err(StoreError::Format("footer size mismatch".into()));
-        }
-        if version == StoreVersion::V2 {
+        if version != StoreVersion::V1 {
+            if footer.len() < 24 {
+                return Err(StoreError::Format("footer size mismatch".into()));
+            }
             let sum_at = footer.len() - 8;
             let stored = u64::from_le_bytes(footer[sum_at..].try_into().expect("8 bytes"));
             if fnv1a64(&footer[..sum_at]) != stored {
                 return Err(StoreError::Format("footer checksum mismatch".into()));
             }
         }
-        let tail = &footer[footer.len() - tail_bytes..];
-        let chunk_count = u64::from_le_bytes(tail[..8].try_into().expect("8 bytes")) as usize;
-        let total_records = u64::from_le_bytes(tail[8..16].try_into().expect("8 bytes"));
-        if chunk_count * entry_bytes != footer.len() - tail_bytes {
-            return Err(StoreError::Format("chunk count mismatch".into()));
-        }
-        let mut chunks = Vec::with_capacity(chunk_count);
-        for i in 0..chunk_count {
-            let e = &footer[i * entry_bytes..(i + 1) * entry_bytes];
-            let word =
-                |j: usize| u64::from_le_bytes(e[j * 8..(j + 1) * 8].try_into().expect("8 bytes"));
-            let (checksum, filter) = match version {
-                StoreVersion::V1 => (None, None),
-                StoreVersion::V2 => {
-                    let mut bloom = [0u8; BLOOM_BYTES];
-                    bloom.copy_from_slice(&e[64..64 + BLOOM_BYTES]);
-                    (
-                        Some(word(7)),
-                        Some(FileIdFilter {
-                            min_fh: word(5),
-                            max_fh: word(6),
-                            bloom,
-                        }),
-                    )
-                }
-            };
-            chunks.push(ChunkMeta {
-                offset: word(0),
-                len: word(1),
-                records: word(2),
-                min_micros: word(3),
-                max_micros: word(4),
-                checksum,
-                filter,
-            });
-        }
+        let (chunks, total_records) = match version {
+            StoreVersion::V1 | StoreVersion::V2 => Self::parse_fixed_footer(&footer, version)?,
+            StoreVersion::V3 => Self::parse_v3_footer(&footer)?,
+        };
         if chunks.iter().map(|m| m.records).sum::<u64>() != total_records {
             return Err(StoreError::Format("record total mismatch".into()));
         }
@@ -171,6 +138,158 @@ impl StoreReader {
         })
     }
 
+    /// Parses the fixed-stride v1/v2 footer body into chunk metas and
+    /// the total record count.
+    fn parse_fixed_footer(footer: &[u8], version: StoreVersion) -> Result<(Vec<ChunkMeta>, u64)> {
+        let (entry_bytes, tail_bytes) = match version {
+            StoreVersion::V1 => (V1_ENTRY_BYTES, 16),
+            _ => (V2_ENTRY_BYTES, 24),
+        };
+        if footer.len() < tail_bytes || !(footer.len() - tail_bytes).is_multiple_of(entry_bytes) {
+            return Err(StoreError::Format("footer size mismatch".into()));
+        }
+        let tail = &footer[footer.len() - tail_bytes..];
+        let chunk_count = u64::from_le_bytes(tail[..8].try_into().expect("8 bytes")) as usize;
+        let total_records = u64::from_le_bytes(tail[8..16].try_into().expect("8 bytes"));
+        if chunk_count * entry_bytes != footer.len() - tail_bytes {
+            return Err(StoreError::Format("chunk count mismatch".into()));
+        }
+        let mut chunks = Vec::with_capacity(chunk_count);
+        for i in 0..chunk_count {
+            let e = &footer[i * entry_bytes..(i + 1) * entry_bytes];
+            let word =
+                |j: usize| u64::from_le_bytes(e[j * 8..(j + 1) * 8].try_into().expect("8 bytes"));
+            let (checksum, filter) = match version {
+                StoreVersion::V1 => (None, None),
+                _ => (
+                    Some(word(7)),
+                    Some(FileIdFilter {
+                        min_fh: word(5),
+                        max_fh: word(6),
+                        kind: FilterKind::Bloom {
+                            hashes: 3,
+                            bits: e[64..64 + BLOOM_BYTES].to_vec(),
+                        },
+                    }),
+                ),
+            };
+            chunks.push(ChunkMeta {
+                offset: word(0),
+                len: word(1),
+                records: word(2),
+                min_micros: word(3),
+                max_micros: word(4),
+                checksum,
+                filter,
+            });
+        }
+        Ok((chunks, total_records))
+    }
+
+    /// Parses the v3 footer body (counts first, then variable-length
+    /// entries carrying adaptively sized filters, then the checksum the
+    /// caller already verified).
+    fn parse_v3_footer(footer: &[u8]) -> Result<(Vec<ChunkMeta>, u64)> {
+        // The trailing checksum was verified by the caller; everything
+        // before it is the body this parses exactly to its end.
+        let body = &footer[..footer.len() - 8];
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8]> {
+            let s = body
+                .get(*pos..*pos + n)
+                .ok_or_else(|| StoreError::Format("footer size mismatch".into()))?;
+            *pos += n;
+            Ok(s)
+        };
+        let rd_u64 = |pos: &mut usize| -> Result<u64> {
+            Ok(u64::from_le_bytes(
+                take(pos, 8)?.try_into().expect("8 bytes"),
+            ))
+        };
+        let rd_u32 = |pos: &mut usize| -> Result<u32> {
+            Ok(u32::from_le_bytes(
+                take(pos, 4)?.try_into().expect("4 bytes"),
+            ))
+        };
+        let chunk_count = rd_u64(&mut pos)?;
+        let total_records = rd_u64(&mut pos)?;
+        // The smallest possible entry is 8 words + kind byte + an empty
+        // exact set's count: a corrupt count cannot force a huge
+        // allocation.
+        if chunk_count > (body.len() / (8 * 8 + 5)) as u64 {
+            return Err(StoreError::Format("chunk count mismatch".into()));
+        }
+        let mut chunks = Vec::with_capacity(chunk_count as usize);
+        for i in 0..chunk_count {
+            let mut word = [0u64; 8];
+            for w in &mut word {
+                *w = rd_u64(&mut pos)?;
+            }
+            let kind = take(&mut pos, 1)?[0];
+            let kind = match kind {
+                FILTER_KIND_EXACT => {
+                    let count = rd_u32(&mut pos)? as usize;
+                    let raw = take(
+                        &mut pos,
+                        count.checked_mul(8).ok_or_else(|| {
+                            StoreError::Format(format!("chunk {i} filter set overflows"))
+                        })?,
+                    )?;
+                    let handles: Vec<u64> = raw
+                        .chunks_exact(8)
+                        .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+                        .collect();
+                    if !handles.windows(2).all(|w| w[0] < w[1]) {
+                        return Err(StoreError::Format(format!(
+                            "chunk {i} exact filter is not sorted"
+                        )));
+                    }
+                    FilterKind::Exact(handles)
+                }
+                FILTER_KIND_BLOOM => {
+                    let hashes = u32::from(take(&mut pos, 1)?[0]);
+                    if !(1..=64).contains(&hashes) {
+                        return Err(StoreError::Format(format!(
+                            "chunk {i} filter hash count {hashes} out of range"
+                        )));
+                    }
+                    let nbytes = rd_u32(&mut pos)? as usize;
+                    if nbytes > MAX_FILTER_BYTES {
+                        return Err(StoreError::Format(format!(
+                            "chunk {i} claims a {nbytes}-byte filter"
+                        )));
+                    }
+                    FilterKind::Bloom {
+                        hashes,
+                        bits: take(&mut pos, nbytes)?.to_vec(),
+                    }
+                }
+                other => {
+                    return Err(StoreError::Format(format!(
+                        "chunk {i} has unknown filter kind {other}"
+                    )))
+                }
+            };
+            chunks.push(ChunkMeta {
+                offset: word[0],
+                len: word[1],
+                records: word[2],
+                min_micros: word[3],
+                max_micros: word[4],
+                checksum: Some(word[7]),
+                filter: Some(FileIdFilter {
+                    min_fh: word[5],
+                    max_fh: word[6],
+                    kind,
+                }),
+            });
+        }
+        if pos != body.len() {
+            return Err(StoreError::Format("footer size mismatch".into()));
+        }
+        Ok((chunks, total_records))
+    }
+
     /// The on-disk format revision this store was written with.
     pub fn version(&self) -> StoreVersion {
         self.version
@@ -212,7 +331,7 @@ impl StoreReader {
     /// v2, any stored byte that does not hash to the footer's chunk
     /// checksum is a [`StoreError::Format`] before decoding begins.
     pub fn read_chunk(&self, ordinal: usize) -> Result<Vec<TraceRecord>> {
-        let meta = *self
+        let meta = self
             .chunks
             .get(ordinal)
             .ok_or_else(|| StoreError::Format(format!("no chunk {ordinal}")))?;
@@ -225,8 +344,8 @@ impl StoreReader {
         let decompressed: Vec<u8>;
         let payload: &[u8] = match self.version {
             StoreVersion::V1 => &bytes,
-            StoreVersion::V2 => {
-                let expect = meta.checksum.expect("v2 metas carry checksums");
+            StoreVersion::V2 | StoreVersion::V3 => {
+                let expect = meta.checksum.expect("v2/v3 metas carry checksums");
                 if fnv1a64(&bytes) != expect {
                     return Err(StoreError::Format(format!(
                         "chunk {ordinal} checksum mismatch"

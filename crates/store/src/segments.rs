@@ -1,0 +1,163 @@
+//! Segment naming and the reopen-and-append catalog.
+//!
+//! A *segment* is an ordinary store file (any format version this
+//! crate writes) that holds one contiguous, time-ordered span of a
+//! trace. A live ingest rotates through segments — sealing the hot one
+//! and starting the next — so a directory of segments **is** the trace:
+//! `seg-000000.nfseg`, `seg-000001.nfseg`, … in ordinal (= time) order.
+//!
+//! [`SegmentCatalog`] is the directory view: it scans for segment
+//! files, orders them by ordinal, and hands out the next ordinal to
+//! write — which is what makes a stopped ingest *restartable*: reopen
+//! the catalog, and appending continues exactly where the last sealed
+//! segment left off. [`crate::StoreIndex::open_dir`] builds the
+//! merged analysis view over a catalog.
+
+use crate::error::{Result, StoreError};
+use std::path::{Path, PathBuf};
+
+/// File suffix every segment carries.
+pub const SEGMENT_SUFFIX: &str = ".nfseg";
+
+/// The file name of segment `ordinal` (`seg-000042.nfseg`).
+pub fn segment_file_name(ordinal: u64) -> String {
+    format!("seg-{ordinal:06}{SEGMENT_SUFFIX}")
+}
+
+/// Parses a segment file name back to its ordinal; `None` for anything
+/// that is not a segment name.
+pub fn parse_segment_name(name: &str) -> Option<u64> {
+    let digits = name.strip_prefix("seg-")?.strip_suffix(SEGMENT_SUFFIX)?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// The ordered set of sealed segments in one directory.
+///
+/// # Examples
+///
+/// ```
+/// use nfstrace_store::segments::SegmentCatalog;
+///
+/// let dir = std::env::temp_dir().join("nfstrace-catalog-doc");
+/// std::fs::create_dir_all(&dir).unwrap();
+/// let mut cat = SegmentCatalog::open(&dir).unwrap();
+/// let first = cat.next_ordinal();
+/// let path = cat.path_for(first);
+/// // ... write a store file at `path`, then:
+/// // cat.note_sealed(first);
+/// ```
+#[derive(Debug)]
+pub struct SegmentCatalog {
+    dir: PathBuf,
+    /// Sealed segment ordinals, ascending.
+    ordinals: Vec<u64>,
+}
+
+impl SegmentCatalog {
+    /// Opens (creating if needed) a segment directory and scans it.
+    ///
+    /// # Errors
+    ///
+    /// On directory create/read failure.
+    pub fn open<P: AsRef<Path>>(dir: P) -> Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir).map_err(StoreError::Io)?;
+        let mut ordinals = Vec::new();
+        for entry in std::fs::read_dir(&dir).map_err(StoreError::Io)? {
+            let entry = entry.map_err(StoreError::Io)?;
+            if let Some(ord) = entry.file_name().to_str().and_then(parse_segment_name) {
+                ordinals.push(ord);
+            }
+        }
+        ordinals.sort_unstable();
+        Ok(SegmentCatalog { dir, ordinals })
+    }
+
+    /// The directory this catalog describes.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Sealed segment ordinals, ascending.
+    pub fn ordinals(&self) -> &[u64] {
+        &self.ordinals
+    }
+
+    /// Number of sealed segments.
+    pub fn len(&self) -> usize {
+        self.ordinals.len()
+    }
+
+    /// Whether no segment has been sealed.
+    pub fn is_empty(&self) -> bool {
+        self.ordinals.is_empty()
+    }
+
+    /// Sealed segment paths, in ordinal (= time) order.
+    pub fn paths(&self) -> Vec<PathBuf> {
+        self.ordinals.iter().map(|&o| self.path_for(o)).collect()
+    }
+
+    /// The path segment `ordinal` lives (or will live) at.
+    pub fn path_for(&self, ordinal: u64) -> PathBuf {
+        self.dir.join(segment_file_name(ordinal))
+    }
+
+    /// The ordinal the next sealed segment should take — one past the
+    /// highest existing, so a reopened ingest appends after everything
+    /// already on disk.
+    pub fn next_ordinal(&self) -> u64 {
+        self.ordinals.last().map_or(0, |o| o + 1)
+    }
+
+    /// Records that `ordinal` was sealed (its file fully written and
+    /// finished).
+    pub fn note_sealed(&mut self, ordinal: u64) {
+        debug_assert!(self.ordinals.last().is_none_or(|&o| o < ordinal));
+        self.ordinals.push(ordinal);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for ord in [0u64, 1, 42, 999_999, 1_000_000] {
+            assert_eq!(parse_segment_name(&segment_file_name(ord)), Some(ord));
+        }
+        for bad in [
+            "seg-.nfseg",
+            "seg-12.nfstore",
+            "other-000001.nfseg",
+            "seg-12a.nfseg",
+            "seg-000001.nfseg.tmp",
+        ] {
+            assert_eq!(parse_segment_name(bad), None, "{bad}");
+        }
+    }
+
+    #[test]
+    fn catalog_scans_orders_and_appends() {
+        let dir = std::env::temp_dir().join(format!("nfstrace-catalog-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut cat = SegmentCatalog::open(&dir).expect("open empty");
+        assert!(cat.is_empty());
+        assert_eq!(cat.next_ordinal(), 0);
+        for ord in [0u64, 1, 2] {
+            std::fs::write(cat.path_for(ord), b"x").expect("touch");
+            cat.note_sealed(ord);
+        }
+        // Unrelated files are ignored on rescan.
+        std::fs::write(dir.join("notes.txt"), b"x").expect("touch");
+        let reopened = SegmentCatalog::open(&dir).expect("reopen");
+        assert_eq!(reopened.ordinals(), &[0, 1, 2]);
+        assert_eq!(reopened.next_ordinal(), 3);
+        assert_eq!(reopened.paths().len(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

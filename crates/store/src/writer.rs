@@ -4,7 +4,8 @@ use crate::codec::{encode_record, write_varint, NameTable};
 use crate::compress;
 use crate::error::{Result, StoreError};
 use crate::format::{
-    fnv1a64, ChunkMeta, FileIdFilter, StoreVersion, END_MAGIC, FLAG_COMPRESSED, MAGIC_V1, MAGIC_V2,
+    fnv1a64, ChunkMeta, FilterBuilder, FilterKind, StoreVersion, END_MAGIC, FILTER_KIND_BLOOM,
+    FILTER_KIND_EXACT, FLAG_COMPRESSED, MAGIC_V1, MAGIC_V2, MAGIC_V3,
 };
 use nfstrace_core::record::TraceRecord;
 use nfstrace_core::sink::RecordSink;
@@ -31,11 +32,11 @@ pub struct StoreConfig {
     /// Smaller chunks mean finer-grained parallel indexing and lower
     /// peak memory; larger chunks amortize per-chunk overhead.
     pub target_chunk_bytes: usize,
-    /// Per-chunk compression policy (v2 only; v1 is always raw).
+    /// Per-chunk compression policy (v2/v3 only; v1 is always raw).
     pub compression: Compression,
-    /// On-disk format revision to emit. v2 (default) adds per-chunk
-    /// compression, checksums, and file-id filters; v1 reproduces the
-    /// PR 3 layout byte for byte.
+    /// On-disk format revision to emit. v3 (default) sizes each
+    /// chunk's file filter from its distinct-handle count; v2 and v1
+    /// reproduce the earlier layouts byte for byte.
     pub version: StoreVersion,
 }
 
@@ -57,12 +58,13 @@ impl Default for StoreConfig {
 /// Records are encoded into an in-memory chunk buffer; when the buffer
 /// reaches [`StoreConfig::target_chunk_bytes`] the chunk is flushed to
 /// disk and its [`ChunkMeta`] (offset, length, record count, time
-/// range — plus, under v2, a checksum and a primary-file-handle
-/// filter) queued for the footer. Under v2 each flushed chunk is
-/// LZ-compressed when that wins ([`Compression::Lz`]), with the raw
-/// form kept otherwise; the choice is recorded in the chunk's flags
-/// byte. [`StoreWriter::finish`] flushes the trailing chunk and writes
-/// the footer — nothing but the current chunk's encoding is ever
+/// range — plus, under v2/v3, a checksum and a primary-file-handle
+/// filter, adaptively sized under v3) queued for the footer. Under
+/// v2/v3 each flushed chunk is LZ-compressed when that wins
+/// ([`Compression::Lz`]), with the raw form kept otherwise; the choice
+/// is recorded in the chunk's flags byte. [`StoreWriter::finish`]
+/// flushes the trailing chunk and writes the footer — nothing but the
+/// current chunk's encoding (and its distinct-handle set) is ever
 /// resident.
 ///
 /// # Examples
@@ -85,8 +87,9 @@ pub struct StoreWriter {
     names: NameTable,
     chunk_records: u64,
     chunk_min: u64,
-    /// Primary-file-handle filter of the pending chunk (v2 footer).
-    filter: FileIdFilter,
+    /// Distinct primary handles of the pending chunk (v2/v3 footer
+    /// filters are finished from this at flush time).
+    filter: FilterBuilder,
     /// Previous record's `micros` (delta-encoding state + order check).
     prev_micros: u64,
     any_pushed: bool,
@@ -116,6 +119,7 @@ impl StoreWriter {
         let magic = match config.version {
             StoreVersion::V1 => MAGIC_V1,
             StoreVersion::V2 => MAGIC_V2,
+            StoreVersion::V3 => MAGIC_V3,
         };
         let mut out = BufWriter::new(File::create(path)?);
         out.write_all(magic)?;
@@ -126,7 +130,7 @@ impl StoreWriter {
             names: NameTable::new(),
             chunk_records: 0,
             chunk_min: 0,
-            filter: FileIdFilter::empty(),
+            filter: FilterBuilder::new(),
             prev_micros: 0,
             any_pushed: false,
             offset: magic.len() as u64,
@@ -179,7 +183,7 @@ impl StoreWriter {
 
         let stored = match self.config.version {
             StoreVersion::V1 => payload,
-            StoreVersion::V2 => {
+            StoreVersion::V2 | StoreVersion::V3 => {
                 let mut body = Vec::with_capacity(payload.len() + 1);
                 let compressed = match self.config.compression {
                     Compression::None => None,
@@ -207,21 +211,25 @@ impl StoreWriter {
             }
         };
         self.out.write_all(&stored)?;
-        let v2 = self.config.version == StoreVersion::V2;
+        let (checksum, filter) = match self.config.version {
+            StoreVersion::V1 => (None, None),
+            StoreVersion::V2 => (Some(fnv1a64(&stored)), Some(self.filter.finish_legacy())),
+            StoreVersion::V3 => (Some(fnv1a64(&stored)), Some(self.filter.finish_adaptive())),
+        };
         self.chunks.push(ChunkMeta {
             offset: self.offset,
             len: stored.len() as u64,
             records: self.chunk_records,
             min_micros: self.chunk_min,
             max_micros: self.prev_micros,
-            checksum: v2.then(|| fnv1a64(&stored)),
-            filter: v2.then_some(self.filter),
+            checksum,
+            filter,
         });
         self.offset += stored.len() as u64;
         self.chunk_buf.clear();
         self.names = NameTable::new();
         self.chunk_records = 0;
-        self.filter = FileIdFilter::empty();
+        self.filter.clear();
         Ok(())
     }
 
@@ -234,27 +242,56 @@ impl StoreWriter {
     pub fn finish(mut self) -> Result<StoreSummary> {
         self.flush_chunk()?;
         let footer_offset = self.offset;
+        let total: u64 = self.chunks.iter().map(|m| m.records).sum();
         let mut footer = Vec::with_capacity(self.chunks.len() * 136 + 40);
+        // v3 entries are variable-length, so its counts lead the footer.
+        if self.config.version == StoreVersion::V3 {
+            footer.extend_from_slice(&(self.chunks.len() as u64).to_le_bytes());
+            footer.extend_from_slice(&total.to_le_bytes());
+        }
         for m in &self.chunks {
             for v in [m.offset, m.len, m.records, m.min_micros, m.max_micros] {
                 footer.extend_from_slice(&v.to_le_bytes());
             }
-            if self.config.version == StoreVersion::V2 {
-                let f = m.filter.expect("v2 chunks carry filters");
-                for v in [
-                    f.min_fh,
-                    f.max_fh,
-                    m.checksum.expect("v2 chunks carry checksums"),
-                ] {
-                    footer.extend_from_slice(&v.to_le_bytes());
+            if self.config.version == StoreVersion::V1 {
+                continue;
+            }
+            let f = m.filter.as_ref().expect("v2/v3 chunks carry filters");
+            for v in [
+                f.min_fh,
+                f.max_fh,
+                m.checksum.expect("v2/v3 chunks carry checksums"),
+            ] {
+                footer.extend_from_slice(&v.to_le_bytes());
+            }
+            match (self.config.version, &f.kind) {
+                (StoreVersion::V2, FilterKind::Bloom { bits, .. }) => {
+                    footer.extend_from_slice(bits);
                 }
-                footer.extend_from_slice(&f.bloom);
+                (StoreVersion::V2, FilterKind::Exact(_)) => {
+                    unreachable!("v2 flushes finish legacy Bloom filters")
+                }
+                (StoreVersion::V3, FilterKind::Exact(handles)) => {
+                    footer.push(FILTER_KIND_EXACT);
+                    footer.extend_from_slice(&(handles.len() as u32).to_le_bytes());
+                    for h in handles {
+                        footer.extend_from_slice(&h.to_le_bytes());
+                    }
+                }
+                (StoreVersion::V3, FilterKind::Bloom { hashes, bits }) => {
+                    footer.push(FILTER_KIND_BLOOM);
+                    footer.push(u8::try_from(*hashes).expect("small hash count"));
+                    footer.extend_from_slice(&(bits.len() as u32).to_le_bytes());
+                    footer.extend_from_slice(bits);
+                }
+                (StoreVersion::V1, _) => unreachable!("handled above"),
             }
         }
-        let total: u64 = self.chunks.iter().map(|m| m.records).sum();
-        footer.extend_from_slice(&(self.chunks.len() as u64).to_le_bytes());
-        footer.extend_from_slice(&total.to_le_bytes());
-        if self.config.version == StoreVersion::V2 {
+        if self.config.version != StoreVersion::V3 {
+            footer.extend_from_slice(&(self.chunks.len() as u64).to_le_bytes());
+            footer.extend_from_slice(&total.to_le_bytes());
+        }
+        if self.config.version != StoreVersion::V1 {
             let sum = fnv1a64(&footer);
             footer.extend_from_slice(&sum.to_le_bytes());
         }

@@ -1,7 +1,7 @@
 //! On-disk size guarantees on a realistic trace: for the scale-0.1
-//! CAMPUS workload, the compressed v2 store is no larger than the raw
-//! v2 store, and strictly smaller than the v1 (PR 3) layout — while
-//! all three decode to bit-identical records.
+//! CAMPUS workload, the default (v3, compressed) store is no larger
+//! than an uncompressed v2 store, and strictly smaller than the v1
+//! (PR 3) layout — while all three decode to bit-identical records.
 
 use nfstrace_core::record::TraceRecord;
 use nfstrace_core::time::DAY;
@@ -57,16 +57,16 @@ fn compressed_store_is_smaller_on_campus_trace() {
             version: StoreVersion::V2,
         },
     );
-    let lz_path = dir.join(format!("campus-v2lz-{pid}"));
-    let v2_lz_bytes = write(&lz_path, &records, StoreConfig::default());
+    let lz_path = dir.join(format!("campus-v3lz-{pid}"));
+    let v3_lz_bytes = write(&lz_path, &records, StoreConfig::default());
 
     assert!(
-        v2_lz_bytes <= v2_raw_bytes,
-        "compressed ({v2_lz_bytes} B) must not exceed raw ({v2_raw_bytes} B)"
+        v3_lz_bytes <= v2_raw_bytes,
+        "compressed ({v3_lz_bytes} B) must not exceed raw ({v2_raw_bytes} B)"
     );
     assert!(
-        v2_lz_bytes < v1_bytes,
-        "v2 default ({v2_lz_bytes} B) must beat the v1 layout ({v1_bytes} B)"
+        v3_lz_bytes < v1_bytes,
+        "the default layout ({v3_lz_bytes} B) must beat the v1 layout ({v1_bytes} B)"
     );
 
     // All three layouts decode to the same records.

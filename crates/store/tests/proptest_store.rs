@@ -207,12 +207,18 @@ proptest! {
         mut records in proptest::collection::vec(arb_record(), 0..300),
         chunk_bytes in 48usize..8192,
         compress in any::<bool>(),
+        v3 in any::<bool>(),
         case in 0u64..1_000_000,
     ) {
         records.sort_by_key(|r| r.micros);
         let compression = if compress { Compression::Lz } else { Compression::None };
+        let version = if v3 {
+            nfstrace_store::StoreVersion::V3
+        } else {
+            nfstrace_store::StoreVersion::V2
+        };
         let path = tmp("lz-roundtrip", case);
-        write_with(&path, &records, chunk_bytes, compression, nfstrace_store::StoreVersion::V2);
+        write_with(&path, &records, chunk_bytes, compression, version);
         let back = read_all(&path).expect("read");
         std::fs::remove_file(&path).ok();
         prop_assert_eq!(back, records);
@@ -319,11 +325,17 @@ proptest! {
         chunk_bytes in 64usize..2048,
         flip_frac in 0u32..10_000,
         bit in 0u8..8,
+        v3 in any::<bool>(),
         case in 0u64..1_000_000,
     ) {
         records.sort_by_key(|r| r.micros);
+        let version = if v3 {
+            nfstrace_store::StoreVersion::V3
+        } else {
+            nfstrace_store::StoreVersion::V2
+        };
         let path = tmp("flip", case);
-        write_with(&path, &records, chunk_bytes, Compression::Lz, nfstrace_store::StoreVersion::V2);
+        write_with(&path, &records, chunk_bytes, Compression::Lz, version);
         let mut bytes = std::fs::read(&path).expect("read file");
         let idx = (u64::from(flip_frac) * (bytes.len() as u64 - 1) / 10_000) as usize;
         bytes[idx] ^= 1 << bit;
@@ -350,7 +362,7 @@ proptest! {
     ) {
         records.sort_by_key(|r| r.micros);
         let path = tmp("trunc2", case);
-        write_with(&path, &records, 256, Compression::Lz, nfstrace_store::StoreVersion::V2);
+        write_with(&path, &records, 256, Compression::Lz, nfstrace_store::StoreVersion::V3);
         let bytes = std::fs::read(&path).expect("read file");
         let cut = (u64::from(cut_frac) * (bytes.len() as u64 - 1) / 10_000) as usize;
         std::fs::write(&path, &bytes[..cut]).expect("truncate");
@@ -416,6 +428,51 @@ fn per_file_queries_skip_chunks() {
         .is_empty());
     assert_eq!(reader.chunks_decoded(), before, "absent file: zero decodes");
     std::fs::remove_file(&path).ok();
+}
+
+/// The saturation regression, end to end: on chunks with thousands of
+/// distinct handles the fixed v2 Bloom filter saturates (per-file
+/// queries for absent files decode nearly every chunk), while the v3
+/// adaptive filter keeps the skip rate high — with identical query
+/// results.
+#[test]
+fn adaptive_filters_keep_skipping_on_high_fan_in_chunks() {
+    // Every record a distinct-ish handle, scattered so each chunk's
+    // [min_fh, max_fh] range spans nearly the whole space: the range
+    // guard cannot help, only the membership filter can.
+    let records: Vec<TraceRecord> = (0..24_000u64)
+        .map(|i| {
+            let fh = ((i * 7919) % 20011) * 2 + 1; // odd members only
+            TraceRecord::new(i * 500, Op::Read, FileId(fh)).with_range(0, 8192)
+        })
+        .collect();
+    let probes: Vec<FileId> = (0..200u64).map(|i| FileId(i * 180 + 2)).collect(); // even: absent
+
+    let mut decodes = [0u64; 2];
+    for (slot, version) in [
+        (0, nfstrace_store::StoreVersion::V2),
+        (1, nfstrace_store::StoreVersion::V3),
+    ] {
+        let path = tmp("fanin", slot as u64);
+        write_with(&path, &records, 96 << 10, Compression::Lz, version);
+        let reader = StoreReader::open(&path).expect("open");
+        assert!(reader.chunk_count() >= 4, "need several chunks");
+        for p in &probes {
+            assert!(
+                reader.records_for_file(*p).expect("query").is_empty(),
+                "even handles are absent by construction"
+            );
+        }
+        decodes[slot] = reader.chunks_decoded();
+        std::fs::remove_file(&path).ok();
+    }
+    assert!(
+        decodes[0] > decodes[1] * 10,
+        "v2 (saturated) decoded {} chunks, v3 (adaptive) {} — \
+         the adaptive filter should be skipping at least 10x more",
+        decodes[0],
+        decodes[1]
+    );
 }
 
 /// The windowed per-file analysis wrappers equal the full-index
@@ -543,7 +600,7 @@ fn unknown_flags_byte_is_a_format_error() {
         nfstrace_store::StoreVersion::V2,
     );
     let reader = StoreReader::open(&path).expect("open");
-    let meta = reader.chunks()[0];
+    let meta = reader.chunks()[0].clone();
     drop(reader);
 
     let mut bytes = std::fs::read(&path).expect("read");

@@ -115,7 +115,7 @@ enum Ev {
 }
 
 /// The CAMPUS generator.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct CampusWorkload {
     /// The configuration used.
     pub config: CampusConfig,
@@ -165,6 +165,19 @@ impl CampusWorkload {
     /// Simulates one user's whole trace against a private filesystem
     /// replica. Deterministic given `(config, u)`.
     fn simulate_user(&self, u: usize) -> Vec<TraceRecord> {
+        let mut sim = self.user_sim(u);
+        let mut out = Vec::new();
+        sim.advance_until(u64::MAX, &mut out);
+        out
+    }
+
+    /// Builds user `u`'s resident simulation, positioned at time zero.
+    ///
+    /// [`CampusUserSim::advance_until`] then steps it forward in
+    /// arbitrary time slices; running a single slice to the configured
+    /// duration reproduces [`CampusWorkload::generate`]'s per-user
+    /// stream bit for bit.
+    pub fn user_sim(&self, u: usize) -> CampusUserSim {
         let cfg = &self.config;
         let mut rng = StdRng::seed_from_u64(user_seed(cfg.seed, u));
         let mut server = NfsServer::new(0x0a01_0002);
@@ -191,9 +204,9 @@ impl CampusWorkload {
             first_xid: user_first_xid(cfg.seed, u),
         };
         let useed = user_seed(cfg.seed, u);
-        let mut smtp = ClientMachine::new(client_cfg(0x0a01_0010, useed ^ 0x1));
-        let mut pop = ClientMachine::new(client_cfg(0x0a01_0011, useed ^ 0x2));
-        let mut login = ClientMachine::new(client_cfg(0x0a01_0012, useed ^ 0x3));
+        let smtp = ClientMachine::new(client_cfg(0x0a01_0010, useed ^ 0x1));
+        let pop = ClientMachine::new(client_cfg(0x0a01_0011, useed ^ 0x2));
+        let login = ClientMachine::new(client_cfg(0x0a01_0012, useed ^ 0x3));
 
         // Pre-populate the home directory server-side: this state
         // predates the trace, so no records are emitted for it.
@@ -223,7 +236,7 @@ impl CampusWorkload {
             .create(dir, ".cshrc", u as u32, 100, 0)
             .unwrap();
         server.fs_mut().write(cshrc, 0, 900, 0).unwrap();
-        let mut user = User {
+        let user = User {
             dir: FileHandle::from_u64(dir),
             inbox: FileHandle::from_u64(inbox),
             pinerc: FileHandle::from_u64(pinerc),
@@ -248,99 +261,16 @@ impl CampusWorkload {
             Ev::SessionStart,
         );
 
-        let mut out: Vec<TraceRecord> = Vec::new();
-        let drain = |m: &mut ClientMachine, out: &mut Vec<TraceRecord>| {
-            append_records(&m.take_events(), out);
-        };
-
-        while let Some((t, ev)) = q.pop() {
-            if t >= cfg.duration_micros {
-                break;
-            }
-            match ev {
-                Ev::Delivery => {
-                    // Thin to the diurnal rate.
-                    if flip(&mut rng, cfg.rate.at(t)) {
-                        self.deliver(&mut server, &mut smtp, &mut rng, &mut user, t);
-                        drain(&mut smtp, &mut out);
-                    }
-                    q.push(
-                        t + exp_gap(&mut rng, day / cfg.deliveries_per_user_day),
-                        Ev::Delivery,
-                    );
-                }
-                Ev::Poll => {
-                    if flip(&mut rng, cfg.rate.at(t)) {
-                        self.poll(&mut server, &mut pop, &mut rng, &mut user, t);
-                        drain(&mut pop, &mut out);
-                    }
-                    q.push(
-                        t + exp_gap(&mut rng, day / cfg.polls_per_user_day),
-                        Ev::Poll,
-                    );
-                }
-                Ev::SessionStart => {
-                    if !user.in_session && flip(&mut rng, cfg.rate.at(t)) {
-                        user.in_session = true;
-                        let end = t + (lognormal(&mut rng, 25.0, 0.5) * 60.0 * 1e6) as u64; // 15–60 min
-                        self.session_open(&mut server, &mut login, &mut rng, &mut user, t);
-                        drain(&mut login, &mut out);
-                        let rescan = t + 60_000_000 + exp_gap(&mut rng, 180.0 * 1e6);
-                        if rescan < end {
-                            q.push(rescan, Ev::SessionRescan { end });
-                        }
-                        q.push(end, Ev::SessionEnd);
-                        // Compose a message or two during the session.
-                        if flip(&mut rng, 0.5) {
-                            let name = format!("snd.{}", user.tmp_seq);
-                            user.tmp_seq += 1;
-                            let at = t + exp_gap(&mut rng, 300.0 * 1e6).min(end - t);
-                            q.push(at, Ev::ComposerRemove { name });
-                        }
-                    }
-                    q.push(
-                        t + exp_gap(&mut rng, day / cfg.sessions_per_user_day),
-                        Ev::SessionStart,
-                    );
-                }
-                Ev::SessionRescan { end } => {
-                    self.scan_inbox(&mut server, &mut login, &mut user, t);
-                    // Reading messages updates their status flags.
-                    if flip(&mut rng, 0.4) {
-                        self.update_flags(
-                            &mut server,
-                            &mut login,
-                            &mut rng,
-                            &mut user,
-                            t + 500_000,
-                        );
-                    }
-                    drain(&mut login, &mut out);
-                    let next = t + 60_000_000 + exp_gap(&mut rng, 180.0 * 1e6);
-                    if next < end {
-                        q.push(next, Ev::SessionRescan { end });
-                    }
-                }
-                Ev::SessionEnd => {
-                    self.session_close(&mut server, &mut login, &mut rng, &mut user, t);
-                    user.in_session = false;
-                    drain(&mut login, &mut out);
-                }
-                Ev::ComposerRemove { name } => {
-                    // Create, fill, and shortly afterwards remove a
-                    // composer temporary (98% under 8 KB, §6.3).
-                    let (fh, t1) = login.create(&mut server, t, &user.dir, &name);
-                    if let Some(fh) = fh {
-                        let sz = (lognormal(&mut rng, 2_500.0, 0.8) as u64).clamp(200, 39_000);
-                        let t2 = login.write(&mut server, t1, &fh, 0, sz);
-                        let hold = pick(&mut rng, 2_000_000, 50_000_000);
-                        login.remove(&mut server, t2 + hold, &user.dir, &name);
-                    }
-                    drain(&mut login, &mut out);
-                }
-            }
+        CampusUserSim {
+            wl: self.clone(),
+            server,
+            smtp,
+            pop,
+            login,
+            rng,
+            user,
+            q,
         }
-        out
     }
 
     /// SMTP delivery: lock, append, unlock.
@@ -579,6 +509,165 @@ impl CampusWorkload {
             };
             if keep < cur || !user.hoarder {
                 self.rewrite_inbox(server, login, rng, user, t + 200_000, keep.max(10_000));
+            }
+        }
+    }
+}
+
+/// One user's resident CAMPUS simulation, steppable in bounded time
+/// slices.
+///
+/// Holds everything [`CampusWorkload::generate`] used to keep on the
+/// stack for the whole run — the filesystem replica, the three
+/// infrastructure client machines, the RNG, and the event queue — so a
+/// caller can advance the simulation slice by slice and stream records
+/// out as simulated time passes instead of materializing the user's
+/// whole stream. Driving a single slice to the end produces exactly the
+/// batch per-user stream, and slicing never changes a single bit of it:
+/// the event pop order, RNG draw order, and client cache state are all
+/// functions of the event sequence alone.
+#[derive(Debug)]
+pub struct CampusUserSim {
+    wl: CampusWorkload,
+    server: NfsServer,
+    smtp: ClientMachine,
+    pop: ClientMachine,
+    login: ClientMachine,
+    rng: StdRng,
+    user: User,
+    q: EventQueue<Ev>,
+}
+
+impl CampusUserSim {
+    /// Runs every pending event strictly before `end_micros` (capped at
+    /// the configured duration), appending the records they emit to
+    /// `out` in emission order.
+    ///
+    /// An event at time `t` only ever emits records stamped `>= t`, so
+    /// after this returns every *future* record of this user carries a
+    /// timestamp `>= end_micros` — the watermark the sliced driver uses
+    /// to know which records are final.
+    pub fn advance_until(&mut self, end_micros: u64, out: &mut Vec<TraceRecord>) {
+        let end = end_micros.min(self.wl.config.duration_micros);
+        let day = nfstrace_core::time::DAY as f64;
+        let drain = |m: &mut ClientMachine, out: &mut Vec<TraceRecord>| {
+            append_records(&m.take_events(), out);
+        };
+        while self.q.next_time().is_some_and(|t| t < end) {
+            let (t, ev) = self.q.pop().expect("peeked a pending event");
+            let cfg = &self.wl.config;
+            match ev {
+                Ev::Delivery => {
+                    // Thin to the diurnal rate.
+                    if flip(&mut self.rng, cfg.rate.at(t)) {
+                        self.wl.deliver(
+                            &mut self.server,
+                            &mut self.smtp,
+                            &mut self.rng,
+                            &mut self.user,
+                            t,
+                        );
+                        drain(&mut self.smtp, out);
+                    }
+                    let cfg = &self.wl.config;
+                    self.q.push(
+                        t + exp_gap(&mut self.rng, day / cfg.deliveries_per_user_day),
+                        Ev::Delivery,
+                    );
+                }
+                Ev::Poll => {
+                    if flip(&mut self.rng, cfg.rate.at(t)) {
+                        self.wl.poll(
+                            &mut self.server,
+                            &mut self.pop,
+                            &mut self.rng,
+                            &mut self.user,
+                            t,
+                        );
+                        drain(&mut self.pop, out);
+                    }
+                    let cfg = &self.wl.config;
+                    self.q.push(
+                        t + exp_gap(&mut self.rng, day / cfg.polls_per_user_day),
+                        Ev::Poll,
+                    );
+                }
+                Ev::SessionStart => {
+                    if !self.user.in_session && flip(&mut self.rng, cfg.rate.at(t)) {
+                        self.user.in_session = true;
+                        let end = t + (lognormal(&mut self.rng, 25.0, 0.5) * 60.0 * 1e6) as u64; // 15–60 min
+                        self.wl.session_open(
+                            &mut self.server,
+                            &mut self.login,
+                            &mut self.rng,
+                            &mut self.user,
+                            t,
+                        );
+                        drain(&mut self.login, out);
+                        let rescan = t + 60_000_000 + exp_gap(&mut self.rng, 180.0 * 1e6);
+                        if rescan < end {
+                            self.q.push(rescan, Ev::SessionRescan { end });
+                        }
+                        self.q.push(end, Ev::SessionEnd);
+                        // Compose a message or two during the session.
+                        if flip(&mut self.rng, 0.5) {
+                            let name = format!("snd.{}", self.user.tmp_seq);
+                            self.user.tmp_seq += 1;
+                            let at = t + exp_gap(&mut self.rng, 300.0 * 1e6).min(end - t);
+                            self.q.push(at, Ev::ComposerRemove { name });
+                        }
+                    }
+                    let cfg = &self.wl.config;
+                    self.q.push(
+                        t + exp_gap(&mut self.rng, day / cfg.sessions_per_user_day),
+                        Ev::SessionStart,
+                    );
+                }
+                Ev::SessionRescan { end } => {
+                    self.wl
+                        .scan_inbox(&mut self.server, &mut self.login, &mut self.user, t);
+                    // Reading messages updates their status flags.
+                    if flip(&mut self.rng, 0.4) {
+                        self.wl.update_flags(
+                            &mut self.server,
+                            &mut self.login,
+                            &mut self.rng,
+                            &mut self.user,
+                            t + 500_000,
+                        );
+                    }
+                    drain(&mut self.login, out);
+                    let next = t + 60_000_000 + exp_gap(&mut self.rng, 180.0 * 1e6);
+                    if next < end {
+                        self.q.push(next, Ev::SessionRescan { end });
+                    }
+                }
+                Ev::SessionEnd => {
+                    self.wl.session_close(
+                        &mut self.server,
+                        &mut self.login,
+                        &mut self.rng,
+                        &mut self.user,
+                        t,
+                    );
+                    self.user.in_session = false;
+                    drain(&mut self.login, out);
+                }
+                Ev::ComposerRemove { name } => {
+                    // Create, fill, and shortly afterwards remove a
+                    // composer temporary (98% under 8 KB, §6.3).
+                    let (fh, t1) = self
+                        .login
+                        .create(&mut self.server, t, &self.user.dir, &name);
+                    if let Some(fh) = fh {
+                        let sz = (lognormal(&mut self.rng, 2_500.0, 0.8) as u64).clamp(200, 39_000);
+                        let t2 = self.login.write(&mut self.server, t1, &fh, 0, sz);
+                        let hold = pick(&mut self.rng, 2_000_000, 50_000_000);
+                        self.login
+                            .remove(&mut self.server, t2 + hold, &self.user.dir, &name);
+                    }
+                    drain(&mut self.login, out);
+                }
             }
         }
     }

@@ -58,6 +58,17 @@ impl<E> EventQueue<E> {
         self.heap.pop().map(|Reverse((t, _, EventSlot(e)))| (t, e))
     }
 
+    /// The earliest pending event's time, without popping it.
+    ///
+    /// Time-sliced simulation stops a slice *before* popping the first
+    /// out-of-slice event: popping and re-pushing would assign the
+    /// event a fresh insertion sequence number and so could reorder it
+    /// against same-time events, breaking bit-identity with an unsliced
+    /// run.
+    pub fn next_time(&self) -> Option<u64> {
+        self.heap.peek().map(|Reverse((t, _, _))| *t)
+    }
+
     /// Whether the queue is empty.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
@@ -222,6 +233,18 @@ mod tests {
         assert_eq!(q.len(), 1);
         q.pop();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn next_time_peeks_without_disturbing_tie_order() {
+        let mut q = EventQueue::new();
+        q.push(10, "a1");
+        q.push(10, "a2");
+        assert_eq!(q.next_time(), Some(10));
+        assert_eq!(q.pop(), Some((10, "a1")));
+        assert_eq!(q.next_time(), Some(10));
+        assert_eq!(q.pop(), Some((10, "a2")));
+        assert_eq!(q.next_time(), None);
     }
 
     #[test]

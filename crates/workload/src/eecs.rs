@@ -151,10 +151,23 @@ struct Refresh {
 pub const SHARED_INODE_BASE: u64 = 1 << 32;
 
 /// The EECS generator.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct EecsWorkload {
     /// The configuration used.
     pub config: EecsConfig,
+}
+
+/// The cross-user state shared by every EECS user simulation: the
+/// shared dataset sizes and the precomputed nightly refresh schedule,
+/// both derived from the base seed before any shard starts.
+///
+/// Build it once with [`EecsWorkload::sim_seed`] and hand it to every
+/// [`EecsWorkload::user_sim`] call, exactly as the batch generator
+/// does internally.
+#[derive(Debug, Clone)]
+pub struct EecsSimSeed {
+    shared_sizes: std::sync::Arc<Vec<u32>>,
+    schedule: std::sync::Arc<Vec<Refresh>>,
 }
 
 impl EecsWorkload {
@@ -192,19 +205,28 @@ impl EecsWorkload {
         threads: usize,
         sink: &mut S,
     ) -> Result<(), S::Err> {
+        let seed = self.sim_seed();
+        let per_user = nfstrace_core::parallel::run_sharded(self.config.users, threads, |u| {
+            self.simulate_user(u, &seed)
+        });
+        merge_user_records_into(per_user, sink)
+    }
+
+    /// Precomputes the cross-user state every shard needs. Everything
+    /// here is derived from the base seed before the shards start:
+    /// shared dataset sizes and the nightly refresh schedule are
+    /// identical in every replica.
+    pub fn sim_seed(&self) -> EecsSimSeed {
         let cfg = &self.config;
-        // Everything cross-user is derived from the base seed before the
-        // shards start: shared dataset sizes and the nightly refresh
-        // schedule are identical in every replica.
         let mut srng = StdRng::seed_from_u64(cfg.seed ^ 0x5AED_CAFE);
         let shared_sizes: Vec<u32> = (0..cfg.shared_files.max(1))
             .map(|_| (lognormal(&mut srng, 250_000.0, 0.8) as u32).clamp(40_000, 1_000_000))
             .collect();
         let schedule = self.refresh_schedule(&mut srng, shared_sizes.len());
-        let per_user = nfstrace_core::parallel::run_sharded(cfg.users, threads, |u| {
-            self.simulate_user(u, &shared_sizes, &schedule)
-        });
-        merge_user_records_into(per_user, sink)
+        EecsSimSeed {
+            shared_sizes: std::sync::Arc::new(shared_sizes),
+            schedule: std::sync::Arc::new(schedule),
+        }
     }
 
     /// Precomputes the nightly shared-dataset refreshes. Rate matches
@@ -232,12 +254,20 @@ impl EecsWorkload {
 
     /// Simulates one workstation's whole trace against a private
     /// filesystem replica. Deterministic given `(config, u)`.
-    fn simulate_user(
-        &self,
-        u: usize,
-        shared_sizes: &[u32],
-        schedule: &[Refresh],
-    ) -> Vec<TraceRecord> {
+    fn simulate_user(&self, u: usize, seed: &EecsSimSeed) -> Vec<TraceRecord> {
+        let mut sim = self.user_sim(u, seed);
+        let mut out = Vec::new();
+        sim.advance_until(u64::MAX, &mut out);
+        out
+    }
+
+    /// Builds workstation `u`'s resident simulation, positioned at time
+    /// zero. Same contract as [`crate::CampusWorkload::user_sim`]:
+    /// advancing it under any slicing reproduces the batch per-user
+    /// stream bit for bit.
+    pub fn user_sim(&self, u: usize, seed: &EecsSimSeed) -> EecsUserSim {
+        let shared_sizes: &[u32] = &seed.shared_sizes;
+        let schedule: &[Refresh] = &seed.schedule;
         let cfg = &self.config;
         let mut rng = StdRng::seed_from_u64(user_seed(cfg.seed, u));
         let mut server = NfsServer::new(0x0a02_0002);
@@ -362,7 +392,7 @@ impl EecsWorkload {
                 cron_seq: 0,
             }
         };
-        let mut w = station;
+        let w = station;
 
         let day = nfstrace_core::time::DAY as f64;
         let mut q: EventQueue<Ev> = EventQueue::new();
@@ -388,90 +418,14 @@ impl EecsWorkload {
             );
         }
 
-        let mut out: Vec<TraceRecord> = Vec::new();
-        while let Some((t, ev)) = q.pop() {
-            if t >= cfg.duration_micros {
-                break;
-            }
-            match ev {
-                Ev::Tick => {
-                    if flip(&mut rng, cfg.rate.at(t)) {
-                        Self::desktop_tick(&mut server, &mut w, &mut rng, t);
-                        append_records(&w.machine.take_events(), &mut out);
-                    }
-                    q.push(
-                        t + exp_gap(&mut rng, day / cfg.ticks_per_user_day),
-                        Ev::Tick,
-                    );
-                }
-                Ev::Build => {
-                    if flip(&mut rng, cfg.rate.at(t)) {
-                        Self::build(&mut server, &mut w, &mut rng, t);
-                        append_records(&w.machine.take_events(), &mut out);
-                    }
-                    q.push(
-                        t + exp_gap(&mut rng, day / cfg.builds_per_user_day),
-                        Ev::Build,
-                    );
-                }
-                Ev::Browse => {
-                    if flip(&mut rng, cfg.rate.at(t)) {
-                        Self::browse(&mut server, &mut w, &mut rng, t);
-                        append_records(&w.machine.take_events(), &mut out);
-                    }
-                    q.push(
-                        t + exp_gap(&mut rng, day / cfg.browse_per_user_day),
-                        Ev::Browse,
-                    );
-                }
-                Ev::Save => {
-                    if flip(&mut rng, cfg.rate.at(t)) {
-                        Self::editor_save(&mut server, &mut w, &mut rng, t);
-                        append_records(&w.machine.take_events(), &mut out);
-                    }
-                    q.push(
-                        t + exp_gap(&mut rng, day / cfg.saves_per_user_day),
-                        Ev::Save,
-                    );
-                }
-                Ev::Cron => {
-                    Self::cron_job(&mut server, &mut w, &mut rng, t);
-                    append_records(&w.machine.take_events(), &mut out);
-                    q.push(self.next_cron(&mut rng, t), Ev::Cron);
-                }
-                Ev::SharedRead => {
-                    if flip(&mut rng, cfg.rate.at(t)) {
-                        let fh =
-                            w.shared[pick(&mut rng, 0, w.shared.len() as u64) as usize].clone();
-                        w.machine.read_file(&mut server, t, &fh);
-                        append_records(&w.machine.take_events(), &mut out);
-                    }
-                    q.push(
-                        t + exp_gap(&mut rng, day / cfg.shared_reads_per_user_day),
-                        Ev::SharedRead,
-                    );
-                }
-                Ev::Refresh { dataset, owned } => {
-                    let fh = w.shared[dataset].clone();
-                    let size = u64::from(shared_sizes[dataset]);
-                    if owned {
-                        // This workstation runs the job: truncate and
-                        // rewrite through the client, emitting records.
-                        let t2 = w.machine.truncate(&mut server, t, &fh, 0);
-                        w.machine.write(&mut server, t2, &fh, 0, size);
-                        append_records(&w.machine.take_events(), &mut out);
-                    } else {
-                        // Someone else's job: replay it silently so this
-                        // replica's dataset mtime (and thus this client's
-                        // cache staleness) matches the merged reality.
-                        let id = fh.as_u64().unwrap_or(0);
-                        let _ = server.fs_mut().set_size(id, 0, t);
-                        let _ = server.fs_mut().write(id, 0, size as u32, t);
-                    }
-                }
-            }
+        EecsUserSim {
+            wl: self.clone(),
+            shared_sizes: std::sync::Arc::clone(&seed.shared_sizes),
+            server,
+            w,
+            rng,
+            q,
         }
-        out
     }
 
     /// Next cron firing: clustered in the small hours of the night.
@@ -744,6 +698,118 @@ impl EecsWorkload {
         // department schedule (see `refresh_schedule`), not by this
         // per-user job: that keeps sharded generation deterministic.
         let _ = now;
+    }
+}
+
+/// One workstation's resident EECS simulation, steppable in bounded
+/// time slices (the EECS twin of
+/// [`crate::campus::CampusUserSim`]).
+#[derive(Debug)]
+pub struct EecsUserSim {
+    wl: EecsWorkload,
+    shared_sizes: std::sync::Arc<Vec<u32>>,
+    server: NfsServer,
+    w: Workstation,
+    rng: StdRng,
+    q: EventQueue<Ev>,
+}
+
+impl EecsUserSim {
+    /// Runs every pending event strictly before `end_micros` (capped at
+    /// the configured duration), appending the records they emit to
+    /// `out` in emission order. Future records are stamped
+    /// `>= end_micros` once this returns.
+    pub fn advance_until(&mut self, end_micros: u64, out: &mut Vec<TraceRecord>) {
+        let end = end_micros.min(self.wl.config.duration_micros);
+        let day = nfstrace_core::time::DAY as f64;
+        while self.q.next_time().is_some_and(|t| t < end) {
+            let (t, ev) = self.q.pop().expect("peeked a pending event");
+            let cfg = &self.wl.config;
+            match ev {
+                Ev::Tick => {
+                    if flip(&mut self.rng, cfg.rate.at(t)) {
+                        EecsWorkload::desktop_tick(&mut self.server, &mut self.w, &mut self.rng, t);
+                        append_records(&self.w.machine.take_events(), out);
+                    }
+                    let cfg = &self.wl.config;
+                    self.q.push(
+                        t + exp_gap(&mut self.rng, day / cfg.ticks_per_user_day),
+                        Ev::Tick,
+                    );
+                }
+                Ev::Build => {
+                    if flip(&mut self.rng, cfg.rate.at(t)) {
+                        EecsWorkload::build(&mut self.server, &mut self.w, &mut self.rng, t);
+                        append_records(&self.w.machine.take_events(), out);
+                    }
+                    let cfg = &self.wl.config;
+                    self.q.push(
+                        t + exp_gap(&mut self.rng, day / cfg.builds_per_user_day),
+                        Ev::Build,
+                    );
+                }
+                Ev::Browse => {
+                    if flip(&mut self.rng, cfg.rate.at(t)) {
+                        EecsWorkload::browse(&mut self.server, &mut self.w, &mut self.rng, t);
+                        append_records(&self.w.machine.take_events(), out);
+                    }
+                    let cfg = &self.wl.config;
+                    self.q.push(
+                        t + exp_gap(&mut self.rng, day / cfg.browse_per_user_day),
+                        Ev::Browse,
+                    );
+                }
+                Ev::Save => {
+                    if flip(&mut self.rng, cfg.rate.at(t)) {
+                        EecsWorkload::editor_save(&mut self.server, &mut self.w, &mut self.rng, t);
+                        append_records(&self.w.machine.take_events(), out);
+                    }
+                    let cfg = &self.wl.config;
+                    self.q.push(
+                        t + exp_gap(&mut self.rng, day / cfg.saves_per_user_day),
+                        Ev::Save,
+                    );
+                }
+                Ev::Cron => {
+                    EecsWorkload::cron_job(&mut self.server, &mut self.w, &mut self.rng, t);
+                    append_records(&self.w.machine.take_events(), out);
+                    let next = self.wl.next_cron(&mut self.rng, t);
+                    self.q.push(next, Ev::Cron);
+                }
+                Ev::SharedRead => {
+                    if flip(&mut self.rng, cfg.rate.at(t)) {
+                        let fh = self.w.shared
+                            [pick(&mut self.rng, 0, self.w.shared.len() as u64) as usize]
+                            .clone();
+                        self.w.machine.read_file(&mut self.server, t, &fh);
+                        append_records(&self.w.machine.take_events(), out);
+                    }
+                    let cfg = &self.wl.config;
+                    self.q.push(
+                        t + exp_gap(&mut self.rng, day / cfg.shared_reads_per_user_day),
+                        Ev::SharedRead,
+                    );
+                }
+                Ev::Refresh { dataset, owned } => {
+                    let fh = self.w.shared[dataset].clone();
+                    let size = u64::from(self.shared_sizes[dataset]);
+                    if owned {
+                        // This workstation runs the job: truncate and
+                        // rewrite through the client, emitting records.
+                        let t2 = self.w.machine.truncate(&mut self.server, t, &fh, 0);
+                        self.w.machine.write(&mut self.server, t2, &fh, 0, size);
+                        append_records(&self.w.machine.take_events(), out);
+                    } else {
+                        // Someone else's job: replay it silently so this
+                        // replica's dataset mtime (and thus this client's
+                        // cache staleness) matches the merged reality.
+                        let id = fh.as_u64().unwrap_or(0);
+                        let _ = self.server.fs_mut().set_size(id, 0, t);
+                        let _ = self.server.fs_mut().write(id, 0, size as u32, t);
+                    }
+                }
+            }
+        }
     }
 }
 

@@ -39,20 +39,29 @@
 //! `nfstrace_store::StoreWriter`, a
 //! [`nfstrace_core::index::PartialIndex`], or a plain `Vec` — without
 //! ever materializing the **merged** trace, in the exact record order
-//! `generate` returns. The per-user simulation outputs still coexist
-//! until the merge drains them (simulation is a full-trace pass per
-//! user today), so generation itself peaks at O(sum of per-user
-//! streams); what the sink path removes is the merged copy and, for
-//! on-disk sinks, the need to ever index from a full in-memory vector.
-//! Time-windowed simulation that bounds the per-user streams too is an
-//! open ROADMAP item.
+//! `generate` returns. With `generate_into` the per-user simulation
+//! outputs still coexist until the merge drains them, so that path
+//! peaks at O(sum of per-user streams).
+//!
+//! # Time-sliced generation
+//!
+//! [`sliced::SlicedWorkload`] bounds the write path completely: every
+//! user's simulation stays resident and is advanced one bounded time
+//! slice at a time, with each slice's records k-way merged into the
+//! sink and dropped before the next slice runs. Peak resident record
+//! memory is O(records per slice) regardless of trace length, and the
+//! record stream is bit-identical to `generate()` for any slice length
+//! and worker count — this is what feeds the `nfstrace_live` ingest
+//! daemon.
 
 pub mod campus;
 pub mod convert;
 pub mod driver;
 pub mod eecs;
 pub mod rate;
+pub mod sliced;
 
-pub use campus::{CampusConfig, CampusWorkload};
+pub use campus::{CampusConfig, CampusUserSim, CampusWorkload};
 pub use convert::emitted_to_record;
-pub use eecs::{EecsConfig, EecsWorkload};
+pub use eecs::{EecsConfig, EecsUserSim, EecsWorkload};
+pub use sliced::SlicedWorkload;

@@ -1,0 +1,346 @@
+//! Time-sliced generation: bounded-memory streaming of the simulated
+//! workloads.
+//!
+//! The batch generators (`generate` / `generate_into`) simulate every
+//! user's **whole** trace before the k-way merge drains it, so the
+//! write path peaks at O(sum of per-user streams) even when the sink
+//! streams to disk. [`SlicedWorkload`] removes that peak: every user's
+//! simulation stays resident ([`crate::campus::CampusUserSim`],
+//! [`crate::eecs::EecsUserSim`]) and is advanced one bounded time slice
+//! at a time; after each slice the users' fresh records are k-way
+//! merged — by `(timestamp, user index)`, exactly like the batch merge
+//! — into the sink and dropped. Peak resident record memory is
+//! O(records per slice), not O(trace length).
+//!
+//! # Bit-identity
+//!
+//! The record sequence reaching the sink is **bit-identical** to
+//! `generate()` for any slice length and any worker count. Two facts
+//! make that hold:
+//!
+//! 1. Slicing never perturbs a simulation. The event queue is peeked,
+//!    not popped, at a slice boundary, so event order, RNG draw order,
+//!    and client cache state are exactly those of an unsliced run.
+//! 2. An event at time `t` only emits records stamped `>= t`, so once
+//!    every user has advanced past a boundary `B`, records stamped
+//!    `< B` are *final* — no future event can emit among them. Each
+//!    slice emits exactly the final records, carrying the rest (an
+//!    event near a boundary can emit a few records beyond it) into the
+//!    next slice.
+//!
+//! # Examples
+//!
+//! ```
+//! use nfstrace_core::time::HOUR;
+//! use nfstrace_workload::{CampusConfig, CampusWorkload, SlicedWorkload};
+//!
+//! let config = CampusConfig {
+//!     users: 2,
+//!     duration_micros: 6 * HOUR,
+//!     ..CampusConfig::default()
+//! };
+//! let batch = CampusWorkload::new(config.clone()).generate_with_threads(1);
+//!
+//! let mut sliced = SlicedWorkload::campus(config, HOUR, 1);
+//! let mut streamed = Vec::new();
+//! nfstrace_core::sink::into_ok(sliced.run_into(&mut streamed));
+//! assert_eq!(streamed, batch);
+//! assert!(sliced.peak_resident_records() <= batch.len());
+//! ```
+
+use crate::campus::{CampusConfig, CampusUserSim, CampusWorkload};
+use crate::driver::merge_user_records_into;
+use crate::eecs::{EecsConfig, EecsUserSim, EecsWorkload};
+use nfstrace_core::parallel;
+use nfstrace_core::record::TraceRecord;
+use nfstrace_core::sink::RecordSink;
+
+/// A resident, sliceable user simulation. Implemented by both
+/// workloads' per-user simulators so [`SlicedWorkload`] can drive a
+/// mixed population behind one interface.
+pub trait UserSim: Send {
+    /// Runs every pending event strictly before `end_micros`, appending
+    /// emitted records (stamped `>=` the event time) to `out` in
+    /// emission order.
+    fn advance_until(&mut self, end_micros: u64, out: &mut Vec<TraceRecord>);
+}
+
+impl UserSim for CampusUserSim {
+    fn advance_until(&mut self, end_micros: u64, out: &mut Vec<TraceRecord>) {
+        CampusUserSim::advance_until(self, end_micros, out)
+    }
+}
+
+impl UserSim for EecsUserSim {
+    fn advance_until(&mut self, end_micros: u64, out: &mut Vec<TraceRecord>) {
+        EecsUserSim::advance_until(self, end_micros, out)
+    }
+}
+
+/// One user's resident simulation plus the records it emitted that are
+/// not yet final (stamped at or beyond the last slice boundary).
+struct UserSlot {
+    sim: Box<dyn UserSim>,
+    carry: Vec<TraceRecord>,
+}
+
+/// A workload generator that produces the merged trace slice by slice.
+///
+/// See the [module docs](self) for the memory bound and the
+/// bit-identity argument. Construct with [`SlicedWorkload::campus`] or
+/// [`SlicedWorkload::eecs`], then either pump slices yourself with
+/// [`SlicedWorkload::next_slice_into`] (checking progress between
+/// slices — this is what a live ingest does) or drain everything with
+/// [`SlicedWorkload::run_into`].
+pub struct SlicedWorkload {
+    slots: Vec<UserSlot>,
+    duration_micros: u64,
+    slice_micros: u64,
+    /// Records stamped before this boundary have been emitted.
+    emitted_to: u64,
+    threads: usize,
+    finished: bool,
+    peak_resident_records: usize,
+}
+
+impl std::fmt::Debug for SlicedWorkload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SlicedWorkload")
+            .field("users", &self.slots.len())
+            .field("duration_micros", &self.duration_micros)
+            .field("slice_micros", &self.slice_micros)
+            .field("emitted_to", &self.emitted_to)
+            .field("finished", &self.finished)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SlicedWorkload {
+    /// A sliced CAMPUS generator: same record stream as
+    /// [`CampusWorkload::generate`] over `config`, produced
+    /// `slice_micros` of simulated time at a time across `threads`
+    /// workers.
+    pub fn campus(config: CampusConfig, slice_micros: u64, threads: usize) -> Self {
+        let wl = CampusWorkload::new(config);
+        let duration = wl.config.duration_micros;
+        let sims = parallel::run_sharded(wl.config.users, threads, |u| {
+            Box::new(wl.user_sim(u)) as Box<dyn UserSim>
+        });
+        Self::new(sims, duration, slice_micros, threads)
+    }
+
+    /// A sliced EECS generator: same record stream as
+    /// [`EecsWorkload::generate`] over `config`.
+    pub fn eecs(config: EecsConfig, slice_micros: u64, threads: usize) -> Self {
+        let wl = EecsWorkload::new(config);
+        let duration = wl.config.duration_micros;
+        let seed = wl.sim_seed();
+        let sims = parallel::run_sharded(wl.config.users, threads, |u| {
+            Box::new(wl.user_sim(u, &seed)) as Box<dyn UserSim>
+        });
+        Self::new(sims, duration, slice_micros, threads)
+    }
+
+    fn new(
+        sims: Vec<Box<dyn UserSim>>,
+        duration_micros: u64,
+        slice_micros: u64,
+        threads: usize,
+    ) -> Self {
+        SlicedWorkload {
+            slots: sims
+                .into_iter()
+                .map(|sim| UserSlot {
+                    sim,
+                    carry: Vec::new(),
+                })
+                .collect(),
+            duration_micros,
+            slice_micros: slice_micros.max(1),
+            emitted_to: 0,
+            threads,
+            finished: duration_micros == 0,
+            peak_resident_records: 0,
+        }
+    }
+
+    /// Advances every user one slice and streams the slice's final
+    /// records — k-way merged across users, bit-identical to the
+    /// corresponding span of the batch trace — into `sink`. Returns
+    /// `false` once the stream is exhausted (nothing was pushed).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sink's error (infallible for `Vec<TraceRecord>`).
+    pub fn next_slice_into<S: RecordSink>(&mut self, sink: &mut S) -> Result<bool, S::Err> {
+        if self.finished {
+            return Ok(false);
+        }
+        let boundary = self.emitted_to.saturating_add(self.slice_micros);
+        let last = boundary >= self.duration_micros;
+        // Advance every user to the boundary; each appends its fresh
+        // records (in emission order) to its own carry buffer.
+        parallel::run_sharded_mut(&mut self.slots, self.threads, |_, slot| {
+            slot.sim.advance_until(boundary, &mut slot.carry);
+        });
+        // Split out the final records: everything stamped before the
+        // boundary (on the last slice: everything — events before the
+        // duration cap can legally emit a short tail beyond it, and the
+        // batch trace keeps that tail too). Sorting each user's batch is
+        // stable, so equal timestamps keep their emission order exactly
+        // as the batch path's whole-stream stable sort would.
+        let mut ready: Vec<Vec<TraceRecord>> = Vec::with_capacity(self.slots.len());
+        for slot in &mut self.slots {
+            let mut batch = if last {
+                std::mem::take(&mut slot.carry)
+            } else {
+                let mut batch = Vec::new();
+                let mut rest = Vec::new();
+                for r in slot.carry.drain(..) {
+                    debug_assert!(r.micros >= self.emitted_to, "record before the watermark");
+                    if r.micros < boundary {
+                        batch.push(r);
+                    } else {
+                        rest.push(r);
+                    }
+                }
+                slot.carry = rest;
+                batch
+            };
+            batch.sort_by_key(|r| r.micros);
+            ready.push(batch);
+        }
+        let resident: usize = ready.iter().map(Vec::len).sum::<usize>()
+            + self.slots.iter().map(|s| s.carry.len()).sum::<usize>();
+        self.peak_resident_records = self.peak_resident_records.max(resident);
+        merge_user_records_into(ready, sink)?;
+        self.emitted_to = boundary;
+        self.finished = last;
+        Ok(true)
+    }
+
+    /// Pumps [`SlicedWorkload::next_slice_into`] until exhaustion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sink's error.
+    pub fn run_into<S: RecordSink>(&mut self, sink: &mut S) -> Result<(), S::Err> {
+        while self.next_slice_into(sink)? {}
+        Ok(())
+    }
+
+    /// The boundary below which every record has been emitted.
+    pub fn emitted_to(&self) -> u64 {
+        self.emitted_to
+    }
+
+    /// Whether the stream is exhausted.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// The largest number of generated-but-unsunk records ever resident
+    /// at once — the write path's memory observable. Bounded by the
+    /// records one slice produces (plus each user's short carry tail),
+    /// independent of the trace length.
+    pub fn peak_resident_records(&self) -> usize {
+        self.peak_resident_records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfstrace_core::sink::into_ok;
+    use nfstrace_core::time::{DAY, HOUR};
+
+    fn campus_cfg() -> CampusConfig {
+        CampusConfig {
+            users: 4,
+            duration_micros: DAY,
+            seed: 9,
+            ..CampusConfig::default()
+        }
+    }
+
+    fn eecs_cfg() -> EecsConfig {
+        EecsConfig {
+            users: 3,
+            duration_micros: DAY,
+            seed: 17,
+            ..EecsConfig::default()
+        }
+    }
+
+    #[test]
+    fn campus_sliced_equals_batch_for_any_slice_and_threads() {
+        let batch = CampusWorkload::new(campus_cfg()).generate_with_threads(1);
+        for (slice, threads) in [(HOUR, 1), (3 * HOUR, 2), (7 * HOUR + 1234, 3), (2 * DAY, 1)] {
+            let mut sliced = SlicedWorkload::campus(campus_cfg(), slice, threads);
+            let mut out: Vec<TraceRecord> = Vec::new();
+            into_ok(sliced.run_into(&mut out));
+            assert_eq!(out, batch, "slice={slice} threads={threads}");
+            assert!(sliced.is_finished());
+        }
+    }
+
+    #[test]
+    fn eecs_sliced_equals_batch_for_any_slice_and_threads() {
+        let batch = EecsWorkload::new(eecs_cfg()).generate_with_threads(1);
+        for (slice, threads) in [(2 * HOUR, 1), (5 * HOUR, 2)] {
+            let mut sliced = SlicedWorkload::eecs(eecs_cfg(), slice, threads);
+            let mut out: Vec<TraceRecord> = Vec::new();
+            into_ok(sliced.run_into(&mut out));
+            assert_eq!(out, batch, "slice={slice} threads={threads}");
+        }
+    }
+
+    #[test]
+    fn small_slices_bound_resident_records() {
+        let batch = CampusWorkload::new(campus_cfg()).generate_with_threads(1);
+        let mut sliced = SlicedWorkload::campus(campus_cfg(), HOUR, 1);
+        let mut out: Vec<TraceRecord> = Vec::new();
+        into_ok(sliced.run_into(&mut out));
+        assert_eq!(out.len(), batch.len());
+        assert!(
+            sliced.peak_resident_records() < batch.len() / 2,
+            "peak {} of {} total records — slicing should bound the write path",
+            sliced.peak_resident_records(),
+            batch.len()
+        );
+    }
+
+    #[test]
+    fn slice_stream_is_monotone_and_stops() {
+        let mut sliced = SlicedWorkload::campus(campus_cfg(), 6 * HOUR, 2);
+        let mut all: Vec<TraceRecord> = Vec::new();
+        let mut boundaries = Vec::new();
+        while {
+            let more = into_ok(sliced.next_slice_into(&mut all));
+            boundaries.push(sliced.emitted_to());
+            more
+        } {}
+        assert!(all.windows(2).all(|w| w[0].micros <= w[1].micros));
+        assert!(boundaries.windows(2).all(|w| w[0] <= w[1]));
+        // Exhausted: further pumping is a no-op.
+        let before = all.len();
+        assert!(!into_ok(sliced.next_slice_into(&mut all)));
+        assert_eq!(all.len(), before);
+    }
+
+    #[test]
+    fn zero_duration_is_empty() {
+        let mut sliced = SlicedWorkload::campus(
+            CampusConfig {
+                users: 2,
+                duration_micros: 0,
+                ..CampusConfig::default()
+            },
+            HOUR,
+            1,
+        );
+        let mut out: Vec<TraceRecord> = Vec::new();
+        into_ok(sliced.run_into(&mut out));
+        assert!(out.is_empty());
+    }
+}

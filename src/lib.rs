@@ -21,7 +21,8 @@
 //! | [`sniffer`] | `nfstrace-sniffer` | the passive tracer |
 //! | [`anonymize`] | `nfstrace-anonymize` | consistent, non-deterministic anonymization |
 //! | [`core`] | `nfstrace-core` | trace records and the FAST 2003 analyses |
-//! | [`store`] | `nfstrace-store` | chunked on-disk trace store, out-of-core indexing |
+//! | [`store`] | `nfstrace-store` | chunked on-disk trace store, segments, out-of-core indexing |
+//! | [`live`] | `nfstrace-live` | bounded-memory live ingest, segment rotation, hot+sealed views |
 //!
 //! # Quickstart
 //!
@@ -46,6 +47,7 @@ pub use nfstrace_anonymize as anonymize;
 pub use nfstrace_client as client;
 pub use nfstrace_core as core;
 pub use nfstrace_fssim as fssim;
+pub use nfstrace_live as live;
 pub use nfstrace_net as net;
 pub use nfstrace_nfs as nfs;
 pub use nfstrace_rpc as rpc;
