@@ -31,6 +31,7 @@ fn bench_analyses(c: &mut Criterion) {
         b.iter(|| {
             let mut per_file = reorder::accesses_by_file(records.iter());
             for list in per_file.values_mut() {
+                let list: &mut Vec<_> = std::sync::Arc::make_mut(list);
                 reorder::sort_within_window(list, 10 * 1000);
             }
             runs_for_trace(&per_file, RunOptions::default())

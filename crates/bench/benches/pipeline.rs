@@ -14,7 +14,7 @@ use nfstrace_anonymize::{Anonymizer, AnonymizerConfig};
 use nfstrace_bench::tables;
 use nfstrace_core::index::{TraceIndex, TraceView};
 use nfstrace_core::record::TraceRecord;
-use nfstrace_live::{LiveConfig, LiveIngest, SlicedWorkloadSource};
+use nfstrace_live::{LiveConfig, LiveIngest, ShardedLiveIngest, SlicedWorkloadSource};
 use nfstrace_sniffer::{Sniffer, WireEncoder};
 use nfstrace_store::{StoreConfig, StoreIndex, StoreWriter};
 use nfstrace_workload::{CampusConfig, CampusWorkload, EecsConfig, EecsWorkload, SlicedWorkload};
@@ -311,6 +311,7 @@ fn live_ingest_numbers(dir: &std::path::Path) -> LiveNumbers {
         },
         rotate_records: 50_000,
         rotate_micros: nfstrace_core::time::HOUR * 4,
+        ..LiveConfig::new(dir)
     })
     .expect("create live ingest");
     let mut source = SlicedWorkloadSource::new(SlicedWorkload::campus(
@@ -331,6 +332,85 @@ fn live_ingest_numbers(dir: &std::path::Path) -> LiveNumbers {
         peak_batch_records: summary.peak_batch_records,
         gen_peak_resident_records: gen_peak,
         total_records: summary.total_records,
+    }
+}
+
+/// What the sharded live-ingest measurement reports.
+struct ShardedLiveNumbers {
+    /// Seconds to ingest the day-long CAMPUS trace through the
+    /// multi-writer daemon (slice generation + batch fan-out +
+    /// per-slice snapshots).
+    ingest_s: f64,
+    /// Shard count measured.
+    shards: usize,
+    /// Each shard's peak hot-tail records, in shard order — the
+    /// sharded daemon's resident-record bound is their sum.
+    per_shard_peak_hot: Vec<usize>,
+    /// Mid-ingest snapshots taken (one per generation slice).
+    snapshots: usize,
+    /// Total seconds across those snapshots. With the copy-on-write
+    /// running partial this is O(shards · hot-map clone) per call, not
+    /// O(distinct files + accesses) — the number regression-tracked
+    /// here.
+    snapshot_s: f64,
+    total_records: u64,
+}
+
+/// The sharded shape over the same day-long CAMPUS scenario: batch
+/// fan-out across shards, with a merged `LiveView` snapshot taken after
+/// *every* slice to price mid-ingest querying.
+fn sharded_live_numbers(dir: &std::path::Path, shards: usize) -> ShardedLiveNumbers {
+    use std::time::Instant;
+    std::fs::remove_dir_all(dir).ok();
+    let threads = nfstrace_core::parallel::threads();
+    let t = Instant::now();
+    let mut ingest = ShardedLiveIngest::create(
+        LiveConfig {
+            store: StoreConfig {
+                target_chunk_bytes: 256 << 10,
+                ..StoreConfig::default()
+            },
+            rotate_records: 50_000,
+            rotate_micros: nfstrace_core::time::HOUR * 4,
+            ..LiveConfig::new(dir)
+        },
+        shards,
+    )
+    .expect("create sharded ingest");
+    let mut sliced = SlicedWorkload::campus(
+        analysis_campus().config,
+        nfstrace_core::time::HOUR * 2,
+        threads,
+    );
+    let mut batch: Vec<TraceRecord> = Vec::new();
+    let mut snapshot_s = 0.0;
+    let mut snapshots = 0usize;
+    loop {
+        batch.clear();
+        if !sliced.next_slice_into(&mut batch).expect("slice") {
+            break;
+        }
+        ingest.ingest_batch(&batch).expect("sharded ingest");
+        let ts = Instant::now();
+        let view = ingest.view();
+        assert_eq!(view.len() as u64, ingest.total_records());
+        snapshot_s += ts.elapsed().as_secs_f64();
+        snapshots += 1;
+    }
+    let per_shard_peak_hot: Vec<usize> = ingest
+        .shards()
+        .iter()
+        .map(|s| s.peak_hot_records())
+        .collect();
+    let total_records = ingest.total_records();
+    ingest.finish().expect("finish sharded ingest");
+    ShardedLiveNumbers {
+        ingest_s: t.elapsed().as_secs_f64(),
+        shards,
+        per_shard_peak_hot,
+        snapshots,
+        snapshot_s,
+        total_records,
     }
 }
 
@@ -365,6 +445,11 @@ fn write_pipeline_json() {
     let live = live_ingest_numbers(&live_dir);
     std::fs::remove_dir_all(&live_dir).ok();
 
+    let sharded_dir =
+        std::env::temp_dir().join(format!("nfstrace-bench-sharded-{}", std::process::id()));
+    let sharded = sharded_live_numbers(&sharded_dir, 4);
+    std::fs::remove_dir_all(&sharded_dir).ok();
+
     let json = format!(
         r#"{{
   "bench": "pipeline",
@@ -387,7 +472,7 @@ fn write_pipeline_json() {
     }}
   }},
   "measured": {{
-    "note": "measured fresh by every run of `cargo bench --bench pipeline` on small day-long traces; `legacy` rebuilds its view per artifact (the pre-refactor shape), `indexed` shares one TraceIndex across all sweeps, `store` streams generation into chunked per-chunk-compressed store files and analyzes them out-of-core; the byte counts compare those files against a raw re-serialization; `live_*` streams the same CAMPUS day through the time-sliced generator into a rotating segment ingest (peaks show the bounded-memory contract: hot tail + one slice, never the trace); peak_rss_kb is this process's VmHWM and cpus the runner's available parallelism",
+    "note": "measured fresh by every run of `cargo bench --bench pipeline` on small day-long traces; `legacy` rebuilds its view per artifact (the pre-refactor shape), `indexed` shares one TraceIndex across all sweeps, `store` streams generation into chunked per-chunk-compressed store files and analyzes them out-of-core; the byte counts compare those files against a raw re-serialization; `live_*` streams the same CAMPUS day through the time-sliced generator into a rotating segment ingest (peaks show the bounded-memory contract: hot tail + one slice, never the trace); `live_sharded_*` runs that day through the multi-writer daemon at a fixed shard count with a merged-view snapshot after every slice — per-shard hot peaks bound sharded residency and the snapshot mean prices copy-on-write mid-ingest querying; peak_rss_kb is this process's VmHWM and cpus the runner's available parallelism",
     "generate_campus_day_serial_s": {gen_serial_s:.3},
     "generate_campus_day_sharded_s": {gen_sharded_s:.3},
     "threads": {threads},
@@ -409,7 +494,14 @@ fn write_pipeline_json() {
     "live_total_records": {live_total},
     "live_peak_hot_records": {live_hot},
     "live_peak_slice_records": {live_slice},
-    "live_gen_peak_resident_records": {live_gen}
+    "live_gen_peak_resident_records": {live_gen},
+    "live_sharded_shards": {sh_shards},
+    "live_sharded_ingest_s": {sh_ingest_s:.3},
+    "live_sharded_total_records": {sh_total},
+    "live_sharded_per_shard_peak_hot_records": {sh_peaks:?},
+    "live_sharded_snapshots": {sh_snaps},
+    "live_sharded_snapshot_total_s": {sh_snap_s:.4},
+    "live_sharded_snapshot_mean_ms": {sh_snap_ms:.3}
   }}
 }}
 "#,
@@ -431,6 +523,13 @@ fn write_pipeline_json() {
         live_hot = live.peak_hot_records,
         live_slice = live.peak_batch_records,
         live_gen = live.gen_peak_resident_records,
+        sh_shards = sharded.shards,
+        sh_ingest_s = sharded.ingest_s,
+        sh_total = sharded.total_records,
+        sh_peaks = sharded.per_shard_peak_hot,
+        sh_snaps = sharded.snapshots,
+        sh_snap_s = sharded.snapshot_s,
+        sh_snap_ms = sharded.snapshot_s * 1000.0 / sharded.snapshots.max(1) as f64,
     );
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_pipeline.json");
     match std::fs::write(&path, &json) {

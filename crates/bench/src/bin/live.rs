@@ -18,14 +18,22 @@
 //!   rotation thresholds (reported on stderr for
 //!   `BENCH_pipeline.json`-style tracking).
 //!
-//! Usage: `live [--dir <dir>]` (default: a per-process temp dir,
-//! removed on success).
+//! With `--shards <n>` the same traces run through the sharded
+//! multi-writer daemon ([`nfstrace_live::ShardedLiveIngest`]) instead:
+//! records split by client hash across `n` independent writers and the
+//! suite runs over the merged mid-ingest view — still byte-identical
+//! to `repro --store` (the CI job `cmp`s shard counts 1, 2, and 4
+//! against the batch output).
+//!
+//! Usage: `live [--dir <dir>] [--shards <n>]` (default: a per-process
+//! temp dir, removed on success; single-writer daemon).
 
 use nfstrace_bench::suite::{peak_rss_kb, suite_text};
 use nfstrace_bench::{scale, scenarios};
 use nfstrace_core::index::TraceView;
+use nfstrace_core::record::TraceRecord;
 use nfstrace_core::time::{DAY, HOUR};
-use nfstrace_live::{LiveConfig, LiveIngest};
+use nfstrace_live::{LiveConfig, LiveIngest, ShardedLiveIngest};
 use nfstrace_store::{StoreConfig, StoreIndex};
 use nfstrace_workload::SlicedWorkload;
 use std::path::Path;
@@ -105,24 +113,99 @@ fn ingest_with_midpoint_check(
     (summary, gen_peak)
 }
 
+/// Like [`ingest_with_midpoint_check`], but through the sharded
+/// multi-writer daemon. Returns the still-open ingest (the suite runs
+/// over its merged mid-ingest view) plus the generator's resident peak.
+fn ingest_sharded_with_midpoint_check(
+    name: &str,
+    mut sliced: SlicedWorkload,
+    dir: &Path,
+    oracle8: &StoreIndex,
+    check_at: u64,
+    shards: usize,
+) -> (ShardedLiveIngest, usize) {
+    let mut ingest = ShardedLiveIngest::create(live_config(dir), shards)
+        .unwrap_or_else(|e| panic!("{name}: create sharded ingest: {e}"));
+    let mut checked = false;
+    let mut batch: Vec<TraceRecord> = Vec::new();
+    loop {
+        batch.clear();
+        if !sliced
+            .next_slice_into(&mut batch)
+            .unwrap_or_else(|e| panic!("{name}: generate slice: {e}"))
+        {
+            break;
+        }
+        ingest
+            .ingest_batch(&batch)
+            .unwrap_or_else(|e| panic!("{name}: ingest batch: {e}"));
+        let boundary = sliced.emitted_to();
+        if !checked && boundary >= check_at {
+            checked = true;
+            let view = ingest.view();
+            let window = oracle8.time_window(0, boundary);
+            assert_eq!(
+                view.len(),
+                TraceView::len(&window),
+                "{name}/{shards} shards: mid-ingest len"
+            );
+            assert_eq!(
+                view.summary(),
+                window.summary(),
+                "{name}/{shards} shards: mid-ingest summary"
+            );
+            assert_eq!(
+                view.hourly(),
+                window.hourly(),
+                "{name}/{shards} shards: mid-ingest hourly"
+            );
+            assert_eq!(
+                view.accesses(10).as_ref(),
+                window.accesses(10).as_ref(),
+                "{name}/{shards} shards: mid-ingest accesses"
+            );
+            eprintln!(
+                "  {name}: mid-ingest check at {:.1} days — {} records across {} shards \
+                 ({} sealed segments, {} hot), consistent",
+                boundary as f64 / DAY as f64,
+                view.len(),
+                shards,
+                ingest.sealed_segments(),
+                ingest.hot_len(),
+            );
+        }
+    }
+    assert!(checked, "{name}: the mid-ingest checkpoint never ran");
+    let gen_peak = sliced.peak_resident_records();
+    (ingest, gen_peak)
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let mut dir: Option<std::path::PathBuf> = None;
+    let mut shards: Option<usize> = None;
+    let usage = || -> ! {
+        eprintln!("usage: live [--dir <dir>] [--shards <n>]");
+        std::process::exit(2);
+    };
     while let Some(a) = args.next() {
         match a.as_str() {
             "--dir" => {
-                dir = Some(
-                    args.next()
-                        .unwrap_or_else(|| {
-                            eprintln!("usage: live [--dir <dir>]");
-                            std::process::exit(2);
-                        })
-                        .into(),
-                );
+                dir = Some(args.next().unwrap_or_else(|| usage()).into());
+            }
+            "--shards" => {
+                let n: usize = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                if n == 0 {
+                    usage();
+                }
+                shards = Some(n);
             }
             other => {
-                eprintln!("unknown argument {other:?}; usage: live [--dir <dir>]");
-                std::process::exit(2);
+                eprintln!("unknown argument {other:?}");
+                usage();
             }
         }
     }
@@ -145,72 +228,155 @@ fn main() {
 
     // The live path: time-sliced generation → rotating segment ingest,
     // with a consistency check mid-ingest.
-    eprintln!("live-ingesting the same traces ({SLICE_MICROS}us slices, daily rotation) ...");
     let campus_dir = dir.join("campus-segments");
-    let (campus_sum, campus_gen_peak) = ingest_with_midpoint_check(
-        "CAMPUS",
-        SlicedWorkload::campus(
-            scenarios::campus_config(8, s, scenarios::CAMPUS_SEED),
-            SLICE_MICROS,
-            threads,
-        ),
-        &campus_dir,
-        &campus_b,
-        4 * DAY,
-    );
     let eecs_dir = dir.join("eecs-segments");
-    let (eecs_sum, eecs_gen_peak) = ingest_with_midpoint_check(
-        "EECS",
-        SlicedWorkload::eecs(
-            scenarios::eecs_config(8, s, scenarios::EECS_SEED),
-            SLICE_MICROS,
-            threads,
-        ),
-        &eecs_dir,
-        &eecs_b,
-        4 * DAY,
-    );
+    let live_text = if let Some(shards) = shards {
+        eprintln!(
+            "sharded-live-ingesting the same traces ({SLICE_MICROS}us slices, daily rotation, \
+             {shards} shards) ..."
+        );
+        let (campus_i, campus_gen_peak) = ingest_sharded_with_midpoint_check(
+            "CAMPUS",
+            SlicedWorkload::campus(
+                scenarios::campus_config(8, s, scenarios::CAMPUS_SEED),
+                SLICE_MICROS,
+                threads,
+            ),
+            &campus_dir,
+            &campus_b,
+            4 * DAY,
+            shards,
+        );
+        let (eecs_i, eecs_gen_peak) = ingest_sharded_with_midpoint_check(
+            "EECS",
+            SlicedWorkload::eecs(
+                scenarios::eecs_config(8, s, scenarios::EECS_SEED),
+                SLICE_MICROS,
+                threads,
+            ),
+            &eecs_dir,
+            &eecs_b,
+            4 * DAY,
+            shards,
+        );
+        eprintln!(
+            "  segments: CAMPUS {} ({} records), EECS {} ({} records)",
+            campus_i.sealed_segments(),
+            campus_i.total_records(),
+            eecs_i.sealed_segments(),
+            eecs_i.total_records(),
+        );
+        // The suite runs over the *merged mid-ingest views* — sealed
+        // segments plus every shard's hot tail, k-way merged on arrival
+        // sequence.
+        eprintln!("running the suite over the merged shard views ...");
+        let live_text = suite_text(&campus_i.view(), &eecs_i.view());
 
-    // Merged segment indices must print the exact batch suite.
-    eprintln!(
-        "  segments: CAMPUS {} ({} records), EECS {} ({} records)",
-        campus_sum.segments, campus_sum.total_records, eecs_sum.segments, eecs_sum.total_records
-    );
-    let campus_l = StoreIndex::open_dir(&campus_dir).unwrap_or_else(|e| {
-        eprintln!("open campus segments: {e}");
-        std::process::exit(1);
-    });
-    let eecs_l = StoreIndex::open_dir(&eecs_dir).unwrap_or_else(|e| {
-        eprintln!("open eecs segments: {e}");
-        std::process::exit(1);
-    });
-    eprintln!("running the suite over the live segments ...");
-    let live_text = suite_text(&campus_l, &eecs_l);
+        // The bounded-memory observables, per shard.
+        let total = campus_i.total_records() + eecs_i.total_records();
+        let hot_peaks = |i: &ShardedLiveIngest| -> Vec<usize> {
+            i.shards().iter().map(|s| s.peak_hot_records()).collect()
+        };
+        let sum_peaks: usize = hot_peaks(&campus_i)
+            .iter()
+            .sum::<usize>()
+            .max(hot_peaks(&eecs_i).iter().sum());
+        eprintln!(
+            "live-memory-sharded: shards={shards} total_records={total} \
+             campus_per_shard_peak_hot={:?} eecs_per_shard_peak_hot={:?} \
+             peak_slice_records={} gen_peak_resident_records={} peak_rss_kb={} cpus={}",
+            hot_peaks(&campus_i),
+            hot_peaks(&eecs_i),
+            campus_i
+                .peak_batch_records()
+                .max(eecs_i.peak_batch_records()),
+            campus_gen_peak.max(eecs_gen_peak),
+            peak_rss_kb().unwrap_or(0),
+            std::thread::available_parallelism().map_or(1, |n| n.get()),
+        );
+        let peak_resident = sum_peaks + campus_gen_peak.max(eecs_gen_peak);
+        assert!(
+            (peak_resident as u64) < total.max(1),
+            "peak resident records ({peak_resident}) must stay below the trace size ({total})"
+        );
+        campus_i
+            .finish()
+            .unwrap_or_else(|e| panic!("CAMPUS: finish: {e}"));
+        eecs_i
+            .finish()
+            .unwrap_or_else(|e| panic!("EECS: finish: {e}"));
+        live_text
+    } else {
+        eprintln!("live-ingesting the same traces ({SLICE_MICROS}us slices, daily rotation) ...");
+        let (campus_sum, campus_gen_peak) = ingest_with_midpoint_check(
+            "CAMPUS",
+            SlicedWorkload::campus(
+                scenarios::campus_config(8, s, scenarios::CAMPUS_SEED),
+                SLICE_MICROS,
+                threads,
+            ),
+            &campus_dir,
+            &campus_b,
+            4 * DAY,
+        );
+        let (eecs_sum, eecs_gen_peak) = ingest_with_midpoint_check(
+            "EECS",
+            SlicedWorkload::eecs(
+                scenarios::eecs_config(8, s, scenarios::EECS_SEED),
+                SLICE_MICROS,
+                threads,
+            ),
+            &eecs_dir,
+            &eecs_b,
+            4 * DAY,
+        );
+
+        // Merged segment indices must print the exact batch suite.
+        eprintln!(
+            "  segments: CAMPUS {} ({} records), EECS {} ({} records)",
+            campus_sum.segments,
+            campus_sum.total_records,
+            eecs_sum.segments,
+            eecs_sum.total_records
+        );
+        let campus_l = StoreIndex::open_dir(&campus_dir).unwrap_or_else(|e| {
+            eprintln!("open campus segments: {e}");
+            std::process::exit(1);
+        });
+        let eecs_l = StoreIndex::open_dir(&eecs_dir).unwrap_or_else(|e| {
+            eprintln!("open eecs segments: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("running the suite over the live segments ...");
+        let live_text = suite_text(&campus_l, &eecs_l);
+
+        // The bounded-memory observables (stderr, machine-greppable).
+        let total = campus_sum.total_records + eecs_sum.total_records;
+        let peak_resident = campus_sum.peak_hot_records.max(eecs_sum.peak_hot_records)
+            + campus_gen_peak.max(eecs_gen_peak);
+        eprintln!(
+            "live-memory: total_records={total} peak_hot_records={} peak_slice_records={} \
+             gen_peak_resident_records={} peak_rss_kb={} cpus={}",
+            campus_sum.peak_hot_records.max(eecs_sum.peak_hot_records),
+            campus_sum
+                .peak_batch_records
+                .max(eecs_sum.peak_batch_records),
+            campus_gen_peak.max(eecs_gen_peak),
+            peak_rss_kb().unwrap_or(0),
+            std::thread::available_parallelism().map_or(1, |n| n.get()),
+        );
+        assert!(
+            (peak_resident as u64) < total.max(1),
+            "peak resident records ({peak_resident}) must stay below the trace size ({total})"
+        );
+        live_text
+    };
+
     eprintln!("running the suite over the batch stores ...");
     let batch_text = suite_text(&campus_b, &eecs_b);
     assert_eq!(
         live_text, batch_text,
         "live-ingested segments must reproduce the batch suite byte for byte"
-    );
-
-    // The bounded-memory observables (stderr, machine-greppable).
-    let total = campus_sum.total_records + eecs_sum.total_records;
-    let peak_resident = campus_sum.peak_hot_records.max(eecs_sum.peak_hot_records)
-        + campus_gen_peak.max(eecs_gen_peak);
-    eprintln!(
-        "live-memory: total_records={total} peak_hot_records={} peak_slice_records={} \
-         gen_peak_resident_records={} peak_rss_kb={} cpus={}",
-        campus_sum.peak_hot_records.max(eecs_sum.peak_hot_records),
-        campus_sum
-            .peak_batch_records
-            .max(eecs_sum.peak_batch_records),
-        campus_gen_peak.max(eecs_gen_peak),
-        peak_rss_kb().unwrap_or(0),
-        std::thread::available_parallelism().map_or(1, |n| n.get()),
-    );
-    assert!(
-        (peak_resident as u64) < total.max(1),
-        "peak resident records ({peak_resident}) must stay below the trace size ({total})"
     );
 
     // Stdout: the suite, byte-identical to `repro --store`.

@@ -76,8 +76,18 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
+/// One file's access list, shared copy-on-write between snapshots: a
+/// [`PartialIndex`] snapshot and the running partial share every list
+/// until the ingest touches that file again ([`Arc::make_mut`]), so
+/// snapshotting never copies accesses.
+pub type AccessList = Arc<Vec<Access>>;
+
 /// Per-file access lists, the unit the reorder and run analyses consume.
-pub type AccessMap = HashMap<FileId, Vec<Access>>;
+pub type AccessMap = HashMap<FileId, AccessList>;
+
+/// Per-file arrival sequence numbers, aligned index-for-index with the
+/// [`AccessMap`] lists of a seq-tracked [`PartialIndex`].
+type SeqMap = HashMap<FileId, Arc<Vec<u64>>>;
 
 /// Cached run tables keyed by (reorder window ms, run options).
 type RunCache = HashMap<(u64, RunOptions), Arc<Vec<Run>>>;
@@ -238,14 +248,29 @@ pub trait TraceView: RecordStream {
 /// ```
 ///
 /// `Clone` exists for *snapshots*: a live ingest keeps one running
-/// partial per hot/sealed region and clones it to answer queries
-/// mid-stream without ending accumulation
-/// ([`PartialIndex::snapshot_base`]).
+/// partial and clones it to answer queries mid-stream without ending
+/// accumulation ([`PartialIndex::snapshot_base`]). The per-file access
+/// lists are copy-on-write ([`AccessList`]), so a snapshot costs
+/// O(counters + hourly buckets) — **not** O(distinct files + accesses)
+/// — and later observes re-copy only the lists a snapshot still holds.
+///
+/// # Sequence tracking
+///
+/// A partial built with [`PartialIndex::with_seq_tracking`] additionally
+/// records, per access, a caller-supplied global arrival sequence
+/// number ([`PartialIndex::observe_seq`]). Seq-tracked partials over
+/// *overlapping* time ranges — the per-shard partials of a sharded live
+/// ingest — can then be merged exactly with [`PartialIndex::merge`]:
+/// sequence numbers recover the original cross-shard interleave that
+/// timestamps alone cannot (equal-microsecond ties).
 #[derive(Debug, Clone)]
 pub struct PartialIndex {
     summary: SummaryStats,
     hourly: HourlyBuilder,
-    raw: AccessMap,
+    raw: Arc<AccessMap>,
+    /// Arrival seqs aligned with `raw`; `Some` only for seq-tracked
+    /// partials.
+    seqs: Option<Arc<SeqMap>>,
     len: usize,
 }
 
@@ -257,7 +282,9 @@ impl Default for PartialIndex {
 
 /// The finished products of a (possibly merged) construction pass:
 /// everything [`TraceIndex`] derives its cached analyses from.
-#[derive(Debug)]
+/// `Clone` is cheap (the access lists are behind [`Arc`]s) so a live
+/// ingest can cache the finished base per generation.
+#[derive(Debug, Clone)]
 pub struct IndexBase {
     /// Aggregate counters.
     pub summary: SummaryStats,
@@ -275,9 +302,25 @@ impl PartialIndex {
         PartialIndex {
             summary: SummaryStats::accumulator(),
             hourly: HourlyBuilder::default(),
-            raw: AccessMap::new(),
+            raw: Arc::new(AccessMap::new()),
+            seqs: None,
             len: 0,
         }
+    }
+
+    /// An empty partial that records a global arrival sequence number
+    /// per access ([`PartialIndex::observe_seq`]), enabling
+    /// [`PartialIndex::merge`] across time-overlapping partials.
+    pub fn with_seq_tracking() -> Self {
+        PartialIndex {
+            seqs: Some(Arc::new(SeqMap::new())),
+            ..PartialIndex::new()
+        }
+    }
+
+    /// Whether this partial records arrival sequence numbers.
+    pub fn tracks_seqs(&self) -> bool {
+        self.seqs.is_some()
     }
 
     /// Builds a partial over one chunk of records in a single pass.
@@ -294,11 +337,36 @@ impl PartialIndex {
 
     /// Folds one record into the summary counters, the hourly buckets,
     /// and the per-file access lists simultaneously.
+    ///
+    /// On a seq-tracked partial use [`PartialIndex::observe_seq`]
+    /// instead, so the seq lists stay aligned with the access lists.
     pub fn observe(&mut self, r: &TraceRecord) {
+        debug_assert!(
+            self.seqs.is_none(),
+            "seq-tracked partials must use observe_seq"
+        );
         self.summary.add(r);
         self.hourly.observe(r);
         if let Some(a) = Access::from_record(r) {
-            self.raw.entry(r.fh).or_default().push(a);
+            Arc::make_mut(Arc::make_mut(&mut self.raw).entry(r.fh).or_default()).push(a);
+        }
+        self.len += 1;
+    }
+
+    /// [`PartialIndex::observe`] plus the record's global arrival
+    /// sequence number. Requires [`PartialIndex::with_seq_tracking`].
+    /// Seqs must be unique across every partial later merged together
+    /// and ascending within each partial (an arrival counter is both).
+    pub fn observe_seq(&mut self, r: &TraceRecord, seq: u64) {
+        self.summary.add(r);
+        self.hourly.observe(r);
+        if let Some(a) = Access::from_record(r) {
+            Arc::make_mut(Arc::make_mut(&mut self.raw).entry(r.fh).or_default()).push(a);
+            let seqs = self
+                .seqs
+                .as_mut()
+                .expect("observe_seq requires with_seq_tracking");
+            Arc::make_mut(Arc::make_mut(seqs).entry(r.fh).or_default()).push(seq);
         }
         self.len += 1;
     }
@@ -319,12 +387,42 @@ impl PartialIndex {
     /// `later` is taken to follow every record already folded into
     /// `self`, so the per-file access lists concatenate in trace order.
     pub fn absorb(&mut self, later: PartialIndex) {
+        debug_assert_eq!(
+            self.seqs.is_some(),
+            later.seqs.is_some(),
+            "absorb requires matching seq-tracking modes"
+        );
         self.summary.absorb(&later.summary);
         self.hourly.absorb(later.hourly);
-        for (fh, list) in later.raw {
-            self.raw.entry(fh).or_default().extend(list);
+        Self::absorb_map(&mut self.raw, later.raw);
+        if let (Some(mine), Some(theirs)) = (&mut self.seqs, later.seqs) {
+            Self::absorb_map(mine, theirs);
         }
         self.len += later.len;
+    }
+
+    /// Concatenates `later`'s per-key lists after `this`'s. Lists only
+    /// `later` holds are moved in wholesale (the `Arc` is shared, not
+    /// copied).
+    fn absorb_map<K, V>(
+        this: &mut Arc<HashMap<K, Arc<Vec<V>>>>,
+        later: Arc<HashMap<K, Arc<Vec<V>>>>,
+    ) where
+        K: std::hash::Hash + Eq + Clone,
+        V: Clone,
+    {
+        let later = Arc::try_unwrap(later).unwrap_or_else(|a| a.as_ref().clone());
+        let this = Arc::make_mut(this);
+        for (key, list) in later {
+            match this.entry(key) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    Arc::make_mut(e.get_mut()).extend(list.iter().cloned());
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(list);
+                }
+            }
+        }
     }
 
     /// Merges per-chunk partials — ordered by chunk ordinal — into the
@@ -344,6 +442,11 @@ impl PartialIndex {
     /// clones the running state and finishes the clone. This is how a
     /// live view materializes "everything ingested so far" while the
     /// ingest keeps folding records in.
+    ///
+    /// The access lists are copy-on-write, so this costs
+    /// O(counters + hourly buckets): the snapshot and the running
+    /// partial *share* every per-file list until the next observe of
+    /// that file re-copies just that list.
     pub fn snapshot_base(&self) -> IndexBase {
         self.clone().finish()
     }
@@ -354,8 +457,86 @@ impl PartialIndex {
         IndexBase {
             summary: self.summary,
             hourly: self.hourly.finish(),
-            raw: Arc::new(self.raw),
+            raw: self.raw,
             len: self.len,
+        }
+    }
+
+    /// Merges seq-tracked partials over **overlapping** time ranges —
+    /// the per-shard partials of a sharded live ingest — into the
+    /// finished construction products, exactly as one pass over the
+    /// records in arrival-sequence order would build them.
+    ///
+    /// The counters and hourly buckets are order-insensitive sums; the
+    /// per-file access lists are rebuilt by merging each file's
+    /// per-partial runs in ascending sequence order. A file all of
+    /// whose accesses came through one partial (the common case when
+    /// sharding by client) shares that partial's list `Arc` unmerged.
+    ///
+    /// # Panics
+    ///
+    /// If any partial was not built with
+    /// [`PartialIndex::with_seq_tracking`].
+    pub fn merge<I>(parts: I) -> IndexBase
+    where
+        I: IntoIterator<Item = PartialIndex>,
+    {
+        let mut summary = SummaryStats::accumulator();
+        let mut hourly = HourlyBuilder::default();
+        let mut len = 0usize;
+        // One file's access lists from every partial that saw it, each
+        // paired with its arrival-sequence list.
+        type SeqTaggedLists = Vec<(AccessList, Arc<Vec<u64>>)>;
+        let mut sources: HashMap<FileId, SeqTaggedLists> = HashMap::new();
+        for p in parts {
+            summary.absorb(&p.summary);
+            hourly.absorb(p.hourly);
+            len += p.len;
+            let seqs = p
+                .seqs
+                .expect("PartialIndex::merge requires seq-tracked partials");
+            for (fh, list) in p.raw.iter() {
+                let sq = seqs.get(fh).expect("seq lists aligned with access lists");
+                debug_assert_eq!(list.len(), sq.len());
+                sources
+                    .entry(*fh)
+                    .or_default()
+                    .push((Arc::clone(list), Arc::clone(sq)));
+            }
+        }
+        let mut raw = AccessMap::with_capacity(sources.len());
+        for (fh, mut lists) in sources {
+            let merged = if lists.len() == 1 {
+                lists.pop().expect("one source").0
+            } else {
+                // K-way merge by globally unique arrival seq. The fan-in
+                // is the shard count, so a linear min-scan per access is
+                // cheaper than a heap.
+                let total = lists.iter().map(|(l, _)| l.len()).sum();
+                let mut out = Vec::with_capacity(total);
+                let mut pos = vec![0usize; lists.len()];
+                for _ in 0..total {
+                    let mut best = usize::MAX;
+                    let mut best_seq = u64::MAX;
+                    for (i, (l, s)) in lists.iter().enumerate() {
+                        if pos[i] < l.len() && s[pos[i]] <= best_seq {
+                            best_seq = s[pos[i]];
+                            best = i;
+                        }
+                    }
+                    out.push(lists[best].0[pos[best]]);
+                    pos[best] += 1;
+                }
+                Arc::new(out)
+            };
+            raw.insert(fh, merged);
+        }
+        summary.finish();
+        IndexBase {
+            summary,
+            hourly: hourly.finish(),
+            raw: Arc::new(raw),
+            len,
         }
     }
 }
@@ -436,6 +617,9 @@ impl ProductCaches {
         }
         let mut sorted: AccessMap = raw.as_ref().clone();
         for list in sorted.values_mut() {
+            // make_mut copies the shared arrival-order list once; the
+            // sort then runs on the private copy.
+            let list: &mut Vec<Access> = Arc::make_mut(list);
             reorder::sort_within_window(list, window_ms * 1000);
         }
         self.sort_passes.fetch_add(1, Ordering::Relaxed);
@@ -890,6 +1074,7 @@ mod tests {
         assert_eq!(idx.accesses(0).as_ref(), &legacy);
         let mut sorted = legacy.clone();
         for l in sorted.values_mut() {
+            let l: &mut Vec<Access> = Arc::make_mut(l);
             reorder::sort_within_window(l, 10_000);
         }
         assert_eq!(idx.accesses(10).as_ref(), &sorted);
@@ -1141,6 +1326,95 @@ mod tests {
         assert_eq!(idx.decode_passes(), 1, "fully cached batch replays nothing");
         idx.prepare(&[]);
         assert_eq!(idx.decode_passes(), 1);
+    }
+
+    #[test]
+    fn cow_snapshot_shares_unchanged_lists_and_copies_touched_ones() {
+        let mut p = PartialIndex::new();
+        p.observe(&rec(0, Op::Read, 1, 0, 8192));
+        p.observe(&rec(10, Op::Read, 2, 0, 8192));
+        let snap1 = p.snapshot_base();
+        // Touch only file 1; file 2's list must stay shared.
+        p.observe(&rec(20, Op::Write, 1, 8192, 4096));
+        let snap2 = p.snapshot_base();
+        assert!(Arc::ptr_eq(
+            &snap1.raw[&FileId(2)],
+            &snap2.raw[&FileId(2)],
+            // ^ untouched list shared between snapshots
+        ));
+        assert!(!Arc::ptr_eq(&snap1.raw[&FileId(1)], &snap2.raw[&FileId(1)]));
+        assert_eq!(snap1.raw[&FileId(1)].len(), 1);
+        assert_eq!(snap2.raw[&FileId(1)].len(), 2);
+    }
+
+    /// The sharded-ingest contract: partials fed disjoint, interleaved
+    /// (and time-overlapping) slices of one stream, each access stamped
+    /// with its global arrival seq, merge to exactly the single-pass
+    /// products — including equal-microsecond ties on a shared file
+    /// split across shards.
+    #[test]
+    fn seq_merge_matches_single_pass_over_any_sharding() {
+        let mut records = sample();
+        // Equal-micros ties on one file, arriving from different shards.
+        for i in 0..6u64 {
+            records.push(rec(77_777, Op::Write, 50, i * 4096, 4096));
+        }
+        records.sort_by_key(|r| r.micros);
+        let whole = PartialIndex::from_records(&records).finish();
+        for shards in [1usize, 2, 3, 5] {
+            let mut parts: Vec<PartialIndex> = (0..shards)
+                .map(|_| PartialIndex::with_seq_tracking())
+                .collect();
+            for (seq, r) in records.iter().enumerate() {
+                // Deterministic but time-uncorrelated routing.
+                let shard = (r.fh.0 as usize ^ (seq / 7)) % shards;
+                parts[shard].observe_seq(r, seq as u64);
+            }
+            let single_source: Vec<FileId> = parts
+                .iter()
+                .flat_map(|p| p.raw.keys().copied())
+                .collect::<std::collections::HashSet<_>>()
+                .into_iter()
+                .filter(|fh| parts.iter().filter(|p| p.raw.contains_key(fh)).count() == 1)
+                .collect();
+            let originals: HashMap<FileId, AccessList> = parts
+                .iter()
+                .flat_map(|p| p.raw.iter().map(|(k, v)| (*k, Arc::clone(v))))
+                .filter(|(k, _)| single_source.contains(k))
+                .collect();
+            let merged = PartialIndex::merge(parts);
+            assert_eq!(merged.summary, whole.summary, "shards={shards}");
+            assert_eq!(merged.hourly, whole.hourly, "shards={shards}");
+            assert_eq!(merged.raw, whole.raw, "shards={shards}");
+            assert_eq!(merged.len, whole.len, "shards={shards}");
+            // Files observed through exactly one shard share that
+            // shard's list Arc instead of being re-merged.
+            for (fh, list) in &originals {
+                assert!(
+                    Arc::ptr_eq(list, &merged.raw[fh]),
+                    "single-source file {fh:?} should share its Arc"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn seq_tracked_absorb_keeps_alignment() {
+        let records = sample();
+        let mut a = PartialIndex::with_seq_tracking();
+        let mut b = PartialIndex::with_seq_tracking();
+        for (seq, r) in records.iter().enumerate() {
+            if seq < records.len() / 2 {
+                a.observe_seq(r, seq as u64);
+            } else {
+                b.observe_seq(r, seq as u64);
+            }
+        }
+        a.absorb(b);
+        let merged = PartialIndex::merge([a]);
+        let whole = PartialIndex::from_records(&records).finish();
+        assert_eq!(merged.raw, whole.raw);
+        assert_eq!(merged.summary, whole.summary);
     }
 
     #[test]

@@ -14,8 +14,9 @@
 //! swapped against the window size; the knee picks the window (5 ms for
 //! EECS, 10 ms for CAMPUS).
 
-use crate::record::{FileId, TraceRecord};
-use std::collections::HashMap;
+use crate::index::{AccessList, AccessMap};
+use crate::record::TraceRecord;
+use std::sync::Arc;
 
 /// One data access (READ or WRITE) to a file, the unit of run analysis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,14 +53,14 @@ impl Access {
 }
 
 /// Groups a record stream's data accesses by file, preserving order.
-pub fn accesses_by_file<'a, I>(records: I) -> HashMap<FileId, Vec<Access>>
+pub fn accesses_by_file<'a, I>(records: I) -> AccessMap
 where
     I: IntoIterator<Item = &'a TraceRecord>,
 {
-    let mut map: HashMap<FileId, Vec<Access>> = HashMap::new();
+    let mut map = AccessMap::new();
     for r in records {
         if let Some(a) = Access::from_record(r) {
-            map.entry(r.fh).or_default().push(a);
+            Arc::make_mut(map.entry(r.fh).or_default()).push(a);
         }
     }
     map
@@ -113,21 +114,18 @@ pub struct SwapPoint {
 /// The (file × window) grid is embarrassingly parallel; files are
 /// sharded across [`crate::parallel::threads`] workers and the per-shard
 /// swap counts summed, so the result is identical for any worker count.
-pub fn swap_fraction_sweep(
-    per_file: &HashMap<FileId, Vec<Access>>,
-    windows_ms: &[u64],
-) -> Vec<SwapPoint> {
+pub fn swap_fraction_sweep(per_file: &AccessMap, windows_ms: &[u64]) -> Vec<SwapPoint> {
     swap_fraction_sweep_with_threads(per_file, windows_ms, crate::parallel::threads())
 }
 
 /// [`swap_fraction_sweep`] with an explicit worker count (for the
 /// determinism tests and callers that manage their own parallelism).
 pub fn swap_fraction_sweep_with_threads(
-    per_file: &HashMap<FileId, Vec<Access>>,
+    per_file: &AccessMap,
     windows_ms: &[u64],
     threads: usize,
 ) -> Vec<SwapPoint> {
-    let lists: Vec<&Vec<Access>> = per_file.values().collect();
+    let lists: Vec<&AccessList> = per_file.values().collect();
     let total: u64 = lists.iter().map(|v| v.len() as u64).sum();
     let shards = threads.clamp(1, lists.len().max(1));
     let chunk = lists.len().div_ceil(shards).max(1);
@@ -240,9 +238,11 @@ mod tests {
         assert_eq!(offsets, vec![0, 8192, 16384, 24576, 32768]);
     }
 
+    use crate::record::FileId;
+
     #[test]
     fn sweep_is_monotonic_and_knees() {
-        let mut per_file = HashMap::new();
+        let mut per_file = AccessMap::new();
         // Sequential run with nearby swaps at 2 ms scale.
         let mut list = Vec::new();
         for i in 0..100u64 {
@@ -255,7 +255,7 @@ mod tests {
             };
             list.push(acc(i * 2_000, off));
         }
-        per_file.insert(FileId(1), list);
+        per_file.insert(FileId(1), Arc::new(list));
         let pts = swap_fraction_sweep(&per_file, &[0, 1, 2, 5, 10, 20, 50]);
         assert_eq!(pts[0].swapped_fraction, 0.0);
         for w in pts.windows(2) {
@@ -267,12 +267,12 @@ mod tests {
 
     #[test]
     fn sweep_parallel_matches_serial() {
-        let mut per_file = HashMap::new();
+        let mut per_file = AccessMap::new();
         for f in 0..17u64 {
             let list: Vec<Access> = (0..60u64)
                 .map(|i| acc(i * 1500, ((i * 7 + f) % 60) * 8192))
                 .collect();
-            per_file.insert(FileId(f), list);
+            per_file.insert(FileId(f), Arc::new(list));
         }
         let windows = [0u64, 1, 2, 5, 10, 20];
         let serial = swap_fraction_sweep_with_threads(&per_file, &windows, 1);

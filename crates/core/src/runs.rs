@@ -16,7 +16,6 @@
 
 use crate::record::FileId;
 use crate::reorder::Access;
-use std::collections::HashMap;
 
 /// The paper's block size for rounding: 8 KB.
 pub const BLOCK: u64 = 8192;
@@ -212,7 +211,7 @@ fn run_covers_file(items: &[Access]) -> bool {
 }
 
 /// Splits and categorizes runs for every file in a trace.
-pub fn runs_for_trace(per_file: &HashMap<FileId, Vec<Access>>, opts: RunOptions) -> Vec<Run> {
+pub fn runs_for_trace(per_file: &crate::index::AccessMap, opts: RunOptions) -> Vec<Run> {
     let mut out = Vec::new();
     // Deterministic iteration order for reproducible statistics.
     let mut files: Vec<_> = per_file.keys().copied().collect();

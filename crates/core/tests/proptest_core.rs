@@ -145,6 +145,7 @@ proptest! {
 
         let mut per_file = accesses_by_file(records.iter());
         for list in per_file.values_mut() {
+            let list: &mut Vec<_> = std::sync::Arc::make_mut(list);
             sort_within_window(list, window_ms * 1000);
         }
         prop_assert_eq!(idx.accesses(window_ms).as_ref(), &per_file);

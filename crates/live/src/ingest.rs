@@ -1,13 +1,14 @@
 //! The bounded-memory ingest loop: hot segment, rotation, sealing.
 
+use crate::seqfile;
 use crate::source::RecordSource;
-use crate::view::LiveView;
-use nfstrace_core::index::PartialIndex;
+use crate::view::{LiveView, ShardChain};
+use nfstrace_core::index::{IndexBase, PartialIndex};
 use nfstrace_core::record::TraceRecord;
 use nfstrace_core::sink::RecordSink;
 use nfstrace_store::{Result, SegmentCatalog, StoreConfig, StoreError, StoreReader, StoreWriter};
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Ingest knobs: where segments land and when the hot segment seals.
 #[derive(Debug, Clone)]
@@ -22,6 +23,14 @@ pub struct LiveConfig {
     pub rotate_records: u64,
     /// … or once it spans this much trace time, in microseconds.
     pub rotate_micros: u64,
+    /// Stamp every record with a global **arrival sequence number** and
+    /// persist a [`crate::seqfile`] sidecar next to each sealed
+    /// segment. Off by default: a plain single-writer ingest needs no
+    /// sequences and its segment directory stays byte-identical to
+    /// earlier versions. [`crate::ShardedLiveIngest`] turns this on for
+    /// every shard so the merged view can replay the exact original
+    /// interleave, equal timestamps included.
+    pub track_seqs: bool,
 }
 
 impl LiveConfig {
@@ -33,6 +42,7 @@ impl LiveConfig {
             store: StoreConfig::default(),
             rotate_records: 250_000,
             rotate_micros: nfstrace_core::time::DAY,
+            track_seqs: false,
         }
     }
 }
@@ -80,6 +90,16 @@ pub struct LiveSummary {
 /// [`LiveSummary`], and the `live` bench records them in
 /// `BENCH_pipeline.json`.
 ///
+/// # Snapshot cost
+///
+/// The running partial's products sit behind copy-on-write [`Arc`]s,
+/// so [`LiveIngest::view`] is a handle clone plus a summary/hourly
+/// copy — O(counters + hourly buckets), **not** O(distinct files) or
+/// O(accesses) — and the finished [`IndexBase`] is cached per ingest
+/// *generation*: repeated views between mutations are pure clones.
+/// Ingest pays for the sharing lazily, copying only the per-file lists
+/// it touches after a snapshot.
+///
 /// # Restartability
 ///
 /// Segments are named by ordinal ([`SegmentCatalog`]); a stopped
@@ -90,7 +110,11 @@ pub struct LiveSummary {
 /// name and is renamed only after its footer lands, so a crash
 /// mid-segment never leaves an unreadable `seg-*.nfseg`: reopening
 /// sweeps the stale temp and resumes from the last seal (records past
-/// it were never durable and are the rollback unit).
+/// it were never durable and are the rollback unit). With
+/// [`LiveConfig::track_seqs`], each segment's sequence sidecar is
+/// written and renamed *before* the segment itself, so a sealed
+/// segment always has its sidecar; orphan sidecars from a crash in
+/// between are swept alongside the temps.
 ///
 /// # Determinism
 ///
@@ -104,19 +128,35 @@ pub struct LiveIngest {
     config: LiveConfig,
     catalog: SegmentCatalog,
     sealed: Vec<Arc<StoreReader>>,
-    /// Running construction products over every sealed record.
-    sealed_partial: PartialIndex,
+    /// Arrival sequences per sealed segment, parallel to `sealed`
+    /// (empty unless [`LiveConfig::track_seqs`]).
+    sealed_seqs: Vec<Arc<Vec<u64>>>,
+    /// Running construction products over every ingested record,
+    /// sealed and hot alike.
+    running: PartialIndex,
     /// The hot segment's writer (created with its first record).
     hot_writer: Option<StoreWriter>,
     hot_ordinal: u64,
-    hot_records: Vec<TraceRecord>,
-    hot_partial: PartialIndex,
+    hot_records: Arc<Vec<TraceRecord>>,
+    /// Arrival sequences of the hot tail, parallel to `hot_records`
+    /// (empty unless tracking).
+    hot_seqs: Arc<Vec<u64>>,
     hot_first_micros: u64,
     last_micros: u64,
+    /// The next arrival sequence a plain [`LiveIngest::ingest`] call
+    /// self-stamps, and the floor [`LiveIngest::ingest_with_seq`]
+    /// enforces (tracking only).
+    next_seq: u64,
     any_ingested: bool,
     total_records: u64,
     peak_hot_records: usize,
     peak_batch_records: usize,
+    /// Bumped on every mutation; keys the snapshot cache.
+    generation: u64,
+    /// The last finished [`IndexBase`] and the generation it was built
+    /// at — repeated [`LiveIngest::view`] calls between mutations
+    /// reuse it.
+    base_cache: Mutex<Option<(u64, IndexBase)>>,
 }
 
 impl LiveIngest {
@@ -134,36 +174,66 @@ impl LiveIngest {
                 config.dir.display()
             )));
         }
-        Self::sweep_stale_temps(catalog.dir())?;
+        Self::sweep_stale_files(catalog.dir())?;
         Ok(Self::with_catalog(config, catalog, Vec::new()))
     }
 
     /// Reopens an existing segment directory and resumes appending
     /// after the last sealed segment. The running construction
     /// products are rebuilt from the sealed segments in one streaming
-    /// decode pass.
+    /// decode pass; with [`LiveConfig::track_seqs`], each segment's
+    /// sequence sidecar is loaded alongside it and self-stamping
+    /// resumes past the highest sealed sequence.
     ///
     /// # Errors
     ///
-    /// On directory or segment open/decode failure.
+    /// On directory or segment open/decode failure, or — when tracking
+    /// — on a missing or corrupt sequence sidecar (the directory was
+    /// written without tracking and cannot seed a sharded merge).
     pub fn open(config: LiveConfig) -> Result<Self> {
         let catalog = SegmentCatalog::open(&config.dir)?;
-        Self::sweep_stale_temps(catalog.dir())?;
+        Self::sweep_stale_files(catalog.dir())?;
         let mut sealed = Vec::with_capacity(catalog.len());
         for path in catalog.paths() {
             sealed.push(Arc::new(StoreReader::open(path)?));
         }
+        let track = config.track_seqs;
         let mut ingest = Self::with_catalog(config, catalog, sealed);
-        let mut partial = PartialIndex::new();
+        let mut partial = if track {
+            PartialIndex::with_seq_tracking()
+        } else {
+            PartialIndex::new()
+        };
         for reader in &ingest.sealed {
-            reader.for_each(|r| partial.observe(r))?;
+            if track {
+                let seqs = seqfile::read_sidecar(reader.path())?;
+                if seqs.len() as u64 != reader.total_records() {
+                    return Err(StoreError::Format(format!(
+                        "sequence sidecar for {} holds {} entries for {} records",
+                        reader.path().display(),
+                        seqs.len(),
+                        reader.total_records()
+                    )));
+                }
+                let mut at = 0usize;
+                reader.for_each(|r| {
+                    partial.observe_seq(r, seqs[at]);
+                    at += 1;
+                })?;
+                if let Some(&last) = seqs.last() {
+                    ingest.next_seq = ingest.next_seq.max(last + 1);
+                }
+                ingest.sealed_seqs.push(Arc::new(seqs));
+            } else {
+                reader.for_each(|r| partial.observe(r))?;
+            }
             ingest.total_records += reader.total_records();
             if let Some(m) = reader.chunks().iter().rfind(|m| m.records > 0) {
                 ingest.last_micros = ingest.last_micros.max(m.max_micros);
                 ingest.any_ingested = true;
             }
         }
-        ingest.sealed_partial = partial;
+        ingest.running = partial;
         Ok(ingest)
     }
 
@@ -177,17 +247,20 @@ impl LiveIngest {
         sealed_path.with_file_name(name)
     }
 
-    /// Removes unsealed leftovers of a crashed ingest (hot segments
-    /// that never got their footer). Their records were never
-    /// acknowledged as sealed, so deleting them is the rollback.
-    fn sweep_stale_temps(dir: &Path) -> Result<()> {
+    /// Removes unsealed leftovers of a crashed ingest: hot segments
+    /// that never got their footer, half-written sidecar temps, and
+    /// sidecars whose segment never got renamed. Their records were
+    /// never acknowledged as sealed, so deleting them is the rollback.
+    fn sweep_stale_files(dir: &Path) -> Result<()> {
         for entry in std::fs::read_dir(dir)? {
             let entry = entry?;
-            if entry
-                .file_name()
-                .to_str()
-                .is_some_and(|n| n.ends_with(".nfseg.tmp"))
-            {
+            let Some(name) = entry.file_name().to_str().map(str::to_owned) else {
+                continue;
+            };
+            let half_written_tmp = name.ends_with(".nfseg.tmp") || name.ends_with(".nfseq.tmp");
+            let orphaned_sidecar = name.ends_with(seqfile::SEQ_SUFFIX)
+                && !entry.path().with_extension("nfseg").exists();
+            if half_written_tmp || orphaned_sidecar {
                 std::fs::remove_file(entry.path())?;
             }
         }
@@ -199,26 +272,38 @@ impl LiveIngest {
         catalog: SegmentCatalog,
         sealed: Vec<Arc<StoreReader>>,
     ) -> Self {
+        let running = if config.track_seqs {
+            PartialIndex::with_seq_tracking()
+        } else {
+            PartialIndex::new()
+        };
         LiveIngest {
             config,
             catalog,
             sealed,
-            sealed_partial: PartialIndex::new(),
+            sealed_seqs: Vec::new(),
+            running,
             hot_writer: None,
             hot_ordinal: 0,
-            hot_records: Vec::new(),
-            hot_partial: PartialIndex::new(),
+            hot_records: Arc::new(Vec::new()),
+            hot_seqs: Arc::new(Vec::new()),
             hot_first_micros: 0,
             last_micros: 0,
+            next_seq: 0,
             any_ingested: false,
             total_records: 0,
             peak_hot_records: 0,
             peak_batch_records: 0,
+            generation: 0,
+            base_cache: Mutex::new(None),
         }
     }
 
     /// Ingests one record: into the hot segment's writer, records, and
-    /// partial — then seals if a rotation threshold was crossed.
+    /// partial — then seals if a rotation threshold was crossed. With
+    /// [`LiveConfig::track_seqs`], the record self-stamps the next
+    /// arrival sequence; a sharded router passes explicit global
+    /// sequences via [`LiveIngest::ingest_with_seq`] instead.
     ///
     /// # Errors
     ///
@@ -226,6 +311,34 @@ impl LiveIngest {
     /// stream contract spans segment boundaries), or I/O errors from
     /// the segment writer.
     pub fn ingest(&mut self, r: &TraceRecord) -> Result<()> {
+        let seq = self.next_seq;
+        self.ingest_inner(r, seq)
+    }
+
+    /// Ingests one record stamped with an explicit global arrival
+    /// sequence — the sharded router's entry point.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Format`] when sequence tracking is off or `seq`
+    /// is not strictly increasing, plus everything
+    /// [`LiveIngest::ingest`] can return.
+    pub fn ingest_with_seq(&mut self, r: &TraceRecord, seq: u64) -> Result<()> {
+        if !self.config.track_seqs {
+            return Err(StoreError::Format(
+                "ingest_with_seq requires LiveConfig::track_seqs".into(),
+            ));
+        }
+        if seq < self.next_seq {
+            return Err(StoreError::Format(format!(
+                "arrival sequence {seq} is not increasing (next expected ≥ {})",
+                self.next_seq
+            )));
+        }
+        self.ingest_inner(r, seq)
+    }
+
+    fn ingest_inner(&mut self, r: &TraceRecord, seq: u64) -> Result<()> {
         if self.any_ingested && r.micros < self.last_micros {
             return Err(StoreError::OutOfOrder {
                 prev: self.last_micros,
@@ -249,11 +362,18 @@ impl LiveIngest {
             .as_mut()
             .expect("just ensured a writer")
             .push(r)?;
-        self.hot_records.push(r.clone());
-        self.hot_partial.observe(r);
+        Arc::make_mut(&mut self.hot_records).push(r.clone());
+        if self.config.track_seqs {
+            Arc::make_mut(&mut self.hot_seqs).push(seq);
+            self.running.observe_seq(r, seq);
+            self.next_seq = seq + 1;
+        } else {
+            self.running.observe(r);
+        }
         self.last_micros = r.micros;
         self.any_ingested = true;
         self.total_records += 1;
+        self.generation += 1;
         self.peak_hot_records = self.peak_hot_records.max(self.hot_records.len());
         if self.hot_records.len() as u64 >= self.config.rotate_records
             || r.micros.saturating_sub(self.hot_first_micros) >= self.config.rotate_micros
@@ -264,8 +384,9 @@ impl LiveIngest {
     }
 
     /// Seals the hot segment now (no-op when it is empty): finishes the
-    /// segment file, opens it for reading, folds the hot partial into
-    /// the sealed one, and drops the hot tail.
+    /// segment file (sidecar first when tracking), opens it for
+    /// reading, and drops the hot tail. The running partial already
+    /// covers these records and is untouched.
     ///
     /// # Errors
     ///
@@ -276,12 +397,18 @@ impl LiveIngest {
         };
         writer.finish()?;
         let path = self.catalog.path_for(self.hot_ordinal);
+        if self.config.track_seqs {
+            // Sidecar lands before the segment's rename: a sealed
+            // segment always has its sequences; the reverse (orphan
+            // sidecar after a crash here) is swept at the next open.
+            seqfile::write_sidecar(&path, &self.hot_seqs)?;
+            self.sealed_seqs
+                .push(std::mem::replace(&mut self.hot_seqs, Arc::new(Vec::new())));
+        }
         std::fs::rename(Self::tmp_path(&path), &path)?;
         self.sealed.push(Arc::new(StoreReader::open(path)?));
         self.catalog.note_sealed(self.hot_ordinal);
-        self.sealed_partial
-            .absorb(std::mem::take(&mut self.hot_partial));
-        self.hot_records = Vec::new();
+        self.hot_records = Arc::new(Vec::new());
         Ok(())
     }
 
@@ -304,18 +431,43 @@ impl LiveIngest {
         }
     }
 
+    /// The finished construction products over everything ingested so
+    /// far — a copy-on-write snapshot of the running partial, cached
+    /// per generation: O(counters + hourly buckets) the first time
+    /// after a mutation, a pure clone after that.
+    pub fn snapshot_base(&self) -> IndexBase {
+        let mut cache = self.base_cache.lock().expect("snapshot cache poisoned");
+        if let Some((generation, base)) = cache.as_ref() {
+            if *generation == self.generation {
+                return base.clone();
+            }
+        }
+        let base = self.running.clone().finish();
+        *cache = Some((self.generation, base.clone()));
+        base
+    }
+
+    /// A copy-on-write clone of the running partial — what
+    /// [`crate::ShardedLiveIngest`] merges across shards.
+    pub(crate) fn snapshot_partial(&self) -> PartialIndex {
+        self.running.clone()
+    }
+
+    /// This ingest's segment chain (sealed readers + sequences + hot
+    /// tail), the per-shard ingredient of a merged view.
+    pub(crate) fn chain(&self) -> ShardChain {
+        ShardChain::new(
+            self.sealed.clone(),
+            self.sealed_seqs.clone(),
+            Arc::clone(&self.hot_records),
+            Arc::clone(&self.hot_seqs),
+        )
+    }
+
     /// Snapshots a stable [`LiveView`] over everything ingested so far
     /// — sealed segments plus the hot tail, queryable mid-ingest.
     pub fn view(&self) -> LiveView {
-        let mut merged = self.sealed_partial.clone();
-        merged.absorb(self.hot_partial.clone());
-        LiveView::assemble(
-            self.sealed.clone(),
-            Arc::new(self.hot_records.clone()),
-            0,
-            u64::MAX,
-            merged.finish(),
-        )
+        LiveView::assemble(self.chain(), 0, u64::MAX, self.snapshot_base())
     }
 
     /// Seals the trailing hot segment and reports totals. The segment
@@ -359,6 +511,23 @@ impl LiveIngest {
     /// Largest single source batch consumed by [`LiveIngest::run`].
     pub fn peak_batch_records(&self) -> usize {
         self.peak_batch_records
+    }
+
+    /// The next arrival sequence this ingest would self-stamp — past
+    /// every sequence it has seen, sealed or hot (tracking only).
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// The last ingested timestamp (0 before any record).
+    pub fn last_micros(&self) -> u64 {
+        self.last_micros
+    }
+
+    /// Whether any record was ever ingested (including sealed ones
+    /// found at reopen).
+    pub fn any_ingested(&self) -> bool {
+        self.any_ingested
     }
 
     /// The ingest configuration.

@@ -29,6 +29,15 @@
 //!   any instant mid-ingest. Every table and figure in the repro suite
 //!   runs against it unchanged, and its products are bit-identical to
 //!   an in-memory index over the same records.
+//! - **[`ShardedLiveIngest`]** — the multi-writer shape: the stream
+//!   splits by client hash across N independent [`LiveIngest`] shards
+//!   (each with its own hot segment, rotation clock, and `shard-NNN/`
+//!   segment directory), the router stamps every record with a global
+//!   arrival sequence (persisted in [`seqfile`] sidecars), and the
+//!   merged [`LiveView`] k-way merges the shards back into the exact
+//!   original stream — the analysis suite over it stays byte-identical
+//!   to a single-writer daemon and to the batch pipeline, for any
+//!   shard count.
 //!
 //! # The bounded-memory contract
 //!
@@ -69,9 +78,12 @@
 //! ```
 
 pub mod ingest;
+pub mod seqfile;
+pub mod sharded;
 pub mod source;
 pub mod view;
 
 pub use ingest::{LiveConfig, LiveIngest, LiveSummary};
+pub use sharded::{shard_for_client, ShardedLiveIngest, ShardedSummary, SHARD_MANIFEST};
 pub use source::{RecordSource, SlicedWorkloadSource, SnifferSource};
-pub use view::LiveView;
+pub use view::{LiveView, ShardChain};

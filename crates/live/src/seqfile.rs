@@ -1,0 +1,161 @@
+//! Per-segment arrival-sequence sidecars (`seg-NNNNNN.nfseq`).
+//!
+//! A sharded ingest splits one globally ordered record stream across
+//! shards, so a single shard's segments no longer carry enough
+//! information to reconstruct the original interleave: records with
+//! equal timestamps tie-break on *arrival order*, which the store
+//! format does not (and should not) record. When
+//! [`crate::LiveConfig::track_seqs`] is on, each sealed segment gets a
+//! sidecar file holding the **global arrival sequence number** of every
+//! record in it, in record order — the merge-on-read view k-way merges
+//! shards by these sequences and replays the exact original stream.
+//!
+//! The sidecar is deliberately *not* part of the store format: a plain
+//! segment directory stays byte-identical with or without tracking,
+//! and every store reader keeps working unchanged. Durability follows
+//! the segment protocol: the sidecar is written (tmp + rename) **before**
+//! its segment is renamed to its sealed name, so a sealed segment always
+//! has its sidecar; a crash in between leaves an orphan sidecar that the
+//! next open sweeps.
+//!
+//! Layout (all little-endian): magic `NFSQ`, `u8` version, `u64`
+//! count, `count × u64` sequences, `u64` FNV-1a checksum over the
+//! sequence bytes.
+
+use nfstrace_store::{Result, StoreError};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 4] = b"NFSQ";
+const VERSION: u8 = 1;
+
+/// File suffix every sequence sidecar carries.
+pub const SEQ_SUFFIX: &str = ".nfseq";
+
+/// The sidecar path for a sealed segment path
+/// (`seg-000042.nfseg` → `seg-000042.nfseq`).
+pub fn sidecar_path(segment: &Path) -> PathBuf {
+    segment.with_extension("nfseq")
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn seq_bytes(seqs: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(seqs.len() * 8);
+    for &s in seqs {
+        out.extend_from_slice(&s.to_le_bytes());
+    }
+    out
+}
+
+/// Writes the sidecar for `segment` (tmp + rename, so a reader never
+/// sees a torn sidecar).
+///
+/// # Errors
+///
+/// On I/O failure.
+pub fn write_sidecar(segment: &Path, seqs: &[u64]) -> Result<()> {
+    let path = sidecar_path(segment);
+    let tmp = path.with_extension("nfseq.tmp");
+    let body = seq_bytes(seqs);
+    {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(MAGIC)?;
+        file.write_all(&[VERSION])?;
+        file.write_all(&(seqs.len() as u64).to_le_bytes())?;
+        file.write_all(&body)?;
+        file.write_all(&fnv1a(&body).to_le_bytes())?;
+        file.sync_all()?;
+    }
+    std::fs::rename(tmp, path)?;
+    Ok(())
+}
+
+/// Reads the sidecar for `segment` and validates magic, version,
+/// length, and checksum.
+///
+/// # Errors
+///
+/// [`StoreError::Format`] on a missing, truncated, or corrupt sidecar.
+pub fn read_sidecar(segment: &Path) -> Result<Vec<u64>> {
+    let path = sidecar_path(segment);
+    let mut bytes = Vec::new();
+    std::fs::File::open(&path)
+        .and_then(|mut f| f.read_to_end(&mut bytes))
+        .map_err(|e| StoreError::Format(format!("sequence sidecar {}: {e}", path.display())))?;
+    let fail =
+        |what: &str| StoreError::Format(format!("sequence sidecar {}: {what}", path.display()));
+    if bytes.len() < 13 || &bytes[..4] != MAGIC {
+        return Err(fail("bad magic"));
+    }
+    if bytes[4] != VERSION {
+        return Err(fail("unsupported version"));
+    }
+    let count = u64::from_le_bytes(bytes[5..13].try_into().expect("8 bytes")) as usize;
+    let body_end = 13 + count * 8;
+    if bytes.len() != body_end + 8 {
+        return Err(fail("truncated"));
+    }
+    let body = &bytes[13..body_end];
+    let stored = u64::from_le_bytes(bytes[body_end..].try_into().expect("8 bytes"));
+    if fnv1a(body) != stored {
+        return Err(fail("checksum mismatch"));
+    }
+    Ok(body
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_segment(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("nfstrace-seqfile-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir.join("seg-000000.nfseg")
+    }
+
+    #[test]
+    fn roundtrip() {
+        let seg = temp_segment("roundtrip");
+        let seqs: Vec<u64> = vec![0, 1, 5, 7, u64::MAX];
+        write_sidecar(&seg, &seqs).expect("write");
+        assert_eq!(read_sidecar(&seg).expect("read"), seqs);
+        write_sidecar(&seg, &[]).expect("rewrite empty");
+        assert_eq!(read_sidecar(&seg).expect("read empty"), Vec::<u64>::new());
+        std::fs::remove_dir_all(seg.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let seg = temp_segment("corrupt");
+        write_sidecar(&seg, &[1, 2, 3]).expect("write");
+        let path = sidecar_path(&seg);
+        let mut bytes = std::fs::read(&path).expect("read raw");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&path, &bytes).expect("rewrite");
+        assert!(read_sidecar(&seg).is_err());
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).expect("truncate");
+        assert!(read_sidecar(&seg).is_err());
+        std::fs::remove_dir_all(seg.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn missing_sidecar_errors() {
+        let seg = temp_segment("missing");
+        assert!(read_sidecar(&seg).is_err());
+        std::fs::remove_dir_all(seg.parent().unwrap()).ok();
+    }
+}

@@ -1,4 +1,5 @@
-//! The queryable snapshot of a live ingest: sealed segments + hot tail.
+//! The queryable snapshot of a live ingest: sealed segments + hot tail,
+//! one chain per shard, merged on read.
 
 use nfstrace_core::hierarchy::CoveragePoint;
 use nfstrace_core::hourly::HourlySeries;
@@ -14,27 +15,219 @@ use nfstrace_core::summary::SummaryStats;
 use nfstrace_store::{stream_records, StoreReader};
 use std::sync::Arc;
 
-/// A [`TraceView`] over everything a [`crate::LiveIngest`] has
-/// ingested at one instant: the sealed on-disk segments plus a
-/// snapshot of the hot (not yet sealed) records.
+/// One shard's contribution to a [`LiveView`]: its sealed segment
+/// chain, the arrival sequences of every sealed record (sidecars,
+/// loaded per segment), and a snapshot of its hot tail with the
+/// sequences of those records.
+///
+/// A single-writer ingest produces one chain with empty sequence
+/// vectors — sequences are only consulted when two or more chains must
+/// be interleaved.
+#[derive(Debug, Clone)]
+pub struct ShardChain {
+    sealed: Vec<Arc<StoreReader>>,
+    /// Arrival sequences per sealed segment, parallel to `sealed`
+    /// (empty when the ingest does not track sequences).
+    sealed_seqs: Vec<Arc<Vec<u64>>>,
+    hot: Arc<Vec<TraceRecord>>,
+    /// Arrival sequences of the hot tail, parallel to `hot` (empty
+    /// when not tracking).
+    hot_seqs: Arc<Vec<u64>>,
+}
+
+impl ShardChain {
+    pub(crate) fn new(
+        sealed: Vec<Arc<StoreReader>>,
+        sealed_seqs: Vec<Arc<Vec<u64>>>,
+        hot: Arc<Vec<TraceRecord>>,
+        hot_seqs: Arc<Vec<u64>>,
+    ) -> Self {
+        ShardChain {
+            sealed,
+            sealed_seqs,
+            hot,
+            hot_seqs,
+        }
+    }
+
+    /// The sealed segment readers of this chain.
+    pub fn sealed(&self) -> &[Arc<StoreReader>] {
+        &self.sealed
+    }
+
+    /// The hot (unsealed) records of this chain's snapshot.
+    pub fn hot(&self) -> &[TraceRecord] {
+        &self.hot
+    }
+}
+
+/// A streaming cursor over one chain restricted to `[start, end)`:
+/// sealed chunks decoded lazily one at a time (skipping chunks whose
+/// time range misses the window, while still advancing the sequence
+/// index past their records), then the hot tail. Within a chain,
+/// arrival sequences are strictly increasing, so [`ChainCursor::peek`]
+/// exposes exactly the next sequence the chain would emit — the k-way
+/// merge pops the chain with the smallest one.
+struct ChainCursor<'a> {
+    chain: &'a ShardChain,
+    start: u64,
+    end: u64,
+    /// Index into `chain.sealed`; `== chain.sealed.len()` → hot phase.
+    seg: usize,
+    /// Next chunk ordinal to consider within the current segment.
+    chunk: usize,
+    /// Records of the current segment consumed or skipped before
+    /// `buf` — the sequence-sidecar index of `buf[0]`.
+    seq_off: usize,
+    buf: Vec<TraceRecord>,
+    buf_pos: usize,
+    hot_pos: usize,
+}
+
+impl<'a> ChainCursor<'a> {
+    fn new(chain: &'a ShardChain, start: u64, end: u64) -> Self {
+        ChainCursor {
+            chain,
+            start,
+            end,
+            seg: 0,
+            chunk: 0,
+            seq_off: 0,
+            buf: Vec::new(),
+            buf_pos: 0,
+            hot_pos: 0,
+        }
+    }
+
+    fn in_window(&self, r: &TraceRecord) -> bool {
+        r.micros >= self.start && r.micros < self.end
+    }
+
+    /// Positions the cursor at its next in-window record and returns
+    /// that record's arrival sequence; `None` once the chain is
+    /// exhausted. O(1) when already positioned.
+    ///
+    /// # Panics
+    ///
+    /// On chunk read/decode failure — a sealed segment corrupted (or
+    /// deleted) mid-analysis.
+    fn peek(&mut self) -> Option<u64> {
+        loop {
+            if self.seg == self.chain.sealed.len() {
+                while self.hot_pos < self.chain.hot.len() {
+                    if self.in_window(&self.chain.hot[self.hot_pos]) {
+                        return Some(self.chain.hot_seqs[self.hot_pos]);
+                    }
+                    self.hot_pos += 1;
+                }
+                return None;
+            }
+            while self.buf_pos < self.buf.len() {
+                if self.in_window(&self.buf[self.buf_pos]) {
+                    return Some(self.chain.sealed_seqs[self.seg][self.seq_off + self.buf_pos]);
+                }
+                self.buf_pos += 1;
+            }
+            self.seq_off += self.buf.len();
+            self.buf = Vec::new();
+            self.buf_pos = 0;
+            let reader = &self.chain.sealed[self.seg];
+            loop {
+                if self.chunk == reader.chunk_count() {
+                    self.seg += 1;
+                    self.chunk = 0;
+                    self.seq_off = 0;
+                    break;
+                }
+                let meta = &reader.chunks()[self.chunk];
+                if meta.records == 0 || !meta.overlaps(self.start, self.end) {
+                    // Skipped chunks still consume their slice of the
+                    // sequence sidecar.
+                    self.seq_off += meta.records as usize;
+                    self.chunk += 1;
+                    continue;
+                }
+                self.buf = reader
+                    .read_chunk(self.chunk)
+                    .expect("sealed chunk must stay readable under a live view");
+                self.chunk += 1;
+                break;
+            }
+        }
+    }
+
+    /// Emits the record [`ChainCursor::peek`] just positioned at and
+    /// steps past it. Must follow a `Some` peek.
+    fn pop(&mut self, f: &mut dyn FnMut(&TraceRecord)) {
+        if self.seg == self.chain.sealed.len() {
+            f(&self.chain.hot[self.hot_pos]);
+            self.hot_pos += 1;
+        } else {
+            f(&self.buf[self.buf_pos]);
+            self.buf_pos += 1;
+        }
+    }
+}
+
+/// Replays every in-window record of `chains` in global arrival order.
+/// One chain streams directly (the single-writer fast path: pipelined
+/// chunk decode, no sequences consulted); two or more are k-way merged
+/// by arrival sequence with a linear min-scan — chain counts are small.
+fn for_each_merged(chains: &[ShardChain], start: u64, end: u64, f: &mut dyn FnMut(&TraceRecord)) {
+    if let [chain] = chains {
+        stream_records(&chain.sealed, start, end, f);
+        for r in chain.hot.iter() {
+            if r.micros >= start && r.micros < end {
+                f(r);
+            }
+        }
+        return;
+    }
+    let mut cursors: Vec<ChainCursor> = chains
+        .iter()
+        .map(|c| ChainCursor::new(c, start, end))
+        .collect();
+    loop {
+        let mut best: Option<(u64, usize)> = None;
+        for (i, cursor) in cursors.iter_mut().enumerate() {
+            if let Some(seq) = cursor.peek() {
+                if best.is_none_or(|(s, _)| seq < s) {
+                    best = Some((seq, i));
+                }
+            }
+        }
+        let Some((_, i)) = best else {
+            return;
+        };
+        cursors[i].pop(f);
+    }
+}
+
+/// A [`TraceView`] over everything a [`crate::LiveIngest`] (or a
+/// [`crate::ShardedLiveIngest`]) has ingested at one instant: per
+/// shard, the sealed on-disk segments plus a snapshot of the hot (not
+/// yet sealed) records.
 ///
 /// A `LiveView` is **stable**: the sealed segment files are immutable,
-/// the hot tail is cloned at snapshot time (bounded by the rotation
-/// thresholds), and the construction-pass products come from a clone
-/// of the ingest's running [`PartialIndex`] — so queries answered
-/// mid-ingest keep answering identically while records continue to
-/// flow in behind them. It answers the full table/figure suite: the
-/// analysis layer is generic over [`TraceView`], and this view's
-/// contract is the usual bit-identity with an in-memory
-/// [`nfstrace_core::index::TraceIndex`] over the same records.
+/// the hot tails are snapshotted behind [`Arc`]s at view time (the
+/// ingest copies on its next write, never in place), and the
+/// construction-pass products come from a copy-on-write snapshot of
+/// the running [`nfstrace_core::index::PartialIndex`] state — so
+/// queries answered mid-ingest keep answering identically while
+/// records continue to flow in behind them. It answers the full
+/// table/figure suite: the analysis layer is generic over
+/// [`TraceView`], and this view's contract is the usual bit-identity
+/// with an in-memory [`nfstrace_core::index::TraceIndex`] over the
+/// same records — for a sharded ingest, over the *original* global
+/// stream, reconstructed by merging chains on arrival sequence.
 ///
-/// Record replays stream the sealed chunks out-of-core (pipelined on
-/// multi-worker runs, see [`stream_records`]) and then the hot tail —
-/// hot records always follow every sealed record in time.
+/// Record replays stream sealed chunks out-of-core: a single chain is
+/// pipelined ([`stream_records`]) with the hot tail appended; multiple
+/// chains are k-way merged by the per-segment sequence sidecars, one
+/// decoded chunk per chain resident at a time.
 #[derive(Debug)]
 pub struct LiveView {
-    sealed: Vec<Arc<StoreReader>>,
-    hot: Arc<Vec<TraceRecord>>,
+    chains: Vec<ShardChain>,
     /// This view's half-open time range.
     start: u64,
     end: u64,
@@ -43,21 +236,27 @@ pub struct LiveView {
 }
 
 impl LiveView {
-    /// Assembles a snapshot view. `base` must be the finished
-    /// construction products over exactly (sealed ++ hot) restricted to
-    /// `[start, end)` — [`crate::LiveIngest::view`] maintains that
-    /// running partial and hands in its snapshot, so building a view is
-    /// O(clone), not a decode pass.
-    pub(crate) fn assemble(
-        sealed: Vec<Arc<StoreReader>>,
-        hot: Arc<Vec<TraceRecord>>,
+    /// Assembles a single-chain snapshot view. `base` must be the
+    /// finished construction products over exactly (sealed ++ hot)
+    /// restricted to `[start, end)` — [`crate::LiveIngest::view`]
+    /// maintains that running partial and hands in its snapshot, so
+    /// building a view is O(snapshot), not a decode pass.
+    pub(crate) fn assemble(chain: ShardChain, start: u64, end: u64, base: IndexBase) -> Self {
+        Self::assemble_sharded(vec![chain], start, end, base)
+    }
+
+    /// Assembles a view over any number of shard chains. With two or
+    /// more chains, every chain must carry arrival sequences for all
+    /// of its records and `base` must be the merged products over the
+    /// union — [`crate::ShardedLiveIngest::view`]'s contract.
+    pub(crate) fn assemble_sharded(
+        chains: Vec<ShardChain>,
         start: u64,
         end: u64,
         base: IndexBase,
     ) -> Self {
         LiveView {
-            sealed,
-            hot,
+            chains,
             start,
             end,
             base,
@@ -65,18 +264,32 @@ impl LiveView {
         }
     }
 
-    /// The sealed segment readers behind this snapshot.
-    pub fn sealed(&self) -> &[Arc<StoreReader>] {
-        &self.sealed
+    /// The shard chains behind this snapshot (one for a single-writer
+    /// ingest).
+    pub fn chains(&self) -> &[ShardChain] {
+        &self.chains
+    }
+
+    /// The sealed segment readers behind this snapshot, across all
+    /// chains.
+    pub fn sealed(&self) -> Vec<Arc<StoreReader>> {
+        self.chains
+            .iter()
+            .flat_map(|c| c.sealed.iter().cloned())
+            .collect()
     }
 
     /// The hot (unsealed) records in this snapshot's range — windowed
     /// views yield only the hot records inside their window, consistent
-    /// with [`LiveView::record_count`] and the replay stream.
+    /// with [`LiveView::record_count`] and the replay stream. Across
+    /// chains, in chain order (use the replay stream for global
+    /// arrival order).
     pub fn hot_records(&self) -> impl Iterator<Item = &TraceRecord> {
-        self.hot
-            .iter()
-            .filter(|r| r.micros >= self.start && r.micros < self.end)
+        self.chains.iter().flat_map(move |c| {
+            c.hot
+                .iter()
+                .filter(|r| r.micros >= self.start && r.micros < self.end)
+        })
     }
 
     /// Records in this view (sealed + hot, inside the range).
@@ -86,20 +299,16 @@ impl LiveView {
 }
 
 impl RecordStream for LiveView {
-    /// Sealed chunks (skipping those outside the window, pipelined
-    /// decode on multi-worker runs), then the hot tail.
+    /// A single chain: sealed chunks (skipping those outside the
+    /// window, pipelined decode on multi-worker runs), then the hot
+    /// tail. Multiple chains: k-way merge by arrival sequence.
     ///
     /// # Panics
     ///
     /// On chunk read/decode failure — a sealed segment corrupted (or
     /// deleted) mid-analysis.
     fn for_each_record(&self, f: &mut dyn FnMut(&TraceRecord)) {
-        stream_records(&self.sealed, self.start, self.end, f);
-        for r in self.hot.iter() {
-            if r.micros >= self.start && r.micros < self.end {
-                f(r);
-            }
-        }
+        for_each_merged(&self.chains, self.start, self.end, f);
     }
 }
 
@@ -140,8 +349,9 @@ impl TraceView for LiveView {
         nfstrace_core::reorder::swap_fraction_sweep(&self.base.raw, windows_ms)
     }
 
-    /// A narrower snapshot sharing the sealed readers and the hot
-    /// clone; its construction pass streams the window's chunks once.
+    /// A narrower snapshot sharing the chains (sealed readers and hot
+    /// clones); its construction pass streams the window's chunks once,
+    /// in merged order.
     ///
     /// # Panics
     ///
@@ -151,19 +361,8 @@ impl TraceView for LiveView {
         let start = start_micros.max(self.start);
         let end = end_micros.min(self.end).max(start);
         let mut partial = PartialIndex::new();
-        stream_records(&self.sealed, start, end, &mut |r| partial.observe(r));
-        for r in self.hot.iter() {
-            if r.micros >= start && r.micros < end {
-                partial.observe(r);
-            }
-        }
-        LiveView::assemble(
-            self.sealed.clone(),
-            Arc::clone(&self.hot),
-            start,
-            end,
-            partial.finish(),
-        )
+        for_each_merged(&self.chains, start, end, &mut |r| partial.observe(r));
+        LiveView::assemble_sharded(self.chains.clone(), start, end, partial.finish())
     }
 
     fn sort_passes(&self) -> u64 {

@@ -1,0 +1,276 @@
+//! End-to-end sharded ingest: shard layout, sequence sidecars,
+//! manifest guards, reopen — against batch-path oracles.
+
+use nfstrace_core::index::{RecordStream, TraceIndex, TraceView};
+use nfstrace_core::record::{FileId, Op, TraceRecord};
+use nfstrace_core::time::{DAY, HOUR};
+use nfstrace_live::{
+    seqfile, shard_for_client, LiveConfig, LiveIngest, ShardedLiveIngest, SlicedWorkloadSource,
+    SHARD_MANIFEST,
+};
+use nfstrace_store::segments::shard_dir_name;
+use nfstrace_store::StoreConfig;
+use nfstrace_workload::{CampusConfig, CampusWorkload, SlicedWorkload};
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("nfstrace-sharded-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn campus_cfg() -> CampusConfig {
+    CampusConfig {
+        users: 4,
+        duration_micros: DAY,
+        seed: 42,
+        ..CampusConfig::default()
+    }
+}
+
+fn sharded_cfg(dir: &std::path::Path) -> LiveConfig {
+    LiveConfig {
+        store: StoreConfig {
+            target_chunk_bytes: 64 << 10,
+            ..StoreConfig::default()
+        },
+        rotate_records: 4_000,
+        rotate_micros: 6 * HOUR,
+        ..LiveConfig::new(dir)
+    }
+}
+
+fn assert_views_agree<A: TraceView, B: TraceView>(a: &A, b: &B, ctx: &str) {
+    assert_eq!(a.len(), b.len(), "{ctx}: len");
+    assert_eq!(a.summary(), b.summary(), "{ctx}: summary");
+    assert_eq!(a.hourly(), b.hourly(), "{ctx}: hourly");
+    assert_eq!(
+        a.accesses(10).as_ref(),
+        b.accesses(10).as_ref(),
+        "{ctx}: accesses"
+    );
+    assert_eq!(
+        a.runs(10, Default::default()).as_ref(),
+        b.runs(10, Default::default()).as_ref(),
+        "{ctx}: runs"
+    );
+    assert_eq!(a.names(), b.names(), "{ctx}: names");
+}
+
+/// The headline invariant, across shard counts: a sharded daemon over
+/// the day-long campus workload answers the suite identically to the
+/// in-memory index over the batch trace, and its merged replay is the
+/// batch stream record for record.
+#[test]
+fn sharded_ingest_equals_batch_across_shard_counts() {
+    let batch = CampusWorkload::new(campus_cfg()).generate_with_threads(1);
+    for shards in [1usize, 2, 4] {
+        let dir = tmpdir(&format!("counts-{shards}"));
+        let mut ingest = ShardedLiveIngest::create(sharded_cfg(&dir), shards).expect("create");
+        let mut source = SlicedWorkloadSource::new(SlicedWorkload::campus(campus_cfg(), HOUR, 2));
+        ingest.run(&mut source).expect("run");
+        assert_eq!(ingest.total_records(), batch.len() as u64);
+
+        // Mid-ingest (pre-finish) merged view: replay + products.
+        let view = ingest.view();
+        let mut back = Vec::new();
+        view.for_each_record(&mut |r| back.push(r.clone()));
+        assert_eq!(back, batch, "{shards} shards: merged replay");
+        let mem = TraceIndex::new(batch.clone());
+        assert_views_agree(&view, &mem, &format!("{shards} shards vs in-memory"));
+
+        // Every record landed on the shard its client hashes to.
+        for (i, shard) in ingest.shards().iter().enumerate() {
+            let mut shard_view = Vec::new();
+            shard
+                .view()
+                .for_each_record(&mut |r| shard_view.push(r.client));
+            assert!(
+                shard_view.iter().all(|&c| shard_for_client(c, shards) == i),
+                "shard {i} holds a foreign client"
+            );
+        }
+
+        let summary = ingest.finish().expect("finish");
+        assert_eq!(summary.shards.len(), shards);
+        assert_eq!(summary.total_records, batch.len() as u64);
+        // Exactly the shards the clients hash to saw records.
+        let expected_used: std::collections::BTreeSet<usize> = batch
+            .iter()
+            .map(|r| shard_for_client(r.client, shards))
+            .collect();
+        let used: std::collections::BTreeSet<usize> = summary
+            .shards
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.total_records > 0)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(used, expected_used, "{shards} shards: shard occupancy");
+        if shards > 1 {
+            assert!(
+                used.len() > 1,
+                "the campus clients must actually spread across {shards} shards"
+            );
+        }
+
+        // Layout: manifest + shard-NNN dirs, each segment with its
+        // sequence sidecar.
+        assert!(dir.join(SHARD_MANIFEST).exists());
+        for i in 0..shards {
+            let shard_dir = dir.join(shard_dir_name(i));
+            for entry in std::fs::read_dir(&shard_dir).expect("shard dir") {
+                let path = entry.expect("entry").path();
+                if path.extension().is_some_and(|e| e == "nfseg") {
+                    let seqs = seqfile::read_sidecar(&path).expect("sealed segment sidecar");
+                    assert!(!seqs.is_empty());
+                    assert!(
+                        seqs.windows(2).all(|w| w[0] < w[1]),
+                        "sidecar seqs increase"
+                    );
+                }
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn reopen_resumes_sequences_and_appends_across_shards() {
+    let dir = tmpdir("reopen");
+    let batch = CampusWorkload::new(campus_cfg()).generate_with_threads(1);
+
+    // First run: half the day, then stop (sealing every shard's tail).
+    let mut first = ShardedLiveIngest::create(sharded_cfg(&dir), 3).expect("create");
+    let mut sliced = SlicedWorkload::campus(campus_cfg(), 2 * HOUR, 1);
+    let mut batch_buf: Vec<TraceRecord> = Vec::new();
+    while sliced.emitted_to() < 12 * HOUR {
+        batch_buf.clear();
+        if !sliced.next_slice_into(&mut batch_buf).expect("slice") {
+            break;
+        }
+        first.ingest_batch(&batch_buf).expect("ingest");
+    }
+    let stopped_at = sliced.emitted_to();
+    let first_total = first.total_records();
+    first.finish().expect("finish first");
+
+    // Second run: reopen (shard count comes from the manifest), verify
+    // the resumed view, keep ingesting the same stream.
+    let mut second = ShardedLiveIngest::open(sharded_cfg(&dir)).expect("reopen");
+    assert_eq!(second.shard_count(), 3);
+    assert_eq!(second.total_records(), first_total);
+    let so_far: Vec<TraceRecord> = batch
+        .iter()
+        .filter(|r| r.micros < stopped_at)
+        .cloned()
+        .collect();
+    assert_views_agree(
+        &second.view(),
+        &TraceIndex::new(so_far),
+        "reopened sharded view",
+    );
+    loop {
+        batch_buf.clear();
+        if !sliced.next_slice_into(&mut batch_buf).expect("slice") {
+            break;
+        }
+        second.ingest_batch(&batch_buf).expect("ingest");
+    }
+    let view = second.view();
+    let mut back = Vec::new();
+    view.for_each_record(&mut |r| back.push(r.clone()));
+    assert_eq!(back, batch, "stop+reopen must reproduce the batch stream");
+    second.finish().expect("finish second");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn manifest_and_order_guards() {
+    let dir = tmpdir("guards");
+    let mut ingest = ShardedLiveIngest::create(sharded_cfg(&dir), 2).expect("create");
+    let r = |micros| TraceRecord::new(micros, Op::Read, FileId(1));
+    ingest
+        .ingest_batch(&[r(1000), r(1000), r(2000)])
+        .expect("in order");
+    // A time-travelling batch is rejected before touching any shard.
+    assert!(matches!(
+        ingest.ingest_batch(&[r(1999)]),
+        Err(nfstrace_store::StoreError::OutOfOrder { .. })
+    ));
+    assert_eq!(ingest.total_records(), 3);
+    ingest.finish().expect("finish");
+
+    // Create over an existing sharded root must refuse.
+    assert!(ShardedLiveIngest::create(sharded_cfg(&dir), 2).is_err());
+    // Reopen ignores the caller's count and uses the manifest; a
+    // manifest pinning fewer shards than exist on disk is rejected.
+    std::fs::write(dir.join(SHARD_MANIFEST), "1\n").expect("shrink manifest");
+    assert!(ShardedLiveIngest::open(sharded_cfg(&dir)).is_err());
+    std::fs::write(dir.join(SHARD_MANIFEST), "2\n").expect("restore manifest");
+    ShardedLiveIngest::open(sharded_cfg(&dir)).expect("open resumes");
+    // A garbage or missing manifest is an error, not a guess.
+    std::fs::write(dir.join(SHARD_MANIFEST), "two\n").expect("garbage manifest");
+    assert!(ShardedLiveIngest::open(sharded_cfg(&dir)).is_err());
+    std::fs::remove_file(dir.join(SHARD_MANIFEST)).expect("drop manifest");
+    assert!(ShardedLiveIngest::open(sharded_cfg(&dir)).is_err());
+    assert!(ShardedLiveIngest::create(sharded_cfg(&dir), 0).is_err());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sequence_stamping_guards_and_plain_ingest_stays_sidecar_free() {
+    // A tracked single writer self-stamps dense sequences and resumes
+    // past them on reopen.
+    let dir = tmpdir("selfstamp");
+    let tracked = |dir: &std::path::Path| LiveConfig {
+        rotate_records: 4,
+        track_seqs: true,
+        ..LiveConfig::new(dir)
+    };
+    let mut ingest = LiveIngest::create(tracked(&dir)).expect("create");
+    for i in 0..10u64 {
+        ingest
+            .ingest(&TraceRecord::new(i * 1000, Op::Read, FileId(i % 3)))
+            .expect("ingest");
+    }
+    assert_eq!(ingest.next_seq(), 10);
+    // Explicit sequences must keep increasing.
+    assert!(ingest
+        .ingest_with_seq(&TraceRecord::new(20_000, Op::Read, FileId(1)), 5)
+        .is_err());
+    ingest.finish().expect("finish");
+    let reopened = LiveIngest::open(tracked(&dir)).expect("reopen tracked");
+    assert_eq!(reopened.next_seq(), 10);
+    drop(reopened);
+    // A non-tracking reopen of the same directory still works — the
+    // sidecars are invisible to the plain path.
+    LiveIngest::open(LiveConfig::new(&dir)).expect("reopen untracked");
+    std::fs::remove_dir_all(&dir).ok();
+
+    // The default single-writer ingest writes no sidecars (its segment
+    // directory stays byte-identical to pre-sharding layouts), and
+    // explicit sequences without tracking are rejected.
+    let dir = tmpdir("plain");
+    let mut plain = LiveIngest::create(LiveConfig {
+        rotate_records: 4,
+        ..LiveConfig::new(&dir)
+    })
+    .expect("create plain");
+    assert!(plain
+        .ingest_with_seq(&TraceRecord::new(0, Op::Read, FileId(1)), 0)
+        .is_err());
+    for i in 0..10u64 {
+        plain
+            .ingest(&TraceRecord::new(i * 1000, Op::Read, FileId(1)))
+            .expect("ingest");
+    }
+    plain.finish().expect("finish");
+    assert!(
+        std::fs::read_dir(&dir).expect("read dir").all(|e| {
+            let name = e.expect("entry").file_name();
+            !name.to_string_lossy().ends_with(".nfseq")
+        }),
+        "plain ingest must not write sequence sidecars"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -271,6 +271,31 @@ mod tests {
         assert_eq!(r.next_seq(), 2);
     }
 
+    /// Many segments delivered out of order across the `u32::MAX`
+    /// boundary: the relative-offset bookkeeping must see one contiguous
+    /// stream, not a gap at the wrap point.
+    #[test]
+    fn wraparound_with_out_of_order_segments() {
+        let data: Vec<u8> = (0..200u32).flat_map(|i| i.to_be_bytes()).collect();
+        let start = u32::MAX - 350; // the wrap lands mid-stream
+        let mut r = StreamReassembler::new(start);
+        let chunks: Vec<(u32, &[u8])> = data
+            .chunks(16)
+            .enumerate()
+            .map(|(i, c)| (start.wrapping_add((i * 16) as u32), c))
+            .collect();
+        // Everything after the first chunk arrives before it.
+        for &(seq, chunk) in chunks.iter().skip(1).rev() {
+            r.push(seq, chunk);
+        }
+        assert!(r.has_gap());
+        r.push(chunks[0].0, chunks[0].1);
+        assert_eq!(r.read_available(), data);
+        assert!(!r.has_gap());
+        assert_eq!(r.next_seq(), start.wrapping_add(data.len() as u32));
+        assert_eq!(r.stats().bytes_lost, 0);
+    }
+
     #[test]
     fn empty_push_is_noop() {
         let mut r = StreamReassembler::new(5);

@@ -12,8 +12,10 @@ use std::collections::HashMap;
 /// Key identifying an outstanding call: the flow plus the XID.
 ///
 /// Addresses are 32-bit IPv4 values; ports disambiguate multiple mounts
-/// from one client.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// from one client. Keys order by `(client_ip, server_ip, client_port,
+/// xid)`, the tiebreaker that makes [`XidMatcher::expire`] and
+/// [`XidMatcher::drain`] deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FlowXid {
     /// Client IP (the caller).
     pub client_ip: u32,
@@ -35,9 +37,23 @@ pub struct PendingCall<T> {
 }
 
 /// Statistics from matching.
+///
+/// Accounting rules:
+///
+/// - Every *distinct* transaction bumps `calls` exactly once. A
+///   retransmission — the same [`FlowXid`] inserted while a call is
+///   still outstanding — bumps `retransmits` instead: it is the same
+///   transaction on the wire twice, not a new one, and counting it as
+///   fresh would inflate the loss-rate denominator.
+/// - A transaction then resolves exactly one way: its reply pairs
+///   (`matched`), or it ages out or survives to the end of the capture
+///   (`expired_calls` — [`XidMatcher::expire`] and
+///   [`XidMatcher::drain`] both count there).
+/// - A reply with no outstanding call bumps `orphan_replies`; its call
+///   was never captured, so it never appears in `calls`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct XidStats {
-    /// Calls inserted.
+    /// Distinct calls inserted (retransmissions excluded).
     pub calls: u64,
     /// Replies paired with a call.
     pub matched: u64,
@@ -45,14 +61,19 @@ pub struct XidStats {
     pub orphan_replies: u64,
     /// Calls expired without a reply (the reply was lost).
     pub expired_calls: u64,
-    /// Retransmitted calls (same key while one is outstanding).
+    /// Retransmitted calls (same key while one is outstanding); these
+    /// do **not** count in `calls`.
     pub retransmits: u64,
 }
 
 impl XidStats {
-    /// Estimated fraction of messages lost, from the orphan counters:
-    /// a lost call surfaces as an orphan reply, a lost reply as an
-    /// expired call.
+    /// The §4.1.4 loss estimate.
+    ///
+    /// Unmatched messages over all messages seen:
+    /// `(orphan_replies + expired_calls) / (calls + matched +
+    /// orphan_replies)`. A lost call surfaces as an orphan reply, a
+    /// lost reply as an expired call; `retransmits` feeds neither side
+    /// of the ratio.
     pub fn estimated_loss_rate(&self) -> f64 {
         let total = self.calls + self.matched + self.orphan_replies;
         if total == 0 {
@@ -102,17 +123,20 @@ impl<T> XidMatcher<T> {
 
     /// Records an outgoing call observed at `call_micros`.
     ///
-    /// A duplicate key counts as a retransmit and replaces the stored
-    /// call (the reply will match the retransmission).
+    /// A duplicate key counts as a retransmit — not a fresh call in
+    /// [`XidStats::calls`], since it is the same transaction resent —
+    /// and replaces the stored call (the reply will match the
+    /// retransmission).
     pub fn insert_call(&mut self, key: FlowXid, call_micros: u64, data: T) {
         self.now_micros = self.now_micros.max(call_micros);
-        self.stats.calls += 1;
         if self
             .pending
             .insert(key, PendingCall { call_micros, data })
             .is_some()
         {
             self.stats.retransmits += 1;
+        } else {
+            self.stats.calls += 1;
         }
     }
 
@@ -135,7 +159,9 @@ impl<T> XidMatcher<T> {
     }
 
     /// Expires calls older than the timeout relative to the most recent
-    /// observed timestamp. Returns the expired calls.
+    /// observed timestamp. Returns the expired calls, ordered by
+    /// `(call_micros, key)` — hash-map iteration order must never leak
+    /// into what a caller logs or replays.
     pub fn expire(&mut self) -> Vec<(FlowXid, PendingCall<T>)> {
         let cutoff = self.now_micros.saturating_sub(self.timeout_micros);
         let expired_keys: Vec<FlowXid> = self
@@ -151,14 +177,17 @@ impl<T> XidMatcher<T> {
                 out.push((k, c));
             }
         }
+        out.sort_by_key(|(k, c)| (c.call_micros, *k));
         out
     }
 
     /// Drains every outstanding call (end of capture), counting each as
-    /// expired.
+    /// expired. Ordered by `(call_micros, key)`, like
+    /// [`XidMatcher::expire`].
     pub fn drain(&mut self) -> Vec<(FlowXid, PendingCall<T>)> {
-        let out: Vec<_> = self.pending.drain().collect();
+        let mut out: Vec<_> = self.pending.drain().collect();
         self.stats.expired_calls += out.len() as u64;
+        out.sort_by_key(|(k, c)| (c.call_micros, *k));
         out
     }
 
@@ -279,6 +308,71 @@ mod tests {
         assert_eq!(m.oldest_pending_micros(), Some(500));
         m.drain();
         assert_eq!(m.oldest_pending_micros(), None);
+    }
+
+    /// Expiry and drain order is pinned: `(call_micros, key)`, never
+    /// whatever the hash map happens to iterate.
+    #[test]
+    fn expire_and_drain_order_is_deterministic() {
+        let keys: Vec<FlowXid> = (0..24u32)
+            .map(|i| FlowXid {
+                client_ip: 0x0a00_0000 | (i % 5),
+                server_ip: 0x0a00_00ff,
+                client_port: 900 + (i % 3) as u16,
+                xid: i.wrapping_mul(0x9e37_79b9),
+            })
+            .collect();
+        // Many ties on call_micros force the key tiebreaker to matter.
+        let mut expected: Vec<(FlowXid, u64)> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (k, (i as u64 % 4) * 10))
+            .collect();
+        expected.sort_by_key(|&(k, t)| (t, k));
+
+        let mut m = XidMatcher::new(1_000);
+        for (i, &k) in keys.iter().enumerate() {
+            m.insert_call(k, (i as u64 % 4) * 10, ());
+        }
+        m.insert_call(key(999), 1_000_000, ()); // keeps `now` fresh
+        let expired: Vec<(FlowXid, u64)> = m
+            .expire()
+            .into_iter()
+            .map(|(k, c)| (k, c.call_micros))
+            .collect();
+        assert_eq!(expired.len(), keys.len());
+        assert_eq!(expired, expected);
+
+        let mut m = XidMatcher::new(1_000_000);
+        for (i, &k) in keys.iter().enumerate() {
+            m.insert_call(k, (i as u64 % 4) * 10, ());
+        }
+        let drained: Vec<(FlowXid, u64)> = m
+            .drain()
+            .into_iter()
+            .map(|(k, c)| (k, c.call_micros))
+            .collect();
+        assert_eq!(drained, expired);
+    }
+
+    /// A retransmission is the same transaction twice, not a fresh
+    /// call: it must move `retransmits`, not `calls`, or the loss-rate
+    /// denominator inflates.
+    #[test]
+    fn retransmit_does_not_count_as_fresh_call() {
+        let mut m = XidMatcher::new(1_000_000);
+        m.insert_call(key(1), 100, "first");
+        m.insert_call(key(1), 300, "retry");
+        m.insert_call(key(1), 500, "retry again");
+        let stats = m.stats();
+        assert_eq!(stats.calls, 1);
+        assert_eq!(stats.retransmits, 2);
+        assert!(m.match_reply(key(1), 600).is_some());
+        // One transaction, resolved once: the loss estimate sees a
+        // clean capture.
+        let stats = m.stats();
+        assert_eq!(stats.matched, 1);
+        assert_eq!(stats.estimated_loss_rate(), 0.0);
     }
 
     #[test]

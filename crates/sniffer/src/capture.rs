@@ -31,10 +31,16 @@ const CALL_TIMEOUT_MICROS: u64 = 120 * 1_000_000;
 const GAP_SKIP_THRESHOLD: u64 = 32 * 1024;
 
 /// Finds the first plausible RPC record boundary in post-gap stream
-/// bytes: a record mark (last-fragment bit set, sane length) followed by
-/// an RPC header whose message type is CALL or REPLY. The paper's tools
-/// resynchronize the same way after losing packets through the mirror
-/// port.
+/// bytes: a record mark with a sane length followed by an RPC header
+/// whose message type is CALL or REPLY. The paper's tools resynchronize
+/// the same way after losing packets through the mirror port.
+///
+/// The mark's last-fragment bit may be *clear*: a record large enough to
+/// be split into fragments (RFC 1831 §10) opens with a non-final mark,
+/// and demanding the bit would skip every such record — landing inside
+/// it instead and losing it. With the bit no longer discriminating, the
+/// fourth word doubles as a check: a CALL's rpcvers is 2 and a REPLY's
+/// reply_stat is 0 or 1, so anything above 2 there is mid-record data.
 fn resync_offset(bytes: &[u8]) -> usize {
     let take4 = |at: usize| -> Option<u32> {
         bytes
@@ -43,9 +49,11 @@ fn resync_offset(bytes: &[u8]) -> usize {
     };
     let mut at = 0;
     while at + 16 <= bytes.len() {
-        if let (Some(mark), Some(mtype)) = (take4(at), take4(at + 8)) {
+        if let (Some(mark), Some(mtype), Some(vers_or_stat)) =
+            (take4(at), take4(at + 8), take4(at + 12))
+        {
             let len = (mark & 0x7fff_ffff) as usize;
-            if mark & 0x8000_0000 != 0 && (16..1 << 20).contains(&len) && mtype <= 1 {
+            if (16..1 << 20).contains(&len) && mtype <= 1 && vers_or_stat <= 2 {
                 return at;
             }
         }
@@ -378,6 +386,7 @@ mod tests {
     use crate::wire::WireEncoder;
     use nfstrace_client::{ClientConfig, ClientMachine, EmittedCall};
     use nfstrace_fssim::NfsServer;
+    use nfstrace_xdr::Pack;
 
     /// A short client session's events.
     fn session_events(vers: u8) -> Vec<EmittedCall> {
@@ -605,6 +614,126 @@ mod tests {
         );
         assert_eq!(drained[0].micros, 200_000_000);
         assert_eq!(s.stats().lost_replies, 1, "the expired call counts lost");
+    }
+
+    /// A long-lived TCP flow eventually wraps its 32-bit sequence space;
+    /// both stream directions here cross `u32::MAX` mid-session and must
+    /// reassemble without a gap, producing the same records as a flow
+    /// that started at sequence 1.
+    #[test]
+    fn tcp_sequence_wraparound_reassembles_without_gap() {
+        let events = session_events(3);
+        let mut enc = WireEncoder::tcp_standard();
+        let packets: Vec<CapturedPacket> =
+            events.iter().flat_map(|e| enc.encode_event(e)).collect();
+        let (reference, _) = sniff(&packets);
+
+        // ~100 KB flows each way; starting 9 KB below the top forces the
+        // wrap a few records in.
+        let mut enc = WireEncoder::tcp_standard().with_initial_seq(u32::MAX - 9_000);
+        let packets: Vec<CapturedPacket> =
+            events.iter().flat_map(|e| enc.encode_event(e)).collect();
+        let (records, stats) = sniff(&packets);
+        assert_eq!(stats.decode_errors, 0);
+        assert_eq!(stats.tcp_bytes_lost, 0, "wrap must not look like a gap");
+        assert_eq!(stats.orphan_replies, 0);
+        assert_eq!(stats.lost_replies, 0);
+        assert_eq!(records.len(), events.len());
+        assert_eq!(records, reference);
+    }
+
+    #[test]
+    fn resync_accepts_non_final_fragment_marks() {
+        use crate::wire::{build_rpc_pair, DowngradeStats};
+        use nfstrace_rpc::record::mark_record_fragmented;
+        let events = session_events(3);
+        let (call_msg, _) = build_rpc_pair(&events[0], &mut DowngradeStats::default());
+        let call_bytes = call_msg.to_xdr_bytes();
+        assert!(call_bytes.len() > 40, "need a multi-fragment record");
+
+        // Garbage that can never look like a boundary, then a record
+        // whose *first* mark is a non-final fragment.
+        let mut stream = vec![0xff_u8; 8];
+        stream.extend_from_slice(&mark_record_fragmented(&call_bytes, 40));
+        assert_eq!(resync_offset(&stream), 8);
+    }
+
+    /// A dropped segment ages out the reassembly gap; the stream resumes
+    /// exactly at a record that opens with a *non-final* fragment mark.
+    /// Resync must land on it — the old heuristic demanded the
+    /// last-fragment bit and skipped into the record instead, losing it.
+    #[test]
+    fn gap_resync_lands_on_fragmented_record() {
+        use crate::wire::{build_rpc_pair, DowngradeStats};
+        use nfstrace_net::ethernet::MacAddr;
+        use nfstrace_net::ipv4::Ipv4Addr4;
+        use nfstrace_net::packet::PacketBuilder;
+        use nfstrace_rpc::record::{mark_record, mark_record_fragmented};
+
+        let events = session_events(3);
+        assert!(events.len() >= 4);
+        let mut narrowings = DowngradeStats::default();
+        let pairs: Vec<(RpcMessage, RpcMessage)> = events
+            .iter()
+            .map(|e| build_rpc_pair(e, &mut narrowings))
+            .collect();
+        let call_bytes: Vec<Vec<u8>> = pairs.iter().map(|(c, _)| c.to_xdr_bytes()).collect();
+
+        // Client→server stream: record 0 intact; record 1 entirely inside
+        // the dropped segment; record 2 fragmented; the rest plain —
+        // enough parked bytes to age the gap out mid-stream.
+        let r0 = mark_record(&call_bytes[0]);
+        let lost = mark_record(&call_bytes[1]);
+        let mut tail = mark_record_fragmented(&call_bytes[2], 1000);
+        for cb in &call_bytes[3..] {
+            tail.extend_from_slice(&mark_record(cb));
+        }
+        assert!(
+            tail.len() as u64 > GAP_SKIP_THRESHOLD,
+            "the post-gap stream must be big enough to trigger the skip"
+        );
+
+        let client = Ipv4Addr4::new(10, 0, 0, 1);
+        let server = Ipv4Addr4::new(10, 0, 0, 2);
+        let (cmac, smac) = (MacAddr::new([2; 6]), MacAddr::new([4; 6]));
+        let sport = 777_u16;
+        let mut s = Sniffer::new();
+        let mut ts = 0_u64;
+        let frame = PacketBuilder::tcp(cmac, smac, client, server, sport, 2049, 1, r0.clone());
+        s.observe_frame(ts, &frame);
+        // The `lost` record's segment is never observed; everything after
+        // it arrives in order and parks behind the gap.
+        let mut seq = 1_u32 + (r0.len() + lost.len()) as u32;
+        for chunk in tail.chunks(1448) {
+            ts += 1;
+            let frame =
+                PacketBuilder::tcp(cmac, smac, client, server, sport, 2049, seq, chunk.to_vec());
+            s.observe_frame(ts, &frame);
+            seq = seq.wrapping_add(chunk.len() as u32);
+        }
+        // All replies (including the lost call's, now an orphan) as UDP.
+        for (i, (_, reply)) in pairs.iter().enumerate() {
+            let frame = PacketBuilder::udp(
+                smac,
+                cmac,
+                server,
+                client,
+                2049,
+                sport,
+                reply.to_xdr_bytes(),
+            );
+            s.observe_frame(10_000 + i as u64, &frame);
+        }
+
+        let (records, stats) = s.finish();
+        assert_eq!(stats.decode_errors, 0, "the fragmented record must decode");
+        assert_eq!(stats.calls, events.len() as u64 - 1);
+        assert_eq!(stats.matched_replies, events.len() as u64 - 1);
+        assert_eq!(stats.orphan_replies, 1);
+        assert_eq!(records.len(), events.len() - 1);
+        // Exactly the dropped record's bytes were lost: the resync found
+        // the very first post-gap byte (the non-final fragment mark).
+        assert_eq!(stats.tcp_bytes_lost, lost.len() as u64);
     }
 
     #[test]

@@ -34,12 +34,46 @@ pub enum TransportMode {
     },
 }
 
+/// How often the v3→v2 downgrade had to narrow a 64-bit field into
+/// v2's 32 bits. Narrowing **saturates** to `u32::MAX` and counts here
+/// — never a silent `as u32` truncation, which would fabricate a
+/// small, valid-looking cookie or file id out of a large one.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DowngradeStats {
+    /// READDIR/READDIRPLUS cookies that exceeded 32 bits.
+    pub saturated_cookies: u64,
+    /// Directory-entry file ids that exceeded 32 bits.
+    pub saturated_fileids: u64,
+}
+
+impl DowngradeStats {
+    /// Total saturated narrowings.
+    pub fn total(&self) -> u64 {
+        self.saturated_cookies + self.saturated_fileids
+    }
+}
+
+/// Narrows a 64-bit wire field to v2's 32 bits, saturating (and
+/// counting) instead of truncating.
+fn narrow32(v: u64, saturations: &mut u64) -> u32 {
+    u32::try_from(v).unwrap_or_else(|_| {
+        *saturations += 1;
+        u32::MAX
+    })
+}
+
 /// Encodes events into captured packets.
 #[derive(Debug)]
 pub struct WireEncoder {
     mode: TransportMode,
     /// Next TCP sequence number per directed flow.
     seq: HashMap<(u32, u32, u16, u16), u32>,
+    /// First sequence number of each new flow. Real stacks pick an
+    /// arbitrary 32-bit ISN, so a long flow *will* wrap past `u32::MAX`;
+    /// seeding this near the top exercises that in a short capture.
+    initial_seq: u32,
+    /// Lossy v3→v2 narrowings observed while encoding.
+    downgrade: DowngradeStats,
 }
 
 /// The well-known NFS port.
@@ -51,6 +85,8 @@ impl WireEncoder {
         WireEncoder {
             mode: TransportMode::Udp,
             seq: HashMap::new(),
+            initial_seq: 1,
+            downgrade: DowngradeStats::default(),
         }
     }
 
@@ -59,6 +95,8 @@ impl WireEncoder {
         WireEncoder {
             mode: TransportMode::Tcp { mss: 8948 },
             seq: HashMap::new(),
+            initial_seq: 1,
+            downgrade: DowngradeStats::default(),
         }
     }
 
@@ -67,7 +105,22 @@ impl WireEncoder {
         WireEncoder {
             mode: TransportMode::Tcp { mss: 1448 },
             seq: HashMap::new(),
+            initial_seq: 1,
+            downgrade: DowngradeStats::default(),
         }
+    }
+
+    /// Starts every new flow at `seq` instead of 1. A value just below
+    /// `u32::MAX` makes even a short capture cross the sequence-number
+    /// wraparound, as any sufficiently long-lived real flow does.
+    pub fn with_initial_seq(mut self, seq: u32) -> Self {
+        self.initial_seq = seq;
+        self
+    }
+
+    /// Lossy v3→v2 narrowings this encoder has performed so far.
+    pub fn downgrade_stats(&self) -> DowngradeStats {
+        self.downgrade
     }
 
     /// Stable client port derived from the client address.
@@ -83,7 +136,7 @@ impl WireEncoder {
     /// Encodes one event into its call and reply packets, in capture
     /// order (call first even if timestamps tie).
     pub fn encode_event(&mut self, e: &EmittedCall) -> Vec<CapturedPacket> {
-        let (call_msg, reply_msg) = build_rpc_pair(e);
+        let (call_msg, reply_msg) = build_rpc_pair(e, &mut self.downgrade);
         let cport = Self::client_port(e.client_ip);
         let mut out = Vec::new();
         out.extend(self.emit(
@@ -126,7 +179,7 @@ impl WireEncoder {
             TransportMode::Tcp { mss } => {
                 let stream = mark_record(msg);
                 let key = (src_ip, dst_ip, sport, dport);
-                let seq = self.seq.entry(key).or_insert(1);
+                let seq = self.seq.entry(key).or_insert(self.initial_seq);
                 let mut pkts = Vec::new();
                 for (i, chunk) in stream.chunks(mss).enumerate() {
                     let frame = PacketBuilder::tcp(
@@ -152,15 +205,15 @@ impl WireEncoder {
 
 /// Builds the RPC call and reply messages for an event, choosing the
 /// protocol version by the event's tag.
-pub fn build_rpc_pair(e: &EmittedCall) -> (RpcMessage, RpcMessage) {
+pub fn build_rpc_pair(e: &EmittedCall, downgrade: &mut DowngradeStats) -> (RpcMessage, RpcMessage) {
     let cred = OpaqueAuth::unix(&AuthUnix::new(
         format!("client{:x}", e.client_ip),
         e.uid,
         e.gid,
     ));
     if e.vers == 2 {
-        let call2 = call3_to_v2(&e.call);
-        let reply2 = reply3_to_v2(&e.call, &e.reply);
+        let call2 = call3_to_v2(&e.call, downgrade);
+        let reply2 = reply3_to_v2(&e.call, &e.reply, downgrade);
         let call_msg = RpcMessage::call(
             e.xid,
             PROG_NFS,
@@ -185,8 +238,10 @@ pub fn build_rpc_pair(e: &EmittedCall) -> (RpcMessage, RpcMessage) {
     }
 }
 
-/// Downgrades a v3 call to its v2 equivalent.
-pub fn call3_to_v2(call: &Call3) -> Call2 {
+/// Downgrades a v3 call to its v2 equivalent. Fields wider than v2's
+/// 32 bits saturate and count in `downgrade` rather than silently
+/// truncating.
+pub fn call3_to_v2(call: &Call3, downgrade: &mut DowngradeStats) -> Call2 {
     match call {
         Call3::Null => Call2::Null,
         Call3::Getattr(a) | Call3::Readlink(a) => Call2::Getattr(a.object.clone()),
@@ -247,12 +302,12 @@ pub fn call3_to_v2(call: &Call3) -> Call2 {
         },
         Call3::Readdir(a) => Call2::Readdir {
             dir: a.dir.clone(),
-            cookie: a.cookie as u32,
+            cookie: narrow32(a.cookie, &mut downgrade.saturated_cookies),
             count: a.count,
         },
         Call3::Readdirplus(a) => Call2::Readdir {
             dir: a.dir.clone(),
-            cookie: a.cookie as u32,
+            cookie: narrow32(a.cookie, &mut downgrade.saturated_cookies),
             count: a.maxcount,
         },
         // v2 has no COMMIT; a null ping is the closest no-op.
@@ -268,7 +323,9 @@ fn dirop2(a: &nfstrace_nfs::v3::DirOpArgs) -> DirOpArgs2 {
 }
 
 /// Downgrades a v3 reply to the v2 reply for the downgraded call.
-pub fn reply3_to_v2(call: &Call3, reply: &Reply3) -> Reply2 {
+/// Directory-entry file ids and cookies saturate and count in
+/// `downgrade` rather than silently truncating.
+pub fn reply3_to_v2(call: &Call3, reply: &Reply3, downgrade: &mut DowngradeStats) -> Reply2 {
     let status = reply.status;
     match (&reply.body, call) {
         (Reply3Body::Null, _) => Reply2::Void,
@@ -320,9 +377,9 @@ pub fn reply3_to_v2(call: &Call3, reply: &Reply3) -> Reply2 {
                 .entries
                 .iter()
                 .map(|e| nfstrace_nfs::v2::DirEntry2 {
-                    fileid: e.fileid as u32,
+                    fileid: narrow32(e.fileid, &mut downgrade.saturated_fileids),
                     name: e.name.clone(),
-                    cookie: e.cookie as u32,
+                    cookie: narrow32(e.cookie, &mut downgrade.saturated_cookies),
                 })
                 .collect(),
             eof: res.eof,
@@ -333,9 +390,9 @@ pub fn reply3_to_v2(call: &Call3, reply: &Reply3) -> Reply2 {
                 .entries
                 .iter()
                 .map(|e| nfstrace_nfs::v2::DirEntry2 {
-                    fileid: e.fileid as u32,
+                    fileid: narrow32(e.fileid, &mut downgrade.saturated_fileids),
                     name: e.name.clone(),
-                    cookie: e.cookie as u32,
+                    cookie: narrow32(e.cookie, &mut downgrade.saturated_cookies),
                 })
                 .collect(),
             eof: res.eof,
@@ -470,10 +527,77 @@ mod tests {
             }),
         ];
         for c in calls {
-            let c2 = call3_to_v2(&c);
+            let c2 = call3_to_v2(&c, &mut DowngradeStats::default());
             // Round-trip the downgraded call over the wire format.
             let bytes = c2.encode_args();
             assert_eq!(Call2::decode(c2.proc(), &bytes).unwrap(), c2);
         }
+    }
+
+    /// Regression: 64-bit cookies and file ids past `u32::MAX` must
+    /// saturate (and be counted), never wrap into small valid-looking
+    /// v2 values — `0x1_0000_0005 as u32` used to come out as `5`.
+    #[test]
+    fn v2_downgrade_saturates_wide_cookies_and_fileids() {
+        use nfstrace_nfs::v3::*;
+        let fh = FileHandle::from_u64(1);
+        let mut stats = DowngradeStats::default();
+
+        let call = Call3::Readdir(Readdir3Args {
+            dir: fh.clone(),
+            cookie: u64::from(u32::MAX) + 6, // would truncate to 5
+            cookieverf: [0; 8],
+            count: 512,
+        });
+        match call3_to_v2(&call, &mut stats) {
+            Call2::Readdir { cookie, .. } => assert_eq!(cookie, u32::MAX),
+            other => panic!("unexpected downgrade: {other:?}"),
+        }
+        assert_eq!(stats.saturated_cookies, 1);
+
+        // An in-range cookie passes through exactly and counts nothing.
+        let small = Call3::Readdirplus(Readdirplus3Args {
+            dir: fh.clone(),
+            cookie: 7,
+            cookieverf: [0; 8],
+            dircount: 100,
+            maxcount: 200,
+        });
+        match call3_to_v2(&small, &mut stats) {
+            Call2::Readdir { cookie, .. } => assert_eq!(cookie, 7),
+            other => panic!("unexpected downgrade: {other:?}"),
+        }
+        assert_eq!(stats.saturated_cookies, 1);
+
+        let reply = Reply3 {
+            status: NfsStat3::Ok,
+            body: Reply3Body::Readdir(Readdir3Res {
+                dir_attributes: None,
+                cookieverf: [0; 8],
+                entries: vec![
+                    DirEntry3 {
+                        fileid: u64::from(u32::MAX) + 2,
+                        name: "wide".into(),
+                        cookie: u64::from(u32::MAX) + 3,
+                    },
+                    DirEntry3 {
+                        fileid: 42,
+                        name: "narrow".into(),
+                        cookie: 43,
+                    },
+                ],
+                eof: true,
+            }),
+        };
+        match reply3_to_v2(&call, &reply, &mut stats) {
+            Reply2::Readdir { entries, .. } => {
+                assert_eq!((entries[0].fileid, entries[0].cookie), (u32::MAX, u32::MAX));
+                assert_eq!((entries[1].fileid, entries[1].cookie), (42, 43));
+            }
+            other => panic!("unexpected downgrade: {other:?}"),
+        }
+        assert_eq!(stats.saturated_fileids, 1);
+        assert_eq!(stats.saturated_cookies, 2);
+        assert_eq!(stats.total(), 3);
     }
 }

@@ -121,6 +121,53 @@ impl SegmentCatalog {
     }
 }
 
+/// Directory-name prefix of one shard of a sharded live ingest.
+pub const SHARD_PREFIX: &str = "shard-";
+
+/// The subdirectory name shard `index` of a sharded ingest lives in
+/// (`shard-000`).
+pub fn shard_dir_name(index: usize) -> String {
+    format!("{SHARD_PREFIX}{index:03}")
+}
+
+/// Parses a shard directory name back to its index; `None` for
+/// anything that is not a shard directory name.
+pub fn parse_shard_dir_name(name: &str) -> Option<usize> {
+    let digits = name.strip_prefix(SHARD_PREFIX)?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// Opens (creating as needed) the `count` per-shard segment catalogs
+/// under `root`: `root/shard-000` … — the on-disk layout of a sharded
+/// live ingest, each shard rotating its own independent segment chain.
+///
+/// # Errors
+///
+/// If `root` already holds shard directories at indices `>= count`
+/// (the directory was written at a higher shard count and reopening it
+/// narrower would silently drop records), or on I/O failure.
+pub fn open_shard_catalogs<P: AsRef<Path>>(root: P, count: usize) -> Result<Vec<SegmentCatalog>> {
+    let root = root.as_ref();
+    std::fs::create_dir_all(root).map_err(StoreError::Io)?;
+    for entry in std::fs::read_dir(root).map_err(StoreError::Io)? {
+        let entry = entry.map_err(StoreError::Io)?;
+        if let Some(idx) = entry.file_name().to_str().and_then(parse_shard_dir_name) {
+            if idx >= count {
+                return Err(StoreError::Format(format!(
+                    "shard directory {} exceeds the configured shard count {count}",
+                    entry.path().display()
+                )));
+            }
+        }
+    }
+    (0..count)
+        .map(|i| SegmentCatalog::open(root.join(shard_dir_name(i))))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,6 +186,35 @@ mod tests {
         ] {
             assert_eq!(parse_segment_name(bad), None, "{bad}");
         }
+    }
+
+    #[test]
+    fn shard_names_roundtrip() {
+        for idx in [0usize, 1, 7, 999, 1000] {
+            assert_eq!(parse_shard_dir_name(&shard_dir_name(idx)), Some(idx));
+        }
+        for bad in ["shard-", "shard-3a", "seg-000", "shard000", "shard-000.tmp"] {
+            assert_eq!(parse_shard_dir_name(bad), None, "{bad}");
+        }
+    }
+
+    #[test]
+    fn shard_catalogs_create_and_reject_narrowing() {
+        let root = std::env::temp_dir().join(format!("nfstrace-shards-{}", std::process::id()));
+        std::fs::remove_dir_all(&root).ok();
+        let cats = open_shard_catalogs(&root, 3).expect("create");
+        assert_eq!(cats.len(), 3);
+        for (i, cat) in cats.iter().enumerate() {
+            assert!(cat.dir().ends_with(shard_dir_name(i)));
+            assert!(cat.is_empty());
+        }
+        // Reopening at the same or wider count is fine; narrower would
+        // silently orphan shard-002's records and must fail.
+        assert!(open_shard_catalogs(&root, 3).is_ok());
+        assert!(open_shard_catalogs(&root, 4).is_ok());
+        let err = open_shard_catalogs(&root, 2).expect_err("narrowing");
+        assert!(err.to_string().contains("shard count"), "{err}");
+        std::fs::remove_dir_all(&root).ok();
     }
 
     #[test]

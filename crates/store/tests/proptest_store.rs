@@ -493,7 +493,10 @@ fn file_accesses_and_runs_match_full_index() {
 
     let accesses = disk.file_accesses(probe, 7).expect("accesses");
     let full_map = disk.accesses(7);
-    assert_eq!(&accesses, full_map.get(&probe).expect("file present"));
+    assert_eq!(
+        &accesses,
+        full_map.get(&probe).expect("file present").as_ref()
+    );
 
     let runs = disk
         .file_runs(probe, 7, RunOptions::default())

@@ -61,6 +61,7 @@ fn index_products_match_legacy_paths_on_generated_trace() {
     ] {
         let mut per_file = reorder::accesses_by_file(records.iter());
         for list in per_file.values_mut() {
+            let list: &mut Vec<_> = std::sync::Arc::make_mut(list);
             reorder::sort_within_window(list, window * 1000);
         }
         let legacy = nfstrace::core::runs::runs_for_trace(&per_file, opts);
