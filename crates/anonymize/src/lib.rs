@@ -24,6 +24,10 @@
 //!   `inbox`, `lock`, uid 0, ...) survive verbatim;
 //! - **omission mode**: names/identities can be dropped entirely.
 
+// The zero-copy capture path is only as good as the code around it:
+// flag clones of values whose last use this was.
+#![warn(clippy::redundant_clone)]
+
 pub mod anonymizer;
 pub mod names;
 pub mod tables;

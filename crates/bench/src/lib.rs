@@ -18,6 +18,10 @@
 //! trace store — byte-identical stdout, record memory bounded by chunk
 //! size.
 
+// The zero-copy capture path is only as good as the code around it:
+// flag clones of values whose last use this was.
+#![warn(clippy::redundant_clone)]
+
 pub mod scenarios;
 pub mod suite;
 pub mod tables;

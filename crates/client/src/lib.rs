@@ -18,6 +18,10 @@
 //! [`nfstrace_fssim::NfsServer`], emitting [`machine::EmittedCall`]
 //! events that downstream crates turn into trace records or packets.
 
+// The zero-copy capture path is only as good as the code around it:
+// flag clones of values whose last use this was.
+#![warn(clippy::redundant_clone)]
+
 pub mod cache;
 pub mod machine;
 pub mod nfsiod;

@@ -1072,7 +1072,7 @@ mod tests {
         assert_eq!(idx.hourly(), &HourlySeries::from_records(records.iter()));
         let legacy = reorder::accesses_by_file(records.iter());
         assert_eq!(idx.accesses(0).as_ref(), &legacy);
-        let mut sorted = legacy.clone();
+        let mut sorted = legacy;
         for l in sorted.values_mut() {
             let l: &mut Vec<Access> = Arc::make_mut(l);
             reorder::sort_within_window(l, 10_000);

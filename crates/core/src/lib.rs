@@ -53,6 +53,10 @@
 //! (a `Vec`, a store writer, a partial index) without materializing
 //! the merged trace.
 
+// The zero-copy capture path is only as good as the code around it:
+// flag clones of values whose last use this was.
+#![warn(clippy::redundant_clone)]
+
 pub mod hierarchy;
 pub mod historical;
 pub mod hourly;

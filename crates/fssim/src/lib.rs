@@ -14,6 +14,10 @@
 //!    the sequentiality metric, which tolerates the ~10% reordered
 //!    requests a loaded NFS server actually sees.
 
+// The zero-copy capture path is only as good as the code around it:
+// flag clones of values whose last use this was.
+#![warn(clippy::redundant_clone)]
+
 pub mod disk;
 pub mod fs;
 pub mod readahead;

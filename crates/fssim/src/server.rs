@@ -705,7 +705,7 @@ mod tests {
     fn create_write_read_cycle() {
         let mut s = NfsServer::new(1);
         let root = s.root_fh();
-        let fh = create(&mut s, root.clone(), "inbox", 10);
+        let fh = create(&mut s, root, "inbox", 10);
         let w = s.handle_v3(
             &Call3::Write(Write3Args {
                 file: fh.clone(),
@@ -719,7 +719,7 @@ mod tests {
         assert!(w.status.is_ok());
         let r = s.handle_v3(
             &Call3::Read(Read3Args {
-                file: fh.clone(),
+                file: fh,
                 offset: 0,
                 count: 8192,
             }),
@@ -805,7 +805,7 @@ mod tests {
         );
         let r = s.handle_v3(
             &Call3::Setattr(Setattr3Args {
-                object: fh.clone(),
+                object: fh,
                 new_attributes: Sattr3 {
                     size: Some(0),
                     ..Sattr3::default()
@@ -874,7 +874,7 @@ mod tests {
         let r = s.handle_v2(
             &Call2::Create {
                 where_: nfstrace_nfs::v2::DirOpArgs2 {
-                    dir: root.clone(),
+                    dir: root,
                     name: "old.c".into(),
                 },
                 attributes: Default::default(),

@@ -77,6 +77,10 @@
 //! # std::fs::remove_dir_all(&dir).ok();
 //! ```
 
+// The zero-copy capture path is only as good as the code around it:
+// flag clones of values whose last use this was.
+#![warn(clippy::redundant_clone)]
+
 pub mod ingest;
 pub mod seqfile;
 pub mod sharded;

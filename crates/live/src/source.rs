@@ -113,7 +113,9 @@ impl<I: Iterator<Item = CapturedPacket>> RecordSource for SnifferSource<I> {
             out.extend(tail);
             return !out.is_empty();
         }
-        out.extend(sniffer.drain_ready());
+        // Appending hand-off: the ready records land straight in the
+        // caller's batch buffer, with no per-poll Vec.
+        sniffer.drain_ready_into(out);
         true
     }
 }

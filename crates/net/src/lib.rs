@@ -33,6 +33,10 @@
 //! assert_eq!(decoded.payload, b"payload");
 //! ```
 
+// The zero-copy capture path is only as good as the code around it:
+// flag clones of values whose last use this was.
+#![warn(clippy::redundant_clone)]
+
 pub mod error;
 pub mod ethernet;
 pub mod ipv4;

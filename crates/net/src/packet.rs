@@ -44,28 +44,67 @@ pub struct DecodedPacket {
 impl DecodedPacket {
     /// Decodes an Ethernet frame down to its transport payload.
     ///
+    /// This is [`PacketView::parse`] plus one copy of the payload; use
+    /// the view form when the payload only needs to be looked at, not
+    /// kept.
+    ///
     /// # Errors
     ///
     /// Any truncation or unsupported field from the ethernet, ipv4, udp,
     /// or tcp parsers.
     pub fn parse(frame: &[u8]) -> Result<Self> {
+        PacketView::parse(frame).map(PacketView::to_owned)
+    }
+}
+
+/// A decoded frame whose payload is a view into the captured bytes.
+///
+/// The borrow is tied to the frame slice, not to any parser state, so
+/// the payload stays valid for as long as the capture buffer does.
+/// [`DecodedPacket::parse`] is this plus [`PacketView::to_owned`], so
+/// the two parsers accept and reject exactly the same frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketView<'a> {
+    /// IP source address.
+    pub src_ip: Ipv4Addr4,
+    /// IP destination address.
+    pub dst_ip: Ipv4Addr4,
+    /// Transport source port.
+    pub src_port: u16,
+    /// Transport destination port.
+    pub dst_port: u16,
+    /// Transport kind plus stream metadata.
+    pub transport: Transport,
+    /// The transport payload, borrowed from the frame.
+    pub payload: &'a [u8],
+}
+
+impl<'a> PacketView<'a> {
+    /// Decodes an Ethernet frame down to its transport payload without
+    /// copying it.
+    ///
+    /// # Errors
+    ///
+    /// Any truncation or unsupported field from the ethernet, ipv4, udp,
+    /// or tcp parsers.
+    pub fn parse(frame: &'a [u8]) -> Result<Self> {
         let eth = Frame::parse(frame)?;
         let ip = Ipv4Packet::parse(eth.payload)?;
         match ip.protocol {
             PROTO_UDP => {
                 let udp = UdpDatagram::parse(ip.payload)?;
-                Ok(DecodedPacket {
+                Ok(PacketView {
                     src_ip: ip.src,
                     dst_ip: ip.dst,
                     src_port: udp.src_port,
                     dst_port: udp.dst_port,
                     transport: Transport::Udp,
-                    payload: udp.payload.to_vec(),
+                    payload: udp.payload,
                 })
             }
             PROTO_TCP => {
                 let tcp = TcpSegment::parse(ip.payload)?;
-                Ok(DecodedPacket {
+                Ok(PacketView {
                     src_ip: ip.src,
                     dst_ip: ip.dst,
                     src_port: tcp.src_port,
@@ -74,13 +113,25 @@ impl DecodedPacket {
                         seq: tcp.seq,
                         flags: tcp.flags.0,
                     },
-                    payload: tcp.payload.to_vec(),
+                    payload: tcp.payload,
                 })
             }
             other => Err(crate::Error::Unsupported {
                 what: "ip protocol",
                 value: u32::from(other),
             }),
+        }
+    }
+
+    /// Materializes an owned [`DecodedPacket`], copying the payload.
+    pub fn to_owned(self) -> DecodedPacket {
+        DecodedPacket {
+            src_ip: self.src_ip,
+            dst_ip: self.dst_ip,
+            src_port: self.src_port,
+            dst_port: self.dst_port,
+            transport: self.transport,
+            payload: self.payload.to_vec(),
         }
     }
 }

@@ -31,8 +31,13 @@ use std::collections::BTreeMap;
 pub struct StreamReassembler {
     /// Reused drain buffer behind [`StreamReassembler::read_available`]:
     /// the sniffer calls that once per packet, and a fresh `Vec` each
-    /// time dominated the hot loop's allocations.
+    /// time dominated the hot loop's allocations. In-order segments are
+    /// appended here directly by [`StreamReassembler::push`], skipping
+    /// the pending map entirely.
     ready: Vec<u8>,
+    /// Whether `ready` has been handed out by `read_available` and must
+    /// be cleared before the next bytes are staged.
+    consumed: bool,
     /// Next expected sequence number (start of the contiguous frontier).
     next_seq: u32,
     /// Out-of-order segments keyed by relative offset from `next_seq`'s
@@ -58,6 +63,7 @@ impl StreamReassembler {
     pub fn new(initial_seq: u32) -> Self {
         Self {
             ready: Vec::new(),
+            consumed: false,
             next_seq: initial_seq,
             pending: BTreeMap::new(),
             origin: initial_seq,
@@ -72,6 +78,14 @@ impl StreamReassembler {
     /// Relative stream offset of a sequence number (wrap-aware).
     fn rel(&self, seq: u32) -> u64 {
         u64::from(seq.wrapping_sub(self.origin))
+    }
+
+    /// Drops bytes already handed out before staging new ones.
+    fn reset_ready(&mut self) {
+        if self.consumed {
+            self.ready.clear();
+            self.consumed = false;
+        }
     }
 
     /// Feeds one segment's payload at `seq`.
@@ -99,6 +113,16 @@ impl StreamReassembler {
         if off > self.frontier {
             self.out_of_order += 1;
         }
+        // Fast path for the common in-order stream: the segment lands
+        // exactly at the frontier with nothing parked, so its bytes go
+        // straight to the drain buffer without touching the heap.
+        if off == self.frontier && self.pending.is_empty() {
+            self.reset_ready();
+            self.ready.extend_from_slice(data);
+            self.frontier += data.len() as u64;
+            self.next_seq = self.origin.wrapping_add(self.frontier as u32);
+            return;
+        }
         // Insert, trimming against an existing segment at the same offset.
         match self.pending.get(&off) {
             Some(existing) if existing.len() >= data.len() => {
@@ -116,7 +140,7 @@ impl StreamReassembler {
     /// the next call — copy it out if it must outlive the reassembler's
     /// next mutation.
     pub fn read_available(&mut self) -> &[u8] {
-        self.ready.clear();
+        self.reset_ready();
         while let Some((&off, _)) = self.pending.range(..=self.frontier).next_back() {
             let seg = self.pending.remove(&off).expect("key just observed");
             let seg_end = off + seg.len() as u64;
@@ -131,6 +155,7 @@ impl StreamReassembler {
             self.frontier = seg_end;
             self.next_seq = self.origin.wrapping_add(self.frontier as u32);
         }
+        self.consumed = true;
         &self.ready
     }
 
@@ -302,6 +327,38 @@ mod tests {
         r.push(5, b"");
         assert!(r.read_available().is_empty());
         assert_eq!(r.stats().bytes_in, 0);
+    }
+
+    /// The in-order fast path stages bytes without a heap copy but must
+    /// keep `read_available`'s semantics: each call returns exactly the
+    /// bytes made contiguous since the previous call.
+    #[test]
+    fn fast_path_interleaves_with_pending_drain() {
+        let mut r = StreamReassembler::new(0);
+        r.push(0, b"ab"); // fast path
+        r.push(2, b"cd"); // fast path
+        assert_eq!(r.read_available(), b"abcd");
+        assert!(r.read_available().is_empty());
+        r.push(6, b"gh"); // out of order: parked
+        r.push(4, b"ef"); // fills the gap; pending non-empty so slow path
+        assert_eq!(r.read_available(), b"efgh");
+        r.push(8, b"ij"); // fast path again after the drain
+        assert_eq!(r.read_available(), b"ij");
+        assert_eq!(r.stats().bytes_lost, 0);
+        assert_eq!(r.stats().out_of_order_segments, 1);
+    }
+
+    #[test]
+    fn fast_path_after_skip_gap() {
+        let mut r = StreamReassembler::new(0);
+        r.push(0, b"ab");
+        assert_eq!(r.read_available(), b"ab");
+        r.push(10, b"xy");
+        assert!(r.read_available().is_empty());
+        assert_eq!(r.skip_gap(), 8);
+        assert_eq!(r.read_available(), b"xy");
+        r.push(12, b"zz");
+        assert_eq!(r.read_available(), b"zz");
     }
 
     #[test]

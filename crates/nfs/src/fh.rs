@@ -93,13 +93,14 @@ impl FileHandle {
         enc.put_opaque_fixed(&self.to_v2());
     }
 
-    /// Decodes a fixed 32-byte NFSv2 handle.
+    /// Decodes a fixed 32-byte NFSv2 handle. Heap-free: the handle is an
+    /// inline array filled straight from the decoder's view.
     ///
     /// # Errors
     ///
     /// XDR truncation errors.
     pub fn unpack_v2(dec: &mut Decoder<'_>) -> Result<Self> {
-        let bytes = dec.get_opaque_fixed(FHSIZE_V2)?;
+        let bytes = dec.get_opaque_fixed_ref(FHSIZE_V2)?;
         // v2 handles embedding a u64 id are zero-padded; strip the pad so
         // identities match across protocol versions.
         let mut end = bytes.len();
@@ -144,14 +145,16 @@ impl Pack for FileHandle {
 
 impl Unpack for FileHandle {
     fn unpack(dec: &mut Decoder<'_>) -> Result<Self> {
-        let bytes = dec.get_opaque_var()?;
+        // Heap-free: the handle is an inline array filled straight from
+        // the decoder's borrowed view.
+        let bytes = dec.get_opaque_var_ref()?;
         if bytes.len() > FHSIZE_V3_MAX {
             return Err(Error::LengthTooLarge {
                 declared: bytes.len(),
                 limit: FHSIZE_V3_MAX,
             });
         }
-        Ok(Self::new(&bytes))
+        Ok(Self::new(bytes))
     }
 }
 

@@ -27,6 +27,10 @@
 //! assert_eq!(decoded, call);
 //! ```
 
+// The zero-copy capture path is only as good as the code around it:
+// flag clones of values whose last use this was.
+#![warn(clippy::redundant_clone)]
+
 pub mod fh;
 pub mod taxonomy;
 pub mod types;

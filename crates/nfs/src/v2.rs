@@ -327,13 +327,6 @@ fn pack_dirop(a: &DirOpArgs2, enc: &mut Encoder) {
     enc.put_string(&a.name);
 }
 
-fn unpack_dirop(dec: &mut Decoder<'_>) -> Result<DirOpArgs2> {
-    Ok(DirOpArgs2 {
-        dir: FileHandle::unpack_v2(dec)?,
-        name: dec.get_string()?,
-    })
-}
-
 /// A decoded NFSv2 call.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Call2 {
@@ -526,66 +519,304 @@ impl Call2 {
 
     /// Decodes call arguments for `proc`.
     ///
+    /// This is [`Call2View::decode`] plus one owned materialization, so
+    /// both decoders accept and reject exactly the same wire bytes.
+    ///
     /// # Errors
     ///
     /// Any XDR error for malformed arguments.
     pub fn decode(proc: Proc2, args: &[u8]) -> Result<Self> {
+        Call2View::decode(proc, args).map(|v| v.to_owned())
+    }
+}
+
+/// Borrowed `diropargs`: the name is a view into the wire bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirOpView2<'a> {
+    /// The directory handle.
+    pub dir: FileHandle,
+    /// The name, borrowed from the argument bytes.
+    pub name: &'a str,
+}
+
+impl DirOpView2<'_> {
+    /// Materializes the owned form; the only allocation is the name.
+    pub fn to_owned(self) -> DirOpArgs2 {
+        DirOpArgs2 {
+            dir: self.dir,
+            name: self.name.to_owned(),
+        }
+    }
+}
+
+fn dirop_view<'a>(dec: &mut Decoder<'a>) -> Result<DirOpView2<'a>> {
+    Ok(DirOpView2 {
+        dir: FileHandle::unpack_v2(dec)?,
+        name: dec.get_str_ref()?,
+    })
+}
+
+/// A decoded NFSv2 call that borrows names and write data from the
+/// argument bytes instead of copying them.
+///
+/// This is the allocation-free twin of [`Call2`]: [`Call2::decode`] is
+/// implemented as [`Call2View::decode`] followed by [`Call2View::to_owned`],
+/// so the two decoders cannot drift. Handle and attribute fields are
+/// plain inline values; only names, symlink targets, and write payloads
+/// stay borrowed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Call2View<'a> {
+    /// NULL ping.
+    Null,
+    /// Get attributes.
+    Getattr(FileHandle),
+    /// Set attributes.
+    Setattr {
+        /// The file.
+        file: FileHandle,
+        /// Attributes to set.
+        attributes: Sattr2,
+    },
+    /// Obsolete ROOT (void).
+    Root,
+    /// Name lookup.
+    Lookup(DirOpView2<'a>),
+    /// Read symlink.
+    Readlink(FileHandle),
+    /// Read data.
+    Read {
+        /// The file.
+        file: FileHandle,
+        /// Byte offset (32-bit).
+        offset: u32,
+        /// Bytes requested.
+        count: u32,
+        /// Unused by servers; carried for fidelity.
+        totalcount: u32,
+    },
+    /// Unused WRITECACHE (void).
+    Writecache,
+    /// Write data.
+    Write {
+        /// The file.
+        file: FileHandle,
+        /// Unused "beginoffset".
+        beginoffset: u32,
+        /// Byte offset.
+        offset: u32,
+        /// Unused "totalcount".
+        totalcount: u32,
+        /// The data, borrowed from the argument bytes.
+        data: &'a [u8],
+    },
+    /// Create a file.
+    Create {
+        /// Where to create.
+        where_: DirOpView2<'a>,
+        /// Initial attributes.
+        attributes: Sattr2,
+    },
+    /// Remove a file.
+    Remove(DirOpView2<'a>),
+    /// Rename.
+    Rename {
+        /// Source.
+        from: DirOpView2<'a>,
+        /// Destination.
+        to: DirOpView2<'a>,
+    },
+    /// Hard link.
+    Link {
+        /// Existing file.
+        from: FileHandle,
+        /// New entry.
+        to: DirOpView2<'a>,
+    },
+    /// Create a symlink.
+    Symlink {
+        /// Where to create.
+        where_: DirOpView2<'a>,
+        /// Target path, borrowed from the argument bytes.
+        target: &'a str,
+        /// Attributes.
+        attributes: Sattr2,
+    },
+    /// Create a directory.
+    Mkdir {
+        /// Where to create.
+        where_: DirOpView2<'a>,
+        /// Attributes.
+        attributes: Sattr2,
+    },
+    /// Remove a directory.
+    Rmdir(DirOpView2<'a>),
+    /// List a directory.
+    Readdir {
+        /// The directory.
+        dir: FileHandle,
+        /// Opaque 4-byte resume cookie.
+        cookie: u32,
+        /// Maximum reply bytes.
+        count: u32,
+    },
+    /// Filesystem statistics.
+    Statfs(FileHandle),
+}
+
+impl<'a> Call2View<'a> {
+    /// The procedure this call invokes.
+    pub fn proc(&self) -> Proc2 {
+        match self {
+            Call2View::Null => Proc2::Null,
+            Call2View::Getattr(_) => Proc2::Getattr,
+            Call2View::Setattr { .. } => Proc2::Setattr,
+            Call2View::Root => Proc2::Root,
+            Call2View::Lookup(_) => Proc2::Lookup,
+            Call2View::Readlink(_) => Proc2::Readlink,
+            Call2View::Read { .. } => Proc2::Read,
+            Call2View::Writecache => Proc2::Writecache,
+            Call2View::Write { .. } => Proc2::Write,
+            Call2View::Create { .. } => Proc2::Create,
+            Call2View::Remove(_) => Proc2::Remove,
+            Call2View::Rename { .. } => Proc2::Rename,
+            Call2View::Link { .. } => Proc2::Link,
+            Call2View::Symlink { .. } => Proc2::Symlink,
+            Call2View::Mkdir { .. } => Proc2::Mkdir,
+            Call2View::Rmdir(_) => Proc2::Rmdir,
+            Call2View::Readdir { .. } => Proc2::Readdir,
+            Call2View::Statfs(_) => Proc2::Statfs,
+        }
+    }
+
+    /// Decodes call arguments for `proc` without copying names or data.
+    ///
+    /// # Errors
+    ///
+    /// Any XDR error for malformed arguments; fails exactly when
+    /// [`Call2::decode`] fails.
+    pub fn decode(proc: Proc2, args: &'a [u8]) -> Result<Self> {
         let mut dec = Decoder::new(args);
         let call = match proc {
-            Proc2::Null => Call2::Null,
-            Proc2::Root => Call2::Root,
-            Proc2::Writecache => Call2::Writecache,
-            Proc2::Getattr => Call2::Getattr(FileHandle::unpack_v2(&mut dec)?),
-            Proc2::Setattr => Call2::Setattr {
+            Proc2::Null => Call2View::Null,
+            Proc2::Root => Call2View::Root,
+            Proc2::Writecache => Call2View::Writecache,
+            Proc2::Getattr => Call2View::Getattr(FileHandle::unpack_v2(&mut dec)?),
+            Proc2::Setattr => Call2View::Setattr {
                 file: FileHandle::unpack_v2(&mut dec)?,
                 attributes: Sattr2::unpack(&mut dec)?,
             },
-            Proc2::Lookup => Call2::Lookup(unpack_dirop(&mut dec)?),
-            Proc2::Readlink => Call2::Readlink(FileHandle::unpack_v2(&mut dec)?),
-            Proc2::Read => Call2::Read {
+            Proc2::Lookup => Call2View::Lookup(dirop_view(&mut dec)?),
+            Proc2::Readlink => Call2View::Readlink(FileHandle::unpack_v2(&mut dec)?),
+            Proc2::Read => Call2View::Read {
                 file: FileHandle::unpack_v2(&mut dec)?,
                 offset: dec.get_u32()?,
                 count: dec.get_u32()?,
                 totalcount: dec.get_u32()?,
             },
-            Proc2::Write => Call2::Write {
+            Proc2::Write => Call2View::Write {
                 file: FileHandle::unpack_v2(&mut dec)?,
                 beginoffset: dec.get_u32()?,
                 offset: dec.get_u32()?,
                 totalcount: dec.get_u32()?,
-                data: dec.get_opaque_var()?,
+                data: dec.get_opaque_var_ref()?,
             },
-            Proc2::Create => Call2::Create {
-                where_: unpack_dirop(&mut dec)?,
+            Proc2::Create => Call2View::Create {
+                where_: dirop_view(&mut dec)?,
                 attributes: Sattr2::unpack(&mut dec)?,
             },
-            Proc2::Remove => Call2::Remove(unpack_dirop(&mut dec)?),
-            Proc2::Rename => Call2::Rename {
-                from: unpack_dirop(&mut dec)?,
-                to: unpack_dirop(&mut dec)?,
+            Proc2::Remove => Call2View::Remove(dirop_view(&mut dec)?),
+            Proc2::Rename => Call2View::Rename {
+                from: dirop_view(&mut dec)?,
+                to: dirop_view(&mut dec)?,
             },
-            Proc2::Link => Call2::Link {
+            Proc2::Link => Call2View::Link {
                 from: FileHandle::unpack_v2(&mut dec)?,
-                to: unpack_dirop(&mut dec)?,
+                to: dirop_view(&mut dec)?,
             },
-            Proc2::Symlink => Call2::Symlink {
-                where_: unpack_dirop(&mut dec)?,
-                target: dec.get_string()?,
+            Proc2::Symlink => Call2View::Symlink {
+                where_: dirop_view(&mut dec)?,
+                target: dec.get_str_ref()?,
                 attributes: Sattr2::unpack(&mut dec)?,
             },
-            Proc2::Mkdir => Call2::Mkdir {
-                where_: unpack_dirop(&mut dec)?,
+            Proc2::Mkdir => Call2View::Mkdir {
+                where_: dirop_view(&mut dec)?,
                 attributes: Sattr2::unpack(&mut dec)?,
             },
-            Proc2::Rmdir => Call2::Rmdir(unpack_dirop(&mut dec)?),
-            Proc2::Readdir => Call2::Readdir {
+            Proc2::Rmdir => Call2View::Rmdir(dirop_view(&mut dec)?),
+            Proc2::Readdir => Call2View::Readdir {
                 dir: FileHandle::unpack_v2(&mut dec)?,
                 cookie: dec.get_u32()?,
                 count: dec.get_u32()?,
             },
-            Proc2::Statfs => Call2::Statfs(FileHandle::unpack_v2(&mut dec)?),
+            Proc2::Statfs => Call2View::Statfs(FileHandle::unpack_v2(&mut dec)?),
         };
         Ok(call)
+    }
+
+    /// Materializes the owned [`Call2`], copying names and data once.
+    pub fn to_owned(self) -> Call2 {
+        match self {
+            Call2View::Null => Call2::Null,
+            Call2View::Root => Call2::Root,
+            Call2View::Writecache => Call2::Writecache,
+            Call2View::Getattr(fh) => Call2::Getattr(fh),
+            Call2View::Readlink(fh) => Call2::Readlink(fh),
+            Call2View::Statfs(fh) => Call2::Statfs(fh),
+            Call2View::Setattr { file, attributes } => Call2::Setattr { file, attributes },
+            Call2View::Lookup(a) => Call2::Lookup(a.to_owned()),
+            Call2View::Remove(a) => Call2::Remove(a.to_owned()),
+            Call2View::Rmdir(a) => Call2::Rmdir(a.to_owned()),
+            Call2View::Read {
+                file,
+                offset,
+                count,
+                totalcount,
+            } => Call2::Read {
+                file,
+                offset,
+                count,
+                totalcount,
+            },
+            Call2View::Write {
+                file,
+                beginoffset,
+                offset,
+                totalcount,
+                data,
+            } => Call2::Write {
+                file,
+                beginoffset,
+                offset,
+                totalcount,
+                data: data.to_vec(),
+            },
+            Call2View::Create { where_, attributes } => Call2::Create {
+                where_: where_.to_owned(),
+                attributes,
+            },
+            Call2View::Mkdir { where_, attributes } => Call2::Mkdir {
+                where_: where_.to_owned(),
+                attributes,
+            },
+            Call2View::Rename { from, to } => Call2::Rename {
+                from: from.to_owned(),
+                to: to.to_owned(),
+            },
+            Call2View::Link { from, to } => Call2::Link {
+                from,
+                to: to.to_owned(),
+            },
+            Call2View::Symlink {
+                where_,
+                target,
+                attributes,
+            } => Call2::Symlink {
+                where_: where_.to_owned(),
+                target: target.to_owned(),
+                attributes,
+            },
+            Call2View::Readdir { dir, cookie, count } => Call2::Readdir { dir, cookie, count },
+        }
     }
 }
 
@@ -847,6 +1078,121 @@ impl Reply2 {
     }
 }
 
+/// The subset of an NFSv2 reply that flows into a flattened trace
+/// record, decoded in one streaming pass with no heap allocation.
+///
+/// [`ReplyFacts2::decode`] consumes and validates a results body
+/// exactly as [`Reply2::decode`] does — the same reads in the same
+/// order, failing in the same cases — but borrows over read data,
+/// symlink targets, and directory entries instead of materializing
+/// them. `ret_count` is the returned data length for `READ` (v2 has no
+/// count field; the flattener uses the payload length) and is left
+/// `None` elsewhere — the v2 `WRITE` count and the inferred `READ` eof
+/// are derived by the flattener from the call side plus `post_size`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplyFacts2 {
+    /// Reply status.
+    pub status: NfsStat3,
+    /// Post-op file size.
+    pub post_size: Option<u64>,
+    /// Post-op file type.
+    pub ftype: Option<Ftype3>,
+    /// Returned data length (`READ` only; zero on error replies).
+    pub ret_count: Option<u32>,
+    /// Handle of a created or looked-up object.
+    pub new_fh: Option<FileHandle>,
+}
+
+impl ReplyFacts2 {
+    fn empty(status: NfsStat3) -> Self {
+        ReplyFacts2 {
+            status,
+            post_size: None,
+            ftype: None,
+            ret_count: None,
+            new_fh: None,
+        }
+    }
+
+    fn post(&mut self, a: &Fattr2) {
+        self.post_size = Some(u64::from(a.size));
+        self.ftype = Some(a.ftype);
+    }
+
+    /// Decodes the facts for `proc` from an RPC results body.
+    ///
+    /// # Errors
+    ///
+    /// Fails exactly when [`Reply2::decode`] would fail on the same
+    /// bytes.
+    pub fn decode(proc: Proc2, results: &[u8]) -> Result<Self> {
+        let mut dec = Decoder::new(results);
+        let facts = match proc {
+            Proc2::Null | Proc2::Root | Proc2::Writecache => Self::empty(NfsStat3::Ok),
+            Proc2::Getattr | Proc2::Setattr | Proc2::Write => {
+                let mut f = Self::empty(NfsStat3::unpack(&mut dec)?);
+                if f.status.is_ok() {
+                    let a = Fattr2::unpack(&mut dec)?;
+                    f.post(&a);
+                }
+                f
+            }
+            Proc2::Lookup | Proc2::Create | Proc2::Mkdir => {
+                let mut f = Self::empty(NfsStat3::unpack(&mut dec)?);
+                if f.status.is_ok() {
+                    f.new_fh = Some(FileHandle::unpack_v2(&mut dec)?);
+                    let a = Fattr2::unpack(&mut dec)?;
+                    f.post(&a);
+                }
+                f
+            }
+            Proc2::Readlink => {
+                let f = Self::empty(NfsStat3::unpack(&mut dec)?);
+                if f.status.is_ok() {
+                    dec.get_str_ref()?;
+                }
+                f
+            }
+            Proc2::Read => {
+                let mut f = Self::empty(NfsStat3::unpack(&mut dec)?);
+                if f.status.is_ok() {
+                    let a = Fattr2::unpack(&mut dec)?;
+                    f.post(&a);
+                    f.ret_count = Some(dec.get_opaque_var_ref()?.len() as u32);
+                } else {
+                    f.ret_count = Some(0);
+                }
+                f
+            }
+            Proc2::Remove | Proc2::Rename | Proc2::Link | Proc2::Symlink | Proc2::Rmdir => {
+                Self::empty(NfsStat3::unpack(&mut dec)?)
+            }
+            Proc2::Readdir => {
+                let f = Self::empty(NfsStat3::unpack(&mut dec)?);
+                if f.status.is_ok() {
+                    while dec.get_bool()? {
+                        dec.get_u32()?;
+                        dec.get_str_ref()?;
+                        dec.get_u32()?;
+                    }
+                    dec.get_bool()?;
+                }
+                f
+            }
+            Proc2::Statfs => {
+                let f = Self::empty(NfsStat3::unpack(&mut dec)?);
+                if f.status.is_ok() {
+                    for _ in 0..5 {
+                        dec.get_u32()?;
+                    }
+                }
+                f
+            }
+        };
+        Ok(facts)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1033,5 +1379,258 @@ mod tests {
             ..Sattr2::default()
         };
         assert_eq!(s.size_opt(), Some(0));
+    }
+
+    fn sample_calls() -> Vec<Call2> {
+        vec![
+            Call2::Null,
+            Call2::Getattr(FileHandle::from_u64(1)),
+            Call2::Setattr {
+                file: FileHandle::from_u64(2),
+                attributes: Sattr2 {
+                    size: 0,
+                    ..Sattr2::default()
+                },
+            },
+            Call2::Lookup(DirOpArgs2 {
+                dir: FileHandle::from_u64(3),
+                name: ".cshrc".into(),
+            }),
+            Call2::Read {
+                file: FileHandle::from_u64(4),
+                offset: 8192,
+                count: 8192,
+                totalcount: 0,
+            },
+            Call2::Write {
+                file: FileHandle::from_u64(5),
+                beginoffset: 0,
+                offset: 16384,
+                totalcount: 0,
+                data: vec![7; 100],
+            },
+            Call2::Create {
+                where_: DirOpArgs2 {
+                    dir: FileHandle::from_u64(6),
+                    name: "core.12345".into(),
+                },
+                attributes: Sattr2::default(),
+            },
+            Call2::Rename {
+                from: DirOpArgs2 {
+                    dir: FileHandle::from_u64(7),
+                    name: "a".into(),
+                },
+                to: DirOpArgs2 {
+                    dir: FileHandle::from_u64(7),
+                    name: "b".into(),
+                },
+            },
+            Call2::Link {
+                from: FileHandle::from_u64(8),
+                to: DirOpArgs2 {
+                    dir: FileHandle::from_u64(9),
+                    name: "ln".into(),
+                },
+            },
+            Call2::Symlink {
+                where_: DirOpArgs2 {
+                    dir: FileHandle::from_u64(10),
+                    name: "sl".into(),
+                },
+                target: "/tmp/x".into(),
+                attributes: Sattr2::default(),
+            },
+            Call2::Readdir {
+                dir: FileHandle::from_u64(11),
+                cookie: 0,
+                count: 4096,
+            },
+            Call2::Statfs(FileHandle::from_u64(12)),
+        ]
+    }
+
+    #[test]
+    fn call_view_matches_owned_decode_and_borrows() {
+        for call in sample_calls() {
+            let bytes = call.encode_args();
+            let view = Call2View::decode(call.proc(), &bytes).unwrap();
+            assert_eq!(view.proc(), call.proc());
+            if let Call2View::Write { data, .. } = &view {
+                assert!(bytes.as_ptr_range().contains(&data.as_ptr()));
+            }
+            assert_eq!(view.to_owned(), call);
+            for cut in 0..bytes.len() {
+                let owned = Call2::decode(call.proc(), &bytes[..cut]);
+                let view = Call2View::decode(call.proc(), &bytes[..cut]);
+                assert_eq!(owned.is_ok(), view.is_ok(), "{:?} cut {cut}", call.proc());
+                assert_eq!(owned.err(), view.err());
+            }
+        }
+    }
+
+    fn sample_replies() -> Vec<(Proc2, Reply2)> {
+        let attrs = Fattr2 {
+            size: 4096,
+            fileid: 5,
+            ..Fattr2::default()
+        };
+        vec![
+            (Proc2::Null, Reply2::Void),
+            (
+                Proc2::Getattr,
+                Reply2::AttrStat {
+                    status: NfsStat3::Ok,
+                    attributes: Some(attrs),
+                },
+            ),
+            (
+                Proc2::Getattr,
+                Reply2::AttrStat {
+                    status: NfsStat3::Stale,
+                    attributes: None,
+                },
+            ),
+            (
+                Proc2::Write,
+                Reply2::AttrStat {
+                    status: NfsStat3::Ok,
+                    attributes: Some(attrs),
+                },
+            ),
+            (
+                Proc2::Lookup,
+                Reply2::DirOpRes {
+                    status: NfsStat3::Ok,
+                    file: Some(FileHandle::from_u64(44)),
+                    attributes: Some(attrs),
+                },
+            ),
+            (
+                Proc2::Create,
+                Reply2::DirOpRes {
+                    status: NfsStat3::NoEnt,
+                    file: None,
+                    attributes: None,
+                },
+            ),
+            (
+                Proc2::Readlink,
+                Reply2::Readlink {
+                    status: NfsStat3::Ok,
+                    target: "/tmp/x".into(),
+                },
+            ),
+            (
+                Proc2::Read,
+                Reply2::Read {
+                    status: NfsStat3::Ok,
+                    attributes: Some(attrs),
+                    data: vec![0; 1024],
+                },
+            ),
+            (
+                Proc2::Read,
+                Reply2::Read {
+                    status: NfsStat3::Io,
+                    attributes: None,
+                    data: Vec::new(),
+                },
+            ),
+            (Proc2::Remove, Reply2::Stat(NfsStat3::Ok)),
+            (Proc2::Rename, Reply2::Stat(NfsStat3::Stale)),
+            (
+                Proc2::Readdir,
+                Reply2::Readdir {
+                    status: NfsStat3::Ok,
+                    entries: vec![
+                        DirEntry2 {
+                            fileid: 1,
+                            name: "inbox".into(),
+                            cookie: 1,
+                        },
+                        DirEntry2 {
+                            fileid: 2,
+                            name: "sent-mail".into(),
+                            cookie: 2,
+                        },
+                    ],
+                    eof: true,
+                },
+            ),
+            (
+                Proc2::Statfs,
+                Reply2::Statfs {
+                    status: NfsStat3::Ok,
+                    info: [8192, 8192, 1_000_000, 500_000, 500_000],
+                },
+            ),
+        ]
+    }
+
+    /// Test-local mirror of the canonical flattener's v2 reply mapping.
+    fn facts_of(reply: &Reply2) -> ReplyFacts2 {
+        let mut f = ReplyFacts2 {
+            status: reply.status(),
+            post_size: None,
+            ftype: None,
+            ret_count: None,
+            new_fh: None,
+        };
+        match reply {
+            Reply2::AttrStat {
+                attributes: Some(a),
+                ..
+            } => {
+                f.post_size = Some(u64::from(a.size));
+                f.ftype = Some(a.ftype);
+            }
+            Reply2::DirOpRes {
+                file, attributes, ..
+            } => {
+                f.new_fh = file.clone();
+                if let Some(a) = attributes {
+                    f.post_size = Some(u64::from(a.size));
+                    f.ftype = Some(a.ftype);
+                }
+            }
+            Reply2::Read {
+                attributes, data, ..
+            } => {
+                f.ret_count = Some(data.len() as u32);
+                if let Some(a) = attributes {
+                    f.post_size = Some(u64::from(a.size));
+                    f.ftype = Some(a.ftype);
+                }
+            }
+            _ => {}
+        }
+        f
+    }
+
+    #[test]
+    fn facts_decode_matches_full_decode() {
+        for (proc, reply) in sample_replies() {
+            let bytes = reply.encode_results();
+            let full = Reply2::decode(proc, &bytes).unwrap();
+            let facts = ReplyFacts2::decode(proc, &bytes).unwrap();
+            assert_eq!(facts, facts_of(&full), "{proc:?}");
+        }
+    }
+
+    #[test]
+    fn facts_decode_fails_exactly_when_full_decode_fails() {
+        for (proc, reply) in sample_replies() {
+            let bytes = reply.encode_results();
+            for cut in 0..bytes.len() {
+                let facts = ReplyFacts2::decode(proc, &bytes[..cut]);
+                let full = Reply2::decode(proc, &bytes[..cut]);
+                match (facts, full) {
+                    (Ok(f), Ok(r)) => assert_eq!(f, facts_of(&r), "{proc:?} cut {cut}"),
+                    (Err(fe), Err(re)) => assert_eq!(fe, re, "{proc:?} cut {cut}"),
+                    (f, r) => panic!("{proc:?} cut {cut}: facts {f:?} vs full {r:?}"),
+                }
+            }
+        }
     }
 }

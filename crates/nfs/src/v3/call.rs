@@ -399,30 +399,177 @@ impl Call3 {
 
     /// Decodes call arguments for `proc` from raw XDR bytes.
     ///
+    /// Implemented as [`Call3View::decode`] plus one materializing copy,
+    /// so the owned and borrowed decoders accept identical wire forms.
+    ///
     /// # Errors
     ///
     /// Any XDR decode error for malformed arguments.
     pub fn decode(proc: Proc3, args: &[u8]) -> Result<Self> {
+        Call3View::decode(proc, args).map(|v| v.to_owned())
+    }
+}
+
+/// `LOOKUP`/`REMOVE`/`RMDIR`-style directory+name arguments with the
+/// name borrowed from the record buffer: the view form of [`DirOpArgs`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirOpView<'a> {
+    /// The directory.
+    pub dir: FileHandle,
+    /// The name within the directory, borrowed from the record buffer.
+    pub name: &'a str,
+}
+
+impl DirOpView<'_> {
+    /// Copies into an owned [`DirOpArgs`].
+    pub fn to_owned(&self) -> DirOpArgs {
+        DirOpArgs {
+            dir: self.dir.clone(),
+            name: self.name.to_owned(),
+        }
+    }
+}
+
+/// `WRITE` arguments with the data borrowed: the view form of
+/// [`Write3Args`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Write3View<'a> {
+    /// The file.
+    pub file: FileHandle,
+    /// Starting byte offset.
+    pub offset: u64,
+    /// Bytes in `data` the server should write.
+    pub count: u32,
+    /// Commitment level.
+    pub stable: StableHow,
+    /// The data, borrowed from the record buffer.
+    pub data: &'a [u8],
+}
+
+/// `SYMLINK` arguments with name and target borrowed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Symlink3View<'a> {
+    /// Where to create.
+    pub where_: DirOpView<'a>,
+    /// Attributes of the link itself.
+    pub attributes: Sattr3,
+    /// Link target path, borrowed from the record buffer.
+    pub target: &'a str,
+}
+
+/// A decoded NFSv3 call with every variable-length field (names, symlink
+/// targets, write data) borrowed from the record buffer: the zero-copy
+/// counterpart of [`Call3`].
+///
+/// Heap-free argument structs ([`FhArgs`], [`Read3Args`], …) are shared
+/// with the owned enum; only name- or data-carrying procedures get view
+/// structs. The decode logic lives here — [`Call3::decode`] is this plus
+/// [`Call3View::to_owned`] — so the two cannot drift.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Call3View<'a> {
+    /// NULL ping.
+    Null,
+    /// Get attributes.
+    Getattr(FhArgs),
+    /// Set attributes.
+    Setattr(Setattr3Args),
+    /// Name lookup.
+    Lookup(DirOpView<'a>),
+    /// Access check.
+    Access(Access3Args),
+    /// Read symlink target.
+    Readlink(FhArgs),
+    /// Read file data.
+    Read(Read3Args),
+    /// Write file data.
+    Write(Write3View<'a>),
+    /// Create file.
+    Create {
+        /// Where to create.
+        where_: DirOpView<'a>,
+        /// Creation semantics.
+        how: CreateHow,
+        /// Initial attributes (unchecked/guarded modes).
+        attributes: Sattr3,
+    },
+    /// Create directory.
+    Mkdir {
+        /// Where to create.
+        where_: DirOpView<'a>,
+        /// Initial attributes.
+        attributes: Sattr3,
+    },
+    /// Create symlink.
+    Symlink(Symlink3View<'a>),
+    /// Create special node.
+    Mknod {
+        /// Where to create.
+        where_: DirOpView<'a>,
+        /// Node type (as `ftype3` wire value).
+        node_type: u32,
+        /// Attributes.
+        attributes: Sattr3,
+    },
+    /// Remove file.
+    Remove(DirOpView<'a>),
+    /// Remove directory.
+    Rmdir(DirOpView<'a>),
+    /// Rename.
+    Rename {
+        /// Source directory and name.
+        from: DirOpView<'a>,
+        /// Destination directory and name.
+        to: DirOpView<'a>,
+    },
+    /// Hard link.
+    Link {
+        /// Existing file.
+        file: FileHandle,
+        /// New directory entry to create.
+        link: DirOpView<'a>,
+    },
+    /// Read directory.
+    Readdir(Readdir3Args),
+    /// Read directory plus attributes.
+    Readdirplus(Readdirplus3Args),
+    /// File system statistics.
+    Fsstat(FhArgs),
+    /// File system information.
+    Fsinfo(FhArgs),
+    /// Pathconf information.
+    Pathconf(FhArgs),
+    /// Commit written data.
+    Commit(Commit3Args),
+}
+
+impl<'a> Call3View<'a> {
+    /// Decodes call arguments for `proc` without copying any
+    /// variable-length field.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`Call3::decode`].
+    pub fn decode(proc: Proc3, args: &'a [u8]) -> Result<Self> {
         let mut dec = Decoder::new(args);
         let call = match proc {
-            Proc3::Null => Call3::Null,
-            Proc3::Getattr => Call3::Getattr(FhArgs {
+            Proc3::Null => Call3View::Null,
+            Proc3::Getattr => Call3View::Getattr(FhArgs {
                 object: FileHandle::unpack(&mut dec)?,
             }),
-            Proc3::Setattr => Call3::Setattr(Setattr3Args {
+            Proc3::Setattr => Call3View::Setattr(Setattr3Args {
                 object: FileHandle::unpack(&mut dec)?,
                 new_attributes: Sattr3::unpack(&mut dec)?,
                 guard_ctime: Option::unpack(&mut dec)?,
             }),
-            Proc3::Lookup => Call3::Lookup(Self::dir_op(&mut dec)?),
-            Proc3::Access => Call3::Access(Access3Args {
+            Proc3::Lookup => Call3View::Lookup(Self::dir_op(&mut dec)?),
+            Proc3::Access => Call3View::Access(Access3Args {
                 object: FileHandle::unpack(&mut dec)?,
                 access: dec.get_u32()?,
             }),
-            Proc3::Readlink => Call3::Readlink(FhArgs {
+            Proc3::Readlink => Call3View::Readlink(FhArgs {
                 object: FileHandle::unpack(&mut dec)?,
             }),
-            Proc3::Read => Call3::Read(Read3Args {
+            Proc3::Read => Call3View::Read(Read3Args {
                 file: FileHandle::unpack(&mut dec)?,
                 offset: dec.get_u64()?,
                 count: dec.get_u32()?,
@@ -432,8 +579,8 @@ impl Call3 {
                 let offset = dec.get_u64()?;
                 let count = dec.get_u32()?;
                 let stable = StableHow::from_u32(dec.get_u32()?)?;
-                let data = dec.get_opaque_var()?;
-                Call3::Write(Write3Args {
+                let data = dec.get_opaque_var_ref()?;
+                Call3View::Write(Write3View {
                     file,
                     offset,
                     count,
@@ -448,9 +595,9 @@ impl Call3 {
                     0 => (CreateHow::Unchecked, Sattr3::unpack(&mut dec)?),
                     1 => (CreateHow::Guarded, Sattr3::unpack(&mut dec)?),
                     2 => {
-                        let v = dec.get_opaque_fixed(8)?;
+                        let v = dec.get_opaque_fixed_ref(8)?;
                         let mut verf = [0u8; 8];
-                        verf.copy_from_slice(&v);
+                        verf.copy_from_slice(v);
                         (CreateHow::Exclusive(verf), Sattr3::default())
                     }
                     other => {
@@ -460,43 +607,43 @@ impl Call3 {
                         })
                     }
                 };
-                Call3::Create(Create3Args {
+                Call3View::Create {
                     where_,
                     how,
                     attributes,
-                })
+                }
             }
-            Proc3::Mkdir => Call3::Mkdir(Mkdir3Args {
+            Proc3::Mkdir => Call3View::Mkdir {
                 where_: Self::dir_op(&mut dec)?,
                 attributes: Sattr3::unpack(&mut dec)?,
-            }),
-            Proc3::Symlink => Call3::Symlink(Symlink3Args {
+            },
+            Proc3::Symlink => Call3View::Symlink(Symlink3View {
                 where_: Self::dir_op(&mut dec)?,
                 attributes: Sattr3::unpack(&mut dec)?,
-                target: dec.get_string()?,
+                target: dec.get_str_ref()?,
             }),
-            Proc3::Mknod => Call3::Mknod(Mknod3Args {
+            Proc3::Mknod => Call3View::Mknod {
                 where_: Self::dir_op(&mut dec)?,
                 node_type: dec.get_u32()?,
                 attributes: Sattr3::unpack(&mut dec)?,
-            }),
-            Proc3::Remove => Call3::Remove(Self::dir_op(&mut dec)?),
-            Proc3::Rmdir => Call3::Rmdir(Self::dir_op(&mut dec)?),
-            Proc3::Rename => Call3::Rename(Rename3Args {
+            },
+            Proc3::Remove => Call3View::Remove(Self::dir_op(&mut dec)?),
+            Proc3::Rmdir => Call3View::Rmdir(Self::dir_op(&mut dec)?),
+            Proc3::Rename => Call3View::Rename {
                 from: Self::dir_op(&mut dec)?,
                 to: Self::dir_op(&mut dec)?,
-            }),
-            Proc3::Link => Call3::Link(Link3Args {
+            },
+            Proc3::Link => Call3View::Link {
                 file: FileHandle::unpack(&mut dec)?,
                 link: Self::dir_op(&mut dec)?,
-            }),
+            },
             Proc3::Readdir => {
                 let dir = FileHandle::unpack(&mut dec)?;
                 let cookie = dec.get_u64()?;
-                let v = dec.get_opaque_fixed(8)?;
+                let v = dec.get_opaque_fixed_ref(8)?;
                 let mut cookieverf = [0u8; 8];
-                cookieverf.copy_from_slice(&v);
-                Call3::Readdir(Readdir3Args {
+                cookieverf.copy_from_slice(v);
+                Call3View::Readdir(Readdir3Args {
                     dir,
                     cookie,
                     cookieverf,
@@ -506,10 +653,10 @@ impl Call3 {
             Proc3::Readdirplus => {
                 let dir = FileHandle::unpack(&mut dec)?;
                 let cookie = dec.get_u64()?;
-                let v = dec.get_opaque_fixed(8)?;
+                let v = dec.get_opaque_fixed_ref(8)?;
                 let mut cookieverf = [0u8; 8];
-                cookieverf.copy_from_slice(&v);
-                Call3::Readdirplus(Readdirplus3Args {
+                cookieverf.copy_from_slice(v);
+                Call3View::Readdirplus(Readdirplus3Args {
                     dir,
                     cookie,
                     cookieverf,
@@ -517,16 +664,16 @@ impl Call3 {
                     maxcount: dec.get_u32()?,
                 })
             }
-            Proc3::Fsstat => Call3::Fsstat(FhArgs {
+            Proc3::Fsstat => Call3View::Fsstat(FhArgs {
                 object: FileHandle::unpack(&mut dec)?,
             }),
-            Proc3::Fsinfo => Call3::Fsinfo(FhArgs {
+            Proc3::Fsinfo => Call3View::Fsinfo(FhArgs {
                 object: FileHandle::unpack(&mut dec)?,
             }),
-            Proc3::Pathconf => Call3::Pathconf(FhArgs {
+            Proc3::Pathconf => Call3View::Pathconf(FhArgs {
                 object: FileHandle::unpack(&mut dec)?,
             }),
-            Proc3::Commit => Call3::Commit(Commit3Args {
+            Proc3::Commit => Call3View::Commit(Commit3Args {
                 file: FileHandle::unpack(&mut dec)?,
                 offset: dec.get_u64()?,
                 count: dec.get_u32()?,
@@ -535,10 +682,102 @@ impl Call3 {
         Ok(call)
     }
 
-    fn dir_op(dec: &mut Decoder<'_>) -> Result<DirOpArgs> {
-        Ok(DirOpArgs {
+    /// The procedure this call invokes.
+    pub fn proc(&self) -> Proc3 {
+        match self {
+            Call3View::Null => Proc3::Null,
+            Call3View::Getattr(_) => Proc3::Getattr,
+            Call3View::Setattr(_) => Proc3::Setattr,
+            Call3View::Lookup(_) => Proc3::Lookup,
+            Call3View::Access(_) => Proc3::Access,
+            Call3View::Readlink(_) => Proc3::Readlink,
+            Call3View::Read(_) => Proc3::Read,
+            Call3View::Write(_) => Proc3::Write,
+            Call3View::Create { .. } => Proc3::Create,
+            Call3View::Mkdir { .. } => Proc3::Mkdir,
+            Call3View::Symlink(_) => Proc3::Symlink,
+            Call3View::Mknod { .. } => Proc3::Mknod,
+            Call3View::Remove(_) => Proc3::Remove,
+            Call3View::Rmdir(_) => Proc3::Rmdir,
+            Call3View::Rename { .. } => Proc3::Rename,
+            Call3View::Link { .. } => Proc3::Link,
+            Call3View::Readdir(_) => Proc3::Readdir,
+            Call3View::Readdirplus(_) => Proc3::Readdirplus,
+            Call3View::Fsstat(_) => Proc3::Fsstat,
+            Call3View::Fsinfo(_) => Proc3::Fsinfo,
+            Call3View::Pathconf(_) => Proc3::Pathconf,
+            Call3View::Commit(_) => Proc3::Commit,
+        }
+    }
+
+    /// Copies into an owned [`Call3`]: the single materialization the
+    /// owned decoder performs.
+    pub fn to_owned(&self) -> Call3 {
+        match self {
+            Call3View::Null => Call3::Null,
+            Call3View::Getattr(a) => Call3::Getattr(a.clone()),
+            Call3View::Setattr(a) => Call3::Setattr(a.clone()),
+            Call3View::Lookup(a) => Call3::Lookup(a.to_owned()),
+            Call3View::Access(a) => Call3::Access(a.clone()),
+            Call3View::Readlink(a) => Call3::Readlink(a.clone()),
+            Call3View::Read(a) => Call3::Read(a.clone()),
+            Call3View::Write(a) => Call3::Write(Write3Args {
+                file: a.file.clone(),
+                offset: a.offset,
+                count: a.count,
+                stable: a.stable,
+                data: a.data.to_vec(),
+            }),
+            Call3View::Create {
+                where_,
+                how,
+                attributes,
+            } => Call3::Create(Create3Args {
+                where_: where_.to_owned(),
+                how: how.clone(),
+                attributes: *attributes,
+            }),
+            Call3View::Mkdir { where_, attributes } => Call3::Mkdir(Mkdir3Args {
+                where_: where_.to_owned(),
+                attributes: *attributes,
+            }),
+            Call3View::Symlink(a) => Call3::Symlink(Symlink3Args {
+                where_: a.where_.to_owned(),
+                attributes: a.attributes,
+                target: a.target.to_owned(),
+            }),
+            Call3View::Mknod {
+                where_,
+                node_type,
+                attributes,
+            } => Call3::Mknod(Mknod3Args {
+                where_: where_.to_owned(),
+                node_type: *node_type,
+                attributes: *attributes,
+            }),
+            Call3View::Remove(a) => Call3::Remove(a.to_owned()),
+            Call3View::Rmdir(a) => Call3::Rmdir(a.to_owned()),
+            Call3View::Rename { from, to } => Call3::Rename(Rename3Args {
+                from: from.to_owned(),
+                to: to.to_owned(),
+            }),
+            Call3View::Link { file, link } => Call3::Link(Link3Args {
+                file: file.clone(),
+                link: link.to_owned(),
+            }),
+            Call3View::Readdir(a) => Call3::Readdir(a.clone()),
+            Call3View::Readdirplus(a) => Call3::Readdirplus(a.clone()),
+            Call3View::Fsstat(a) => Call3::Fsstat(a.clone()),
+            Call3View::Fsinfo(a) => Call3::Fsinfo(a.clone()),
+            Call3View::Pathconf(a) => Call3::Pathconf(a.clone()),
+            Call3View::Commit(a) => Call3::Commit(a.clone()),
+        }
+    }
+
+    fn dir_op(dec: &mut Decoder<'a>) -> Result<DirOpView<'a>> {
+        Ok(DirOpView {
             dir: FileHandle::unpack(dec)?,
-            name: dec.get_string()?,
+            name: dec.get_str_ref()?,
         })
     }
 }

@@ -2,7 +2,7 @@
 
 use super::Proc3;
 use crate::fh::FileHandle;
-use crate::types::{Fattr3, NfsStat3, WccData};
+use crate::types::{Fattr3, Ftype3, NfsStat3, WccData};
 use nfstrace_xdr::{Decoder, Encoder, Pack, Result, Unpack};
 
 /// `GETATTR` result.
@@ -752,6 +752,210 @@ impl Reply3Body {
     }
 }
 
+/// The subset of an NFSv3 reply that flows into a flattened trace
+/// record, decoded in one streaming pass with no heap allocation.
+///
+/// [`ReplyFacts3::decode`] consumes and validates a results body
+/// exactly as [`Reply3::decode`] does — the same reads in the same
+/// order, failing in the same cases — but borrows over directory
+/// entries, read data, and verifiers instead of materializing them.
+/// A `Some` field means the reply carried that fact; `None` leaves the
+/// corresponding trace-record field at its default, matching the
+/// canonical flattener's behaviour on the full reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplyFacts3 {
+    /// Reply status.
+    pub status: NfsStat3,
+    /// Pre-op file size from weak-cache-consistency data.
+    pub pre_size: Option<u64>,
+    /// Post-op file size.
+    pub post_size: Option<u64>,
+    /// Post-op file type.
+    pub ftype: Option<Ftype3>,
+    /// Returned byte count (`READ`/`WRITE`; zero on error replies).
+    pub ret_count: Option<u32>,
+    /// End-of-file flag (`READ`; false on error replies).
+    pub eof: Option<bool>,
+    /// Handle of a created or looked-up object.
+    pub new_fh: Option<FileHandle>,
+}
+
+impl ReplyFacts3 {
+    fn empty(status: NfsStat3) -> Self {
+        ReplyFacts3 {
+            status,
+            pre_size: None,
+            post_size: None,
+            ftype: None,
+            ret_count: None,
+            eof: None,
+            new_fh: None,
+        }
+    }
+
+    fn post(&mut self, attrs: Option<Fattr3>) {
+        if let Some(a) = attrs {
+            self.post_size = Some(a.size);
+            self.ftype = Some(a.ftype);
+        }
+    }
+
+    fn wcc_sizes(&mut self, wcc: &WccData) {
+        self.pre_size = wcc.before.map(|b| b.size);
+        self.post_size = wcc.after.map(|a| a.size);
+    }
+
+    /// Decodes the facts for `proc` from an RPC results body.
+    ///
+    /// # Errors
+    ///
+    /// Fails exactly when [`Reply3::decode`] would fail on the same
+    /// bytes.
+    pub fn decode(proc: Proc3, results: &[u8]) -> Result<Self> {
+        let mut dec = Decoder::new(results);
+        if proc == Proc3::Null {
+            return Ok(Self::empty(NfsStat3::Ok));
+        }
+        let mut f = Self::empty(NfsStat3::unpack(&mut dec)?);
+        let ok = f.status.is_ok();
+        match proc {
+            Proc3::Null => unreachable!("handled above"),
+            Proc3::Getattr => {
+                if ok {
+                    f.post(Some(Fattr3::unpack(&mut dec)?));
+                }
+            }
+            Proc3::Setattr => {
+                let wcc = WccData::unpack(&mut dec)?;
+                f.wcc_sizes(&wcc);
+            }
+            Proc3::Lookup => {
+                if ok {
+                    f.new_fh = Some(FileHandle::unpack(&mut dec)?);
+                    f.post(Option::unpack(&mut dec)?);
+                }
+                let _dir: Option<Fattr3> = Option::unpack(&mut dec)?;
+            }
+            Proc3::Access => {
+                let _attrs: Option<Fattr3> = Option::unpack(&mut dec)?;
+                if ok {
+                    dec.get_u32()?;
+                }
+            }
+            Proc3::Readlink => {
+                let _attrs: Option<Fattr3> = Option::unpack(&mut dec)?;
+                if ok {
+                    dec.get_str_ref()?;
+                }
+            }
+            Proc3::Read => {
+                f.post(Option::unpack(&mut dec)?);
+                if ok {
+                    f.ret_count = Some(dec.get_u32()?);
+                    f.eof = Some(dec.get_bool()?);
+                    dec.get_opaque_var_ref()?;
+                } else {
+                    f.ret_count = Some(0);
+                    f.eof = Some(false);
+                }
+            }
+            Proc3::Write => {
+                let wcc = WccData::unpack(&mut dec)?;
+                f.wcc_sizes(&wcc);
+                if ok {
+                    f.ret_count = Some(dec.get_u32()?);
+                    dec.get_u32()?; // committed
+                    dec.get_opaque_fixed_ref(8)?;
+                } else {
+                    f.ret_count = Some(0);
+                }
+            }
+            Proc3::Create | Proc3::Mkdir | Proc3::Symlink | Proc3::Mknod => {
+                if ok {
+                    f.new_fh = Option::unpack(&mut dec)?;
+                    f.post(Option::unpack(&mut dec)?);
+                }
+                // dir_wcc is consumed but never flattened.
+                WccData::unpack(&mut dec)?;
+            }
+            Proc3::Remove | Proc3::Rmdir => {
+                WccData::unpack(&mut dec)?;
+            }
+            Proc3::Rename => {
+                WccData::unpack(&mut dec)?;
+                WccData::unpack(&mut dec)?;
+            }
+            Proc3::Link => {
+                let _attrs: Option<Fattr3> = Option::unpack(&mut dec)?;
+                WccData::unpack(&mut dec)?;
+            }
+            Proc3::Readdir => {
+                let _attrs: Option<Fattr3> = Option::unpack(&mut dec)?;
+                if ok {
+                    dec.get_opaque_fixed_ref(8)?;
+                    while dec.get_bool()? {
+                        dec.get_u64()?;
+                        dec.get_str_ref()?;
+                        dec.get_u64()?;
+                    }
+                    dec.get_bool()?;
+                }
+            }
+            Proc3::Readdirplus => {
+                let _attrs: Option<Fattr3> = Option::unpack(&mut dec)?;
+                if ok {
+                    dec.get_opaque_fixed_ref(8)?;
+                    while dec.get_bool()? {
+                        dec.get_u64()?;
+                        dec.get_str_ref()?;
+                        dec.get_u64()?;
+                        Option::<Fattr3>::unpack(&mut dec)?;
+                        Option::<FileHandle>::unpack(&mut dec)?;
+                    }
+                    dec.get_bool()?;
+                }
+            }
+            Proc3::Fsstat => {
+                let _attrs: Option<Fattr3> = Option::unpack(&mut dec)?;
+                if ok {
+                    for _ in 0..6 {
+                        dec.get_u64()?;
+                    }
+                    dec.get_u32()?;
+                }
+            }
+            Proc3::Fsinfo => {
+                let _attrs: Option<Fattr3> = Option::unpack(&mut dec)?;
+                if ok {
+                    for _ in 0..7 {
+                        dec.get_u32()?;
+                    }
+                    dec.get_u64()?;
+                    crate::types::NfsTime3::unpack(&mut dec)?;
+                    dec.get_u32()?;
+                }
+            }
+            Proc3::Pathconf => {
+                let _attrs: Option<Fattr3> = Option::unpack(&mut dec)?;
+                if ok {
+                    dec.get_u32()?;
+                    dec.get_u32()?;
+                    for _ in 0..4 {
+                        dec.get_bool()?;
+                    }
+                }
+            }
+            Proc3::Commit => {
+                WccData::unpack(&mut dec)?;
+                if ok {
+                    dec.get_opaque_fixed_ref(8)?;
+                }
+            }
+        }
+        Ok(f)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -987,5 +1191,267 @@ mod tests {
         let r = Reply3::ok(Reply3Body::Null);
         assert!(r.encode_results().is_empty());
         assert_eq!(Reply3::decode(Proc3::Null, &[]).unwrap(), r);
+    }
+
+    /// Test-local mirror of the canonical flattener's reply mapping:
+    /// the facts a fully-decoded reply would contribute to a record.
+    fn facts_of(reply: &Reply3) -> ReplyFacts3 {
+        let mut f = ReplyFacts3 {
+            status: reply.status,
+            pre_size: None,
+            post_size: None,
+            ftype: None,
+            ret_count: None,
+            eof: None,
+            new_fh: None,
+        };
+        let post = |f: &mut ReplyFacts3, attrs: Option<Fattr3>| {
+            if let Some(a) = attrs {
+                f.post_size = Some(a.size);
+                f.ftype = Some(a.ftype);
+            }
+        };
+        match &reply.body {
+            Reply3Body::Getattr(res) => post(&mut f, res.attributes),
+            Reply3Body::Setattr(res) => {
+                f.pre_size = res.wcc.before.map(|b| b.size);
+                f.post_size = res.wcc.after.map(|a| a.size);
+            }
+            Reply3Body::Lookup(res) => {
+                f.new_fh = res.object.clone();
+                post(&mut f, res.obj_attributes);
+            }
+            Reply3Body::Read(res) => {
+                f.ret_count = Some(res.count);
+                f.eof = Some(res.eof);
+                post(&mut f, res.file_attributes);
+            }
+            Reply3Body::Write(res) => {
+                f.ret_count = Some(res.count);
+                f.pre_size = res.wcc.before.map(|b| b.size);
+                f.post_size = res.wcc.after.map(|a| a.size);
+            }
+            Reply3Body::Create(res)
+            | Reply3Body::Mkdir(res)
+            | Reply3Body::Symlink(res)
+            | Reply3Body::Mknod(res) => {
+                f.new_fh = res.obj.clone();
+                post(&mut f, res.obj_attributes);
+            }
+            _ => {}
+        }
+        f
+    }
+
+    fn sample_replies() -> Vec<(Proc3, Reply3)> {
+        let wcc = WccData {
+            before: Some(WccAttr {
+                size: 100,
+                mtime: NfsTime3::from_micros(1),
+                ctime: NfsTime3::from_micros(2),
+            }),
+            after: Some(attrs(200)),
+        };
+        let mut samples = vec![
+            (Proc3::Null, Reply3::ok(Reply3Body::Null)),
+            (
+                Proc3::Getattr,
+                Reply3::ok(Reply3Body::Getattr(Getattr3Res {
+                    attributes: Some(attrs(100)),
+                })),
+            ),
+            (
+                Proc3::Setattr,
+                Reply3::ok(Reply3Body::Setattr(Setattr3Res { wcc })),
+            ),
+            (
+                Proc3::Lookup,
+                Reply3::ok(Reply3Body::Lookup(Lookup3Res {
+                    object: Some(FileHandle::from_u64(5)),
+                    obj_attributes: Some(attrs(2048)),
+                    dir_attributes: Some(attrs(4096)),
+                })),
+            ),
+            (
+                Proc3::Access,
+                Reply3::ok(Reply3Body::Access(Access3Res {
+                    obj_attributes: Some(attrs(1)),
+                    access: 0x1f,
+                })),
+            ),
+            (
+                Proc3::Readlink,
+                Reply3::ok(Reply3Body::Readlink(Readlink3Res {
+                    obj_attributes: None,
+                    target: "/somewhere/else".into(),
+                })),
+            ),
+            (
+                Proc3::Read,
+                Reply3::ok(Reply3Body::Read(Read3Res {
+                    file_attributes: Some(attrs(1 << 21)),
+                    count: 8192,
+                    eof: true,
+                    data: vec![7u8; 8192],
+                })),
+            ),
+            (
+                Proc3::Write,
+                Reply3::ok(Reply3Body::Write(Write3Res {
+                    wcc,
+                    count: 100,
+                    committed: 2,
+                    verf: [3; 8],
+                })),
+            ),
+            (
+                Proc3::Remove,
+                Reply3::ok(Reply3Body::Remove(Remove3Res { dir_wcc: wcc })),
+            ),
+            (
+                Proc3::Rename,
+                Reply3::ok(Reply3Body::Rename(Rename3Res {
+                    from_wcc: wcc,
+                    to_wcc: WccData::default(),
+                })),
+            ),
+            (
+                Proc3::Link,
+                Reply3::ok(Reply3Body::Link(Link3Res {
+                    file_attributes: Some(attrs(1)),
+                    dir_wcc: wcc,
+                })),
+            ),
+            (
+                Proc3::Readdir,
+                Reply3::ok(Reply3Body::Readdir(Readdir3Res {
+                    dir_attributes: Some(attrs(4096)),
+                    cookieverf: [1; 8],
+                    entries: vec![
+                        DirEntry3 {
+                            fileid: 1,
+                            name: ".".into(),
+                            cookie: 1,
+                        },
+                        DirEntry3 {
+                            fileid: 2,
+                            name: "inbox".into(),
+                            cookie: 2,
+                        },
+                    ],
+                    eof: true,
+                })),
+            ),
+            (
+                Proc3::Readdirplus,
+                Reply3::ok(Reply3Body::Readdirplus(Readdirplus3Res {
+                    dir_attributes: None,
+                    cookieverf: [0; 8],
+                    entries: vec![DirEntryPlus3 {
+                        fileid: 3,
+                        name: ".pinerc".into(),
+                        cookie: 9,
+                        name_attributes: Some(attrs(11 * 1024)),
+                        name_handle: Some(FileHandle::from_u64(3)),
+                    }],
+                    eof: false,
+                })),
+            ),
+            (
+                Proc3::Fsstat,
+                Reply3::ok(Reply3Body::Fsstat(Fsstat3Res {
+                    obj_attributes: Some(attrs(0)),
+                    tbytes: 53 * 1_000_000_000,
+                    ..Fsstat3Res::default()
+                })),
+            ),
+            (
+                Proc3::Fsinfo,
+                Reply3::ok(Reply3Body::Fsinfo(Fsinfo3Res {
+                    rtmax: 32768,
+                    maxfilesize: u64::MAX,
+                    ..Fsinfo3Res::default()
+                })),
+            ),
+            (
+                Proc3::Pathconf,
+                Reply3::ok(Reply3Body::Pathconf(Pathconf3Res {
+                    linkmax: 32767,
+                    name_max: 255,
+                    no_trunc: true,
+                    ..Pathconf3Res::default()
+                })),
+            ),
+            (
+                Proc3::Commit,
+                Reply3::ok(Reply3Body::Commit(Commit3Res { wcc, verf: [5; 8] })),
+            ),
+        ];
+        for proc in [Proc3::Create, Proc3::Mkdir, Proc3::Symlink, Proc3::Mknod] {
+            let res = Create3Res {
+                obj: Some(FileHandle::from_u64(77)),
+                obj_attributes: Some(attrs(0)),
+                dir_wcc: wcc,
+            };
+            let body = match proc {
+                Proc3::Create => Reply3Body::Create(res),
+                Proc3::Mkdir => Reply3Body::Mkdir(res),
+                Proc3::Symlink => Reply3Body::Symlink(res),
+                _ => Reply3Body::Mknod(res),
+            };
+            samples.push((proc, Reply3::ok(body)));
+        }
+        // Error arms for every procedure, including ones whose error
+        // encoding still carries attributes or wcc data.
+        for proc in Proc3::ALL {
+            samples.push((proc, Reply3::error(proc, NfsStat3::Stale)));
+        }
+        samples.push((
+            Proc3::Read,
+            Reply3 {
+                status: NfsStat3::Io,
+                body: Reply3Body::Read(Read3Res {
+                    file_attributes: Some(attrs(512)),
+                    ..Read3Res::default()
+                }),
+            },
+        ));
+        samples.push((
+            Proc3::Write,
+            Reply3 {
+                status: NfsStat3::Io,
+                body: Reply3Body::Write(Write3Res {
+                    wcc,
+                    ..Write3Res::default()
+                }),
+            },
+        ));
+        samples
+    }
+
+    #[test]
+    fn facts_decode_matches_full_decode() {
+        for (proc, reply) in sample_replies() {
+            let bytes = reply.encode_results();
+            let full = Reply3::decode(proc, &bytes).unwrap();
+            let facts = ReplyFacts3::decode(proc, &bytes).unwrap();
+            assert_eq!(facts, facts_of(&full), "{proc:?}");
+        }
+    }
+
+    #[test]
+    fn facts_decode_fails_exactly_when_full_decode_fails() {
+        for (proc, reply) in sample_replies() {
+            let bytes = reply.encode_results();
+            for cut in 0..bytes.len() {
+                let facts = ReplyFacts3::decode(proc, &bytes[..cut]);
+                let full = Reply3::decode(proc, &bytes[..cut]);
+                match (facts, full) {
+                    (Ok(f), Ok(r)) => assert_eq!(f, facts_of(&r), "{proc:?} cut {cut}"),
+                    (Err(fe), Err(re)) => assert_eq!(fe, re, "{proc:?} cut {cut}"),
+                    (f, r) => panic!("{proc:?} cut {cut}: facts {f:?} vs full {r:?}"),
+                }
+            }
+        }
     }
 }

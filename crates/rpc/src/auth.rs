@@ -116,8 +116,33 @@ impl Pack for OpaqueAuth {
 
 impl Unpack for OpaqueAuth {
     fn unpack(dec: &mut Decoder<'_>) -> Result<Self> {
+        AuthRef::decode(dec).map(AuthRef::to_owned)
+    }
+}
+
+/// A borrowed authenticator: [`OpaqueAuth`] with the body as a view into
+/// the buffer being decoded, so the capture hot path never copies
+/// credential bytes. The owned `Unpack` impl is a thin wrapper over this,
+/// keeping the two decode paths structurally identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AuthRef<'a> {
+    /// Flavor number (see [`flavor`]).
+    pub flavor: u32,
+    /// The raw body bytes, borrowed from the record buffer.
+    pub body: &'a [u8],
+}
+
+impl<'a> AuthRef<'a> {
+    /// Reads one authenticator without copying its body, enforcing the
+    /// same RFC 1831 400-byte body cap as the owned decoder.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`OpaqueAuth`]'s `Unpack`: truncation, a body
+    /// length over the decoder limit, or a body over 400 bytes.
+    pub fn decode(dec: &mut Decoder<'a>) -> Result<Self> {
         let flavor = dec.get_u32()?;
-        let body = dec.get_opaque_var()?;
+        let body = dec.get_opaque_var_ref()?;
         if body.len() > 400 {
             // RFC 1831 caps authenticator bodies at 400 bytes.
             return Err(Error::LengthTooLarge {
@@ -125,7 +150,46 @@ impl Unpack for OpaqueAuth {
                 limit: 400,
             });
         }
-        Ok(OpaqueAuth { flavor, body })
+        Ok(AuthRef { flavor, body })
+    }
+
+    /// Copies into an owned [`OpaqueAuth`].
+    pub fn to_owned(self) -> OpaqueAuth {
+        OpaqueAuth {
+            flavor: self.flavor,
+            body: self.body.to_vec(),
+        }
+    }
+
+    /// Extracts `(uid, gid)` from an `AUTH_UNIX` body without
+    /// allocating.
+    ///
+    /// Validation is exactly as strict as
+    /// `OpaqueAuth::as_unix` + [`AuthUnix::from_xdr_bytes`]: a non-unix
+    /// flavor or any malformation the owned path would reject
+    /// (truncation, non-UTF-8 machine name, oversized gids count,
+    /// trailing bytes) yields `None`.
+    pub fn unix_uid_gid(self) -> Option<(u32, u32)> {
+        if self.flavor != flavor::AUTH_UNIX {
+            return None;
+        }
+        let mut dec = Decoder::new(self.body);
+        dec.get_u32().ok()?; // stamp
+        dec.get_str_ref().ok()?; // machine name, UTF-8 checked
+        let uid = dec.get_u32().ok()?;
+        let gid = dec.get_u32().ok()?;
+        // Supplementary gids: replicate `get_array`'s count bound. The
+        // 400-byte body cap makes its max_len bound unreachable before
+        // the remaining-bytes bound, so one check suffices.
+        let n = dec.get_u32().ok()? as usize;
+        if n > dec.remaining() / 4 + 1 {
+            return None;
+        }
+        for _ in 0..n {
+            dec.get_u32().ok()?;
+        }
+        // `from_xdr_bytes` rejects trailing bytes; mirror that.
+        dec.is_empty().then_some((uid, gid))
     }
 }
 
@@ -160,6 +224,38 @@ mod tests {
         let a = OpaqueAuth::none();
         assert_eq!(a.to_xdr_bytes(), vec![0, 0, 0, 0, 0, 0, 0, 0]);
         assert!(a.as_unix().is_none());
+    }
+
+    #[test]
+    fn auth_ref_uid_gid_agrees_with_owned_decode() {
+        let good = OpaqueAuth::unix(&AuthUnix {
+            stamp: 9,
+            machine_name: "wks04".to_string(),
+            uid: 1002,
+            gid: 100,
+            gids: vec![100, 200],
+        });
+        let mut cases = vec![good.clone(), OpaqueAuth::none()];
+        // Truncated body (drop the tail), corrupt machine name, and a
+        // body with trailing bytes: all must yield None, matching the
+        // owned path's decode error.
+        let mut truncated = good.clone();
+        truncated.body.truncate(truncated.body.len() - 6);
+        cases.push(truncated);
+        let mut bad_name = good.clone();
+        bad_name.body[8] = 0xff; // first machine-name byte
+        cases.push(bad_name);
+        let mut trailing = good;
+        trailing.body.extend_from_slice(&[0, 0, 0, 1]);
+        cases.push(trailing);
+        for auth in cases {
+            let owned = auth.as_unix().and_then(|r| r.ok()).map(|a| (a.uid, a.gid));
+            let view = AuthRef {
+                flavor: auth.flavor,
+                body: &auth.body,
+            };
+            assert_eq!(view.unix_uid_gid(), owned);
+        }
     }
 
     #[test]

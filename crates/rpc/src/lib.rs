@@ -12,6 +12,10 @@
 //! - [`record`]: RPC record marking for TCP streams.
 //! - [`xid`]: the call/reply matcher with orphan accounting.
 
+// The zero-copy capture path is only as good as the code around it:
+// flag clones of values whose last use this was.
+#![warn(clippy::redundant_clone)]
+
 pub mod auth;
 pub mod msg;
 pub mod record;
@@ -24,5 +28,10 @@ pub const PROG_MOUNT: u32 = 100_005;
 /// The port mapper program number.
 pub const PROG_PORTMAP: u32 = 100_000;
 
-pub use msg::{CallBody, MsgBody, ReplyBody, ReplyStat, RpcMessage};
+pub use auth::AuthRef;
+pub use msg::{
+    CallBody, CallView, MsgBody, MsgBodyView, ReplyBody, ReplyStat, ReplyView, RpcMessage,
+    RpcMessageView,
+};
+pub use record::RecordRef;
 pub use xid::{XidMatcher, XidStats};

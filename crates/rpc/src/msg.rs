@@ -1,6 +1,12 @@
 //! RPC call and reply messages (RFC 1831 §8).
+//!
+//! Two decode surfaces share one implementation: the borrowed
+//! [`RpcMessageView`] reads a message as views into the record buffer
+//! (no body copies — this is what the sniffer's hot path uses), and the
+//! owned [`RpcMessage`]'s `Unpack` impl is the view decode followed by a
+//! single materializing copy.
 
-use crate::auth::OpaqueAuth;
+use crate::auth::{AuthRef, OpaqueAuth};
 use nfstrace_xdr::{Decoder, Encoder, Error, Pack, Result, Unpack};
 
 /// RPC protocol version; always 2.
@@ -178,6 +184,116 @@ impl Pack for RpcMessage {
 
 impl Unpack for RpcMessage {
     fn unpack(dec: &mut Decoder<'_>) -> Result<Self> {
+        RpcMessageView::unpack_view(dec).map(|v| v.to_owned())
+    }
+}
+
+/// A borrowed call body: [`CallBody`] with credentials and arguments as
+/// views into the record buffer (`args: &'a [u8]`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallView<'a> {
+    /// RPC version (must be 2).
+    pub rpcvers: u32,
+    /// Remote program, e.g. [`crate::PROG_NFS`].
+    pub prog: u32,
+    /// Program version (2 or 3 for NFS).
+    pub vers: u32,
+    /// Procedure number within the program.
+    pub proc: u32,
+    /// Credential (body borrowed).
+    pub cred: AuthRef<'a>,
+    /// Verifier (body borrowed).
+    pub verf: AuthRef<'a>,
+    /// Procedure arguments, raw XDR borrowed from the record buffer.
+    pub args: &'a [u8],
+}
+
+impl CallView<'_> {
+    /// Copies into an owned [`CallBody`].
+    pub fn to_owned(self) -> CallBody {
+        CallBody {
+            rpcvers: self.rpcvers,
+            prog: self.prog,
+            vers: self.vers,
+            proc: self.proc,
+            cred: self.cred.to_owned(),
+            verf: self.verf.to_owned(),
+            args: self.args.to_vec(),
+        }
+    }
+}
+
+/// A borrowed reply body: [`ReplyBody`] with `results: &'a [u8]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplyView<'a> {
+    /// Accepted or denied.
+    pub stat: ReplyStat,
+    /// Verifier (accepted replies only; empty otherwise).
+    pub verf: AuthRef<'a>,
+    /// `accept_stat` for accepted replies; rejection code for denials.
+    pub accept_stat: u32,
+    /// Procedure results, raw XDR borrowed from the record buffer.
+    pub results: &'a [u8],
+}
+
+impl ReplyView<'_> {
+    /// Copies into an owned [`ReplyBody`].
+    pub fn to_owned(self) -> ReplyBody {
+        ReplyBody {
+            stat: self.stat,
+            verf: self.verf.to_owned(),
+            accept_stat: self.accept_stat,
+            results: self.results.to_vec(),
+        }
+    }
+}
+
+/// Either borrowed body variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MsgBodyView<'a> {
+    /// A call.
+    Call(CallView<'a>),
+    /// A reply.
+    Reply(ReplyView<'a>),
+}
+
+/// A complete RPC message decoded as views into the record buffer: the
+/// zero-copy counterpart of [`RpcMessage`].
+///
+/// All byte fields (`args`, `results`, authenticator bodies) borrow the
+/// input passed to [`RpcMessageView::decode`], so xid matching and NFS
+/// argument decoding never copy a body. The owned decoder is implemented
+/// on top of this one, which keeps the accepted wire forms — and every
+/// error case — identical by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RpcMessageView<'a> {
+    /// Transaction id linking a reply to its call.
+    pub xid: u32,
+    /// Call or reply body.
+    pub body: MsgBodyView<'a>,
+}
+
+impl<'a> RpcMessageView<'a> {
+    /// Decodes a whole record as a borrowed message, requiring that the
+    /// entire input is consumed (the record reader hands over exactly
+    /// one record).
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of `RpcMessage::from_xdr_bytes`.
+    pub fn decode(bytes: &'a [u8]) -> Result<Self> {
+        let mut dec = Decoder::new(bytes);
+        let v = Self::unpack_view(&mut dec)?;
+        if dec.is_empty() {
+            Ok(v)
+        } else {
+            Err(Error::TrailingBytes {
+                remaining: dec.remaining(),
+            })
+        }
+    }
+
+    fn unpack_view(dec: &mut Decoder<'a>) -> Result<Self> {
         let xid = dec.get_u32()?;
         let mtype = dec.get_u32()?;
         match mtype {
@@ -192,12 +308,12 @@ impl Unpack for RpcMessage {
                 let prog = dec.get_u32()?;
                 let vers = dec.get_u32()?;
                 let proc = dec.get_u32()?;
-                let cred = OpaqueAuth::unpack(dec)?;
-                let verf = OpaqueAuth::unpack(dec)?;
-                let args = dec.get_opaque_fixed(dec.remaining())?;
-                Ok(RpcMessage {
+                let cred = AuthRef::decode(dec)?;
+                let verf = AuthRef::decode(dec)?;
+                let args = dec.get_opaque_fixed_ref(dec.remaining())?;
+                Ok(RpcMessageView {
                     xid,
-                    body: MsgBody::Call(CallBody {
+                    body: MsgBodyView::Call(CallView {
                         rpcvers,
                         prog,
                         vers,
@@ -212,12 +328,12 @@ impl Unpack for RpcMessage {
                 let reply_stat = dec.get_u32()?;
                 match reply_stat {
                     0 => {
-                        let verf = OpaqueAuth::unpack(dec)?;
+                        let verf = AuthRef::decode(dec)?;
                         let accept_stat = dec.get_u32()?;
-                        let results = dec.get_opaque_fixed(dec.remaining())?;
-                        Ok(RpcMessage {
+                        let results = dec.get_opaque_fixed_ref(dec.remaining())?;
+                        Ok(RpcMessageView {
                             xid,
-                            body: MsgBody::Reply(ReplyBody {
+                            body: MsgBodyView::Reply(ReplyView {
                                 stat: ReplyStat::Accepted,
                                 verf,
                                 accept_stat,
@@ -230,13 +346,16 @@ impl Unpack for RpcMessage {
                         // Consume any remaining detail (mismatch info /
                         // auth stat) without interpreting it.
                         let _ = dec.skip(dec.remaining());
-                        Ok(RpcMessage {
+                        Ok(RpcMessageView {
                             xid,
-                            body: MsgBody::Reply(ReplyBody {
+                            body: MsgBodyView::Reply(ReplyView {
                                 stat: ReplyStat::Denied,
-                                verf: OpaqueAuth::none(),
+                                verf: AuthRef {
+                                    flavor: crate::auth::flavor::AUTH_NONE,
+                                    body: &[],
+                                },
                                 accept_stat: reject,
-                                results: Vec::new(),
+                                results: &[],
                             }),
                         })
                     }
@@ -250,6 +369,34 @@ impl Unpack for RpcMessage {
                 what: "msg_type",
                 value: other,
             }),
+        }
+    }
+
+    /// Copies into an owned [`RpcMessage`]: the single materialization
+    /// the owned `Unpack` impl performs.
+    pub fn to_owned(self) -> RpcMessage {
+        RpcMessage {
+            xid: self.xid,
+            body: match self.body {
+                MsgBodyView::Call(c) => MsgBody::Call(c.to_owned()),
+                MsgBodyView::Reply(r) => MsgBody::Reply(r.to_owned()),
+            },
+        }
+    }
+
+    /// The call view, if this is a call.
+    pub fn as_call(&self) -> Option<&CallView<'a>> {
+        match &self.body {
+            MsgBodyView::Call(c) => Some(c),
+            MsgBodyView::Reply(_) => None,
+        }
+    }
+
+    /// The reply view, if this is a reply.
+    pub fn as_reply(&self) -> Option<&ReplyView<'a>> {
+        match &self.body {
+            MsgBodyView::Reply(r) => Some(r),
+            MsgBodyView::Call(_) => None,
         }
     }
 }
@@ -321,6 +468,52 @@ mod tests {
             c.rpcvers = 3;
         }
         assert!(RpcMessage::from_xdr_bytes(&msg.to_xdr_bytes()).is_err());
+    }
+
+    #[test]
+    fn view_decode_matches_owned_and_borrows_the_input() {
+        let cred = OpaqueAuth::unix(&AuthUnix::new("host1", 10, 20));
+        let cases = [
+            RpcMessage::call(0xabcd, PROG_NFS, 3, 6, cred, vec![1, 2, 3, 4]),
+            RpcMessage::reply_success(0xabcd, vec![9, 9, 9, 9]),
+            RpcMessage {
+                xid: 5,
+                body: MsgBody::Reply(ReplyBody {
+                    stat: ReplyStat::Denied,
+                    verf: OpaqueAuth::none(),
+                    accept_stat: 1,
+                    results: Vec::new(),
+                }),
+            },
+        ];
+        for msg in cases {
+            let bytes = msg.to_xdr_bytes();
+            let view = RpcMessageView::decode(&bytes).unwrap();
+            assert_eq!(view.to_owned(), msg);
+            if let Some(call) = view.as_call() {
+                // The args field is a view into `bytes`, not a copy.
+                assert!(bytes.as_ptr_range().contains(&call.args.as_ptr()));
+            }
+        }
+    }
+
+    #[test]
+    fn view_decode_rejects_what_owned_decode_rejects() {
+        let msg = RpcMessage::call(
+            7,
+            PROG_NFS,
+            3,
+            1,
+            OpaqueAuth::unix(&AuthUnix::new("m", 1, 2)),
+            vec![0; 16],
+        );
+        let bytes = msg.to_xdr_bytes();
+        for cut in 0..bytes.len() {
+            let owned = RpcMessage::from_xdr_bytes(&bytes[..cut]);
+            let view = RpcMessageView::decode(&bytes[..cut]);
+            assert_eq!(owned.is_ok(), view.is_ok(), "truncated at {cut}");
+            assert_eq!(owned.err(), view.err());
+        }
     }
 
     #[test]

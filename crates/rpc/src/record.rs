@@ -19,10 +19,17 @@ pub const MAX_RECORD_LEN: usize = 16 * 1024 * 1024;
 /// Encodes one RPC message as a single-fragment record.
 pub fn mark_record(msg: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(4 + msg.len());
+    mark_record_into(msg, &mut out);
+    out
+}
+
+/// Appends one RPC message as a single-fragment record to `out`: the
+/// scratch-buffer-reusing form of [`mark_record`]. `out` is not cleared,
+/// so a stream of records can be marked into one reused buffer.
+pub fn mark_record_into(msg: &[u8], out: &mut Vec<u8>) {
     let header = LAST_FRAGMENT | (msg.len() as u32);
     out.extend_from_slice(&header.to_be_bytes());
     out.extend_from_slice(msg);
-    out
 }
 
 /// Encodes one RPC message split into fragments of at most `frag_len`
@@ -32,12 +39,23 @@ pub fn mark_record(msg: &[u8]) -> Vec<u8> {
 ///
 /// Panics if `frag_len` is zero.
 pub fn mark_record_fragmented(msg: &[u8], frag_len: usize) -> Vec<u8> {
-    assert!(frag_len > 0, "fragment length must be positive");
     let mut out = Vec::with_capacity(msg.len() + 8);
+    mark_record_fragmented_into(msg, frag_len, &mut out);
+    out
+}
+
+/// Appends a fragmented record to `out`: the scratch-buffer-reusing form
+/// of [`mark_record_fragmented`]. `out` is not cleared.
+///
+/// # Panics
+///
+/// Panics if `frag_len` is zero.
+pub fn mark_record_fragmented_into(msg: &[u8], frag_len: usize, out: &mut Vec<u8>) {
+    assert!(frag_len > 0, "fragment length must be positive");
     let mut chunks = msg.chunks(frag_len).peekable();
     if msg.is_empty() {
         out.extend_from_slice(&LAST_FRAGMENT.to_be_bytes());
-        return out;
+        return;
     }
     while let Some(chunk) = chunks.next() {
         let mut header = chunk.len() as u32;
@@ -47,7 +65,6 @@ pub fn mark_record_fragmented(msg: &[u8], frag_len: usize) -> Vec<u8> {
         out.extend_from_slice(&header.to_be_bytes());
         out.extend_from_slice(chunk);
     }
-    out
 }
 
 /// Incrementally extracts RPC records from a reassembled TCP stream.
@@ -72,8 +89,12 @@ pub struct RecordReader {
     buf: Vec<u8>,
     /// Offset of unconsumed data in `buf` (compacted periodically).
     start: usize,
-    /// Bytes of the record assembled so far (across fragments).
+    /// Scratch for records assembled across fragments or pushes. Reused:
+    /// the previous record's bytes are cleared lazily on the next call
+    /// (see `record_done`), so steady-state extraction never allocates.
     record: Vec<u8>,
+    /// The scratch holds a fully returned record awaiting lazy clear.
+    record_done: bool,
     /// Remaining bytes of the current fragment, if mid-fragment.
     frag_remaining: usize,
     /// Whether the current fragment is the record's last.
@@ -81,6 +102,19 @@ pub struct RecordReader {
     /// Whether we are mid-fragment (frag_remaining may be 0 legally only
     /// between fragments).
     in_fragment: bool,
+}
+
+/// One complete record, borrowed from a [`RecordReader`]'s internal
+/// buffers. Valid until the reader's next mutation (`push`,
+/// `next_record_ref`, `reset`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordRef<'a> {
+    /// The record's bytes (one whole RPC message).
+    pub bytes: &'a [u8],
+    /// `true` when the record had to be assembled in the scratch buffer
+    /// (multi-fragment, or split across pushes); `false` when it is a
+    /// direct no-copy view into the stream buffer.
+    pub assembled: bool,
 }
 
 impl RecordReader {
@@ -104,6 +138,7 @@ impl RecordReader {
         self.buf.clear();
         self.start = 0;
         self.record.clear();
+        self.record_done = false;
         self.frag_remaining = 0;
         self.frag_is_last = false;
         self.in_fragment = false;
@@ -111,7 +146,12 @@ impl RecordReader {
 
     /// Bytes buffered but not yet returned.
     pub fn buffered(&self) -> usize {
-        (self.buf.len() - self.start) + self.record.len()
+        let partial = if self.record_done {
+            0 // scratch holds an already-returned record, cleared lazily
+        } else {
+            self.record.len()
+        };
+        (self.buf.len() - self.start) + partial
     }
 
     /// Attempts to extract the next complete record.
@@ -122,6 +162,27 @@ impl RecordReader {
     /// beyond [`MAX_RECORD_LEN`] — the stream is corrupt and the caller
     /// should [`RecordReader::reset`].
     pub fn next_record(&mut self) -> Result<Option<Vec<u8>>> {
+        Ok(self.next_record_ref()?.map(|r| r.bytes.to_vec()))
+    }
+
+    /// Attempts to extract the next complete record as a borrowed view —
+    /// the zero-copy form of [`RecordReader::next_record`].
+    ///
+    /// A single-fragment record lying contiguous in the stream buffer is
+    /// returned as a direct slice into it (no copy at all); records split
+    /// across fragments or pushes are assembled in an internal scratch
+    /// buffer that is reused from record to record, so steady-state
+    /// extraction performs no allocation either way. The returned view
+    /// borrows the reader and dies at its next mutation.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RecordReader::next_record`].
+    pub fn next_record_ref(&mut self) -> Result<Option<RecordRef<'_>>> {
+        if self.record_done {
+            self.record.clear();
+            self.record_done = false;
+        }
         loop {
             if self.in_fragment {
                 let avail = self.buf.len() - self.start;
@@ -135,8 +196,11 @@ impl RecordReader {
                 }
                 self.in_fragment = false;
                 if self.frag_is_last {
-                    let complete = std::mem::take(&mut self.record);
-                    return Ok(Some(complete));
+                    self.record_done = true;
+                    return Ok(Some(RecordRef {
+                        bytes: &self.record,
+                        assembled: true,
+                    }));
                 }
                 // Fall through to read the next fragment header.
             }
@@ -153,9 +217,20 @@ impl RecordReader {
                     limit: MAX_RECORD_LEN,
                 });
             }
+            let last = header & LAST_FRAGMENT != 0;
+            if last && self.record.is_empty() && avail - 4 >= len {
+                // Fast path: a whole single-fragment record contiguous in
+                // the stream buffer — hand out a direct view.
+                let body = self.start + 4;
+                self.start = body + len;
+                return Ok(Some(RecordRef {
+                    bytes: &self.buf[body..body + len],
+                    assembled: false,
+                }));
+            }
             self.start += 4;
             self.frag_remaining = len;
-            self.frag_is_last = header & LAST_FRAGMENT != 0;
+            self.frag_is_last = last;
             self.in_fragment = true;
         }
     }
@@ -222,6 +297,60 @@ mod tests {
         assert!(r.next_record().is_err());
         r.reset();
         assert_eq!(r.buffered(), 0);
+    }
+
+    #[test]
+    fn ref_reader_fast_path_is_a_direct_view() {
+        let mut r = RecordReader::new();
+        let mut wire = mark_record(b"first");
+        mark_record_into(b"second", &mut wire);
+        r.push(&wire);
+        let rec = r.next_record_ref().unwrap().unwrap();
+        assert_eq!(rec.bytes, b"first");
+        assert!(!rec.assembled, "contiguous record should not be copied");
+        let rec = r.next_record_ref().unwrap().unwrap();
+        assert_eq!(rec.bytes, b"second");
+        assert!(!rec.assembled);
+        assert!(r.next_record_ref().unwrap().is_none());
+    }
+
+    #[test]
+    fn ref_reader_assembles_fragments_in_reused_scratch() {
+        let msg: Vec<u8> = (0..100).collect();
+        let mut wire = mark_record_fragmented(&msg, 7);
+        mark_record_fragmented_into(&msg, 13, &mut wire);
+        let mut r = RecordReader::new();
+        r.push(&wire);
+        let rec = r.next_record_ref().unwrap().unwrap();
+        assert_eq!(rec.bytes, msg);
+        assert!(rec.assembled);
+        let rec = r.next_record_ref().unwrap().unwrap();
+        assert_eq!(rec.bytes, msg);
+        assert!(rec.assembled);
+        assert!(r.next_record_ref().unwrap().is_none());
+        assert_eq!(r.buffered(), 0);
+    }
+
+    #[test]
+    fn ref_reader_split_push_counts_as_assembled() {
+        let wire = mark_record(b"split across pushes");
+        let mut r = RecordReader::new();
+        r.push(&wire[..7]);
+        assert!(r.next_record_ref().unwrap().is_none());
+        r.push(&wire[7..]);
+        let rec = r.next_record_ref().unwrap().unwrap();
+        assert_eq!(rec.bytes, b"split across pushes");
+        assert!(rec.assembled);
+    }
+
+    #[test]
+    fn mark_into_variants_append_identically() {
+        let mut streamed = Vec::new();
+        mark_record_into(b"one", &mut streamed);
+        mark_record_fragmented_into(b"twotwo", 4, &mut streamed);
+        let mut concat = mark_record(b"one");
+        concat.extend_from_slice(&mark_record_fragmented(b"twotwo", 4));
+        assert_eq!(streamed, concat);
     }
 
     #[test]

@@ -9,18 +9,32 @@
 //! flatten into a [`TraceRecord`]. Packet loss surfaces as unmatched
 //! calls and orphan replies, which are counted exactly as §4.1.4
 //! describes.
+//!
+//! # Zero-copy wire path
+//!
+//! Every stage between the captured frame and the final record works
+//! on borrowed bytes: [`PacketView`] peels headers without copying the
+//! payload, the per-flow [`RecordReader`] hands out records as slices
+//! of the reassembled stream, the RPC envelope is read through
+//! [`RpcMessageView`], and NFS calls and replies decode through the
+//! borrowed view / streamed-facts types. Owned data is materialized
+//! exactly once, at the [`TraceRecord`] itself: file names at call
+//! time, and nothing at reply time. In steady state (contiguous TCP
+//! segments, records inside one segment) a paired call/reply performs
+//! no heap allocation beyond the record's own name strings, and
+//! [`SnifferStats::alloc_fallbacks`] counts the records that needed
+//! the scratch-assembly slow path.
 
-use crate::convert::{v2_to_record, v3_to_record, CallMeta};
+use crate::convert::{v2_apply_facts, v2_call_record, v3_apply_facts, v3_call_record, CallMeta};
 use nfstrace_core::record::TraceRecord;
-use nfstrace_net::packet::{DecodedPacket, Transport};
+use nfstrace_net::packet::{PacketView, Transport};
 use nfstrace_net::pcap::CapturedPacket;
 use nfstrace_net::reassembly::StreamReassembler;
-use nfstrace_nfs::v2::{Call2, Proc2, Reply2};
-use nfstrace_nfs::v3::{Call3, Proc3, Reply3};
+use nfstrace_nfs::v2::{Call2View, Proc2, ReplyFacts2};
+use nfstrace_nfs::v3::{Call3View, Proc3, ReplyFacts3};
 use nfstrace_rpc::record::RecordReader;
-use nfstrace_rpc::xid::{FlowXid, PendingCall, XidMatcher};
-use nfstrace_rpc::{MsgBody, RpcMessage, PROG_NFS};
-use nfstrace_xdr::Unpack;
+use nfstrace_rpc::xid::{FlowXid, XidMatcher};
+use nfstrace_rpc::{MsgBodyView, RpcMessageView, PROG_NFS};
 use std::collections::HashMap;
 
 /// How long a call waits for its reply before being counted lost.
@@ -83,6 +97,21 @@ pub struct SnifferStats {
     pub lost_replies: u64,
     /// Bytes skipped over TCP stream gaps.
     pub tcp_bytes_lost: u64,
+    /// Frames that parsed down to an NFS-port transport payload
+    /// (`frames` minus `ignored_frames`).
+    pub frames_decoded: u64,
+    /// RPC record bytes handed to the envelope decoder, whether or not
+    /// they decoded.
+    pub bytes_decoded: u64,
+    /// Trace records produced from paired call/reply messages.
+    pub records_emitted: u64,
+    /// RPC records that could not be served as a borrowed slice of the
+    /// reassembled stream and were assembled in the reader's scratch
+    /// buffer instead (multi-fragment records, or records split across
+    /// segment boundaries). Zero on a well-behaved single-segment feed;
+    /// a high ratio against `rpc_messages` means the capture is paying
+    /// for copies.
+    pub alloc_fallbacks: u64,
 }
 
 impl SnifferStats {
@@ -97,31 +126,53 @@ impl SnifferStats {
     }
 }
 
-#[derive(Debug)]
-enum CallKind {
-    V3(Call3),
-    V2(Call2),
+/// Which protocol version a pending call used, for decoding its reply.
+#[derive(Debug, Clone, Copy)]
+enum ProcKind {
+    V3(Proc3),
+    V2(Proc2),
 }
 
+/// A call awaiting its reply. The trace record is already built from
+/// the borrowed call view — names materialized, reply-side fields at
+/// their defaults — so pairing a reply only patches scalar fields in.
 #[derive(Debug)]
 struct Pending {
-    kind: CallKind,
-    uid: u32,
-    gid: u32,
+    proc: ProcKind,
+    record: TraceRecord,
 }
 
 type FlowKey = (u32, u32, u16, u16);
 
-/// The passive tracer.
+/// The transport addresses of one frame: the only per-packet state the
+/// RPC layer needs, small enough to copy past the payload borrow.
+#[derive(Debug, Clone, Copy)]
+struct FlowAddrs {
+    src_ip: u32,
+    dst_ip: u32,
+    src_port: u16,
+    dst_port: u16,
+}
+
+/// Everything downstream of TCP reassembly: RPC envelope decode, the
+/// XID table, record building, and counters. Split from the per-flow
+/// stream state so a record slice borrowed from a [`RecordReader`] can
+/// be decoded in place while this half is mutated.
 #[derive(Debug)]
-pub struct Sniffer {
-    streams: HashMap<FlowKey, (StreamReassembler, RecordReader)>,
+struct Engine {
     matcher: XidMatcher<Pending>,
     records: Vec<TraceRecord>,
     stats: SnifferStats,
     /// Latest frame timestamp observed (capture feeds are in time
     /// order), half of the [`Sniffer::drain_ready`] watermark.
     last_frame_micros: u64,
+}
+
+/// The passive tracer.
+#[derive(Debug)]
+pub struct Sniffer {
+    streams: HashMap<FlowKey, (StreamReassembler, RecordReader)>,
+    engine: Engine,
 }
 
 impl Default for Sniffer {
@@ -135,10 +186,12 @@ impl Sniffer {
     pub fn new() -> Self {
         Sniffer {
             streams: HashMap::new(),
-            matcher: XidMatcher::new(CALL_TIMEOUT_MICROS),
-            records: Vec::new(),
-            stats: SnifferStats::default(),
-            last_frame_micros: 0,
+            engine: Engine {
+                matcher: XidMatcher::new(CALL_TIMEOUT_MICROS),
+                records: Vec::new(),
+                stats: SnifferStats::default(),
+                last_frame_micros: 0,
+            },
         }
     }
 
@@ -147,47 +200,64 @@ impl Sniffer {
         self.observe_frame(pkt.timestamp_micros, &pkt.data);
     }
 
+    /// Observes a batch of captured packets.
+    ///
+    /// Equivalent to calling [`Sniffer::observe`] on each in order;
+    /// batching keeps the per-flow stream state and the decode tables
+    /// hot across packets, which is how the live capture path hands
+    /// frames over.
+    pub fn observe_batch(&mut self, packets: &[CapturedPacket]) {
+        for p in packets {
+            self.observe_frame(p.timestamp_micros, &p.data);
+        }
+    }
+
     /// Observes one raw frame at `ts` microseconds.
     pub fn observe_frame(&mut self, ts: u64, frame: &[u8]) {
-        self.stats.frames += 1;
-        self.last_frame_micros = self.last_frame_micros.max(ts);
-        let Ok(decoded) = DecodedPacket::parse(frame) else {
-            self.stats.ignored_frames += 1;
+        self.engine.stats.frames += 1;
+        self.engine.last_frame_micros = self.engine.last_frame_micros.max(ts);
+        let Ok(pkt) = PacketView::parse(frame) else {
+            self.engine.stats.ignored_frames += 1;
             return;
         };
         // Only NFS traffic is interesting.
-        if decoded.src_port != 2049 && decoded.dst_port != 2049 {
-            self.stats.ignored_frames += 1;
+        if pkt.src_port != 2049 && pkt.dst_port != 2049 {
+            self.engine.stats.ignored_frames += 1;
             return;
         }
-        match decoded.transport {
+        self.engine.stats.frames_decoded += 1;
+        let addrs = FlowAddrs {
+            src_ip: pkt.src_ip.as_u32(),
+            dst_ip: pkt.dst_ip.as_u32(),
+            src_port: pkt.src_port,
+            dst_port: pkt.dst_port,
+        };
+        match pkt.transport {
             Transport::Udp => {
-                let payload = decoded.payload.clone();
-                self.on_rpc_bytes(ts, &decoded, &payload);
+                // One datagram is one RPC message, decoded straight out
+                // of the frame.
+                self.engine.on_rpc_bytes(addrs, ts, pkt.payload, false);
             }
             Transport::Tcp { seq, .. } => {
-                let key: FlowKey = (
-                    decoded.src_ip.as_u32(),
-                    decoded.dst_ip.as_u32(),
-                    decoded.src_port,
-                    decoded.dst_port,
-                );
+                let key: FlowKey = (addrs.src_ip, addrs.dst_ip, addrs.src_port, addrs.dst_port);
                 let (reasm, reader) = self
                     .streams
                     .entry(key)
                     .or_insert_with(|| (StreamReassembler::new(seq), RecordReader::new()));
-                reasm.push(seq, &decoded.payload);
-                let available = reasm.read_available();
-                reader.push(available);
-                let mut messages = Vec::new();
+                let engine = &mut self.engine;
+                reasm.push(seq, pkt.payload);
+                reader.push(reasm.read_available());
                 loop {
-                    // Drain every complete record first.
+                    // Drain every complete record first, decoding each
+                    // in place as a slice of the reader's buffers.
                     loop {
-                        match reader.next_record() {
-                            Ok(Some(msg)) => messages.push(msg),
+                        match reader.next_record_ref() {
+                            Ok(Some(rec)) => {
+                                engine.on_rpc_bytes(addrs, ts, rec.bytes, rec.assembled)
+                            }
                             Ok(None) => break,
                             Err(_) => {
-                                self.stats.decode_errors += 1;
+                                engine.stats.decode_errors += 1;
                                 reader.reset();
                                 break;
                             }
@@ -198,126 +268,23 @@ impl Sniffer {
                     // the gap (losing the record that spanned it) and
                     // resynchronize on the next plausible record mark.
                     if reasm.has_gap() && reasm.pending_bytes() > GAP_SKIP_THRESHOLD {
-                        self.stats.tcp_bytes_lost += reasm.skip_gap();
+                        engine.stats.tcp_bytes_lost += reasm.skip_gap();
                         reader.reset();
                         let more = reasm.read_available();
                         let at = resync_offset(more);
-                        self.stats.tcp_bytes_lost += at as u64;
+                        engine.stats.tcp_bytes_lost += at as u64;
                         reader.push(&more[at..]);
                         continue;
                     }
                     break;
                 }
-                for msg in messages {
-                    self.on_rpc_bytes(ts, &decoded, &msg);
-                }
             }
-        }
-    }
-
-    fn on_rpc_bytes(&mut self, ts: u64, pkt: &DecodedPacket, bytes: &[u8]) {
-        let Ok(msg) = RpcMessage::from_xdr_bytes(bytes) else {
-            self.stats.decode_errors += 1;
-            return;
-        };
-        self.stats.rpc_messages += 1;
-        match msg.body {
-            MsgBody::Call(call) => {
-                if call.prog != PROG_NFS {
-                    return;
-                }
-                let (uid, gid) = call
-                    .cred
-                    .as_unix()
-                    .and_then(|r| r.ok())
-                    .map(|a| (a.uid, a.gid))
-                    .unwrap_or((0, 0));
-                let kind =
-                    match call.vers {
-                        3 => match Proc3::from_u32(call.proc)
-                            .and_then(|p| Call3::decode(p, &call.args))
-                        {
-                            Ok(c) => CallKind::V3(c),
-                            Err(_) => {
-                                self.stats.decode_errors += 1;
-                                return;
-                            }
-                        },
-                        2 => match Proc2::from_u32(call.proc)
-                            .and_then(|p| Call2::decode(p, &call.args))
-                        {
-                            Ok(c) => CallKind::V2(c),
-                            Err(_) => {
-                                self.stats.decode_errors += 1;
-                                return;
-                            }
-                        },
-                        _ => return,
-                    };
-                self.stats.calls += 1;
-                let key = FlowXid {
-                    client_ip: pkt.src_ip.as_u32(),
-                    server_ip: pkt.dst_ip.as_u32(),
-                    client_port: pkt.src_port,
-                    xid: msg.xid,
-                };
-                self.matcher
-                    .insert_call(key, ts, Pending { kind, uid, gid });
-            }
-            MsgBody::Reply(reply) => {
-                let key = FlowXid {
-                    client_ip: pkt.dst_ip.as_u32(),
-                    server_ip: pkt.src_ip.as_u32(),
-                    client_port: pkt.dst_port,
-                    xid: msg.xid,
-                };
-                let Some(pending) = self.matcher.match_reply(key, ts) else {
-                    // "It is impossible to decode an NFS response without
-                    // seeing the call."
-                    self.stats.orphan_replies += 1;
-                    return;
-                };
-                self.stats.matched_replies += 1;
-                self.flatten(key, ts, pending, &reply.results);
-            }
-        }
-    }
-
-    fn flatten(
-        &mut self,
-        key: FlowXid,
-        reply_ts: u64,
-        pending: PendingCall<Pending>,
-        results: &[u8],
-    ) {
-        let meta = CallMeta {
-            wire_micros: pending.call_micros,
-            reply_micros: reply_ts,
-            xid: key.xid,
-            client: key.client_ip,
-            server: key.server_ip,
-            uid: pending.data.uid,
-            gid: pending.data.gid,
-            vers: match pending.data.kind {
-                CallKind::V3(_) => 3,
-                CallKind::V2(_) => 2,
-            },
-        };
-        match pending.data.kind {
-            CallKind::V3(call) => match Reply3::decode(call.proc(), results) {
-                Ok(reply) => self.records.push(v3_to_record(&meta, &call, &reply)),
-                Err(_) => self.stats.decode_errors += 1,
-            },
-            CallKind::V2(call) => match Reply2::decode(call.proc(), results) {
-                Ok(reply) => self.records.push(v2_to_record(&meta, &call, &reply)),
-                Err(_) => self.stats.decode_errors += 1,
-            },
         }
     }
 
     /// Current statistics.
     pub fn stats(&self) -> SnifferStats {
-        self.stats
+        self.engine.stats
     }
 
     /// Drains the records that are *final*: no frame observed from now
@@ -341,30 +308,36 @@ impl Sniffer {
     /// must be observed in nondecreasing timestamp order (capture
     /// feeds are).
     pub fn drain_ready(&mut self) -> Vec<TraceRecord> {
+        let mut ready = Vec::new();
+        self.drain_ready_into(&mut ready);
+        ready
+    }
+
+    /// [`Sniffer::drain_ready`] into a caller-owned buffer, appending —
+    /// the batched hand-off: a live ingest loop reuses one buffer
+    /// across drains instead of allocating a fresh `Vec` per poll.
+    pub fn drain_ready_into(&mut self, out: &mut Vec<TraceRecord>) {
         // An expired call's late reply is rejected as an orphan, so no
         // record can ever be produced from it: the watermark may move
         // past it.
-        let expired = self.matcher.expire();
-        self.stats.lost_replies += expired.len() as u64;
+        let expired = self.engine.matcher.expire();
+        self.engine.stats.lost_replies += expired.len() as u64;
         let watermark = self
+            .engine
             .matcher
             .oldest_pending_micros()
             .unwrap_or(u64::MAX)
-            .min(self.last_frame_micros);
-        let mut ready = Vec::new();
-        let mut rest = Vec::with_capacity(self.records.len());
-        for r in self.records.drain(..) {
-            if r.micros < watermark {
-                ready.push(r);
-            } else {
-                rest.push(r);
-            }
-        }
-        self.records = rest;
+            .min(self.engine.last_frame_micros);
         // Stable: equal timestamps keep pairing order, exactly as the
-        // whole-capture sort in `finish` orders them.
-        ready.sort_by_key(|r| r.micros);
-        ready
+        // whole-capture sort in `finish` orders them. Sorting the kept
+        // tail too is harmless — a stable re-sort of sorted data is the
+        // identity — and makes the ready prefix a single drain.
+        self.engine.records.sort_by_key(|r| r.micros);
+        let cut = self
+            .engine
+            .records
+            .partition_point(|r| r.micros < watermark);
+        out.extend(self.engine.records.drain(..cut));
     }
 
     /// Ends the capture: expires outstanding calls (counted as lost
@@ -372,20 +345,130 @@ impl Sniffer {
     ///
     /// After [`Sniffer::drain_ready`] calls, this returns only the
     /// not-yet-drained tail — `finish` is the final drain.
-    pub fn finish(mut self) -> (Vec<TraceRecord>, SnifferStats) {
-        let lost = self.matcher.drain();
-        self.stats.lost_replies += lost.len() as u64;
-        self.records.sort_by_key(|r| r.micros);
-        (self.records, self.stats)
+    pub fn finish(self) -> (Vec<TraceRecord>, SnifferStats) {
+        let mut engine = self.engine;
+        let lost = engine.matcher.drain();
+        engine.stats.lost_replies += lost.len() as u64;
+        engine.records.sort_by_key(|r| r.micros);
+        (engine.records, engine.stats)
+    }
+}
+
+impl Engine {
+    /// Decodes one RPC record (a UDP datagram's payload or one record
+    /// split out of a TCP stream), borrowed from the capture buffers.
+    ///
+    /// `assembled` marks bytes that had to be copied into the record
+    /// reader's scratch buffer first; it only feeds the
+    /// [`SnifferStats::alloc_fallbacks`] counter.
+    fn on_rpc_bytes(&mut self, addrs: FlowAddrs, ts: u64, bytes: &[u8], assembled: bool) {
+        self.stats.bytes_decoded += bytes.len() as u64;
+        if assembled {
+            self.stats.alloc_fallbacks += 1;
+        }
+        let Ok(msg) = RpcMessageView::decode(bytes) else {
+            self.stats.decode_errors += 1;
+            return;
+        };
+        self.stats.rpc_messages += 1;
+        match msg.body {
+            MsgBodyView::Call(call) => {
+                if call.prog != PROG_NFS {
+                    return;
+                }
+                let (uid, gid) = call.cred.unix_uid_gid().unwrap_or((0, 0));
+                let meta = CallMeta {
+                    wire_micros: ts,
+                    reply_micros: 0,
+                    xid: msg.xid,
+                    client: addrs.src_ip,
+                    server: addrs.dst_ip,
+                    uid,
+                    gid,
+                    vers: call.vers as u8,
+                };
+                let pending = match call.vers {
+                    3 => {
+                        let decoded = Proc3::from_u32(call.proc)
+                            .and_then(|p| Call3View::decode(p, call.args).map(|v| (p, v)));
+                        match decoded {
+                            Ok((proc, view)) => Pending {
+                                proc: ProcKind::V3(proc),
+                                record: v3_call_record(&meta, &view),
+                            },
+                            Err(_) => {
+                                self.stats.decode_errors += 1;
+                                return;
+                            }
+                        }
+                    }
+                    2 => {
+                        let decoded = Proc2::from_u32(call.proc)
+                            .and_then(|p| Call2View::decode(p, call.args).map(|v| (p, v)));
+                        match decoded {
+                            Ok((proc, view)) => Pending {
+                                proc: ProcKind::V2(proc),
+                                record: v2_call_record(&meta, &view),
+                            },
+                            Err(_) => {
+                                self.stats.decode_errors += 1;
+                                return;
+                            }
+                        }
+                    }
+                    _ => return,
+                };
+                self.stats.calls += 1;
+                let key = FlowXid {
+                    client_ip: addrs.src_ip,
+                    server_ip: addrs.dst_ip,
+                    client_port: addrs.src_port,
+                    xid: msg.xid,
+                };
+                self.matcher.insert_call(key, ts, pending);
+            }
+            MsgBodyView::Reply(reply) => {
+                let key = FlowXid {
+                    client_ip: addrs.dst_ip,
+                    server_ip: addrs.src_ip,
+                    client_port: addrs.dst_port,
+                    xid: msg.xid,
+                };
+                let Some(pending) = self.matcher.match_reply(key, ts) else {
+                    // "It is impossible to decode an NFS response without
+                    // seeing the call."
+                    self.stats.orphan_replies += 1;
+                    return;
+                };
+                self.stats.matched_replies += 1;
+                let mut record = pending.data.record;
+                let decoded = match pending.data.proc {
+                    ProcKind::V3(proc) => ReplyFacts3::decode(proc, reply.results)
+                        .map(|facts| v3_apply_facts(&mut record, ts, &facts)),
+                    ProcKind::V2(proc) => ReplyFacts2::decode(proc, reply.results)
+                        .map(|facts| v2_apply_facts(&mut record, ts, &facts)),
+                };
+                match decoded {
+                    Ok(()) => {
+                        self.records.push(record);
+                        self.stats.records_emitted += 1;
+                    }
+                    Err(_) => self.stats.decode_errors += 1,
+                }
+            }
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::convert::v3_to_record;
     use crate::wire::WireEncoder;
     use nfstrace_client::{ClientConfig, ClientMachine, EmittedCall};
     use nfstrace_fssim::NfsServer;
+    use nfstrace_net::packet::DecodedPacket;
+    use nfstrace_rpc::RpcMessage;
     use nfstrace_xdr::Pack;
 
     /// A short client session's events.

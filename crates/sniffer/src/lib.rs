@@ -16,6 +16,10 @@
 //! - [`convert`]: the canonical call/reply → record flattening shared
 //!   with the fast (non-wire) simulation path.
 
+// The zero-copy capture path is only as good as the code around it:
+// flag clones of values whose last use this was.
+#![warn(clippy::redundant_clone)]
+
 pub mod capture;
 pub mod convert;
 pub mod wire;

@@ -512,7 +512,7 @@ mod tests {
                 object: fh.clone(),
                 access: 1,
             }),
-            Call3::Lookup(dir.clone()),
+            Call3::Lookup(dir),
             Call3::Readdirplus(Readdirplus3Args {
                 dir: fh.clone(),
                 cookie: 0,
@@ -521,7 +521,7 @@ mod tests {
                 maxcount: 200,
             }),
             Call3::Commit(Commit3Args {
-                file: fh.clone(),
+                file: fh,
                 offset: 0,
                 count: 0,
             }),
@@ -557,7 +557,7 @@ mod tests {
 
         // An in-range cookie passes through exactly and counts nothing.
         let small = Call3::Readdirplus(Readdirplus3Args {
-            dir: fh.clone(),
+            dir: fh,
             cookie: 7,
             cookieverf: [0; 8],
             dircount: 100,

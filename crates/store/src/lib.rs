@@ -86,6 +86,10 @@
 //! # std::fs::remove_file(&path).unwrap();
 //! ```
 
+// The zero-copy capture path is only as good as the code around it:
+// flag clones of values whose last use this was.
+#![warn(clippy::redundant_clone)]
+
 pub mod codec;
 pub mod compress;
 pub mod error;

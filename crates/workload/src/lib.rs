@@ -54,6 +54,10 @@
 //! and worker count — this is what feeds the `nfstrace_live` ingest
 //! daemon.
 
+// The zero-copy capture path is only as good as the code around it:
+// flag clones of values whose last use this was.
+#![warn(clippy::redundant_clone)]
+
 pub mod campus;
 pub mod convert;
 pub mod driver;

@@ -12,6 +12,22 @@ pub const DEFAULT_MAX_LEN: usize = 16 * 1024 * 1024;
 /// The decoder tracks its position; every `get_*` call consumes bytes.
 /// Truncated input yields [`Error::UnexpectedEof`] rather than a panic.
 ///
+/// # Lifetime contract
+///
+/// The decoder borrows its input for `'a` and the `*_ref` accessors
+/// ([`Decoder::get_opaque_fixed_ref`], [`Decoder::get_opaque_var_ref`],
+/// [`Decoder::get_str_ref`]) return views tied to that **input** lifetime,
+/// not to the decoder value itself. A returned `&'a [u8]` therefore stays
+/// valid across further `get_*` calls and after the decoder is dropped —
+/// it dies only with the underlying buffer. This is what lets the whole
+/// RPC/NFS decode stack run over one reassembled record buffer without
+/// copying: every layer's view points back into the same bytes.
+///
+/// The owning accessors ([`Decoder::get_opaque_var`],
+/// [`Decoder::get_string`], …) are thin `to_vec`/`to_owned` wrappers over
+/// the `*_ref` forms, so both families consume input and fail
+/// identically.
+///
 /// # Examples
 ///
 /// ```
@@ -70,9 +86,9 @@ impl<'a> Decoder<'a> {
     /// # Errors
     ///
     /// [`Error::UnexpectedEof`] if fewer than 4 bytes remain.
+    #[inline]
     pub fn get_u32(&mut self) -> Result<u32> {
-        let b = self.take(4)?;
-        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+        Ok(u32::from_be_bytes(self.take_fixed::<4>()?))
     }
 
     /// Reads a signed 32-bit integer.
@@ -89,11 +105,9 @@ impl<'a> Decoder<'a> {
     /// # Errors
     ///
     /// [`Error::UnexpectedEof`] if fewer than 8 bytes remain.
+    #[inline]
     pub fn get_u64(&mut self) -> Result<u64> {
-        let b = self.take(8)?;
-        let mut arr = [0u8; 8];
-        arr.copy_from_slice(b);
-        Ok(u64::from_be_bytes(arr))
+        Ok(u64::from_be_bytes(self.take_fixed::<8>()?))
     }
 
     /// Reads a signed 64-bit integer.
@@ -119,6 +133,52 @@ impl<'a> Decoder<'a> {
         }
     }
 
+    /// Reads `len` bytes of fixed-length opaque data plus padding,
+    /// returning a view into the input buffer (see the type-level
+    /// lifetime contract: the slice outlives the decoder).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnexpectedEof`] on truncation, or
+    /// [`Error::LengthTooLarge`] if `len` exceeds the decoder limit.
+    #[inline]
+    pub fn get_opaque_fixed_ref(&mut self, len: usize) -> Result<&'a [u8]> {
+        if len > self.max_len {
+            return Err(Error::LengthTooLarge {
+                declared: len,
+                limit: self.max_len,
+            });
+        }
+        let b = self.take(pad4(len))?;
+        Ok(&b[..len])
+    }
+
+    /// Reads variable-length opaque data (length word + bytes + padding)
+    /// as a view into the input buffer.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::LengthTooLarge`] if the declared length exceeds the
+    /// decoder limit, or [`Error::UnexpectedEof`] on truncation.
+    #[inline]
+    pub fn get_opaque_var_ref(&mut self) -> Result<&'a [u8]> {
+        let len = self.get_u32()? as usize;
+        self.get_opaque_fixed_ref(len)
+    }
+
+    /// Reads an XDR string as a UTF-8-validated view into the input
+    /// buffer.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidUtf8`] for non-UTF-8 data, plus the errors of
+    /// [`Decoder::get_opaque_var_ref`].
+    #[inline]
+    pub fn get_str_ref(&mut self) -> Result<&'a str> {
+        let bytes = self.get_opaque_var_ref()?;
+        std::str::from_utf8(bytes).map_err(|_| Error::InvalidUtf8)
+    }
+
     /// Reads `len` bytes of fixed-length opaque data plus padding.
     ///
     /// # Errors
@@ -126,15 +186,7 @@ impl<'a> Decoder<'a> {
     /// [`Error::UnexpectedEof`] on truncation, or
     /// [`Error::LengthTooLarge`] if `len` exceeds the decoder limit.
     pub fn get_opaque_fixed(&mut self, len: usize) -> Result<Vec<u8>> {
-        if len > self.max_len {
-            return Err(Error::LengthTooLarge {
-                declared: len,
-                limit: self.max_len,
-            });
-        }
-        let padded = pad4(len);
-        let b = self.take(padded)?;
-        Ok(b[..len].to_vec())
+        self.get_opaque_fixed_ref(len).map(<[u8]>::to_vec)
     }
 
     /// Reads variable-length opaque data (length word + bytes + padding).
@@ -144,8 +196,7 @@ impl<'a> Decoder<'a> {
     /// [`Error::LengthTooLarge`] if the declared length exceeds the
     /// decoder limit, or [`Error::UnexpectedEof`] on truncation.
     pub fn get_opaque_var(&mut self) -> Result<Vec<u8>> {
-        let len = self.get_u32()? as usize;
-        self.get_opaque_fixed(len)
+        self.get_opaque_var_ref().map(<[u8]>::to_vec)
     }
 
     /// Reads an XDR string and validates UTF-8.
@@ -155,8 +206,7 @@ impl<'a> Decoder<'a> {
     /// [`Error::InvalidUtf8`] for non-UTF-8 data, plus the errors of
     /// [`Decoder::get_opaque_var`].
     pub fn get_string(&mut self) -> Result<String> {
-        let bytes = self.get_opaque_var()?;
-        String::from_utf8(bytes).map_err(|_| Error::InvalidUtf8)
+        self.get_str_ref().map(str::to_owned)
     }
 
     /// Reads a counted array, decoding each element with `f`.
@@ -209,6 +259,22 @@ impl<'a> Decoder<'a> {
         let b = &self.data[self.pos..self.pos + n];
         self.pos += n;
         Ok(b)
+    }
+
+    /// Fixed-width read: one bounds check, then a constant-size copy the
+    /// optimizer lowers to a plain load (no per-byte branches).
+    #[inline]
+    fn take_fixed<const N: usize>(&mut self) -> Result<[u8; N]> {
+        match self.data.get(self.pos..self.pos + N) {
+            Some(b) => {
+                self.pos += N;
+                Ok(b.try_into().expect("slice length is exactly N"))
+            }
+            None => Err(Error::UnexpectedEof {
+                needed: N,
+                remaining: self.remaining(),
+            }),
+        }
     }
 }
 
@@ -289,6 +355,60 @@ mod tests {
         let bytes = enc.into_bytes();
         let mut dec = Decoder::new(&bytes);
         assert!(dec.get_array(|d| d.get_u32()).is_err());
+    }
+
+    #[test]
+    fn ref_accessors_outlive_the_decoder() {
+        let mut enc = Encoder::new();
+        enc.put_opaque_var(b"abc");
+        enc.put_string("name");
+        enc.put_u32(9);
+        let bytes = enc.into_bytes();
+        let (opaque, name, tail) = {
+            let mut dec = Decoder::new(&bytes);
+            let opaque = dec.get_opaque_var_ref().unwrap();
+            let name = dec.get_str_ref().unwrap();
+            let tail = dec.get_u32().unwrap();
+            assert!(dec.is_empty());
+            (opaque, name, tail)
+        };
+        // The views borrow `bytes`, not the (now dropped) decoder.
+        assert_eq!(opaque, b"abc");
+        assert_eq!(name, "name");
+        assert_eq!(tail, 9);
+    }
+
+    #[test]
+    fn ref_and_owned_accessors_fail_identically() {
+        // Truncated opaque: length word says 8, only 4 bytes follow.
+        let mut enc = Encoder::new();
+        enc.put_u32(8);
+        enc.put_u32(1);
+        let bytes = enc.into_bytes();
+        assert_eq!(
+            Decoder::new(&bytes).get_opaque_var_ref().unwrap_err(),
+            Decoder::new(&bytes).get_opaque_var().unwrap_err(),
+        );
+        // Oversized declared length.
+        let mut enc = Encoder::new();
+        enc.put_u32(100);
+        let bytes = enc.into_bytes();
+        assert_eq!(
+            Decoder::with_max_len(&bytes, 10)
+                .get_opaque_var_ref()
+                .unwrap_err(),
+            Decoder::with_max_len(&bytes, 10)
+                .get_opaque_var()
+                .unwrap_err(),
+        );
+        // Invalid UTF-8.
+        let mut enc = Encoder::new();
+        enc.put_opaque_var(&[0xff, 0xfe]);
+        let bytes = enc.into_bytes();
+        assert_eq!(
+            Decoder::new(&bytes).get_str_ref().unwrap_err(),
+            Decoder::new(&bytes).get_string().unwrap_err(),
+        );
     }
 
     #[test]

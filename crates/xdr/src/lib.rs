@@ -30,6 +30,10 @@
 //! # }
 //! ```
 
+// The zero-copy capture path is only as good as the code around it:
+// flag clones of values whose last use this was.
+#![warn(clippy::redundant_clone)]
+
 mod decode;
 mod encode;
 mod error;
