@@ -25,8 +25,17 @@
 //! to `repro --store` (the CI job `cmp`s shard counts 1, 2, and 4
 //! against the batch output).
 //!
-//! Usage: `live [--dir <dir>] [--shards <n>]` (default: a per-process
-//! temp dir, removed on success; single-writer daemon).
+//! With `--metrics <path>` the whole live pipeline — ingest daemons,
+//! segment writers/readers, and every view the suite queries — reports
+//! into one shared telemetry [`Registry`], exported periodically as
+//! JSON lines to `<path>` (plus Prometheus text exposition to
+//! `<path>.prom`) and dumped once to **stderr** at exit. Stdout is
+//! untouched: the byte-identity `cmp` against `repro --store` holds
+//! with telemetry on or off (a tier-1 test pins that).
+//!
+//! Usage: `live [--dir <dir>] [--shards <n>] [--metrics <path>]
+//! [--metrics-interval <secs>]` (default: a per-process temp dir,
+//! removed on success; single-writer daemon; no metrics export).
 
 use nfstrace_bench::suite::{peak_rss_kb, suite_text};
 use nfstrace_bench::{scale, scenarios};
@@ -35,19 +44,39 @@ use nfstrace_core::record::TraceRecord;
 use nfstrace_core::time::{DAY, HOUR};
 use nfstrace_live::{LiveConfig, LiveIngest, ShardedLiveIngest};
 use nfstrace_store::{StoreConfig, StoreIndex};
+use nfstrace_telemetry::{Exporter, ExporterConfig, Registry, Snapshot};
 use nfstrace_workload::SlicedWorkload;
 use std::path::Path;
+use std::time::Duration;
 
 /// Simulated time per generation slice.
 const SLICE_MICROS: u64 = 6 * HOUR;
 
 /// Rotation: seal segments daily (or at half a million records).
-fn live_config(dir: &Path) -> LiveConfig {
+fn live_config(dir: &Path, registry: &Registry) -> LiveConfig {
     LiveConfig {
         store: StoreConfig::default(),
         rotate_records: 500_000,
         rotate_micros: DAY,
         ..LiveConfig::new(dir)
+    }
+    .with_registry(registry)
+}
+
+/// The exit-time pipeline-health dump (stderr only): every counter and
+/// gauge, plus count/mean for every histogram with samples.
+fn dump_metrics(snapshot: &Snapshot) {
+    eprintln!("pipeline metrics:");
+    for (name, v) in &snapshot.counters {
+        eprintln!("  {name} = {v}");
+    }
+    for (name, v) in &snapshot.gauges {
+        eprintln!("  {name} = {v:.6}");
+    }
+    for (name, h) in &snapshot.histograms {
+        if h.count > 0 {
+            eprintln!("  {name}: count={} mean={:.1}us", h.count, h.mean());
+        }
     }
 }
 
@@ -60,16 +89,22 @@ fn ingest_with_midpoint_check(
     dir: &Path,
     oracle8: &StoreIndex,
     check_at: u64,
+    registry: &Registry,
 ) -> (nfstrace_live::LiveSummary, usize) {
-    let mut ingest = LiveIngest::create(live_config(dir))
+    let mut ingest = LiveIngest::create(live_config(dir, registry))
         .unwrap_or_else(|e| panic!("{name}: create ingest: {e}"));
+    // The sink path bypasses `LiveIngest::run`, so sample the batch
+    // latency per generation slice here.
+    let batch_micros = registry.histogram("live.batch_micros");
     let mut checked = false;
     let mut peak_slice = 0u64;
     let mut before = 0u64;
-    while sliced
-        .next_slice_into(&mut ingest)
-        .unwrap_or_else(|e| panic!("{name}: ingest slice: {e}"))
-    {
+    while {
+        let _span = nfstrace_telemetry::span!(batch_micros);
+        sliced
+            .next_slice_into(&mut ingest)
+            .unwrap_or_else(|e| panic!("{name}: ingest slice: {e}"))
+    } {
         peak_slice = peak_slice.max(ingest.total_records() - before);
         before = ingest.total_records();
         let boundary = sliced.emitted_to();
@@ -123,8 +158,9 @@ fn ingest_sharded_with_midpoint_check(
     oracle8: &StoreIndex,
     check_at: u64,
     shards: usize,
+    registry: &Registry,
 ) -> (ShardedLiveIngest, usize) {
-    let mut ingest = ShardedLiveIngest::create(live_config(dir), shards)
+    let mut ingest = ShardedLiveIngest::create(live_config(dir, registry), shards)
         .unwrap_or_else(|e| panic!("{name}: create sharded ingest: {e}"));
     let mut checked = false;
     let mut batch: Vec<TraceRecord> = Vec::new();
@@ -184,8 +220,13 @@ fn main() {
     let mut args = std::env::args().skip(1);
     let mut dir: Option<std::path::PathBuf> = None;
     let mut shards: Option<usize> = None;
+    let mut metrics: Option<std::path::PathBuf> = None;
+    let mut metrics_interval = Duration::from_secs(10);
     let usage = || -> ! {
-        eprintln!("usage: live [--dir <dir>] [--shards <n>]");
+        eprintln!(
+            "usage: live [--dir <dir>] [--shards <n>] [--metrics <path>] \
+             [--metrics-interval <secs>]"
+        );
         std::process::exit(2);
     };
     while let Some(a) = args.next() {
@@ -203,6 +244,16 @@ fn main() {
                 }
                 shards = Some(n);
             }
+            "--metrics" => {
+                metrics = Some(args.next().unwrap_or_else(|| usage()).into());
+            }
+            "--metrics-interval" => {
+                let secs: u64 = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                metrics_interval = Duration::from_secs(secs.max(1));
+            }
             other => {
                 eprintln!("unknown argument {other:?}");
                 usage();
@@ -215,6 +266,27 @@ fn main() {
     });
     let s = scale();
     let threads = nfstrace_core::parallel::threads();
+
+    // One registry for the whole pipeline; the exporter thread renders
+    // it to the JSONL/Prometheus files while the ingest runs.
+    let registry = Registry::new();
+    let exporter = metrics.as_ref().map(|path| {
+        let mut prom = path.clone().into_os_string();
+        prom.push(".prom");
+        Exporter::spawn(
+            registry.clone(),
+            ExporterConfig {
+                interval: metrics_interval,
+                jsonl_path: Some(path.clone()),
+                prometheus_path: Some(prom.into()),
+                stderr: false,
+            },
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("cannot start metrics exporter at {}: {e}", path.display());
+            std::process::exit(1);
+        })
+    });
 
     // The batch oracle: the same 8-day traces streamed into single
     // store files (the `repro --store` path).
@@ -246,6 +318,7 @@ fn main() {
             &campus_b,
             4 * DAY,
             shards,
+            &registry,
         );
         let (eecs_i, eecs_gen_peak) = ingest_sharded_with_midpoint_check(
             "EECS",
@@ -258,6 +331,7 @@ fn main() {
             &eecs_b,
             4 * DAY,
             shards,
+            &registry,
         );
         eprintln!(
             "  segments: CAMPUS {} ({} records), EECS {} ({} records)",
@@ -318,6 +392,7 @@ fn main() {
             &campus_dir,
             &campus_b,
             4 * DAY,
+            &registry,
         );
         let (eecs_sum, eecs_gen_peak) = ingest_with_midpoint_check(
             "EECS",
@@ -329,6 +404,7 @@ fn main() {
             &eecs_dir,
             &eecs_b,
             4 * DAY,
+            &registry,
         );
 
         // Merged segment indices must print the exact batch suite.
@@ -339,11 +415,12 @@ fn main() {
             eecs_sum.segments,
             eecs_sum.total_records
         );
-        let campus_l = StoreIndex::open_dir(&campus_dir).unwrap_or_else(|e| {
-            eprintln!("open campus segments: {e}");
-            std::process::exit(1);
-        });
-        let eecs_l = StoreIndex::open_dir(&eecs_dir).unwrap_or_else(|e| {
+        let campus_l =
+            StoreIndex::open_dir_with_registry(&campus_dir, &registry).unwrap_or_else(|e| {
+                eprintln!("open campus segments: {e}");
+                std::process::exit(1);
+            });
+        let eecs_l = StoreIndex::open_dir_with_registry(&eecs_dir, &registry).unwrap_or_else(|e| {
             eprintln!("open eecs segments: {e}");
             std::process::exit(1);
         });
@@ -378,6 +455,18 @@ fn main() {
         live_text, batch_text,
         "live-ingested segments must reproduce the batch suite byte for byte"
     );
+
+    // Final export + stderr summary before the suite hits stdout; the
+    // suite bytes themselves carry no telemetry either way.
+    if let Some(exporter) = exporter {
+        match exporter.stop() {
+            Ok(snapshot) => dump_metrics(&snapshot),
+            Err(e) => {
+                eprintln!("metrics exporter failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 
     // Stdout: the suite, byte-identical to `repro --store`.
     print!("{live_text}");

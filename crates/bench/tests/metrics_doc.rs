@@ -1,0 +1,109 @@
+//! Doc lint: every metric name registered anywhere in the pipeline
+//! must appear in the README's Observability table. A metric that
+//! exports without documentation is invisible to an operator; this
+//! test fails the build the moment code registers a name the table
+//! doesn't carry.
+//!
+//! The scan covers string literals passed to `.counter("...")`,
+//! `.gauge("...")`, `.histogram("...")`, and the two-argument
+//! `span!(registry, "...")` form, across every `crates/*/src` tree
+//! except `crates/telemetry` itself (whose unit tests and doc
+//! examples use deliberately fake names like `a.hits`).
+
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    // CARGO_MANIFEST_DIR is crates/bench.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf()
+}
+
+fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in std::fs::read_dir(dir).expect("read source dir") {
+        let path = entry.expect("dir entry").path();
+        if path.is_dir() {
+            rust_sources(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// The string literal opening at `text[start..]` (which must begin
+/// with `"`), if it closes on the same expression.
+fn string_literal(text: &str, start: usize) -> Option<&str> {
+    let body = &text[start + 1..];
+    body.find('"').map(|end| &body[..end])
+}
+
+/// Metric names registered in `text` via method calls or `span!`.
+fn registered_names(text: &str) -> Vec<String> {
+    let mut names = Vec::new();
+    for method in [".counter(", ".gauge(", ".histogram(", "span!("] {
+        for (at, _) in text.match_indices(method) {
+            let after = at + method.len();
+            let rest = &text[after..];
+            // Method forms register iff the first argument is a string
+            // literal; `span!` registers iff its *second* argument is
+            // one (the one-argument form reuses a resolved handle).
+            let candidate = if method == "span!(" {
+                let close = rest.find(')').unwrap_or(rest.len());
+                rest[..close].find('"').map(|q| after + q)
+            } else {
+                let trimmed = rest.trim_start();
+                trimmed
+                    .starts_with('"')
+                    .then(|| after + (rest.len() - trimmed.len()))
+            };
+            if let Some(q) = candidate {
+                let name = string_literal(text, q).expect("unterminated metric name literal");
+                names.push(name.to_string());
+            }
+        }
+    }
+    names
+}
+
+#[test]
+fn every_registered_metric_is_documented_in_the_readme() {
+    let root = workspace_root();
+    let readme = std::fs::read_to_string(root.join("README.md")).expect("read README.md");
+
+    let crates_dir = root.join("crates");
+    let mut sources = Vec::new();
+    for entry in std::fs::read_dir(&crates_dir).expect("read crates/") {
+        let path = entry.expect("dir entry").path();
+        if path.file_name().is_some_and(|n| n == "telemetry") {
+            continue;
+        }
+        let src = path.join("src");
+        if src.is_dir() {
+            rust_sources(&src, &mut sources);
+        }
+    }
+    assert!(sources.len() > 10, "source scan found almost nothing");
+
+    let mut undocumented = Vec::new();
+    let mut checked = 0usize;
+    for path in sources {
+        let text = std::fs::read_to_string(&path).expect("read source file");
+        for name in registered_names(&text) {
+            checked += 1;
+            if !readme.contains(&format!("`{name}`")) {
+                undocumented.push(format!("{} registers {name:?}", path.display()));
+            }
+        }
+    }
+    assert!(
+        checked >= 40,
+        "only {checked} metric registrations found; the scan is likely broken"
+    );
+    assert!(
+        undocumented.is_empty(),
+        "metrics missing from the README Observability table:\n  {}",
+        undocumented.join("\n  ")
+    );
+}

@@ -72,6 +72,7 @@ use crate::reorder::{self, Access, SwapPoint};
 use crate::runs::{runs_for_trace, Run, RunOptions};
 use crate::summary::SummaryStats;
 use crate::time::{DAY, HOUR};
+use nfstrace_telemetry::{span, Counter, Histogram, Registry};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -550,7 +551,14 @@ impl PartialIndex {
 /// access goes through [`RecordStream`], so the same code serves the
 /// in-memory index (slice iteration) and the on-disk store index
 /// (chunk-at-a-time decode).
-#[derive(Debug, Default)]
+///
+/// Pass accounting is two-tier: the `query.*` telemetry instruments
+/// aggregate across every view sharing a [`Registry`] (the pipeline
+/// health export), while the plain per-view counters behind
+/// [`ProductCaches::sort_passes`] / [`ProductCaches::decode_passes`]
+/// keep the exact per-view semantics the suite's single-pass assertions
+/// check — a time window and its parent must not pool those.
+#[derive(Debug)]
 pub struct ProductCaches {
     /// Reorder-corrected access maps, one per requested window (ms).
     sorted: Mutex<HashMap<u64, Arc<AccessMap>>>,
@@ -564,10 +572,47 @@ pub struct ProductCaches {
     names: OnceLock<NamePredictionReport>,
     /// Hierarchy-coverage series keyed by bucket width (µs).
     coverage: Mutex<HashMap<u64, Arc<Vec<CoveragePoint>>>>,
-    /// How many reorder bucket+sort passes have been performed.
+    /// How many reorder bucket+sort passes *this view* has performed.
     sort_passes: AtomicU64,
-    /// How many full record-replay passes have been performed.
+    /// How many full record-replay passes *this view* has performed.
     decode_passes: AtomicU64,
+    /// Registry-backed `query.*` instruments, shared across views.
+    metrics: QueryMetrics,
+}
+
+impl Default for ProductCaches {
+    fn default() -> Self {
+        ProductCaches::with_registry(&Registry::new())
+    }
+}
+
+/// The `query.*` slice of the pipeline-health export: fused-replay and
+/// reorder-sort pass counts plus their wall-clock histograms.
+#[derive(Debug)]
+struct QueryMetrics {
+    /// `query.requests` — [`ReplayRequest`]s handed to `prepare`
+    /// (cache hits included).
+    requests: Counter,
+    /// `query.replay_passes` — fused replay passes that touched records.
+    replay_passes: Counter,
+    /// `query.sort_passes` — reorder bucket+sort passes.
+    sort_passes: Counter,
+    /// `query.replay_micros` — wall time of each fused replay pass.
+    replay_micros: Histogram,
+    /// `query.sort_micros` — wall time of each reorder sort pass.
+    sort_micros: Histogram,
+}
+
+impl QueryMetrics {
+    fn register(registry: &Registry) -> Self {
+        QueryMetrics {
+            requests: registry.counter("query.requests"),
+            replay_passes: registry.counter("query.replay_passes"),
+            sort_passes: registry.counter("query.sort_passes"),
+            replay_micros: registry.histogram("query.replay_micros"),
+            sort_micros: registry.histogram("query.sort_micros"),
+        }
+    }
 }
 
 /// One analyzer riding a fused replay pass, paired with where its
@@ -600,9 +645,25 @@ fn weekday_configs() -> [LifetimeConfig; 5] {
 }
 
 impl ProductCaches {
-    /// Fresh, empty caches.
+    /// Fresh, empty caches reporting into a private registry.
     pub fn new() -> Self {
         ProductCaches::default()
+    }
+
+    /// Fresh, empty caches whose `query.*` instruments live in
+    /// `registry`, so every view sharing it contributes to one export.
+    pub fn with_registry(registry: &Registry) -> Self {
+        ProductCaches {
+            sorted: Mutex::default(),
+            runs: Mutex::default(),
+            lifetimes: Mutex::default(),
+            weekday: OnceLock::new(),
+            names: OnceLock::new(),
+            coverage: Mutex::default(),
+            sort_passes: AtomicU64::new(0),
+            decode_passes: AtomicU64::new(0),
+            metrics: QueryMetrics::register(registry),
+        }
     }
 
     /// See [`TraceView::accesses`]. Each window is sorted exactly once;
@@ -615,6 +676,7 @@ impl ProductCaches {
         if let Some(m) = cache.get(&window_ms) {
             return Arc::clone(m);
         }
+        let _span = span!(self.metrics.sort_micros);
         let mut sorted: AccessMap = raw.as_ref().clone();
         for list in sorted.values_mut() {
             // make_mut copies the shared arrival-order list once; the
@@ -623,6 +685,7 @@ impl ProductCaches {
             reorder::sort_within_window(list, window_ms * 1000);
         }
         self.sort_passes.fetch_add(1, Ordering::Relaxed);
+        self.metrics.sort_passes.inc();
         let arc = Arc::new(sorted);
         cache.insert(window_ms, Arc::clone(&arc));
         arc
@@ -648,6 +711,7 @@ impl ProductCaches {
     /// so [`ProductCaches::decode_passes`] counts exactly the passes
     /// that touched the records.
     pub fn prepare(&self, source: &dyn RecordStream, requests: &[ReplayRequest]) {
+        self.metrics.requests.add(requests.len() as u64);
         let mut jobs: Vec<ReplayJob> = Vec::new();
         let mut want_weekday = false;
         {
@@ -699,6 +763,8 @@ impl ProductCaches {
         }
         if !jobs.is_empty() {
             self.decode_passes.fetch_add(1, Ordering::Relaxed);
+            self.metrics.replay_passes.inc();
+            let _span = span!(self.metrics.replay_micros);
             // The fused pass: no locks held, one traversal, every
             // analyzer observes every record.
             let mut refs: Vec<&mut dyn RecordObserver> = jobs

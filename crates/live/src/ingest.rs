@@ -7,6 +7,7 @@ use nfstrace_core::index::{IndexBase, PartialIndex};
 use nfstrace_core::record::TraceRecord;
 use nfstrace_core::sink::RecordSink;
 use nfstrace_store::{Result, SegmentCatalog, StoreConfig, StoreError, StoreReader, StoreWriter};
+use nfstrace_telemetry::{span, Counter, Gauge, Histogram, Registry};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
@@ -31,6 +32,14 @@ pub struct LiveConfig {
     /// every shard so the merged view can replay the exact original
     /// interleave, equal timestamps included.
     pub track_seqs: bool,
+    /// Where the ingest's `live.*` / `store.*` / `query.*` telemetry
+    /// lands. Defaults to a private registry (no shared export); hand
+    /// in one shared [`Registry`] to get a single pipeline-health
+    /// export across the daemon, its segment writers/readers, and
+    /// every view it snapshots. Shards of a
+    /// [`crate::ShardedLiveIngest`] inherit it, so shard histograms
+    /// merge into one distribution.
+    pub registry: Registry,
 }
 
 impl LiveConfig {
@@ -43,6 +52,43 @@ impl LiveConfig {
             rotate_records: 250_000,
             rotate_micros: nfstrace_core::time::DAY,
             track_seqs: false,
+            registry: Registry::new(),
+        }
+    }
+
+    /// Points this configuration's telemetry at `registry`.
+    #[must_use]
+    pub fn with_registry(mut self, registry: &Registry) -> Self {
+        self.registry = registry.clone();
+        self
+    }
+}
+
+/// The `live.*` slice of the pipeline-health export.
+#[derive(Debug)]
+pub(crate) struct LiveMetrics {
+    /// `live.records_emitted` — records accepted into the hot segment.
+    records_emitted: Counter,
+    /// `live.segments_sealed` — hot segments rotated to disk.
+    segments_sealed: Counter,
+    /// `live.hot_records` — records currently resident in the hot tail.
+    hot_records: Gauge,
+    /// `live.batch_micros` — wall time of each source batch ingested
+    /// (per shard under a sharded ingest; shards share the registry, so
+    /// the per-shard samples merge into one distribution).
+    pub(crate) batch_micros: Histogram,
+    /// `live.snapshot_micros` — wall time of each view snapshot.
+    pub(crate) snapshot_micros: Histogram,
+}
+
+impl LiveMetrics {
+    fn register(registry: &Registry) -> Self {
+        LiveMetrics {
+            records_emitted: registry.counter("live.records_emitted"),
+            segments_sealed: registry.counter("live.segments_sealed"),
+            hot_records: registry.gauge("live.hot_records"),
+            batch_micros: registry.histogram("live.batch_micros"),
+            snapshot_micros: registry.histogram("live.snapshot_micros"),
         }
     }
 }
@@ -157,6 +203,8 @@ pub struct LiveIngest {
     /// at — repeated [`LiveIngest::view`] calls between mutations
     /// reuse it.
     base_cache: Mutex<Option<(u64, IndexBase)>>,
+    /// Registry-backed `live.*` instruments (see [`LiveConfig::registry`]).
+    pub(crate) metrics: LiveMetrics,
 }
 
 impl LiveIngest {
@@ -195,7 +243,10 @@ impl LiveIngest {
         Self::sweep_stale_files(catalog.dir())?;
         let mut sealed = Vec::with_capacity(catalog.len());
         for path in catalog.paths() {
-            sealed.push(Arc::new(StoreReader::open(path)?));
+            sealed.push(Arc::new(StoreReader::open_with_registry(
+                path,
+                &config.registry,
+            )?));
         }
         let track = config.track_seqs;
         let mut ingest = Self::with_catalog(config, catalog, sealed);
@@ -277,6 +328,7 @@ impl LiveIngest {
         } else {
             PartialIndex::new()
         };
+        let metrics = LiveMetrics::register(&config.registry);
         LiveIngest {
             config,
             catalog,
@@ -296,6 +348,7 @@ impl LiveIngest {
             peak_batch_records: 0,
             generation: 0,
             base_cache: Mutex::new(None),
+            metrics,
         }
     }
 
@@ -352,9 +405,10 @@ impl LiveIngest {
             // mid-segment leaves a stale temp file (cleaned at the next
             // create/open), never a footerless seg-*.nfseg that would
             // poison the whole directory.
-            self.hot_writer = Some(StoreWriter::create(
+            self.hot_writer = Some(StoreWriter::create_with_registry(
                 Self::tmp_path(&self.catalog.path_for(self.hot_ordinal)),
                 self.config.store,
+                &self.config.registry,
             )?);
             self.hot_first_micros = r.micros;
         }
@@ -375,6 +429,8 @@ impl LiveIngest {
         self.total_records += 1;
         self.generation += 1;
         self.peak_hot_records = self.peak_hot_records.max(self.hot_records.len());
+        self.metrics.records_emitted.inc();
+        self.metrics.hot_records.set(self.hot_records.len() as f64);
         if self.hot_records.len() as u64 >= self.config.rotate_records
             || r.micros.saturating_sub(self.hot_first_micros) >= self.config.rotate_micros
         {
@@ -406,9 +462,14 @@ impl LiveIngest {
                 .push(std::mem::replace(&mut self.hot_seqs, Arc::new(Vec::new())));
         }
         std::fs::rename(Self::tmp_path(&path), &path)?;
-        self.sealed.push(Arc::new(StoreReader::open(path)?));
+        self.sealed.push(Arc::new(StoreReader::open_with_registry(
+            path,
+            &self.config.registry,
+        )?));
         self.catalog.note_sealed(self.hot_ordinal);
         self.hot_records = Arc::new(Vec::new());
+        self.metrics.segments_sealed.inc();
+        self.metrics.hot_records.set(0.0);
         Ok(())
     }
 
@@ -425,6 +486,7 @@ impl LiveIngest {
                 return Ok(());
             }
             self.peak_batch_records = self.peak_batch_records.max(batch.len());
+            let _span = span!(self.metrics.batch_micros);
             for r in &batch {
                 self.ingest(r)?;
             }
@@ -467,7 +529,14 @@ impl LiveIngest {
     /// Snapshots a stable [`LiveView`] over everything ingested so far
     /// — sealed segments plus the hot tail, queryable mid-ingest.
     pub fn view(&self) -> LiveView {
-        LiveView::assemble(self.chain(), 0, u64::MAX, self.snapshot_base())
+        let _span = span!(self.metrics.snapshot_micros);
+        LiveView::assemble(
+            self.chain(),
+            0,
+            u64::MAX,
+            self.snapshot_base(),
+            &self.config.registry,
+        )
     }
 
     /// Seals the trailing hot segment and reports totals. The segment

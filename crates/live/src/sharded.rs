@@ -239,6 +239,10 @@ impl ShardedLiveIngest {
             &mut self.shards,
             threads,
             |shard, ingest| -> Result<()> {
+                // One batch-latency sample per shard per batch; shards
+                // share the registry, so these merge into one
+                // `live.batch_micros` distribution.
+                let _span = nfstrace_telemetry::span!(ingest.metrics.batch_micros);
                 for (seq, r) in &per_shard[shard] {
                     ingest.ingest_with_seq(r, *seq)?;
                 }
@@ -276,6 +280,7 @@ impl ShardedLiveIngest {
     /// same stream. The merged products are cached per batch
     /// generation; between batches this is a handle clone.
     pub fn view(&self) -> LiveView {
+        let _span = nfstrace_telemetry::span!(&self.config.registry, "live.snapshot_micros");
         let base = {
             let mut cache = self.base_cache.lock().expect("snapshot cache poisoned");
             match cache.as_ref() {
@@ -292,7 +297,7 @@ impl ShardedLiveIngest {
             }
         };
         let chains = self.shards.iter().map(LiveIngest::chain).collect();
-        LiveView::assemble_sharded(chains, 0, u64::MAX, base)
+        LiveView::assemble_sharded(chains, 0, u64::MAX, base, &self.config.registry)
     }
 
     /// Seals every shard's trailing hot segment and reports totals.

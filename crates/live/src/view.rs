@@ -13,6 +13,7 @@ use nfstrace_core::reorder::SwapPoint;
 use nfstrace_core::runs::{Run, RunOptions};
 use nfstrace_core::summary::SummaryStats;
 use nfstrace_store::{stream_records, StoreReader};
+use nfstrace_telemetry::Registry;
 use std::sync::Arc;
 
 /// One shard's contribution to a [`LiveView`]: its sealed segment
@@ -233,6 +234,9 @@ pub struct LiveView {
     end: u64,
     base: IndexBase,
     caches: ProductCaches,
+    /// Where this view's (and its windows') `query.*` instruments
+    /// live — inherited from the ingest that snapshotted it.
+    registry: Registry,
 }
 
 impl LiveView {
@@ -241,8 +245,14 @@ impl LiveView {
     /// restricted to `[start, end)` — [`crate::LiveIngest::view`]
     /// maintains that running partial and hands in its snapshot, so
     /// building a view is O(snapshot), not a decode pass.
-    pub(crate) fn assemble(chain: ShardChain, start: u64, end: u64, base: IndexBase) -> Self {
-        Self::assemble_sharded(vec![chain], start, end, base)
+    pub(crate) fn assemble(
+        chain: ShardChain,
+        start: u64,
+        end: u64,
+        base: IndexBase,
+        registry: &Registry,
+    ) -> Self {
+        Self::assemble_sharded(vec![chain], start, end, base, registry)
     }
 
     /// Assembles a view over any number of shard chains. With two or
@@ -254,13 +264,15 @@ impl LiveView {
         start: u64,
         end: u64,
         base: IndexBase,
+        registry: &Registry,
     ) -> Self {
         LiveView {
             chains,
             start,
             end,
             base,
-            caches: ProductCaches::new(),
+            caches: ProductCaches::with_registry(registry),
+            registry: registry.clone(),
         }
     }
 
@@ -362,7 +374,13 @@ impl TraceView for LiveView {
         let end = end_micros.min(self.end).max(start);
         let mut partial = PartialIndex::new();
         for_each_merged(&self.chains, start, end, &mut |r| partial.observe(r));
-        LiveView::assemble_sharded(self.chains.clone(), start, end, partial.finish())
+        LiveView::assemble_sharded(
+            self.chains.clone(),
+            start,
+            end,
+            partial.finish(),
+            &self.registry,
+        )
     }
 
     fn sort_passes(&self) -> u64 {

@@ -76,6 +76,7 @@ fn ingest_all(
         rotate_records,
         rotate_micros,
         track_seqs: false,
+        registry: Default::default(),
     })
     .expect("create ingest");
     let mut source = ChunkedSource {
@@ -169,6 +170,7 @@ proptest! {
             rotate_records,
             rotate_micros,
             track_seqs: false,
+            registry: Default::default(),
         })
         .expect("create");
         for r in &records[..cut] {
@@ -245,6 +247,7 @@ proptest! {
             rotate_records,
             rotate_micros,
             track_seqs: false, // implied per shard by the router
+            registry: Default::default(),
         };
         let mut ingest = ShardedLiveIngest::create(config(), shards).expect("create sharded");
         let mut source = ChunkedSource {

@@ -9,6 +9,8 @@
 
 use std::collections::HashMap;
 
+use nfstrace_telemetry::{Counter, Gauge, Registry};
+
 /// Key identifying an outstanding call: the flow plus the XID.
 ///
 /// Addresses are 32-bit IPv4 values; ports disambiguate multiple mounts
@@ -36,7 +38,12 @@ pub struct PendingCall<T> {
     pub data: T,
 }
 
-/// Statistics from matching.
+/// A snapshot of matching statistics (see [`XidMatcher::stats`]).
+///
+/// The authoritative storage is the set of `rpc.xid.*` counters in
+/// the matcher's [`Registry`] — this struct is a point-in-time read
+/// of them, so what a test asserts and what a daemon exports can
+/// never drift apart.
 ///
 /// Accounting rules:
 ///
@@ -104,19 +111,51 @@ impl XidStats {
 pub struct XidMatcher<T> {
     pending: HashMap<FlowXid, PendingCall<T>>,
     timeout_micros: u64,
-    stats: XidStats,
+    metrics: XidMetrics,
     /// Most recent timestamp observed, for expiry sweeps.
     now_micros: u64,
 }
 
+/// Registry handles for the `rpc.xid.*` metrics, resolved once at
+/// construction so every hot-path bump is a single relaxed atomic.
+#[derive(Debug, Clone)]
+struct XidMetrics {
+    calls: Counter,
+    matched: Counter,
+    orphan_replies: Counter,
+    expired_calls: Counter,
+    retransmits: Counter,
+    loss_rate: Gauge,
+}
+
+impl XidMetrics {
+    fn register(registry: &Registry) -> Self {
+        XidMetrics {
+            calls: registry.counter("rpc.xid.calls"),
+            matched: registry.counter("rpc.xid.matched"),
+            orphan_replies: registry.counter("rpc.xid.orphan_replies"),
+            expired_calls: registry.counter("rpc.xid.expired_calls"),
+            retransmits: registry.counter("rpc.xid.retransmits"),
+            loss_rate: registry.gauge("rpc.xid.estimated_loss_rate"),
+        }
+    }
+}
+
 impl<T> XidMatcher<T> {
     /// Creates a matcher that expires unanswered calls after
-    /// `timeout_micros`.
+    /// `timeout_micros`, counting into a private registry.
     pub fn new(timeout_micros: u64) -> Self {
+        Self::with_registry(timeout_micros, &Registry::new())
+    }
+
+    /// Like [`XidMatcher::new`], but counts into `registry` (metric
+    /// names `rpc.xid.*`). Sharing one registry across matchers sums
+    /// their counts.
+    pub fn with_registry(timeout_micros: u64, registry: &Registry) -> Self {
         Self {
             pending: HashMap::new(),
             timeout_micros,
-            stats: XidStats::default(),
+            metrics: XidMetrics::register(registry),
             now_micros: 0,
         }
     }
@@ -134,9 +173,9 @@ impl<T> XidMatcher<T> {
             .insert(key, PendingCall { call_micros, data })
             .is_some()
         {
-            self.stats.retransmits += 1;
+            self.metrics.retransmits.inc();
         } else {
-            self.stats.calls += 1;
+            self.metrics.calls.inc();
         }
     }
 
@@ -148,11 +187,11 @@ impl<T> XidMatcher<T> {
         self.now_micros = self.now_micros.max(reply_micros);
         match self.pending.remove(&key) {
             Some(call) => {
-                self.stats.matched += 1;
+                self.metrics.matched.inc();
                 Some(call)
             }
             None => {
-                self.stats.orphan_replies += 1;
+                self.metrics.orphan_replies.inc();
                 None
             }
         }
@@ -173,7 +212,7 @@ impl<T> XidMatcher<T> {
         let mut out = Vec::with_capacity(expired_keys.len());
         for k in expired_keys {
             if let Some(c) = self.pending.remove(&k) {
-                self.stats.expired_calls += 1;
+                self.metrics.expired_calls.inc();
                 out.push((k, c));
             }
         }
@@ -186,7 +225,7 @@ impl<T> XidMatcher<T> {
     /// [`XidMatcher::expire`].
     pub fn drain(&mut self) -> Vec<(FlowXid, PendingCall<T>)> {
         let mut out: Vec<_> = self.pending.drain().collect();
-        self.stats.expired_calls += out.len() as u64;
+        self.metrics.expired_calls.add(out.len() as u64);
         out.sort_by_key(|(k, c)| (c.call_micros, *k));
         out
     }
@@ -206,9 +245,20 @@ impl<T> XidMatcher<T> {
         self.pending.values().map(|c| c.call_micros).min()
     }
 
-    /// Matching statistics so far.
+    /// Matching statistics so far: a read of the `rpc.xid.*`
+    /// counters. Also refreshes the `rpc.xid.estimated_loss_rate`
+    /// gauge, so any registry export after a `stats()` call carries
+    /// the current §4.1.4 loss estimate.
     pub fn stats(&self) -> XidStats {
-        self.stats
+        let stats = XidStats {
+            calls: self.metrics.calls.value(),
+            matched: self.metrics.matched.value(),
+            orphan_replies: self.metrics.orphan_replies.value(),
+            expired_calls: self.metrics.expired_calls.value(),
+            retransmits: self.metrics.retransmits.value(),
+        };
+        self.metrics.loss_rate.set(stats.estimated_loss_rate());
+        stats
     }
 }
 

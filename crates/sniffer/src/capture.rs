@@ -35,6 +35,7 @@ use nfstrace_nfs::v3::{Call3View, Proc3, ReplyFacts3};
 use nfstrace_rpc::record::RecordReader;
 use nfstrace_rpc::xid::{FlowXid, XidMatcher};
 use nfstrace_rpc::{MsgBodyView, RpcMessageView, PROG_NFS};
+use nfstrace_telemetry::{Counter, Gauge, Registry};
 use std::collections::HashMap;
 
 /// How long a call waits for its reply before being counted lost.
@@ -76,7 +77,13 @@ fn resync_offset(bytes: &[u8]) -> usize {
     bytes.len()
 }
 
-/// Counters describing a capture session.
+/// A snapshot of the counters describing a capture session.
+///
+/// The authoritative storage is the set of `sniffer.*` counters in
+/// the sniffer's [`Registry`] ([`Sniffer::with_registry`]); this
+/// struct is a point-in-time read of them ([`Sniffer::stats`]), so
+/// the values a test asserts and the values a daemon exports come
+/// from the same cells.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SnifferStats {
     /// Frames observed.
@@ -162,10 +169,75 @@ struct FlowAddrs {
 struct Engine {
     matcher: XidMatcher<Pending>,
     records: Vec<TraceRecord>,
-    stats: SnifferStats,
+    metrics: SnifferMetrics,
     /// Latest frame timestamp observed (capture feeds are in time
     /// order), half of the [`Sniffer::drain_ready`] watermark.
     last_frame_micros: u64,
+}
+
+/// Registry handles for the `sniffer.*` metrics, resolved once at
+/// construction: each per-frame/per-record bump is a single relaxed
+/// atomic add — lock-free and allocation-free, which the alloc-budget
+/// test holds the whole record path to.
+#[derive(Debug, Clone)]
+struct SnifferMetrics {
+    frames: Counter,
+    ignored_frames: Counter,
+    rpc_messages: Counter,
+    decode_errors: Counter,
+    calls: Counter,
+    matched_replies: Counter,
+    orphan_replies: Counter,
+    lost_replies: Counter,
+    tcp_bytes_lost: Counter,
+    frames_decoded: Counter,
+    bytes_decoded: Counter,
+    records_emitted: Counter,
+    alloc_fallbacks: Counter,
+    loss_rate: Gauge,
+}
+
+impl SnifferMetrics {
+    fn register(registry: &Registry) -> Self {
+        SnifferMetrics {
+            frames: registry.counter("sniffer.frames"),
+            ignored_frames: registry.counter("sniffer.ignored_frames"),
+            rpc_messages: registry.counter("sniffer.rpc_messages"),
+            decode_errors: registry.counter("sniffer.decode_errors"),
+            calls: registry.counter("sniffer.calls"),
+            matched_replies: registry.counter("sniffer.matched_replies"),
+            orphan_replies: registry.counter("sniffer.orphan_replies"),
+            lost_replies: registry.counter("sniffer.lost_replies"),
+            tcp_bytes_lost: registry.counter("sniffer.tcp_bytes_lost"),
+            frames_decoded: registry.counter("sniffer.frames_decoded"),
+            bytes_decoded: registry.counter("sniffer.bytes_decoded"),
+            records_emitted: registry.counter("sniffer.records_emitted"),
+            alloc_fallbacks: registry.counter("sniffer.alloc_fallbacks"),
+            loss_rate: registry.gauge("sniffer.estimated_loss_rate"),
+        }
+    }
+
+    /// Read every counter into a [`SnifferStats`] snapshot and
+    /// refresh the `sniffer.estimated_loss_rate` gauge.
+    fn snapshot(&self) -> SnifferStats {
+        let stats = SnifferStats {
+            frames: self.frames.value(),
+            ignored_frames: self.ignored_frames.value(),
+            rpc_messages: self.rpc_messages.value(),
+            decode_errors: self.decode_errors.value(),
+            calls: self.calls.value(),
+            matched_replies: self.matched_replies.value(),
+            orphan_replies: self.orphan_replies.value(),
+            lost_replies: self.lost_replies.value(),
+            tcp_bytes_lost: self.tcp_bytes_lost.value(),
+            frames_decoded: self.frames_decoded.value(),
+            bytes_decoded: self.bytes_decoded.value(),
+            records_emitted: self.records_emitted.value(),
+            alloc_fallbacks: self.alloc_fallbacks.value(),
+        };
+        self.loss_rate.set(stats.estimated_loss_rate());
+        stats
+    }
 }
 
 /// The passive tracer.
@@ -182,14 +254,23 @@ impl Default for Sniffer {
 }
 
 impl Sniffer {
-    /// Creates a sniffer.
+    /// Creates a sniffer counting into a private registry.
     pub fn new() -> Self {
+        Self::with_registry(&Registry::new())
+    }
+
+    /// Like [`Sniffer::new`], but counts into `registry`: the
+    /// `sniffer.*` metrics, plus the XID table's `rpc.xid.*` metrics
+    /// (the same registry is handed down to the matcher). A daemon
+    /// passes its shared registry here so the capture layer shows up
+    /// in the unified export.
+    pub fn with_registry(registry: &Registry) -> Self {
         Sniffer {
             streams: HashMap::new(),
             engine: Engine {
-                matcher: XidMatcher::new(CALL_TIMEOUT_MICROS),
+                matcher: XidMatcher::with_registry(CALL_TIMEOUT_MICROS, registry),
                 records: Vec::new(),
-                stats: SnifferStats::default(),
+                metrics: SnifferMetrics::register(registry),
                 last_frame_micros: 0,
             },
         }
@@ -214,18 +295,18 @@ impl Sniffer {
 
     /// Observes one raw frame at `ts` microseconds.
     pub fn observe_frame(&mut self, ts: u64, frame: &[u8]) {
-        self.engine.stats.frames += 1;
+        self.engine.metrics.frames.inc();
         self.engine.last_frame_micros = self.engine.last_frame_micros.max(ts);
         let Ok(pkt) = PacketView::parse(frame) else {
-            self.engine.stats.ignored_frames += 1;
+            self.engine.metrics.ignored_frames.inc();
             return;
         };
         // Only NFS traffic is interesting.
         if pkt.src_port != 2049 && pkt.dst_port != 2049 {
-            self.engine.stats.ignored_frames += 1;
+            self.engine.metrics.ignored_frames.inc();
             return;
         }
-        self.engine.stats.frames_decoded += 1;
+        self.engine.metrics.frames_decoded.inc();
         let addrs = FlowAddrs {
             src_ip: pkt.src_ip.as_u32(),
             dst_ip: pkt.dst_ip.as_u32(),
@@ -257,7 +338,7 @@ impl Sniffer {
                             }
                             Ok(None) => break,
                             Err(_) => {
-                                engine.stats.decode_errors += 1;
+                                engine.metrics.decode_errors.inc();
                                 reader.reset();
                                 break;
                             }
@@ -268,11 +349,11 @@ impl Sniffer {
                     // the gap (losing the record that spanned it) and
                     // resynchronize on the next plausible record mark.
                     if reasm.has_gap() && reasm.pending_bytes() > GAP_SKIP_THRESHOLD {
-                        engine.stats.tcp_bytes_lost += reasm.skip_gap();
+                        engine.metrics.tcp_bytes_lost.add(reasm.skip_gap());
                         reader.reset();
                         let more = reasm.read_available();
                         let at = resync_offset(more);
-                        engine.stats.tcp_bytes_lost += at as u64;
+                        engine.metrics.tcp_bytes_lost.add(at as u64);
                         reader.push(&more[at..]);
                         continue;
                     }
@@ -282,9 +363,10 @@ impl Sniffer {
         }
     }
 
-    /// Current statistics.
+    /// Current statistics: a read of the `sniffer.*` counters (also
+    /// refreshes the `sniffer.estimated_loss_rate` gauge).
     pub fn stats(&self) -> SnifferStats {
-        self.engine.stats
+        self.engine.metrics.snapshot()
     }
 
     /// Drains the records that are *final*: no frame observed from now
@@ -321,7 +403,7 @@ impl Sniffer {
         // record can ever be produced from it: the watermark may move
         // past it.
         let expired = self.engine.matcher.expire();
-        self.engine.stats.lost_replies += expired.len() as u64;
+        self.engine.metrics.lost_replies.add(expired.len() as u64);
         let watermark = self
             .engine
             .matcher
@@ -348,9 +430,10 @@ impl Sniffer {
     pub fn finish(self) -> (Vec<TraceRecord>, SnifferStats) {
         let mut engine = self.engine;
         let lost = engine.matcher.drain();
-        engine.stats.lost_replies += lost.len() as u64;
+        engine.metrics.lost_replies.add(lost.len() as u64);
         engine.records.sort_by_key(|r| r.micros);
-        (engine.records, engine.stats)
+        let stats = engine.metrics.snapshot();
+        (engine.records, stats)
     }
 }
 
@@ -362,15 +445,15 @@ impl Engine {
     /// reader's scratch buffer first; it only feeds the
     /// [`SnifferStats::alloc_fallbacks`] counter.
     fn on_rpc_bytes(&mut self, addrs: FlowAddrs, ts: u64, bytes: &[u8], assembled: bool) {
-        self.stats.bytes_decoded += bytes.len() as u64;
+        self.metrics.bytes_decoded.add(bytes.len() as u64);
         if assembled {
-            self.stats.alloc_fallbacks += 1;
+            self.metrics.alloc_fallbacks.inc();
         }
         let Ok(msg) = RpcMessageView::decode(bytes) else {
-            self.stats.decode_errors += 1;
+            self.metrics.decode_errors.inc();
             return;
         };
-        self.stats.rpc_messages += 1;
+        self.metrics.rpc_messages.inc();
         match msg.body {
             MsgBodyView::Call(call) => {
                 if call.prog != PROG_NFS {
@@ -397,7 +480,7 @@ impl Engine {
                                 record: v3_call_record(&meta, &view),
                             },
                             Err(_) => {
-                                self.stats.decode_errors += 1;
+                                self.metrics.decode_errors.inc();
                                 return;
                             }
                         }
@@ -411,14 +494,14 @@ impl Engine {
                                 record: v2_call_record(&meta, &view),
                             },
                             Err(_) => {
-                                self.stats.decode_errors += 1;
+                                self.metrics.decode_errors.inc();
                                 return;
                             }
                         }
                     }
                     _ => return,
                 };
-                self.stats.calls += 1;
+                self.metrics.calls.inc();
                 let key = FlowXid {
                     client_ip: addrs.src_ip,
                     server_ip: addrs.dst_ip,
@@ -437,10 +520,10 @@ impl Engine {
                 let Some(pending) = self.matcher.match_reply(key, ts) else {
                     // "It is impossible to decode an NFS response without
                     // seeing the call."
-                    self.stats.orphan_replies += 1;
+                    self.metrics.orphan_replies.inc();
                     return;
                 };
-                self.stats.matched_replies += 1;
+                self.metrics.matched_replies.inc();
                 let mut record = pending.data.record;
                 let decoded = match pending.data.proc {
                     ProcKind::V3(proc) => ReplyFacts3::decode(proc, reply.results)
@@ -451,9 +534,9 @@ impl Engine {
                 match decoded {
                     Ok(()) => {
                         self.records.push(record);
-                        self.stats.records_emitted += 1;
+                        self.metrics.records_emitted.inc();
                     }
-                    Err(_) => self.stats.decode_errors += 1,
+                    Err(_) => self.metrics.decode_errors.inc(),
                 }
             }
         }
@@ -727,10 +810,10 @@ mod tests {
 
     #[test]
     fn resync_accepts_non_final_fragment_marks() {
-        use crate::wire::{build_rpc_pair, DowngradeStats};
+        use crate::wire::{build_rpc_pair, DowngradeCounters};
         use nfstrace_rpc::record::mark_record_fragmented;
         let events = session_events(3);
-        let (call_msg, _) = build_rpc_pair(&events[0], &mut DowngradeStats::default());
+        let (call_msg, _) = build_rpc_pair(&events[0], &DowngradeCounters::default());
         let call_bytes = call_msg.to_xdr_bytes();
         assert!(call_bytes.len() > 40, "need a multi-fragment record");
 
@@ -747,7 +830,7 @@ mod tests {
     /// last-fragment bit and skipped into the record instead, losing it.
     #[test]
     fn gap_resync_lands_on_fragmented_record() {
-        use crate::wire::{build_rpc_pair, DowngradeStats};
+        use crate::wire::{build_rpc_pair, DowngradeCounters};
         use nfstrace_net::ethernet::MacAddr;
         use nfstrace_net::ipv4::Ipv4Addr4;
         use nfstrace_net::packet::PacketBuilder;
@@ -755,10 +838,10 @@ mod tests {
 
         let events = session_events(3);
         assert!(events.len() >= 4);
-        let mut narrowings = DowngradeStats::default();
+        let narrowings = DowngradeCounters::default();
         let pairs: Vec<(RpcMessage, RpcMessage)> = events
             .iter()
-            .map(|e| build_rpc_pair(e, &mut narrowings))
+            .map(|e| build_rpc_pair(e, &narrowings))
             .collect();
         let call_bytes: Vec<Vec<u8>> = pairs.iter().map(|(c, _)| c.to_xdr_bytes()).collect();
 

@@ -19,6 +19,7 @@ use nfstrace_nfs::v3::{Call3, Reply3, Reply3Body};
 use nfstrace_rpc::auth::{AuthUnix, OpaqueAuth};
 use nfstrace_rpc::record::mark_record;
 use nfstrace_rpc::{RpcMessage, PROG_NFS};
+use nfstrace_telemetry::{Counter, Registry};
 use nfstrace_xdr::Pack;
 use std::collections::HashMap;
 
@@ -34,10 +35,11 @@ pub enum TransportMode {
     },
 }
 
-/// How often the v3→v2 downgrade had to narrow a 64-bit field into
-/// v2's 32 bits. Narrowing **saturates** to `u32::MAX` and counts here
-/// — never a silent `as u32` truncation, which would fabricate a
-/// small, valid-looking cookie or file id out of a large one.
+/// A snapshot of how often the v3→v2 downgrade had to narrow a 64-bit
+/// field into v2's 32 bits. Narrowing **saturates** to `u32::MAX` and
+/// counts here — never a silent `as u32` truncation, which would
+/// fabricate a small, valid-looking cookie or file id out of a large
+/// one. Read from [`DowngradeCounters::snapshot`].
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct DowngradeStats {
     /// READDIR/READDIRPLUS cookies that exceeded 32 bits.
@@ -53,11 +55,45 @@ impl DowngradeStats {
     }
 }
 
+/// The registry-backed accumulator behind [`DowngradeStats`]: the
+/// `wire.downgrade.*` counters. `Default` counts into a private
+/// registry; [`DowngradeCounters::with_registry`] joins a shared one.
+#[derive(Debug, Clone)]
+pub struct DowngradeCounters {
+    saturated_cookies: Counter,
+    saturated_fileids: Counter,
+}
+
+impl Default for DowngradeCounters {
+    fn default() -> Self {
+        Self::with_registry(&Registry::new())
+    }
+}
+
+impl DowngradeCounters {
+    /// Counters registered as `wire.downgrade.saturated_cookies` /
+    /// `wire.downgrade.saturated_fileids` in `registry`.
+    pub fn with_registry(registry: &Registry) -> Self {
+        DowngradeCounters {
+            saturated_cookies: registry.counter("wire.downgrade.saturated_cookies"),
+            saturated_fileids: registry.counter("wire.downgrade.saturated_fileids"),
+        }
+    }
+
+    /// Point-in-time read of the counters.
+    pub fn snapshot(&self) -> DowngradeStats {
+        DowngradeStats {
+            saturated_cookies: self.saturated_cookies.value(),
+            saturated_fileids: self.saturated_fileids.value(),
+        }
+    }
+}
+
 /// Narrows a 64-bit wire field to v2's 32 bits, saturating (and
 /// counting) instead of truncating.
-fn narrow32(v: u64, saturations: &mut u64) -> u32 {
+fn narrow32(v: u64, saturations: &Counter) -> u32 {
     u32::try_from(v).unwrap_or_else(|_| {
-        *saturations += 1;
+        saturations.inc();
         u32::MAX
     })
 }
@@ -73,7 +109,7 @@ pub struct WireEncoder {
     /// seeding this near the top exercises that in a short capture.
     initial_seq: u32,
     /// Lossy v3→v2 narrowings observed while encoding.
-    downgrade: DowngradeStats,
+    downgrade: DowngradeCounters,
 }
 
 /// The well-known NFS port.
@@ -86,7 +122,7 @@ impl WireEncoder {
             mode: TransportMode::Udp,
             seq: HashMap::new(),
             initial_seq: 1,
-            downgrade: DowngradeStats::default(),
+            downgrade: DowngradeCounters::default(),
         }
     }
 
@@ -96,7 +132,7 @@ impl WireEncoder {
             mode: TransportMode::Tcp { mss: 8948 },
             seq: HashMap::new(),
             initial_seq: 1,
-            downgrade: DowngradeStats::default(),
+            downgrade: DowngradeCounters::default(),
         }
     }
 
@@ -106,7 +142,7 @@ impl WireEncoder {
             mode: TransportMode::Tcp { mss: 1448 },
             seq: HashMap::new(),
             initial_seq: 1,
-            downgrade: DowngradeStats::default(),
+            downgrade: DowngradeCounters::default(),
         }
     }
 
@@ -118,9 +154,16 @@ impl WireEncoder {
         self
     }
 
+    /// Counts the `wire.downgrade.*` narrowings into `registry`
+    /// instead of this encoder's private one.
+    pub fn with_registry(mut self, registry: &Registry) -> Self {
+        self.downgrade = DowngradeCounters::with_registry(registry);
+        self
+    }
+
     /// Lossy v3→v2 narrowings this encoder has performed so far.
     pub fn downgrade_stats(&self) -> DowngradeStats {
-        self.downgrade
+        self.downgrade.snapshot()
     }
 
     /// Stable client port derived from the client address.
@@ -136,7 +179,7 @@ impl WireEncoder {
     /// Encodes one event into its call and reply packets, in capture
     /// order (call first even if timestamps tie).
     pub fn encode_event(&mut self, e: &EmittedCall) -> Vec<CapturedPacket> {
-        let (call_msg, reply_msg) = build_rpc_pair(e, &mut self.downgrade);
+        let (call_msg, reply_msg) = build_rpc_pair(e, &self.downgrade);
         let cport = Self::client_port(e.client_ip);
         let mut out = Vec::new();
         out.extend(self.emit(
@@ -205,7 +248,7 @@ impl WireEncoder {
 
 /// Builds the RPC call and reply messages for an event, choosing the
 /// protocol version by the event's tag.
-pub fn build_rpc_pair(e: &EmittedCall, downgrade: &mut DowngradeStats) -> (RpcMessage, RpcMessage) {
+pub fn build_rpc_pair(e: &EmittedCall, downgrade: &DowngradeCounters) -> (RpcMessage, RpcMessage) {
     let cred = OpaqueAuth::unix(&AuthUnix::new(
         format!("client{:x}", e.client_ip),
         e.uid,
@@ -241,7 +284,7 @@ pub fn build_rpc_pair(e: &EmittedCall, downgrade: &mut DowngradeStats) -> (RpcMe
 /// Downgrades a v3 call to its v2 equivalent. Fields wider than v2's
 /// 32 bits saturate and count in `downgrade` rather than silently
 /// truncating.
-pub fn call3_to_v2(call: &Call3, downgrade: &mut DowngradeStats) -> Call2 {
+pub fn call3_to_v2(call: &Call3, downgrade: &DowngradeCounters) -> Call2 {
     match call {
         Call3::Null => Call2::Null,
         Call3::Getattr(a) | Call3::Readlink(a) => Call2::Getattr(a.object.clone()),
@@ -302,12 +345,12 @@ pub fn call3_to_v2(call: &Call3, downgrade: &mut DowngradeStats) -> Call2 {
         },
         Call3::Readdir(a) => Call2::Readdir {
             dir: a.dir.clone(),
-            cookie: narrow32(a.cookie, &mut downgrade.saturated_cookies),
+            cookie: narrow32(a.cookie, &downgrade.saturated_cookies),
             count: a.count,
         },
         Call3::Readdirplus(a) => Call2::Readdir {
             dir: a.dir.clone(),
-            cookie: narrow32(a.cookie, &mut downgrade.saturated_cookies),
+            cookie: narrow32(a.cookie, &downgrade.saturated_cookies),
             count: a.maxcount,
         },
         // v2 has no COMMIT; a null ping is the closest no-op.
@@ -325,7 +368,7 @@ fn dirop2(a: &nfstrace_nfs::v3::DirOpArgs) -> DirOpArgs2 {
 /// Downgrades a v3 reply to the v2 reply for the downgraded call.
 /// Directory-entry file ids and cookies saturate and count in
 /// `downgrade` rather than silently truncating.
-pub fn reply3_to_v2(call: &Call3, reply: &Reply3, downgrade: &mut DowngradeStats) -> Reply2 {
+pub fn reply3_to_v2(call: &Call3, reply: &Reply3, downgrade: &DowngradeCounters) -> Reply2 {
     let status = reply.status;
     match (&reply.body, call) {
         (Reply3Body::Null, _) => Reply2::Void,
@@ -377,9 +420,9 @@ pub fn reply3_to_v2(call: &Call3, reply: &Reply3, downgrade: &mut DowngradeStats
                 .entries
                 .iter()
                 .map(|e| nfstrace_nfs::v2::DirEntry2 {
-                    fileid: narrow32(e.fileid, &mut downgrade.saturated_fileids),
+                    fileid: narrow32(e.fileid, &downgrade.saturated_fileids),
                     name: e.name.clone(),
-                    cookie: narrow32(e.cookie, &mut downgrade.saturated_cookies),
+                    cookie: narrow32(e.cookie, &downgrade.saturated_cookies),
                 })
                 .collect(),
             eof: res.eof,
@@ -390,9 +433,9 @@ pub fn reply3_to_v2(call: &Call3, reply: &Reply3, downgrade: &mut DowngradeStats
                 .entries
                 .iter()
                 .map(|e| nfstrace_nfs::v2::DirEntry2 {
-                    fileid: narrow32(e.fileid, &mut downgrade.saturated_fileids),
+                    fileid: narrow32(e.fileid, &downgrade.saturated_fileids),
                     name: e.name.clone(),
-                    cookie: narrow32(e.cookie, &mut downgrade.saturated_cookies),
+                    cookie: narrow32(e.cookie, &downgrade.saturated_cookies),
                 })
                 .collect(),
             eof: res.eof,
@@ -527,7 +570,7 @@ mod tests {
             }),
         ];
         for c in calls {
-            let c2 = call3_to_v2(&c, &mut DowngradeStats::default());
+            let c2 = call3_to_v2(&c, &DowngradeCounters::default());
             // Round-trip the downgraded call over the wire format.
             let bytes = c2.encode_args();
             assert_eq!(Call2::decode(c2.proc(), &bytes).unwrap(), c2);
@@ -541,7 +584,7 @@ mod tests {
     fn v2_downgrade_saturates_wide_cookies_and_fileids() {
         use nfstrace_nfs::v3::*;
         let fh = FileHandle::from_u64(1);
-        let mut stats = DowngradeStats::default();
+        let counters = DowngradeCounters::default();
 
         let call = Call3::Readdir(Readdir3Args {
             dir: fh.clone(),
@@ -549,11 +592,11 @@ mod tests {
             cookieverf: [0; 8],
             count: 512,
         });
-        match call3_to_v2(&call, &mut stats) {
+        match call3_to_v2(&call, &counters) {
             Call2::Readdir { cookie, .. } => assert_eq!(cookie, u32::MAX),
             other => panic!("unexpected downgrade: {other:?}"),
         }
-        assert_eq!(stats.saturated_cookies, 1);
+        assert_eq!(counters.snapshot().saturated_cookies, 1);
 
         // An in-range cookie passes through exactly and counts nothing.
         let small = Call3::Readdirplus(Readdirplus3Args {
@@ -563,11 +606,11 @@ mod tests {
             dircount: 100,
             maxcount: 200,
         });
-        match call3_to_v2(&small, &mut stats) {
+        match call3_to_v2(&small, &counters) {
             Call2::Readdir { cookie, .. } => assert_eq!(cookie, 7),
             other => panic!("unexpected downgrade: {other:?}"),
         }
-        assert_eq!(stats.saturated_cookies, 1);
+        assert_eq!(counters.snapshot().saturated_cookies, 1);
 
         let reply = Reply3 {
             status: NfsStat3::Ok,
@@ -589,13 +632,14 @@ mod tests {
                 eof: true,
             }),
         };
-        match reply3_to_v2(&call, &reply, &mut stats) {
+        match reply3_to_v2(&call, &reply, &counters) {
             Reply2::Readdir { entries, .. } => {
                 assert_eq!((entries[0].fileid, entries[0].cookie), (u32::MAX, u32::MAX));
                 assert_eq!((entries[1].fileid, entries[1].cookie), (42, 43));
             }
             other => panic!("unexpected downgrade: {other:?}"),
         }
+        let stats = counters.snapshot();
         assert_eq!(stats.saturated_fileids, 1);
         assert_eq!(stats.saturated_cookies, 2);
         assert_eq!(stats.total(), 3);

@@ -21,7 +21,7 @@ use nfstrace_net::packet::PacketBuilder;
 use nfstrace_nfs::v2::{Call2, Proc2, Reply2};
 use nfstrace_nfs::v3::{Call3, Proc3, Reply3};
 use nfstrace_rpc::{MsgBody, RpcMessage, PROG_NFS};
-use nfstrace_sniffer::wire::{build_rpc_pair, DowngradeStats};
+use nfstrace_sniffer::wire::{build_rpc_pair, DowngradeCounters};
 use nfstrace_sniffer::{v2_to_record, v3_to_record, CallMeta, Sniffer};
 use nfstrace_xdr::{Pack, Unpack};
 use proptest::prelude::*;
@@ -49,10 +49,10 @@ fn session_messages(vers: u8) -> Vec<WireMsg> {
     let t = client.read_file(&mut server, t + 1_000_000, &fh);
     client.remove(&mut server, t, &root, "inbox");
 
-    let mut downgrade = DowngradeStats::default();
+    let downgrade = DowngradeCounters::default();
     let mut msgs = Vec::new();
     for e in client.take_events() {
-        let (call, reply) = build_rpc_pair(&e, &mut downgrade);
+        let (call, reply) = build_rpc_pair(&e, &downgrade);
         msgs.push((e.wire_micros, true, call.to_xdr_bytes()));
         msgs.push((e.reply_micros, false, reply.to_xdr_bytes()));
     }

@@ -16,6 +16,7 @@ use nfstrace_core::record::{FileId, TraceRecord};
 use nfstrace_core::reorder::{self, Access, SwapPoint};
 use nfstrace_core::runs::{split_runs, Run, RunOptions};
 use nfstrace_core::summary::SummaryStats;
+use nfstrace_telemetry::Registry;
 use std::path::Path;
 use std::sync::Arc;
 
@@ -130,6 +131,12 @@ fn overlapping_chunks(readers: &[Arc<StoreReader>], start: u64, end: u64) -> Vec
 /// Time windows ([`TraceView::time_window`]) share the underlying
 /// [`StoreReader`]s via [`Arc`] and skip chunks whose footer time range
 /// misses the window entirely.
+///
+/// Every index carries a telemetry [`Registry`]: the plain constructors
+/// give each index a private one, while the `*_with_registry`
+/// constructors report the `store.*` / `query.*` instruments into a
+/// shared pipeline-health export. Windowed views inherit their parent's
+/// registry either way.
 #[derive(Debug)]
 pub struct StoreIndex {
     readers: Vec<Arc<StoreReader>>,
@@ -138,6 +145,8 @@ pub struct StoreIndex {
     end: u64,
     base: IndexBase,
     caches: ProductCaches,
+    /// Where this view's (and its windows') instruments live.
+    registry: Registry,
 }
 
 impl StoreIndex {
@@ -147,7 +156,17 @@ impl StoreIndex {
     ///
     /// On open/decode failure.
     pub fn open<P: AsRef<Path>>(path: P) -> Result<Self> {
-        Self::from_reader(Arc::new(StoreReader::open(path)?))
+        Self::open_with_registry(path, &Registry::new())
+    }
+
+    /// [`StoreIndex::open`] reporting telemetry into `registry`.
+    ///
+    /// # Errors
+    ///
+    /// On open/decode failure.
+    pub fn open_with_registry<P: AsRef<Path>>(path: P, registry: &Registry) -> Result<Self> {
+        let reader = Arc::new(StoreReader::open_with_registry(path, registry)?);
+        Self::from_readers_in(vec![reader], parallel::threads(), registry)
     }
 
     /// Opens every sealed segment in `dir` (see
@@ -162,6 +181,16 @@ impl StoreIndex {
     /// path must not read as an empty trace), open/decode failure, or
     /// out-of-order segments.
     pub fn open_dir<P: AsRef<Path>>(dir: P) -> Result<Self> {
+        Self::open_dir_with_registry(dir, &Registry::new())
+    }
+
+    /// [`StoreIndex::open_dir`] reporting telemetry into `registry` —
+    /// every segment reader and the query caches share it.
+    ///
+    /// # Errors
+    ///
+    /// See [`StoreIndex::open_dir`].
+    pub fn open_dir_with_registry<P: AsRef<Path>>(dir: P, registry: &Registry) -> Result<Self> {
         let dir = dir.as_ref();
         if !dir.is_dir() {
             return Err(StoreError::Format(format!(
@@ -178,9 +207,9 @@ impl StoreIndex {
         }
         let mut readers = Vec::with_capacity(catalog.len());
         for path in catalog.paths() {
-            readers.push(Arc::new(StoreReader::open(path)?));
+            readers.push(Arc::new(StoreReader::open_with_registry(path, registry)?));
         }
-        Self::from_readers(readers)
+        Self::from_readers_in(readers, parallel::threads(), registry)
     }
 
     /// Indexes all of an already-open store.
@@ -212,6 +241,21 @@ impl StoreIndex {
         Self::from_readers_with_threads(readers, parallel::threads())
     }
 
+    /// [`StoreIndex::from_readers`] reporting telemetry into
+    /// `registry`. The readers keep whatever registry they were opened
+    /// with; this sets where the index's own `query.*` instruments
+    /// live.
+    ///
+    /// # Errors
+    ///
+    /// On chunk read/decode failure or out-of-order segments.
+    pub fn from_readers_with_registry(
+        readers: Vec<Arc<StoreReader>>,
+        registry: &Registry,
+    ) -> Result<Self> {
+        Self::from_readers_in(readers, parallel::threads(), registry)
+    }
+
     /// [`StoreIndex::from_readers`] with an explicit worker count.
     ///
     /// # Errors
@@ -220,6 +264,16 @@ impl StoreIndex {
     pub fn from_readers_with_threads(
         readers: Vec<Arc<StoreReader>>,
         threads: usize,
+    ) -> Result<Self> {
+        Self::from_readers_in(readers, threads, &Registry::new())
+    }
+
+    /// The shared tail of every `from_readers` flavor: validates
+    /// segment ordering, then runs the construction pass.
+    fn from_readers_in(
+        readers: Vec<Arc<StoreReader>>,
+        threads: usize,
+        registry: &Registry,
     ) -> Result<Self> {
         // Adjacent non-empty segments must not travel back in time:
         // the concatenation is analyzed as one time-ordered trace.
@@ -235,12 +289,17 @@ impl StoreIndex {
                 prev_max = Some(m.max_micros);
             }
         }
-        Self::build_with_threads(readers, 0, u64::MAX, threads)
+        Self::build_with_threads(readers, 0, u64::MAX, threads, registry)
     }
 
     /// The chunk-parallel construction pass.
-    fn build(readers: Vec<Arc<StoreReader>>, start: u64, end: u64) -> Result<Self> {
-        Self::build_with_threads(readers, start, end, parallel::threads())
+    fn build(
+        readers: Vec<Arc<StoreReader>>,
+        start: u64,
+        end: u64,
+        registry: &Registry,
+    ) -> Result<Self> {
+        Self::build_with_threads(readers, start, end, parallel::threads(), registry)
     }
 
     /// See [`StoreIndex::build`].
@@ -249,6 +308,7 @@ impl StoreIndex {
         start: u64,
         end: u64,
         threads: usize,
+        registry: &Registry,
     ) -> Result<Self> {
         let chunks = overlapping_chunks(&readers, start, end);
         let parts: Vec<Result<PartialIndex>> = parallel::run_sharded(chunks.len(), threads, |i| {
@@ -270,7 +330,8 @@ impl StoreIndex {
             start,
             end,
             base,
-            caches: ProductCaches::new(),
+            caches: ProductCaches::with_registry(registry),
+            registry: registry.clone(),
         })
     }
 
@@ -406,7 +467,7 @@ impl TraceView for StoreIndex {
     fn time_window(&self, start_micros: u64, end_micros: u64) -> StoreIndex {
         let start = start_micros.max(self.start);
         let end = end_micros.min(self.end);
-        Self::build(self.readers.clone(), start, end.max(start))
+        Self::build(self.readers.clone(), start, end.max(start), &self.registry)
             .unwrap_or_else(|e| panic!("store unreadable while windowing: {e}"))
     }
 

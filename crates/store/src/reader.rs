@@ -9,10 +9,10 @@ use crate::format::{
     MAX_CHUNK_PAYLOAD, MAX_FILTER_BYTES, V1_ENTRY_BYTES, V2_ENTRY_BYTES,
 };
 use nfstrace_core::record::{FileId, TraceRecord};
+use nfstrace_telemetry::{Counter, Registry};
 use std::fs::File;
 use std::io::{Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Reads a chunked trace store.
 ///
@@ -30,18 +30,50 @@ pub struct StoreReader {
     version: StoreVersion,
     chunks: Vec<ChunkMeta>,
     total_records: u64,
-    /// Chunk decodes served so far (a skip-effectiveness observable:
-    /// per-file queries that skip chunks leave this lower than a scan).
-    decoded: AtomicU64,
+    metrics: StoreReadMetrics,
+}
+
+/// Registry handles for the read-side `store.*` metrics: decodes
+/// served, chunks skipped by footer filters, and per-file queries
+/// that decoded a chunk the filter admitted but that held no record
+/// for the file (the filter's false positives).
+#[derive(Debug, Clone)]
+struct StoreReadMetrics {
+    chunks_decoded: Counter,
+    chunks_skipped: Counter,
+    filter_false_positives: Counter,
+}
+
+impl StoreReadMetrics {
+    fn register(registry: &Registry) -> Self {
+        StoreReadMetrics {
+            chunks_decoded: registry.counter("store.chunks_decoded"),
+            chunks_skipped: registry.counter("store.chunks_skipped"),
+            filter_false_positives: registry.counter("store.filter_false_positives"),
+        }
+    }
 }
 
 impl StoreReader {
-    /// Opens a store and parses its footer.
+    /// Opens a store and parses its footer, counting into a private
+    /// registry.
     ///
     /// # Errors
     ///
     /// On I/O failure or a malformed/truncated file.
     pub fn open<P: AsRef<Path>>(path: P) -> Result<Self> {
+        Self::open_with_registry(path, &Registry::new())
+    }
+
+    /// Like [`StoreReader::open`], but counts the `store.*` read
+    /// metrics into `registry`. Readers sharing one registry sum
+    /// their counts (so [`StoreReader::chunks_decoded`] then reads
+    /// the shared total, not this reader's own).
+    ///
+    /// # Errors
+    ///
+    /// On I/O failure or a malformed/truncated file.
+    pub fn open_with_registry<P: AsRef<Path>>(path: P, registry: &Registry) -> Result<Self> {
         let path = path.as_ref().to_path_buf();
         let mut f = File::open(&path)?;
         let file_len = f.metadata()?.len();
@@ -134,7 +166,7 @@ impl StoreReader {
             version,
             chunks,
             total_records,
-            decoded: AtomicU64::new(0),
+            metrics: StoreReadMetrics::register(registry),
         })
     }
 
@@ -315,11 +347,12 @@ impl StoreReader {
         &self.path
     }
 
-    /// How many chunk decodes this reader has served since opening.
-    /// Index construction plus one fused replay costs two per chunk;
-    /// chunk-skipping per-file queries add less than a full scan.
+    /// How many chunk decodes this reader has served since opening
+    /// (the `store.chunks_decoded` counter). Index construction plus
+    /// one fused replay costs two per chunk; chunk-skipping per-file
+    /// queries add less than a full scan.
     pub fn chunks_decoded(&self) -> u64 {
-        self.decoded.load(Ordering::Relaxed)
+        self.metrics.chunks_decoded.value()
     }
 
     /// Reads and decodes one chunk. Thread-safe: opens a private file
@@ -339,7 +372,7 @@ impl StoreReader {
         f.seek(SeekFrom::Start(meta.offset))?;
         let mut bytes = vec![0u8; meta.len as usize];
         f.read_exact(&mut bytes)?;
-        self.decoded.fetch_add(1, Ordering::Relaxed);
+        self.metrics.chunks_decoded.inc();
 
         let decompressed: Vec<u8>;
         let payload: &[u8] = match self.version {
@@ -450,12 +483,24 @@ impl StoreReader {
         let mut out = Vec::new();
         for (i, m) in self.chunks.iter().enumerate() {
             if !m.overlaps(start, end) || !m.may_contain_file(fh) {
+                self.metrics.chunks_skipped.inc();
                 continue;
             }
+            let mut holds_file = false;
             for r in self.read_chunk(i)? {
-                if r.fh == fh && r.micros >= start && r.micros < end {
-                    out.push(r);
+                if r.fh == fh {
+                    holds_file = true;
+                    if r.micros >= start && r.micros < end {
+                        out.push(r);
+                    }
                 }
+            }
+            if !holds_file && m.filter.is_some() {
+                // The footer filter admitted a chunk with no record
+                // for this file: a false positive we paid a decode
+                // for. (v1 chunks have no filter; their full scans
+                // are not the filter's fault.)
+                self.metrics.filter_false_positives.inc();
             }
         }
         Ok(out)

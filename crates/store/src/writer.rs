@@ -9,6 +9,7 @@ use crate::format::{
 };
 use nfstrace_core::record::TraceRecord;
 use nfstrace_core::sink::RecordSink;
+use nfstrace_telemetry::{Counter, Gauge, Registry};
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::Path;
@@ -96,6 +97,48 @@ pub struct StoreWriter {
     /// Current file offset (next chunk lands here).
     offset: u64,
     chunks: Vec<ChunkMeta>,
+    metrics: StoreWriteMetrics,
+}
+
+/// The write-side `store.*` slice of the pipeline-health export.
+#[derive(Debug)]
+struct StoreWriteMetrics {
+    /// `store.records_written` — records accepted by [`StoreWriter::push`].
+    records_written: Counter,
+    /// `store.chunks_written` — chunks flushed to disk.
+    chunks_written: Counter,
+    /// `store.chunk_bytes_raw` — chunk payload bytes before compression.
+    chunk_bytes_raw: Counter,
+    /// `store.chunk_bytes_stored` — chunk bytes as stored on disk
+    /// (compressed form when it won, raw fallback otherwise).
+    chunk_bytes_stored: Counter,
+    /// `store.compression_ratio` — stored/raw bytes across every chunk
+    /// this registry has seen (1.0 = stored raw, smaller is better).
+    compression_ratio: Gauge,
+}
+
+impl StoreWriteMetrics {
+    fn register(registry: &Registry) -> Self {
+        StoreWriteMetrics {
+            records_written: registry.counter("store.records_written"),
+            chunks_written: registry.counter("store.chunks_written"),
+            chunk_bytes_raw: registry.counter("store.chunk_bytes_raw"),
+            chunk_bytes_stored: registry.counter("store.chunk_bytes_stored"),
+            compression_ratio: registry.gauge("store.compression_ratio"),
+        }
+    }
+
+    /// Accounts one flushed chunk and refreshes the ratio gauge.
+    fn record_chunk(&self, raw_len: usize, stored_len: usize) {
+        self.chunks_written.inc();
+        self.chunk_bytes_raw.add(raw_len as u64);
+        self.chunk_bytes_stored.add(stored_len as u64);
+        let raw = self.chunk_bytes_raw.value();
+        if raw > 0 {
+            self.compression_ratio
+                .set(self.chunk_bytes_stored.value() as f64 / raw as f64);
+        }
+    }
 }
 
 /// What [`StoreWriter::finish`] reports.
@@ -116,6 +159,20 @@ impl StoreWriter {
     ///
     /// On file creation or header-write failure.
     pub fn create<P: AsRef<Path>>(path: P, config: StoreConfig) -> Result<Self> {
+        Self::create_with_registry(path, config, &Registry::new())
+    }
+
+    /// [`StoreWriter::create`] reporting the write-side `store.*`
+    /// telemetry into `registry`.
+    ///
+    /// # Errors
+    ///
+    /// On file creation or header-write failure.
+    pub fn create_with_registry<P: AsRef<Path>>(
+        path: P,
+        config: StoreConfig,
+        registry: &Registry,
+    ) -> Result<Self> {
         let magic = match config.version {
             StoreVersion::V1 => MAGIC_V1,
             StoreVersion::V2 => MAGIC_V2,
@@ -135,6 +192,7 @@ impl StoreWriter {
             any_pushed: false,
             offset: magic.len() as u64,
             chunks: Vec::new(),
+            metrics: StoreWriteMetrics::register(registry),
         })
     }
 
@@ -165,6 +223,7 @@ impl StoreWriter {
         self.prev_micros = r.micros;
         self.any_pushed = true;
         self.chunk_records += 1;
+        self.metrics.records_written.inc();
         if self.chunk_buf.len() + self.names.encoded_len() >= self.config.target_chunk_bytes {
             self.flush_chunk()?;
         }
@@ -180,6 +239,7 @@ impl StoreWriter {
         write_varint(&mut payload, self.chunk_records);
         write_varint(&mut payload, self.chunk_min);
         payload.extend_from_slice(&self.chunk_buf);
+        let raw_len = payload.len();
 
         let stored = match self.config.version {
             StoreVersion::V1 => payload,
@@ -211,6 +271,7 @@ impl StoreWriter {
             }
         };
         self.out.write_all(&stored)?;
+        self.metrics.record_chunk(raw_len, stored.len());
         let (checksum, filter) = match self.config.version {
             StoreVersion::V1 => (None, None),
             StoreVersion::V2 => (Some(fnv1a64(&stored)), Some(self.filter.finish_legacy())),

@@ -1,0 +1,175 @@
+//! Round-trip tests for the exporter's two wire formats: the JSONL
+//! line must parse back to exactly the snapshot that rendered it, and
+//! the Prometheus text exposition must follow the exposition grammar
+//! (typed families, cumulative buckets, `+Inf` closing each
+//! histogram).
+
+use nfstrace_telemetry::{bucket_upper_bound, Registry, BUCKETS};
+use serde::Value;
+
+/// A registry exercising every metric kind, with known values.
+fn sample_registry() -> Registry {
+    let registry = Registry::new();
+    let frames = registry.counter("sniffer.frames");
+    frames.add(12_345);
+    registry.counter("live.records_emitted").add(7);
+    registry.gauge("sniffer.estimated_loss_rate").set(0.125);
+    registry.gauge("store.compression_ratio").set(0.41);
+    let h = registry.histogram("query.replay_micros");
+    for v in [0u64, 1, 3, 900, 1 << 20] {
+        h.record(v);
+    }
+    registry
+}
+
+fn as_u64(v: &Value) -> u64 {
+    match v {
+        Value::U64(n) => *n,
+        other => panic!("expected integer, got {other:?}"),
+    }
+}
+
+fn as_f64(v: &Value) -> f64 {
+    match v {
+        Value::F64(x) => *x,
+        Value::U64(n) => *n as f64,
+        Value::I64(n) => *n as f64,
+        other => panic!("expected number, got {other:?}"),
+    }
+}
+
+#[test]
+fn jsonl_line_parses_back_to_the_snapshot() {
+    let registry = sample_registry();
+    let snapshot = registry.snapshot();
+    let line = snapshot.render_jsonl(3, 1_700_000_000_000_000);
+    let v: Value = serde_json::from_str(&line).expect("exported line is valid JSON");
+
+    assert_eq!(as_u64(v.field("seq").expect("seq")), 3);
+    assert_eq!(
+        as_u64(v.field("unix_micros").expect("unix_micros")),
+        1_700_000_000_000_000
+    );
+    let Value::Map(counters) = v.field("counters").expect("counters") else {
+        panic!("counters is not an object");
+    };
+    assert_eq!(counters.len(), snapshot.counters.len());
+    for (name, value) in &snapshot.counters {
+        assert_eq!(
+            as_u64(counters.get(name).expect("counter present")),
+            *value,
+            "counter {name}"
+        );
+    }
+    let Value::Map(gauges) = v.field("gauges").expect("gauges") else {
+        panic!("gauges is not an object");
+    };
+    for (name, value) in &snapshot.gauges {
+        let parsed = as_f64(gauges.get(name).expect("gauge present"));
+        assert!((parsed - value).abs() < 1e-12, "gauge {name}");
+    }
+    let Value::Map(histograms) = v.field("histograms").expect("histograms") else {
+        panic!("histograms is not an object");
+    };
+    for (name, h) in &snapshot.histograms {
+        let entry = histograms.get(name).expect("histogram present");
+        assert_eq!(as_u64(entry.field("count").expect("count")), h.count);
+        assert_eq!(as_u64(entry.field("sum").expect("sum")), h.sum);
+        // The sparse `[le, count]` pairs reconstruct the dense array.
+        let Value::Arr(pairs) = entry.field("buckets").expect("buckets") else {
+            panic!("{name} buckets is not an array");
+        };
+        let mut dense = [0u64; BUCKETS];
+        for pair in pairs {
+            let Value::Arr(pair) = pair else {
+                panic!("{name} bucket entry is not a pair");
+            };
+            let idx = match &pair[0] {
+                Value::Null => BUCKETS - 1,
+                le => {
+                    let le = as_u64(le);
+                    (0..BUCKETS)
+                        .find(|&i| bucket_upper_bound(i) == Some(le))
+                        .expect("bucket edge maps to an index")
+                }
+            };
+            dense[idx] = as_u64(&pair[1]);
+        }
+        assert_eq!(dense, h.buckets, "{name} buckets");
+    }
+}
+
+#[test]
+fn prometheus_exposition_follows_the_grammar() {
+    let registry = sample_registry();
+    let snapshot = registry.snapshot();
+    let text = snapshot.render_prometheus();
+
+    let mut typed = 0usize;
+    for line in text.lines() {
+        assert!(!line.is_empty(), "exposition has no blank lines");
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split(' ');
+            let family = parts.next().expect("family name");
+            let kind = parts.next().expect("family kind");
+            assert!(family.starts_with("nfstrace_"), "family {family:?}");
+            assert!(
+                matches!(kind, "counter" | "gauge" | "histogram"),
+                "unknown family kind {kind:?}"
+            );
+            typed += 1;
+        } else {
+            // `name value` or `name{label="..."} value` with a
+            // float-parseable value and a clean metric-name charset.
+            let (name_part, value_part) = line.rsplit_once(' ').expect("metric line has a value");
+            let bare = &name_part[..name_part.find('{').unwrap_or(name_part.len())];
+            assert!(
+                !bare.is_empty()
+                    && bare
+                        .chars()
+                        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "metric name {bare:?} breaks the exposition charset"
+            );
+            assert!(bare.starts_with("nfstrace_"), "metric {bare:?} unprefixed");
+            assert!(
+                value_part.parse::<f64>().is_ok(),
+                "unparseable sample value {value_part:?} in {line:?}"
+            );
+        }
+    }
+    // One typed family per metric.
+    assert_eq!(
+        typed,
+        snapshot.counters.len() + snapshot.gauges.len() + snapshot.histograms.len()
+    );
+
+    // Histogram families: cumulative nondecreasing buckets closed by a
+    // `+Inf` bucket equal to `_count`.
+    for (name, h) in &snapshot.histograms {
+        let family = format!(
+            "nfstrace_{}",
+            name.replace(|c: char| !c.is_ascii_alphanumeric(), "_")
+        );
+        let mut last = 0u64;
+        let mut inf = None;
+        let mut count = None;
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (lhs, value) = line.rsplit_once(' ').expect("metric line");
+            if let Some(le) = lhs
+                .strip_prefix(&format!("{family}_bucket{{le=\""))
+                .and_then(|r| r.strip_suffix("\"}"))
+            {
+                let cumulative: u64 = value.parse().expect("bucket count");
+                assert!(cumulative >= last, "{name}: cumulative buckets decreased");
+                last = cumulative;
+                if le == "+Inf" {
+                    inf = Some(cumulative);
+                }
+            } else if lhs == format!("{family}_count") {
+                count = Some(value.parse::<u64>().expect("count"));
+            }
+        }
+        assert_eq!(inf, Some(h.count), "{name}: +Inf bucket covers everything");
+        assert_eq!(count, Some(h.count), "{name}: _count matches");
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests for the mergeable log-scale histograms: merging
+//! per-shard snapshots must be associative, commutative, and equal to
+//! a single recorder that saw every value — the contract that lets
+//! sharded ingest histograms combine deterministically at export time.
+
+use nfstrace_telemetry::{bucket_index, Histogram, HistogramSnapshot, BUCKETS};
+use proptest::prelude::*;
+
+/// One recorder over `values`, snapshotted.
+fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+/// Values spanning every magnitude the bucket layout distinguishes:
+/// zero, small counts, mid-range, full-width, and exact power-of-two
+/// bucket boundaries with their neighbors.
+fn value() -> impl Strategy<Value = u64> {
+    (any::<u8>(), any::<u64>()).prop_map(|(sel, raw)| match sel % 6 {
+        0 => 0,
+        1 => 1 + raw % 16,
+        2 => raw & 0xff,
+        3 => raw & 0xffff_ffff,
+        4 => raw,
+        _ => {
+            // A boundary 2^k and its neighbors, k drawn from the raw
+            // bits so every bucket edge gets exercised.
+            let p = 1u64 << (raw % 63);
+            match (raw >> 6) % 3 {
+                0 => p - 1,
+                1 => p,
+                _ => p + 1,
+            }
+        }
+    })
+}
+
+proptest! {
+    /// merge(A, B) sees exactly what one recorder over A ++ B sees.
+    #[test]
+    fn merge_equals_single_recorder(
+        a in proptest::collection::vec(value(), 0..200),
+        b in proptest::collection::vec(value(), 0..200),
+    ) {
+        let mut merged = snapshot_of(&a);
+        merged.merge(&snapshot_of(&b));
+        let mut both = a.clone();
+        both.extend_from_slice(&b);
+        prop_assert_eq!(merged, snapshot_of(&both));
+    }
+
+    /// merge(A, B) == merge(B, A).
+    #[test]
+    fn merge_commutes(
+        a in proptest::collection::vec(value(), 0..200),
+        b in proptest::collection::vec(value(), 0..200),
+    ) {
+        let (sa, sb) = (snapshot_of(&a), snapshot_of(&b));
+        let mut ab = sa;
+        ab.merge(&sb);
+        let mut ba = sb;
+        ba.merge(&sa);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// merge(merge(A, B), C) == merge(A, merge(B, C)).
+    #[test]
+    fn merge_associates(
+        a in proptest::collection::vec(value(), 0..100),
+        b in proptest::collection::vec(value(), 0..100),
+        c in proptest::collection::vec(value(), 0..100),
+    ) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+        let mut left = sa;
+        left.merge(&sb);
+        left.merge(&sc);
+        let mut right_tail = sb;
+        right_tail.merge(&sc);
+        let mut right = sa;
+        right.merge(&right_tail);
+        prop_assert_eq!(left, right);
+    }
+
+    /// Every value lands in exactly one bucket, count and sum track
+    /// the raw stream, and the bucket index is monotone in the value.
+    #[test]
+    fn single_recorder_accounting(values in proptest::collection::vec(value(), 0..300)) {
+        let snap = snapshot_of(&values);
+        prop_assert_eq!(snap.count, values.len() as u64);
+        let expected_sum: u64 = values.iter().fold(0u64, |acc, &v| acc.wrapping_add(v));
+        prop_assert_eq!(snap.sum, expected_sum);
+        prop_assert_eq!(snap.buckets.iter().sum::<u64>(), values.len() as u64);
+        for &v in &values {
+            prop_assert!(bucket_index(v) < BUCKETS);
+        }
+        for w in values.windows(2) {
+            if w[0] <= w[1] {
+                prop_assert!(bucket_index(w[0]) <= bucket_index(w[1]));
+            }
+        }
+    }
+}

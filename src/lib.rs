@@ -53,5 +53,6 @@ pub use nfstrace_nfs as nfs;
 pub use nfstrace_rpc as rpc;
 pub use nfstrace_sniffer as sniffer;
 pub use nfstrace_store as store;
+pub use nfstrace_telemetry as telemetry;
 pub use nfstrace_workload as workload;
 pub use nfstrace_xdr as xdr;
