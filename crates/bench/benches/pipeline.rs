@@ -391,6 +391,94 @@ fn live_ingest_numbers(dir: &std::path::Path) -> LiveNumbers {
     }
 }
 
+/// What the offline compaction + pruning-planner measurement reports.
+struct CompactionNumbers {
+    /// Catalog segments before / after the fan-in-3 cascade.
+    segments_before: usize,
+    segments_after: usize,
+    /// Merge passes the cascade performed (`store.compactions`).
+    compactions: u64,
+    /// Seconds for the whole offline `compact_all` cascade (k-way
+    /// streaming merge + filter/footer recompute + atomic swap).
+    compact_s: f64,
+    /// Chunk decodes for a full scan vs a 4-hour window over the
+    /// compacted catalog — the planner must make the window strictly
+    /// cheaper.
+    full_chunks_decoded: u64,
+    window_chunks_decoded: u64,
+    /// Whole segments the planner dismissed by footer time range on
+    /// that window (`store.segments_pruned`), and the fraction of the
+    /// compacted catalog that is.
+    window_segments_pruned: u64,
+    window_pruned_fraction: f64,
+}
+
+/// The lifecycle shape over the same day-long CAMPUS scenario: rotate
+/// segments as [`live_ingest_numbers`] does, then compact the sealed
+/// catalog offline at fan-in 3 and price a 4-hour windowed query
+/// against a full scan over the generation-tagged result.
+fn compaction_numbers(dir: &std::path::Path) -> CompactionNumbers {
+    use nfstrace_store::compact::FaultInjector;
+    use nfstrace_store::{CompactionPolicy, Compactor, SegmentCatalog};
+    use std::time::Instant;
+    std::fs::remove_dir_all(dir).ok();
+    let threads = nfstrace_core::parallel::threads();
+    let cfg = StoreConfig {
+        target_chunk_bytes: 256 << 10,
+        ..StoreConfig::default()
+    };
+    let mut ingest = LiveIngest::create(LiveConfig {
+        store: cfg,
+        rotate_records: 50_000,
+        rotate_micros: nfstrace_core::time::HOUR * 4,
+        ..LiveConfig::new(dir)
+    })
+    .expect("create live ingest");
+    let mut source = SlicedWorkloadSource::new(SlicedWorkload::campus(
+        analysis_campus().config,
+        nfstrace_core::time::HOUR * 2,
+        threads,
+    ));
+    ingest.run(&mut source).expect("live ingest");
+    let total = ingest.finish().expect("finish live ingest").total_records;
+
+    let registry = nfstrace_telemetry::Registry::new();
+    let mut catalog = SegmentCatalog::open_and_sweep(dir).expect("open catalog");
+    let segments_before = catalog.len();
+    let compactor = Compactor::new(CompactionPolicy { fan_in: 3 }, cfg, &registry);
+    let t = Instant::now();
+    compactor
+        .compact_all(&mut catalog, &mut FaultInjector::none())
+        .expect("compact catalog");
+    let compact_s = t.elapsed().as_secs_f64();
+    let segments_after = catalog.len();
+    let compactions = registry.counter("store.compactions").value();
+
+    let merged = StoreIndex::open_dir_with_registry(dir, &registry).expect("open compacted dir");
+    assert_eq!(TraceView::len(&merged) as u64, total);
+    let decoded = registry.counter("store.chunks_decoded");
+    let pruned = registry.counter("store.segments_pruned");
+    let d0 = decoded.value();
+    let full = merged.time_window(0, u64::MAX);
+    let full_chunks_decoded = decoded.value() - d0;
+    let p0 = pruned.value();
+    let d1 = decoded.value();
+    let window = merged.time_window(nfstrace_core::time::HOUR * 2, nfstrace_core::time::HOUR * 6);
+    let window_chunks_decoded = decoded.value() - d1;
+    let window_segments_pruned = pruned.value() - p0;
+    assert!(TraceView::len(&window) <= TraceView::len(&full));
+    CompactionNumbers {
+        segments_before,
+        segments_after,
+        compactions,
+        compact_s,
+        full_chunks_decoded,
+        window_chunks_decoded,
+        window_segments_pruned,
+        window_pruned_fraction: window_segments_pruned as f64 / segments_after.max(1) as f64,
+    }
+}
+
 /// What the sharded live-ingest measurement reports.
 struct ShardedLiveNumbers {
     /// Seconds to ingest the day-long CAMPUS trace through the
@@ -581,6 +669,11 @@ fn write_pipeline_json() {
     let sharded = sharded_live_numbers(&sharded_dir, 4);
     std::fs::remove_dir_all(&sharded_dir).ok();
 
+    let compact_dir =
+        std::env::temp_dir().join(format!("nfstrace-bench-compact-{}", std::process::id()));
+    let compaction = compaction_numbers(&compact_dir);
+    std::fs::remove_dir_all(&compact_dir).ok();
+
     // Capture throughput: the multi-client TCP corpus through the
     // zero-copy sniffer, best-of-3 (the corpus uses standard-MSS
     // segments, so TCP reassembly and record re-marking are on the
@@ -630,10 +723,20 @@ fn write_pipeline_json() {
       "capture_plain_best_s": 0.0098,
       "capture_exported_best_s": 0.0097,
       "overhead_pct": -0.42
+    }},
+    "pr9_compaction": {{
+      "note": "frozen from the PR 9 runner (1 CPU) when generation-tagged segment compaction, size/age retention, and the footer-pruning query planner landed; the `compact_*` fields below remeasure this shape every run — the day-long CAMPUS segment catalog compacts offline at fan-in 3 (streaming k-way merge, filters and footers recomputed, crash-safe swap) and a 4-hour windowed query over the compacted catalog must decode strictly fewer chunks than a full scan; the 8-day CI compaction-smoke additionally pins suite byte-identity over the compacted + retained catalog and `store.segments_pruned > 0`",
+      "segments_before": 6,
+      "segments_after": 2,
+      "compactions": 2,
+      "compact_s": 0.013,
+      "window_pruned_fraction": 0.50,
+      "window_chunks_decoded": 1,
+      "full_chunks_decoded": 3
     }}
   }},
   "measured": {{
-    "note": "measured fresh by every run of `cargo bench --bench pipeline` on small day-long traces; `legacy` rebuilds its view per artifact (the pre-refactor shape), `indexed` shares one TraceIndex across all sweeps, `store` streams generation into chunked per-chunk-compressed store files and analyzes them out-of-core; the byte counts compare those files against a raw re-serialization; `live_*` streams the same CAMPUS day through the time-sliced generator into a rotating segment ingest (peaks show the bounded-memory contract: hot tail + one slice, never the trace); `live_sharded_*` runs that day through the multi-writer daemon at a fixed shard count with a merged-view snapshot after every slice — per-shard hot peaks bound sharded residency and the snapshot mean prices copy-on-write mid-ingest querying; `capture_*` replays the synthetic 8-client standard-MSS TCP capture through the zero-copy sniffer (reassembly + borrowed decode + single materialization), best-of-3; `telemetry_*` interleaves best-of-7 passes of 5 capture replays each, private unread registries against one shared registry sampled by a live 1 s exporter (budget: < 2% overhead, expect noise of a few pct either side of zero on shared runners); peak_rss_kb is this process's VmHWM and cpus the runner's available parallelism",
+    "note": "measured fresh by every run of `cargo bench --bench pipeline` on small day-long traces; `legacy` rebuilds its view per artifact (the pre-refactor shape), `indexed` shares one TraceIndex across all sweeps, `store` streams generation into chunked per-chunk-compressed store files and analyzes them out-of-core; the byte counts compare those files against a raw re-serialization; `live_*` streams the same CAMPUS day through the time-sliced generator into a rotating segment ingest (peaks show the bounded-memory contract: hot tail + one slice, never the trace); `live_sharded_*` runs that day through the multi-writer daemon at a fixed shard count with a merged-view snapshot after every slice — per-shard hot peaks bound sharded residency and the snapshot mean prices copy-on-write mid-ingest querying; `capture_*` replays the synthetic 8-client standard-MSS TCP capture through the zero-copy sniffer (reassembly + borrowed decode + single materialization), best-of-3; `telemetry_*` interleaves best-of-7 passes of 5 capture replays each, private unread registries against one shared registry sampled by a live 1 s exporter (budget: < 2% overhead, expect noise of a few pct either side of zero on shared runners); `compact_*` rotates that CAMPUS day into a segment catalog, compacts it offline at fan-in 3 (generation-tagged streaming merges), and prices a 4-hour windowed query against a full scan — footer-pruned segments never decode a chunk; peak_rss_kb is this process's VmHWM and cpus the runner's available parallelism",
     "generate_campus_day_serial_s": {gen_serial_s:.3},
     "generate_campus_day_sharded_s": {gen_sharded_s:.3},
     "threads": {threads},
@@ -671,7 +774,16 @@ fn write_pipeline_json() {
     "capture_mib_per_s": {cap_mibps:.0},
     "telemetry_capture_plain_best_s": {tel_plain_s:.4},
     "telemetry_capture_exported_best_s": {tel_exp_s:.4},
-    "telemetry_overhead_pct": {tel_pct:.2}
+    "telemetry_overhead_pct": {tel_pct:.2},
+    "compact_fan_in": 3,
+    "compact_segments_before": {c_before},
+    "compact_segments_after": {c_after},
+    "compact_compactions": {c_n},
+    "compact_s": {c_s:.4},
+    "compact_full_chunks_decoded": {c_full},
+    "compact_window_chunks_decoded": {c_win},
+    "compact_window_segments_pruned": {c_pruned},
+    "compact_window_pruned_fraction": {c_frac:.2}
   }}
 }}
 "#,
@@ -709,6 +821,14 @@ fn write_pipeline_json() {
         tel_plain_s = telemetry.plain_best_s,
         tel_exp_s = telemetry.exported_best_s,
         tel_pct = telemetry.overhead_pct,
+        c_before = compaction.segments_before,
+        c_after = compaction.segments_after,
+        c_n = compaction.compactions,
+        c_s = compaction.compact_s,
+        c_full = compaction.full_chunks_decoded,
+        c_win = compaction.window_chunks_decoded,
+        c_pruned = compaction.window_segments_pruned,
+        c_frac = compaction.window_pruned_fraction,
     );
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_pipeline.json");
     match std::fs::write(&path, &json) {

@@ -33,9 +33,22 @@
 //! untouched: the byte-identity `cmp` against `repro --store` holds
 //! with telemetry on or off (a tier-1 test pins that).
 //!
-//! Usage: `live [--dir <dir>] [--shards <n>] [--metrics <path>]
-//! [--metrics-interval <secs>]` (default: a per-process temp dir,
-//! removed on success; single-writer daemon; no metrics export).
+//! With `--compact <fan_in>` the single-writer daemons compact on the
+//! fly: every rotation merges ripe runs of `fan_in` adjacent sealed
+//! segments into generation-tagged segments
+//! ([`nfstrace_store::Compactor`]), cascading up the generations. The
+//! suite over the compacted catalogs must stay byte-identical, the bin
+//! asserts the footer-pruning query planner dismisses whole segments
+//! on a windowed query (`store.segments_pruned > 0`) while decoding
+//! strictly fewer chunks than a full scan, and `--retain <bytes>` then
+//! applies a size-budget retention pass that archives the oldest
+//! segments into `<dir>/archive` — with the archived ∪ retained union
+//! re-printing the same suite bytes.
+//!
+//! Usage: `live [--dir <dir>] [--shards <n>] [--compact <fan_in>]
+//! [--retain <bytes>] [--metrics <path>] [--metrics-interval <secs>]`
+//! (default: a per-process temp dir, removed on success; single-writer
+//! daemon; no compaction; no metrics export).
 
 use nfstrace_bench::suite::{peak_rss_kb, suite_text};
 use nfstrace_bench::{scale, scenarios};
@@ -43,21 +56,26 @@ use nfstrace_core::index::TraceView;
 use nfstrace_core::record::TraceRecord;
 use nfstrace_core::time::{DAY, HOUR};
 use nfstrace_live::{LiveConfig, LiveIngest, ShardedLiveIngest};
-use nfstrace_store::{StoreConfig, StoreIndex};
+use nfstrace_store::{
+    CompactionPolicy, RetentionPolicy, SegmentCatalog, StoreConfig, StoreIndex, StoreReader,
+};
 use nfstrace_telemetry::{Exporter, ExporterConfig, Registry, Snapshot};
 use nfstrace_workload::SlicedWorkload;
 use std::path::Path;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Simulated time per generation slice.
 const SLICE_MICROS: u64 = 6 * HOUR;
 
-/// Rotation: seal segments daily (or at half a million records).
-fn live_config(dir: &Path, registry: &Registry) -> LiveConfig {
+/// Rotation: seal segments daily (or at half a million records), with
+/// optional in-line compaction at the requested fan-in.
+fn live_config(dir: &Path, registry: &Registry, compact: Option<usize>) -> LiveConfig {
     LiveConfig {
         store: StoreConfig::default(),
         rotate_records: 500_000,
         rotate_micros: DAY,
+        compaction: compact.map(|fan_in| CompactionPolicy { fan_in }),
         ..LiveConfig::new(dir)
     }
     .with_registry(registry)
@@ -90,8 +108,9 @@ fn ingest_with_midpoint_check(
     oracle8: &StoreIndex,
     check_at: u64,
     registry: &Registry,
+    compact: Option<usize>,
 ) -> (nfstrace_live::LiveSummary, usize) {
-    let mut ingest = LiveIngest::create(live_config(dir, registry))
+    let mut ingest = LiveIngest::create(live_config(dir, registry, compact))
         .unwrap_or_else(|e| panic!("{name}: create ingest: {e}"));
     // The sink path bypasses `LiveIngest::run`, so sample the batch
     // latency per generation slice here.
@@ -151,6 +170,7 @@ fn ingest_with_midpoint_check(
 /// Like [`ingest_with_midpoint_check`], but through the sharded
 /// multi-writer daemon. Returns the still-open ingest (the suite runs
 /// over its merged mid-ingest view) plus the generator's resident peak.
+#[allow(clippy::too_many_arguments)]
 fn ingest_sharded_with_midpoint_check(
     name: &str,
     mut sliced: SlicedWorkload,
@@ -159,8 +179,9 @@ fn ingest_sharded_with_midpoint_check(
     check_at: u64,
     shards: usize,
     registry: &Registry,
+    compact: Option<usize>,
 ) -> (ShardedLiveIngest, usize) {
-    let mut ingest = ShardedLiveIngest::create(live_config(dir, registry), shards)
+    let mut ingest = ShardedLiveIngest::create(live_config(dir, registry, compact), shards)
         .unwrap_or_else(|e| panic!("{name}: create sharded ingest: {e}"));
     let mut checked = false;
     let mut batch: Vec<TraceRecord> = Vec::new();
@@ -220,12 +241,14 @@ fn main() {
     let mut args = std::env::args().skip(1);
     let mut dir: Option<std::path::PathBuf> = None;
     let mut shards: Option<usize> = None;
+    let mut compact: Option<usize> = None;
+    let mut retain: Option<u64> = None;
     let mut metrics: Option<std::path::PathBuf> = None;
     let mut metrics_interval = Duration::from_secs(10);
     let usage = || -> ! {
         eprintln!(
-            "usage: live [--dir <dir>] [--shards <n>] [--metrics <path>] \
-             [--metrics-interval <secs>]"
+            "usage: live [--dir <dir>] [--shards <n>] [--compact <fan_in>] [--retain <bytes>] \
+             [--metrics <path>] [--metrics-interval <secs>]"
         );
         std::process::exit(2);
     };
@@ -244,6 +267,23 @@ fn main() {
                 }
                 shards = Some(n);
             }
+            "--compact" => {
+                let n: usize = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                if n < 2 {
+                    usage();
+                }
+                compact = Some(n);
+            }
+            "--retain" => {
+                retain = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
             "--metrics" => {
                 metrics = Some(args.next().unwrap_or_else(|| usage()).into());
             }
@@ -259,6 +299,10 @@ fn main() {
                 usage();
             }
         }
+    }
+    if retain.is_some() && shards.is_some() {
+        eprintln!("--retain applies to the single-writer segment catalogs only");
+        usage();
     }
     let cleanup = dir.is_none();
     let dir = dir.unwrap_or_else(|| {
@@ -319,6 +363,7 @@ fn main() {
             4 * DAY,
             shards,
             &registry,
+            compact,
         );
         let (eecs_i, eecs_gen_peak) = ingest_sharded_with_midpoint_check(
             "EECS",
@@ -332,6 +377,7 @@ fn main() {
             4 * DAY,
             shards,
             &registry,
+            compact,
         );
         eprintln!(
             "  segments: CAMPUS {} ({} records), EECS {} ({} records)",
@@ -393,6 +439,7 @@ fn main() {
             &campus_b,
             4 * DAY,
             &registry,
+            compact,
         );
         let (eecs_sum, eecs_gen_peak) = ingest_with_midpoint_check(
             "EECS",
@@ -405,6 +452,7 @@ fn main() {
             &eecs_b,
             4 * DAY,
             &registry,
+            compact,
         );
 
         // Merged segment indices must print the exact batch suite.
@@ -446,6 +494,116 @@ fn main() {
             (peak_resident as u64) < total.max(1),
             "peak resident records ({peak_resident}) must stay below the trace size ({total})"
         );
+
+        if compact.is_some() {
+            // Compaction really ran: the catalog holds generation-tagged
+            // merges and the daemon counted them.
+            let catalog = SegmentCatalog::open(&campus_dir).unwrap_or_else(|e| {
+                eprintln!("reopen campus catalog: {e}");
+                std::process::exit(1);
+            });
+            let max_gen = catalog
+                .ids()
+                .iter()
+                .map(|id| id.generation)
+                .max()
+                .unwrap_or(0);
+            assert!(
+                max_gen > 0,
+                "forced compaction left only generation-0 segments"
+            );
+            let compactions = registry.counter("store.compactions").value();
+            assert!(compactions > 0, "store.compactions never fired");
+
+            // The planner acceptance: a one-day window over the 8-day
+            // catalog must dismiss whole segments by footer time range
+            // and decode strictly fewer chunks than a full scan.
+            let decoded = registry.counter("store.chunks_decoded");
+            let pruned = registry.counter("store.segments_pruned");
+            let d0 = decoded.value();
+            let full = campus_l.time_window(0, u64::MAX);
+            let full_decodes = decoded.value() - d0;
+            let p0 = pruned.value();
+            let d1 = decoded.value();
+            let day = campus_l.time_window(2 * DAY, 3 * DAY);
+            let window_decodes = decoded.value() - d1;
+            let window_pruned = pruned.value() - p0;
+            assert!(
+                window_pruned > 0,
+                "a one-day window must prune whole segments by footer time range"
+            );
+            assert!(
+                window_decodes < full_decodes,
+                "windowed query decoded {window_decodes} chunks, full scan {full_decodes}"
+            );
+            assert_eq!(
+                TraceView::len(&day),
+                TraceView::len(&campus_b.time_window(2 * DAY, 3 * DAY)),
+                "pruned windowed query must match the batch oracle"
+            );
+            drop(full);
+            eprintln!(
+                "  compaction: campus catalog {} segments (max generation {max_gen}), \
+                 {compactions} compactions; day window decoded {window_decodes}/{full_decodes} \
+                 chunks, pruned {window_pruned} segments",
+                catalog.len(),
+            );
+        }
+
+        // Retention: archive the oldest segments down to the byte
+        // budget, then prove nothing was lost — the archived ∪ retained
+        // union must re-print the exact suite bytes.
+        if let Some(cap) = retain {
+            let open_reader = |path: &Path| -> Arc<StoreReader> {
+                Arc::new(StoreReader::open(path).unwrap_or_else(|e| {
+                    eprintln!("reopen segment for the retention union: {e}");
+                    std::process::exit(1);
+                }))
+            };
+            let mut union_pair = Vec::new();
+            for (name, seg_dir) in [("CAMPUS", &campus_dir), ("EECS", &eecs_dir)] {
+                let mut catalog = SegmentCatalog::open_and_sweep(seg_dir).unwrap_or_else(|e| {
+                    eprintln!("{name}: reopen catalog for retention: {e}");
+                    std::process::exit(1);
+                });
+                let before = catalog.len();
+                let archive = seg_dir.join("archive");
+                let policy = RetentionPolicy {
+                    max_total_bytes: Some(cap),
+                    max_age_micros: None,
+                    archive_dir: Some(archive.clone()),
+                };
+                let retired =
+                    nfstrace_store::compact::apply_retention(&mut catalog, &policy, &registry)
+                        .unwrap_or_else(|e| {
+                            eprintln!("{name}: retention: {e}");
+                            std::process::exit(1);
+                        });
+                eprintln!(
+                    "  retention: {name} archived {} of {before} segments under the {cap}-byte budget",
+                    retired.len()
+                );
+                let mut readers: Vec<Arc<StoreReader>> = Vec::new();
+                if archive.is_dir() {
+                    let archived = SegmentCatalog::open(&archive).unwrap_or_else(|e| {
+                        eprintln!("{name}: open archive: {e}");
+                        std::process::exit(1);
+                    });
+                    readers.extend(archived.paths().iter().map(|p| open_reader(p)));
+                }
+                readers.extend(catalog.paths().iter().map(|p| open_reader(p)));
+                union_pair.push(StoreIndex::from_readers(readers).unwrap_or_else(|e| {
+                    eprintln!("{name}: index the retention union: {e}");
+                    std::process::exit(1);
+                }));
+            }
+            let union_text = suite_text(&union_pair[0], &union_pair[1]);
+            assert_eq!(
+                union_text, live_text,
+                "archived + retained union must re-print the suite byte for byte"
+            );
+            eprintln!("  retention: archived + retained union is byte-identical to the suite");
+        }
         live_text
     };
 

@@ -1,12 +1,16 @@
 //! The bounded-memory ingest loop: hot segment, rotation, sealing.
 
-use crate::seqfile;
 use crate::source::RecordSource;
 use crate::view::{LiveView, ShardChain};
 use nfstrace_core::index::{IndexBase, PartialIndex};
 use nfstrace_core::record::TraceRecord;
 use nfstrace_core::sink::RecordSink;
-use nfstrace_store::{Result, SegmentCatalog, StoreConfig, StoreError, StoreReader, StoreWriter};
+use nfstrace_store::compact::{self, FaultInjector};
+use nfstrace_store::seqfile;
+use nfstrace_store::{
+    CompactionPolicy, Compactor, Result, SegmentCatalog, StoreConfig, StoreError, StoreReader,
+    StoreWriter,
+};
 use nfstrace_telemetry::{span, Counter, Gauge, Histogram, Registry};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
@@ -32,6 +36,17 @@ pub struct LiveConfig {
     /// every shard so the merged view can replay the exact original
     /// interleave, equal timestamps included.
     pub track_seqs: bool,
+    /// Run LSM-style background compaction behind the ingest: after
+    /// each seal, contiguous runs of `fan_in` same-generation segments
+    /// merge into one generation-bumped segment
+    /// ([`nfstrace_store::compact`]), keeping an archive-scale catalog
+    /// from growing into thousands of tiny files. The hot tail, the
+    /// running products, and every byte a view or the suite produces
+    /// are untouched — compaction only re-houses sealed records.
+    /// `None` (the default) never compacts. Shards of a
+    /// [`crate::ShardedLiveIngest`] inherit the policy, each
+    /// compacting its own chain.
+    pub compaction: Option<CompactionPolicy>,
     /// Where the ingest's `live.*` / `store.*` / `query.*` telemetry
     /// lands. Defaults to a private registry (no shared export); hand
     /// in one shared [`Registry`] to get a single pipeline-health
@@ -52,6 +67,7 @@ impl LiveConfig {
             rotate_records: 250_000,
             rotate_micros: nfstrace_core::time::DAY,
             track_seqs: false,
+            compaction: None,
             registry: Registry::new(),
         }
     }
@@ -203,6 +219,9 @@ pub struct LiveIngest {
     /// at — repeated [`LiveIngest::view`] calls between mutations
     /// reuse it.
     base_cache: Mutex<Option<(u64, IndexBase)>>,
+    /// The background merge engine (present iff
+    /// [`LiveConfig::compaction`]).
+    compactor: Option<Compactor>,
     /// Registry-backed `live.*` instruments (see [`LiveConfig::registry`]).
     pub(crate) metrics: LiveMetrics,
 }
@@ -215,14 +234,13 @@ impl LiveIngest {
     /// If the directory already holds sealed segments (reopen those
     /// with [`LiveIngest::open`]) or cannot be created.
     pub fn create(config: LiveConfig) -> Result<Self> {
-        let catalog = SegmentCatalog::open(&config.dir)?;
+        let catalog = SegmentCatalog::open_and_sweep(&config.dir)?;
         if !catalog.is_empty() {
             return Err(StoreError::Format(format!(
                 "segment directory {} is not empty; use LiveIngest::open to resume",
                 config.dir.display()
             )));
         }
-        Self::sweep_stale_files(catalog.dir())?;
         Ok(Self::with_catalog(config, catalog, Vec::new()))
     }
 
@@ -236,11 +254,12 @@ impl LiveIngest {
     /// # Errors
     ///
     /// On directory or segment open/decode failure, or — when tracking
-    /// — on a missing or corrupt sequence sidecar (the directory was
-    /// written without tracking and cannot seed a sharded merge).
+    /// — a precise [`StoreError::Sidecar`] for a missing, corrupt, or
+    /// count-mismatched sequence sidecar (the directory was written
+    /// without tracking, or a sidecar rotted, and cannot seed a
+    /// sharded merge).
     pub fn open(config: LiveConfig) -> Result<Self> {
-        let catalog = SegmentCatalog::open(&config.dir)?;
-        Self::sweep_stale_files(catalog.dir())?;
+        let catalog = SegmentCatalog::open_and_sweep(&config.dir)?;
         let mut sealed = Vec::with_capacity(catalog.len());
         for path in catalog.paths() {
             sealed.push(Arc::new(StoreReader::open_with_registry(
@@ -259,12 +278,14 @@ impl LiveIngest {
             if track {
                 let seqs = seqfile::read_sidecar(reader.path())?;
                 if seqs.len() as u64 != reader.total_records() {
-                    return Err(StoreError::Format(format!(
-                        "sequence sidecar for {} holds {} entries for {} records",
-                        reader.path().display(),
-                        seqs.len(),
-                        reader.total_records()
-                    )));
+                    return Err(StoreError::Sidecar {
+                        segment: reader.path().to_path_buf(),
+                        problem: format!(
+                            "holds {} entries for {} records",
+                            seqs.len(),
+                            reader.total_records()
+                        ),
+                    });
                 }
                 let mut at = 0usize;
                 reader.for_each(|r| {
@@ -288,36 +309,6 @@ impl LiveIngest {
         Ok(ingest)
     }
 
-    /// The in-progress name the hot segment grows under.
-    fn tmp_path(sealed_path: &Path) -> PathBuf {
-        let mut name = sealed_path
-            .file_name()
-            .expect("segment paths have names")
-            .to_os_string();
-        name.push(".tmp");
-        sealed_path.with_file_name(name)
-    }
-
-    /// Removes unsealed leftovers of a crashed ingest: hot segments
-    /// that never got their footer, half-written sidecar temps, and
-    /// sidecars whose segment never got renamed. Their records were
-    /// never acknowledged as sealed, so deleting them is the rollback.
-    fn sweep_stale_files(dir: &Path) -> Result<()> {
-        for entry in std::fs::read_dir(dir)? {
-            let entry = entry?;
-            let Some(name) = entry.file_name().to_str().map(str::to_owned) else {
-                continue;
-            };
-            let half_written_tmp = name.ends_with(".nfseg.tmp") || name.ends_with(".nfseq.tmp");
-            let orphaned_sidecar = name.ends_with(seqfile::SEQ_SUFFIX)
-                && !entry.path().with_extension("nfseg").exists();
-            if half_written_tmp || orphaned_sidecar {
-                std::fs::remove_file(entry.path())?;
-            }
-        }
-        Ok(())
-    }
-
     fn with_catalog(
         config: LiveConfig,
         catalog: SegmentCatalog,
@@ -329,6 +320,9 @@ impl LiveIngest {
             PartialIndex::new()
         };
         let metrics = LiveMetrics::register(&config.registry);
+        let compactor = config
+            .compaction
+            .map(|policy| Compactor::new(policy, config.store, &config.registry));
         LiveIngest {
             config,
             catalog,
@@ -348,6 +342,7 @@ impl LiveIngest {
             peak_batch_records: 0,
             generation: 0,
             base_cache: Mutex::new(None),
+            compactor,
             metrics,
         }
     }
@@ -406,7 +401,7 @@ impl LiveIngest {
             // create/open), never a footerless seg-*.nfseg that would
             // poison the whole directory.
             self.hot_writer = Some(StoreWriter::create_with_registry(
-                Self::tmp_path(&self.catalog.path_for(self.hot_ordinal)),
+                compact::tmp_path(&self.catalog.path_for(self.hot_ordinal)),
                 self.config.store,
                 &self.config.registry,
             )?);
@@ -440,28 +435,37 @@ impl LiveIngest {
     }
 
     /// Seals the hot segment now (no-op when it is empty): finishes the
-    /// segment file (sidecar first when tracking), opens it for
-    /// reading, and drops the hot tail. The running partial already
-    /// covers these records and is untouched.
+    /// segment file, publishes it via the shared crash-safe seal
+    /// protocol ([`nfstrace_store::compact::seal_segment`] — sidecar
+    /// first when tracking), opens it for reading, drops the hot tail,
+    /// and runs any [`LiveConfig::compaction`] passes the new segment
+    /// made ripe. The running partial already covers these records and
+    /// is untouched; with compaction on, a [`LiveView`] snapshotted
+    /// *before* this call may reference source segments the merge
+    /// deletes — snapshot views after mutations, not across them.
     ///
     /// # Errors
     ///
-    /// On finish/open I/O failure.
+    /// On finish/open/compaction I/O failure.
     pub fn rotate(&mut self) -> Result<()> {
         let Some(writer) = self.hot_writer.take() else {
             return Ok(());
         };
         writer.finish()?;
         let path = self.catalog.path_for(self.hot_ordinal);
-        if self.config.track_seqs {
-            // Sidecar lands before the segment's rename: a sealed
-            // segment always has its sequences; the reverse (orphan
-            // sidecar after a crash here) is swept at the next open.
-            seqfile::write_sidecar(&path, &self.hot_seqs)?;
-            self.sealed_seqs
-                .push(std::mem::replace(&mut self.hot_seqs, Arc::new(Vec::new())));
+        let seqs = self
+            .config
+            .track_seqs
+            .then(|| std::mem::replace(&mut self.hot_seqs, Arc::new(Vec::new())));
+        compact::seal_segment(
+            &compact::tmp_path(&path),
+            &path,
+            seqs.as_ref().map(|s| s.as_slice()),
+            &mut FaultInjector::none(),
+        )?;
+        if let Some(seqs) = seqs {
+            self.sealed_seqs.push(seqs);
         }
-        std::fs::rename(Self::tmp_path(&path), &path)?;
         self.sealed.push(Arc::new(StoreReader::open_with_registry(
             path,
             &self.config.registry,
@@ -470,6 +474,35 @@ impl LiveIngest {
         self.hot_records = Arc::new(Vec::new());
         self.metrics.segments_sealed.inc();
         self.metrics.hot_records.set(0.0);
+        self.maybe_compact()
+    }
+
+    /// Runs compaction passes until the policy finds nothing ripe,
+    /// mirroring each on-disk swap in the in-memory reader chain: the
+    /// merged readers (and their sequence sidecars) are spliced out
+    /// for the output's, so views keep seeing the identical record
+    /// stream. No-op without a policy.
+    fn maybe_compact(&mut self) -> Result<()> {
+        let Some(compactor) = &self.compactor else {
+            return Ok(());
+        };
+        while let Some(output) = compactor.policy().plan(self.catalog.ids()) {
+            let outcome =
+                compactor.compact(&mut self.catalog, output, &mut FaultInjector::none())?;
+            let (first, count) = outcome.replaced;
+            let reader = Arc::new(StoreReader::open_with_registry(
+                self.catalog.path_of(&outcome.output),
+                &self.config.registry,
+            )?);
+            self.sealed.splice(first..first + count, [reader]);
+            if self.config.track_seqs {
+                let merged = outcome
+                    .seqs
+                    .expect("tracked segments compact with sidecars");
+                self.sealed_seqs
+                    .splice(first..first + count, [Arc::new(merged)]);
+            }
+        }
         Ok(())
     }
 

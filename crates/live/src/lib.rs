@@ -82,10 +82,13 @@
 #![warn(clippy::redundant_clone)]
 
 pub mod ingest;
-pub mod seqfile;
 pub mod sharded;
 pub mod source;
 pub mod view;
+
+/// Arrival-sequence sidecars now live in the store crate (the
+/// compactor merges them); re-exported here for existing users.
+pub use nfstrace_store::seqfile;
 
 pub use ingest::{LiveConfig, LiveIngest, LiveSummary};
 pub use sharded::{shard_for_client, ShardedLiveIngest, ShardedSummary, SHARD_MANIFEST};

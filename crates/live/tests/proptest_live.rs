@@ -67,6 +67,27 @@ fn ingest_all(
     rotate_micros: u64,
     chunk_bytes: usize,
 ) -> nfstrace_live::LiveSummary {
+    ingest_all_compacting(
+        dir,
+        records,
+        batch,
+        rotate_records,
+        rotate_micros,
+        chunk_bytes,
+        None,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn ingest_all_compacting(
+    dir: &std::path::Path,
+    records: &[TraceRecord],
+    batch: usize,
+    rotate_records: u64,
+    rotate_micros: u64,
+    chunk_bytes: usize,
+    compaction: Option<nfstrace_store::CompactionPolicy>,
+) -> nfstrace_live::LiveSummary {
     let mut ingest = LiveIngest::create(LiveConfig {
         dir: dir.to_path_buf(),
         store: StoreConfig {
@@ -76,6 +97,7 @@ fn ingest_all(
         rotate_records,
         rotate_micros,
         track_seqs: false,
+        compaction,
         registry: Default::default(),
     })
     .expect("create ingest");
@@ -170,6 +192,7 @@ proptest! {
             rotate_records,
             rotate_micros,
             track_seqs: false,
+            compaction: None,
             registry: Default::default(),
         })
         .expect("create");
@@ -247,6 +270,7 @@ proptest! {
             rotate_records,
             rotate_micros,
             track_seqs: false, // implied per shard by the router
+            compaction: None,
             registry: Default::default(),
         };
         let mut ingest = ShardedLiveIngest::create(config(), shards).expect("create sharded");
@@ -299,5 +323,124 @@ proptest! {
         prop_assert_eq!(view.accesses(7).as_ref(), mem.accesses(7).as_ref());
 
         std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+proptest! {
+    /// The segment-lifecycle invariant: for any record stream ×
+    /// rotation thresholds × compaction fan-in, the analysis suite
+    /// over a compacted (and then retention-trimmed) catalog is
+    /// byte-identical to the uncompacted one — live mid-cascade views
+    /// and from-disk reopens alike — and the archive tier plus the
+    /// trimmed catalog still reconstructs the full stream.
+    #[test]
+    fn compacted_catalog_is_byte_identical_to_uncompacted(
+        mut records in proptest::collection::vec(arb_record(), 1..250),
+        batch in 1usize..97,
+        rotate_records in 8u64..60,
+        rotate_micros in 1_000_000u64..500_000_000,
+        chunk_bytes in 64usize..4096,
+        fan_in in 2usize..5,
+        case in 0u64..1_000_000,
+    ) {
+        records.sort_by_key(|r| r.micros);
+
+        // Reference: the plain, never-compacted catalog.
+        let plain_dir = tmpdir("nocompact", case);
+        ingest_all(&plain_dir, &records, batch, rotate_records, rotate_micros, chunk_bytes);
+        let plain = StoreIndex::open_dir(&plain_dir).expect("plain index");
+
+        // Same stream with background compaction cascading behind the
+        // ingest.
+        let dir = tmpdir("compact", case);
+        let policy = nfstrace_store::CompactionPolicy { fan_in };
+        ingest_all_compacting(
+            &dir, &records, batch, rotate_records, rotate_micros, chunk_bytes, Some(policy),
+        );
+        let catalog = nfstrace_store::SegmentCatalog::open(&dir).expect("catalog");
+        prop_assert!(
+            catalog.ids().windows(fan_in).all(|w| {
+                !(w.iter().all(|id| id.generation == w[0].generation)
+                    && w.windows(2).all(|p| p[0].hi + 1 == p[1].lo))
+            }),
+            "nothing ripe may remain after the cascade: {:?}",
+            catalog.ids()
+        );
+        let compacted = StoreIndex::open_dir(&dir).expect("compacted index");
+        let mut plain_records = Vec::new();
+        plain.for_each_record(&mut |r| plain_records.push(r.clone()));
+        let mut compacted_records = Vec::new();
+        compacted.for_each_record(&mut |r| compacted_records.push(r.clone()));
+        prop_assert_eq!(&compacted_records, &plain_records);
+        prop_assert_eq!(&compacted_records, &records);
+        prop_assert_eq!(compacted.summary(), plain.summary());
+        prop_assert_eq!(compacted.hourly(), plain.hourly());
+        prop_assert_eq!(compacted.accesses(7).as_ref(), plain.accesses(7).as_ref());
+        prop_assert_eq!(
+            compacted.runs(7, RunOptions::default()).as_ref(),
+            plain.runs(7, RunOptions::default()).as_ref()
+        );
+        prop_assert_eq!(compacted.names(), plain.names());
+
+        // A live ingest reopened over the compacted catalog continues
+        // appending past the compacted ranges and sees every record.
+        let reopened = LiveIngest::open(LiveConfig {
+            dir: dir.clone(),
+            store: StoreConfig { target_chunk_bytes: chunk_bytes, ..StoreConfig::default() },
+            rotate_records,
+            rotate_micros,
+            track_seqs: false,
+            compaction: Some(policy),
+            registry: Default::default(),
+        })
+        .expect("reopen over compacted");
+        prop_assert_eq!(reopened.total_records(), records.len() as u64);
+        let view = reopened.view();
+        let mut live_back = Vec::new();
+        view.for_each_record(&mut |r| live_back.push(r.clone()));
+        prop_assert_eq!(&live_back, &records);
+        drop(reopened);
+
+        // Retention-trim the compacted catalog into an archive tier:
+        // archive ∪ trimmed catalog must still be the identical trace.
+        let mut catalog =
+            nfstrace_store::SegmentCatalog::open_and_sweep(&dir).expect("reopen catalog");
+        let archive = dir.join("archive");
+        let retention = nfstrace_store::RetentionPolicy {
+            max_total_bytes: Some(0), // trim to the always-kept newest segment
+            max_age_micros: None,
+            archive_dir: Some(archive.clone()),
+        };
+        let registry = nfstrace_telemetry::Registry::new();
+        let retired =
+            nfstrace_store::compact::apply_retention(&mut catalog, &retention, &registry)
+                .expect("retention");
+        prop_assert_eq!(catalog.len(), 1, "trimmed to the always-kept newest segment");
+        prop_assert!(
+            retired.iter().all(|r| r.archived_to.is_some()),
+            "with an archive_dir every retired segment is moved, not dropped"
+        );
+        let mut union: Vec<std::sync::Arc<nfstrace_store::StoreReader>> = Vec::new();
+        if archive.is_dir() {
+            for p in nfstrace_store::SegmentCatalog::open(&archive).expect("archive").paths() {
+                union.push(std::sync::Arc::new(
+                    nfstrace_store::StoreReader::open(p).expect("open archived"),
+                ));
+            }
+        }
+        for p in catalog.paths() {
+            union.push(std::sync::Arc::new(
+                nfstrace_store::StoreReader::open(p).expect("open retained"),
+            ));
+        }
+        let rejoined = StoreIndex::from_readers(union).expect("union index");
+        let mut union_records = Vec::new();
+        rejoined.for_each_record(&mut |r| union_records.push(r.clone()));
+        prop_assert_eq!(&union_records, &records);
+        prop_assert_eq!(rejoined.summary(), plain.summary());
+
+        for d in [&plain_dir, &dir] {
+            std::fs::remove_dir_all(d).ok();
+        }
     }
 }

@@ -1,0 +1,675 @@
+//! Segment lifecycle: LSM-style compaction, retention tiering, and the
+//! crash-safe seal protocol they share with live ingest.
+//!
+//! A long-running ingest seals thousands of small segments; a
+//! multi-month archive queried through a flat list of them pays a
+//! footer parse per segment per open and leaves the directory fragile
+//! to crash leftovers. This module merges adjacent sealed segments
+//! into larger **generation-tagged** segments (see
+//! [`crate::segments`]) and retires the oldest under a retention
+//! budget, both without ever making a reader choose between torn
+//! states.
+//!
+//! # Compaction
+//!
+//! [`CompactionPolicy`] picks the first contiguous run of `fan_in`
+//! same-generation segments; [`Compactor::compact`] streams their
+//! records — in catalog order, which **is** the k-way time merge,
+//! because adjacent segments' time ranges follow each other and
+//! concatenation preserves arrival order for equal timestamps where a
+//! timestamp re-sort would not — through a fresh [`StoreWriter`] into
+//! one output segment. Rewriting through the writer recomputes the
+//! adaptive per-chunk [`crate::format::FileIdFilter`]s and footer time
+//! ranges for the merged record population for free. Arrival-sequence
+//! sidecars ([`crate::seqfile`]) concatenate the same way.
+//!
+//! # Crash safety
+//!
+//! Every mutation is tmp + rename, ordered so that a kill between any
+//! two filesystem steps leaves a directory that
+//! [`crate::segments::SegmentCatalog::open_and_sweep`] resolves to
+//! exactly the old or the new catalog — never a mix:
+//!
+//! 1. output bytes → `….nfseg.tmp` (crash: tmp swept, old state)
+//! 2. output sidecar → tmp, then rename (crash: orphan sidecar swept,
+//!    old state)
+//! 3. output rename to its sealed name — **the commit point**: from
+//!    here the output supersedes its sources by generation
+//! 4. source segments and sidecars removed (crash: survivors are
+//!    superseded and swept, new state)
+//!
+//! [`FaultInjector`] makes the kill points testable: the crash-recovery
+//! proptest runs every protocol with a budget of *n* filesystem steps
+//! for every possible *n* and reopens after each induced crash.
+//!
+//! # Retention
+//!
+//! [`RetentionPolicy`] retires oldest-first while the catalog exceeds a
+//! byte budget or segments age past a horizon — deleting them, or
+//! moving them (with sidecars) into an archive directory, which keeps
+//! the full trace reconstructable: the archive ∪ the live catalog is
+//! byte-identical to never having retired at all.
+
+use crate::error::{Result, StoreError};
+use crate::reader::StoreReader;
+use crate::segments::{SegmentCatalog, SegmentId};
+use crate::seqfile;
+use crate::writer::{StoreConfig, StoreWriter};
+use nfstrace_telemetry::{Counter, Registry};
+use std::path::{Path, PathBuf};
+
+/// Deterministic crash simulation for the seal/compact protocols: a
+/// budget of filesystem steps after which every further [`step`]
+/// fails, standing in for a kill at that exact point. Production
+/// callers pass [`FaultInjector::none`]; the crash-recovery proptest
+/// sweeps every budget.
+///
+/// [`step`]: FaultInjector::step
+#[derive(Debug)]
+pub struct FaultInjector {
+    remaining: Option<u64>,
+}
+
+impl FaultInjector {
+    /// No injected faults: every step succeeds.
+    pub fn none() -> Self {
+        FaultInjector { remaining: None }
+    }
+
+    /// Crash after `steps` successful filesystem steps.
+    pub fn after(steps: u64) -> Self {
+        FaultInjector {
+            remaining: Some(steps),
+        }
+    }
+
+    /// Called immediately before each filesystem step of a protocol.
+    ///
+    /// # Errors
+    ///
+    /// When the injected budget is exhausted — the simulated kill.
+    pub fn step(&mut self) -> Result<()> {
+        if let Some(r) = &mut self.remaining {
+            if *r == 0 {
+                return Err(StoreError::Format(
+                    "simulated crash (fault injection)".into(),
+                ));
+            }
+            *r -= 1;
+        }
+        Ok(())
+    }
+}
+
+/// The temp path a segment's bytes are staged at before the sealing
+/// rename (`seg-000042.nfseg` → `seg-000042.nfseg.tmp` — the suffix
+/// the sweeping reopen deletes).
+pub fn tmp_path(segment: &Path) -> PathBuf {
+    let mut name = segment
+        .file_name()
+        .expect("segment paths carry file names")
+        .to_os_string();
+    name.push(".tmp");
+    segment.with_file_name(name)
+}
+
+/// Seals a fully written temp segment at its final name — the one
+/// crash-safe publication protocol shared by live rotation and
+/// compaction. When `seqs` is given, the arrival-sequence sidecar is
+/// made visible *before* the segment (sidecar tmp → rename → segment
+/// rename), so a sealed tracking segment always has its sidecar and a
+/// crash in between leaves only an orphan sidecar for the sweep.
+///
+/// # Errors
+///
+/// On I/O failure or an injected fault.
+pub fn seal_segment(
+    tmp: &Path,
+    dest: &Path,
+    seqs: Option<&[u64]>,
+    fault: &mut FaultInjector,
+) -> Result<()> {
+    if let Some(seqs) = seqs {
+        fault.step()?;
+        let side_tmp = seqfile::write_sidecar_tmp(dest, seqs)?;
+        fault.step()?;
+        std::fs::rename(side_tmp, seqfile::sidecar_path(dest))?;
+    }
+    fault.step()?;
+    std::fs::rename(tmp, dest)?;
+    Ok(())
+}
+
+/// When to merge: the fan-in of one compaction pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionPolicy {
+    /// How many adjacent same-generation segments one pass merges
+    /// (minimum 2). Classic tiered shape: `fan_in` generation-*g*
+    /// segments become one generation-*g+1* segment, which later
+    /// cascades with its own peers.
+    pub fan_in: usize,
+}
+
+impl CompactionPolicy {
+    /// The first mergeable run in `ids` (ascending catalog order), as
+    /// the generation-bumped output id covering it — `None` when
+    /// nothing is ripe. A run is `fan_in` segments of equal generation
+    /// whose ordinal ranges are contiguous (no retention gap).
+    pub fn plan(&self, ids: &[SegmentId]) -> Option<SegmentId> {
+        let k = self.fan_in.max(2);
+        ids.windows(k).find_map(|w| {
+            let uniform = w.iter().all(|id| id.generation == w[0].generation);
+            let contiguous = w.windows(2).all(|p| p[0].hi + 1 == p[1].lo);
+            (uniform && contiguous).then(|| SegmentId {
+                lo: w[0].lo,
+                hi: w[k - 1].hi,
+                generation: w[0].generation + 1,
+            })
+        })
+    }
+}
+
+/// What one compaction pass did: the output id, where it spliced into
+/// the catalog, and the merged sidecar (when the sources tracked
+/// arrival sequences) — everything a live ingest needs to mirror the
+/// swap in its in-memory reader chain.
+#[derive(Debug)]
+pub struct CompactionOutcome {
+    /// The generation-bumped segment now covering the sources' range.
+    pub output: SegmentId,
+    /// `(first index, length)` of the catalog run the output replaced.
+    pub replaced: (usize, usize),
+    /// Concatenated arrival sequences of the output (present iff the
+    /// sources had sidecars; the output's sidecar holds the same).
+    pub seqs: Option<Vec<u64>>,
+}
+
+/// The background merge engine: applies a [`CompactionPolicy`] to a
+/// [`SegmentCatalog`], counting passes into `store.compactions`.
+#[derive(Debug)]
+pub struct Compactor {
+    policy: CompactionPolicy,
+    config: StoreConfig,
+    compactions: Counter,
+}
+
+impl Compactor {
+    /// A compactor writing outputs with `config` (use the same config
+    /// as the ingest so chunk sizing stays uniform) and counting into
+    /// `registry`.
+    pub fn new(policy: CompactionPolicy, config: StoreConfig, registry: &Registry) -> Self {
+        Compactor {
+            policy,
+            config,
+            compactions: registry.counter("store.compactions"),
+        }
+    }
+
+    /// This compactor's policy.
+    pub fn policy(&self) -> CompactionPolicy {
+        self.policy
+    }
+
+    /// One compaction pass merging the catalog run `output` covers,
+    /// following the crash-safe protocol in the module docs. On
+    /// success the sources are gone from disk and `catalog`, replaced
+    /// by the sealed output.
+    ///
+    /// The merge decodes and rewrites through private registries so a
+    /// shared pipeline registry's `store.*` read/write counters keep
+    /// describing the query workload, not maintenance; only
+    /// `store.compactions` is reported.
+    ///
+    /// # Errors
+    ///
+    /// On I/O failure, an injected fault (the simulated kill — the
+    /// directory is then mid-protocol by design and the next
+    /// [`SegmentCatalog::open_and_sweep`] resolves it), corrupt source
+    /// bytes, or sources where some but not all segments have
+    /// arrival-sequence sidecars ([`StoreError::Sidecar`] — a tracked
+    /// catalog can never be half-tracked, so that is corruption, not a
+    /// state to guess through).
+    ///
+    /// # Panics
+    ///
+    /// If `output` does not cover a non-empty run of whole catalog
+    /// entries (plan with [`CompactionPolicy::plan`]).
+    pub fn compact(
+        &self,
+        catalog: &mut SegmentCatalog,
+        output: SegmentId,
+        fault: &mut FaultInjector,
+    ) -> Result<CompactionOutcome> {
+        let sources: Vec<SegmentId> = catalog
+            .ids()
+            .iter()
+            .filter(|id| output.contains(id))
+            .copied()
+            .collect();
+        assert!(
+            sources.first().is_some_and(|id| id.lo == output.lo)
+                && sources.last().is_some_and(|id| id.hi == output.hi),
+            "compaction output {} must cover whole catalog entries",
+            output.file_name()
+        );
+        let paths: Vec<PathBuf> = sources.iter().map(|id| catalog.path_of(id)).collect();
+
+        // Sidecars are all-or-none across the sources: a tracked
+        // catalog seals every segment with one, so a mix means a
+        // sidecar rotted away after sealing — report which.
+        let with_sidecar = paths
+            .iter()
+            .filter(|p| seqfile::sidecar_path(p).exists())
+            .count();
+        let seqs = if with_sidecar == paths.len() {
+            let mut all = Vec::new();
+            for p in &paths {
+                all.extend(seqfile::read_sidecar(p)?);
+            }
+            Some(all)
+        } else if with_sidecar == 0 {
+            None
+        } else {
+            let missing = paths
+                .iter()
+                .find(|p| !seqfile::sidecar_path(p).exists())
+                .expect("some sidecar is missing");
+            return Err(StoreError::Sidecar {
+                segment: missing.clone(),
+                problem: "missing, but sibling segments in the same compaction have \
+                          sidecars (a tracked segment lost its sidecar after sealing)"
+                    .into(),
+            });
+        };
+
+        let dest = catalog.path_of(&output);
+        let tmp = tmp_path(&dest);
+        fault.step()?;
+        let mut writer = StoreWriter::create(&tmp, self.config)?;
+        for path in &paths {
+            let reader = StoreReader::open(path)?;
+            for ci in 0..reader.chunk_count() {
+                for record in reader.read_chunk(ci)? {
+                    writer.push(&record)?;
+                }
+            }
+        }
+        writer.finish()?;
+        seal_segment(&tmp, &dest, seqs.as_deref(), fault)?;
+        // The commit point has passed: the output supersedes the
+        // sources whether or not their removal below completes.
+        for path in &paths {
+            fault.step()?;
+            std::fs::remove_file(path)?;
+            let sidecar = seqfile::sidecar_path(path);
+            if sidecar.exists() {
+                fault.step()?;
+                std::fs::remove_file(sidecar)?;
+            }
+        }
+        let replaced = catalog.apply_compaction(output);
+        self.compactions.inc();
+        Ok(CompactionOutcome {
+            output,
+            replaced,
+            seqs,
+        })
+    }
+
+    /// Runs compaction passes until the policy finds nothing ripe —
+    /// the cascade: merged generation-*g+1* outputs can immediately
+    /// form a run of their own.
+    ///
+    /// # Errors
+    ///
+    /// See [`Compactor::compact`].
+    pub fn compact_all(
+        &self,
+        catalog: &mut SegmentCatalog,
+        fault: &mut FaultInjector,
+    ) -> Result<Vec<CompactionOutcome>> {
+        let mut outcomes = Vec::new();
+        while let Some(output) = self.policy.plan(catalog.ids()) {
+            outcomes.push(self.compact(catalog, output, fault)?);
+        }
+        Ok(outcomes)
+    }
+}
+
+/// What to keep: the retention budget a catalog is trimmed to, oldest
+/// segments first. All limits are optional; an unset policy retires
+/// nothing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RetentionPolicy {
+    /// Retire oldest segments while the catalog's total segment bytes
+    /// exceed this.
+    pub max_total_bytes: Option<u64>,
+    /// Retire segments whose newest record is more than this many
+    /// microseconds older than the catalog's newest record.
+    pub max_age_micros: Option<u64>,
+    /// Where retired segments go: `Some` moves them (with sidecars)
+    /// into this directory — the archive tier, from which the full
+    /// trace remains reconstructable — `None` deletes them.
+    pub archive_dir: Option<PathBuf>,
+}
+
+impl RetentionPolicy {
+    /// Whether this policy can ever retire anything.
+    pub fn is_unbounded(&self) -> bool {
+        self.max_total_bytes.is_none() && self.max_age_micros.is_none()
+    }
+}
+
+/// One segment retired by [`apply_retention`].
+#[derive(Debug)]
+pub struct RetiredSegment {
+    /// Which segment.
+    pub id: SegmentId,
+    /// Its on-disk size when retired.
+    pub bytes: u64,
+    /// Where it went (`None` = deleted).
+    pub archived_to: Option<PathBuf>,
+}
+
+/// Trims `catalog` to `policy`, oldest segments first, counting each
+/// into `store.segments_retired`. The newest segment is always kept —
+/// a catalog never retires itself to emptiness — and retirement never
+/// splits the middle of the timeline, so what remains is still a
+/// contiguous, openable catalog.
+///
+/// # Errors
+///
+/// On I/O failure reading segment footers or moving/removing files.
+pub fn apply_retention(
+    catalog: &mut SegmentCatalog,
+    policy: &RetentionPolicy,
+    registry: &Registry,
+) -> Result<Vec<RetiredSegment>> {
+    let retired_counter = registry.counter("store.segments_retired");
+    let mut retired = Vec::new();
+    if policy.is_unbounded() {
+        return Ok(retired);
+    }
+    // Size from metadata, age from the footer — neither decodes a
+    // chunk, so retention stays cheap at archive scale.
+    struct SegmentInfo {
+        id: SegmentId,
+        bytes: u64,
+        range: Option<(u64, u64)>,
+    }
+    let mut infos: Vec<SegmentInfo> = Vec::with_capacity(catalog.len());
+    for id in catalog.ids().to_vec() {
+        let path = catalog.path_of(&id);
+        let bytes = std::fs::metadata(&path)?.len();
+        let range = StoreReader::open(&path)?.time_range();
+        infos.push(SegmentInfo { id, bytes, range });
+    }
+    let mut total: u64 = infos.iter().map(|i| i.bytes).sum();
+    let newest = infos.iter().filter_map(|i| i.range.map(|(_, hi)| hi)).max();
+    let mut idx = 0;
+    while infos.len() - idx > 1 {
+        let SegmentInfo { id, bytes, range } = infos[idx];
+        let over_budget = policy.max_total_bytes.is_some_and(|cap| total > cap);
+        let too_old = match (policy.max_age_micros, newest, range) {
+            (Some(age), Some(newest), Some((_, seg_max))) => seg_max < newest.saturating_sub(age),
+            _ => false,
+        };
+        if !over_budget && !too_old {
+            break;
+        }
+        let path = catalog.path_of(&id);
+        let sidecar = seqfile::sidecar_path(&path);
+        let archived_to = if let Some(dir) = &policy.archive_dir {
+            std::fs::create_dir_all(dir)?;
+            let dest = dir.join(id.file_name());
+            std::fs::rename(&path, &dest)?;
+            if sidecar.exists() {
+                std::fs::rename(&sidecar, seqfile::sidecar_path(&dest))?;
+            }
+            Some(dest)
+        } else {
+            std::fs::remove_file(&path)?;
+            if sidecar.exists() {
+                std::fs::remove_file(&sidecar)?;
+            }
+            None
+        };
+        catalog.forget(&id);
+        total -= bytes;
+        retired_counter.inc();
+        retired.push(RetiredSegment {
+            id,
+            bytes,
+            archived_to,
+        });
+        idx += 1;
+    }
+    Ok(retired)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::stream_records;
+    use nfstrace_core::record::{FileId, Op, TraceRecord};
+    use std::sync::Arc;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("nfstrace-compact-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir
+    }
+
+    fn record(i: u64) -> TraceRecord {
+        TraceRecord::new(i * 1000, Op::Read, FileId(i % 5)).with_range(i * 4096, 4096)
+    }
+
+    /// Seals `per_seg`-record base segments 0..count into `dir`, with
+    /// sidecars when `track`.
+    fn seed_catalog(dir: &Path, count: u64, per_seg: u64, track: bool) -> SegmentCatalog {
+        let mut cat = SegmentCatalog::open(dir).expect("open");
+        for s in 0..count {
+            let ordinal = cat.next_ordinal();
+            let dest = cat.path_for(ordinal);
+            let tmp = tmp_path(&dest);
+            let mut w = StoreWriter::create(&tmp, StoreConfig::default()).expect("create");
+            let base = s * per_seg;
+            for i in base..base + per_seg {
+                w.push(&record(i)).expect("push");
+            }
+            w.finish().expect("finish");
+            let seqs: Vec<u64> = (base..base + per_seg).collect();
+            seal_segment(
+                &tmp,
+                &dest,
+                track.then_some(seqs.as_slice()),
+                &mut FaultInjector::none(),
+            )
+            .expect("seal");
+            cat.note_sealed(ordinal);
+        }
+        cat
+    }
+
+    fn collect(readers: &[Arc<StoreReader>]) -> Vec<TraceRecord> {
+        let mut out = Vec::new();
+        stream_records(readers, 0, u64::MAX, &mut |r| out.push(r.clone()));
+        out
+    }
+
+    fn catalog_records(cat: &SegmentCatalog) -> Vec<TraceRecord> {
+        let readers: Vec<Arc<StoreReader>> = cat
+            .paths()
+            .iter()
+            .map(|p| Arc::new(StoreReader::open(p).expect("open")))
+            .collect();
+        collect(&readers)
+    }
+
+    #[test]
+    fn plan_finds_contiguous_same_generation_runs() {
+        let policy = CompactionPolicy { fan_in: 3 };
+        let base: Vec<SegmentId> = (0..3).map(SegmentId::base).collect();
+        assert_eq!(
+            policy.plan(&base),
+            Some(SegmentId {
+                lo: 0,
+                hi: 2,
+                generation: 1
+            })
+        );
+        assert_eq!(policy.plan(&base[..2]), None, "too few");
+        // A retention gap breaks contiguity.
+        let gapped = [SegmentId::base(0), SegmentId::base(2), SegmentId::base(3)];
+        assert_eq!(policy.plan(&gapped), None);
+        // Mixed generations do not merge; a run of equals later does.
+        let mixed = [
+            SegmentId {
+                lo: 0,
+                hi: 2,
+                generation: 1,
+            },
+            SegmentId::base(3),
+            SegmentId::base(4),
+            SegmentId::base(5),
+        ];
+        assert_eq!(
+            policy.plan(&mixed),
+            Some(SegmentId {
+                lo: 3,
+                hi: 5,
+                generation: 1
+            })
+        );
+    }
+
+    #[test]
+    fn compaction_preserves_the_record_stream_and_sidecars() {
+        let dir = tmpdir("merge");
+        let mut cat = seed_catalog(&dir, 4, 50, true);
+        let before = catalog_records(&cat);
+        let reg = Registry::new();
+        let compactor =
+            Compactor::new(CompactionPolicy { fan_in: 4 }, StoreConfig::default(), &reg);
+        let outcomes = compactor
+            .compact_all(&mut cat, &mut FaultInjector::none())
+            .expect("compact");
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(
+            outcomes[0].output,
+            SegmentId {
+                lo: 0,
+                hi: 3,
+                generation: 1
+            }
+        );
+        assert_eq!(outcomes[0].replaced, (0, 4));
+        let expect_seqs: Vec<u64> = (0..200).collect();
+        assert_eq!(outcomes[0].seqs.as_deref(), Some(expect_seqs.as_slice()));
+        assert_eq!(reg.counter("store.compactions").value(), 1);
+        // The merged segment carries the merged sidecar, the sources
+        // are gone, and the record stream is unchanged.
+        assert_eq!(cat.ids(), &[outcomes[0].output]);
+        assert_eq!(
+            seqfile::read_sidecar(&cat.path_of(&outcomes[0].output)).expect("sidecar"),
+            expect_seqs
+        );
+        assert_eq!(catalog_records(&cat), before);
+        let reopened = SegmentCatalog::open_and_sweep(&dir).expect("reopen");
+        assert_eq!(reopened.ids(), cat.ids());
+        assert_eq!(reopened.next_ordinal(), 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn half_tracked_sources_are_a_precise_sidecar_error() {
+        let dir = tmpdir("halftracked");
+        let mut cat = seed_catalog(&dir, 2, 10, true);
+        std::fs::remove_file(seqfile::sidecar_path(&cat.path_for(1))).expect("drop sidecar");
+        let reg = Registry::new();
+        let compactor =
+            Compactor::new(CompactionPolicy { fan_in: 2 }, StoreConfig::default(), &reg);
+        let output = compactor.policy().plan(cat.ids()).expect("plan");
+        let err = compactor
+            .compact(&mut cat, output, &mut FaultInjector::none())
+            .expect_err("half-tracked");
+        assert!(
+            matches!(&err, StoreError::Sidecar { segment, .. } if segment.ends_with("seg-000001.nfseg")),
+            "{err}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn retention_trims_oldest_and_archives_reconstructably() {
+        let dir = tmpdir("retain");
+        let mut cat = seed_catalog(&dir, 4, 50, false);
+        let before = catalog_records(&cat);
+        let seg_bytes = std::fs::metadata(cat.path_for(0)).expect("meta").len();
+        let reg = Registry::new();
+        let archive = dir.join("archive");
+        let policy = RetentionPolicy {
+            // Budget for two segments: the two oldest retire.
+            max_total_bytes: Some(seg_bytes * 2 + seg_bytes / 2),
+            max_age_micros: None,
+            archive_dir: Some(archive.clone()),
+        };
+        let retired = apply_retention(&mut cat, &policy, &reg).expect("retain");
+        assert_eq!(
+            retired.iter().map(|r| r.id).collect::<Vec<_>>(),
+            vec![SegmentId::base(0), SegmentId::base(1)]
+        );
+        assert_eq!(reg.counter("store.segments_retired").value(), 2);
+        assert_eq!(cat.ids(), &[SegmentId::base(2), SegmentId::base(3)]);
+        // Archive ∪ live catalog reconstructs the original stream.
+        let archived = SegmentCatalog::open(&archive).expect("archive catalog");
+        assert_eq!(archived.ids(), &[SegmentId::base(0), SegmentId::base(1)]);
+        let mut union: Vec<Arc<StoreReader>> = Vec::new();
+        for p in archived.paths().iter().chain(cat.paths().iter()) {
+            union.push(Arc::new(StoreReader::open(p).expect("open")));
+        }
+        assert_eq!(collect(&union), before);
+        // An unbounded policy retires nothing; the newest segment is
+        // never retired even under an impossible budget.
+        assert!(apply_retention(&mut cat, &RetentionPolicy::default(), &reg)
+            .expect("noop")
+            .is_empty());
+        let brutal = RetentionPolicy {
+            max_total_bytes: Some(0),
+            max_age_micros: None,
+            archive_dir: None,
+        };
+        apply_retention(&mut cat, &brutal, &reg).expect("brutal");
+        assert_eq!(cat.ids(), &[SegmentId::base(3)], "newest survives");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn retention_by_age_uses_footer_time_ranges() {
+        let dir = tmpdir("age");
+        // 4 segments × 50 records × 1000 µs: segment s spans
+        // [s·50_000, s·50_000 + 49_000].
+        let mut cat = seed_catalog(&dir, 4, 50, false);
+        let reg = Registry::new();
+        let policy = RetentionPolicy {
+            max_total_bytes: None,
+            // Newest record is at 199_000 µs; a 110_000 µs horizon
+            // retires segments whose newest record predates 89_000 µs
+            // — segment 0 (max 49_000) only.
+            max_age_micros: Some(110_000),
+            archive_dir: None,
+        };
+        let retired = apply_retention(&mut cat, &policy, &reg).expect("retain");
+        assert_eq!(
+            retired.iter().map(|r| r.id).collect::<Vec<_>>(),
+            vec![SegmentId::base(0)]
+        );
+        assert_eq!(
+            cat.ids(),
+            &[SegmentId::base(1), SegmentId::base(2), SegmentId::base(3)]
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

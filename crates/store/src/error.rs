@@ -18,6 +18,18 @@ pub enum StoreError {
         /// The offending earlier timestamp.
         next: u64,
     },
+    /// A sealed segment's arrival-sequence sidecar is missing,
+    /// truncated, corrupt, or inconsistent with its segment — the
+    /// precise diagnosis a sharded reopen needs to recover
+    /// deterministically (a *missing* sidecar means the directory was
+    /// written without tracking, or a mid-rename crash was swept; a
+    /// *corrupt* one means the bytes rotted).
+    Sidecar {
+        /// The segment the sidecar belongs to.
+        segment: std::path::PathBuf,
+        /// What exactly is wrong with it.
+        problem: String,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -29,6 +41,9 @@ impl fmt::Display for StoreError {
                 f,
                 "record pushed out of time order: {next} after {prev} (sort the stream first)"
             ),
+            StoreError::Sidecar { segment, problem } => {
+                write!(f, "sequence sidecar for {}: {problem}", segment.display())
+            }
         }
     }
 }

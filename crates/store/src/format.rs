@@ -69,6 +69,35 @@
 //! distinct handle, keeping the false-positive rate — and so the
 //! chunk-skip rate of per-file queries — roughly constant at any
 //! fan-in.
+//!
+//! # Segment file naming: ordinals and generations
+//!
+//! A segment *directory* (the live daemons' durable form, readable by
+//! [`crate::StoreIndex::open_dir`]) names each store file by the
+//! ordinal range it covers and the compaction generation that produced
+//! it (parsed by [`crate::segments`]):
+//!
+//! ```text
+//! base seal  := seg-{lo:06}.nfseg             — generation 0, one
+//!                                               rotation (lo == hi)
+//! compacted  := seg-{lo:06}-{hi:06}.g{generation:02}.nfseg
+//!                                             — generation ≥ 1, the
+//!                                               merge of ordinals
+//!                                               lo..=hi inclusive
+//! sidecar    := same stem, .nfseq             — arrival sequences
+//! in-flight  := either form + .tmp            — never part of a
+//!                                               catalog; swept on
+//!                                               owning reopen
+//! ```
+//!
+//! The widths are cosmetic (parsing accepts any digit count;
+//! lexicographic order is a convenience, not a correctness
+//! dependency); generation 0 never uses the ranged form, and a ranged
+//! name with `lo > hi` or `.g00` is rejected as malformed rather than
+//! ignored. Catalog resolution is by **supersession**: a segment
+//! whose generation is higher and whose ordinal range covers another's
+//! replaces it — which is what makes the compaction rename the commit
+//! point of a crash-safe swap (see [`crate::compact`]).
 
 use nfstrace_core::record::FileId;
 use std::collections::BTreeSet;

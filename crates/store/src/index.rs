@@ -97,9 +97,19 @@ pub fn stream_records_with_threads(
 
 /// Every `(reader ordinal, chunk ordinal)` whose footer time range
 /// overlaps `[start, end)`, in stream order.
+///
+/// The query planner's first cut: a segment whose *folded* footer time
+/// range misses the window is dismissed whole
+/// ([`StoreReader::prune_window`], counted as `store.segments_pruned`)
+/// before its per-chunk metas are even iterated — on an archive-scale
+/// catalog a narrow window touches a handful of segments and prunes
+/// the rest here.
 fn overlapping_chunks(readers: &[Arc<StoreReader>], start: u64, end: u64) -> Vec<(usize, usize)> {
     let mut jobs = Vec::new();
     for (ri, reader) in readers.iter().enumerate() {
+        if reader.prune_window(start, end) {
+            continue;
+        }
         for (ci, m) in reader.chunks().iter().enumerate() {
             if m.overlaps(start, end) {
                 jobs.push((ri, ci));
@@ -362,12 +372,17 @@ impl StoreIndex {
 
     /// This view's records whose primary handle is `fh`, in time order.
     ///
-    /// Decodes only the chunks whose footer time range overlaps the
-    /// view **and** whose [`crate::format::FileIdFilter`] could contain
-    /// `fh` — on a multi-chunk store a single file's records usually
-    /// live in a handful of chunks, so most chunks are never touched
-    /// (observable via [`StoreReader::chunks_decoded`]). The result
-    /// always equals filtering a full scan.
+    /// Planned in two cuts: whole segments are dismissed first — by
+    /// folded footer time range against the view's window, then by
+    /// "no chunk filter admits `fh`" ([`StoreReader::prune_window`] /
+    /// [`StoreReader::prune_file`], counted as
+    /// `store.segments_pruned`) — and only the survivors' chunks are
+    /// tested individually against their footer time ranges and
+    /// [`crate::format::FileIdFilter`]s. On a multi-segment catalog a
+    /// single file's records usually live in a handful of chunks, so
+    /// most segments are never touched (observable via
+    /// [`StoreReader::chunks_decoded`]). The result always equals
+    /// filtering a full scan.
     ///
     /// # Errors
     ///
@@ -375,6 +390,9 @@ impl StoreIndex {
     pub fn file_records(&self, fh: FileId) -> Result<Vec<TraceRecord>> {
         let mut out = Vec::new();
         for reader in &self.readers {
+            if reader.prune_window(self.start, self.end) || reader.prune_file(fh) {
+                continue;
+            }
             out.extend(reader.records_for_file_in(fh, self.start, self.end)?);
         }
         Ok(out)

@@ -91,19 +91,22 @@
 #![warn(clippy::redundant_clone)]
 
 pub mod codec;
+pub mod compact;
 pub mod compress;
 pub mod error;
 pub mod format;
 pub mod index;
 pub mod reader;
 pub mod segments;
+pub mod seqfile;
 pub mod writer;
 
+pub use compact::{CompactionPolicy, Compactor, FaultInjector, RetentionPolicy};
 pub use error::{Result, StoreError};
 pub use format::{ChunkMeta, FileIdFilter, FilterBuilder, FilterKind, StoreVersion};
 pub use index::{stream_records, stream_records_with_threads, StoreIndex};
 pub use reader::StoreReader;
-pub use segments::SegmentCatalog;
+pub use segments::{SegmentCatalog, SegmentId};
 pub use writer::{Compression, StoreConfig, StoreSummary, StoreWriter};
 
 #[cfg(test)]

@@ -34,13 +34,15 @@ pub struct StoreReader {
 }
 
 /// Registry handles for the read-side `store.*` metrics: decodes
-/// served, chunks skipped by footer filters, and per-file queries
-/// that decoded a chunk the filter admitted but that held no record
-/// for the file (the filter's false positives).
+/// served, chunks skipped by footer filters, whole segments the query
+/// planner dismissed without touching a single chunk, and per-file
+/// queries that decoded a chunk the filter admitted but that held no
+/// record for the file (the filter's false positives).
 #[derive(Debug, Clone)]
 struct StoreReadMetrics {
     chunks_decoded: Counter,
     chunks_skipped: Counter,
+    segments_pruned: Counter,
     filter_false_positives: Counter,
 }
 
@@ -49,6 +51,7 @@ impl StoreReadMetrics {
         StoreReadMetrics {
             chunks_decoded: registry.counter("store.chunks_decoded"),
             chunks_skipped: registry.counter("store.chunks_skipped"),
+            segments_pruned: registry.counter("store.segments_pruned"),
             filter_false_positives: registry.counter("store.filter_false_positives"),
         }
     }
@@ -117,7 +120,7 @@ impl StoreReader {
                 return Err(StoreError::Format("footer checksum mismatch".into()));
             }
         }
-        let (chunks, total_records) = match version {
+        let (mut chunks, total_records) = match version {
             StoreVersion::V1 | StoreVersion::V2 => Self::parse_fixed_footer(&footer, version)?,
             StoreVersion::V3 => Self::parse_v3_footer(&footer)?,
         };
@@ -159,6 +162,23 @@ impl StoreReader {
                         "chunk {i} file filter range is inverted"
                     )));
                 }
+            }
+            if m.records > 0 && m.min_micros > m.max_micros {
+                return Err(StoreError::Format(format!(
+                    "chunk {i} time range is inverted"
+                )));
+            }
+        }
+        // Normalize the degenerate time range a zero-record chunk may
+        // carry (an empty chunk has no first or last record, so its
+        // min/max words are whatever the writer left — possibly
+        // min > max). Pruning compares against these words; pinning
+        // them to the canonical empty range means no comparison can
+        // ever dismiss a live chunk or admit an empty one.
+        for m in &mut chunks {
+            if m.records == 0 {
+                m.min_micros = u64::MAX;
+                m.max_micros = 0;
             }
         }
         Ok(StoreReader {
@@ -353,6 +373,50 @@ impl StoreReader {
     /// queries add less than a full scan.
     pub fn chunks_decoded(&self) -> u64 {
         self.metrics.chunks_decoded.value()
+    }
+
+    /// This segment's record time range `(min, max)` micros, folded
+    /// from the footer without touching a single chunk — `None` for a
+    /// segment holding no records (the normalized empty range, so
+    /// empty segments can never confuse pruning arithmetic).
+    pub fn time_range(&self) -> Option<(u64, u64)> {
+        self.chunks
+            .iter()
+            .filter(|m| m.records > 0)
+            .map(|m| (m.min_micros, m.max_micros))
+            .reduce(|(lo, hi), (mlo, mhi)| (lo.min(mlo), hi.max(mhi)))
+    }
+
+    /// Query-planner check: `true` when this whole segment can be
+    /// dismissed for the window `[start, end)` — its footer time range
+    /// misses the window entirely (or it holds no records at all).
+    /// Counts a dismissal into `store.segments_pruned`; the caller
+    /// skips every chunk without iterating them.
+    pub fn prune_window(&self, start: u64, end: u64) -> bool {
+        let pruned = match self.time_range() {
+            None => true,
+            Some((min, max)) => !(min < end && max >= start),
+        };
+        if pruned {
+            self.metrics.segments_pruned.inc();
+        }
+        pruned
+    }
+
+    /// Query-planner check for per-file queries: `true` when no chunk
+    /// of this segment could contain a record for `fh` (every chunk is
+    /// empty or carries a filter that rejects the handle), counted
+    /// into `store.segments_pruned`. Conservative on v1 stores — a
+    /// chunk without a filter keeps the segment.
+    pub fn prune_file(&self, fh: FileId) -> bool {
+        let pruned = self
+            .chunks
+            .iter()
+            .all(|m| m.records == 0 || (m.filter.is_some() && !m.may_contain_file(fh)));
+        if pruned {
+            self.metrics.segments_pruned.inc();
+        }
+        pruned
     }
 
     /// Reads and decodes one chunk. Thread-safe: opens a private file

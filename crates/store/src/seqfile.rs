@@ -4,11 +4,13 @@
 //! shards, so a single shard's segments no longer carry enough
 //! information to reconstruct the original interleave: records with
 //! equal timestamps tie-break on *arrival order*, which the store
-//! format does not (and should not) record. When
-//! [`crate::LiveConfig::track_seqs`] is on, each sealed segment gets a
-//! sidecar file holding the **global arrival sequence number** of every
-//! record in it, in record order — the merge-on-read view k-way merges
-//! shards by these sequences and replays the exact original stream.
+//! format does not (and should not) record. When sequence tracking is
+//! on, each sealed segment gets a sidecar file holding the **global
+//! arrival sequence number** of every record in it, in record order —
+//! the merge-on-read view k-way merges shards by these sequences and
+//! replays the exact original stream, and the compactor
+//! ([`crate::compact`]) concatenates sidecars when it merges adjacent
+//! segments.
 //!
 //! The sidecar is deliberately *not* part of the store format: a plain
 //! segment directory stays byte-identical with or without tracking,
@@ -16,13 +18,15 @@
 //! the segment protocol: the sidecar is written (tmp + rename) **before**
 //! its segment is renamed to its sealed name, so a sealed segment always
 //! has its sidecar; a crash in between leaves an orphan sidecar that the
-//! next open sweeps.
+//! next sweeping open ([`crate::segments::SegmentCatalog::open_and_sweep`])
+//! removes.
 //!
 //! Layout (all little-endian): magic `NFSQ`, `u8` version, `u64`
 //! count, `count × u64` sequences, `u64` FNV-1a checksum over the
 //! sequence bytes.
 
-use nfstrace_store::{Result, StoreError};
+use crate::error::{Result, StoreError};
+use crate::format::fnv1a64;
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 
@@ -38,21 +42,34 @@ pub fn sidecar_path(segment: &Path) -> PathBuf {
     segment.with_extension("nfseq")
 }
 
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
 fn seq_bytes(seqs: &[u64]) -> Vec<u8> {
     let mut out = Vec::with_capacity(seqs.len() * 8);
     for &s in seqs {
         out.extend_from_slice(&s.to_le_bytes());
     }
     out
+}
+
+/// Writes the sidecar body for `segment` under its temp name
+/// (`….nfseq.tmp`, synced) and returns that temp path — the first
+/// half of [`write_sidecar`], split out so the crash-safe seal/compact
+/// protocols can treat "sidecar bytes durable" and "sidecar visible"
+/// as separate filesystem steps.
+///
+/// # Errors
+///
+/// On I/O failure.
+pub fn write_sidecar_tmp(segment: &Path, seqs: &[u64]) -> Result<PathBuf> {
+    let tmp = sidecar_path(segment).with_extension("nfseq.tmp");
+    let body = seq_bytes(seqs);
+    let mut file = std::fs::File::create(&tmp)?;
+    file.write_all(MAGIC)?;
+    file.write_all(&[VERSION])?;
+    file.write_all(&(seqs.len() as u64).to_le_bytes())?;
+    file.write_all(&body)?;
+    file.write_all(&fnv1a64(&body).to_le_bytes())?;
+    file.sync_all()?;
+    Ok(tmp)
 }
 
 /// Writes the sidecar for `segment` (tmp + rename, so a reader never
@@ -62,19 +79,8 @@ fn seq_bytes(seqs: &[u64]) -> Vec<u8> {
 ///
 /// On I/O failure.
 pub fn write_sidecar(segment: &Path, seqs: &[u64]) -> Result<()> {
-    let path = sidecar_path(segment);
-    let tmp = path.with_extension("nfseq.tmp");
-    let body = seq_bytes(seqs);
-    {
-        let mut file = std::fs::File::create(&tmp)?;
-        file.write_all(MAGIC)?;
-        file.write_all(&[VERSION])?;
-        file.write_all(&(seqs.len() as u64).to_le_bytes())?;
-        file.write_all(&body)?;
-        file.write_all(&fnv1a(&body).to_le_bytes())?;
-        file.sync_all()?;
-    }
-    std::fs::rename(tmp, path)?;
+    let tmp = write_sidecar_tmp(segment, seqs)?;
+    std::fs::rename(tmp, sidecar_path(segment))?;
     Ok(())
 }
 
@@ -83,30 +89,45 @@ pub fn write_sidecar(segment: &Path, seqs: &[u64]) -> Result<()> {
 ///
 /// # Errors
 ///
-/// [`StoreError::Format`] on a missing, truncated, or corrupt sidecar.
+/// [`StoreError::Sidecar`] on a missing, truncated, or corrupt sidecar
+/// — the `problem` string distinguishes "missing" (the segment was
+/// sealed without tracking, or a crash was swept) from byte rot, so a
+/// sharded reopen can report exactly what happened.
 pub fn read_sidecar(segment: &Path) -> Result<Vec<u64>> {
     let path = sidecar_path(segment);
+    let fail = |what: String| StoreError::Sidecar {
+        segment: segment.to_path_buf(),
+        problem: what,
+    };
     let mut bytes = Vec::new();
     std::fs::File::open(&path)
         .and_then(|mut f| f.read_to_end(&mut bytes))
-        .map_err(|e| StoreError::Format(format!("sequence sidecar {}: {e}", path.display())))?;
-    let fail =
-        |what: &str| StoreError::Format(format!("sequence sidecar {}: {what}", path.display()));
+        .map_err(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                fail(format!(
+                    "missing ({} does not exist; the directory was written without \
+                     sequence tracking, or the sidecar was swept after a crash)",
+                    path.display()
+                ))
+            } else {
+                fail(format!("unreadable: {e}"))
+            }
+        })?;
     if bytes.len() < 13 || &bytes[..4] != MAGIC {
-        return Err(fail("bad magic"));
+        return Err(fail("bad magic".into()));
     }
     if bytes[4] != VERSION {
-        return Err(fail("unsupported version"));
+        return Err(fail("unsupported version".into()));
     }
     let count = u64::from_le_bytes(bytes[5..13].try_into().expect("8 bytes")) as usize;
     let body_end = 13 + count * 8;
     if bytes.len() != body_end + 8 {
-        return Err(fail("truncated"));
+        return Err(fail("truncated".into()));
     }
     let body = &bytes[13..body_end];
     let stored = u64::from_le_bytes(bytes[body_end..].try_into().expect("8 bytes"));
-    if fnv1a(body) != stored {
-        return Err(fail("checksum mismatch"));
+    if fnv1a64(body) != stored {
+        return Err(fail("checksum mismatch".into()));
     }
     Ok(body
         .chunks_exact(8)
@@ -146,16 +167,43 @@ mod tests {
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0xff;
         std::fs::write(&path, &bytes).expect("rewrite");
-        assert!(read_sidecar(&seg).is_err());
+        assert!(matches!(
+            read_sidecar(&seg),
+            Err(StoreError::Sidecar { .. })
+        ));
         std::fs::write(&path, &bytes[..bytes.len() - 3]).expect("truncate");
-        assert!(read_sidecar(&seg).is_err());
+        assert!(matches!(
+            read_sidecar(&seg),
+            Err(StoreError::Sidecar { .. })
+        ));
         std::fs::remove_dir_all(seg.parent().unwrap()).ok();
     }
 
     #[test]
-    fn missing_sidecar_errors() {
+    fn missing_sidecar_is_a_precise_error() {
         let seg = temp_segment("missing");
-        assert!(read_sidecar(&seg).is_err());
+        let err = read_sidecar(&seg).expect_err("no sidecar");
+        match &err {
+            StoreError::Sidecar { segment, problem } => {
+                assert_eq!(segment, &seg);
+                assert!(problem.contains("missing"), "{problem}");
+            }
+            other => panic!("expected a Sidecar error, got {other}"),
+        }
+        std::fs::remove_dir_all(seg.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn tmp_then_rename_matches_write_sidecar() {
+        let seg = temp_segment("split");
+        let tmp = write_sidecar_tmp(&seg, &[9, 10]).expect("tmp");
+        assert!(tmp.to_string_lossy().ends_with(".nfseq.tmp"));
+        assert!(matches!(
+            read_sidecar(&seg),
+            Err(StoreError::Sidecar { .. })
+        ));
+        std::fs::rename(&tmp, sidecar_path(&seg)).expect("rename");
+        assert_eq!(read_sidecar(&seg).expect("read"), vec![9, 10]);
         std::fs::remove_dir_all(seg.parent().unwrap()).ok();
     }
 }

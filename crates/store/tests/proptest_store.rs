@@ -685,3 +685,77 @@ fn chunk_footer_checksum_mismatch_is_a_format_error() {
     );
     std::fs::remove_file(&path).ok();
 }
+
+/// A footer whose time range disagrees with itself (min > max) on a
+/// chunk that claims records is rejected at open, checksum
+/// notwithstanding — the pruning planner trusts these words.
+#[test]
+fn inverted_time_range_is_a_format_error() {
+    let records = clustered_records(200, 50);
+    let path = tmp("badtime", 0);
+    write_with(
+        &path,
+        &records,
+        1 << 20,
+        Compression::Lz,
+        nfstrace_store::StoreVersion::V2,
+    );
+    let mut bytes = std::fs::read(&path).expect("read");
+    let len = bytes.len();
+    let footer_offset = u64::from_le_bytes(bytes[len - 16..len - 8].try_into().unwrap()) as usize;
+    patch_word(&mut bytes, footer_offset + 3 * 8, 100); // min_micros
+    patch_word(&mut bytes, footer_offset + 4 * 8, 5); // max_micros < min_micros
+    refresh_footer_checksum(&mut bytes);
+    std::fs::write(&path, &bytes).expect("write");
+
+    let err = StoreReader::open(&path).expect_err("inverted time range must fail");
+    assert!(
+        matches!(&err, StoreError::Format(m) if m.contains("time range is inverted")),
+        "unexpected error: {err}"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+/// A zero-record chunk may carry whatever min/max words its writer
+/// left — even min > max. Open must normalize (not reject) them to
+/// the canonical empty range, so the segment folds to no time range
+/// at all and the planner dismisses it from every window.
+#[test]
+fn zero_record_degenerate_time_range_is_normalized() {
+    let records = clustered_records(200, 50);
+    let path = tmp("emptyrange", 0);
+    write_with(
+        &path,
+        &records,
+        1 << 20,
+        Compression::Lz,
+        nfstrace_store::StoreVersion::V2,
+    );
+    let mut bytes = std::fs::read(&path).expect("read");
+    let len = bytes.len();
+    let footer_offset = u64::from_le_bytes(bytes[len - 16..len - 8].try_into().unwrap()) as usize;
+    patch_word(&mut bytes, footer_offset + 2 * 8, 0); // entry 0 records = 0
+    patch_word(&mut bytes, footer_offset + 3 * 8, 100); // min_micros
+    patch_word(&mut bytes, footer_offset + 4 * 8, 5); // max_micros < min_micros
+    patch_word(&mut bytes, len - 32, 0); // footer total_records
+    refresh_footer_checksum(&mut bytes);
+    std::fs::write(&path, &bytes).expect("write");
+
+    let reader = StoreReader::open(&path).expect("degenerate empty range must open");
+    let meta = &reader.chunks()[0];
+    assert_eq!(
+        (meta.min_micros, meta.max_micros),
+        (u64::MAX, 0),
+        "zero-record chunk pinned to the canonical empty range"
+    );
+    assert!(
+        !meta.overlaps(0, u64::MAX),
+        "an empty chunk overlaps nothing"
+    );
+    assert_eq!(reader.time_range(), None, "the segment folds to no range");
+    assert!(
+        reader.prune_window(0, u64::MAX),
+        "the planner dismisses the empty segment from every window"
+    );
+    std::fs::remove_file(&path).ok();
+}
