@@ -15,6 +15,7 @@ use nfstrace_bench::tables;
 use nfstrace_core::index::{TraceIndex, TraceView};
 use nfstrace_core::record::TraceRecord;
 use nfstrace_live::{LiveConfig, LiveIngest, ShardedLiveIngest, SlicedWorkloadSource};
+use nfstrace_serve::{serve_roundtrip, ReplayOptions, ReplayPlan};
 use nfstrace_sniffer::{Sniffer, WireEncoder};
 use nfstrace_store::{StoreConfig, StoreIndex, StoreWriter};
 use nfstrace_workload::{CampusConfig, CampusWorkload, EecsConfig, EecsWorkload, SlicedWorkload};
@@ -558,6 +559,62 @@ fn sharded_live_numbers(dir: &std::path::Path, shards: usize) -> ShardedLiveNumb
     }
 }
 
+/// What the serving-loop measurement reports.
+struct ServeNumbers {
+    /// Calls served (== the plan's call count; asserted).
+    calls: u64,
+    /// Seconds for the whole closed loop: serve over loopback TCP,
+    /// replay, tap, frame, sniff, live-ingest.
+    roundtrip_s: f64,
+    /// `calls / roundtrip_s`.
+    calls_per_s: f64,
+    /// Replay client RTT percentiles (histogram bucket upper bounds).
+    rtt_p50_us: u64,
+    rtt_p99_us: u64,
+    /// Server-side dispatch mean (decode + plan lookup + encode).
+    dispatch_mean_us: f64,
+    /// Replay connections used.
+    connections: usize,
+}
+
+/// The serving-loop shape over the same day-long CAMPUS scenario: the
+/// trace compiled to wire RPC, served by the record-marked loopback
+/// TCP server, replayed with a bounded window, and the tap captured
+/// back into a segment store — the full generate → serve → capture →
+/// analyze cycle priced as one number.
+fn serve_numbers(dir: &std::path::Path) -> ServeNumbers {
+    use std::time::Instant;
+    std::fs::remove_dir_all(dir).ok();
+    let records = analysis_campus().generate();
+    let plan = ReplayPlan::from_records(&records);
+    let options = ReplayOptions {
+        connections: 2,
+        ..ReplayOptions::default()
+    };
+    let registry = nfstrace_telemetry::Registry::new();
+    let t = Instant::now();
+    let outcome = serve_roundtrip(&plan, &options, &registry, dir).expect("serve roundtrip");
+    let roundtrip_s = t.elapsed().as_secs_f64();
+    assert_eq!(outcome.unplanned_calls, 0, "unplanned calls");
+    assert_eq!(outcome.replay.retransmits, 0, "loopback retransmits");
+    assert_eq!(outcome.summary.total_records, plan.calls.len() as u64);
+    let calls = registry.counter("serve.calls").value();
+    assert_eq!(calls, plan.calls.len() as u64, "served calls");
+    let rtt = registry.histogram("replay.rtt_micros").snapshot();
+    ServeNumbers {
+        calls,
+        roundtrip_s,
+        calls_per_s: calls as f64 / roundtrip_s.max(1e-9),
+        rtt_p50_us: rtt.percentile(0.5),
+        rtt_p99_us: rtt.percentile(0.99),
+        dispatch_mean_us: registry
+            .histogram("serve.dispatch_micros")
+            .snapshot()
+            .mean(),
+        connections: options.connections,
+    }
+}
+
 /// What the telemetry-overhead measurement reports.
 struct TelemetryNumbers {
     /// Best capture wall-clock with default private registries nobody
@@ -674,6 +731,11 @@ fn write_pipeline_json() {
     let compaction = compaction_numbers(&compact_dir);
     std::fs::remove_dir_all(&compact_dir).ok();
 
+    let serve_dir =
+        std::env::temp_dir().join(format!("nfstrace-bench-serve-{}", std::process::id()));
+    let serve = serve_numbers(&serve_dir);
+    std::fs::remove_dir_all(&serve_dir).ok();
+
     // Capture throughput: the multi-client TCP corpus through the
     // zero-copy sniffer, best-of-3 (the corpus uses standard-MSS
     // segments, so TCP reassembly and record re-marking are on the
@@ -724,6 +786,15 @@ fn write_pipeline_json() {
       "capture_exported_best_s": 0.0097,
       "overhead_pct": -0.42
     }},
+    "pr10_serve_loop": {{
+      "note": "frozen from the PR 10 runner (1 CPU) when the nfstrace-serve crate landed: the record-marked NFSv3-over-loopback-TCP server, the windowed replay client, and the tap that mirrors every exchanged byte into the sniffer + live ingest; the `serve_*` fields below remeasure the day-long CAMPUS shape every run; at scale 0.1 the `serve` bin closed the loop over both 8-day traces (290287 calls, zero retransmissions, suite output byte-identical to `repro --store`) with CAMPUS at ~6k calls/s (900 MiB of wire bytes through one core) and EECS at ~88k calls/s, replay rtt p50 511 us / p99 8191 us, dispatch mean ~24 us over 2 connections per system",
+      "scale_0_1_calls": 290287,
+      "scale_0_1_campus_calls_per_s": 6000,
+      "scale_0_1_eecs_calls_per_s": 88000,
+      "scale_0_1_rtt_p50_us": 511,
+      "scale_0_1_rtt_p99_us": 8191,
+      "connections": 2
+    }},
     "pr9_compaction": {{
       "note": "frozen from the PR 9 runner (1 CPU) when generation-tagged segment compaction, size/age retention, and the footer-pruning query planner landed; the `compact_*` fields below remeasure this shape every run — the day-long CAMPUS segment catalog compacts offline at fan-in 3 (streaming k-way merge, filters and footers recomputed, crash-safe swap) and a 4-hour windowed query over the compacted catalog must decode strictly fewer chunks than a full scan; the 8-day CI compaction-smoke additionally pins suite byte-identity over the compacted + retained catalog and `store.segments_pruned > 0`",
       "segments_before": 6,
@@ -736,7 +807,7 @@ fn write_pipeline_json() {
     }}
   }},
   "measured": {{
-    "note": "measured fresh by every run of `cargo bench --bench pipeline` on small day-long traces; `legacy` rebuilds its view per artifact (the pre-refactor shape), `indexed` shares one TraceIndex across all sweeps, `store` streams generation into chunked per-chunk-compressed store files and analyzes them out-of-core; the byte counts compare those files against a raw re-serialization; `live_*` streams the same CAMPUS day through the time-sliced generator into a rotating segment ingest (peaks show the bounded-memory contract: hot tail + one slice, never the trace); `live_sharded_*` runs that day through the multi-writer daemon at a fixed shard count with a merged-view snapshot after every slice — per-shard hot peaks bound sharded residency and the snapshot mean prices copy-on-write mid-ingest querying; `capture_*` replays the synthetic 8-client standard-MSS TCP capture through the zero-copy sniffer (reassembly + borrowed decode + single materialization), best-of-3; `telemetry_*` interleaves best-of-7 passes of 5 capture replays each, private unread registries against one shared registry sampled by a live 1 s exporter (budget: < 2% overhead, expect noise of a few pct either side of zero on shared runners); `compact_*` rotates that CAMPUS day into a segment catalog, compacts it offline at fan-in 3 (generation-tagged streaming merges), and prices a 4-hour windowed query against a full scan — footer-pruned segments never decode a chunk; peak_rss_kb is this process's VmHWM and cpus the runner's available parallelism",
+    "note": "measured fresh by every run of `cargo bench --bench pipeline` on small day-long traces; `legacy` rebuilds its view per artifact (the pre-refactor shape), `indexed` shares one TraceIndex across all sweeps, `store` streams generation into chunked per-chunk-compressed store files and analyzes them out-of-core; the byte counts compare those files against a raw re-serialization; `live_*` streams the same CAMPUS day through the time-sliced generator into a rotating segment ingest (peaks show the bounded-memory contract: hot tail + one slice, never the trace); `live_sharded_*` runs that day through the multi-writer daemon at a fixed shard count with a merged-view snapshot after every slice — per-shard hot peaks bound sharded residency and the snapshot mean prices copy-on-write mid-ingest querying; `capture_*` replays the synthetic 8-client standard-MSS TCP capture through the zero-copy sniffer (reassembly + borrowed decode + single materialization), best-of-3; `telemetry_*` interleaves best-of-7 passes of 5 capture replays each, private unread registries against one shared registry sampled by a live 1 s exporter (budget: < 2% overhead, expect noise of a few pct either side of zero on shared runners); `compact_*` rotates that CAMPUS day into a segment catalog, compacts it offline at fan-in 3 (generation-tagged streaming merges), and prices a 4-hour windowed query against a full scan — footer-pruned segments never decode a chunk; `serve_*` compiles that CAMPUS day to wire RPC, serves it from the loopback TCP server, replays it over 2 windowed connections, and live-ingests the tapped byte streams back into a segment store — the closed serve/capture loop priced end to end (asserting zero unplanned calls and zero retransmissions); peak_rss_kb is this process's VmHWM and cpus the runner's available parallelism",
     "generate_campus_day_serial_s": {gen_serial_s:.3},
     "generate_campus_day_sharded_s": {gen_sharded_s:.3},
     "threads": {threads},
@@ -783,7 +854,14 @@ fn write_pipeline_json() {
     "compact_full_chunks_decoded": {c_full},
     "compact_window_chunks_decoded": {c_win},
     "compact_window_segments_pruned": {c_pruned},
-    "compact_window_pruned_fraction": {c_frac:.2}
+    "compact_window_pruned_fraction": {c_frac:.2},
+    "serve_calls": {srv_calls},
+    "serve_roundtrip_s": {srv_s:.3},
+    "serve_calls_per_s": {srv_cps:.0},
+    "serve_rtt_p50_us": {srv_p50},
+    "serve_rtt_p99_us": {srv_p99},
+    "serve_dispatch_mean_us": {srv_disp:.1},
+    "serve_connections": {srv_conns}
   }}
 }}
 "#,
@@ -829,6 +907,13 @@ fn write_pipeline_json() {
         c_win = compaction.window_chunks_decoded,
         c_pruned = compaction.window_segments_pruned,
         c_frac = compaction.window_pruned_fraction,
+        srv_calls = serve.calls,
+        srv_s = serve.roundtrip_s,
+        srv_cps = serve.calls_per_s,
+        srv_p50 = serve.rtt_p50_us,
+        srv_p99 = serve.rtt_p99_us,
+        srv_disp = serve.dispatch_mean_us,
+        srv_conns = serve.connections,
     );
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_pipeline.json");
     match std::fs::write(&path, &json) {

@@ -514,6 +514,78 @@ impl SimFs {
             d.size = self.dirs.get(&dir).map_or(0, |e| 512 + 24 * e.len() as u64);
         }
     }
+
+    /// Checks the filesystem's structural invariants, returning every
+    /// violation as a human-readable string (empty means consistent).
+    ///
+    /// Checked: the root exists and is a directory; the directory table
+    /// covers exactly the directory inodes; every directory entry
+    /// points at a live inode; every non-directory inode's link count
+    /// equals its number of directory references (and is at least one —
+    /// an unreferenced inode should have been reclaimed); no directory
+    /// is hard-linked (at most one parent entry, none for the root);
+    /// and directory sizes follow the `512 + 24·entries` model. The
+    /// concurrency tests call this after hammering a shared server from
+    /// several client connections.
+    pub fn check_invariants(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        match self.inodes.get(&self.root) {
+            Some(r) if r.ftype == Ftype3::Directory => {}
+            Some(_) => problems.push("root inode is not a directory".into()),
+            None => problems.push("root inode missing".into()),
+        }
+        for (&id, inode) in &self.inodes {
+            let is_dir = inode.ftype == Ftype3::Directory;
+            if is_dir != self.dirs.contains_key(&id) {
+                problems.push(format!(
+                    "inode {id}: directory table disagrees with ftype {:?}",
+                    inode.ftype
+                ));
+            }
+        }
+        for &id in self.dirs.keys() {
+            if !self.inodes.contains_key(&id) {
+                problems.push(format!("directory table entry {id} has no inode"));
+            }
+        }
+        let mut refs: HashMap<u64, u32> = HashMap::new();
+        for (&dir, entries) in &self.dirs {
+            for (name, &child) in entries {
+                *refs.entry(child).or_insert(0) += 1;
+                if !self.inodes.contains_key(&child) {
+                    problems.push(format!("dangling entry {dir}:{name} -> {child}"));
+                }
+            }
+        }
+        for (&id, inode) in &self.inodes {
+            let n = refs.get(&id).copied().unwrap_or(0);
+            if inode.ftype == Ftype3::Directory {
+                let expect = if id == self.root { 0 } else { 1 };
+                if n != expect {
+                    problems.push(format!("directory {id} has {n} parent entries"));
+                }
+                let entries = self.dirs.get(&id).map_or(0, |e| e.len() as u64);
+                let sized = 512 + 24 * entries;
+                if inode.size != sized && !(entries == 0 && inode.size == 0) {
+                    problems.push(format!(
+                        "directory {id} size {} != {sized} for {entries} entries",
+                        inode.size
+                    ));
+                }
+            } else {
+                if n == 0 {
+                    problems.push(format!("inode {id} is unreferenced but not reclaimed"));
+                }
+                if inode.nlink != n {
+                    problems.push(format!(
+                        "inode {id} nlink {} != {n} directory references",
+                        inode.nlink
+                    ));
+                }
+            }
+        }
+        problems
+    }
 }
 
 #[cfg(test)]

@@ -22,7 +22,9 @@ pub mod disk;
 pub mod fs;
 pub mod readahead;
 pub mod server;
+pub mod shared;
 
 pub use disk::{DiskModel, DiskParams};
 pub use fs::{FsError, SimFs};
 pub use server::NfsServer;
+pub use shared::SharedNfsServer;

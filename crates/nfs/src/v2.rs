@@ -1392,10 +1392,13 @@ mod tests {
                     ..Sattr2::default()
                 },
             },
+            Call2::Root,
             Call2::Lookup(DirOpArgs2 {
                 dir: FileHandle::from_u64(3),
                 name: ".cshrc".into(),
             }),
+            Call2::Readlink(FileHandle::from_u64(13)),
+            Call2::Writecache,
             Call2::Read {
                 file: FileHandle::from_u64(4),
                 offset: 8192,
@@ -1416,6 +1419,10 @@ mod tests {
                 },
                 attributes: Sattr2::default(),
             },
+            Call2::Remove(DirOpArgs2 {
+                dir: FileHandle::from_u64(6),
+                name: "core.12345".into(),
+            }),
             Call2::Rename {
                 from: DirOpArgs2 {
                     dir: FileHandle::from_u64(7),
@@ -1441,6 +1448,20 @@ mod tests {
                 target: "/tmp/x".into(),
                 attributes: Sattr2::default(),
             },
+            Call2::Mkdir {
+                where_: DirOpArgs2 {
+                    dir: FileHandle::from_u64(14),
+                    name: "CVS".into(),
+                },
+                attributes: Sattr2 {
+                    mode: 0o755,
+                    ..Sattr2::default()
+                },
+            },
+            Call2::Rmdir(DirOpArgs2 {
+                dir: FileHandle::from_u64(14),
+                name: "CVS".into(),
+            }),
             Call2::Readdir {
                 dir: FileHandle::from_u64(11),
                 cookie: 0,
@@ -1537,8 +1558,28 @@ mod tests {
                     data: Vec::new(),
                 },
             ),
+            (
+                Proc2::Setattr,
+                Reply2::AttrStat {
+                    status: NfsStat3::Ok,
+                    attributes: Some(attrs),
+                },
+            ),
+            (Proc2::Root, Reply2::Void),
+            (Proc2::Writecache, Reply2::Void),
+            (
+                Proc2::Mkdir,
+                Reply2::DirOpRes {
+                    status: NfsStat3::Ok,
+                    file: Some(FileHandle::from_u64(45)),
+                    attributes: Some(attrs),
+                },
+            ),
             (Proc2::Remove, Reply2::Stat(NfsStat3::Ok)),
             (Proc2::Rename, Reply2::Stat(NfsStat3::Stale)),
+            (Proc2::Link, Reply2::Stat(NfsStat3::Ok)),
+            (Proc2::Symlink, Reply2::Stat(NfsStat3::Access)),
+            (Proc2::Rmdir, Reply2::Stat(NfsStat3::NotEmpty)),
             (
                 Proc2::Readdir,
                 Reply2::Readdir {
@@ -1629,6 +1670,45 @@ mod tests {
                     (Ok(f), Ok(r)) => assert_eq!(f, facts_of(&r), "{proc:?} cut {cut}"),
                     (Err(fe), Err(re)) => assert_eq!(fe, re, "{proc:?} cut {cut}"),
                     (f, r) => panic!("{proc:?} cut {cut}: facts {f:?} vs full {r:?}"),
+                }
+            }
+        }
+    }
+
+    /// `encode ∘ decode == id` over every one of the 18 v2 procedures,
+    /// calls and replies both, plus the truncation sweep: any strict
+    /// prefix of a canonical encoding either fails to decode or decodes
+    /// to a value whose re-encoding is exactly that prefix.
+    #[test]
+    fn every_procedure_roundtrips_and_survives_truncation() {
+        let calls = sample_calls();
+        let replies = sample_replies();
+        for proc in Proc2::ALL {
+            assert!(
+                calls.iter().any(|c| c.proc() == proc),
+                "{proc:?} has no call sample"
+            );
+            assert!(
+                replies.iter().any(|(p, _)| *p == proc),
+                "{proc:?} has no reply sample"
+            );
+        }
+        for call in calls {
+            let proc = call.proc();
+            let bytes = call.encode_args();
+            assert_eq!(Call2::decode(proc, &bytes).unwrap(), call, "{proc:?}");
+            for cut in 0..bytes.len() {
+                if let Ok(got) = Call2::decode(proc, &bytes[..cut]) {
+                    assert_eq!(got.encode_args(), &bytes[..cut], "{proc:?} cut {cut}");
+                }
+            }
+        }
+        for (proc, reply) in replies {
+            let bytes = reply.encode_results();
+            assert_eq!(Reply2::decode(proc, &bytes).unwrap(), reply, "{proc:?}");
+            for cut in 0..bytes.len() {
+                if let Ok(got) = Reply2::decode(proc, &bytes[..cut]) {
+                    assert_eq!(got.encode_results(), &bytes[..cut], "{proc:?} cut {cut}");
                 }
             }
         }

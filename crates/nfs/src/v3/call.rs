@@ -959,4 +959,153 @@ mod tests {
     fn truncated_args_error() {
         assert!(Call3::decode(Proc3::Read, &[0, 0, 0, 1]).is_err());
     }
+
+    fn sample_calls() -> Vec<Call3> {
+        vec![
+            Call3::Null,
+            Call3::Getattr(FhArgs {
+                object: FileHandle::from_u64(1),
+            }),
+            Call3::Setattr(Setattr3Args {
+                object: FileHandle::from_u64(2),
+                new_attributes: Sattr3 {
+                    size: Some(1 << 33),
+                    mode: Some(0o644),
+                    ..Sattr3::default()
+                },
+                guard_ctime: None,
+            }),
+            Call3::Lookup(DirOpArgs {
+                dir: FileHandle::from_u64(3),
+                name: ".pinerc".to_string(),
+            }),
+            Call3::Access(Access3Args {
+                object: FileHandle::from_u64(4),
+                access: 0x1f,
+            }),
+            Call3::Readlink(FhArgs {
+                object: FileHandle::from_u64(5),
+            }),
+            Call3::Read(Read3Args {
+                file: FileHandle::from_u64(6),
+                offset: 1 << 32,
+                count: 32768,
+            }),
+            Call3::Write(Write3Args {
+                file: FileHandle::from_u64(7),
+                offset: 0,
+                count: 3,
+                stable: StableHow::Unstable,
+                data: vec![9, 9, 9],
+            }),
+            Call3::Create(Create3Args {
+                where_: DirOpArgs {
+                    dir: FileHandle::from_u64(8),
+                    name: "inbox.lock".to_string(),
+                },
+                how: CreateHow::Exclusive([7; 8]),
+                attributes: Sattr3::default(),
+            }),
+            Call3::Mkdir(Mkdir3Args {
+                where_: DirOpArgs {
+                    dir: FileHandle::from_u64(9),
+                    name: "CVS".to_string(),
+                },
+                attributes: Sattr3::default(),
+            }),
+            Call3::Symlink(Symlink3Args {
+                where_: DirOpArgs {
+                    dir: FileHandle::from_u64(10),
+                    name: "sym".to_string(),
+                },
+                attributes: Sattr3::default(),
+                target: "../elsewhere".to_string(),
+            }),
+            Call3::Mknod(Mknod3Args {
+                where_: DirOpArgs {
+                    dir: FileHandle::from_u64(11),
+                    name: "fifo".to_string(),
+                },
+                node_type: 7,
+                attributes: Sattr3::default(),
+            }),
+            Call3::Remove(DirOpArgs {
+                dir: FileHandle::from_u64(12),
+                name: "core".to_string(),
+            }),
+            Call3::Rmdir(DirOpArgs {
+                dir: FileHandle::from_u64(13),
+                name: "tmp".to_string(),
+            }),
+            Call3::Rename(Rename3Args {
+                from: DirOpArgs {
+                    dir: FileHandle::from_u64(14),
+                    name: "mbox.tmp".to_string(),
+                },
+                to: DirOpArgs {
+                    dir: FileHandle::from_u64(15),
+                    name: "mbox".to_string(),
+                },
+            }),
+            Call3::Link(Link3Args {
+                file: FileHandle::from_u64(16),
+                link: DirOpArgs {
+                    dir: FileHandle::from_u64(17),
+                    name: "hardlink".to_string(),
+                },
+            }),
+            Call3::Readdir(Readdir3Args {
+                dir: FileHandle::from_u64(18),
+                cookie: 77,
+                cookieverf: [1; 8],
+                count: 4096,
+            }),
+            Call3::Readdirplus(Readdirplus3Args {
+                dir: FileHandle::from_u64(19),
+                cookie: 0,
+                cookieverf: [0; 8],
+                dircount: 1024,
+                maxcount: 8192,
+            }),
+            Call3::Fsstat(FhArgs {
+                object: FileHandle::from_u64(20),
+            }),
+            Call3::Fsinfo(FhArgs {
+                object: FileHandle::from_u64(21),
+            }),
+            Call3::Pathconf(FhArgs {
+                object: FileHandle::from_u64(22),
+            }),
+            Call3::Commit(Commit3Args {
+                file: FileHandle::from_u64(23),
+                offset: 4096,
+                count: 65536,
+            }),
+        ]
+    }
+
+    /// `encode ∘ decode == id` over every one of the 22 v3 procedures'
+    /// call arguments, plus the truncation sweep: any strict prefix of
+    /// a canonical encoding either fails to decode or decodes to a
+    /// value whose re-encoding is exactly that prefix.
+    #[test]
+    fn every_procedure_roundtrips_and_survives_truncation() {
+        let calls = sample_calls();
+        for proc in Proc3::ALL {
+            assert!(
+                calls.iter().any(|c| c.proc() == proc),
+                "{proc:?} has no call sample"
+            );
+        }
+        for call in calls {
+            let proc = call.proc();
+            let bytes = call.encode_args();
+            assert_eq!(Call3::decode(proc, &bytes).unwrap(), call, "{proc:?}");
+            for cut in 0..bytes.len() {
+                if let Ok(got) = Call3::decode(proc, &bytes[..cut]) {
+                    assert_eq!(got.encode_args(), &bytes[..cut], "{proc:?} cut {cut}");
+                }
+            }
+        }
+    }
 }

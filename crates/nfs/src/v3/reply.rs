@@ -1454,4 +1454,36 @@ mod tests {
             }
         }
     }
+
+    /// `encode ∘ decode == id` over every one of the 22 v3 procedures'
+    /// reply results (success and error arms both), plus the truncation
+    /// sweep: any strict prefix of a canonical encoding either fails to
+    /// decode or decodes to a value whose re-encoding is exactly that
+    /// prefix. NULL is the one wire-degenerate procedure — its results
+    /// are empty, so every decode is the void success reply.
+    #[test]
+    fn every_procedure_roundtrips_and_survives_truncation() {
+        let replies = sample_replies();
+        for proc in Proc3::ALL {
+            assert!(
+                replies.iter().any(|(p, _)| *p == proc),
+                "{proc:?} has no reply sample"
+            );
+        }
+        for (proc, reply) in replies {
+            let bytes = reply.encode_results();
+            let decoded = Reply3::decode(proc, &bytes).unwrap();
+            if proc == Proc3::Null {
+                assert!(bytes.is_empty(), "NULL results must be void");
+                assert_eq!(decoded, Reply3::ok(Reply3Body::Null));
+                continue;
+            }
+            assert_eq!(decoded, reply, "{proc:?}");
+            for cut in 0..bytes.len() {
+                if let Ok(got) = Reply3::decode(proc, &bytes[..cut]) {
+                    assert_eq!(got.encode_results(), &bytes[..cut], "{proc:?} cut {cut}");
+                }
+            }
+        }
+    }
 }

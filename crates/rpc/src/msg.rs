@@ -127,6 +127,23 @@ impl RpcMessage {
         }
     }
 
+    /// Builds an accepted reply carrying a non-`SUCCESS`
+    /// [`accept_stat`] code and no results — how a server refuses a
+    /// call it understood at the RPC layer but cannot service
+    /// (`PROG_UNAVAIL`, `PROG_MISMATCH`, `PROC_UNAVAIL`,
+    /// `GARBAGE_ARGS`, `SYSTEM_ERR`).
+    pub fn reply_error(xid: u32, accept_stat: u32) -> Self {
+        RpcMessage {
+            xid,
+            body: MsgBody::Reply(ReplyBody {
+                stat: ReplyStat::Accepted,
+                verf: OpaqueAuth::none(),
+                accept_stat,
+                results: Vec::new(),
+            }),
+        }
+    }
+
     /// Whether this is a call.
     pub fn is_call(&self) -> bool {
         matches!(self.body, MsgBody::Call(_))

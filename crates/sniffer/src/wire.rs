@@ -167,7 +167,7 @@ impl WireEncoder {
     }
 
     /// Stable client port derived from the client address.
-    fn client_port(client_ip: u32) -> u16 {
+    pub fn client_port(client_ip: u32) -> u16 {
         700 + (client_ip % 251) as u16
     }
 
@@ -182,7 +182,7 @@ impl WireEncoder {
         let (call_msg, reply_msg) = build_rpc_pair(e, &self.downgrade);
         let cport = Self::client_port(e.client_ip);
         let mut out = Vec::new();
-        out.extend(self.emit(
+        out.extend(self.encode_message(
             e.wire_micros,
             e.client_ip,
             e.server_ip,
@@ -190,7 +190,7 @@ impl WireEncoder {
             NFS_PORT,
             &call_msg.to_xdr_bytes(),
         ));
-        out.extend(self.emit(
+        out.extend(self.encode_message(
             e.reply_micros,
             e.server_ip,
             e.client_ip,
@@ -201,7 +201,13 @@ impl WireEncoder {
         out
     }
 
-    fn emit(
+    /// Puts one already-encoded RPC message on the wire as captured
+    /// frames: UDP datagram or record-marked, MSS-chunked TCP segments
+    /// with per-flow sequence numbers. This is the frame-synthesis
+    /// primitive behind [`WireEncoder::encode_event`]; the serving
+    /// loop's capture tap uses it directly to replay the byte streams
+    /// it observed on real sockets.
+    pub fn encode_message(
         &mut self,
         ts: u64,
         src_ip: u32,

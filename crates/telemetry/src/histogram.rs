@@ -151,6 +151,30 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) estimated from the bucket
+    /// counts, or 0 when empty.
+    ///
+    /// Returns the inclusive upper bound of the bucket containing the
+    /// `ceil(q * count)`-th smallest observation — an upper estimate
+    /// no more than 2x the true value, which is the usual contract of
+    /// a log-scale histogram (the top bucket, unbounded, reports
+    /// `u64::MAX`). `percentile(0.5)` is the median, `percentile(0.99)`
+    /// the p99.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper_bound(i).unwrap_or(u64::MAX);
+            }
+        }
+        u64::MAX
+    }
 }
 
 #[cfg(test)]
@@ -203,6 +227,30 @@ mod tests {
         assert_eq!(s.buckets[1], 2);
         assert_eq!(s.buckets[bucket_index(5)], 1);
         assert_eq!(s.buckets[bucket_index(1000)], 1);
+    }
+
+    #[test]
+    fn percentile_reads_bucket_upper_bounds() {
+        let h = Histogram::new();
+        assert_eq!(h.snapshot().percentile(0.5), 0, "empty histogram");
+        // 100 observations: 90 fast (land in [64,128)), 10 slow
+        // (land in [1024,2048)).
+        for _ in 0..90 {
+            h.record(100);
+        }
+        for _ in 0..10 {
+            h.record(2000);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.percentile(0.5), 127, "median bucket upper bound");
+        assert_eq!(s.percentile(0.90), 127, "p90 still in the fast bucket");
+        assert_eq!(s.percentile(0.99), 2047, "p99 lands in the slow bucket");
+        assert_eq!(s.percentile(1.0), 2047);
+        assert_eq!(s.percentile(0.0), 127, "q=0 clamps to the first value");
+
+        let top = Histogram::new();
+        top.record(u64::MAX);
+        assert_eq!(top.snapshot().percentile(0.5), u64::MAX, "unbounded top");
     }
 
     #[test]

@@ -23,6 +23,7 @@
 //! | [`core`] | `nfstrace-core` | trace records and the FAST 2003 analyses |
 //! | [`store`] | `nfstrace-store` | chunked on-disk trace store, segments, out-of-core indexing |
 //! | [`live`] | `nfstrace-live` | bounded-memory live ingest, segment rotation, hot+sealed views |
+//! | [`serve`] | `nfstrace-serve` | loopback NFS serving loop, wire replay client, capture tap |
 //!
 //! # Quickstart
 //!
@@ -51,6 +52,7 @@ pub use nfstrace_live as live;
 pub use nfstrace_net as net;
 pub use nfstrace_nfs as nfs;
 pub use nfstrace_rpc as rpc;
+pub use nfstrace_serve as serve;
 pub use nfstrace_sniffer as sniffer;
 pub use nfstrace_store as store;
 pub use nfstrace_telemetry as telemetry;
